@@ -1,0 +1,123 @@
+#ifndef CAFE_BENCH_BENCH_COMMON_H_
+#define CAFE_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the per-figure bench binaries: dataset construction
+// from presets, method instantiation at a compression ratio, one-pass
+// training, and table printing. Every figure binary prints the same rows /
+// series the paper reports so shapes can be compared side by side.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "data/presets.h"
+#include "data/synthetic.h"
+#include "train/model_factory.h"
+#include "train/store_factory.h"
+#include "train/trainer.h"
+
+namespace cafe {
+namespace bench {
+
+/// One prepared dataset plus its model hyperparameters.
+struct Workload {
+  std::unique_ptr<SyntheticCtrDataset> dataset;
+  DatasetPreset preset;
+  ModelConfig model_config;
+  TrainOptions train_options;
+};
+
+inline Workload MakeWorkload(DatasetPreset preset,
+                             const std::string& model = "dlrm") {
+  Workload w;
+  w.preset = preset;
+  auto ds = SyntheticCtrDataset::Generate(preset.data);
+  CAFE_CHECK(ds.ok()) << ds.status().ToString();
+  w.dataset = std::move(ds).value();
+  if (preset.data.name == "kdd12-like") {
+    w.dataset->ShuffleSamples(preset.data.seed ^ 0x5f5fULL);
+  }
+  w.model_config.num_fields = w.dataset->num_fields();
+  w.model_config.emb_dim = preset.embedding_dim;
+  w.model_config.num_numerical = preset.data.num_numerical;
+  w.model_config.top_hidden = {64, 32};
+  w.model_config.emb_lr = 0.2f;
+  w.model_config.dense_lr = 0.05f;
+  w.model_config.dense_optimizer = "adagrad";
+  w.model_config.seed = 1234;
+  w.train_options.batch_size = 128;
+  return w;
+}
+
+/// Builds the factory context for `workload` at compression ratio `cr`.
+inline StoreFactoryContext MakeContext(const Workload& w, double cr,
+                                       bool with_offline_stats = false) {
+  StoreFactoryContext context;
+  context.embedding.total_features = w.dataset->layout().total_features();
+  context.embedding.dim = w.preset.embedding_dim;
+  context.embedding.compression_ratio = cr;
+  context.embedding.seed = 97;
+  context.layout = w.dataset->layout();
+  context.cafe.decay_interval = 50;
+  // Our passes are a few hundred iterations; reallocate on the same
+  // cadence as CAFE's maintenance so AdaEmbed's scan cost (its latency
+  // signature in Fig. 13) actually exercises.
+  context.ada.realloc_interval = 50;
+  if (with_offline_stats) {
+    for (const auto& [id, count] :
+         w.dataset->FeatureFrequencies(0, w.dataset->train_size())) {
+      context.offline_hot_ids.push_back(id);
+    }
+  }
+  return context;
+}
+
+struct RunOutcome {
+  bool feasible = false;
+  TrainResult result;
+};
+
+/// Trains `model_name` over `method` at ratio `cr`; infeasible methods
+/// (beyond their compression limit) are reported rather than fatal —
+/// matching the truncated curves in the paper's figures.
+inline RunOutcome RunMethod(const Workload& w, const std::string& method,
+                            double cr, const std::string& model_name = "dlrm",
+                            size_t curve_points = 0) {
+  RunOutcome outcome;
+  StoreFactoryContext context = MakeContext(w, cr, method == "offline");
+  auto store = MakeStore(method, context);
+  if (!store.ok()) return outcome;
+  auto model = MakeModel(model_name, w.model_config, store->get());
+  CAFE_CHECK(model.ok()) << model.status().ToString();
+  TrainOptions options = w.train_options;
+  options.curve_points = curve_points;
+  outcome.feasible = true;
+  outcome.result = TrainOnePass(model->get(), *w.dataset, options);
+  return outcome;
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void PrintTitle(const std::string& title) {
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  PrintRule();
+}
+
+/// Formats a metric or "-" for infeasible points.
+inline std::string Cell(bool feasible, double value) {
+  if (!feasible) return "      -";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%7.4f", value);
+  return buffer;
+}
+
+}  // namespace bench
+}  // namespace cafe
+
+#endif  // CAFE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,83 @@
+// Figure 13: training / inference latency and throughput per method at 10x
+// on the CriteoTB analog. Absolute numbers are CPU-scale, but the ordering
+// the paper reports must hold: hash fastest; qr close; mde moderate; cafe
+// pays a small sketch overhead; ada slowest in training because of its
+// full-score-array reallocation scans.
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+
+using namespace cafe;
+
+int main() {
+  bench::PrintTitle(
+      "Figure 13 — latency and throughput at 10x (CriteoTB analog)");
+  bench::Workload w = bench::MakeWorkload(CriteoTbLikePreset());
+  // Keep the timing run focused: half the samples is plenty for stable
+  // per-batch latency estimates.
+  const size_t train_samples = std::min<size_t>(w.dataset->train_size(),
+                                                40000);
+  const size_t infer_begin = w.dataset->train_size();
+  const size_t infer_end =
+      std::min(w.dataset->num_samples(), infer_begin + 20000);
+
+  std::printf("%-8s %14s %14s %16s %16s\n", "method", "train ms/batch",
+              "infer ms/batch", "train samples/s", "infer samples/s");
+  for (const std::string& method :
+       {"hash", "qr", "ada", "mde", "cafe", "cafe-ml"}) {
+    StoreFactoryContext context = bench::MakeContext(w, 10.0);
+    // AdaEmbed's published latency cost is its per-sample importance
+    // bookkeeping plus reallocation scans over ALL n features. At the
+    // paper's n = 204M the scan dominates; our analog catalog is ~10^4x
+    // smaller, so to expose the same mechanism within a short timing
+    // window the scan runs every batch (the paper's "regularly samples
+    // thousands of data" cadence).
+    if (method == "ada") context.ada.realloc_interval = 1;
+    auto store = MakeStore(method, context);
+    if (!store.ok()) {
+      std::printf("%-8s %14s\n", method.c_str(), "infeasible");
+      continue;
+    }
+    auto model = MakeModel("dlrm", w.model_config, store->get());
+    CAFE_CHECK(model.ok());
+
+    // Training latency: batch 2048 as in the paper.
+    const size_t train_batch = 2048;
+    WallTimer train_timer;
+    size_t train_batches = 0;
+    for (size_t start = 0; start + train_batch <= train_samples;
+         start += train_batch) {
+      (*model)->TrainStep(w.dataset->GetBatch(start, train_batch));
+      ++train_batches;
+    }
+    const double train_seconds = train_timer.ElapsedSeconds();
+
+    // Inference latency: batch 16384 as in the paper.
+    const size_t infer_batch = 16384;
+    std::vector<float> logits;
+    WallTimer infer_timer;
+    size_t infer_batches = 0;
+    for (size_t start = infer_begin; start + infer_batch <= infer_end;
+         start += infer_batch) {
+      (*model)->Predict(w.dataset->GetBatch(start, infer_batch), &logits);
+      ++infer_batches;
+    }
+    if (infer_batches == 0) {  // small datasets: one partial batch
+      (*model)->Predict(
+          w.dataset->GetBatch(infer_begin, infer_end - infer_begin), &logits);
+      infer_batches = 1;
+    }
+    const double infer_seconds = infer_timer.ElapsedSeconds();
+
+    std::printf("%-8s %14.2f %14.2f %16.0f %16.0f\n", method.c_str(),
+                1e3 * train_seconds / train_batches,
+                1e3 * infer_seconds / infer_batches,
+                train_batches * train_batch / train_seconds,
+                infer_batches * infer_batch / infer_seconds);
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 13): hash fastest; cafe's overhead over\n"
+      "hash is small (O(1) sketch ops); ada clearly slowest in training\n"
+      "(periodic full reallocation scans).\n");
+  return 0;
+}

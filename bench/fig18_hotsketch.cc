@@ -1,0 +1,161 @@
+// Figure 18: HotSketch in isolation on the Criteo-analog feature stream:
+// (a) top-k recall vs memory for c in {4, 8, 16, 32} slots per bucket,
+//     with SpaceSaving and CountMin+heap reference lines,
+// (b) insert/query throughput vs slots per bucket,
+// (c)/(d) real-time recall of the up-to-date top-k and the sliding-window
+//     top-k during the online stream (0.5-day windows).
+
+#include <unordered_map>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "core/cafe_config.h"
+#include "sketch/count_min.h"
+#include "sketch/hot_sketch.h"
+#include "sketch/space_saving.h"
+#include "sketch/topk_utils.h"
+
+using namespace cafe;
+
+namespace {
+
+std::vector<uint32_t> FeatureStream(const SyntheticCtrDataset& dataset) {
+  const Batch all = dataset.GetBatch(0, dataset.num_samples());
+  return std::vector<uint32_t>(
+      all.categorical,
+      all.categorical + all.batch_size * all.num_fields);
+}
+
+uint64_t HotCapacityAt(const bench::Workload& w, double cr) {
+  StoreFactoryContext context = bench::MakeContext(w, cr);
+  CafeConfig config = context.cafe;
+  config.embedding = context.embedding;
+  auto plan = CafeMemoryPlan::Compute(config, sizeof(HotSketch::Slot));
+  CAFE_CHECK(plan.ok());
+  return plan->hot_capacity;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintTitle("Figure 18 — HotSketch recall and throughput");
+  bench::Workload w = bench::MakeWorkload(CriteoLikePreset());
+  const std::vector<uint32_t> stream = FeatureStream(*w.dataset);
+
+  // k = number of hot features at 100x on the Criteo analog (the paper
+  // uses the 1000x capacity on the real 33M-feature Criteo; at our catalog
+  // the 100x capacity gives the comparable k of ~10^2).
+  const uint64_t k = HotCapacityAt(w, 100);
+  std::unordered_map<uint64_t, double> truth;
+  for (uint32_t id : stream) truth[id] += 1.0;
+  const auto exact = ExactTopK(truth, k);
+  std::printf("stream: %zu insertions, k = %zu\n\n", stream.size(),
+              static_cast<size_t>(k));
+
+  std::printf("(a) recall vs memory (KB), by slots per bucket\n");
+  std::printf("%8s |", "KB");
+  for (uint32_t c : {4u, 8u, 16u, 32u}) std::printf("   c=%-3u", c);
+  std::printf("%8s %8s\n", "ss", "cm+heap");
+  for (double mem_multiple : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const size_t total_slots = static_cast<size_t>(4.0 * k * mem_multiple);
+    const size_t bytes = total_slots * sizeof(HotSketch::Slot);
+    std::printf("%8.1f |", bytes / 1024.0);
+    for (uint32_t c : {4u, 8u, 16u, 32u}) {
+      HotSketchConfig config;
+      config.num_buckets = std::max<uint64_t>(1, total_slots / c);
+      config.slots_per_bucket = c;
+      auto sketch = HotSketch::Create(config);
+      CAFE_CHECK(sketch.ok());
+      for (uint32_t id : stream) sketch->Insert(id, 1.0);
+      std::printf(" %7.3f",
+                  TopKRecall(exact, sketch->TopK(sketch->capacity())));
+    }
+    {
+      // SpaceSaving with the same number of counters (its hash index costs
+      // extra memory on top — the paper's point).
+      auto ss = SpaceSaving::Create(total_slots);
+      CAFE_CHECK(ss.ok());
+      for (uint32_t id : stream) ss->Insert(id);
+      std::printf(" %7.3f", TopKRecall(exact, ss->TopK(total_slots)));
+    }
+    {
+      CountMin::Config config;
+      config.depth = 3;
+      config.width = std::max<uint64_t>(
+          1, total_slots * sizeof(HotSketch::Slot) / (3 * sizeof(double)));
+      auto cm = CountMinTopK::Create(config, k);
+      CAFE_CHECK(cm.ok());
+      for (uint32_t id : stream) cm->Insert(id, 1.0);
+      std::printf(" %7.3f\n", TopKRecall(exact, cm->TopK(k)));
+    }
+  }
+
+  std::printf("\n(b) serialized throughput (million ops/s)\n");
+  std::printf("%8s | %10s %10s\n", "c", "insert", "query");
+  for (uint32_t c : {4u, 8u, 16u, 32u}) {
+    HotSketchConfig config;
+    config.num_buckets = std::max<uint64_t>(1, 4 * k / c);
+    config.slots_per_bucket = c;
+    auto sketch = HotSketch::Create(config);
+    CAFE_CHECK(sketch.ok());
+    WallTimer insert_timer;
+    for (uint32_t id : stream) sketch->Insert(id, 1.0);
+    const double insert_s = insert_timer.ElapsedSeconds();
+    WallTimer query_timer;
+    double sink = 0;
+    for (uint32_t id : stream) sink += sketch->Query(id);
+    const double query_s = query_timer.ElapsedSeconds();
+    std::printf("%8u | %10.1f %10.1f   (checksum %.0f)\n", c,
+                stream.size() / insert_s / 1e6, stream.size() / query_s / 1e6,
+                sink);
+  }
+  {
+    auto ss = SpaceSaving::Create(4 * k);
+    CAFE_CHECK(ss.ok());
+    WallTimer timer;
+    for (uint32_t id : stream) ss->Insert(id);
+    std::printf("%8s | %10.1f %10s   (SpaceSaving reference)\n", "ss",
+                stream.size() / timer.ElapsedSeconds() / 1e6, "-");
+  }
+
+  // (c)/(d): online recall with a sliding window over the day-ordered
+  // stream at the 100x and 1000x hot capacities.
+  for (double cr : {100.0, 1000.0}) {
+    const uint64_t capacity = HotCapacityAt(w, cr);
+    HotSketchConfig config;
+    config.num_buckets = std::max<uint64_t>(1, capacity);
+    config.slots_per_bucket = 4;
+    auto sketch = HotSketch::Create(config);
+    CAFE_CHECK(sketch.ok());
+
+    std::printf("\n(%s) online top-%zu recall at %.0fx (0.5-day windows)\n",
+                cr == 100.0 ? "c" : "d", static_cast<size_t>(capacity), cr);
+    std::printf("%8s | %12s %12s\n", "window", "vs-cumulative", "vs-window");
+    std::unordered_map<uint64_t, double> cumulative;
+    std::unordered_map<uint64_t, double> window;
+    const size_t fields = w.dataset->num_fields();
+    const size_t half_day =
+        w.dataset->num_samples() / w.dataset->num_days() / 2 * fields;
+    size_t window_index = 0;
+    for (size_t i = 0; i < stream.size(); ++i) {
+      sketch->Insert(stream[i], 1.0);
+      cumulative[stream[i]] += 1.0;
+      window[stream[i]] += 1.0;
+      if ((i + 1) % half_day == 0) {
+        const auto reported = sketch->TopK(sketch->capacity());
+        std::printf("%8zu | %12.3f %12.3f\n", window_index,
+                    TopKRecall(ExactTopK(cumulative, capacity), reported),
+                    TopKRecall(ExactTopK(window, capacity), reported));
+        window.clear();
+        ++window_index;
+        sketch->Decay(0.8);  // track the moving distribution
+      }
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 18): recall rises with memory; c=8/16\n"
+      "beat c=4/32 at fixed memory (Corollary 3.5); throughput falls as c\n"
+      "grows; online recall stays high (>0.9 at the paper's scale) across\n"
+      "windows for both capacity settings.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Table 2 analog: overview of the four synthetic dataset presets
+// (paper: Avazu / Criteo / KDD12 / CriteoTB). #Features counts ids that
+// actually occur, as in the paper; #Param = #Features x dim.
+
+#include <cinttypes>
+
+#include "bench/bench_common.h"
+
+using namespace cafe;
+
+int main() {
+  bench::PrintTitle(
+      "Table 2 — dataset overview (synthetic analogs, see DESIGN.md)");
+  std::printf("%-15s %10s %10s %7s %5s %12s\n", "Dataset", "#Samples",
+              "#Features", "#Fields", "Dim", "#Param");
+  for (const DatasetPreset& preset :
+       {AvazuLikePreset(), CriteoLikePreset(), Kdd12LikePreset(),
+        CriteoTbLikePreset()}) {
+    auto ds = SyntheticCtrDataset::Generate(preset.data);
+    CAFE_CHECK(ds.ok());
+    const uint64_t features = (*ds)->CountDistinctFeatures();
+    std::printf("%-15s %10zu %10" PRIu64 " %7zu %5u %12" PRIu64 "\n",
+                preset.data.name.c_str(), (*ds)->num_samples(), features,
+                (*ds)->num_fields(), preset.embedding_dim,
+                features * preset.embedding_dim);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Compression sweep: compare every embedding compressor in this library at
+// several compression ratios on one dataset — a minimal version of the
+// paper's Figure 8 experiment, built only from public APIs.
+//
+//   ./build/examples/compression_sweep
+
+#include <cstdio>
+
+#include "data/presets.h"
+#include "train/model_factory.h"
+#include "train/store_factory.h"
+#include "train/trainer.h"
+
+using namespace cafe;
+
+int main() {
+  DatasetPreset preset = CriteoLikePreset();
+  preset.data.num_samples = 50000;
+  auto dataset = SyntheticCtrDataset::Generate(preset.data);
+  if (!dataset.ok()) return 1;
+
+  ModelConfig model_config;
+  model_config.num_fields = (*dataset)->num_fields();
+  model_config.emb_dim = preset.embedding_dim;
+  model_config.num_numerical = preset.data.num_numerical;
+  model_config.emb_lr = 0.2f;
+
+  std::printf("%8s %-8s %10s %10s %12s\n", "CR", "method", "train-loss",
+              "test-AUC", "memory(KB)");
+  for (double cr : {10.0, 100.0, 1000.0}) {
+    for (const std::string method : {"hash", "qr", "ada", "mde", "cafe",
+                                     "cafe-ml"}) {
+      StoreFactoryContext context;
+      context.embedding.total_features =
+          (*dataset)->layout().total_features();
+      context.embedding.dim = preset.embedding_dim;
+      context.embedding.compression_ratio = cr;
+      context.layout = (*dataset)->layout();
+      context.cafe.decay_interval = 50;
+      auto store = MakeStore(method, context);
+      if (!store.ok()) {
+        std::printf("%8.0f %-8s %10s (%s)\n", cr, method.c_str(), "-",
+                    StatusCodeToString(store.status().code()));
+        continue;
+      }
+      auto model = MakeModel("dlrm", model_config, store->get());
+      if (!model.ok()) return 1;
+      TrainOptions options;
+      options.batch_size = 128;
+      const TrainResult result =
+          TrainOnePass(model->get(), **dataset, options);
+      std::printf("%8.0f %-8s %10.4f %10.4f %12.1f\n", cr, method.c_str(),
+                  result.avg_train_loss, result.final_test_auc,
+                  (*store)->MemoryBytes() / 1024.0);
+    }
+  }
+  return 0;
+}

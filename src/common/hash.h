@@ -1,0 +1,39 @@
+#ifndef CAFE_COMMON_HASH_H_
+#define CAFE_COMMON_HASH_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace cafe {
+
+/// A seeded 64-bit hash over 64-bit keys. Different seeds give (empirically)
+/// independent hash functions, which the sketches and the multi-table hash
+/// embeddings rely on. The construction XORs the key with a SplitMix64-mixed
+/// seed and mixes again, which passes avalanche tests for this use.
+class SeededHash {
+ public:
+  explicit SeededHash(uint64_t seed = 0) : seed_mix_(SplitMix64(seed)) {}
+
+  uint64_t operator()(uint64_t key) const {
+    return SplitMix64(key ^ seed_mix_);
+  }
+
+  /// Hash reduced to [0, bound) without modulo bias (128-bit multiply).
+  uint64_t Bounded(uint64_t key, uint64_t bound) const {
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>((*this)(key)) * bound) >> 64);
+  }
+
+ private:
+  uint64_t seed_mix_;
+};
+
+/// Stateless convenience mix for one-off hashing.
+inline uint64_t HashMix(uint64_t key, uint64_t seed = 0) {
+  return SplitMix64(key ^ SplitMix64(seed));
+}
+
+}  // namespace cafe
+
+#endif  // CAFE_COMMON_HASH_H_

@@ -1,0 +1,15 @@
+#include "common/logging.h"
+
+namespace cafe {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& msg) {
+  std::fprintf(stderr, "[CAFE CHECK FAILED] %s:%d: (%s) %s\n", file, line,
+               expr, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace cafe

@@ -1,0 +1,72 @@
+#ifndef CAFE_COMMON_LOGGING_H_
+#define CAFE_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cafe {
+namespace internal {
+
+/// Prints `msg` with file/line context and aborts. Used by the CHECK macros;
+/// not part of the public API.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+
+/// Stream-style message collector so call sites can write
+/// `CAFE_CHECK(x) << "context " << value;`.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed message when a DCHECK is compiled out.
+class NullMessageBuilder {
+ public:
+  template <typename T>
+  NullMessageBuilder& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+/// Fatal invariant check, enabled in all build modes. Use for conditions
+/// whose violation means the process state is corrupt (e.g. index out of an
+/// internally managed range).
+#define CAFE_CHECK(cond)                                            \
+  if (cond) {                                                       \
+  } else                                                            \
+    ::cafe::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+/// Debug-only invariant check on hot paths; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define CAFE_DCHECK(cond) \
+  if (true) {             \
+  } else                  \
+    ::cafe::internal::NullMessageBuilder()
+#else
+#define CAFE_DCHECK(cond) CAFE_CHECK(cond)
+#endif
+
+}  // namespace cafe
+
+#endif  // CAFE_COMMON_LOGGING_H_

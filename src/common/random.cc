@@ -1,0 +1,14 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace cafe {
+
+double Rng::Normal() {
+  // Box–Muller: draw u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - UniformDouble();
+  double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace cafe

@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace cafe {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    result += ": ";
+    result += message_;
+  }
+  return result;
+}
+
+}  // namespace cafe

@@ -1,0 +1,30 @@
+#ifndef CAFE_COMMON_TIMER_H_
+#define CAFE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace cafe {
+
+/// Simple wall-clock stopwatch used by the latency/throughput benches.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_COMMON_TIMER_H_

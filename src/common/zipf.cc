@@ -1,0 +1,76 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cafe {
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double z) : n_(n), z_(z) {
+  CAFE_CHECK(n >= 1) << "Zipf needs at least one item";
+  CAFE_CHECK(z > 0.0) << "Zipf exponent must be positive, got " << z;
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -z));
+}
+
+double ZipfDistribution::H(double x) const {
+  // Antiderivative of t^-z evaluated at x:
+  //   z == 1: log(x);   otherwise: x^(1-z) / (1-z).
+  if (z_ == 1.0) return std::log(x);
+  return std::pow(x, 1.0 - z_) / (1.0 - z_);
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  if (z_ == 1.0) return std::exp(x);
+  return std::pow((1.0 - z_) * x, 1.0 / (1.0 - z_));
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  if (n_ == 1) return 1;
+  // Hörmann & Derflinger rejection-inversion. Expected < 1.1 iterations.
+  while (true) {
+    double u = h_n_ + rng.UniformDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (static_cast<double>(k) - x <= s_ ||
+        u >= H(static_cast<double>(k) + 0.5) - std::pow(k, -z_)) {
+      return k;
+    }
+  }
+}
+
+double ZipfDistribution::Pmf(uint64_t i) const {
+  CAFE_CHECK(i >= 1 && i <= n_) << "rank out of range: " << i;
+  if (norm_ < 0.0) {
+    double sum = 0.0;
+    for (uint64_t r = 1; r <= n_; ++r) sum += std::pow(r, -z_);
+    norm_ = sum;
+  }
+  return std::pow(static_cast<double>(i), -z_) / norm_;
+}
+
+double FitZipfExponent(const std::vector<double>& sorted_scores) {
+  // Least squares on (log rank, log score). Slope is -z.
+  double sum_x = 0, sum_y = 0, sum_xx = 0, sum_xy = 0;
+  size_t count = 0;
+  for (size_t i = 0; i < sorted_scores.size(); ++i) {
+    if (sorted_scores[i] <= 0.0) continue;
+    double x = std::log(static_cast<double>(i + 1));
+    double y = std::log(sorted_scores[i]);
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+    ++count;
+  }
+  if (count < 2) return 0.0;
+  double denom = count * sum_xx - sum_x * sum_x;
+  if (denom == 0.0) return 0.0;
+  double slope = (count * sum_xy - sum_x * sum_y) / denom;
+  return -slope;
+}
+
+}  // namespace cafe

@@ -1,0 +1,95 @@
+#include "core/cafe_config.h"
+
+#include <algorithm>
+
+namespace cafe {
+
+Status CafeConfig::Validate() const {
+  CAFE_RETURN_IF_ERROR(embedding.Validate());
+  if (hot_percentage < 0.0 || hot_percentage > 1.0) {
+    return Status::InvalidArgument("hot_percentage must be in [0, 1]");
+  }
+  if (slots_per_bucket == 0) {
+    return Status::InvalidArgument("slots_per_bucket must be positive");
+  }
+  if (decay_coefficient < 0.0 || decay_coefficient > 1.0) {
+    return Status::InvalidArgument("decay_coefficient must be in [0, 1]");
+  }
+  if (decay_interval == 0) {
+    return Status::InvalidArgument("decay_interval must be positive");
+  }
+  if (promote_margin < 1.0) {
+    return Status::InvalidArgument("promote_margin must be >= 1");
+  }
+  if (demotion_hysteresis <= 0.0 || demotion_hysteresis > 1.0) {
+    return Status::InvalidArgument("demotion_hysteresis must be in (0, 1]");
+  }
+  if (medium_threshold_fraction <= 0.0 || medium_threshold_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "medium_threshold_fraction must be in (0, 1)");
+  }
+  if (medium_table_fraction <= 0.0 || medium_table_fraction >= 1.0) {
+    return Status::InvalidArgument("medium_table_fraction must be in (0, 1)");
+  }
+  if (per_field_hot && field_layout.num_fields() == 0) {
+    return Status::InvalidArgument("per_field_hot requires a field layout");
+  }
+  return Status::OK();
+}
+
+StatusOr<CafeMemoryPlan> CafeMemoryPlan::Compute(const CafeConfig& config,
+                                                 size_t slot_bytes) {
+  CAFE_RETURN_IF_ERROR(config.Validate());
+  CafeMemoryPlan plan;
+  plan.budget_bytes = config.embedding.BudgetBytes();
+  const uint64_t row_bytes = config.embedding.dim * sizeof(float);
+
+  // Each hot feature costs one sketch bucket (c slots) plus one exclusive
+  // row (paper §5.3: sketch-to-embedding memory ratio 12:d per hot feature
+  // with their 12-byte buckets; we charge our actual slot footprint).
+  const uint64_t per_hot =
+      static_cast<uint64_t>(slot_bytes) * config.slots_per_bucket + row_bytes;
+  const double hot_bytes =
+      config.hot_percentage * static_cast<double>(plan.budget_bytes);
+  plan.hot_capacity = static_cast<uint64_t>(hot_bytes / per_hot);
+  // Never allocate more exclusive rows than features exist.
+  plan.hot_capacity =
+      std::min<uint64_t>(plan.hot_capacity, config.embedding.total_features);
+  plan.sketch_bytes = plan.hot_capacity *
+                      static_cast<uint64_t>(slot_bytes) *
+                      config.slots_per_bucket;
+  plan.hot_table_bytes = plan.hot_capacity * row_bytes;
+
+  const uint64_t used = plan.sketch_bytes + plan.hot_table_bytes;
+  plan.shared_bytes = plan.budget_bytes > used ? plan.budget_bytes - used : 0;
+  uint64_t shared_rows = plan.shared_bytes / row_bytes;
+  if (shared_rows == 0) {
+    // Degenerate "leave-one-out"-style budgets: keep one shared row so the
+    // non-hot path stays defined (paper Figure 15(a) "loo" point), taking
+    // the row back from the hot region if needed.
+    shared_rows = 1;
+    if (plan.hot_capacity > 0 && plan.budget_bytes < used + row_bytes) {
+      --plan.hot_capacity;
+      plan.sketch_bytes = plan.hot_capacity *
+                          static_cast<uint64_t>(slot_bytes) *
+                          config.slots_per_bucket;
+      plan.hot_table_bytes = plan.hot_capacity * row_bytes;
+    }
+    plan.shared_bytes = row_bytes;
+  }
+  if (config.use_multi_level && shared_rows >= 2) {
+    plan.shared_rows_b = std::max<uint64_t>(
+        1, static_cast<uint64_t>(config.medium_table_fraction *
+                                 static_cast<double>(shared_rows)));
+    plan.shared_rows_a = shared_rows - plan.shared_rows_b;
+  } else {
+    plan.shared_rows_a = shared_rows;
+    plan.shared_rows_b = 0;
+  }
+  if (plan.hot_capacity == 0 && plan.shared_rows_a == 0) {
+    return Status::ResourceExhausted("cafe: budget below one embedding row");
+  }
+  return plan;
+}
+
+}  // namespace cafe

@@ -1,0 +1,107 @@
+#ifndef CAFE_CORE_CAFE_CONFIG_H_
+#define CAFE_CORE_CAFE_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "embed/embedding_store.h"
+
+namespace cafe {
+
+/// How CAFE measures feature importance (paper §5.3, Figure 15(d)):
+/// gradient L2 norms (the paper's choice, theoretically motivated in
+/// §3.5.2) or raw occurrence frequency (the ablation).
+enum class ImportanceMetric {
+  kGradNorm,
+  kFrequency,
+};
+
+/// Full configuration of a CafeEmbedding.
+struct CafeConfig {
+  /// Base sizing: feature count, dimension, compression ratio, seed.
+  EmbeddingConfig embedding;
+
+  /// Fraction of the memory budget given to HotSketch + the exclusive
+  /// (hot) table; the rest goes to the shared hash table(s). The paper
+  /// finds ~0.7 optimal across compression ratios (§5.3, Figure 15(a)).
+  double hot_percentage = 0.7;
+
+  /// Slots per HotSketch bucket; the paper uses 4 (§4).
+  uint32_t slots_per_bucket = 4;
+
+  /// Importance-score threshold above which a feature becomes hot
+  /// (§3.3). Only used when auto_threshold is false; the paper tunes it
+  /// per dataset (500 on Criteo at 1000x, Figure 15(b)).
+  double hot_threshold = 500.0;
+
+  /// When true (default), the threshold is re-derived at every maintenance
+  /// tick as the score of the (hot capacity)-th hottest sketch entry, which
+  /// keeps the exclusive table saturated at any scale without hand-tuning —
+  /// the saturation goal the paper describes ("the threshold is meticulously
+  /// set, allowing HotSketch to always saturate with hot features").
+  bool auto_threshold = true;
+
+  /// Multiplicative score decay applied every decay_interval iterations
+  /// (§3.3 / Figure 15(c); 0.98 is the paper's best on Criteo).
+  double decay_coefficient = 0.98;
+
+  /// Iterations between maintenance ticks (decay + demotion scan +
+  /// threshold refresh).
+  uint64_t decay_interval = 1000;
+
+  /// When the exclusive table is full, a promotion candidate replaces the
+  /// currently weakest hot feature if its guaranteed score exceeds the
+  /// weakest one's by this factor. Competitive swapping lets the true hot
+  /// set displace cold-start occupants without waiting for decay.
+  double promote_margin = 1.5;
+
+  /// In auto-threshold mode, a hot feature is demoted only when its score
+  /// falls below hysteresis * threshold. Without slack, the kth-largest
+  /// threshold sits exactly on the boundary of the hot set and sketch
+  /// overestimation noise would demote/promote features every tick,
+  /// discarding their learned embeddings each time.
+  double demotion_hysteresis = 0.5;
+
+  /// Enables multi-level (2-level) hash embedding for non-hot features
+  /// (§3.4): medium features pool two rows from two tables, cold features
+  /// read one row from the first table. "CAFE-ML" in the paper.
+  bool use_multi_level = false;
+
+  /// Medium-feature threshold as a fraction of the hot threshold.
+  double medium_threshold_fraction = 0.2;
+
+  /// Share of the non-hot memory given to the second (medium-only) table.
+  double medium_table_fraction = 1.0 / 3.0;
+
+  /// Importance metric (Figure 15(d) ablation).
+  ImportanceMetric importance = ImportanceMetric::kGradNorm;
+
+  /// When non-empty together with per_field_hot, splits the exclusive table
+  /// into per-field sub-tables sized by cardinality (the ablation the paper
+  /// shows is WORSE than one global table, Figure 15(d)).
+  bool per_field_hot = false;
+  FieldLayout field_layout;
+
+  Status Validate() const;
+};
+
+/// The derived memory plan: how the byte budget splits into sketch, hot
+/// table and shared table(s). Computed by CafeMemoryPlan::Compute and
+/// exposed so benches (and the offline-separation control) can mirror
+/// CAFE's split exactly.
+struct CafeMemoryPlan {
+  uint64_t budget_bytes = 0;
+  uint64_t hot_capacity = 0;    ///< exclusive rows == sketch buckets
+  uint64_t sketch_bytes = 0;
+  uint64_t hot_table_bytes = 0;
+  uint64_t shared_rows_a = 0;   ///< first (cold+medium) hash table rows
+  uint64_t shared_rows_b = 0;   ///< second (medium-only) table rows
+  uint64_t shared_bytes = 0;
+
+  static StatusOr<CafeMemoryPlan> Compute(const CafeConfig& config,
+                                          size_t slot_bytes);
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_CORE_CAFE_CONFIG_H_

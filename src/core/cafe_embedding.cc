@@ -1,0 +1,323 @@
+#include "core/cafe_embedding.h"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace cafe {
+
+StatusOr<std::unique_ptr<CafeEmbedding>> CafeEmbedding::Create(
+    const CafeConfig& config) {
+  auto plan = CafeMemoryPlan::Compute(config, sizeof(HotSketch::Slot));
+  if (!plan.ok()) return plan.status();
+  return std::unique_ptr<CafeEmbedding>(
+      new CafeEmbedding(config, plan.value()));
+}
+
+CafeEmbedding::CafeEmbedding(const CafeConfig& config,
+                             const CafeMemoryPlan& plan)
+    : config_(config),
+      plan_(plan),
+      sketch_(std::move(HotSketch::Create(HotSketchConfig{
+                            /*num_buckets=*/std::max<uint64_t>(
+                                1, plan.hot_capacity),
+                            /*slots_per_bucket=*/config.slots_per_bucket,
+                            /*seed=*/config.embedding.seed ^ 0x5ce7cULL})
+                            .value())),
+      hash_a_(config.embedding.seed ^ 0xaaULL),
+      hash_b_(config.embedding.seed ^ 0xbbULL),
+      hot_table_(plan.hot_capacity * config.embedding.dim),
+      shared_a_(plan.shared_rows_a * config.embedding.dim),
+      shared_b_(plan.shared_rows_b * config.embedding.dim) {
+  Rng rng(config.embedding.seed);
+  const float bound = embed_internal::InitBound(config.embedding.dim);
+  for (float& w : shared_a_) w = rng.UniformFloat(-bound, bound);
+  if (config.use_multi_level) {
+    // Table-B rows start at zero so a fresh medium feature's pooled
+    // embedding equals its previous cold embedding (smooth class change).
+    std::fill(shared_b_.begin(), shared_b_.end(), 0.0f);
+  }
+  free_rows_.reserve(plan.hot_capacity);
+  for (uint64_t r = plan.hot_capacity; r-- > 0;) {
+    free_rows_.push_back(static_cast<int32_t>(r));
+  }
+  row_prev_score_.assign(plan.hot_capacity, 0.0f);
+
+  if (config.per_field_hot) {
+    // Partition exclusive rows across fields proportionally to cardinality
+    // (the ablation design; the default single pool lets importance decide).
+    const uint64_t total = config.field_layout.total_features();
+    const size_t fields = config.field_layout.num_fields();
+    field_quota_.assign(fields, 0);
+    field_used_.assign(fields, 0);
+    uint64_t assigned = 0;
+    for (size_t f = 0; f < fields; ++f) {
+      field_quota_[f] = plan.hot_capacity *
+                        config.field_layout.cardinality(f) / std::max<uint64_t>(total, 1);
+      assigned += field_quota_[f];
+    }
+    // Distribute rounding leftovers round-robin.
+    for (size_t f = 0; assigned < plan.hot_capacity; f = (f + 1) % fields) {
+      ++field_quota_[f];
+      ++assigned;
+    }
+  }
+
+  if (config.auto_threshold) {
+    // No promotions before the first maintenance tick: by then the sketch
+    // has seen decay_interval iterations of importance mass, so the first
+    // occupants of the exclusive table are already plausible hot features
+    // rather than whichever ids arrived in the first batch.
+    hot_threshold_ = std::numeric_limits<double>::infinity();
+  } else {
+    hot_threshold_ = config.hot_threshold;
+  }
+  medium_threshold_ = hot_threshold_ * config.medium_threshold_fraction;
+}
+
+void CafeEmbedding::SharedLookup(uint64_t id, bool medium, float* out) const {
+  const uint32_t d = config_.embedding.dim;
+  const float* a =
+      shared_a_.data() + hash_a_.Bounded(id, plan_.shared_rows_a) * d;
+  if (medium && plan_.shared_rows_b > 0) {
+    const float* b =
+        shared_b_.data() + hash_b_.Bounded(id, plan_.shared_rows_b) * d;
+    for (uint32_t i = 0; i < d; ++i) out[i] = a[i] + b[i];
+  } else {
+    std::memcpy(out, a, d * sizeof(float));
+  }
+}
+
+void CafeEmbedding::Lookup(uint64_t id, float* out) {
+  const HotSketch::Slot* slot = sketch_.Find(id);
+  if (slot != nullptr && slot->payload >= 0) {
+    std::memcpy(out,
+                hot_table_.data() +
+                    static_cast<size_t>(slot->payload) * config_.embedding.dim,
+                config_.embedding.dim * sizeof(float));
+    ++lookup_stats_.hot;
+    return;
+  }
+  const bool medium = config_.use_multi_level && slot != nullptr &&
+                      slot->GuaranteedScore() >= medium_threshold_;
+  SharedLookup(id, medium, out);
+  if (medium) {
+    ++lookup_stats_.medium;
+  } else {
+    ++lookup_stats_.cold;
+  }
+}
+
+CafeEmbedding::Path CafeEmbedding::ClassifyForTest(uint64_t id) const {
+  const HotSketch::Slot* slot = sketch_.Find(id);
+  if (slot != nullptr && slot->payload >= 0) return Path::kHot;
+  if (config_.use_multi_level && slot != nullptr &&
+      slot->GuaranteedScore() >= medium_threshold_) {
+    return Path::kMedium;
+  }
+  return Path::kCold;
+}
+
+size_t CafeEmbedding::FieldQuotaIndex(uint64_t id) const {
+  return config_.field_layout.FieldOf(id);
+}
+
+bool CafeEmbedding::TryPromote(uint64_t id, HotSketch::Slot* slot) {
+  if (free_rows_.empty()) return false;
+  size_t field = 0;
+  if (config_.per_field_hot) {
+    field = FieldQuotaIndex(id);
+    if (field_used_[field] >= field_quota_[field]) return false;
+  }
+  const int32_t row = free_rows_.back();
+  free_rows_.pop_back();
+  if (config_.per_field_hot) ++field_used_[field];
+  // Migration initialization: copy the feature's current shared embedding
+  // so its representation evolves smoothly across the promotion (§3.3).
+  const bool was_medium = config_.use_multi_level &&
+                          slot->GuaranteedScore() >= medium_threshold_;
+  SharedLookup(id, was_medium,
+               hot_table_.data() +
+                   static_cast<size_t>(row) * config_.embedding.dim);
+  slot->payload = row;
+  ++migrations_;
+  return true;
+}
+
+void CafeEmbedding::FreeRow(int32_t row) {
+  CAFE_DCHECK(row >= 0 &&
+              static_cast<uint64_t>(row) < plan_.hot_capacity);
+  free_rows_.push_back(row);
+}
+
+void CafeEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
+  const uint32_t d = config_.embedding.dim;
+  double importance;
+  if (config_.importance == ImportanceMetric::kFrequency) {
+    importance = 1.0;
+  } else {
+    double norm_sq = 0.0;
+    for (uint32_t i = 0; i < d; ++i) {
+      norm_sq += static_cast<double>(grad[i]) * grad[i];
+    }
+    importance = std::sqrt(norm_sq);
+  }
+
+  HotSketch::InsertResult res = sketch_.Insert(id, importance);
+  if (res.evicted && res.evicted_payload >= 0) {
+    // A hot feature lost its sketch slot: its exclusive row is recycled and
+    // it silently degrades to the shared path (§3.3 exit-by-eviction).
+    FreeRow(res.evicted_payload);
+    if (config_.per_field_hot) {
+      --field_used_[FieldQuotaIndex(res.evicted_key)];
+    }
+    ++demotions_;
+  }
+  CAFE_DCHECK(res.slot_index >= 0);
+  HotSketch::Slot* slot = &sketch_.slot_at(res.slot_index);
+
+  // Promotion gates on the guaranteed score so SpaceSaving inheritance
+  // inflation cannot push arbitrary tail features into the hot set. When
+  // the table is full, a candidate takes the row of the hot feature with
+  // the smallest last-interval growth, provided the candidate's guaranteed
+  // accumulation clearly beats that growth — candidates survive in the
+  // sketch only briefly, so their guaranteed score underestimates their
+  // rate and a win is an honest win.
+  if (slot->payload < 0 && slot->GuaranteedScore() >= hot_threshold_) {
+    if (!TryPromote(id, slot) && !config_.per_field_hot) {
+      while (victim_idx_ < victim_queue_.size()) {
+        const auto [growth, victim_index] = victim_queue_[victim_idx_];
+        if (victim_index == res.slot_index) break;  // cannot evict self
+        HotSketch::Slot& victim = sketch_.slot_at(victim_index);
+        if (victim.payload < 0) {
+          ++victim_idx_;  // already demoted through another path
+          continue;
+        }
+        if (slot->GuaranteedScore() >
+            std::max(growth * config_.promote_margin, 1e-12)) {
+          FreeRow(victim.payload);
+          victim.payload = HotSketch::kNoPayload;
+          ++demotions_;
+          ++victim_idx_;
+          TryPromote(id, slot);
+        }
+        break;
+      }
+    }
+  }
+
+  if (slot->payload >= 0) {
+    float* row =
+        hot_table_.data() + static_cast<size_t>(slot->payload) * d;
+    for (uint32_t i = 0; i < d; ++i) row[i] -= lr * grad[i];
+    return;
+  }
+  float* a = shared_a_.data() + hash_a_.Bounded(id, plan_.shared_rows_a) * d;
+  const bool medium = config_.use_multi_level &&
+                      slot->GuaranteedScore() >= medium_threshold_;
+  if (medium && plan_.shared_rows_b > 0) {
+    // Pooled-by-sum embedding: the gradient flows to both rows unchanged.
+    float* b = shared_b_.data() + hash_b_.Bounded(id, plan_.shared_rows_b) * d;
+    for (uint32_t i = 0; i < d; ++i) {
+      a[i] -= lr * grad[i];
+      b[i] -= lr * grad[i];
+    }
+  } else {
+    for (uint32_t i = 0; i < d; ++i) a[i] -= lr * grad[i];
+  }
+}
+
+void CafeEmbedding::RefreshVictimQueue() {
+  victim_queue_.clear();
+  victim_idx_ = 0;
+  const size_t capacity = sketch_.capacity();
+  for (size_t i = 0; i < capacity; ++i) {
+    const HotSketch::Slot& s = sketch_.slots()[i];
+    if (s.key == HotSketch::kEmptyKey || s.payload < 0) continue;
+    const double growth =
+        static_cast<double>(s.score) - row_prev_score_[s.payload];
+    victim_queue_.emplace_back(growth, static_cast<int64_t>(i));
+  }
+  std::sort(victim_queue_.begin(), victim_queue_.end());
+  // Snapshot scores for the next interval's growth measurement.
+  for (size_t i = 0; i < capacity; ++i) {
+    const HotSketch::Slot& s = sketch_.slots()[i];
+    if (s.key != HotSketch::kEmptyKey && s.payload >= 0) {
+      row_prev_score_[s.payload] = s.score;
+    }
+  }
+}
+
+void CafeEmbedding::RefreshThresholds() {
+  // Auto mode: keep the exclusive table saturated — the threshold is the
+  // score of the (hot capacity)-th hottest sketch entry.
+  std::vector<double> scores;
+  scores.reserve(sketch_.capacity());
+  for (const HotSketch::Slot& s : sketch_.slots()) {
+    if (s.key != HotSketch::kEmptyKey) {
+      scores.push_back(s.GuaranteedScore());
+    }
+  }
+  if (scores.size() <= plan_.hot_capacity || plan_.hot_capacity == 0) {
+    hot_threshold_ = 1e-12;
+  } else {
+    std::nth_element(scores.begin(), scores.begin() + (plan_.hot_capacity - 1),
+                     scores.end(), std::greater<double>());
+    hot_threshold_ = scores[plan_.hot_capacity - 1];
+  }
+  medium_threshold_ = hot_threshold_ * config_.medium_threshold_fraction;
+}
+
+void CafeEmbedding::Tick() {
+  ++iteration_;
+  if (iteration_ % config_.decay_interval != 0) return;
+
+  // Measure per-row growth over the closing interval BEFORE decay so the
+  // victim queue reflects pure traffic, then decay and refresh thresholds.
+  RefreshVictimQueue();
+  sketch_.Decay(config_.decay_coefficient);
+  if (config_.auto_threshold) {
+    RefreshThresholds();
+  } else {
+    medium_threshold_ = hot_threshold_ * config_.medium_threshold_fraction;
+  }
+
+  // Demotion scan: hot features whose decayed score fell below the
+  // threshold give their exclusive row back; the shared row serves again
+  // (the paper discards the exclusive embedding on demotion). Auto mode
+  // applies hysteresis so boundary features do not thrash.
+  const double demote_below =
+      config_.auto_threshold
+          ? hot_threshold_ * config_.demotion_hysteresis
+          : hot_threshold_;
+  const size_t capacity = sketch_.capacity();
+  for (size_t i = 0; i < capacity; ++i) {
+    HotSketch::Slot& s = sketch_.slot_at(i);
+    if (s.key != HotSketch::kEmptyKey && s.payload >= 0 &&
+        s.GuaranteedScore() < demote_below) {
+      FreeRow(s.payload);
+      if (config_.per_field_hot) --field_used_[FieldQuotaIndex(s.key)];
+      s.payload = HotSketch::kNoPayload;
+      ++demotions_;
+    }
+  }
+  // Re-snapshot after decay so next interval's growth is decay-consistent.
+  for (size_t i = 0; i < capacity; ++i) {
+    const HotSketch::Slot& s = sketch_.slots()[i];
+    if (s.key != HotSketch::kEmptyKey && s.payload >= 0) {
+      row_prev_score_[s.payload] = s.score;
+    }
+  }
+}
+
+size_t CafeEmbedding::MemoryBytes() const {
+  return sketch_.MemoryBytes() +
+         (hot_table_.size() + shared_a_.size() + shared_b_.size()) *
+             sizeof(float);
+}
+
+}  // namespace cafe

@@ -1,0 +1,130 @@
+#ifndef CAFE_CORE_CAFE_EMBEDDING_H_
+#define CAFE_CORE_CAFE_EMBEDDING_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/cafe_config.h"
+#include "embed/embedding_store.h"
+#include "sketch/hot_sketch.h"
+
+namespace cafe {
+
+/// CAFE: the paper's Compact, Adaptive, Fast embedding layer (§3).
+///
+/// A HotSketch tracks per-feature importance (gradient L2 norms). Features
+/// whose score exceeds the hot threshold own an exclusive row in the hot
+/// table (the sketch slot's payload stores the row index, standing in for
+/// the paper's pointer); everything else shares rows of hash table A, and —
+/// with multi-level enabled (§3.4) — features above the medium threshold
+/// additionally pool a row from hash table B.
+///
+/// Migration (§3.3):
+///  - promotion happens inline in ApplyGradient when a feature's score
+///    crosses the hot threshold: its current shared embedding is copied into
+///    the claimed exclusive row so learning stays smooth;
+///  - demotion happens when scores fall below the threshold after periodic
+///    decay (Tick) or when the sketch evicts the feature; the exclusive row
+///    is simply discarded and the shared row serves again.
+///
+/// Thresholds: fixed (paper Figure 15(b) sweep) or auto-derived at each
+/// maintenance tick so the hot table stays saturated (default).
+class CafeEmbedding : public EmbeddingStore {
+ public:
+  /// Forward-path classification, exposed for stats and tests.
+  enum class Path { kHot, kMedium, kCold };
+
+  struct PathStats {
+    uint64_t hot = 0;
+    uint64_t medium = 0;
+    uint64_t cold = 0;
+  };
+
+  static StatusOr<std::unique_ptr<CafeEmbedding>> Create(
+      const CafeConfig& config);
+
+  uint32_t dim() const override { return config_.embedding.dim; }
+  void Lookup(uint64_t id, float* out) override;
+  void ApplyGradient(uint64_t id, const float* grad, float lr) override;
+  void Tick() override;
+  size_t MemoryBytes() const override;
+  std::string Name() const override {
+    return config_.use_multi_level ? "cafe-ml" : "cafe";
+  }
+
+  /// Classification a lookup of `id` would take right now.
+  Path ClassifyForTest(uint64_t id) const;
+
+  const CafeConfig& config() const { return config_; }
+  const CafeMemoryPlan& plan() const { return plan_; }
+  const HotSketch& sketch() const { return sketch_; }
+  double hot_threshold() const { return hot_threshold_; }
+  double medium_threshold() const { return medium_threshold_; }
+  /// Currently allocated exclusive rows.
+  uint64_t hot_count() const {
+    return plan_.hot_capacity - free_rows_.size();
+  }
+  uint64_t migrations() const { return migrations_; }
+  uint64_t demotions() const { return demotions_; }
+  const PathStats& lookup_stats() const { return lookup_stats_; }
+  void ResetLookupStats() { lookup_stats_ = PathStats{}; }
+
+ private:
+  CafeEmbedding(const CafeConfig& config, const CafeMemoryPlan& plan);
+
+  /// Writes the shared-table representation of `id` (used for cold/medium
+  /// lookups and as migration initialization).
+  void SharedLookup(uint64_t id, bool medium, float* out) const;
+
+  /// Tries to claim an exclusive row for the feature in `slot`; returns
+  /// true and installs the payload on success.
+  bool TryPromote(uint64_t id, HotSketch::Slot* slot);
+
+  void FreeRow(int32_t row);
+
+  /// Refreshes hot/medium thresholds from current sketch contents
+  /// (auto-threshold mode).
+  void RefreshThresholds();
+
+  /// Rebuilds the swap-victim queue from per-interval hot-slot growth.
+  void RefreshVictimQueue();
+
+  size_t FieldQuotaIndex(uint64_t id) const;
+
+  CafeConfig config_;
+  CafeMemoryPlan plan_;
+  HotSketch sketch_;
+  SeededHash hash_a_;
+  SeededHash hash_b_;
+
+  std::vector<float> hot_table_;    // hot_capacity x dim
+  std::vector<float> shared_a_;     // shared_rows_a x dim
+  std::vector<float> shared_b_;     // shared_rows_b x dim (multi-level)
+  std::vector<int32_t> free_rows_;
+
+  // Per-field exclusive-row quotas (Figure 15(d) ablation); empty when
+  // per_field_hot is off.
+  std::vector<uint64_t> field_quota_;
+  std::vector<uint64_t> field_used_;
+
+  double hot_threshold_ = 0.0;
+  double medium_threshold_ = 0.0;
+  // Per-row sketch score at the last maintenance tick. Hot slots are
+  // protected from eviction, so (score - prev) over one interval is exactly
+  // the feature's own importance traffic — the honest baseline candidates
+  // must beat to take the row.
+  std::vector<float> row_prev_score_;
+  // Hot slots ordered by last-interval growth (ascending): the swap-victim
+  // queue for competitive promotion. Rebuilt at every tick.
+  std::vector<std::pair<double, int64_t>> victim_queue_;
+  size_t victim_idx_ = 0;
+  uint64_t iteration_ = 0;
+  uint64_t migrations_ = 0;
+  uint64_t demotions_ = 0;
+  PathStats lookup_stats_;
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_CORE_CAFE_EMBEDDING_H_

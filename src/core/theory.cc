@@ -1,0 +1,51 @@
+#include "core/theory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cafe {
+namespace theory {
+
+namespace {
+double Clamp01(double p) { return std::clamp(p, 0.0, 1.0); }
+}  // namespace
+
+double HoldProbabilityLowerBound(uint64_t w, uint32_t c, double gamma) {
+  CAFE_CHECK(c >= 2) << "bound requires at least 2 slots per bucket";
+  CAFE_CHECK(gamma > 0.0 && gamma < 1.0);
+  const double denom = (static_cast<double>(c) - 1.0) * gamma *
+                       static_cast<double>(w);
+  return Clamp01(1.0 - (1.0 - gamma) / denom);
+}
+
+double ZipfHoldProbabilityLowerBound(uint64_t w, uint32_t c, double gamma,
+                                     double z) {
+  CAFE_CHECK(c >= 2) << "bound requires at least 2 slots per bucket";
+  CAFE_CHECK(gamma > 0.0 && gamma < 1.0);
+  CAFE_CHECK(z > 1.0) << "Theorem 3.3 assumes z > 1";
+  // sup over eta of 3^-eta * (1 - eta / ((c-1) gamma (eta w)^z)), evaluated
+  // on a log grid spanning eta in [1e-6, 64].
+  double best = 0.0;
+  const double log_lo = std::log(1e-6);
+  const double log_hi = std::log(64.0);
+  constexpr int kSteps = 4000;
+  for (int i = 0; i <= kSteps; ++i) {
+    const double eta =
+        std::exp(log_lo + (log_hi - log_lo) * i / static_cast<double>(kSteps));
+    const double denom = (static_cast<double>(c) - 1.0) * gamma *
+                         std::pow(eta * static_cast<double>(w), z);
+    const double value = std::pow(3.0, -eta) * (1.0 - eta / denom);
+    best = std::max(best, value);
+  }
+  return Clamp01(best);
+}
+
+double OptimalSlotsPerBucket(double z) {
+  CAFE_CHECK(z > 1.0) << "Corollary 3.5 requires z > 1";
+  return 1.0 + 1.0 / (z - 1.0);
+}
+
+}  // namespace theory
+}  // namespace cafe

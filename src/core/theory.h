@@ -1,0 +1,33 @@
+#ifndef CAFE_CORE_THEORY_H_
+#define CAFE_CORE_THEORY_H_
+
+#include <cstdint>
+
+namespace cafe {
+
+/// Numeric evaluation of the paper's HotSketch guarantees (§3.5.1). Used by
+/// bench/fig7_theory to regenerate Figure 7 and by tests to cross-check the
+/// sketch's empirical recall against theory.
+namespace theory {
+
+/// Theorem 3.1 (distribution-free): lower bound on the probability that a
+/// feature carrying a `gamma` share of the total importance mass is held by
+/// a HotSketch with `w` buckets and `c` slots per bucket.
+/// Pr > 1 - (1-gamma) / ((c-1) * gamma * w). Clamped to [0, 1].
+double HoldProbabilityLowerBound(uint64_t w, uint32_t c, double gamma);
+
+/// Theorem 3.3 (Zipf(z) streams): lower bound
+///   Pr > sup_{eta>0} 3^{-eta} * (1 - eta / ((c-1) * gamma * (eta*w)^z)).
+/// The supremum is evaluated numerically on a log-spaced eta grid.
+/// Clamped to [0, 1].
+double ZipfHoldProbabilityLowerBound(uint64_t w, uint32_t c, double gamma,
+                                     double z);
+
+/// Corollary 3.5: the recall-optimal slots-per-bucket under a fixed memory
+/// budget for a Zipf(z) stream, c* = 1 + 1/(z-1). Requires z > 1.
+double OptimalSlotsPerBucket(double z);
+
+}  // namespace theory
+}  // namespace cafe
+
+#endif  // CAFE_CORE_THEORY_H_

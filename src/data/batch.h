@@ -1,0 +1,33 @@
+#ifndef CAFE_DATA_BATCH_H_
+#define CAFE_DATA_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cafe {
+
+/// A zero-copy view over a contiguous run of dataset samples. Categorical
+/// ids are GLOBAL (field offsets already applied), matching CAFE's single
+/// table across fields.
+struct Batch {
+  size_t batch_size = 0;
+  size_t num_fields = 0;
+  size_t num_numerical = 0;
+  /// batch_size * num_fields ids, sample-major.
+  const uint32_t* categorical = nullptr;
+  /// batch_size * num_numerical values, sample-major (nullptr if none).
+  const float* numerical = nullptr;
+  /// batch_size labels in {0, 1}.
+  const float* labels = nullptr;
+
+  const uint32_t* sample_categorical(size_t b) const {
+    return categorical + b * num_fields;
+  }
+  const float* sample_numerical(size_t b) const {
+    return numerical + b * num_numerical;
+  }
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_DATA_BATCH_H_

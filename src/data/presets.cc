@@ -1,0 +1,98 @@
+#include "data/presets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace cafe {
+
+double BenchScale() {
+  const char* env = std::getenv("CAFE_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+std::vector<uint64_t> GeometricCardinalities(size_t num_fields,
+                                             uint64_t total_features,
+                                             double ratio) {
+  std::vector<double> weights(num_fields);
+  double sum = 0.0;
+  for (size_t f = 0; f < num_fields; ++f) {
+    weights[f] = std::pow(ratio, static_cast<double>(f));
+    sum += weights[f];
+  }
+  std::vector<uint64_t> cards(num_fields);
+  for (size_t f = 0; f < num_fields; ++f) {
+    cards[f] = std::max<uint64_t>(
+        2, static_cast<uint64_t>(weights[f] / sum *
+                                 static_cast<double>(total_features)));
+  }
+  return cards;
+}
+
+namespace {
+
+uint64_t ScaledSamples(uint64_t base) {
+  return static_cast<uint64_t>(static_cast<double>(base) * BenchScale());
+}
+
+}  // namespace
+
+DatasetPreset AvazuLikePreset() {
+  DatasetPreset preset;
+  preset.data.name = "avazu-like";
+  preset.data.field_cardinalities = GeometricCardinalities(10, 15000, 0.72);
+  preset.data.num_numerical = 0;
+  preset.data.num_samples = ScaledSamples(60000);
+  preset.data.num_days = 10;
+  preset.data.zipf_z = 1.25;
+  preset.data.drift_stride_fraction = 0.005;  // strong day-to-day shift
+  preset.data.seed = 0xa5a2aULL;
+  preset.embedding_dim = 16;
+  return preset;
+}
+
+DatasetPreset CriteoLikePreset() {
+  DatasetPreset preset;
+  preset.data.name = "criteo-like";
+  preset.data.field_cardinalities = GeometricCardinalities(12, 20000, 0.65);
+  preset.data.num_numerical = 4;
+  preset.data.num_samples = ScaledSamples(90000);
+  preset.data.num_days = 7;
+  preset.data.zipf_z = 1.25;
+  preset.data.drift_stride_fraction = 0.002;
+  preset.data.seed = 0xc217e0ULL;
+  preset.embedding_dim = 16;
+  return preset;
+}
+
+DatasetPreset Kdd12LikePreset() {
+  DatasetPreset preset;
+  preset.data.name = "kdd12-like";
+  preset.data.field_cardinalities = GeometricCardinalities(8, 20000, 0.62);
+  preset.data.num_numerical = 0;
+  preset.data.num_samples = ScaledSamples(70000);
+  preset.data.num_days = 1;  // no temporal information in KDD12
+  preset.data.zipf_z = 1.3;
+  preset.data.drift_stride_fraction = 0.0;
+  preset.data.seed = 0xadd12ULL;
+  preset.embedding_dim = 32;
+  return preset;
+}
+
+DatasetPreset CriteoTbLikePreset() {
+  DatasetPreset preset;
+  preset.data.name = "criteotb-like";
+  preset.data.field_cardinalities = GeometricCardinalities(12, 60000, 0.65);
+  preset.data.num_numerical = 4;
+  preset.data.num_samples = ScaledSamples(80000);
+  preset.data.num_days = 24;
+  preset.data.zipf_z = 1.3;
+  preset.data.drift_stride_fraction = 0.002;
+  preset.data.seed = 0x7b7b7bULL;
+  preset.embedding_dim = 32;
+  return preset;
+}
+
+}  // namespace cafe

@@ -1,0 +1,61 @@
+#ifndef CAFE_DATA_PRESETS_H_
+#define CAFE_DATA_PRESETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/synthetic.h"
+
+namespace cafe {
+
+/// A synthetic analog of one of the paper's Table 2 datasets, scaled to
+/// single-core bench budgets (see DESIGN.md §3 for the substitution
+/// rationale; cardinalities follow the same few-huge-fields/many-small
+/// shape as the originals, and skew/drift/dim relationships between the
+/// four presets mirror the paper's).
+///
+/// Calibration note: the Zipf exponents here (1.25-1.3) are higher than
+/// the paper's measured 1.05-1.1 because what the experiments actually
+/// depend on is the TRAFFIC COVERAGE of the top-0.1%..1% of features, and
+/// coverage at fixed z grows with catalog size. At 10^7-10^8 features and
+/// z=1.05 the hot sets in the paper cover 30-50% of traffic; reproducing
+/// that coverage at our 10^4-10^5-feature scale requires z around 1.25.
+struct DatasetPreset {
+  SyntheticDatasetConfig data;
+  /// Embedding dimension the paper uses for this dataset (scaled: the paper
+  /// uses 16/16/64/128 — we keep 16 for the small sets and 32 for the large
+  /// ones so the dim-dependent feasibility effects remain visible).
+  uint32_t embedding_dim = 16;
+};
+
+/// 10 fields, no numerical, 10 days, pronounced drift (paper Fig. 2 shows
+/// Avazu's day distributions diverge most).
+DatasetPreset AvazuLikePreset();
+
+/// 12 categorical + 4 numerical fields, 7 days (field count scaled down
+/// with the catalog so per-field signal density stays in the regime where
+/// one online pass learns, as on the real data).
+DatasetPreset CriteoLikePreset();
+
+/// 8 fields, no temporal structure (shuffle after generation).
+DatasetPreset Kdd12LikePreset();
+
+/// 12 categorical + 4 numerical fields, 24 days,
+/// the largest preset — the "extremely large-scale" analog.
+DatasetPreset CriteoTbLikePreset();
+
+/// Sample-count multiplier read from the CAFE_BENCH_SCALE environment
+/// variable (default 1.0), letting users rerun every bench at larger scale
+/// without recompiling.
+double BenchScale();
+
+/// Geometric cardinality profile: `num_fields` fields whose cardinalities
+/// decay by `ratio` and sum to ~`total_features` (min 2 per field) — the
+/// few-huge-fields shape of real CTR datasets.
+std::vector<uint64_t> GeometricCardinalities(size_t num_fields,
+                                             uint64_t total_features,
+                                             double ratio);
+
+}  // namespace cafe
+
+#endif  // CAFE_DATA_PRESETS_H_

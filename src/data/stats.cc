@@ -1,0 +1,66 @@
+#include "data/stats.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cafe {
+
+double KlDivergence(const std::unordered_map<uint64_t, uint64_t>& p_counts,
+                    const std::unordered_map<uint64_t, uint64_t>& q_counts) {
+  // Union support with epsilon smoothing so KL stays finite when a feature
+  // appears on one day only (common under drift).
+  std::unordered_map<uint64_t, uint64_t> support(p_counts);
+  for (const auto& [key, count] : q_counts) support.try_emplace(key, 0);
+
+  double p_total = 0.0, q_total = 0.0;
+  for (const auto& [key, count] : p_counts) p_total += count;
+  for (const auto& [key, count] : q_counts) q_total += count;
+  CAFE_CHECK(p_total > 0 && q_total > 0) << "empty distribution";
+
+  const double eps = 0.5;  // Jeffreys-style half-count smoothing
+  const double support_size = static_cast<double>(support.size());
+  const double p_denom = p_total + eps * support_size;
+  const double q_denom = q_total + eps * support_size;
+
+  double kl = 0.0;
+  for (const auto& [key, unused] : support) {
+    auto p_it = p_counts.find(key);
+    auto q_it = q_counts.find(key);
+    const double p = ((p_it != p_counts.end() ? p_it->second : 0) + eps) /
+                     p_denom;
+    const double q = ((q_it != q_counts.end() ? q_it->second : 0) + eps) /
+                     q_denom;
+    kl += p * std::log(p / q);
+  }
+  return kl;
+}
+
+std::vector<std::unordered_map<uint64_t, uint64_t>> DayFeatureCounts(
+    const SyntheticCtrDataset& dataset) {
+  std::vector<std::unordered_map<uint64_t, uint64_t>> counts(
+      dataset.num_days());
+  for (uint32_t day = 0; day < dataset.num_days(); ++day) {
+    for (const auto& [feature, count] : dataset.FeatureFrequencies(
+             dataset.day_begin(day), dataset.day_end(day))) {
+      counts[day][feature] = count;
+    }
+  }
+  return counts;
+}
+
+std::vector<std::vector<double>> DayKlMatrix(
+    const SyntheticCtrDataset& dataset) {
+  const auto counts = DayFeatureCounts(dataset);
+  const size_t days = counts.size();
+  std::vector<std::vector<double>> matrix(days,
+                                          std::vector<double>(days, 0.0));
+  for (size_t i = 0; i < days; ++i) {
+    for (size_t j = 0; j < days; ++j) {
+      if (i != j) matrix[i][j] = KlDivergence(counts[i], counts[j]);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace cafe

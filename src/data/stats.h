@@ -1,0 +1,29 @@
+#ifndef CAFE_DATA_STATS_H_
+#define CAFE_DATA_STATS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "data/synthetic.h"
+
+namespace cafe {
+
+/// KL divergence KL(P || Q) between two empirical categorical distributions
+/// given as count maps, with epsilon smoothing over the union support (the
+/// paper's Figure 2 heatmap measure; KL is asymmetric).
+double KlDivergence(const std::unordered_map<uint64_t, uint64_t>& p_counts,
+                    const std::unordered_map<uint64_t, uint64_t>& q_counts);
+
+/// Per-day feature-occurrence counts of a dataset.
+std::vector<std::unordered_map<uint64_t, uint64_t>> DayFeatureCounts(
+    const SyntheticCtrDataset& dataset);
+
+/// Full day-by-day KL matrix (entry [i][j] = KL(day_i || day_j)),
+/// reproducing Figure 2 as numbers.
+std::vector<std::vector<double>> DayKlMatrix(
+    const SyntheticCtrDataset& dataset);
+
+}  // namespace cafe
+
+#endif  // CAFE_DATA_STATS_H_

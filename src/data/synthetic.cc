@@ -1,0 +1,286 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/zipf.h"
+#include "nn/activation.h"
+
+namespace cafe {
+namespace {
+
+// Deterministic teacher weight for a global feature id: uniform in
+// [-sqrt(3), sqrt(3)] (unit variance), derived purely from the hash so no
+// per-feature storage is needed.
+float TeacherWeight(uint64_t gid, uint64_t seed) {
+  const double u =
+      static_cast<double>(HashMix(gid, seed ^ 0x7eac4eULL) >> 11) * 0x1.0p-53;
+  return static_cast<float>((2.0 * u - 1.0) * 1.7320508075688772);
+}
+
+// Latent dimension of the second-order teacher. The teacher is a
+// factorization machine: every feature carries a hash-derived rank-4
+// latent vector and field pairs contribute dot products. This keeps the
+// planted interaction LOW-RANK, the structure dot-interaction models
+// (DLRM) and cross networks (DCN) are built to capture — hash-random pair
+// tables would be statistically unlearnable at embedding dims of 8-32.
+constexpr uint32_t kTeacherRank = 4;
+
+// Component j of feature gid's latent vector; uniform with variance 1/k so
+// pair dots have unit-order variance.
+float TeacherLatent(uint64_t gid, uint32_t j, uint64_t seed) {
+  const double u = static_cast<double>(
+                       HashMix(gid * kTeacherRank + j, seed ^ 0x1a7e7ULL) >>
+                       11) *
+                   0x1.0p-53;
+  const double scale = std::sqrt(3.0 / kTeacherRank);
+  return static_cast<float>((2.0 * u - 1.0) * scale);
+}
+
+}  // namespace
+
+Status SyntheticDatasetConfig::Validate() const {
+  if (field_cardinalities.empty()) {
+    return Status::InvalidArgument("dataset needs at least one field");
+  }
+  for (uint64_t card : field_cardinalities) {
+    if (card == 0) {
+      return Status::InvalidArgument("field cardinality must be positive");
+    }
+  }
+  if (num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be positive");
+  }
+  if (num_days == 0) {
+    return Status::InvalidArgument("num_days must be positive");
+  }
+  if (zipf_z <= 0.0) {
+    return Status::InvalidArgument("zipf_z must be positive");
+  }
+  if (drift_stride_fraction < 0.0 || drift_stride_fraction > 1.0) {
+    return Status::InvalidArgument("drift_stride_fraction must be in [0,1]");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<SyntheticCtrDataset>> SyntheticCtrDataset::Generate(
+    const SyntheticDatasetConfig& config) {
+  CAFE_RETURN_IF_ERROR(config.Validate());
+
+  auto ds = std::unique_ptr<SyntheticCtrDataset>(new SyntheticCtrDataset());
+  ds->config_ = config;
+  ds->layout_ = FieldLayout(config.field_cardinalities);
+
+  const size_t num_fields = config.field_cardinalities.size();
+  const size_t n = config.num_samples;
+  ds->categorical_.resize(n * num_fields);
+  ds->numerical_.resize(n * config.num_numerical);
+  ds->labels_.resize(n);
+
+  Rng rng(config.seed);
+
+  // Per-field popularity machinery: a Zipf sampler over ranks and a base
+  // rank->feature permutation (Fisher-Yates). Drift rotates rank indices.
+  std::vector<ZipfDistribution> zipfs;
+  std::vector<std::vector<uint32_t>> perms(num_fields);
+  std::vector<uint64_t> strides(num_fields, 0);
+  zipfs.reserve(num_fields);
+  for (size_t f = 0; f < num_fields; ++f) {
+    const uint64_t card = config.field_cardinalities[f];
+    zipfs.emplace_back(card, config.zipf_z);
+    perms[f].resize(card);
+    for (uint64_t i = 0; i < card; ++i) {
+      perms[f][i] = static_cast<uint32_t>(i);
+    }
+    for (uint64_t i = card; i > 1; --i) {
+      std::swap(perms[f][i - 1], perms[f][rng.Uniform(i)]);
+    }
+    if (config.drift_stride_fraction > 0.0 && config.num_days > 1) {
+      strides[f] = std::max<uint64_t>(
+          1, static_cast<uint64_t>(config.drift_stride_fraction *
+                                   static_cast<double>(card)));
+    }
+  }
+
+  // Numerical-feature teacher weights (fixed, hash-derived).
+  std::vector<float> num_weights(config.num_numerical);
+  for (uint32_t j = 0; j < config.num_numerical; ++j) {
+    num_weights[j] = TeacherWeight(j, config.seed ^ 0x21ULL);
+  }
+  // Field signal weights decay geometrically so fields differ in
+  // predictiveness.
+  std::vector<float> field_weight(num_fields);
+  double weight_norm_sq = 0.0;
+  for (size_t f = 0; f < num_fields; ++f) {
+    field_weight[f] =
+        static_cast<float>(std::pow(config.field_signal_decay, f));
+    weight_norm_sq += field_weight[f] * field_weight[f];
+  }
+  for (uint32_t j = 0; j < config.num_numerical; ++j) {
+    weight_norm_sq += 0.25;  // numerical features carry modest signal
+  }
+  // The FM pair-sum below is normalized to unit-order variance, so the
+  // interaction block adds interaction_strength^2 to the signal energy.
+  const size_t num_pairs = num_fields * (num_fields - 1) / 2;
+  double pair_norm = 0.0;
+  if (config.interaction_strength > 0.0 && num_pairs > 0) {
+    weight_norm_sq +=
+        config.interaction_strength * config.interaction_strength;
+    // Var of one dot ~ 1/k; of the sum of P dots ~ P/k.
+    pair_norm = std::sqrt(static_cast<double>(kTeacherRank) /
+                          static_cast<double>(num_pairs));
+  }
+  const float signal_scale = static_cast<float>(
+      config.teacher_scale / std::sqrt(std::max(weight_norm_sq, 1e-9)));
+
+  // Day boundaries: equal split.
+  ds->day_begin_.resize(config.num_days + 1);
+  for (uint32_t t = 0; t <= config.num_days; ++t) {
+    ds->day_begin_[t] = n * t / config.num_days;
+  }
+
+  for (uint32_t day = 0; day < config.num_days; ++day) {
+    for (size_t s = ds->day_begin_[day]; s < ds->day_begin_[day + 1]; ++s) {
+      float logit = static_cast<float>(config.teacher_bias);
+      uint32_t* cats = ds->categorical_.data() + s * num_fields;
+      for (size_t f = 0; f < num_fields; ++f) {
+        const uint64_t card = config.field_cardinalities[f];
+        uint64_t rank = zipfs[f].SampleIndex(rng);
+        rank = (rank + strides[f] * day) % card;
+        const uint32_t local = perms[f][rank];
+        const uint64_t gid = ds->layout_.GlobalId(f, local);
+        cats[f] = static_cast<uint32_t>(gid);
+        logit += signal_scale * field_weight[f] *
+                 TeacherWeight(gid, config.seed);
+      }
+      // Second-order FM term: sum over field pairs of latent dots,
+      // computed via the square-of-sums identity in O(F * k):
+      //   sum_{f<g} <t_f, t_g> = 0.5 * (||sum_f t_f||^2 - sum_f ||t_f||^2).
+      if (config.interaction_strength > 0.0 && num_pairs > 0) {
+        float sum_latent[kTeacherRank] = {0};
+        float sum_sq = 0.0f;
+        for (size_t f = 0; f < num_fields; ++f) {
+          for (uint32_t j = 0; j < kTeacherRank; ++j) {
+            const float t = TeacherLatent(cats[f], j, config.seed);
+            sum_latent[j] += t;
+            sum_sq += t * t;
+          }
+        }
+        float pair_sum = 0.0f;
+        for (uint32_t j = 0; j < kTeacherRank; ++j) {
+          pair_sum += sum_latent[j] * sum_latent[j];
+        }
+        pair_sum = 0.5f * (pair_sum - sum_sq);
+        logit += signal_scale *
+                 static_cast<float>(config.interaction_strength * pair_norm) *
+                 pair_sum;
+      }
+      float* nums = ds->numerical_.data() + s * config.num_numerical;
+      for (uint32_t j = 0; j < config.num_numerical; ++j) {
+        nums[j] = static_cast<float>(rng.Normal());
+        logit += signal_scale * 0.5f * num_weights[j] * nums[j];
+      }
+      ds->labels_[s] = rng.Bernoulli(SigmoidScalar(logit)) ? 1.0f : 0.0f;
+    }
+  }
+  return ds;
+}
+
+Batch SyntheticCtrDataset::GetBatch(size_t start, size_t size) const {
+  CAFE_DCHECK(start + size <= num_samples());
+  Batch batch;
+  batch.batch_size = size;
+  batch.num_fields = num_fields();
+  batch.num_numerical = config_.num_numerical;
+  batch.categorical = categorical_.data() + start * num_fields();
+  batch.numerical = config_.num_numerical > 0
+                        ? numerical_.data() + start * config_.num_numerical
+                        : nullptr;
+  batch.labels = labels_.data() + start;
+  return batch;
+}
+
+uint64_t SyntheticCtrDataset::CountDistinctFeatures() const {
+  std::unordered_set<uint32_t> seen(categorical_.begin(), categorical_.end());
+  return seen.size();
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+SyntheticCtrDataset::FeatureFrequencies(size_t begin, size_t end) const {
+  CAFE_CHECK(begin <= end && end <= num_samples());
+  std::unordered_map<uint64_t, uint64_t> counts;
+  const size_t fields = num_fields();
+  for (size_t s = begin; s < end; ++s) {
+    const uint32_t* cats = categorical_.data() + s * fields;
+    for (size_t f = 0; f < fields; ++f) ++counts[cats[f]];
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> result(counts.begin(),
+                                                    counts.end());
+  std::sort(result.begin(), result.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return result;
+}
+
+std::unique_ptr<SyntheticCtrDataset> SyntheticCtrDataset::SelectDays(
+    const std::vector<uint32_t>& train_days) const {
+  auto out = std::unique_ptr<SyntheticCtrDataset>(new SyntheticCtrDataset());
+  out->config_ = config_;
+  out->layout_ = layout_;
+
+  std::vector<uint32_t> days(train_days);
+  const uint32_t test_day = config_.num_days - 1;
+  if (days.empty() || days.back() != test_day) days.push_back(test_day);
+
+  const size_t fields = num_fields();
+  out->day_begin_.push_back(0);
+  for (uint32_t day : days) {
+    CAFE_CHECK(day < config_.num_days) << "day out of range";
+    const size_t begin = day_begin_[day];
+    const size_t end = day_begin_[day + 1];
+    out->categorical_.insert(out->categorical_.end(),
+                             categorical_.begin() + begin * fields,
+                             categorical_.begin() + end * fields);
+    if (config_.num_numerical > 0) {
+      out->numerical_.insert(
+          out->numerical_.end(),
+          numerical_.begin() + begin * config_.num_numerical,
+          numerical_.begin() + end * config_.num_numerical);
+    }
+    out->labels_.insert(out->labels_.end(), labels_.begin() + begin,
+                        labels_.begin() + end);
+    out->day_begin_.push_back(out->labels_.size());
+  }
+  out->config_.num_days = static_cast<uint32_t>(days.size());
+  out->config_.num_samples = out->labels_.size();
+  return out;
+}
+
+void SyntheticCtrDataset::ShuffleSamples(uint64_t seed) {
+  Rng rng(seed);
+  const size_t fields = num_fields();
+  const size_t n = num_samples();
+  for (size_t i = n; i > 1; --i) {
+    const size_t j = rng.Uniform(i);
+    const size_t a = i - 1;
+    if (a == j) continue;
+    for (size_t f = 0; f < fields; ++f) {
+      std::swap(categorical_[a * fields + f], categorical_[j * fields + f]);
+    }
+    for (uint32_t k = 0; k < config_.num_numerical; ++k) {
+      std::swap(numerical_[a * config_.num_numerical + k],
+                numerical_[j * config_.num_numerical + k]);
+    }
+    std::swap(labels_[a], labels_[j]);
+  }
+  config_.num_days = 1;
+  day_begin_ = {0, n};
+}
+
+}  // namespace cafe

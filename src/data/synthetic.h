@@ -1,0 +1,117 @@
+#ifndef CAFE_DATA_SYNTHETIC_H_
+#define CAFE_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/batch.h"
+#include "embed/embedding_store.h"
+
+namespace cafe {
+
+/// Configuration of the synthetic CTR workload generator — the stand-in for
+/// Criteo / CriteoTB / Avazu / KDD12 (see DESIGN.md §3 for the substitution
+/// argument). The generator plants the three properties the paper's
+/// phenomena depend on:
+///
+///  1. *Skewed popularity*: within each field, feature occurrence follows
+///     Zipf(zipf_z) (paper Fig. 3 measures z ≈ 1.05–1.1 on Criteo/TB).
+///  2. *Temporal drift*: samples are organized into days; each day the
+///     rank→feature mapping rotates by `drift_stride_fraction` of the hot
+///     set, so day distributions diverge with day distance (paper Fig. 2).
+///  3. *Learnable feature semantics*: labels come from a planted logistic
+///     teacher whose per-feature weights are hash-derived, so a model only
+///     reaches the Bayes AUC by giving frequent features faithful
+///     embeddings — exactly the capability embedding compression trades.
+struct SyntheticDatasetConfig {
+  std::string name = "synthetic";
+  std::vector<uint64_t> field_cardinalities;
+  uint32_t num_numerical = 0;
+  uint64_t num_samples = 100000;
+  uint32_t num_days = 7;
+  double zipf_z = 1.05;
+  /// Per-day rotation of the popularity mapping, as a fraction of each
+  /// field's cardinality. 0 disables drift (KDD12-like).
+  double drift_stride_fraction = 0.002;
+  /// Teacher logit scale: larger -> more signal, higher Bayes AUC.
+  double teacher_scale = 1.6;
+  /// Relative strength of second-order (feature-pair) teacher terms. Real
+  /// CTR signal mixes first- and second-order effects; interaction models
+  /// (DLRM's dot interaction, DCN's cross layers) need the second-order
+  /// component to shine, exactly as on the real datasets.
+  double interaction_strength = 0.7;
+  /// Intercept of the teacher (controls base CTR; ~ -1.1 gives ~25%).
+  double teacher_bias = -1.1;
+  /// Per-field weight of the teacher signal decays with field index by
+  /// this factor, so fields differ in predictiveness (as in real CTR data).
+  double field_signal_decay = 0.9;
+  uint64_t seed = 7;
+
+  Status Validate() const;
+};
+
+/// A fully materialized synthetic CTR dataset: day-ordered samples with
+/// global categorical ids, optional numerical features, and labels. The
+/// paper's protocol (§5.1.4) — train on all days but the last, test on the
+/// last day — is exposed via train_size().
+class SyntheticCtrDataset {
+ public:
+  static StatusOr<std::unique_ptr<SyntheticCtrDataset>> Generate(
+      const SyntheticDatasetConfig& config);
+
+  const SyntheticDatasetConfig& config() const { return config_; }
+  const FieldLayout& layout() const { return layout_; }
+
+  size_t num_samples() const { return labels_.size(); }
+  size_t num_fields() const { return layout_.num_fields(); }
+  uint32_t num_days() const { return config_.num_days; }
+
+  /// First sample index of `day`; samples are contiguous per day.
+  size_t day_begin(uint32_t day) const { return day_begin_[day]; }
+  size_t day_end(uint32_t day) const { return day_begin_[day + 1]; }
+
+  /// Samples before the last day (the training split).
+  size_t train_size() const {
+    return config_.num_days > 1 ? day_begin_[config_.num_days - 1]
+                                : num_samples() * 9 / 10;
+  }
+
+  /// View of samples [start, start+size).
+  Batch GetBatch(size_t start, size_t size) const;
+
+  /// Number of distinct feature ids that actually occur (Table 2's
+  /// "#Features" column counts observed features).
+  uint64_t CountDistinctFeatures() const;
+
+  /// Exact occurrence counts of every feature in samples [begin, end) —
+  /// ground truth for sketch evaluation and the offline-separation oracle.
+  std::vector<std::pair<uint64_t, uint64_t>> FeatureFrequencies(
+      size_t begin, size_t end) const;
+
+  /// Builds a copy of this dataset that keeps only the listed training days
+  /// (plus the final test day) — the paper's CriteoTB-1/3 protocol (§5.5).
+  std::unique_ptr<SyntheticCtrDataset> SelectDays(
+      const std::vector<uint32_t>& train_days) const;
+
+  /// Globally shuffles samples (KDD12 has no temporal structure; §5.1.4).
+  void ShuffleSamples(uint64_t seed);
+
+  const std::vector<float>& labels() const { return labels_; }
+
+ private:
+  SyntheticCtrDataset() = default;
+
+  SyntheticDatasetConfig config_;
+  FieldLayout layout_;
+  std::vector<uint32_t> categorical_;  // num_samples * num_fields
+  std::vector<float> numerical_;       // num_samples * num_numerical
+  std::vector<float> labels_;          // num_samples
+  std::vector<size_t> day_begin_;      // num_days + 1 entries
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_DATA_SYNTHETIC_H_

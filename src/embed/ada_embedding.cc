@@ -1,0 +1,164 @@
+#include "embed/ada_embedding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace cafe {
+
+StatusOr<std::unique_ptr<AdaEmbedding>> AdaEmbedding::Create(
+    const EmbeddingConfig& config, const Options& options) {
+  CAFE_RETURN_IF_ERROR(config.Validate());
+  // Per-feature score (4B) + row index (4B) arrays are mandatory overhead.
+  const uint64_t aux_bytes = config.total_features * 8ULL;
+  const uint64_t budget = config.BudgetBytes();
+  if (budget <= aux_bytes) {
+    return Status::ResourceExhausted(
+        "ada embedding: importance-score storage alone exceeds the budget "
+        "(AdaEmbed cannot reach this compression ratio)");
+  }
+  const uint64_t row_bytes = config.dim * sizeof(float);
+  const uint64_t num_rows =
+      std::min<uint64_t>((budget - aux_bytes) / row_bytes,
+                         config.total_features);
+  if (num_rows == 0) {
+    return Status::ResourceExhausted("ada embedding: no row fits the budget");
+  }
+  return std::unique_ptr<AdaEmbedding>(
+      new AdaEmbedding(config, options, num_rows));
+}
+
+AdaEmbedding::AdaEmbedding(const EmbeddingConfig& config,
+                           const Options& options, uint64_t num_rows)
+    : config_(config),
+      options_(options),
+      num_rows_(num_rows),
+      rng_(config.seed ^ 0xadaULL),
+      scores_(config.total_features, 0.0f),
+      row_of_(config.total_features, -1),
+      owner_of_(num_rows, 0),
+      table_(num_rows * config.dim, 0.0f) {
+  free_rows_.reserve(num_rows);
+  for (uint64_t r = num_rows; r-- > 0;) {
+    free_rows_.push_back(static_cast<int32_t>(r));
+  }
+}
+
+void AdaEmbedding::Lookup(uint64_t id, float* out) {
+  CAFE_DCHECK(id < config_.total_features);
+  const int32_t row = row_of_[id];
+  if (row < 0) {
+    std::memset(out, 0, config_.dim * sizeof(float));
+    return;
+  }
+  std::memcpy(out, table_.data() + static_cast<size_t>(row) * config_.dim,
+              config_.dim * sizeof(float));
+}
+
+void AdaEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
+  CAFE_DCHECK(id < config_.total_features);
+  double norm_sq = 0.0;
+  for (uint32_t i = 0; i < config_.dim; ++i) {
+    norm_sq += static_cast<double>(grad[i]) * grad[i];
+  }
+  scores_[id] += static_cast<float>(std::sqrt(norm_sq));
+
+  int32_t row = row_of_[id];
+  if (row < 0) {
+    // Cold start: claim a free row on first update so early training is not
+    // starved while waiting for the first reallocation scan.
+    if (free_rows_.empty()) return;
+    row = free_rows_.back();
+    free_rows_.pop_back();
+    row_of_[id] = row;
+    owner_of_[row] = id;
+    ++allocated_count_;
+    float* fresh = table_.data() + static_cast<size_t>(row) * config_.dim;
+    const float bound = embed_internal::InitBound(config_.dim);
+    for (uint32_t i = 0; i < config_.dim; ++i) {
+      fresh[i] = rng_.UniformFloat(-bound, bound);
+    }
+  }
+  float* values = table_.data() + static_cast<size_t>(row) * config_.dim;
+  for (uint32_t i = 0; i < config_.dim; ++i) values[i] -= lr * grad[i];
+}
+
+void AdaEmbedding::Tick() {
+  ++iteration_;
+  if (iteration_ % options_.realloc_interval == 0) Reallocate();
+}
+
+void AdaEmbedding::Reallocate() {
+  // Decay first so stale importance fades (AdaEmbed's recency weighting).
+  for (float& s : scores_) {
+    s *= static_cast<float>(options_.score_decay);
+  }
+
+  // Threshold = num_rows-th largest score. This full scan over all n
+  // features is AdaEmbed's intrinsic latency cost.
+  std::vector<float> sorted(scores_);
+  const size_t k = static_cast<size_t>(
+      std::min<uint64_t>(num_rows_, sorted.size()));
+  std::nth_element(sorted.begin(), sorted.begin() + (k - 1), sorted.end(),
+                   std::greater<float>());
+  const float threshold = sorted[k - 1];
+  if (threshold <= 0.0f) return;  // nothing informative yet
+
+  std::vector<uint64_t> admit;   // unallocated features at/above threshold
+  std::vector<uint64_t> evict;   // allocated features at/below threshold
+  for (uint64_t f = 0; f < scores_.size(); ++f) {
+    if (row_of_[f] < 0 && scores_[f] >= threshold) {
+      admit.push_back(f);
+    } else if (row_of_[f] >= 0 && scores_[f] <= threshold) {
+      evict.push_back(f);
+    }
+  }
+  // Strongest candidates first / weakest victims first.
+  std::sort(admit.begin(), admit.end(), [&](uint64_t a, uint64_t b) {
+    return scores_[a] > scores_[b];
+  });
+  std::sort(evict.begin(), evict.end(), [&](uint64_t a, uint64_t b) {
+    return scores_[a] < scores_[b];
+  });
+
+  const size_t churn_cap = static_cast<size_t>(
+      std::max(1.0, options_.max_migration_fraction *
+                        static_cast<double>(num_rows_)));
+  size_t moved = 0;
+  size_t evict_idx = 0;
+  const float bound = embed_internal::InitBound(config_.dim);
+  for (uint64_t f : admit) {
+    if (moved >= churn_cap) break;
+    int32_t row;
+    if (!free_rows_.empty()) {
+      row = free_rows_.back();
+      free_rows_.pop_back();
+      ++allocated_count_;
+    } else if (evict_idx < evict.size() &&
+               scores_[evict[evict_idx]] < scores_[f]) {
+      // Swap only on strict improvement so equal-importance features do
+      // not thrash rows back and forth.
+      const uint64_t victim = evict[evict_idx++];
+      row = row_of_[victim];
+      row_of_[victim] = -1;  // victim's embedding is discarded
+    } else {
+      break;
+    }
+    row_of_[f] = row;
+    owner_of_[row] = f;
+    float* values = table_.data() + static_cast<size_t>(row) * config_.dim;
+    for (uint32_t i = 0; i < config_.dim; ++i) {
+      values[i] = rng_.UniformFloat(-bound, bound);
+    }
+    ++moved;
+  }
+}
+
+size_t AdaEmbedding::MemoryBytes() const {
+  return table_.size() * sizeof(float) + scores_.size() * sizeof(float) +
+         row_of_.size() * sizeof(int32_t);
+}
+
+}  // namespace cafe

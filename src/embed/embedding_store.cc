@@ -1,0 +1,47 @@
+#include "embed/embedding_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cafe {
+
+FieldLayout::FieldLayout(std::vector<uint64_t> cardinalities)
+    : cardinalities_(std::move(cardinalities)) {
+  offsets_.reserve(cardinalities_.size());
+  for (uint64_t card : cardinalities_) {
+    CAFE_CHECK(card > 0) << "field cardinality must be positive";
+    offsets_.push_back(total_);
+    total_ += card;
+  }
+}
+
+size_t FieldLayout::FieldOf(uint64_t global_id) const {
+  CAFE_DCHECK(global_id < total_) << "global id out of range";
+  auto it = std::upper_bound(offsets_.begin(), offsets_.end(), global_id);
+  return static_cast<size_t>(it - offsets_.begin()) - 1;
+}
+
+Status EmbeddingConfig::Validate() const {
+  if (total_features == 0) {
+    return Status::InvalidArgument("total_features must be positive");
+  }
+  if (dim == 0) {
+    return Status::InvalidArgument("dim must be positive");
+  }
+  if (compression_ratio < 1.0) {
+    return Status::InvalidArgument("compression_ratio must be >= 1");
+  }
+  return Status::OK();
+}
+
+namespace embed_internal {
+
+float InitBound(uint32_t dim) {
+  return 1.0f / std::sqrt(static_cast<float>(dim));
+}
+
+}  // namespace embed_internal
+
+}  // namespace cafe

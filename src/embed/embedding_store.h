@@ -1,0 +1,123 @@
+#ifndef CAFE_EMBED_EMBEDDING_STORE_H_
+#define CAFE_EMBED_EMBEDDING_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cafe {
+
+/// Describes the categorical fields of a dataset: per-field cardinalities
+/// and the global-id offsets that concatenate them into one id space
+/// [0, total_features). CAFE keeps a single table across fields (§5.3
+/// "design details"), so most stores only need total_features; field-aware
+/// stores (MDE, per-field ablations) use the full layout.
+class FieldLayout {
+ public:
+  FieldLayout() = default;
+  explicit FieldLayout(std::vector<uint64_t> cardinalities);
+
+  size_t num_fields() const { return cardinalities_.size(); }
+  uint64_t total_features() const { return total_; }
+  uint64_t cardinality(size_t field) const { return cardinalities_[field]; }
+  uint64_t offset(size_t field) const { return offsets_[field]; }
+
+  /// Global id of `local_id` within `field`.
+  uint64_t GlobalId(size_t field, uint64_t local_id) const {
+    return offsets_[field] + local_id;
+  }
+
+  /// Field that owns `global_id` (binary search over offsets).
+  size_t FieldOf(uint64_t global_id) const;
+
+  const std::vector<uint64_t>& cardinalities() const { return cardinalities_; }
+
+ private:
+  std::vector<uint64_t> cardinalities_;
+  std::vector<uint64_t> offsets_;  // prefix sums, size num_fields
+  uint64_t total_ = 0;
+};
+
+/// Shared configuration for all embedding compressors.
+struct EmbeddingConfig {
+  uint64_t total_features = 0;  ///< n: unique categorical features
+  uint32_t dim = 16;            ///< d: embedding dimension
+  /// Target compression ratio CR = uncompressed bytes / budget bytes.
+  /// 1.0 means uncompressed.
+  double compression_ratio = 1.0;
+  uint64_t seed = 42;
+
+  /// Uncompressed embedding-table size in bytes (n * d * 4).
+  uint64_t UncompressedBytes() const {
+    return total_features * static_cast<uint64_t>(dim) * sizeof(float);
+  }
+  /// Memory budget M in bytes implied by the compression ratio.
+  uint64_t BudgetBytes() const {
+    return static_cast<uint64_t>(
+        static_cast<double>(UncompressedBytes()) / compression_ratio);
+  }
+
+  Status Validate() const;
+};
+
+/// Abstract interface every embedding compressor implements. Models and the
+/// trainer are agnostic to the compression scheme behind it.
+///
+/// The trainer drives it as:
+///   Lookup(id, out)                  -- forward, per (sample, field)
+///   ApplyGradient(id, grad, lr)      -- backward + sparse SGD update
+///   Tick()                           -- once per iteration (batch)
+///
+/// Implementations may use Lookup-time state (e.g. AdaEmbed frequency) and
+/// Tick-time maintenance (CAFE score decay, AdaEmbed reallocation).
+class EmbeddingStore {
+ public:
+  virtual ~EmbeddingStore() = default;
+
+  EmbeddingStore() = default;
+  EmbeddingStore(const EmbeddingStore&) = delete;
+  EmbeddingStore& operator=(const EmbeddingStore&) = delete;
+
+  /// Embedding dimension d; Lookup writes exactly this many floats.
+  virtual uint32_t dim() const = 0;
+
+  /// Writes feature `id`'s embedding into out[0..dim).
+  virtual void Lookup(uint64_t id, float* out) = 0;
+
+  /// Applies the loss gradient w.r.t. feature `id`'s embedding (dim floats)
+  /// with a plain SGD step of rate `lr`, and updates any importance
+  /// statistics the scheme keeps.
+  virtual void ApplyGradient(uint64_t id, const float* grad, float lr) = 0;
+
+  /// Called once per training iteration; default no-op. Periodic work
+  /// (score decay, reallocation) hangs off this.
+  virtual void Tick() {}
+
+  /// Total bytes of embedding parameters PLUS auxiliary structures
+  /// (sketches, score arrays, index maps) — the paper's memory-fairness
+  /// rule (§5.1.4 "we also consider the memory of additional structures").
+  virtual size_t MemoryBytes() const = 0;
+
+  /// Short scheme name for tables ("hash", "qr", "ada", "cafe", ...).
+  virtual std::string Name() const = 0;
+
+  /// Achieved compression ratio (uncompressed bytes / MemoryBytes).
+  double AchievedCompressionRatio(const EmbeddingConfig& config) const {
+    return static_cast<double>(config.UncompressedBytes()) /
+           static_cast<double>(MemoryBytes());
+  }
+};
+
+namespace embed_internal {
+
+/// Uniform(-1/sqrt(dim), +1/sqrt(dim)) row init, shared by all stores so
+/// that comparisons start from identically distributed parameters.
+float InitBound(uint32_t dim);
+
+}  // namespace embed_internal
+
+}  // namespace cafe
+
+#endif  // CAFE_EMBED_EMBEDDING_STORE_H_

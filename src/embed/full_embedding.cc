@@ -1,0 +1,34 @@
+#include "embed/full_embedding.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace cafe {
+
+StatusOr<std::unique_ptr<FullEmbedding>> FullEmbedding::Create(
+    const EmbeddingConfig& config) {
+  CAFE_RETURN_IF_ERROR(config.Validate());
+  return std::unique_ptr<FullEmbedding>(new FullEmbedding(config));
+}
+
+FullEmbedding::FullEmbedding(const EmbeddingConfig& config)
+    : config_(config), table_(config.total_features * config.dim) {
+  Rng rng(config.seed);
+  const float bound = embed_internal::InitBound(config.dim);
+  for (float& w : table_) w = rng.UniformFloat(-bound, bound);
+}
+
+void FullEmbedding::Lookup(uint64_t id, float* out) {
+  CAFE_DCHECK(id < config_.total_features);
+  std::memcpy(out, table_.data() + id * config_.dim,
+              config_.dim * sizeof(float));
+}
+
+void FullEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
+  CAFE_DCHECK(id < config_.total_features);
+  float* row = table_.data() + id * config_.dim;
+  for (uint32_t i = 0; i < config_.dim; ++i) row[i] -= lr * grad[i];
+}
+
+}  // namespace cafe

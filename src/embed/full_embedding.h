@@ -1,0 +1,37 @@
+#ifndef CAFE_EMBED_FULL_EMBEDDING_H_
+#define CAFE_EMBED_FULL_EMBEDDING_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "embed/embedding_store.h"
+
+namespace cafe {
+
+/// Uncompressed embedding table: one exclusive row per feature. The "ideal"
+/// upper-bound baseline in every figure of the paper. Ignores the configured
+/// compression ratio (always stores n rows).
+class FullEmbedding : public EmbeddingStore {
+ public:
+  static StatusOr<std::unique_ptr<FullEmbedding>> Create(
+      const EmbeddingConfig& config);
+
+  uint32_t dim() const override { return config_.dim; }
+  void Lookup(uint64_t id, float* out) override;
+  void ApplyGradient(uint64_t id, const float* grad, float lr) override;
+  size_t MemoryBytes() const override {
+    return table_.size() * sizeof(float);
+  }
+  std::string Name() const override { return "full"; }
+
+ private:
+  explicit FullEmbedding(const EmbeddingConfig& config);
+
+  EmbeddingConfig config_;
+  std::vector<float> table_;  // n x dim
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_EMBED_FULL_EMBEDDING_H_

@@ -1,0 +1,43 @@
+#include "embed/hash_embedding.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace cafe {
+
+StatusOr<std::unique_ptr<HashEmbedding>> HashEmbedding::Create(
+    const EmbeddingConfig& config) {
+  CAFE_RETURN_IF_ERROR(config.Validate());
+  const uint64_t budget_rows =
+      config.BudgetBytes() / (config.dim * sizeof(float));
+  if (budget_rows == 0) {
+    return Status::ResourceExhausted(
+        "hash embedding: budget below one row; lower the compression ratio");
+  }
+  const uint64_t rows = std::min<uint64_t>(budget_rows, config.total_features);
+  return std::unique_ptr<HashEmbedding>(new HashEmbedding(config, rows));
+}
+
+HashEmbedding::HashEmbedding(const EmbeddingConfig& config, uint64_t num_rows)
+    : config_(config),
+      num_rows_(num_rows),
+      hash_(config.seed ^ 0x9a55a550ULL),
+      table_(num_rows * config.dim) {
+  Rng rng(config.seed);
+  const float bound = embed_internal::InitBound(config.dim);
+  for (float& w : table_) w = rng.UniformFloat(-bound, bound);
+}
+
+void HashEmbedding::Lookup(uint64_t id, float* out) {
+  std::memcpy(out, table_.data() + RowOf(id) * config_.dim,
+              config_.dim * sizeof(float));
+}
+
+void HashEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
+  float* row = table_.data() + RowOf(id) * config_.dim;
+  for (uint32_t i = 0; i < config_.dim; ++i) row[i] -= lr * grad[i];
+}
+
+}  // namespace cafe

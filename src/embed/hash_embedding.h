@@ -1,0 +1,46 @@
+#ifndef CAFE_EMBED_HASH_EMBEDDING_H_
+#define CAFE_EMBED_HASH_EMBEDDING_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "embed/embedding_store.h"
+
+namespace cafe {
+
+/// Hash embedding (the "hashing trick", Weinberger et al. 2009): a table of
+/// floor(n / CR) rows; feature id maps to row hash(id) % rows, so colliding
+/// features share a row and each other's gradients. The simplest row
+/// compressor, the lower-bound baseline of the paper, and the only baseline
+/// besides CAFE that reaches 10000x compression.
+class HashEmbedding : public EmbeddingStore {
+ public:
+  static StatusOr<std::unique_ptr<HashEmbedding>> Create(
+      const EmbeddingConfig& config);
+
+  uint32_t dim() const override { return config_.dim; }
+  void Lookup(uint64_t id, float* out) override;
+  void ApplyGradient(uint64_t id, const float* grad, float lr) override;
+  size_t MemoryBytes() const override {
+    return table_.size() * sizeof(float);
+  }
+  std::string Name() const override { return "hash"; }
+
+  uint64_t num_rows() const { return num_rows_; }
+
+ private:
+  HashEmbedding(const EmbeddingConfig& config, uint64_t num_rows);
+
+  uint64_t RowOf(uint64_t id) const { return hash_.Bounded(id, num_rows_); }
+
+  EmbeddingConfig config_;
+  uint64_t num_rows_;
+  SeededHash hash_;
+  std::vector<float> table_;  // num_rows x dim
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_EMBED_HASH_EMBEDDING_H_

@@ -1,0 +1,143 @@
+#include "embed/mde_embedding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cafe {
+namespace {
+
+// Per-field dims for a given scale factor: d_f = clamp(round(scale *
+// (min_card / n_f)^alpha * d), 1, d). Returns total float count
+// (tables + projections).
+uint64_t DimsForScale(const FieldLayout& layout, uint32_t d, double alpha,
+                      double scale, std::vector<uint32_t>* dims) {
+  uint64_t min_card = ~0ULL;
+  for (size_t f = 0; f < layout.num_fields(); ++f) {
+    min_card = std::min(min_card, layout.cardinality(f));
+  }
+  dims->assign(layout.num_fields(), 1);
+  uint64_t floats = 0;
+  for (size_t f = 0; f < layout.num_fields(); ++f) {
+    const double popularity = static_cast<double>(min_card) /
+                              static_cast<double>(layout.cardinality(f));
+    double df = scale * std::pow(popularity, alpha) * d;
+    uint32_t dim_f = static_cast<uint32_t>(std::lround(df));
+    dim_f = std::clamp<uint32_t>(dim_f, 1, d);
+    (*dims)[f] = dim_f;
+    floats += layout.cardinality(f) * dim_f + static_cast<uint64_t>(dim_f) * d;
+  }
+  return floats;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<MdeEmbedding>> MdeEmbedding::Create(
+    const EmbeddingConfig& config, const FieldLayout& layout,
+    const Options& options) {
+  CAFE_RETURN_IF_ERROR(config.Validate());
+  if (layout.total_features() != config.total_features) {
+    return Status::InvalidArgument(
+        "field layout does not cover total_features");
+  }
+  const uint64_t budget_floats = config.BudgetBytes() / sizeof(float);
+
+  std::vector<uint32_t> dims;
+  // Check feasibility at the smallest assignment (all fields at d_f = 1).
+  if (DimsForScale(layout, config.dim, options.alpha, 0.0, &dims) >
+      budget_floats) {
+    return Status::ResourceExhausted(
+        "mde embedding: even 1-dim rows exceed the budget (column "
+        "compression is bounded by the embedding dimension)");
+  }
+  // Binary search the largest scale whose assignment fits the budget.
+  double lo = 0.0, hi = 4.0;
+  for (int iter = 0; iter < 48; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    if (DimsForScale(layout, config.dim, options.alpha, mid, &dims) <=
+        budget_floats) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  DimsForScale(layout, config.dim, options.alpha, lo, &dims);
+  return std::unique_ptr<MdeEmbedding>(
+      new MdeEmbedding(config, layout, std::move(dims)));
+}
+
+MdeEmbedding::MdeEmbedding(const EmbeddingConfig& config,
+                           const FieldLayout& layout,
+                           std::vector<uint32_t> field_dims)
+    : config_(config), layout_(layout), field_dims_(std::move(field_dims)) {
+  size_t table_floats = 0;
+  size_t proj_floats = 0;
+  table_offset_.reserve(layout_.num_fields());
+  proj_offset_.reserve(layout_.num_fields());
+  for (size_t f = 0; f < layout_.num_fields(); ++f) {
+    table_offset_.push_back(table_floats);
+    proj_offset_.push_back(proj_floats);
+    table_floats += layout_.cardinality(f) * field_dims_[f];
+    proj_floats += static_cast<size_t>(field_dims_[f]) * config_.dim;
+  }
+  tables_.resize(table_floats);
+  projections_.resize(proj_floats);
+
+  Rng rng(config.seed ^ 0x3deULL);
+  for (size_t f = 0; f < layout_.num_fields(); ++f) {
+    const uint32_t df = field_dims_[f];
+    const float row_bound = embed_internal::InitBound(df);
+    float* table = tables_.data() + table_offset_[f];
+    const size_t count = layout_.cardinality(f) * df;
+    for (size_t i = 0; i < count; ++i) {
+      table[i] = rng.UniformFloat(-row_bound, row_bound);
+    }
+    // Xavier init for the d_f -> d projection.
+    const float proj_bound =
+        std::sqrt(6.0f / static_cast<float>(df + config_.dim));
+    float* proj = projections_.data() + proj_offset_[f];
+    for (size_t i = 0; i < static_cast<size_t>(df) * config_.dim; ++i) {
+      proj[i] = rng.UniformFloat(-proj_bound, proj_bound);
+    }
+  }
+}
+
+void MdeEmbedding::Lookup(uint64_t id, float* out) {
+  const size_t field = layout_.FieldOf(id);
+  const uint64_t local = id - layout_.offset(field);
+  const uint32_t df = field_dims_[field];
+  const float* row = tables_.data() + table_offset_[field] + local * df;
+  const float* proj = projections_.data() + proj_offset_[field];  // df x d
+  for (uint32_t j = 0; j < config_.dim; ++j) out[j] = 0.0f;
+  for (uint32_t i = 0; i < df; ++i) {
+    const float r = row[i];
+    const float* p = proj + static_cast<size_t>(i) * config_.dim;
+    for (uint32_t j = 0; j < config_.dim; ++j) out[j] += r * p[j];
+  }
+}
+
+void MdeEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
+  const size_t field = layout_.FieldOf(id);
+  const uint64_t local = id - layout_.offset(field);
+  const uint32_t df = field_dims_[field];
+  float* row = tables_.data() + table_offset_[field] + local * df;
+  float* proj = projections_.data() + proj_offset_[field];
+  // d(out)/d(row_i) = proj row i; d(out)/d(proj_ij) = row_i * grad_j.
+  for (uint32_t i = 0; i < df; ++i) {
+    float* p = proj + static_cast<size_t>(i) * config_.dim;
+    float grad_row_i = 0.0f;
+    const float row_i = row[i];
+    for (uint32_t j = 0; j < config_.dim; ++j) {
+      grad_row_i += grad[j] * p[j];
+      p[j] -= lr * row_i * grad[j];
+    }
+    row[i] -= lr * grad_row_i;
+  }
+}
+
+size_t MdeEmbedding::MemoryBytes() const {
+  return (tables_.size() + projections_.size()) * sizeof(float);
+}
+
+}  // namespace cafe

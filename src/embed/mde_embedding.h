@@ -1,0 +1,59 @@
+#ifndef CAFE_EMBED_MDE_EMBEDDING_H_
+#define CAFE_EMBED_MDE_EMBEDDING_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "embed/embedding_store.h"
+
+namespace cafe {
+
+/// Mixed-Dimension Embedding (Ginart et al., ISIT 2021) — the column
+/// compression baseline of §5.2.4. Each field f gets a reduced per-feature
+/// dimension d_f proportional to its popularity^alpha (popularity proxied by
+/// 1/cardinality, as the CAFE paper notes MDE does), plus a learned d_f x d
+/// projection lifting rows to the common dimension d.
+///
+/// Since every feature keeps >= 1 column, the compression ratio is bounded
+/// by roughly the embedding dimension d — Create() returns ResourceExhausted
+/// past that, matching the truncated MDE curves in Figure 12.
+class MdeEmbedding : public EmbeddingStore {
+ public:
+  struct Options {
+    /// Popularity exponent alpha in d_f ∝ p_f^alpha (MDE's temperature).
+    double alpha = 0.3;
+  };
+
+  static StatusOr<std::unique_ptr<MdeEmbedding>> Create(
+      const EmbeddingConfig& config, const FieldLayout& layout,
+      const Options& options);
+  static StatusOr<std::unique_ptr<MdeEmbedding>> Create(
+      const EmbeddingConfig& config, const FieldLayout& layout) {
+    return Create(config, layout, Options{});
+  }
+
+  uint32_t dim() const override { return config_.dim; }
+  void Lookup(uint64_t id, float* out) override;
+  void ApplyGradient(uint64_t id, const float* grad, float lr) override;
+  size_t MemoryBytes() const override;
+  std::string Name() const override { return "mde"; }
+
+  uint32_t field_dim(size_t field) const { return field_dims_[field]; }
+
+ private:
+  MdeEmbedding(const EmbeddingConfig& config, const FieldLayout& layout,
+               std::vector<uint32_t> field_dims);
+
+  EmbeddingConfig config_;
+  FieldLayout layout_;
+  std::vector<uint32_t> field_dims_;        // d_f per field
+  std::vector<size_t> table_offset_;        // float offset of field table
+  std::vector<size_t> proj_offset_;         // float offset of field proj
+  std::vector<float> tables_;               // concat of n_f x d_f tables
+  std::vector<float> projections_;          // concat of d_f x d matrices
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_EMBED_MDE_EMBEDDING_H_

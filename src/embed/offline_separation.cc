@@ -1,0 +1,68 @@
+#include "embed/offline_separation.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace cafe {
+
+StatusOr<std::unique_ptr<OfflineSeparationEmbedding>>
+OfflineSeparationEmbedding::Create(const EmbeddingConfig& config,
+                                   uint64_t hot_rows, uint64_t shared_rows,
+                                   const std::vector<uint64_t>& hot_ids) {
+  CAFE_RETURN_IF_ERROR(config.Validate());
+  if (shared_rows == 0) {
+    return Status::InvalidArgument(
+        "offline separation needs at least one shared row");
+  }
+  return std::unique_ptr<OfflineSeparationEmbedding>(
+      new OfflineSeparationEmbedding(config, hot_rows, shared_rows, hot_ids));
+}
+
+OfflineSeparationEmbedding::OfflineSeparationEmbedding(
+    const EmbeddingConfig& config, uint64_t hot_rows, uint64_t shared_rows,
+    const std::vector<uint64_t>& hot_ids)
+    : config_(config),
+      hot_rows_(hot_rows),
+      shared_rows_(shared_rows),
+      hash_(config.seed ^ 0x0f1dULL),
+      hot_table_(hot_rows * config.dim),
+      shared_table_(shared_rows * config.dim) {
+  hot_index_.reserve(hot_rows * 2);
+  for (uint64_t i = 0; i < hot_rows && i < hot_ids.size(); ++i) {
+    hot_index_.emplace(hot_ids[i], static_cast<uint32_t>(i));
+  }
+  Rng rng(config.seed);
+  const float bound = embed_internal::InitBound(config.dim);
+  for (float& w : hot_table_) w = rng.UniformFloat(-bound, bound);
+  for (float& w : shared_table_) w = rng.UniformFloat(-bound, bound);
+}
+
+void OfflineSeparationEmbedding::Lookup(uint64_t id, float* out) {
+  auto it = hot_index_.find(id);
+  const float* row =
+      it != hot_index_.end()
+          ? hot_table_.data() + static_cast<size_t>(it->second) * config_.dim
+          : shared_table_.data() +
+                hash_.Bounded(id, shared_rows_) * config_.dim;
+  std::memcpy(out, row, config_.dim * sizeof(float));
+}
+
+void OfflineSeparationEmbedding::ApplyGradient(uint64_t id, const float* grad,
+                                               float lr) {
+  auto it = hot_index_.find(id);
+  float* row =
+      it != hot_index_.end()
+          ? hot_table_.data() + static_cast<size_t>(it->second) * config_.dim
+          : shared_table_.data() +
+                hash_.Bounded(id, shared_rows_) * config_.dim;
+  for (uint32_t i = 0; i < config_.dim; ++i) row[i] -= lr * grad[i];
+}
+
+size_t OfflineSeparationEmbedding::MemoryBytes() const {
+  // Embedding tables + the offline frequency statistics (4B per feature).
+  return (hot_table_.size() + shared_table_.size()) * sizeof(float) +
+         config_.total_features * sizeof(float);
+}
+
+}  // namespace cafe

@@ -1,0 +1,58 @@
+#ifndef CAFE_EMBED_OFFLINE_SEPARATION_H_
+#define CAFE_EMBED_OFFLINE_SEPARATION_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "embed/embedding_store.h"
+
+namespace cafe {
+
+/// Offline feature separation (paper §5.2.6): an oracle variant of CAFE
+/// that, given full-dataset frequency statistics collected in advance,
+/// assigns the top-k most frequent features exclusive rows and hashes the
+/// rest into a shared table. No sketch, no migration — it cannot adapt, and
+/// it needs an extra offline pass, but it separates features with zero
+/// error, making it the natural control for HotSketch's accuracy.
+///
+/// `hot_rows`/`shared_rows` are passed in so benches can give it exactly the
+/// same embedding memory split CAFE uses at the same compression ratio
+/// (the paper's comparison protocol). Frequency statistics are charged to
+/// MemoryBytes() as 4 bytes per feature ("memory storage ... required for
+/// statistics, causing much overhead").
+class OfflineSeparationEmbedding : public EmbeddingStore {
+ public:
+  /// `hot_ids` are the features to give exclusive rows, strongest first;
+  /// only the first `hot_rows` are used.
+  static StatusOr<std::unique_ptr<OfflineSeparationEmbedding>> Create(
+      const EmbeddingConfig& config, uint64_t hot_rows, uint64_t shared_rows,
+      const std::vector<uint64_t>& hot_ids);
+
+  uint32_t dim() const override { return config_.dim; }
+  void Lookup(uint64_t id, float* out) override;
+  void ApplyGradient(uint64_t id, const float* grad, float lr) override;
+  size_t MemoryBytes() const override;
+  std::string Name() const override { return "offline"; }
+
+  uint64_t hot_rows() const { return hot_rows_; }
+
+ private:
+  OfflineSeparationEmbedding(const EmbeddingConfig& config, uint64_t hot_rows,
+                             uint64_t shared_rows,
+                             const std::vector<uint64_t>& hot_ids);
+
+  EmbeddingConfig config_;
+  uint64_t hot_rows_;
+  uint64_t shared_rows_;
+  SeededHash hash_;
+  std::unordered_map<uint64_t, uint32_t> hot_index_;  // feature -> hot row
+  std::vector<float> hot_table_;     // hot_rows x dim
+  std::vector<float> shared_table_;  // shared_rows x dim
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_EMBED_OFFLINE_SEPARATION_H_

@@ -1,0 +1,102 @@
+#include "embed/qr_embedding.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cafe {
+
+StatusOr<std::unique_ptr<QrEmbedding>> QrEmbedding::Create(
+    const EmbeddingConfig& config, Combine combine) {
+  CAFE_RETURN_IF_ERROR(config.Validate());
+  const uint64_t n = config.total_features;
+  const uint64_t budget_rows =
+      config.BudgetBytes() / (config.dim * sizeof(float));
+  // Feasibility: need m + ceil(n/m) <= budget_rows for some m >= 1.
+  // The minimum of the left side is ~2*sqrt(n).
+  const double min_rows = 2.0 * std::sqrt(static_cast<double>(n));
+  if (static_cast<double>(budget_rows) < min_rows) {
+    return Status::ResourceExhausted(
+        "qr embedding: compression ratio beyond the Q-R feasibility limit "
+        "(needs >= 2*sqrt(n) rows)");
+  }
+  // Pick the larger root of m + n/m = budget_rows so the (collision-free
+  // within a quotient group) remainder table gets most of the budget,
+  // mirroring the reference implementation's small-collision setting.
+  const double b = static_cast<double>(budget_rows);
+  double m_real = (b + std::sqrt(b * b - 4.0 * static_cast<double>(n))) / 2.0;
+  uint64_t m = static_cast<uint64_t>(m_real);
+  if (m >= n) m = n - 1;  // keep the quotient table meaningful
+  if (m == 0) m = 1;
+  uint64_t q_rows = (n + m - 1) / m;
+  // Rounding can overshoot the budget by a row; shrink m until it fits.
+  while (m + q_rows > budget_rows && m > 1) {
+    --m;
+    q_rows = (n + m - 1) / m;
+  }
+  if (m + q_rows > budget_rows) {
+    return Status::ResourceExhausted("qr embedding: budget too small");
+  }
+  return std::unique_ptr<QrEmbedding>(
+      new QrEmbedding(config, combine, m, q_rows));
+}
+
+QrEmbedding::QrEmbedding(const EmbeddingConfig& config, Combine combine,
+                         uint64_t m, uint64_t q_rows)
+    : config_(config),
+      combine_(combine),
+      m_(m),
+      q_rows_(q_rows),
+      remainder_table_(m * config.dim),
+      quotient_table_(q_rows * config.dim) {
+  Rng rng(config.seed ^ 0x4243ULL);
+  const float bound = embed_internal::InitBound(config.dim);
+  if (combine_ == Combine::kAdd) {
+    // Each final embedding is a sum of two rows; halve the scale so sums
+    // match the other stores' init distribution width.
+    for (float& w : remainder_table_) {
+      w = rng.UniformFloat(-bound / 2, bound / 2);
+    }
+    for (float& w : quotient_table_) {
+      w = rng.UniformFloat(-bound / 2, bound / 2);
+    }
+  } else {
+    // Multiplicative combine: center quotient rows at 1 so products start
+    // near the remainder init (the original paper's recommendation).
+    for (float& w : remainder_table_) w = rng.UniformFloat(-bound, bound);
+    for (float& w : quotient_table_) {
+      w = 1.0f + rng.UniformFloat(-0.05f, 0.05f);
+    }
+  }
+}
+
+void QrEmbedding::Lookup(uint64_t id, float* out) {
+  CAFE_DCHECK(id < config_.total_features);
+  const float* r = remainder_table_.data() + (id % m_) * config_.dim;
+  const float* q = quotient_table_.data() + (id / m_) * config_.dim;
+  if (combine_ == Combine::kAdd) {
+    for (uint32_t i = 0; i < config_.dim; ++i) out[i] = r[i] + q[i];
+  } else {
+    for (uint32_t i = 0; i < config_.dim; ++i) out[i] = r[i] * q[i];
+  }
+}
+
+void QrEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
+  CAFE_DCHECK(id < config_.total_features);
+  float* r = remainder_table_.data() + (id % m_) * config_.dim;
+  float* q = quotient_table_.data() + (id / m_) * config_.dim;
+  if (combine_ == Combine::kAdd) {
+    for (uint32_t i = 0; i < config_.dim; ++i) {
+      r[i] -= lr * grad[i];
+      q[i] -= lr * grad[i];
+    }
+  } else {
+    for (uint32_t i = 0; i < config_.dim; ++i) {
+      const float r_old = r[i];
+      r[i] -= lr * grad[i] * q[i];
+      q[i] -= lr * grad[i] * r_old;
+    }
+  }
+}
+
+}  // namespace cafe

@@ -1,0 +1,164 @@
+#include "models/dlrm.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "nn/loss.h"
+
+namespace cafe {
+
+StatusOr<std::unique_ptr<DlrmModel>> DlrmModel::Create(
+    const ModelConfig& config, EmbeddingStore* store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("dlrm: embedding store is required");
+  }
+  if (store->dim() != config.emb_dim) {
+    return Status::InvalidArgument("dlrm: store dim != config.emb_dim");
+  }
+  if (config.num_fields == 0) {
+    return Status::InvalidArgument("dlrm: num_fields must be positive");
+  }
+  return std::unique_ptr<DlrmModel>(new DlrmModel(config, store));
+}
+
+DlrmModel::DlrmModel(const ModelConfig& config, EmbeddingStore* store)
+    : config_(config), store_(store), rng_(config.seed) {
+  if (config_.num_numerical > 0) {
+    std::vector<size_t> bottom_sizes;
+    bottom_sizes.push_back(config_.num_numerical);
+    bottom_sizes.insert(bottom_sizes.end(), config_.bottom_hidden.begin(),
+                        config_.bottom_hidden.end());
+    bottom_sizes.push_back(config_.emb_dim);
+    bottom_ = std::make_unique<Mlp>(bottom_sizes, rng_);
+  }
+  std::vector<size_t> top_sizes;
+  top_sizes.push_back(TopInputSize());
+  top_sizes.insert(top_sizes.end(), config_.top_hidden.begin(),
+                   config_.top_hidden.end());
+  top_sizes.push_back(1);
+  top_ = std::make_unique<Mlp>(top_sizes, rng_);
+
+  optimizer_ = MakeOptimizer(config_.dense_optimizer);
+  CAFE_CHECK(optimizer_ != nullptr)
+      << "unknown optimizer: " << config_.dense_optimizer;
+  std::vector<Param> params;
+  if (bottom_ != nullptr) bottom_->CollectParams(&params);
+  top_->CollectParams(&params);
+  optimizer_->Register(params);
+}
+
+void DlrmModel::Forward(const Batch& batch, Tensor* logits) {
+  CAFE_DCHECK(batch.num_fields == config_.num_fields);
+  const uint32_t d = config_.emb_dim;
+  model_internal::LookupBatch(store_, batch, &emb_);
+
+  if (bottom_ != nullptr) {
+    numerical_in_.Resize(batch.batch_size, config_.num_numerical);
+    std::memcpy(numerical_in_.data(), batch.numerical,
+                batch.batch_size * config_.num_numerical * sizeof(float));
+    bottom_->Forward(numerical_in_, &bottom_out_);
+  }
+
+  // Dot-product interaction: all pairwise dots between the K vectors of
+  // each sample; the bottom output (if any) is vector index F and is also
+  // concatenated raw.
+  const size_t k = NumVectors();
+  interaction_.Resize(batch.batch_size, TopInputSize());
+  for (size_t b = 0; b < batch.batch_size; ++b) {
+    const float* emb_row = emb_.row(b);
+    float* out = interaction_.row(b);
+    size_t pos = 0;
+    if (bottom_ != nullptr) {
+      std::memcpy(out, bottom_out_.row(b), d * sizeof(float));
+      pos = d;
+    }
+    auto vec = [&](size_t i) -> const float* {
+      return i < config_.num_fields ? emb_row + i * d : bottom_out_.row(b);
+    };
+    for (size_t i = 0; i < k; ++i) {
+      const float* vi = vec(i);
+      for (size_t j = i + 1; j < k; ++j) {
+        const float* vj = vec(j);
+        float dot = 0.0f;
+        for (uint32_t t = 0; t < d; ++t) dot += vi[t] * vj[t];
+        out[pos++] = dot;
+      }
+    }
+  }
+  top_->Forward(interaction_, logits);
+}
+
+double DlrmModel::TrainStep(const Batch& batch) {
+  Forward(batch, &logits_);
+  std::vector<float> labels(batch.labels, batch.labels + batch.batch_size);
+  const double loss = BceWithLogitsLoss::Compute(logits_, labels,
+                                                 &grad_logits_);
+
+  optimizer_->ZeroGrad();
+  top_->Backward(grad_logits_, &grad_interaction_);
+
+  // Interaction backward: d(vi . vj)/dvi = vj. The bottom vector also
+  // receives the gradient of its raw concatenation.
+  const uint32_t d = config_.emb_dim;
+  const size_t k = NumVectors();
+  grad_emb_.Resize(batch.batch_size, config_.num_fields * d);
+  grad_emb_.Zero();
+  if (bottom_ != nullptr) {
+    grad_bottom_out_.Resize(batch.batch_size, d);
+    grad_bottom_out_.Zero();
+  }
+  for (size_t b = 0; b < batch.batch_size; ++b) {
+    const float* emb_row = emb_.row(b);
+    const float* g_int = grad_interaction_.row(b);
+    float* g_emb = grad_emb_.row(b);
+    size_t pos = 0;
+    if (bottom_ != nullptr) {
+      float* g_bot = grad_bottom_out_.row(b);
+      for (uint32_t t = 0; t < d; ++t) g_bot[t] += g_int[t];
+      pos = d;
+    }
+    auto vec = [&](size_t i) -> const float* {
+      return i < config_.num_fields ? emb_row + i * d : bottom_out_.row(b);
+    };
+    auto grad_vec = [&](size_t i) -> float* {
+      return i < config_.num_fields ? g_emb + i * d : grad_bottom_out_.row(b);
+    };
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = i + 1; j < k; ++j) {
+        const float g = g_int[pos++];
+        if (g == 0.0f) continue;
+        const float* vi = vec(i);
+        const float* vj = vec(j);
+        float* gi = grad_vec(i);
+        float* gj = grad_vec(j);
+        for (uint32_t t = 0; t < d; ++t) {
+          gi[t] += g * vj[t];
+          gj[t] += g * vi[t];
+        }
+      }
+    }
+  }
+  if (bottom_ != nullptr) {
+    bottom_->Backward(grad_bottom_out_, &grad_numerical_);
+  }
+  optimizer_->Step(config_.dense_lr);
+  model_internal::ApplyBatchGradients(store_, batch, grad_emb_,
+                                      config_.emb_lr);
+  store_->Tick();
+  return loss;
+}
+
+void DlrmModel::Predict(const Batch& batch, std::vector<float>* logits) {
+  Tensor out;
+  Forward(batch, &out);
+  logits->resize(batch.batch_size);
+  for (size_t b = 0; b < batch.batch_size; ++b) (*logits)[b] = out.at(b, 0);
+}
+
+size_t DlrmModel::DenseParameters() const {
+  size_t total = top_->NumParameters();
+  if (bottom_ != nullptr) total += bottom_->NumParameters();
+  return total;
+}
+
+}  // namespace cafe

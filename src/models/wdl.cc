@@ -1,0 +1,110 @@
+#include "models/wdl.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "nn/loss.h"
+
+namespace cafe {
+
+StatusOr<std::unique_ptr<WdlModel>> WdlModel::Create(const ModelConfig& config,
+                                                     EmbeddingStore* store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("wdl: embedding store is required");
+  }
+  if (store->dim() != config.emb_dim) {
+    return Status::InvalidArgument("wdl: store dim != config.emb_dim");
+  }
+  if (config.num_fields == 0) {
+    return Status::InvalidArgument("wdl: num_fields must be positive");
+  }
+  return std::unique_ptr<WdlModel>(new WdlModel(config, store));
+}
+
+WdlModel::WdlModel(const ModelConfig& config, EmbeddingStore* store)
+    : config_(config), store_(store), rng_(config.seed) {
+  wide_ = std::make_unique<Linear>(InputSize(), 1, rng_);
+  std::vector<size_t> deep_sizes;
+  deep_sizes.push_back(InputSize());
+  deep_sizes.insert(deep_sizes.end(), config_.top_hidden.begin(),
+                    config_.top_hidden.end());
+  deep_sizes.push_back(1);
+  deep_ = std::make_unique<Mlp>(deep_sizes, rng_);
+
+  optimizer_ = MakeOptimizer(config_.dense_optimizer);
+  CAFE_CHECK(optimizer_ != nullptr)
+      << "unknown optimizer: " << config_.dense_optimizer;
+  std::vector<Param> params;
+  wide_->CollectParams(&params);
+  deep_->CollectParams(&params);
+  optimizer_->Register(params);
+}
+
+void WdlModel::BuildInput(const Batch& batch) {
+  const uint32_t d = config_.emb_dim;
+  const size_t emb_cols = config_.num_fields * d;
+  input_.Resize(batch.batch_size, InputSize());
+  for (size_t b = 0; b < batch.batch_size; ++b) {
+    const uint32_t* cats = batch.sample_categorical(b);
+    float* row = input_.row(b);
+    for (size_t f = 0; f < batch.num_fields; ++f) {
+      store_->Lookup(cats[f], row + f * d);
+    }
+    if (config_.num_numerical > 0) {
+      std::memcpy(row + emb_cols, batch.sample_numerical(b),
+                  config_.num_numerical * sizeof(float));
+    }
+  }
+}
+
+void WdlModel::Forward(const Batch& batch, Tensor* logits) {
+  CAFE_DCHECK(batch.num_fields == config_.num_fields);
+  BuildInput(batch);
+  wide_->Forward(input_, &wide_out_);
+  deep_->Forward(input_, &deep_out_);
+  logits->Resize(batch.batch_size, 1);
+  for (size_t b = 0; b < batch.batch_size; ++b) {
+    logits->at(b, 0) = wide_out_.at(b, 0) + deep_out_.at(b, 0);
+  }
+}
+
+double WdlModel::TrainStep(const Batch& batch) {
+  Forward(batch, &logits_);
+  std::vector<float> labels(batch.labels, batch.labels + batch.batch_size);
+  const double loss = BceWithLogitsLoss::Compute(logits_, labels,
+                                                 &grad_logits_);
+
+  optimizer_->ZeroGrad();
+  // d logit = d wide + d deep, so both branches see grad_logits_.
+  wide_->Backward(grad_logits_, &grad_wide_in_);
+  deep_->Backward(grad_logits_, &grad_deep_in_);
+  optimizer_->Step(config_.dense_lr);
+
+  // Embedding gradient = sum of both branches' input gradients, truncated
+  // to the embedding columns.
+  const size_t emb_cols = config_.num_fields * config_.emb_dim;
+  grad_emb_.Resize(batch.batch_size, emb_cols);
+  for (size_t b = 0; b < batch.batch_size; ++b) {
+    const float* gw = grad_wide_in_.row(b);
+    const float* gd = grad_deep_in_.row(b);
+    float* ge = grad_emb_.row(b);
+    for (size_t i = 0; i < emb_cols; ++i) ge[i] = gw[i] + gd[i];
+  }
+  model_internal::ApplyBatchGradients(store_, batch, grad_emb_,
+                                      config_.emb_lr);
+  store_->Tick();
+  return loss;
+}
+
+void WdlModel::Predict(const Batch& batch, std::vector<float>* logits) {
+  Tensor out;
+  Forward(batch, &out);
+  logits->resize(batch.batch_size);
+  for (size_t b = 0; b < batch.batch_size; ++b) (*logits)[b] = out.at(b, 0);
+}
+
+size_t WdlModel::DenseParameters() const {
+  return wide_->NumParameters() + deep_->NumParameters();
+}
+
+}  // namespace cafe

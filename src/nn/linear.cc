@@ -1,0 +1,64 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+namespace cafe {
+
+Linear::Linear(size_t in_features, size_t out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(in_features * out_features),
+      bias_(out_features, 0.0f),
+      weight_grad_(in_features * out_features, 0.0f),
+      bias_grad_(out_features, 0.0f) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(in_features + out_features));
+  for (float& w : weight_) w = rng.UniformFloat(-bound, bound);
+}
+
+void Linear::Forward(const Tensor& in, Tensor* out) {
+  CAFE_DCHECK(in.cols() == in_features_)
+      << "Linear expects " << in_features_ << " inputs, got " << in.cols();
+  cached_input_ = in;
+  out->Resize(in.rows(), out_features_);
+  for (size_t b = 0; b < in.rows(); ++b) {
+    const float* x = in.row(b);
+    float* y = out->row(b);
+    for (size_t o = 0; o < out_features_; ++o) {
+      const float* w = weight_.data() + o * in_features_;
+      float acc = bias_[o];
+      for (size_t i = 0; i < in_features_; ++i) acc += w[i] * x[i];
+      y[o] = acc;
+    }
+  }
+}
+
+void Linear::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  CAFE_DCHECK(grad_out.rows() == cached_input_.rows());
+  CAFE_DCHECK(grad_out.cols() == out_features_);
+  grad_in->Resize(cached_input_.rows(), in_features_);
+  grad_in->Zero();
+  for (size_t b = 0; b < grad_out.rows(); ++b) {
+    const float* x = cached_input_.row(b);
+    const float* gy = grad_out.row(b);
+    float* gx = grad_in->row(b);
+    for (size_t o = 0; o < out_features_; ++o) {
+      const float g = gy[o];
+      if (g == 0.0f) continue;
+      const float* w = weight_.data() + o * in_features_;
+      float* gw = weight_grad_.data() + o * in_features_;
+      bias_grad_[o] += g;
+      for (size_t i = 0; i < in_features_; ++i) {
+        gw[i] += g * x[i];
+        gx[i] += g * w[i];
+      }
+    }
+  }
+}
+
+void Linear::CollectParams(std::vector<Param>* out) {
+  out->push_back({weight_.data(), weight_grad_.data(), weight_.size()});
+  out->push_back({bias_.data(), bias_grad_.data(), bias_.size()});
+}
+
+}  // namespace cafe

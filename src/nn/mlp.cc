@@ -1,0 +1,48 @@
+#include "nn/mlp.h"
+
+#include "common/logging.h"
+
+namespace cafe {
+
+Mlp::Mlp(const std::vector<size_t>& layer_sizes, Rng& rng) {
+  CAFE_CHECK(layer_sizes.size() >= 2) << "MLP needs at least in/out sizes";
+  for (size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+    layers_.push_back(
+        std::make_unique<Linear>(layer_sizes[i], layer_sizes[i + 1], rng));
+    if (i + 2 < layer_sizes.size()) {
+      layers_.push_back(std::make_unique<Relu>());
+    }
+  }
+  activations_.resize(layers_.size());
+  gradients_.resize(layers_.size());
+}
+
+void Mlp::Forward(const Tensor& in, Tensor* out) {
+  const Tensor* current = &in;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    Tensor* next = (i + 1 == layers_.size()) ? out : &activations_[i];
+    layers_[i]->Forward(*current, next);
+    current = next;
+  }
+}
+
+void Mlp::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  const Tensor* current = &grad_out;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    Tensor* next = (i == 0) ? grad_in : &gradients_[i];
+    layers_[i]->Backward(*current, next);
+    current = next;
+  }
+}
+
+void Mlp::CollectParams(std::vector<Param>* out) {
+  for (auto& layer : layers_) layer->CollectParams(out);
+}
+
+size_t Mlp::NumParameters() const {
+  size_t total = 0;
+  for (const auto& layer : layers_) total += layer->NumParameters();
+  return total;
+}
+
+}  // namespace cafe

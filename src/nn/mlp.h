@@ -1,0 +1,35 @@
+#ifndef CAFE_NN_MLP_H_
+#define CAFE_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "nn/activation.h"
+#include "nn/linear.h"
+
+namespace cafe {
+
+/// A stack of Linear layers with ReLU between them. The final Linear has no
+/// activation (models append sigmoid / use a with-logits loss as needed).
+/// `layer_sizes` = {in, h1, h2, ..., out}.
+class Mlp : public Layer {
+ public:
+  Mlp(const std::vector<size_t>& layer_sizes, Rng& rng);
+
+  void Forward(const Tensor& in, Tensor* out) override;
+  void Backward(const Tensor& grad_out, Tensor* grad_in) override;
+  void CollectParams(std::vector<Param>* out) override;
+  size_t NumParameters() const override;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  // Intermediate activations / gradients reused across steps to avoid
+  // reallocation in the training loop.
+  std::vector<Tensor> activations_;
+  std::vector<Tensor> gradients_;
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_NN_MLP_H_

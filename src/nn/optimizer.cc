@@ -1,0 +1,76 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+
+namespace cafe {
+
+void Optimizer::Register(const std::vector<Param>& params) {
+  params_.insert(params_.end(), params.begin(), params.end());
+}
+
+void Optimizer::ZeroGrad() {
+  for (const Param& p : params_) {
+    std::memset(p.grad, 0, p.size * sizeof(float));
+  }
+}
+
+void SgdOptimizer::Step(float lr) {
+  for (const Param& p : params_) {
+    for (size_t i = 0; i < p.size; ++i) p.value[i] -= lr * p.grad[i];
+  }
+}
+
+void AdagradOptimizer::Register(const std::vector<Param>& params) {
+  Optimizer::Register(params);
+  for (const Param& p : params) accum_.emplace_back(p.size, 0.0f);
+}
+
+void AdagradOptimizer::Step(float lr) {
+  for (size_t b = 0; b < params_.size(); ++b) {
+    const Param& p = params_[b];
+    float* acc = accum_[b].data();
+    for (size_t i = 0; i < p.size; ++i) {
+      const float g = p.grad[i];
+      acc[i] += g * g;
+      p.value[i] -= lr * g / (std::sqrt(acc[i]) + epsilon_);
+    }
+  }
+}
+
+void AdamOptimizer::Register(const std::vector<Param>& params) {
+  Optimizer::Register(params);
+  for (const Param& p : params) {
+    m_.emplace_back(p.size, 0.0f);
+    v_.emplace_back(p.size, 0.0f);
+  }
+}
+
+void AdamOptimizer::Step(float lr) {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t b = 0; b < params_.size(); ++b) {
+    const Param& p = params_[b];
+    float* m = m_[b].data();
+    float* v = v_[b].data();
+    for (size_t i = 0; i < p.size; ++i) {
+      const float g = p.grad[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[i] / bc1;
+      const float v_hat = v[i] / bc2;
+      p.value[i] -= lr * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> MakeOptimizer(const std::string& name) {
+  if (name == "sgd") return std::make_unique<SgdOptimizer>();
+  if (name == "adagrad") return std::make_unique<AdagradOptimizer>();
+  if (name == "adam") return std::make_unique<AdamOptimizer>();
+  return nullptr;
+}
+
+}  // namespace cafe

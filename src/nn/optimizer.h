@@ -1,0 +1,79 @@
+#ifndef CAFE_NN_OPTIMIZER_H_
+#define CAFE_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace cafe {
+
+/// Base class for dense-parameter optimizers. Parameters are registered
+/// once; Step() applies accumulated gradients and ZeroGrad() clears them.
+/// (Embedding tables update sparsely inside their stores and do not go
+/// through this interface.)
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Registers parameter blocks. May be called multiple times (e.g. one
+  /// call per model component); state is allocated per block.
+  virtual void Register(const std::vector<Param>& params);
+
+  /// Applies one update with learning rate `lr`, consuming `grad`.
+  virtual void Step(float lr) = 0;
+
+  void ZeroGrad();
+
+ protected:
+  std::vector<Param> params_;
+};
+
+/// Plain SGD: p -= lr * g. The reference update for convergence analysis
+/// (paper §3.5.2 analyzes SGD).
+class SgdOptimizer : public Optimizer {
+ public:
+  void Step(float lr) override;
+};
+
+/// Adagrad: per-coordinate adaptive step, the standard choice for sparse
+/// recommendation models.
+class AdagradOptimizer : public Optimizer {
+ public:
+  explicit AdagradOptimizer(float epsilon = 1e-8f) : epsilon_(epsilon) {}
+
+  void Register(const std::vector<Param>& params) override;
+  void Step(float lr) override;
+
+ private:
+  float epsilon_;
+  std::vector<std::vector<float>> accum_;  // one per param block
+};
+
+/// Adam (Kingma & Ba 2015) — the optimizer the paper names for DLRM dense
+/// layers (§2.1).
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(float beta1 = 0.9f, float beta2 = 0.999f,
+                float epsilon = 1e-8f)
+      : beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+
+  void Register(const std::vector<Param>& params) override;
+  void Step(float lr) override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// Factory by name ("sgd" | "adagrad" | "adam"); nullptr on unknown name.
+std::unique_ptr<Optimizer> MakeOptimizer(const std::string& name);
+
+}  // namespace cafe
+
+#endif  // CAFE_NN_OPTIMIZER_H_

@@ -1,0 +1,66 @@
+#ifndef CAFE_NN_TENSOR_H_
+#define CAFE_NN_TENSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cafe {
+
+/// A minimal 2-D row-major float32 tensor: shape (rows, cols) with
+/// contiguous storage. This is the only tensor type the NN substrate needs —
+/// batches are rows, features are columns. Copyable and movable.
+class Tensor {
+ public:
+  Tensor() : rows_(0), cols_(0) {}
+  Tensor(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// Reshapes (reallocating if needed) and leaves contents unspecified.
+  /// Cheap when the new size matches the old one — the common case inside
+  /// a training loop with a fixed batch size.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  void Zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Pointer to the start of row r.
+  float* row(size_t r) {
+    CAFE_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* row(size_t r) const {
+    CAFE_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  float& at(size_t r, size_t c) {
+    CAFE_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(size_t r, size_t c) const {
+    CAFE_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_NN_TENSOR_H_

@@ -1,0 +1,103 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cafe {
+
+Status CountMin::Config::Validate() const {
+  if (width == 0) return Status::InvalidArgument("CountMin width must be > 0");
+  if (depth == 0) return Status::InvalidArgument("CountMin depth must be > 0");
+  return Status::OK();
+}
+
+StatusOr<CountMin> CountMin::Create(const Config& config) {
+  CAFE_RETURN_IF_ERROR(config.Validate());
+  return CountMin(config);
+}
+
+CountMin::CountMin(const Config& config)
+    : config_(config), counters_(config.width * config.depth, 0.0) {
+  hashes_.reserve(config.depth);
+  for (uint32_t r = 0; r < config.depth; ++r) {
+    hashes_.emplace_back(config.seed + r * 0x9e3779b9ULL);
+  }
+}
+
+void CountMin::Insert(uint64_t key, double weight) {
+  for (uint32_t r = 0; r < config_.depth; ++r) {
+    counters_[r * config_.width + hashes_[r].Bounded(key, config_.width)] +=
+        weight;
+  }
+}
+
+double CountMin::Query(uint64_t key) const {
+  double best = counters_[hashes_[0].Bounded(key, config_.width)];
+  for (uint32_t r = 1; r < config_.depth; ++r) {
+    best = std::min(
+        best,
+        counters_[r * config_.width + hashes_[r].Bounded(key, config_.width)]);
+  }
+  return best;
+}
+
+void CountMin::Clear() {
+  std::fill(counters_.begin(), counters_.end(), 0.0);
+}
+
+StatusOr<CountMinTopK> CountMinTopK::Create(const CountMin::Config& config,
+                                            size_t k) {
+  if (k == 0) return Status::InvalidArgument("CountMinTopK needs k > 0");
+  auto sketch = CountMin::Create(config);
+  if (!sketch.ok()) return sketch.status();
+  return CountMinTopK(std::move(sketch).value(), k);
+}
+
+CountMinTopK::CountMinTopK(CountMin sketch, size_t k)
+    : sketch_(std::move(sketch)), k_(k) {
+  candidates_.reserve(2 * k + 1);
+}
+
+void CountMinTopK::Insert(uint64_t key, double weight) {
+  sketch_.Insert(key, weight);
+  const double estimate = sketch_.Query(key);
+  auto it = candidates_.find(key);
+  if (it != candidates_.end()) {
+    it->second = estimate;
+    return;
+  }
+  if (candidates_.size() < k_ || estimate > admit_threshold_) {
+    candidates_.emplace(key, estimate);
+    if (candidates_.size() > 2 * k_) PruneToK();
+  }
+}
+
+void CountMinTopK::PruneToK() {
+  std::vector<std::pair<uint64_t, double>> entries(candidates_.begin(),
+                                                   candidates_.end());
+  std::nth_element(entries.begin(), entries.begin() + k_ - 1, entries.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  admit_threshold_ = entries[k_ - 1].second;
+  candidates_.clear();
+  for (size_t i = 0; i < k_; ++i) candidates_.insert(entries[i]);
+}
+
+std::vector<std::pair<uint64_t, double>> CountMinTopK::TopK(size_t k) const {
+  std::vector<std::pair<uint64_t, double>> entries(candidates_.begin(),
+                                                   candidates_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (k < entries.size()) entries.resize(k);
+  return entries;
+}
+
+size_t CountMinTopK::MemoryBytes() const {
+  return sketch_.MemoryBytes() +
+         candidates_.size() * (sizeof(uint64_t) + sizeof(double) +
+                               sizeof(void*));
+}
+
+}  // namespace cafe

@@ -1,0 +1,82 @@
+#ifndef CAFE_SKETCH_COUNT_MIN_H_
+#define CAFE_SKETCH_COUNT_MIN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace cafe {
+
+/// Count-Min sketch (Cormode & Muthukrishnan 2005) over weighted streams:
+/// `d` counter arrays of width `w`; Insert adds the weight to one counter
+/// per row; Query returns the minimum (an overestimate).
+///
+/// Included as the representative counter-based sketch from the paper's
+/// related work (§6.2): it needs d memory accesses per insertion and wastes
+/// memory on infrequent items, which is why HotSketch (KV-based) wins for
+/// the top-k use case. Benches use it as a reference line.
+class CountMin {
+ public:
+  struct Config {
+    uint64_t width = 1024;  ///< counters per row
+    uint32_t depth = 3;     ///< number of rows / hash functions
+    uint64_t seed = 0xc0;
+
+    Status Validate() const;
+  };
+
+  static StatusOr<CountMin> Create(const Config& config);
+
+  void Insert(uint64_t key, double weight);
+
+  /// Point query: min over the key's counters; always >= true weight sum.
+  double Query(uint64_t key) const;
+
+  void Clear();
+
+  size_t MemoryBytes() const { return counters_.size() * sizeof(double); }
+  uint64_t width() const { return config_.width; }
+  uint32_t depth() const { return config_.depth; }
+
+ private:
+  explicit CountMin(const Config& config);
+
+  Config config_;
+  std::vector<SeededHash> hashes_;
+  std::vector<double> counters_;  // row r occupies [r*width, (r+1)*width)
+};
+
+/// CountMin plus a candidate set: the classic way to answer top-k queries
+/// with a counter-based sketch. Keeps up to 2k candidate keys with the
+/// largest sketch estimates and prunes back to k when the set overflows
+/// (amortized O(1) per insert).
+class CountMinTopK {
+ public:
+  static StatusOr<CountMinTopK> Create(const CountMin::Config& config,
+                                       size_t k);
+
+  void Insert(uint64_t key, double weight);
+
+  /// `k` highest-estimate candidates, sorted descending (k <= configured k).
+  std::vector<std::pair<uint64_t, double>> TopK(size_t k) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  CountMinTopK(CountMin sketch, size_t k);
+
+  void PruneToK();
+
+  CountMin sketch_;
+  size_t k_;
+  std::unordered_map<uint64_t, double> candidates_;
+  double admit_threshold_ = 0.0;  // estimate needed to enter the set
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_SKETCH_COUNT_MIN_H_

@@ -1,0 +1,169 @@
+#include "sketch/hot_sketch.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cafe {
+
+Status HotSketchConfig::Validate() const {
+  if (num_buckets == 0) {
+    return Status::InvalidArgument("HotSketch needs at least one bucket");
+  }
+  if (slots_per_bucket == 0) {
+    return Status::InvalidArgument("HotSketch needs at least one slot/bucket");
+  }
+  return Status::OK();
+}
+
+StatusOr<HotSketch> HotSketch::Create(const HotSketchConfig& config) {
+  CAFE_RETURN_IF_ERROR(config.Validate());
+  return HotSketch(config);
+}
+
+HotSketch::HotSketch(const HotSketchConfig& config)
+    : config_(config),
+      hash_(config.seed),
+      slots_(config.num_buckets * config.slots_per_bucket) {}
+
+HotSketch::InsertResult HotSketch::Insert(uint64_t key, double score) {
+  InsertResult result;
+  if (key >= kEmptyKey) return result;
+  const uint32_t key32 = static_cast<uint32_t>(key);
+  const uint64_t base = BucketOf(key) * config_.slots_per_bucket;
+  Slot* bucket = slots_.data() + base;
+  const uint32_t c = config_.slots_per_bucket;
+
+  // Scenario 1: key already recorded -> add score.
+  // Track the empty slot / min slot in the same pass (single memory access
+  // over one cache-resident bucket, as in the paper). Slots carrying a
+  // payload (hot features owning an exclusive embedding) are only eviction
+  // candidates when every slot in the bucket carries one: tail-driven
+  // SpaceSaving inflation must not churn the hot set — hot features exit
+  // through score decay instead (§3.3).
+  Slot* empty = nullptr;
+  Slot* min_slot = nullptr;        // min among payload-free slots
+  Slot* min_any = &bucket[0];      // min over all slots (fallback)
+  for (uint32_t i = 0; i < c; ++i) {
+    Slot& s = bucket[i];
+    if (s.key == key32) {
+      s.score += static_cast<float>(score);
+      result.new_score = s.score;
+      result.inserted = true;
+      result.slot_index = static_cast<int64_t>(base + i);
+      return result;
+    }
+    if (s.key == kEmptyKey) {
+      if (empty == nullptr) empty = &s;
+      continue;
+    }
+    if (min_any->key == kEmptyKey || s.score < min_any->score) min_any = &s;
+    if (s.payload == kNoPayload &&
+        (min_slot == nullptr || s.score < min_slot->score)) {
+      min_slot = &s;
+    }
+  }
+  if (min_slot == nullptr) min_slot = min_any;
+
+  // Scenario 2: free slot available.
+  if (empty != nullptr) {
+    empty->key = key32;
+    empty->score = static_cast<float>(score);
+    empty->error = 0.0f;
+    empty->payload = kNoPayload;
+    result.new_score = score;
+    result.inserted = true;
+    result.slot_index = empty - slots_.data();
+    return result;
+  }
+
+  // Scenario 3: replace the minimum slot, inheriting its score
+  // (SpaceSaving's (f_min, s_min) -> (f_i, s_min + s_i) rule); the
+  // inherited part is recorded as the newcomer's error bound.
+  result.evicted = true;
+  result.evicted_key = min_slot->key;
+  result.evicted_score = min_slot->score;
+  result.evicted_payload = min_slot->payload;
+  min_slot->key = key32;
+  min_slot->error = min_slot->score;
+  min_slot->score += static_cast<float>(score);
+  min_slot->payload = kNoPayload;
+  result.new_score = min_slot->score;
+  result.inserted = true;
+  result.slot_index = min_slot - slots_.data();
+  return result;
+}
+
+double HotSketch::Query(uint64_t key) const {
+  const Slot* slot = Find(key);
+  return slot != nullptr ? slot->score : -1.0;
+}
+
+HotSketch::Slot* HotSketch::Find(uint64_t key) {
+  return const_cast<Slot*>(
+      static_cast<const HotSketch*>(this)->Find(key));
+}
+
+const HotSketch::Slot* HotSketch::Find(uint64_t key) const {
+  if (key >= kEmptyKey) return nullptr;
+  const uint32_t key32 = static_cast<uint32_t>(key);
+  const uint64_t base = BucketOf(key) * config_.slots_per_bucket;
+  for (uint32_t i = 0; i < config_.slots_per_bucket; ++i) {
+    const Slot& s = slots_[base + i];
+    if (s.key == key32) return &s;
+  }
+  return nullptr;
+}
+
+void HotSketch::Decay(double factor) {
+  CAFE_DCHECK(factor >= 0.0) << "decay factor must be non-negative";
+  for (Slot& s : slots_) {
+    if (s.key != kEmptyKey) {
+      s.score *= static_cast<float>(factor);
+      s.error *= static_cast<float>(factor);
+    }
+  }
+}
+
+std::vector<std::pair<uint64_t, double>> HotSketch::TopK(size_t k) const {
+  std::vector<std::pair<uint64_t, double>> entries;
+  entries.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    if (s.key != kEmptyKey) entries.emplace_back(s.key, s.score);
+  }
+  if (k < entries.size()) {
+    std::partial_sort(entries.begin(), entries.begin() + k, entries.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.second > b.second;
+                      });
+    entries.resize(k);
+  } else {
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+  }
+  return entries;
+}
+
+bool HotSketch::Erase(uint64_t key) {
+  Slot* slot = Find(key);
+  if (slot == nullptr) return false;
+  slot->key = static_cast<uint32_t>(kEmptyKey);
+  slot->score = 0.0f;
+  slot->error = 0.0f;
+  slot->payload = kNoPayload;
+  return true;
+}
+
+void HotSketch::Clear() {
+  for (Slot& s : slots_) s = Slot{};
+}
+
+size_t HotSketch::size() const {
+  size_t n = 0;
+  for (const Slot& s : slots_) {
+    if (s.key != kEmptyKey) ++n;
+  }
+  return n;
+}
+
+}  // namespace cafe

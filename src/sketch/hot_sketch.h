@@ -1,0 +1,146 @@
+#ifndef CAFE_SKETCH_HOT_SKETCH_H_
+#define CAFE_SKETCH_HOT_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace cafe {
+
+/// Configuration for HotSketch (paper §3.2).
+struct HotSketchConfig {
+  /// Number of buckets `w`. The paper sets w to the number of hot features
+  /// to track (with 4 slots per bucket the sketch then holds 4x that many
+  /// candidates and saturates with hot features).
+  uint64_t num_buckets = 1024;
+
+  /// Slots per bucket `c`. The paper uses 4 (trading recall for throughput);
+  /// Corollary 3.5 derives c* = 1 + 1/(z-1) for Zipf(z) streams.
+  uint32_t slots_per_bucket = 4;
+
+  /// Seed of the bucket hash function h(.).
+  uint64_t seed = 0x5eed;
+
+  Status Validate() const;
+};
+
+/// HotSketch: a bucketized SpaceSaving sketch reporting hot features in one
+/// pass (paper §3.2).
+///
+/// Data structure: `w` buckets, each with `c` slots of (feature id, score).
+/// Insertion hashes the feature to one bucket and then either (1) adds the
+/// score to the matching slot, (2) claims an empty slot, or (3) replaces the
+/// minimum-score slot, *adding* the incoming score to the stored minimum —
+/// exactly SpaceSaving's overestimate-on-replace rule, restricted to one
+/// bucket. One memory access, no pointers, O(1) time.
+///
+/// Each slot also carries a 32-bit payload. CAFE uses it to store the index
+/// of the feature's exclusive embedding row (the paper stores a pointer);
+/// the sketch itself only moves it around and reports it on eviction.
+///
+/// Theoretical guarantees: Theorems 3.1/3.3 of the paper (a feature with
+/// score share > gamma of the total L1 mass is retained with probability
+/// >= 1 - (1-gamma)/((c-1) gamma w) without distribution assumptions). See
+/// `core/theory.h` for the numeric evaluation used in Figure 7.
+class HotSketch {
+ public:
+  /// Sentinel key meaning "slot unoccupied". Feature ids must be smaller
+  /// (the slot stores 32-bit keys to keep the paper's compact 3-attribute
+  /// layout; 2^32-1 ids cover even CriteoTB's 204M-feature space).
+  static constexpr uint64_t kEmptyKey = 0xffffffffULL;
+  /// Payload value meaning "no payload attached".
+  static constexpr int32_t kNoPayload = -1;
+
+  /// One (feature, score, payload) entry. Exposed for tests and benches.
+  /// `error` records the score inherited from the replaced minimum on a
+  /// scenario-3 insertion — SpaceSaving's per-counter overestimation bound
+  /// epsilon. score is an upper bound on the feature's true mass and
+  /// score - error a guaranteed lower bound; CAFE promotes on the lower
+  /// bound so tail features that merely inherited a big minimum cannot
+  /// displace genuinely hot features.
+  struct Slot {
+    uint32_t key = static_cast<uint32_t>(kEmptyKey);
+    float score = 0.0f;
+    float error = 0.0f;
+    int32_t payload = kNoPayload;
+
+    /// Guaranteed (collision-free) lower bound on the true score mass.
+    double GuaranteedScore() const {
+      return static_cast<double>(score) - static_cast<double>(error);
+    }
+  };
+  static_assert(sizeof(Slot) == 16, "slot layout must stay compact");
+
+  /// Result of an Insert: the feature's updated score estimate, plus the
+  /// identity/payload of any feature that was evicted to make room.
+  struct InsertResult {
+    double new_score = 0.0;
+    bool inserted = false;        ///< false only if key == kEmptyKey.
+    bool evicted = false;         ///< true when scenario (3) replaced a key.
+    uint64_t evicted_key = kEmptyKey;
+    double evicted_score = 0.0;
+    int32_t evicted_payload = kNoPayload;
+    /// Index (into slots()) of the slot now holding the inserted key, or -1
+    /// when nothing was inserted. Valid until the next mutating call.
+    int64_t slot_index = -1;
+  };
+
+  static StatusOr<HotSketch> Create(const HotSketchConfig& config);
+
+  /// Adds `score` to `key`'s estimate (paper "Insertion", scenarios 1-3).
+  InsertResult Insert(uint64_t key, double score);
+
+  /// Returns the current score estimate, or a negative value if `key` is not
+  /// tracked. (All inserted scores are non-negative, so < 0 is unambiguous.)
+  double Query(uint64_t key) const;
+
+  /// Returns a pointer to the slot holding `key`, or nullptr. The pointer is
+  /// invalidated by the next Insert/Decay. Payload may be mutated in place.
+  Slot* Find(uint64_t key);
+  const Slot* Find(uint64_t key) const;
+
+  /// Multiplies every stored score by `factor` (paper §3.3: periodic decay
+  /// so stale hot features exit under distribution shift).
+  void Decay(double factor);
+
+  /// Returns the `k` highest-score entries, sorted descending by score.
+  std::vector<std::pair<uint64_t, double>> TopK(size_t k) const;
+
+  /// Removes `key` if present (used when CAFE demotes a feature manually).
+  bool Erase(uint64_t key);
+
+  void Clear();
+
+  uint64_t num_buckets() const { return config_.num_buckets; }
+  uint32_t slots_per_bucket() const { return config_.slots_per_bucket; }
+  size_t capacity() const { return slots_.size(); }
+  /// Number of occupied slots.
+  size_t size() const;
+
+  /// Bytes of the slot array. The paper's memory accounting charges 3 fields
+  /// (key, score, payload) per slot; we report actual footprint.
+  size_t MemoryBytes() const { return slots_.size() * sizeof(Slot); }
+
+  const std::vector<Slot>& slots() const { return slots_; }
+  /// Mutable slot access for owners that manage payloads (CAFE).
+  Slot& slot_at(size_t i) { return slots_[i]; }
+
+ private:
+  HotSketch(const HotSketchConfig& config);
+
+  uint64_t BucketOf(uint64_t key) const {
+    return hash_.Bounded(key, config_.num_buckets);
+  }
+
+  HotSketchConfig config_;
+  SeededHash hash_;
+  std::vector<Slot> slots_;  // bucket b occupies [b*c, (b+1)*c)
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_SKETCH_HOT_SKETCH_H_

@@ -1,0 +1,171 @@
+#include "sketch/space_saving.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cafe {
+
+StatusOr<SpaceSaving> SpaceSaving::Create(size_t capacity) {
+  if (capacity == 0) {
+    return Status::InvalidArgument("SpaceSaving capacity must be positive");
+  }
+  return SpaceSaving(capacity);
+}
+
+SpaceSaving::SpaceSaving(size_t capacity) : capacity_(capacity) {
+  counters_.reserve(capacity);
+  // Counts take values in a dense-ish range; buckets are allocated on
+  // demand. Worst case one bucket per counter plus one transient.
+  buckets_.reserve(capacity + 1);
+  index_.reserve(capacity * 2);
+}
+
+int32_t SpaceSaving::AllocateBucket(uint64_t count) {
+  int32_t b;
+  if (!free_buckets_.empty()) {
+    b = free_buckets_.back();
+    free_buckets_.pop_back();
+  } else {
+    b = static_cast<int32_t>(buckets_.size());
+    buckets_.emplace_back();
+  }
+  Bucket& bucket = buckets_[b];
+  bucket.count = count;
+  bucket.head = -1;
+  bucket.prev = -1;
+  bucket.next = -1;
+  bucket.in_use = true;
+  return b;
+}
+
+void SpaceSaving::FreeBucket(int32_t b) {
+  Bucket& bucket = buckets_[b];
+  CAFE_DCHECK(bucket.head == -1) << "freeing non-empty bucket";
+  // Unlink from the bucket list.
+  if (bucket.prev != -1) buckets_[bucket.prev].next = bucket.next;
+  if (bucket.next != -1) buckets_[bucket.next].prev = bucket.prev;
+  if (min_bucket_ == b) min_bucket_ = bucket.next;
+  bucket.in_use = false;
+  free_buckets_.push_back(b);
+}
+
+void SpaceSaving::DetachCounter(int32_t c) {
+  Counter& counter = counters_[c];
+  if (counter.prev != -1) {
+    counters_[counter.prev].next = counter.next;
+  } else {
+    buckets_[counter.bucket].head = counter.next;
+  }
+  if (counter.next != -1) counters_[counter.next].prev = counter.prev;
+  counter.prev = counter.next = -1;
+}
+
+void SpaceSaving::AttachCounter(int32_t c, int32_t bucket) {
+  Counter& counter = counters_[c];
+  counter.bucket = bucket;
+  counter.prev = -1;
+  counter.next = buckets_[bucket].head;
+  if (counter.next != -1) counters_[counter.next].prev = c;
+  buckets_[bucket].head = c;
+}
+
+void SpaceSaving::IncrementCounter(int32_t c) {
+  Counter& counter = counters_[c];
+  const int32_t old_bucket = counter.bucket;
+  const uint64_t new_count = buckets_[old_bucket].count + 1;
+
+  // Target bucket is the next one if its count matches, else a new bucket
+  // inserted right after. (Counts only ever grow by 1, so the next bucket's
+  // count is >= new_count.)
+  const int32_t next = buckets_[old_bucket].next;
+  int32_t target;
+  if (next != -1 && buckets_[next].count == new_count) {
+    target = next;
+  } else {
+    target = AllocateBucket(new_count);
+    // Note AllocateBucket may grow buckets_, so re-read links afterwards.
+    Bucket& ob = buckets_[old_bucket];
+    Bucket& tb = buckets_[target];
+    tb.prev = old_bucket;
+    tb.next = ob.next;
+    if (ob.next != -1) buckets_[ob.next].prev = target;
+    ob.next = target;
+  }
+
+  DetachCounter(c);
+  AttachCounter(c, target);
+  if (buckets_[old_bucket].head == -1) FreeBucket(old_bucket);
+}
+
+void SpaceSaving::Insert(uint64_t key) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    IncrementCounter(it->second);
+    return;
+  }
+
+  if (counters_.size() < capacity_) {
+    // Fresh counter with count 1.
+    int32_t c = static_cast<int32_t>(counters_.size());
+    counters_.emplace_back();
+    counters_[c].key = key;
+    counters_[c].error = 0;
+    int32_t bucket;
+    if (min_bucket_ != -1 && buckets_[min_bucket_].count == 1) {
+      bucket = min_bucket_;
+    } else {
+      bucket = AllocateBucket(1);
+      buckets_[bucket].next = min_bucket_;
+      if (min_bucket_ != -1) buckets_[min_bucket_].prev = bucket;
+      min_bucket_ = bucket;
+    }
+    AttachCounter(c, bucket);
+    index_.emplace(key, c);
+    return;
+  }
+
+  // Replace an item in the minimum bucket: error becomes the old count,
+  // new count is old count + 1.
+  CAFE_DCHECK(min_bucket_ != -1);
+  int32_t victim = buckets_[min_bucket_].head;
+  Counter& counter = counters_[victim];
+  index_.erase(counter.key);
+  counter.error = buckets_[min_bucket_].count;
+  counter.key = key;
+  index_.emplace(key, victim);
+  IncrementCounter(victim);
+}
+
+uint64_t SpaceSaving::Query(uint64_t key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return 0;
+  return buckets_[counters_[it->second].bucket].count;
+}
+
+uint64_t SpaceSaving::Error(uint64_t key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return 0;
+  return counters_[it->second].error;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> SpaceSaving::TopK(size_t k) const {
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  entries.reserve(counters_.size());
+  for (const auto& [key, c] : index_) {
+    entries.emplace_back(key, buckets_[counters_[c].bucket].count);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (k < entries.size()) entries.resize(k);
+  return entries;
+}
+
+size_t SpaceSaving::MemoryBytes() const {
+  return counters_.capacity() * sizeof(Counter) +
+         buckets_.capacity() * sizeof(Bucket) +
+         index_.size() * (sizeof(uint64_t) + sizeof(int32_t) +
+                          sizeof(void*));  // rough node overhead
+}
+
+}  // namespace cafe

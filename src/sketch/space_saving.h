@@ -1,0 +1,87 @@
+#ifndef CAFE_SKETCH_SPACE_SAVING_H_
+#define CAFE_SKETCH_SPACE_SAVING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cafe {
+
+/// Classic SpaceSaving (Metwally, Agrawal, El Abbadi 2005) for unweighted
+/// top-k frequent items, implemented with the Stream-Summary structure the
+/// original paper describes: a doubly-linked list of count buckets, each
+/// holding the items that currently share a count, indexed by a hash table.
+///
+/// This is the baseline HotSketch improves on (paper §3.2): the hash table
+/// roughly doubles memory and the pointer chasing costs throughput. We keep
+/// it for the Figure 18 comparisons and for cross-checking HotSketch recall.
+///
+/// Counts here are integer frequencies (the original algorithm); HotSketch
+/// generalizes to real-valued importance scores.
+class SpaceSaving {
+ public:
+  /// `capacity` is the number of monitored items (counters).
+  static StatusOr<SpaceSaving> Create(size_t capacity);
+
+  /// Processes one occurrence of `key`.
+  void Insert(uint64_t key);
+
+  /// Estimated count of `key`, or 0 if unmonitored.
+  uint64_t Query(uint64_t key) const;
+
+  /// Overestimation error recorded for `key` (epsilon in the original
+  /// paper), or 0 if unmonitored.
+  uint64_t Error(uint64_t key) const;
+
+  /// `k` highest-count monitored items, sorted descending.
+  std::vector<std::pair<uint64_t, uint64_t>> TopK(size_t k) const;
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return index_.size(); }
+
+  /// Approximate memory footprint: counters plus hash-table index. Used by
+  /// the memory-fairness comparisons in bench/fig18.
+  size_t MemoryBytes() const;
+
+ private:
+  explicit SpaceSaving(size_t capacity);
+
+  // Intrusive doubly-linked structure: counters are nodes, grouped into
+  // buckets of equal count; buckets form a sorted list (ascending count).
+  struct Counter {
+    uint64_t key = 0;
+    uint64_t error = 0;
+    int32_t bucket = -1;  // index into buckets_
+    int32_t prev = -1;    // sibling counters within the bucket
+    int32_t next = -1;
+  };
+  struct Bucket {
+    uint64_t count = 0;
+    int32_t head = -1;    // first counter in this bucket
+    int32_t prev = -1;    // adjacent buckets (sorted by count)
+    int32_t next = -1;
+    bool in_use = false;
+  };
+
+  // Moves counter `c` from its bucket to one with count+increment, creating
+  // or recycling bucket nodes as needed.
+  void IncrementCounter(int32_t c);
+  void DetachCounter(int32_t c);
+  void AttachCounter(int32_t c, int32_t bucket);
+  int32_t AllocateBucket(uint64_t count);
+  void FreeBucket(int32_t b);
+
+  size_t capacity_;
+  std::vector<Counter> counters_;
+  std::vector<Bucket> buckets_;
+  std::vector<int32_t> free_buckets_;
+  int32_t min_bucket_ = -1;  // bucket with the smallest count
+  std::unordered_map<uint64_t, int32_t> index_;  // key -> counter
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_SKETCH_SPACE_SAVING_H_

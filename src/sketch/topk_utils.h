@@ -1,0 +1,45 @@
+#ifndef CAFE_SKETCH_TOPK_UTILS_H_
+#define CAFE_SKETCH_TOPK_UTILS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace cafe {
+
+/// Exact ground-truth top-k of an accumulated score map, sorted descending.
+/// Used by the sketch evaluation benches (Figure 18) and tests.
+inline std::vector<std::pair<uint64_t, double>> ExactTopK(
+    const std::unordered_map<uint64_t, double>& scores, size_t k) {
+  std::vector<std::pair<uint64_t, double>> entries(scores.begin(),
+                                                   scores.end());
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  if (k < entries.size()) entries.resize(k);
+  return entries;
+}
+
+/// Recall of `reported` against ground truth `truth`: |reported ∩ truth| /
+/// |truth|. Both are (key, score) lists; only keys matter.
+template <typename A, typename B>
+double TopKRecall(const std::vector<std::pair<uint64_t, A>>& truth,
+                  const std::vector<std::pair<uint64_t, B>>& reported) {
+  if (truth.empty()) return 1.0;
+  std::unordered_set<uint64_t> reported_keys;
+  reported_keys.reserve(reported.size() * 2);
+  for (const auto& [key, score] : reported) reported_keys.insert(key);
+  size_t hits = 0;
+  for (const auto& [key, score] : truth) {
+    if (reported_keys.count(key) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace cafe
+
+#endif  // CAFE_SKETCH_TOPK_UTILS_H_

@@ -1,0 +1,57 @@
+#include "train/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "nn/loss.h"
+
+namespace cafe {
+
+double ComputeAuc(const std::vector<float>& scores,
+                  const std::vector<float>& labels) {
+  CAFE_CHECK(scores.size() == labels.size());
+  const size_t n = scores.size();
+  if (n == 0) return 0.5;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Midranks: tied scores share the average of their rank range.
+  double positive_rank_sum = 0.0;
+  size_t positives = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    const double midrank = (static_cast<double>(i + 1) +
+                            static_cast<double>(j)) / 2.0;
+    for (size_t k = i; k < j; ++k) {
+      if (labels[order[k]] > 0.5f) {
+        positive_rank_sum += midrank;
+        ++positives;
+      }
+    }
+    i = j;
+  }
+  const size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  const double p = static_cast<double>(positives);
+  return (positive_rank_sum - p * (p + 1.0) / 2.0) /
+         (p * static_cast<double>(negatives));
+}
+
+double ComputeLogLoss(const std::vector<float>& logits,
+                      const std::vector<float>& labels) {
+  CAFE_CHECK(logits.size() == labels.size());
+  if (logits.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    total += BceWithLogitsLoss::PointLoss(logits[i], labels[i]);
+  }
+  return total / static_cast<double>(logits.size());
+}
+
+}  // namespace cafe

@@ -1,0 +1,22 @@
+#ifndef CAFE_TRAIN_METRICS_H_
+#define CAFE_TRAIN_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cafe {
+
+/// Area under the ROC curve from raw scores and binary labels, computed
+/// exactly via the rank statistic with midrank tie handling:
+///   AUC = (sum of positive ranks - P(P+1)/2) / (P * N).
+/// Returns 0.5 when one class is absent (undefined AUC).
+double ComputeAuc(const std::vector<float>& scores,
+                  const std::vector<float>& labels);
+
+/// Mean binary cross-entropy of logits against labels.
+double ComputeLogLoss(const std::vector<float>& logits,
+                      const std::vector<float>& labels);
+
+}  // namespace cafe
+
+#endif  // CAFE_TRAIN_METRICS_H_

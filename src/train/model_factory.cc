@@ -1,0 +1,28 @@
+#include "train/model_factory.h"
+
+#include "models/dcn.h"
+#include "models/dlrm.h"
+#include "models/wdl.h"
+
+namespace cafe {
+namespace {
+
+template <typename T>
+StatusOr<std::unique_ptr<RecModel>> Upcast(
+    StatusOr<std::unique_ptr<T>> result) {
+  if (!result.ok()) return result.status();
+  return std::unique_ptr<RecModel>(std::move(result).value());
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<RecModel>> MakeModel(const std::string& name,
+                                              const ModelConfig& config,
+                                              EmbeddingStore* store) {
+  if (name == "dlrm") return Upcast(DlrmModel::Create(config, store));
+  if (name == "wdl") return Upcast(WdlModel::Create(config, store));
+  if (name == "dcn") return Upcast(DcnModel::Create(config, store));
+  return Status::InvalidArgument("unknown model: " + name);
+}
+
+}  // namespace cafe

@@ -1,0 +1,19 @@
+#ifndef CAFE_TRAIN_MODEL_FACTORY_H_
+#define CAFE_TRAIN_MODEL_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "models/model.h"
+
+namespace cafe {
+
+/// Creates a recommendation model by name: "dlrm" | "wdl" | "dcn"
+/// (§5.1.1's three models). InvalidArgument on unknown names.
+StatusOr<std::unique_ptr<RecModel>> MakeModel(const std::string& name,
+                                              const ModelConfig& config,
+                                              EmbeddingStore* store);
+
+}  // namespace cafe
+
+#endif  // CAFE_TRAIN_MODEL_FACTORY_H_

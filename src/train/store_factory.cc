@@ -1,0 +1,75 @@
+#include "train/store_factory.h"
+
+#include "core/cafe_embedding.h"
+#include "embed/ada_embedding.h"
+#include "embed/full_embedding.h"
+#include "embed/hash_embedding.h"
+#include "embed/mde_embedding.h"
+#include "embed/offline_separation.h"
+#include "embed/qr_embedding.h"
+
+namespace cafe {
+namespace {
+
+template <typename T>
+StatusOr<std::unique_ptr<EmbeddingStore>> Upcast(
+    StatusOr<std::unique_ptr<T>> result) {
+  if (!result.ok()) return result.status();
+  return std::unique_ptr<EmbeddingStore>(std::move(result).value());
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<EmbeddingStore>> MakeStore(
+    const std::string& name, const StoreFactoryContext& context) {
+  if (name == "full") {
+    EmbeddingConfig config = context.embedding;
+    config.compression_ratio = 1.0;
+    return Upcast(FullEmbedding::Create(config));
+  }
+  if (name == "hash") {
+    return Upcast(HashEmbedding::Create(context.embedding));
+  }
+  if (name == "qr") {
+    return Upcast(QrEmbedding::Create(context.embedding));
+  }
+  if (name == "ada") {
+    return Upcast(AdaEmbedding::Create(context.embedding, context.ada));
+  }
+  if (name == "mde") {
+    if (context.layout.num_fields() == 0) {
+      return Status::InvalidArgument("mde requires a field layout");
+    }
+    return Upcast(MdeEmbedding::Create(context.embedding, context.layout));
+  }
+  if (name == "cafe" || name == "cafe-ml") {
+    CafeConfig config = context.cafe;
+    config.embedding = context.embedding;
+    config.use_multi_level = (name == "cafe-ml");
+    return Upcast(CafeEmbedding::Create(config));
+  }
+  if (name == "offline") {
+    if (context.offline_hot_ids.empty()) {
+      return Status::InvalidArgument(
+          "offline separation requires frequency-ranked feature ids");
+    }
+    // Mirror CAFE's memory split at the same ratio so the two are
+    // comparable (paper §5.2.6 protocol).
+    CafeConfig cafe_config = context.cafe;
+    cafe_config.embedding = context.embedding;
+    auto plan = CafeMemoryPlan::Compute(cafe_config,
+                                        sizeof(HotSketch::Slot));
+    if (!plan.ok()) return plan.status();
+    return Upcast(OfflineSeparationEmbedding::Create(
+        context.embedding, plan->hot_capacity,
+        plan->shared_rows_a + plan->shared_rows_b,
+        context.offline_hot_ids));
+  }
+  return Status::InvalidArgument("unknown embedding method: " + name);
+}
+
+std::vector<std::string> RowCompressionMethods() {
+  return {"hash", "qr", "ada", "cafe"};
+}
+
+}  // namespace cafe

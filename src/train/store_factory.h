@@ -1,0 +1,42 @@
+#ifndef CAFE_TRAIN_STORE_FACTORY_H_
+#define CAFE_TRAIN_STORE_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cafe_config.h"
+#include "embed/ada_embedding.h"
+#include "embed/embedding_store.h"
+
+namespace cafe {
+
+/// Everything needed to instantiate any compressor at a given compression
+/// ratio. Benches build one context per (dataset, CR) and sweep methods.
+struct StoreFactoryContext {
+  EmbeddingConfig embedding;
+  /// Field layout (required by "mde"; optional elsewhere).
+  FieldLayout layout;
+  /// CAFE knobs; embedding sizing is overwritten from `embedding`.
+  CafeConfig cafe;
+  /// AdaEmbed knobs (reallocation cadence etc.).
+  AdaEmbedding::Options ada;
+  /// Frequency-ranked feature ids (hottest first) for "offline".
+  std::vector<uint64_t> offline_hot_ids;
+};
+
+/// Creates the store named by `name`:
+///   "full" | "hash" | "qr" | "ada" | "mde" | "offline" | "cafe" | "cafe-ml"
+/// Returns ResourceExhausted when the method cannot reach the requested
+/// compression ratio (Q-R, AdaEmbed, MDE have hard feasibility limits; the
+/// benches render those points as absent, matching the paper's truncated
+/// curves), or InvalidArgument for unknown names / missing context.
+StatusOr<std::unique_ptr<EmbeddingStore>> MakeStore(
+    const std::string& name, const StoreFactoryContext& context);
+
+/// Method lists used across benches.
+std::vector<std::string> RowCompressionMethods();  // hash, qr, ada, cafe
+
+}  // namespace cafe
+
+#endif  // CAFE_TRAIN_STORE_FACTORY_H_

@@ -1,0 +1,98 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "train/metrics.h"
+
+namespace cafe {
+namespace {
+
+void CollectPredictions(RecModel* model, const SyntheticCtrDataset& data,
+                        size_t begin, size_t end, size_t batch_size,
+                        std::vector<float>* logits,
+                        std::vector<float>* labels) {
+  logits->clear();
+  labels->clear();
+  logits->reserve(end - begin);
+  labels->reserve(end - begin);
+  std::vector<float> batch_logits;
+  for (size_t start = begin; start < end; start += batch_size) {
+    const size_t size = std::min(batch_size, end - start);
+    const Batch batch = data.GetBatch(start, size);
+    model->Predict(batch, &batch_logits);
+    logits->insert(logits->end(), batch_logits.begin(), batch_logits.end());
+    labels->insert(labels->end(), batch.labels, batch.labels + size);
+  }
+}
+
+}  // namespace
+
+double EvaluateAuc(RecModel* model, const SyntheticCtrDataset& data,
+                   size_t begin, size_t end, size_t batch_size) {
+  std::vector<float> logits, labels;
+  CollectPredictions(model, data, begin, end, batch_size, &logits, &labels);
+  return ComputeAuc(logits, labels);
+}
+
+double EvaluateLogLoss(RecModel* model, const SyntheticCtrDataset& data,
+                       size_t begin, size_t end, size_t batch_size) {
+  std::vector<float> logits, labels;
+  CollectPredictions(model, data, begin, end, batch_size, &logits, &labels);
+  return ComputeLogLoss(logits, labels);
+}
+
+TrainResult TrainOnePass(RecModel* model, const SyntheticCtrDataset& data,
+                         const TrainOptions& options) {
+  CAFE_CHECK(options.batch_size > 0);
+  TrainResult result;
+  const size_t train_end = data.train_size();
+  const size_t test_begin = train_end;
+  const size_t test_end =
+      std::min(data.num_samples(), test_begin + options.max_eval_samples);
+
+  const size_t total_iters =
+      (train_end + options.batch_size - 1) / options.batch_size;
+  const size_t curve_every =
+      options.curve_points > 0
+          ? std::max<size_t>(1, total_iters / options.curve_points)
+          : 0;
+
+  WallTimer timer;
+  double eval_seconds = 0.0;
+  double loss_sum = 0.0;
+  size_t iter = 0;
+  size_t samples_seen = 0;
+  for (size_t start = 0; start < train_end; start += options.batch_size) {
+    const size_t size = std::min(options.batch_size, train_end - start);
+    const Batch batch = data.GetBatch(start, size);
+    loss_sum += model->TrainStep(batch) * static_cast<double>(size);
+    samples_seen += size;
+    ++iter;
+    if (curve_every > 0 &&
+        (iter % curve_every == 0 || samples_seen == train_end)) {
+      WallTimer eval_timer;
+      MetricPoint point;
+      point.iteration = iter;
+      point.samples_seen = samples_seen;
+      point.avg_train_loss = loss_sum / static_cast<double>(samples_seen);
+      point.test_auc = EvaluateAuc(model, data, test_begin, test_end);
+      result.curve.push_back(point);
+      eval_seconds += eval_timer.ElapsedSeconds();
+    }
+  }
+  result.train_seconds = timer.ElapsedSeconds() - eval_seconds;
+  result.train_throughput =
+      result.train_seconds > 0.0
+          ? static_cast<double>(samples_seen) / result.train_seconds
+          : 0.0;
+  result.avg_train_loss =
+      samples_seen > 0 ? loss_sum / static_cast<double>(samples_seen) : 0.0;
+  result.final_test_auc = EvaluateAuc(model, data, test_begin, test_end);
+  result.final_test_logloss =
+      EvaluateLogLoss(model, data, test_begin, test_end);
+  return result;
+}
+
+}  // namespace cafe

@@ -1,0 +1,248 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/zipf.h"
+#include "data/presets.h"
+#include "data/stats.h"
+
+namespace cafe {
+namespace {
+
+SyntheticDatasetConfig SmallConfig() {
+  SyntheticDatasetConfig config;
+  config.name = "tiny";
+  config.field_cardinalities = {2000, 500, 100};
+  config.num_numerical = 2;
+  config.num_samples = 20000;
+  config.num_days = 5;
+  config.zipf_z = 1.1;
+  config.drift_stride_fraction = 0.01;
+  config.seed = 77;
+  return config;
+}
+
+TEST(SyntheticConfigTest, Validation) {
+  SyntheticDatasetConfig config = SmallConfig();
+  EXPECT_TRUE(config.Validate().ok());
+  config.field_cardinalities.clear();
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.num_samples = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.zipf_z = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.drift_stride_fraction = 2.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(SyntheticDatasetTest, ShapesAndRanges) {
+  auto ds = SyntheticCtrDataset::Generate(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ((*ds)->num_samples(), 20000u);
+  EXPECT_EQ((*ds)->num_fields(), 3u);
+  EXPECT_EQ((*ds)->layout().total_features(), 2600u);
+  // Every categorical id must live inside its field's range.
+  const Batch batch = (*ds)->GetBatch(0, (*ds)->num_samples());
+  for (size_t s = 0; s < batch.batch_size; ++s) {
+    const uint32_t* cats = batch.sample_categorical(s);
+    EXPECT_LT(cats[0], 2000u);
+    EXPECT_GE(cats[1], 2000u);
+    EXPECT_LT(cats[1], 2500u);
+    EXPECT_GE(cats[2], 2500u);
+    EXPECT_LT(cats[2], 2600u);
+  }
+}
+
+TEST(SyntheticDatasetTest, DeterministicGivenSeed) {
+  auto a = SyntheticCtrDataset::Generate(SmallConfig());
+  auto b = SyntheticCtrDataset::Generate(SmallConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)->labels(), (*b)->labels());
+  const Batch ba = (*a)->GetBatch(0, 100);
+  const Batch bb = (*b)->GetBatch(0, 100);
+  for (size_t i = 0; i < 100 * 3; ++i) {
+    EXPECT_EQ(ba.categorical[i], bb.categorical[i]);
+  }
+}
+
+TEST(SyntheticDatasetTest, DifferentSeedsDiffer) {
+  SyntheticDatasetConfig other = SmallConfig();
+  other.seed = 78;
+  auto a = SyntheticCtrDataset::Generate(SmallConfig());
+  auto b = SyntheticCtrDataset::Generate(other);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE((*a)->labels(), (*b)->labels());
+}
+
+TEST(SyntheticDatasetTest, LabelRateIsInteriorAndNontrivial) {
+  auto ds = SyntheticCtrDataset::Generate(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  const auto& labels = (*ds)->labels();
+  const double rate =
+      std::accumulate(labels.begin(), labels.end(), 0.0) / labels.size();
+  EXPECT_GT(rate, 0.05);
+  EXPECT_LT(rate, 0.6);
+}
+
+TEST(SyntheticDatasetTest, PopularityIsZipfLike) {
+  auto ds = SyntheticCtrDataset::Generate(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  // Frequencies of field 0's features, sorted descending, should fit a Zipf
+  // exponent near the configured 1.1.
+  auto freqs = (*ds)->FeatureFrequencies(0, (*ds)->num_samples());
+  std::vector<double> field0_scores;
+  for (const auto& [id, count] : freqs) {
+    if (id < 2000) field0_scores.push_back(static_cast<double>(count));
+  }
+  const double z = FitZipfExponent(field0_scores);
+  EXPECT_GT(z, 0.7);
+  EXPECT_LT(z, 1.5);
+}
+
+TEST(SyntheticDatasetTest, DayBoundariesPartitionSamples) {
+  auto ds = SyntheticCtrDataset::Generate(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ((*ds)->day_begin(0), 0u);
+  EXPECT_EQ((*ds)->day_end(4), (*ds)->num_samples());
+  for (uint32_t d = 0; d + 1 < 5; ++d) {
+    EXPECT_EQ((*ds)->day_end(d), (*ds)->day_begin(d + 1));
+  }
+  EXPECT_EQ((*ds)->train_size(), (*ds)->day_begin(4));
+}
+
+TEST(SyntheticDatasetTest, KlDivergenceGrowsWithDayDistance) {
+  // The generator's drift must reproduce the Figure 2 structure: day pairs
+  // further apart diverge more.
+  auto ds = SyntheticCtrDataset::Generate(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  const auto kl = DayKlMatrix(**ds);
+  EXPECT_LT(kl[0][0], 1e-12);
+  EXPECT_GT(kl[0][1], 0.0);
+  EXPECT_GT(kl[0][4], kl[0][1]);
+  EXPECT_GT(kl[4][0], kl[4][3]);
+}
+
+TEST(SyntheticDatasetTest, NoDriftMeansFlatKl) {
+  SyntheticDatasetConfig config = SmallConfig();
+  config.drift_stride_fraction = 0.0;
+  auto ds = SyntheticCtrDataset::Generate(config);
+  ASSERT_TRUE(ds.ok());
+  const auto kl = DayKlMatrix(**ds);
+  // Residual KL comes only from sampling noise; distant pairs should not
+  // be systematically worse than adjacent ones.
+  EXPECT_LT(kl[0][4], kl[0][1] * 3 + 0.05);
+}
+
+TEST(SyntheticDatasetTest, SelectDaysKeepsChosenTrainDays) {
+  auto ds = SyntheticCtrDataset::Generate(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  auto subset = (*ds)->SelectDays({0, 2});
+  ASSERT_NE(subset, nullptr);
+  EXPECT_EQ(subset->num_days(), 3u);  // day 0, day 2, test day 4
+  const size_t expected = ((*ds)->day_end(0) - (*ds)->day_begin(0)) +
+                          ((*ds)->day_end(2) - (*ds)->day_begin(2)) +
+                          ((*ds)->day_end(4) - (*ds)->day_begin(4));
+  EXPECT_EQ(subset->num_samples(), expected);
+  // Test split of the subset is the original last day.
+  EXPECT_EQ(subset->num_samples() - subset->train_size(),
+            (*ds)->day_end(4) - (*ds)->day_begin(4));
+}
+
+TEST(SyntheticDatasetTest, ShuffleKeepsMultisetOfLabels) {
+  auto ds = SyntheticCtrDataset::Generate(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  const double sum_before =
+      std::accumulate((*ds)->labels().begin(), (*ds)->labels().end(), 0.0);
+  (*ds)->ShuffleSamples(99);
+  const double sum_after =
+      std::accumulate((*ds)->labels().begin(), (*ds)->labels().end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum_before, sum_after);
+  EXPECT_EQ((*ds)->num_days(), 1u);
+  // 90/10 split when no day structure exists.
+  EXPECT_EQ((*ds)->train_size(), (*ds)->num_samples() * 9 / 10);
+}
+
+TEST(SyntheticDatasetTest, FrequenciesSumToSamplesTimesFields) {
+  auto ds = SyntheticCtrDataset::Generate(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  auto freqs = (*ds)->FeatureFrequencies(0, 1000);
+  uint64_t total = 0;
+  for (const auto& [id, count] : freqs) total += count;
+  EXPECT_EQ(total, 1000u * 3);
+  // Sorted descending.
+  for (size_t i = 1; i < freqs.size(); ++i) {
+    EXPECT_GE(freqs[i - 1].second, freqs[i].second);
+  }
+}
+
+// ------------------------------------------------------------------ Stats --
+
+TEST(StatsTest, KlDivergenceOfIdenticalDistributionsIsZero) {
+  std::unordered_map<uint64_t, uint64_t> p{{1, 10}, {2, 20}, {3, 5}};
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(StatsTest, KlDivergencePositiveAndAsymmetric) {
+  std::unordered_map<uint64_t, uint64_t> p{{1, 100}, {2, 1}};
+  std::unordered_map<uint64_t, uint64_t> q{{1, 1}, {2, 100}};
+  const double pq = KlDivergence(p, q);
+  const double qp = KlDivergence(q, p);
+  EXPECT_GT(pq, 0.0);
+  EXPECT_GT(qp, 0.0);
+}
+
+TEST(StatsTest, KlHandlesDisjointSupport) {
+  std::unordered_map<uint64_t, uint64_t> p{{1, 50}};
+  std::unordered_map<uint64_t, uint64_t> q{{2, 50}};
+  const double kl = KlDivergence(p, q);
+  EXPECT_GT(kl, 0.0);
+  EXPECT_TRUE(std::isfinite(kl));
+}
+
+// ---------------------------------------------------------------- Presets --
+
+TEST(PresetsTest, GeometricCardinalitiesShapeAndFloor) {
+  auto cards = GeometricCardinalities(10, 10000, 0.6);
+  EXPECT_EQ(cards.size(), 10u);
+  for (size_t i = 1; i < cards.size(); ++i) {
+    EXPECT_LE(cards[i], cards[i - 1]);
+  }
+  for (uint64_t c : cards) EXPECT_GE(c, 2u);
+}
+
+TEST(PresetsTest, AllPresetsValidate) {
+  for (const DatasetPreset& preset :
+       {AvazuLikePreset(), CriteoLikePreset(), Kdd12LikePreset(),
+        CriteoTbLikePreset()}) {
+    EXPECT_TRUE(preset.data.Validate().ok()) << preset.data.name;
+    EXPECT_GT(preset.embedding_dim, 0u);
+  }
+}
+
+TEST(PresetsTest, PresetsMirrorPaperRelationships) {
+  // CriteoTB analog is the largest; KDD12 has no drift; Avazu drifts most.
+  const auto avazu = AvazuLikePreset();
+  const auto criteo = CriteoLikePreset();
+  const auto kdd = Kdd12LikePreset();
+  const auto tb = CriteoTbLikePreset();
+  auto total = [](const DatasetPreset& p) {
+    uint64_t sum = 0;
+    for (uint64_t c : p.data.field_cardinalities) sum += c;
+    return sum;
+  };
+  EXPECT_GT(total(tb), total(criteo));
+  EXPECT_EQ(kdd.data.drift_stride_fraction, 0.0);
+  EXPECT_GT(avazu.data.drift_stride_fraction,
+            criteo.data.drift_stride_fraction);
+  EXPECT_EQ(tb.data.num_days, 24u);
+  EXPECT_EQ(criteo.data.num_days, 7u);
+}
+
+}  // namespace
+}  // namespace cafe

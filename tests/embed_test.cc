@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "embed/ada_embedding.h"
+#include "embed/embedding_store.h"
+#include "embed/full_embedding.h"
+#include "embed/hash_embedding.h"
+#include "embed/mde_embedding.h"
+#include "embed/offline_separation.h"
+#include "embed/qr_embedding.h"
+
+namespace cafe {
+namespace {
+
+EmbeddingConfig MakeConfig(uint64_t n, uint32_t dim, double cr,
+                           uint64_t seed = 42) {
+  EmbeddingConfig config;
+  config.total_features = n;
+  config.dim = dim;
+  config.compression_ratio = cr;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<float> Lookup(EmbeddingStore* store, uint64_t id) {
+  std::vector<float> out(store->dim());
+  store->Lookup(id, out.data());
+  return out;
+}
+
+// ----------------------------------------------------------- FieldLayout --
+
+TEST(FieldLayoutTest, OffsetsAndTotals) {
+  FieldLayout layout({10, 20, 5});
+  EXPECT_EQ(layout.num_fields(), 3u);
+  EXPECT_EQ(layout.total_features(), 35u);
+  EXPECT_EQ(layout.offset(0), 0u);
+  EXPECT_EQ(layout.offset(1), 10u);
+  EXPECT_EQ(layout.offset(2), 30u);
+  EXPECT_EQ(layout.GlobalId(1, 3), 13u);
+}
+
+TEST(FieldLayoutTest, FieldOfFindsOwner) {
+  FieldLayout layout({10, 20, 5});
+  EXPECT_EQ(layout.FieldOf(0), 0u);
+  EXPECT_EQ(layout.FieldOf(9), 0u);
+  EXPECT_EQ(layout.FieldOf(10), 1u);
+  EXPECT_EQ(layout.FieldOf(29), 1u);
+  EXPECT_EQ(layout.FieldOf(30), 2u);
+  EXPECT_EQ(layout.FieldOf(34), 2u);
+}
+
+TEST(EmbeddingConfigTest, ValidationAndBudget) {
+  EXPECT_FALSE(MakeConfig(0, 8, 1).Validate().ok());
+  EXPECT_FALSE(MakeConfig(10, 0, 1).Validate().ok());
+  EXPECT_FALSE(MakeConfig(10, 8, 0.5).Validate().ok());
+  EmbeddingConfig config = MakeConfig(1000, 16, 10);
+  EXPECT_EQ(config.UncompressedBytes(), 1000u * 16 * 4);
+  EXPECT_EQ(config.BudgetBytes(), 1000u * 16 * 4 / 10);
+}
+
+// ------------------------------------------------------------------ Full --
+
+TEST(FullEmbeddingTest, LookupIsDeterministicPerId) {
+  auto store = FullEmbedding::Create(MakeConfig(100, 8, 1));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(Lookup(store->get(), 5), Lookup(store->get(), 5));
+  EXPECT_NE(Lookup(store->get(), 5), Lookup(store->get(), 6));
+}
+
+TEST(FullEmbeddingTest, GradientMovesOnlyTargetRow) {
+  auto store = FullEmbedding::Create(MakeConfig(100, 4, 1));
+  ASSERT_TRUE(store.ok());
+  const auto before5 = Lookup(store->get(), 5);
+  const auto before6 = Lookup(store->get(), 6);
+  std::vector<float> grad{1.0f, -1.0f, 2.0f, 0.0f};
+  (*store)->ApplyGradient(5, grad.data(), 0.1f);
+  const auto after5 = Lookup(store->get(), 5);
+  EXPECT_FLOAT_EQ(after5[0], before5[0] - 0.1f);
+  EXPECT_FLOAT_EQ(after5[1], before5[1] + 0.1f);
+  EXPECT_EQ(Lookup(store->get(), 6), before6);
+}
+
+TEST(FullEmbeddingTest, MemoryIsFullTable) {
+  auto store = FullEmbedding::Create(MakeConfig(100, 8, 1));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->MemoryBytes(), 100u * 8 * 4);
+}
+
+// ------------------------------------------------------------------ Hash --
+
+TEST(HashEmbeddingTest, RespectsBudget) {
+  auto store = HashEmbedding::Create(MakeConfig(10000, 8, 100));
+  ASSERT_TRUE(store.ok());
+  EXPECT_LE((*store)->MemoryBytes(), MakeConfig(10000, 8, 100).BudgetBytes());
+  EXPECT_EQ((*store)->num_rows(), 100u);
+}
+
+TEST(HashEmbeddingTest, ReachesExtremeCompression) {
+  // Only Hash (and CAFE) reach 10000x in the paper.
+  auto store = HashEmbedding::Create(MakeConfig(1000000, 8, 10000));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->num_rows(), 100u);
+}
+
+TEST(HashEmbeddingTest, InfeasibleBelowOneRow) {
+  EXPECT_EQ(HashEmbedding::Create(MakeConfig(100, 8, 1000)).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(HashEmbeddingTest, CollidingIdsShareRows) {
+  auto store = HashEmbedding::Create(MakeConfig(1000, 4, 100));
+  ASSERT_TRUE(store.ok());
+  // 1000 ids into 10 rows: pigeonhole guarantees collisions; verify shared
+  // gradient visibility for one colliding pair.
+  uint64_t a = 0, b = 0;
+  bool found = false;
+  for (uint64_t i = 0; i < 1000 && !found; ++i) {
+    for (uint64_t j = i + 1; j < 1000 && !found; ++j) {
+      if (Lookup(store->get(), i) == Lookup(store->get(), j)) {
+        a = i;
+        b = j;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+  std::vector<float> grad{1.0f, 1.0f, 1.0f, 1.0f};
+  (*store)->ApplyGradient(a, grad.data(), 0.5f);
+  EXPECT_EQ(Lookup(store->get(), a), Lookup(store->get(), b))
+      << "hash-collided features must share updates";
+}
+
+TEST(HashEmbeddingTest, CappedAtTotalFeatures) {
+  auto store = HashEmbedding::Create(MakeConfig(10, 4, 1));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->num_rows(), 10u);
+}
+
+// -------------------------------------------------------------------- QR --
+
+TEST(QrEmbeddingTest, TablesFitBudget) {
+  EmbeddingConfig config = MakeConfig(10000, 8, 20);
+  auto store = QrEmbedding::Create(config);
+  ASSERT_TRUE(store.ok());
+  EXPECT_LE((*store)->MemoryBytes(), config.BudgetBytes());
+  EXPECT_GE((*store)->remainder_rows() + (*store)->quotient_rows(),
+            2 * static_cast<uint64_t>(std::sqrt(10000)) - 2);
+}
+
+TEST(QrEmbeddingTest, InfeasiblePastSqrtLimit) {
+  // n = 1e6 needs >= 2*sqrt(n) = 2000 rows; CR beyond n/2000 = 500 fails.
+  EXPECT_TRUE(QrEmbedding::Create(MakeConfig(1000000, 8, 400)).ok());
+  EXPECT_EQ(QrEmbedding::Create(MakeConfig(1000000, 8, 600)).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(QrEmbeddingTest, DistinctIdsUsuallyDiffer) {
+  // Complementarity: ids sharing a remainder row differ in quotient row, so
+  // their final embeddings differ (unlike plain hashing).
+  auto store = QrEmbedding::Create(MakeConfig(10000, 8, 20));
+  ASSERT_TRUE(store.ok());
+  const uint64_t m = (*store)->remainder_rows();
+  ASSERT_GT(m, 0u);
+  const auto e1 = Lookup(store->get(), 3);
+  const auto e2 = Lookup(store->get(), 3 + m);  // same remainder row
+  EXPECT_NE(e1, e2);
+}
+
+TEST(QrEmbeddingTest, GradientUpdatesBothTables) {
+  auto store = QrEmbedding::Create(MakeConfig(1000, 4, 5));
+  ASSERT_TRUE(store.ok());
+  const auto before = Lookup(store->get(), 17);
+  std::vector<float> grad{1.0f, 1.0f, 1.0f, 1.0f};
+  (*store)->ApplyGradient(17, grad.data(), 0.1f);
+  const auto after = Lookup(store->get(), 17);
+  for (uint32_t i = 0; i < 4; ++i) {
+    // Additive combine: both rows moved by -0.1, total shift -0.2.
+    EXPECT_NEAR(after[i], before[i] - 0.2f, 1e-5);
+  }
+}
+
+TEST(QrEmbeddingTest, MultiplicativeCombineTrains) {
+  auto store = QrEmbedding::Create(MakeConfig(1000, 4, 5),
+                                   QrEmbedding::Combine::kMultiply);
+  ASSERT_TRUE(store.ok());
+  const auto before = Lookup(store->get(), 9);
+  std::vector<float> grad{0.5f, 0.5f, 0.5f, 0.5f};
+  (*store)->ApplyGradient(9, grad.data(), 0.1f);
+  EXPECT_NE(Lookup(store->get(), 9), before);
+}
+
+// -------------------------------------------------------------- AdaEmbed --
+
+TEST(AdaEmbeddingTest, AuxOverheadLimitsCompression) {
+  // dim 16: budget/feature = 64/CR bytes; aux = 8 bytes/feature.
+  // CR = 5 -> 12.8 B/feature > 8 feasible; CR = 10 -> 6.4 B/feature fails.
+  // This is exactly the paper's "AdaEmbed can only compress to 5x at dim
+  // 16" observation (§5.2.1).
+  EXPECT_TRUE(AdaEmbedding::Create(MakeConfig(100000, 16, 5)).ok());
+  EXPECT_EQ(AdaEmbedding::Create(MakeConfig(100000, 16, 10)).status().code(),
+            StatusCode::kResourceExhausted);
+  // Larger dims push the limit out (dim 128 -> 50x feasible).
+  EXPECT_TRUE(AdaEmbedding::Create(MakeConfig(100000, 128, 50)).ok());
+}
+
+TEST(AdaEmbeddingTest, UnallocatedLooksUpZeros) {
+  auto store = AdaEmbedding::Create(MakeConfig(1000, 8, 2));
+  ASSERT_TRUE(store.ok());
+  const auto e = Lookup(store->get(), 500);
+  for (float v : e) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(AdaEmbeddingTest, ColdStartAllocatesOnFirstGradient) {
+  auto store = AdaEmbedding::Create(MakeConfig(1000, 8, 2));
+  ASSERT_TRUE(store.ok());
+  std::vector<float> grad(8, 1.0f);
+  (*store)->ApplyGradient(3, grad.data(), 0.1f);
+  EXPECT_EQ((*store)->allocated_features(), 1u);
+  const auto e = Lookup(store->get(), 3);
+  bool nonzero = false;
+  for (float v : e) nonzero |= (v != 0.0f);
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(AdaEmbeddingTest, ReallocationFavorsImportantFeatures) {
+  EmbeddingConfig config = MakeConfig(400, 8, 3);
+  AdaEmbedding::Options options;
+  options.realloc_interval = 10;
+  options.max_migration_fraction = 1.0;
+  auto store = AdaEmbedding::Create(config, options);
+  ASSERT_TRUE(store.ok());
+  const uint64_t rows = (*store)->num_rows();
+  ASSERT_GT(rows, 0u);
+  std::vector<float> big(8, 10.0f), small(8, 0.01f);
+  // Saturate the pool with unimportant features, then hammer feature 0.
+  for (uint64_t f = 1; f <= rows + 5; ++f) {
+    (*store)->ApplyGradient(f, small.data(), 0.01f);
+  }
+  for (int iter = 0; iter < 100; ++iter) {
+    (*store)->ApplyGradient(0, big.data(), 0.01f);
+    (*store)->Tick();
+  }
+  const auto e = Lookup(store->get(), 0);
+  bool nonzero = false;
+  for (float v : e) nonzero |= (v != 0.0f);
+  EXPECT_TRUE(nonzero) << "hot feature should have been allocated a row";
+}
+
+TEST(AdaEmbeddingTest, MemoryIncludesScoreArrays) {
+  EmbeddingConfig config = MakeConfig(10000, 16, 4);
+  auto store = AdaEmbedding::Create(config);
+  ASSERT_TRUE(store.ok());
+  EXPECT_GE((*store)->MemoryBytes(), 10000u * 8);
+  EXPECT_LE((*store)->MemoryBytes(), config.BudgetBytes());
+}
+
+// ------------------------------------------------------------------- MDE --
+
+TEST(MdeEmbeddingTest, AssignsSmallerDimsToBiggerFields) {
+  FieldLayout layout({50, 500, 5000});
+  EmbeddingConfig config = MakeConfig(5550, 16, 4);
+  auto store = MdeEmbedding::Create(config, layout);
+  ASSERT_TRUE(store.ok());
+  EXPECT_GE((*store)->field_dim(0), (*store)->field_dim(1));
+  EXPECT_GE((*store)->field_dim(1), (*store)->field_dim(2));
+  EXPECT_LE((*store)->MemoryBytes(), config.BudgetBytes());
+}
+
+TEST(MdeEmbeddingTest, CompressionBoundedByDimension) {
+  FieldLayout layout({1000, 1000});
+  // CR > dim means < 1 float per feature: infeasible for column methods.
+  EXPECT_EQ(
+      MdeEmbedding::Create(MakeConfig(2000, 8, 32), layout).status().code(),
+      StatusCode::kResourceExhausted);
+  EXPECT_TRUE(MdeEmbedding::Create(MakeConfig(2000, 8, 4), layout).ok());
+}
+
+TEST(MdeEmbeddingTest, ProjectsToCommonDim) {
+  FieldLayout layout({100, 1000});
+  auto store = MdeEmbedding::Create(MakeConfig(1100, 16, 4), layout);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(Lookup(store->get(), 0).size(), 16u);
+  EXPECT_EQ(Lookup(store->get(), 100).size(), 16u);
+}
+
+TEST(MdeEmbeddingTest, GradientChangesLookup) {
+  FieldLayout layout({100, 1000});
+  auto store = MdeEmbedding::Create(MakeConfig(1100, 8, 2), layout);
+  ASSERT_TRUE(store.ok());
+  const auto before = Lookup(store->get(), 42);
+  std::vector<float> grad(8, 1.0f);
+  (*store)->ApplyGradient(42, grad.data(), 0.05f);
+  EXPECT_NE(Lookup(store->get(), 42), before);
+}
+
+TEST(MdeEmbeddingTest, RejectsMismatchedLayout) {
+  FieldLayout layout({10, 10});
+  EXPECT_EQ(
+      MdeEmbedding::Create(MakeConfig(100, 8, 2), layout).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------- OfflineSeparation --
+
+TEST(OfflineSeparationTest, HotIdsGetExclusiveRows) {
+  EmbeddingConfig config = MakeConfig(1000, 8, 10);
+  std::vector<uint64_t> hot{7, 13, 99};
+  auto store = OfflineSeparationEmbedding::Create(config, 3, 20, hot);
+  ASSERT_TRUE(store.ok());
+  // Updating a hot feature must not disturb any other feature.
+  const auto before13 = Lookup(store->get(), 13);
+  std::vector<float> grad(8, 1.0f);
+  (*store)->ApplyGradient(7, grad.data(), 0.5f);
+  EXPECT_EQ(Lookup(store->get(), 13), before13);
+}
+
+TEST(OfflineSeparationTest, ColdFeaturesShareHashTable) {
+  EmbeddingConfig config = MakeConfig(1000, 8, 10);
+  auto store = OfflineSeparationEmbedding::Create(config, 2, 5, {1, 2});
+  ASSERT_TRUE(store.ok());
+  // 998 cold features in 5 rows: find a colliding pair and verify sharing.
+  bool found = false;
+  for (uint64_t i = 3; i < 60 && !found; ++i) {
+    for (uint64_t j = i + 1; j < 60 && !found; ++j) {
+      if (Lookup(store->get(), i) == Lookup(store->get(), j)) {
+        std::vector<float> grad(8, 1.0f);
+        (*store)->ApplyGradient(i, grad.data(), 0.1f);
+        EXPECT_EQ(Lookup(store->get(), i), Lookup(store->get(), j));
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(OfflineSeparationTest, RequiresSharedRows) {
+  EmbeddingConfig config = MakeConfig(100, 8, 2);
+  EXPECT_EQ(
+      OfflineSeparationEmbedding::Create(config, 3, 0, {1}).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(OfflineSeparationTest, MemoryChargesStatistics) {
+  EmbeddingConfig config = MakeConfig(1000, 8, 10);
+  auto store = OfflineSeparationEmbedding::Create(config, 5, 10, {1});
+  ASSERT_TRUE(store.ok());
+  EXPECT_GE((*store)->MemoryBytes(), 1000u * 4);  // frequency stats
+}
+
+}  // namespace
+}  // namespace cafe

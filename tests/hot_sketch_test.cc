@@ -1,0 +1,276 @@
+#include "sketch/hot_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/zipf.h"
+#include "core/theory.h"
+#include "sketch/topk_utils.h"
+
+namespace cafe {
+namespace {
+
+HotSketch MakeSketch(uint64_t buckets, uint32_t slots, uint64_t seed = 1) {
+  HotSketchConfig config;
+  config.num_buckets = buckets;
+  config.slots_per_bucket = slots;
+  config.seed = seed;
+  auto sketch = HotSketch::Create(config);
+  EXPECT_TRUE(sketch.ok());
+  return std::move(sketch).value();
+}
+
+TEST(HotSketchConfigTest, RejectsZeroBuckets) {
+  HotSketchConfig config;
+  config.num_buckets = 0;
+  EXPECT_EQ(HotSketch::Create(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HotSketchConfigTest, RejectsZeroSlots) {
+  HotSketchConfig config;
+  config.slots_per_bucket = 0;
+  EXPECT_EQ(HotSketch::Create(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HotSketchTest, InsertThenQuery) {
+  HotSketch sketch = MakeSketch(16, 4);
+  sketch.Insert(7, 2.5);
+  sketch.Insert(7, 1.5);
+  EXPECT_DOUBLE_EQ(sketch.Query(7), 4.0);
+}
+
+TEST(HotSketchTest, QueryMissingIsNegative) {
+  HotSketch sketch = MakeSketch(16, 4);
+  EXPECT_LT(sketch.Query(99), 0.0);
+}
+
+TEST(HotSketchTest, InsertEmptyKeyIsNoop) {
+  HotSketch sketch = MakeSketch(4, 2);
+  auto result = sketch.Insert(HotSketch::kEmptyKey, 1.0);
+  EXPECT_FALSE(result.inserted);
+  EXPECT_EQ(sketch.size(), 0u);
+}
+
+TEST(HotSketchTest, SizeCountsOccupiedSlots) {
+  HotSketch sketch = MakeSketch(64, 4);
+  for (uint64_t k = 0; k < 10; ++k) sketch.Insert(k, 1.0);
+  EXPECT_EQ(sketch.size(), 10u);
+}
+
+TEST(HotSketchTest, SpaceSavingReplacementInheritsMinScore) {
+  // Single bucket of 1 slot: every new key replaces the old one and the
+  // score accumulates (f_min, s_min) -> (f_new, s_min + s_new).
+  HotSketch sketch = MakeSketch(1, 1);
+  sketch.Insert(1, 3.0);
+  auto result = sketch.Insert(2, 2.0);
+  EXPECT_TRUE(result.evicted);
+  EXPECT_EQ(result.evicted_key, 1u);
+  EXPECT_DOUBLE_EQ(result.evicted_score, 3.0);
+  EXPECT_DOUBLE_EQ(result.new_score, 5.0);
+  EXPECT_DOUBLE_EQ(sketch.Query(2), 5.0);
+  EXPECT_LT(sketch.Query(1), 0.0);
+}
+
+TEST(HotSketchTest, ReplacementPicksMinimumSlot) {
+  // One bucket, two slots: insert two keys, then a third; the smaller of
+  // the two must be the victim.
+  HotSketch sketch = MakeSketch(1, 2);
+  sketch.Insert(1, 10.0);
+  sketch.Insert(2, 1.0);
+  auto result = sketch.Insert(3, 0.5);
+  EXPECT_TRUE(result.evicted);
+  EXPECT_EQ(result.evicted_key, 2u);
+  EXPECT_DOUBLE_EQ(sketch.Query(3), 1.5);
+  EXPECT_DOUBLE_EQ(sketch.Query(1), 10.0);
+}
+
+TEST(HotSketchTest, ScoreEstimateNeverUnderestimates) {
+  // SpaceSaving property: the stored score upper-bounds the true sum.
+  HotSketch sketch = MakeSketch(8, 2, 3);
+  std::unordered_map<uint64_t, double> truth;
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t key = rng.Uniform(200);
+    const double score = rng.UniformDouble();
+    truth[key] += score;
+    sketch.Insert(key, score);
+  }
+  for (const auto& [key, total] : truth) {
+    const double estimate = sketch.Query(key);
+    if (estimate >= 0.0) {
+      EXPECT_GE(estimate, total - 1e-9) << "key " << key;
+    }
+  }
+}
+
+TEST(HotSketchTest, PayloadSurvivesScoreUpdates) {
+  HotSketch sketch = MakeSketch(16, 4);
+  auto r1 = sketch.Insert(5, 1.0);
+  sketch.slot_at(r1.slot_index).payload = 77;
+  auto r2 = sketch.Insert(5, 1.0);
+  EXPECT_EQ(sketch.slot_at(r2.slot_index).payload, 77);
+  EXPECT_EQ(sketch.Find(5)->payload, 77);
+}
+
+TEST(HotSketchTest, EvictionReportsPayload) {
+  HotSketch sketch = MakeSketch(1, 1);
+  auto r1 = sketch.Insert(1, 1.0);
+  sketch.slot_at(r1.slot_index).payload = 42;
+  auto r2 = sketch.Insert(2, 1.0);
+  EXPECT_TRUE(r2.evicted);
+  EXPECT_EQ(r2.evicted_payload, 42);
+  // The new occupant starts without payload.
+  EXPECT_EQ(sketch.Find(2)->payload, HotSketch::kNoPayload);
+}
+
+TEST(HotSketchTest, DecayScalesAllScores) {
+  HotSketch sketch = MakeSketch(16, 4);
+  sketch.Insert(1, 10.0);
+  sketch.Insert(2, 4.0);
+  sketch.Decay(0.5);
+  EXPECT_DOUBLE_EQ(sketch.Query(1), 5.0);
+  EXPECT_DOUBLE_EQ(sketch.Query(2), 2.0);
+}
+
+TEST(HotSketchTest, EraseRemovesKey) {
+  HotSketch sketch = MakeSketch(16, 4);
+  sketch.Insert(9, 3.0);
+  EXPECT_TRUE(sketch.Erase(9));
+  EXPECT_LT(sketch.Query(9), 0.0);
+  EXPECT_FALSE(sketch.Erase(9));
+}
+
+TEST(HotSketchTest, ClearEmptiesEverything) {
+  HotSketch sketch = MakeSketch(16, 4);
+  for (uint64_t k = 0; k < 30; ++k) sketch.Insert(k, 1.0);
+  sketch.Clear();
+  EXPECT_EQ(sketch.size(), 0u);
+  for (uint64_t k = 0; k < 30; ++k) EXPECT_LT(sketch.Query(k), 0.0);
+}
+
+TEST(HotSketchTest, TopKSortedDescending) {
+  HotSketch sketch = MakeSketch(64, 4);
+  for (uint64_t k = 0; k < 20; ++k) {
+    sketch.Insert(k, static_cast<double>(k + 1));
+  }
+  auto top = sketch.TopK(5);
+  ASSERT_EQ(top.size(), 5u);
+  EXPECT_EQ(top[0].first, 19u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].second, top[i].second);
+  }
+}
+
+TEST(HotSketchTest, TopKLargerThanContentsReturnsAll) {
+  HotSketch sketch = MakeSketch(64, 4);
+  sketch.Insert(1, 1.0);
+  sketch.Insert(2, 2.0);
+  EXPECT_EQ(sketch.TopK(100).size(), 2u);
+}
+
+TEST(HotSketchTest, MemoryBytesMatchesLayout) {
+  HotSketch sketch = MakeSketch(100, 4);
+  EXPECT_EQ(sketch.MemoryBytes(), 400 * sizeof(HotSketch::Slot));
+}
+
+// ------------------------------------------------------ property sweeps --
+
+struct RecallParam {
+  uint32_t slots;
+  uint64_t buckets;
+  double zipf_z;
+};
+
+class HotSketchRecallSweep : public ::testing::TestWithParam<RecallParam> {};
+
+TEST_P(HotSketchRecallSweep, FindsTopKOfZipfStream) {
+  // Paper protocol (Fig. 18): fixed k, recall measured as sketch memory
+  // grows. Here k = total slots / 16 so the sketch has substantial slack,
+  // mirroring the paper's operating point where recall lands above 90%.
+  const RecallParam param = GetParam();
+  HotSketch sketch = MakeSketch(param.buckets, param.slots, 7);
+  ZipfDistribution zipf(50000, param.zipf_z);
+  Rng rng(11);
+  std::unordered_map<uint64_t, double> truth;
+  for (int i = 0; i < 200000; ++i) {
+    const uint64_t key = zipf.SampleIndex(rng);
+    truth[key] += 1.0;
+    sketch.Insert(key, 1.0);
+  }
+  const size_t k = param.buckets * param.slots / 16;
+  const auto exact = ExactTopK(truth, k);
+  const auto reported = sketch.TopK(sketch.capacity());
+  const double recall = TopKRecall(exact, reported);
+  EXPECT_GT(recall, 0.9) << "c=" << param.slots << " w=" << param.buckets
+                         << " z=" << param.zipf_z;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, HotSketchRecallSweep,
+    ::testing::Values(RecallParam{4, 256, 1.1}, RecallParam{8, 128, 1.1},
+                      RecallParam{16, 64, 1.1}, RecallParam{4, 256, 1.3},
+                      RecallParam{8, 128, 1.3}, RecallParam{4, 512, 1.05}));
+
+TEST(HotSketchRecallTest, RecallImprovesWithMemory) {
+  // Fixed k: doubling the bucket count must not hurt recall materially
+  // (Fig. 18a: recall rises with memory).
+  ZipfDistribution zipf(50000, 1.1);
+  constexpr size_t kTop = 128;
+  double last_recall = 0.0;
+  for (uint64_t buckets : {64u, 256u, 1024u}) {
+    HotSketch sketch = MakeSketch(buckets, 4, 3);
+    Rng rng(5);
+    std::unordered_map<uint64_t, double> truth;
+    for (int i = 0; i < 150000; ++i) {
+      const uint64_t key = zipf.SampleIndex(rng);
+      truth[key] += 1.0;
+      sketch.Insert(key, 1.0);
+    }
+    const double recall =
+        TopKRecall(ExactTopK(truth, kTop), sketch.TopK(sketch.capacity()));
+    EXPECT_GE(recall, last_recall - 0.03) << "buckets=" << buckets;
+    last_recall = recall;
+  }
+  EXPECT_GT(last_recall, 0.95);
+}
+
+class HotSketchTheorySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HotSketchTheorySweep, HotFeatureRetentionBeatsTheoremBound) {
+  // A feature holding a gamma share of total mass must be retained with
+  // probability above the Theorem 3.1 lower bound. We run many independent
+  // trials with different seeds and compare frequencies.
+  const double gamma = GetParam();
+  constexpr uint64_t kW = 32;
+  constexpr uint32_t kC = 4;
+  constexpr int kTrials = 60;
+  int held = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    HotSketch sketch = MakeSketch(kW, kC, 1000 + trial);
+    Rng rng(500 + trial);
+    constexpr int kItems = 20000;
+    const double hot_total = gamma * kItems;
+    // Interleave the hot feature's mass uniformly into the stream.
+    const int hot_every = static_cast<int>(1.0 / gamma);
+    for (int i = 0; i < kItems; ++i) {
+      if (i % hot_every == 0) {
+        sketch.Insert(0xffff00, hot_total / (kItems / hot_every));
+      }
+      sketch.Insert(1 + rng.Uniform(5000), (1.0 - gamma));
+    }
+    if (sketch.Query(0xffff00) >= 0.0) ++held;
+  }
+  const double empirical = static_cast<double>(held) / kTrials;
+  const double bound = theory::HoldProbabilityLowerBound(kW, kC, gamma);
+  EXPECT_GE(empirical + 0.10, bound) << "gamma=" << gamma;
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, HotSketchTheorySweep,
+                         ::testing::Values(0.02, 0.05, 0.1));
+
+}  // namespace
+}  // namespace cafe

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/zipf.h"
+#include "sketch/count_min.h"
+#include "sketch/space_saving.h"
+#include "sketch/topk_utils.h"
+
+namespace cafe {
+namespace {
+
+// ----------------------------------------------------------- SpaceSaving --
+
+TEST(SpaceSavingTest, RejectsZeroCapacity) {
+  EXPECT_EQ(SpaceSaving::Create(0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SpaceSavingTest, CountsExactlyWhenUnderCapacity) {
+  auto ss = SpaceSaving::Create(10);
+  ASSERT_TRUE(ss.ok());
+  for (int i = 0; i < 5; ++i) ss->Insert(1);
+  for (int i = 0; i < 3; ++i) ss->Insert(2);
+  EXPECT_EQ(ss->Query(1), 5u);
+  EXPECT_EQ(ss->Query(2), 3u);
+  EXPECT_EQ(ss->Error(1), 0u);
+  EXPECT_EQ(ss->Query(99), 0u);
+}
+
+TEST(SpaceSavingTest, ReplacementTakesMinPlusOne) {
+  auto ss = SpaceSaving::Create(2);
+  ASSERT_TRUE(ss.ok());
+  ss->Insert(1);
+  ss->Insert(1);
+  ss->Insert(2);
+  // Monitored: {1:2, 2:1}. New key 3 replaces key 2 with count 2, error 1.
+  ss->Insert(3);
+  EXPECT_EQ(ss->Query(3), 2u);
+  EXPECT_EQ(ss->Error(3), 1u);
+  EXPECT_EQ(ss->Query(2), 0u);
+}
+
+TEST(SpaceSavingTest, NeverUnderestimates) {
+  auto ss = SpaceSaving::Create(64);
+  ASSERT_TRUE(ss.ok());
+  std::unordered_map<uint64_t, uint64_t> truth;
+  Rng rng(3);
+  ZipfDistribution zipf(2000, 1.2);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t key = zipf.SampleIndex(rng);
+    ++truth[key];
+    ss->Insert(key);
+  }
+  for (const auto& [key, count] : truth) {
+    const uint64_t estimate = ss->Query(key);
+    if (estimate > 0) {
+      EXPECT_GE(estimate, count);
+    }
+  }
+}
+
+TEST(SpaceSavingTest, ErrorBoundedByNOverM) {
+  // Classic SpaceSaving guarantee: error <= total insertions / capacity.
+  constexpr size_t kCapacity = 100;
+  constexpr int kInsertions = 20000;
+  auto ss = SpaceSaving::Create(kCapacity);
+  ASSERT_TRUE(ss.ok());
+  Rng rng(5);
+  ZipfDistribution zipf(5000, 1.1);
+  for (int i = 0; i < kInsertions; ++i) ss->Insert(zipf.SampleIndex(rng));
+  for (const auto& [key, count] : ss->TopK(kCapacity)) {
+    EXPECT_LE(ss->Error(key), kInsertions / kCapacity);
+  }
+}
+
+TEST(SpaceSavingTest, TopKRecallOnZipfStream) {
+  auto ss = SpaceSaving::Create(256);
+  ASSERT_TRUE(ss.ok());
+  std::unordered_map<uint64_t, double> truth;
+  Rng rng(7);
+  ZipfDistribution zipf(30000, 1.2);
+  for (int i = 0; i < 200000; ++i) {
+    const uint64_t key = zipf.SampleIndex(rng);
+    truth[key] += 1.0;
+    ss->Insert(key);
+  }
+  const auto exact = ExactTopK(truth, 64);
+  EXPECT_GT(TopKRecall(exact, ss->TopK(256)), 0.95);
+}
+
+TEST(SpaceSavingTest, SizeNeverExceedsCapacity) {
+  auto ss = SpaceSaving::Create(32);
+  ASSERT_TRUE(ss.ok());
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) ss->Insert(rng.Uniform(1000));
+  EXPECT_LE(ss->size(), 32u);
+}
+
+// -------------------------------------------------------------- CountMin --
+
+TEST(CountMinTest, RejectsBadConfig) {
+  CountMin::Config config;
+  config.width = 0;
+  EXPECT_FALSE(CountMin::Create(config).ok());
+  config.width = 8;
+  config.depth = 0;
+  EXPECT_FALSE(CountMin::Create(config).ok());
+}
+
+TEST(CountMinTest, ExactForSingleKey) {
+  CountMin::Config config;
+  config.width = 128;
+  config.depth = 3;
+  auto cm = CountMin::Create(config);
+  ASSERT_TRUE(cm.ok());
+  cm->Insert(42, 1.5);
+  cm->Insert(42, 2.5);
+  EXPECT_GE(cm->Query(42), 4.0 - 1e-9);
+}
+
+TEST(CountMinTest, NeverUnderestimates) {
+  CountMin::Config config;
+  config.width = 512;
+  config.depth = 4;
+  auto cm = CountMin::Create(config);
+  ASSERT_TRUE(cm.ok());
+  std::unordered_map<uint64_t, double> truth;
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.Uniform(3000);
+    const double w = rng.UniformDouble();
+    truth[key] += w;
+    cm->Insert(key, w);
+  }
+  for (const auto& [key, total] : truth) {
+    EXPECT_GE(cm->Query(key), total - 1e-6);
+  }
+}
+
+TEST(CountMinTest, ClearResets) {
+  CountMin::Config config;
+  auto cm = CountMin::Create(config);
+  ASSERT_TRUE(cm.ok());
+  cm->Insert(1, 5.0);
+  cm->Clear();
+  EXPECT_DOUBLE_EQ(cm->Query(1), 0.0);
+}
+
+TEST(CountMinTopKTest, RejectsZeroK) {
+  EXPECT_FALSE(CountMinTopK::Create(CountMin::Config{}, 0).ok());
+}
+
+TEST(CountMinTopKTest, TracksHeavyHitters) {
+  CountMin::Config config;
+  config.width = 2048;
+  config.depth = 3;
+  auto topk = CountMinTopK::Create(config, 128);
+  ASSERT_TRUE(topk.ok());
+  std::unordered_map<uint64_t, double> truth;
+  Rng rng(13);
+  ZipfDistribution zipf(20000, 1.2);
+  for (int i = 0; i < 150000; ++i) {
+    const uint64_t key = zipf.SampleIndex(rng);
+    truth[key] += 1.0;
+    topk->Insert(key, 1.0);
+  }
+  const auto exact = ExactTopK(truth, 32);
+  EXPECT_GT(TopKRecall(exact, topk->TopK(128)), 0.9);
+}
+
+// ------------------------------------------------------------ topk utils --
+
+TEST(TopKUtilsTest, ExactTopKOrdersAndTruncates) {
+  std::unordered_map<uint64_t, double> scores{
+      {1, 5.0}, {2, 9.0}, {3, 1.0}, {4, 7.0}};
+  auto top = ExactTopK(scores, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 2u);
+  EXPECT_EQ(top[1].first, 4u);
+}
+
+TEST(TopKUtilsTest, ExactTopKDeterministicTieBreak) {
+  std::unordered_map<uint64_t, double> scores{{5, 1.0}, {3, 1.0}, {9, 1.0}};
+  auto top = ExactTopK(scores, 3);
+  EXPECT_EQ(top[0].first, 3u);
+  EXPECT_EQ(top[1].first, 5u);
+  EXPECT_EQ(top[2].first, 9u);
+}
+
+TEST(TopKUtilsTest, RecallEdgeCases) {
+  std::vector<std::pair<uint64_t, double>> truth{{1, 2.0}, {2, 1.0}};
+  std::vector<std::pair<uint64_t, double>> none;
+  EXPECT_DOUBLE_EQ(TopKRecall(truth, none), 0.0);
+  EXPECT_DOUBLE_EQ(TopKRecall(none, truth), 1.0);  // empty truth
+  std::vector<std::pair<uint64_t, double>> half{{1, 9.0}, {7, 1.0}};
+  EXPECT_DOUBLE_EQ(TopKRecall(truth, half), 0.5);
+}
+
+}  // namespace
+}  // namespace cafe

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/presets.h"
+#include "embed/full_embedding.h"
+#include "models/dlrm.h"
+#include "train/metrics.h"
+#include "train/store_factory.h"
+#include "train/trainer.h"
+
+namespace cafe {
+namespace {
+
+// ----------------------------------------------------------------- AUC --
+
+TEST(AucTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.1f, 0.2f, 0.8f, 0.9f},
+                              {0.0f, 0.0f, 1.0f, 1.0f}),
+                   1.0);
+}
+
+TEST(AucTest, ReversedRankingIsZero) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.9f, 0.8f, 0.2f, 0.1f},
+                              {0.0f, 0.0f, 1.0f, 1.0f}),
+                   0.0);
+}
+
+TEST(AucTest, AllTiedIsHalf) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.5f, 0.5f, 0.5f, 0.5f},
+                              {0.0f, 1.0f, 0.0f, 1.0f}),
+                   0.5);
+}
+
+TEST(AucTest, KnownMixedCase) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}. Pairs: (0.8 beats both) +
+  // (0.4 beats 0.2, loses to 0.6) = 3 of 4 -> 0.75.
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.8f, 0.4f, 0.6f, 0.2f},
+                              {1.0f, 1.0f, 0.0f, 0.0f}),
+                   0.75);
+}
+
+TEST(AucTest, DegenerateSingleClassIsHalf) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({0.1f, 0.9f}, {1.0f, 1.0f}), 0.5);
+  EXPECT_DOUBLE_EQ(ComputeAuc({}, {}), 0.5);
+}
+
+TEST(AucTest, InvariantToMonotoneTransform) {
+  std::vector<float> labels{1.0f, 0.0f, 1.0f, 0.0f, 0.0f};
+  std::vector<float> scores{2.0f, -1.0f, 0.5f, 0.0f, -3.0f};
+  std::vector<float> squashed(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    squashed[i] = 1.0f / (1.0f + std::exp(-scores[i]));
+  }
+  EXPECT_DOUBLE_EQ(ComputeAuc(scores, labels), ComputeAuc(squashed, labels));
+}
+
+TEST(LogLossTest, MatchesPointLoss) {
+  const double loss = ComputeLogLoss({0.0f, 0.0f}, {1.0f, 0.0f});
+  EXPECT_NEAR(loss, std::log(2.0), 1e-9);
+}
+
+// --------------------------------------------------------- StoreFactory --
+
+class StoreFactorySweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StoreFactorySweep, CreatesAtModestCompression) {
+  StoreFactoryContext context;
+  context.embedding.total_features = 20000;
+  context.embedding.dim = 16;
+  context.embedding.compression_ratio = 4;
+  context.embedding.seed = 1;
+  context.layout = FieldLayout({10000, 8000, 2000});
+  context.offline_hot_ids = {1, 2, 3, 4, 5};
+  auto store = MakeStore(GetParam(), context);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->dim(), 16u);
+  // Everything except "full" must respect the budget.
+  if (std::string(GetParam()) != "full") {
+    EXPECT_LE((*store)->MemoryBytes(),
+              context.embedding.BudgetBytes() + 64 * sizeof(float));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, StoreFactorySweep,
+                         ::testing::Values("full", "hash", "qr", "ada",
+                                           "mde", "offline", "cafe",
+                                           "cafe-ml"));
+
+TEST(StoreFactoryTest, UnknownNameFails) {
+  StoreFactoryContext context;
+  context.embedding.total_features = 100;
+  context.embedding.dim = 8;
+  EXPECT_EQ(MakeStore("tt-rec", context).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StoreFactoryTest, FeasibilityLimitsMatchPaper) {
+  StoreFactoryContext context;
+  context.embedding.total_features = 1000000;
+  context.embedding.dim = 16;
+  context.embedding.compression_ratio = 10000;
+  context.layout = FieldLayout({600000, 400000});
+  // At 10000x only hash and cafe survive (paper §5.2.1).
+  EXPECT_TRUE(MakeStore("hash", context).ok());
+  EXPECT_TRUE(MakeStore("cafe", context).ok());
+  EXPECT_EQ(MakeStore("qr", context).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(MakeStore("ada", context).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(MakeStore("mde", context).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StoreFactoryTest, RowMethodsList) {
+  const auto methods = RowCompressionMethods();
+  EXPECT_EQ(methods.size(), 4u);
+  EXPECT_EQ(methods.front(), "hash");
+  EXPECT_EQ(methods.back(), "cafe");
+}
+
+// -------------------------------------------------------------- Trainer --
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticDatasetConfig config;
+    config.name = "trainer-test";
+    config.field_cardinalities = {1500, 600, 300};
+    config.num_numerical = 2;
+    config.num_samples = 12000;
+    config.num_days = 4;
+    config.zipf_z = 1.25;
+    config.drift_stride_fraction = 0.002;
+    config.seed = 5;
+    auto ds = SyntheticCtrDataset::Generate(config);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::move(ds).value();
+
+    EmbeddingConfig store_config;
+    store_config.total_features = dataset_->layout().total_features();
+    store_config.dim = 8;
+    store_config.compression_ratio = 1.0;
+    auto store = FullEmbedding::Create(store_config);
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(store).value();
+
+    ModelConfig model_config;
+    model_config.num_fields = dataset_->num_fields();
+    model_config.emb_dim = 8;
+    model_config.num_numerical = 2;
+    model_config.top_hidden = {32, 16};
+    model_config.emb_lr = 0.1f;
+    model_config.dense_lr = 0.05f;
+    auto model = DlrmModel::Create(model_config, store_.get());
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(model).value();
+  }
+
+  std::unique_ptr<SyntheticCtrDataset> dataset_;
+  std::unique_ptr<FullEmbedding> store_;
+  std::unique_ptr<DlrmModel> model_;
+};
+
+TEST_F(TrainerTest, LearnsBetterThanRandom) {
+  TrainOptions options;
+  options.batch_size = 128;
+  const TrainResult result = TrainOnePass(model_.get(), *dataset_, options);
+  // The planted teacher guarantees learnable signal; an uncompressed DLRM
+  // must clearly beat random ranking after one pass.
+  EXPECT_GT(result.final_test_auc, 0.6);
+  EXPECT_LT(result.avg_train_loss, 0.8);
+  EXPECT_GT(result.train_throughput, 0.0);
+}
+
+TEST_F(TrainerTest, CurvePointsAreMonotonicInIterationAndRecorded) {
+  TrainOptions options;
+  options.batch_size = 128;
+  options.curve_points = 5;
+  const TrainResult result = TrainOnePass(model_.get(), *dataset_, options);
+  ASSERT_GE(result.curve.size(), 4u);
+  for (size_t i = 1; i < result.curve.size(); ++i) {
+    EXPECT_GT(result.curve[i].iteration, result.curve[i - 1].iteration);
+    EXPECT_GT(result.curve[i].samples_seen, result.curve[i - 1].samples_seen);
+  }
+  // Final curve point agrees with the summary metrics.
+  EXPECT_NEAR(result.curve.back().avg_train_loss, result.avg_train_loss,
+              1e-9);
+}
+
+TEST_F(TrainerTest, EvaluateAucIsSymmetricWithTrainResult) {
+  TrainOptions options;
+  options.batch_size = 128;
+  const TrainResult result = TrainOnePass(model_.get(), *dataset_, options);
+  const double auc =
+      EvaluateAuc(model_.get(), *dataset_, dataset_->train_size(),
+                  std::min(dataset_->num_samples(),
+                           dataset_->train_size() + options.max_eval_samples));
+  EXPECT_NEAR(auc, result.final_test_auc, 1e-12);
+}
+
+}  // namespace
+}  // namespace cafe
