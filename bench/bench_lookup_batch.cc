@@ -1,0 +1,248 @@
+// Microbenchmark: scalar (per-id virtual) vs batched embedding execution.
+//
+// Two workloads, both batch 4096, dim 16:
+//  - "global": one Zipf(z = 1.05) id stream over a 20M-feature space — the
+//    whole-table view of a CTR workload (paper Fig. 3 measures z ~ 1.05 on
+//    Criteo), tables sized to straddle the LLC;
+//  - "layer": the stream the refactored consumer stack actually produces —
+//    26 per-field batches per step with Criteo-like field cardinalities
+//    (a few huge fields, many tiny ones), Zipf within each field. Per-field
+//    batches repeat ids heavily (~20% unique overall), which is what the
+//    stores' in-batch deduplication compresses.
+//
+// The per-id baseline is the seed's execution model: one virtual
+// Lookup/ApplyGradient per (sample, field). Scalar and batched rounds are
+// interleaved and the median of 9 rounds is reported, because virtualized
+// hosts drift.
+//
+// Reading the numbers: the batched path wins by (a) deduplicating sketch /
+// hash-map probes and importance updates per unique id, (b) removing one
+// virtual dispatch and one variable-size memcpy dispatch per id, and
+// (c) software-prefetching gather rows. How much of that shows up as
+// lookups/sec depends strongly on the host: an out-of-order core already
+// overlaps the independent per-id misses of the scalar loop, and on
+// single-vCPU virtualized hosts (nested paging, shallow miss queues) that
+// baseline sits close to the machine's random-access throughput, so the
+// measured speedups there are conservative lower bounds of what bare-metal
+// parts deliver.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "common/zipf.h"
+#include "train/store_factory.h"
+
+namespace cafe {
+namespace {
+
+constexpr uint32_t kDim = 16;
+constexpr size_t kBatchSize = 4096;
+constexpr size_t kNumBatches = 26;  // one per field in the layer workload
+constexpr double kZipfZ = 1.05;
+constexpr int kRounds = 9;
+
+/// Criteo-like categorical field cardinalities: a few huge fields, a long
+/// tail of small ones (Table 2 regime). Total ~20.6M features.
+const uint64_t kFieldCards[] = {9980333, 5278081, 3172477, 1254577, 492877,
+                                239747,  98506,   39979,   17139,   7420,
+                                3206,    1381,    612,     253,     105,
+                                48,      24,      14,      10,      7,
+                                4,       4,       3,       3,       3,
+                                2};
+
+struct Workload {
+  std::string name;
+  uint64_t total_features = 0;
+  /// kNumBatches batches of kBatchSize ids each, concatenated.
+  std::vector<uint64_t> ids;
+};
+
+Workload MakeGlobalWorkload() {
+  Workload w;
+  w.name = "global";
+  w.total_features = 20'000'000;
+  Rng rng(2024);
+  ZipfDistribution zipf(w.total_features, kZipfZ);
+  w.ids.resize(kNumBatches * kBatchSize);
+  for (uint64_t& id : w.ids) id = zipf.SampleIndex(rng);
+  return w;
+}
+
+Workload MakeLayerWorkload() {
+  Workload w;
+  w.name = "layer";
+  std::vector<uint64_t> offsets;
+  for (uint64_t card : kFieldCards) {
+    offsets.push_back(w.total_features);
+    w.total_features += card;
+  }
+  Rng rng(4096);
+  w.ids.reserve(kNumBatches * kBatchSize);
+  for (size_t f = 0; f < kNumBatches; ++f) {
+    ZipfDistribution zipf(kFieldCards[f], kZipfZ);
+    for (size_t i = 0; i < kBatchSize; ++i) {
+      w.ids.push_back(offsets[f] + zipf.SampleIndex(rng));
+    }
+  }
+  return w;
+}
+
+StoreFactoryContext MakeBenchContext(const Workload& w, double cr) {
+  StoreFactoryContext context;
+  context.embedding.total_features = w.total_features;
+  context.embedding.dim = kDim;
+  context.embedding.compression_ratio = cr;
+  context.embedding.seed = 97;
+  context.cafe.decay_interval = 100;
+  for (uint64_t id = 0; id < 1'000'000; ++id) {
+    context.offline_hot_ids.push_back(id);
+  }
+  return context;
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+struct PathRates {
+  double scalar_per_sec = 0.0;
+  double batched_per_sec = 0.0;
+  double Speedup() const { return batched_per_sec / scalar_per_sec; }
+};
+
+/// Interleaves scalar and batched rounds (median of kRounds) — virtualized
+/// hosts drift over seconds, so back-to-back A/B pairs keep it fair.
+PathRates MeasureLookups(EmbeddingStore* store, const Workload& w,
+                         std::vector<float>* out) {
+  std::vector<double> scalar_ns, batched_ns;
+  const size_t total = w.ids.size();
+  WallTimer timer;
+  for (int round = 0; round < kRounds; ++round) {
+    timer.Restart();
+    for (size_t k = 0; k < kNumBatches; ++k) {
+      const uint64_t* batch = w.ids.data() + k * kBatchSize;
+      for (size_t i = 0; i < kBatchSize; ++i) {
+        store->Lookup(batch[i], out->data() + i * kDim);
+      }
+    }
+    scalar_ns.push_back(timer.ElapsedSeconds());
+    timer.Restart();
+    for (size_t k = 0; k < kNumBatches; ++k) {
+      store->LookupBatch(w.ids.data() + k * kBatchSize, kBatchSize,
+                         out->data());
+    }
+    batched_ns.push_back(timer.ElapsedSeconds());
+  }
+  PathRates rates;
+  rates.scalar_per_sec = static_cast<double>(total) / Median(scalar_ns);
+  rates.batched_per_sec = static_cast<double>(total) / Median(batched_ns);
+  return rates;
+}
+
+PathRates MeasureUpdates(EmbeddingStore* store, const Workload& w,
+                         const std::vector<float>& grads) {
+  std::vector<double> scalar_ns, batched_ns;
+  const size_t total = w.ids.size();
+  WallTimer timer;
+  for (int round = 0; round < kRounds; ++round) {
+    timer.Restart();
+    for (size_t k = 0; k < kNumBatches; ++k) {
+      const uint64_t* batch = w.ids.data() + k * kBatchSize;
+      for (size_t i = 0; i < kBatchSize; ++i) {
+        store->ApplyGradient(batch[i], grads.data() + i * kDim, 0.01f);
+      }
+      store->Tick();
+    }
+    scalar_ns.push_back(timer.ElapsedSeconds());
+    timer.Restart();
+    for (size_t k = 0; k < kNumBatches; ++k) {
+      store->ApplyGradientBatch(w.ids.data() + k * kBatchSize, kBatchSize,
+                                grads.data(), 0.01f);
+      store->Tick();
+    }
+    batched_ns.push_back(timer.ElapsedSeconds());
+  }
+  PathRates rates;
+  rates.scalar_per_sec = static_cast<double>(total) / Median(scalar_ns);
+  rates.batched_per_sec = static_cast<double>(total) / Median(batched_ns);
+  return rates;
+}
+
+void RunWorkload(const Workload& w) {
+  struct MethodCase {
+    const char* name;
+    double cr;
+  };
+  const MethodCase cases[] = {
+      {"hash", 4.0}, {"qr", 4.0},      {"ada", 3.0},
+      {"offline", 10.0}, {"cafe", 10.0}, {"cafe-ml", 10.0},
+  };
+
+  std::printf("\nworkload \"%s\": %zu batches x %zu ids, %.1fM features\n",
+              w.name.c_str(), kNumBatches, kBatchSize,
+              static_cast<double>(w.total_features) / 1e6);
+  std::printf("%-8s %6s %12s %12s %8s %12s %12s %8s %9s\n", "method", "CR",
+              "lookup/s", "lookupB/s", "speedup", "update/s", "updateB/s",
+              "speedup", "MB");
+  bench::PrintRule(100);
+
+  Rng grad_rng(7);
+  std::vector<float> grads(kBatchSize * kDim);
+  for (float& g : grads) g = grad_rng.UniformFloat(-0.1f, 0.1f);
+  std::vector<float> out(kBatchSize * kDim);
+
+  for (const MethodCase& c : cases) {
+    auto store_or = MakeStore(c.name, MakeBenchContext(w, c.cr));
+    if (!store_or.ok()) {
+      std::printf("%-8s %6.0f  infeasible: %s\n", c.name, c.cr,
+                  store_or.status().ToString().c_str());
+      continue;
+    }
+    EmbeddingStore* store = store_or->get();
+    // Populate adaptive state (hot sets, scores) before measuring so cafe
+    // and ada serve their steady-state mix of hot and cold paths.
+    for (size_t k = 0; k < kNumBatches; ++k) {
+      store->ApplyGradientBatch(w.ids.data() + k * kBatchSize, kBatchSize,
+                                grads.data(), 0.01f);
+      store->Tick();
+    }
+    const PathRates lookups = MeasureLookups(store, w, &out);
+    const PathRates updates = MeasureUpdates(store, w, grads);
+    std::printf("%-8s %6.0f %12.3e %12.3e %7.2fx %12.3e %12.3e %7.2fx %9.1f\n",
+                c.name, c.cr, lookups.scalar_per_sec, lookups.batched_per_sec,
+                lookups.Speedup(), updates.scalar_per_sec,
+                updates.batched_per_sec, updates.Speedup(),
+                static_cast<double>(store->MemoryBytes()) / (1024.0 * 1024.0));
+  }
+  bench::PrintRule(100);
+}
+
+void Run() {
+  bench::PrintTitle(
+      "bench_lookup_batch: scalar (per-id virtual) vs batched embedding "
+      "execution\n(batch 4096, dim 16, Zipf z = 1.05, median of 9 "
+      "interleaved rounds)");
+  RunWorkload(MakeGlobalWorkload());
+  RunWorkload(MakeLayerWorkload());
+  std::printf(
+      "\nlookupB/updateB = the batched LookupBatch/ApplyGradientBatch "
+      "paths.\nBatched gains = probe dedup per unique id + devirtualized, "
+      "prefetched gathers;\non virtualized single-core hosts the per-id "
+      "baseline already saturates the\nmemory system, so these ratios are "
+      "lower bounds of bare-metal behavior.\n");
+}
+
+}  // namespace
+}  // namespace cafe
+
+int main() {
+  cafe::Run();
+  return 0;
+}

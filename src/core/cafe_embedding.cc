@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/prefetch.h"
 #include "common/random.h"
 
 namespace cafe {
@@ -88,28 +89,107 @@ void CafeEmbedding::SharedLookup(uint64_t id, bool medium, float* out) const {
         shared_b_.data() + hash_b_.Bounded(id, plan_.shared_rows_b) * d;
     for (uint32_t i = 0; i < d; ++i) out[i] = a[i] + b[i];
   } else {
-    std::memcpy(out, a, d * sizeof(float));
+    embed_internal::CopyRow(out, a, d);
   }
 }
 
 void CafeEmbedding::Lookup(uint64_t id, float* out) {
+  LookupOne(id, out, /*occurrences=*/1);
+}
+
+void CafeEmbedding::LookupOne(uint64_t id, float* out, uint64_t occurrences) {
   const HotSketch::Slot* slot = sketch_.Find(id);
   if (slot != nullptr && slot->payload >= 0) {
-    std::memcpy(out,
-                hot_table_.data() +
-                    static_cast<size_t>(slot->payload) * config_.embedding.dim,
-                config_.embedding.dim * sizeof(float));
-    ++lookup_stats_.hot;
+    embed_internal::CopyRow(
+        out,
+        hot_table_.data() +
+            static_cast<size_t>(slot->payload) * config_.embedding.dim,
+        config_.embedding.dim);
+    lookup_stats_.hot += occurrences;
     return;
   }
   const bool medium = config_.use_multi_level && slot != nullptr &&
                       slot->GuaranteedScore() >= medium_threshold_;
   SharedLookup(id, medium, out);
   if (medium) {
-    ++lookup_stats_.medium;
+    lookup_stats_.medium += occurrences;
   } else {
-    ++lookup_stats_.cold;
+    lookup_stats_.cold += occurrences;
   }
+}
+
+void CafeEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
+  // Sketch probe + hot/cold classification once per unique id; duplicate
+  // occurrences replicate the resolved row. Lookups are read-only, so the
+  // output is byte-identical to n scalar calls either way — which is what
+  // makes the dedup ADAPTIVE: skewed per-field batches (the common case
+  // after the field-major consumer refactor) dedup heavily and take the
+  // per-unique path, while mostly-unique batches abandon dedup after a
+  // sampled prefix and run a direct devirtualized loop instead of paying
+  // for a scratch table they would not reuse.
+  const uint32_t d = config_.embedding.dim;
+  if (!dedup_.BuildAdaptive(ids, n)) {
+    for (size_t i = 0; i < n; ++i) {
+      if (i + kPrefetchDistance < n) {
+        sketch_.PrefetchBucket(ids[i + kPrefetchDistance]);
+      }
+      LookupOne(ids[i], out + i * d, 1);
+    }
+    return;
+  }
+
+  // Resolve and materialize run as separate passes so the two DEPENDENT
+  // memory accesses of a cafe lookup — sketch bucket, then embedding row —
+  // never serialize: pass 1 probes buckets (prefetched kPrefetchDistance
+  // ahead) and only records row addresses; pass 2 copies rows (again
+  // prefetched kPrefetchDistance ahead). The scalar path eats the full
+  // bucket-then-row latency chain on every call.
+  const size_t num_unique = dedup_.num_unique();
+  const std::vector<uint64_t>& unique = dedup_.unique_ids();
+  row_ptr_scratch_.resize(num_unique);
+  for (size_t u = 0; u < num_unique; ++u) {
+    if (u + kPrefetchDistance < num_unique) {
+      sketch_.PrefetchBucket(unique[u + kPrefetchDistance]);
+    }
+    const uint64_t id = unique[u];
+    const HotSketch::Slot* slot = sketch_.Find(id);
+    ResolvedRow& resolved = row_ptr_scratch_[u];
+    if (slot != nullptr && slot->payload >= 0) {
+      resolved.a = hot_table_.data() + static_cast<size_t>(slot->payload) * d;
+      resolved.b = nullptr;
+      lookup_stats_.hot += dedup_.count(u);
+    } else {
+      const bool medium = config_.use_multi_level && slot != nullptr &&
+                          slot->GuaranteedScore() >= medium_threshold_;
+      resolved.a =
+          shared_a_.data() + hash_a_.Bounded(id, plan_.shared_rows_a) * d;
+      resolved.b = medium && plan_.shared_rows_b > 0
+                       ? shared_b_.data() +
+                             hash_b_.Bounded(id, plan_.shared_rows_b) * d
+                       : nullptr;
+      if (medium) {
+        lookup_stats_.medium += dedup_.count(u);
+      } else {
+        lookup_stats_.cold += dedup_.count(u);
+      }
+    }
+  }
+  for (size_t u = 0; u < num_unique; ++u) {
+    if (u + kPrefetchDistance < num_unique) {
+      const ResolvedRow& ahead = row_ptr_scratch_[u + kPrefetchDistance];
+      PrefetchRead(ahead.a);
+      if (ahead.b != nullptr) PrefetchRead(ahead.b);
+    }
+    const ResolvedRow& resolved = row_ptr_scratch_[u];
+    float* dst = out + static_cast<size_t>(dedup_.first_occurrence(u)) * d;
+    if (resolved.b == nullptr) {
+      embed_internal::CopyRow(dst, resolved.a, d);
+    } else {
+      for (uint32_t k = 0; k < d; ++k) dst[k] = resolved.a[k] + resolved.b[k];
+    }
+  }
+
+  dedup_.ReplicateRows(out, n, d);
 }
 
 CafeEmbedding::Path CafeEmbedding::ClassifyForTest(uint64_t id) const {
@@ -154,19 +234,50 @@ void CafeEmbedding::FreeRow(int32_t row) {
   free_rows_.push_back(row);
 }
 
-void CafeEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
-  const uint32_t d = config_.embedding.dim;
-  double importance;
-  if (config_.importance == ImportanceMetric::kFrequency) {
-    importance = 1.0;
-  } else {
-    double norm_sq = 0.0;
-    for (uint32_t i = 0; i < d; ++i) {
-      norm_sq += static_cast<double>(grad[i]) * grad[i];
-    }
-    importance = std::sqrt(norm_sq);
-  }
+using embed_internal::GradNorm;
 
+void CafeEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
+  const double importance = config_.importance == ImportanceMetric::kFrequency
+                                ? 1.0
+                                : GradNorm(grad, config_.embedding.dim);
+  ApplyGradientOne(id, grad, lr, importance);
+}
+
+void CafeEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
+                                       const float* grads, float lr) {
+  // Per-batch sketch insertion (the paper's training-loop formulation): the
+  // batch is deduplicated and the sketch advances ONCE per unique id, by
+  // the id's total importance over the batch — occurrence count under the
+  // frequency metric, summed per-occurrence gradient norms under the
+  // gradient-norm metric (summing norms rather than taking the norm of the
+  // sum keeps scores identical to the scalar stream; mixed-sign gradients
+  // must not cancel a hot feature's importance). Promotion, demotion, and
+  // one SGD step with the accumulated gradient then run per unique id.
+  const uint32_t d = config_.embedding.dim;
+  dedup_.Build(ids, n);
+  dedup_.AccumulateRows(grads, n, d, &grad_accum_);
+  const size_t num_unique = dedup_.num_unique();
+  if (config_.importance == ImportanceMetric::kFrequency) {
+    importance_accum_.resize(num_unique);
+    for (size_t u = 0; u < num_unique; ++u) {
+      importance_accum_[u] = static_cast<double>(dedup_.count(u));
+    }
+  } else {
+    dedup_.AccumulateNorms(grads, n, d, &importance_accum_);
+  }
+  const std::vector<uint64_t>& unique = dedup_.unique_ids();
+  for (size_t u = 0; u < num_unique; ++u) {
+    if (u + kPrefetchDistance < num_unique) {
+      sketch_.PrefetchBucket(unique[u + kPrefetchDistance]);
+    }
+    ApplyGradientOne(unique[u], grad_accum_.data() + u * d, lr,
+                     importance_accum_[u]);
+  }
+}
+
+void CafeEmbedding::ApplyGradientOne(uint64_t id, const float* grad, float lr,
+                                     double importance) {
+  const uint32_t d = config_.embedding.dim;
   HotSketch::InsertResult res = sketch_.Insert(id, importance);
   if (res.evicted && res.evicted_payload >= 0) {
     // A hot feature lost its sketch slot: its exclusive row is recycled and

@@ -6,6 +6,7 @@
 
 #include "common/hash.h"
 #include "core/cafe_config.h"
+#include "embed/batch_dedup.h"
 #include "embed/embedding_store.h"
 #include "sketch/hot_sketch.h"
 
@@ -47,6 +48,9 @@ class CafeEmbedding : public EmbeddingStore {
   uint32_t dim() const override { return config_.embedding.dim; }
   void Lookup(uint64_t id, float* out) override;
   void ApplyGradient(uint64_t id, const float* grad, float lr) override;
+  void LookupBatch(const uint64_t* ids, size_t n, float* out) override;
+  void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
+                          float lr) override;
   void Tick() override;
   size_t MemoryBytes() const override;
   std::string Name() const override {
@@ -72,6 +76,17 @@ class CafeEmbedding : public EmbeddingStore {
 
  private:
   CafeEmbedding(const CafeConfig& config, const CafeMemoryPlan& plan);
+
+  /// One forward resolution (sketch probe + path classification + row
+  /// copy), counted as `occurrences` lookups in the stats. The scalar path
+  /// calls it per id, the batched path once per unique id.
+  void LookupOne(uint64_t id, float* out, uint64_t occurrences);
+
+  /// Sketch insertion, promotion/demotion, and the SGD step for one feature
+  /// whose batch importance is `importance` (gradient-norm metric: L2 norm
+  /// of `grad`; frequency metric: number of occurrences).
+  void ApplyGradientOne(uint64_t id, const float* grad, float lr,
+                        double importance);
 
   /// Writes the shared-table representation of `id` (used for cold/medium
   /// lookups and as migration initialization).
@@ -123,6 +138,19 @@ class CafeEmbedding : public EmbeddingStore {
   uint64_t migrations_ = 0;
   uint64_t demotions_ = 0;
   PathStats lookup_stats_;
+
+  // Batch scratch, reused across calls: sketch probes and promotion checks
+  // run once per unique id in the batch.
+  BatchDeduper dedup_;
+  std::vector<float> grad_accum_;        // num_unique x dim
+  std::vector<double> importance_accum_; // num_unique
+  /// A unique id's resolved embedding source: one row (b == nullptr) or a
+  /// medium feature's pooled pair of rows.
+  struct ResolvedRow {
+    const float* a = nullptr;
+    const float* b = nullptr;
+  };
+  std::vector<ResolvedRow> row_ptr_scratch_;  // num_unique
 };
 
 }  // namespace cafe

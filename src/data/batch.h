@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace cafe {
 
@@ -26,6 +27,45 @@ struct Batch {
   const float* sample_numerical(size_t b) const {
     return numerical + b * num_numerical;
   }
+};
+
+/// Field-major staging of a batch's categorical ids, widened to the 64-bit
+/// id type of the EmbeddingStore batch API: field f's ids for all samples
+/// are contiguous at field(f)[0..batch_size). This is the layout the
+/// batched embedding path consumes — one LookupBatch/ApplyGradientBatch
+/// call per field, over ids that collide (and therefore deduplicate) far
+/// more within a field than across a whole sample-major batch. The backing
+/// buffer is owned and reused across batches.
+class FieldMajorIds {
+ public:
+  /// Transposes `batch`'s sample-major ids into field-major order. Always
+  /// re-reads the batch: callers may legally refill one id buffer between
+  /// batches, so no pointer-identity caching (the transpose is O(batch *
+  /// fields) sequential work, noise next to the lookups it feeds).
+  void BuildFrom(const Batch& batch) {
+    batch_size_ = batch.batch_size;
+    num_fields_ = batch.num_fields;
+    ids_.resize(batch_size_ * num_fields_);
+    for (size_t b = 0; b < batch_size_; ++b) {
+      const uint32_t* cats = batch.sample_categorical(b);
+      for (size_t f = 0; f < num_fields_; ++f) {
+        ids_[f * batch_size_ + b] = cats[f];
+      }
+    }
+  }
+
+  size_t batch_size() const { return batch_size_; }
+  size_t num_fields() const { return num_fields_; }
+
+  /// Ids of `field` for every sample, batch_size entries.
+  const uint64_t* field(size_t f) const {
+    return ids_.data() + f * batch_size_;
+  }
+
+ private:
+  size_t batch_size_ = 0;
+  size_t num_fields_ = 0;
+  std::vector<uint64_t> ids_;  // num_fields x batch_size, field-major
 };
 
 }  // namespace cafe

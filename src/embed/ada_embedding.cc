@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/prefetch.h"
 
 namespace cafe {
 
@@ -57,13 +58,56 @@ void AdaEmbedding::Lookup(uint64_t id, float* out) {
               config_.dim * sizeof(float));
 }
 
-void AdaEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
-  CAFE_DCHECK(id < config_.total_features);
-  double norm_sq = 0.0;
-  for (uint32_t i = 0; i < config_.dim; ++i) {
-    norm_sq += static_cast<double>(grad[i]) * grad[i];
+void AdaEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
+  const uint32_t d = config_.dim;
+  const float* table = table_.data();
+  row_scratch_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    CAFE_DCHECK(ids[i] < config_.total_features);
+    row_scratch_[i] = row_of_[ids[i]];
   }
-  scores_[id] += static_cast<float>(std::sqrt(norm_sq));
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDistance < n) {
+      const int64_t ahead = row_scratch_[i + kPrefetchDistance];
+      if (ahead >= 0) PrefetchRead(table + static_cast<size_t>(ahead) * d);
+    }
+    const int64_t row = row_scratch_[i];
+    if (row < 0) {
+      std::memset(out + i * d, 0, d * sizeof(float));
+    } else {
+      embed_internal::CopyRow(out + i * d,
+                              table + static_cast<size_t>(row) * d, d);
+    }
+  }
+}
+
+using embed_internal::GradNorm;
+
+void AdaEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
+                                      const float* grads, float lr) {
+  // Dedup + accumulate: the importance score advances once per unique id by
+  // the summed per-occurrence gradient norms (identical to the scalar
+  // stream's total — mixed-sign gradients must not cancel importance), and
+  // each allocated row takes one SGD step with the accumulated gradient.
+  const uint32_t d = config_.dim;
+  dedup_.Build(ids, n);
+  dedup_.AccumulateRows(grads, n, d, &grad_accum_);
+  dedup_.AccumulateNorms(grads, n, d, &importance_accum_);
+  const size_t num_unique = dedup_.num_unique();
+  for (size_t u = 0; u < num_unique; ++u) {
+    ApplyOne(dedup_.unique_id(u), grad_accum_.data() + u * d, lr,
+             importance_accum_[u]);
+  }
+}
+
+void AdaEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
+  ApplyOne(id, grad, lr, GradNorm(grad, config_.dim));
+}
+
+void AdaEmbedding::ApplyOne(uint64_t id, const float* grad, float lr,
+                            double score_inc) {
+  CAFE_DCHECK(id < config_.total_features);
+  scores_[id] += static_cast<float>(score_inc);
 
   int32_t row = row_of_[id];
   if (row < 0) {

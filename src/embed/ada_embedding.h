@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "embed/batch_dedup.h"
 #include "embed/embedding_store.h"
 
 namespace cafe {
@@ -48,6 +49,9 @@ class AdaEmbedding : public EmbeddingStore {
   uint32_t dim() const override { return config_.dim; }
   void Lookup(uint64_t id, float* out) override;
   void ApplyGradient(uint64_t id, const float* grad, float lr) override;
+  void LookupBatch(const uint64_t* ids, size_t n, float* out) override;
+  void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
+                          float lr) override;
   void Tick() override;
   size_t MemoryBytes() const override;
   std::string Name() const override { return "ada"; }
@@ -58,6 +62,12 @@ class AdaEmbedding : public EmbeddingStore {
  private:
   AdaEmbedding(const EmbeddingConfig& config, const Options& options,
                uint64_t num_rows);
+
+  /// Score update + cold-start row claim + SGD step for one feature; the
+  /// scalar path calls it per occurrence (score_inc = the gradient's L2
+  /// norm), the batched path once per unique id with the accumulated
+  /// gradient and the summed per-occurrence norms.
+  void ApplyOne(uint64_t id, const float* grad, float lr, double score_inc);
 
   /// Reassigns rows to the top-importance features (bounded churn).
   void Reallocate();
@@ -74,6 +84,12 @@ class AdaEmbedding : public EmbeddingStore {
   std::vector<uint64_t> owner_of_; // num_rows, feature owning each row
   std::vector<int32_t> free_rows_;
   std::vector<float> table_;       // num_rows x dim
+
+  // Batch scratch, reused across calls.
+  BatchDeduper dedup_;
+  std::vector<float> grad_accum_;        // num_unique x dim
+  std::vector<double> importance_accum_; // num_unique
+  std::vector<int64_t> row_scratch_;
 };
 
 }  // namespace cafe

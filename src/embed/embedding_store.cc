@@ -36,6 +36,17 @@ Status EmbeddingConfig::Validate() const {
   return Status::OK();
 }
 
+void EmbeddingStore::LookupBatch(const uint64_t* ids, size_t n, float* out) {
+  const uint32_t d = dim();
+  for (size_t i = 0; i < n; ++i) Lookup(ids[i], out + i * d);
+}
+
+void EmbeddingStore::ApplyGradientBatch(const uint64_t* ids, size_t n,
+                                        const float* grads, float lr) {
+  const uint32_t d = dim();
+  for (size_t i = 0; i < n; ++i) ApplyGradient(ids[i], grads + i * d, lr);
+}
+
 namespace embed_internal {
 
 float InitBound(uint32_t dim) {

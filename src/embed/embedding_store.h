@@ -1,7 +1,9 @@
 #ifndef CAFE_EMBED_EMBEDDING_STORE_H_
 #define CAFE_EMBED_EMBEDDING_STORE_H_
 
+#include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -65,10 +67,30 @@ struct EmbeddingConfig {
 /// Abstract interface every embedding compressor implements. Models and the
 /// trainer are agnostic to the compression scheme behind it.
 ///
-/// The trainer drives it as:
-///   Lookup(id, out)                  -- forward, per (sample, field)
-///   ApplyGradient(id, grad, lr)      -- backward + sparse SGD update
-///   Tick()                           -- once per iteration (batch)
+/// The training loop drives it at BATCH granularity:
+///   LookupBatch(ids, n, out)              -- forward, per (field, batch)
+///   ApplyGradientBatch(ids, n, grads, lr) -- backward + sparse SGD update
+///   Tick()                                -- once per iteration (batch)
+///
+/// The per-id Lookup/ApplyGradient entry points remain for tools, tests and
+/// as the reference semantics, but consumers should prefer the batch API: it
+/// removes one virtual dispatch per (sample, field), lets dense stores
+/// software-prefetch rows, and lets adaptive stores (AdaEmbed, CAFE, MDE,
+/// offline separation) deduplicate the batch so sketch updates, frequency
+/// counts, and hot/cold classification run once per unique id.
+///
+/// Contract:
+///  - LookupBatch writes ids[i]'s embedding at out + i*dim and is byte-
+///    identical to n scalar Lookup calls (lookups are read-only, so probe
+///    deduplication cannot change results).
+///  - ApplyGradientBatch consumes grads + i*dim for ids[i]. Stores without
+///    importance state (full, hash, qr) apply per-occurrence updates in
+///    stream order — bit-identical to the scalar loop. Adaptive stores
+///    deduplicate: each unique id is updated ONCE with its occurrence-order
+///    accumulated gradient, and importance statistics advance once per
+///    unique id (frequency metrics by the occurrence count) — the paper's
+///    per-batch sketch insertion. When every id in the batch is distinct the
+///    two formulations coincide bit-for-bit.
 ///
 /// Implementations may use Lookup-time state (e.g. AdaEmbed frequency) and
 /// Tick-time maintenance (CAFE score decay, AdaEmbed reallocation).
@@ -90,6 +112,17 @@ class EmbeddingStore {
   /// with a plain SGD step of rate `lr`, and updates any importance
   /// statistics the scheme keeps.
   virtual void ApplyGradient(uint64_t id, const float* grad, float lr) = 0;
+
+  /// Batched forward: writes ids[i]'s embedding into out + i*dim for
+  /// i in [0, n). Default is the scalar-fallback loop; stores override with
+  /// gather loops (prefetch) and probe deduplication.
+  virtual void LookupBatch(const uint64_t* ids, size_t n, float* out);
+
+  /// Batched backward + sparse SGD: grads + i*dim is the gradient for
+  /// ids[i]. Default is the scalar-fallback loop; see the class comment for
+  /// the dedup semantics adaptive stores implement.
+  virtual void ApplyGradientBatch(const uint64_t* ids, size_t n,
+                                  const float* grads, float lr);
 
   /// Called once per training iteration; default no-op. Periodic work
   /// (score decay, reallocation) hangs off this.
@@ -115,6 +148,37 @@ namespace embed_internal {
 /// Uniform(-1/sqrt(dim), +1/sqrt(dim)) row init, shared by all stores so
 /// that comparisons start from identically distributed parameters.
 float InitBound(uint32_t dim);
+
+/// L2 norm of a gradient row, accumulated in double in index order. Shared
+/// by every importance-tracking store so scalar and batched paths (and the
+/// stores between themselves) compute bit-identical scores.
+inline double GradNorm(const float* grad, uint32_t dim) {
+  double norm_sq = 0.0;
+  for (uint32_t i = 0; i < dim; ++i) {
+    norm_sq += static_cast<double>(grad[i]) * grad[i];
+  }
+  return std::sqrt(norm_sq);
+}
+
+/// Copies one embedding row. The batched gather loops run this per id, so
+/// the common dims get compile-time-sized copies (inlined vector moves)
+/// instead of a variable-size memcpy dispatch per row.
+inline void CopyRow(float* dst, const float* src, uint32_t dim) {
+  switch (dim) {
+    case 16:
+      std::memcpy(dst, src, 16 * sizeof(float));
+      break;
+    case 32:
+      std::memcpy(dst, src, 32 * sizeof(float));
+      break;
+    case 8:
+      std::memcpy(dst, src, 8 * sizeof(float));
+      break;
+    default:
+      std::memcpy(dst, src, dim * sizeof(float));
+      break;
+  }
+}
 
 }  // namespace embed_internal
 

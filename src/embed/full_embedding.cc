@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/prefetch.h"
 
 namespace cafe {
 
@@ -29,6 +30,35 @@ void FullEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
   CAFE_DCHECK(id < config_.total_features);
   float* row = table_.data() + id * config_.dim;
   for (uint32_t i = 0; i < config_.dim; ++i) row[i] -= lr * grad[i];
+}
+
+void FullEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
+  const uint32_t d = config_.dim;
+  const float* table = table_.data();
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDistance < n) {
+      PrefetchRead(table + ids[i + kPrefetchDistance] * d);
+    }
+    CAFE_DCHECK(ids[i] < config_.total_features);
+    embed_internal::CopyRow(out + i * d, table + ids[i] * d, d);
+  }
+}
+
+void FullEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
+                                       const float* grads, float lr) {
+  // Per-occurrence updates in stream order: bit-identical to the scalar
+  // loop even when the batch repeats ids.
+  const uint32_t d = config_.dim;
+  float* table = table_.data();
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDistance < n) {
+      PrefetchWrite(table + ids[i + kPrefetchDistance] * d);
+    }
+    CAFE_DCHECK(ids[i] < config_.total_features);
+    float* row = table + ids[i] * d;
+    const float* g = grads + i * d;
+    for (uint32_t k = 0; k < d; ++k) row[k] -= lr * g[k];
+  }
 }
 
 }  // namespace cafe

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/prefetch.h"
 
 namespace cafe {
 
@@ -38,6 +39,37 @@ void HashEmbedding::Lookup(uint64_t id, float* out) {
 void HashEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
   float* row = table_.data() + RowOf(id) * config_.dim;
   for (uint32_t i = 0; i < config_.dim; ++i) row[i] -= lr * grad[i];
+}
+
+void HashEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
+  const uint32_t d = config_.dim;
+  const float* table = table_.data();
+  row_scratch_.resize(n);
+  for (size_t i = 0; i < n; ++i) row_scratch_[i] = RowOf(ids[i]);
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDistance < n) {
+      PrefetchRead(table + row_scratch_[i + kPrefetchDistance] * d);
+    }
+    embed_internal::CopyRow(out + i * d, table + row_scratch_[i] * d, d);
+  }
+}
+
+void HashEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
+                                       const float* grads, float lr) {
+  // Stream order is preserved so colliding ids scatter their updates in the
+  // same sequence as the scalar loop (bit-identical results).
+  const uint32_t d = config_.dim;
+  float* table = table_.data();
+  row_scratch_.resize(n);
+  for (size_t i = 0; i < n; ++i) row_scratch_[i] = RowOf(ids[i]);
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDistance < n) {
+      PrefetchWrite(table + row_scratch_[i + kPrefetchDistance] * d);
+    }
+    float* row = table + row_scratch_[i] * d;
+    const float* g = grads + i * d;
+    for (uint32_t k = 0; k < d; ++k) row[k] -= lr * g[k];
+  }
 }
 
 }  // namespace cafe

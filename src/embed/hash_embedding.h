@@ -23,6 +23,9 @@ class HashEmbedding : public EmbeddingStore {
   uint32_t dim() const override { return config_.dim; }
   void Lookup(uint64_t id, float* out) override;
   void ApplyGradient(uint64_t id, const float* grad, float lr) override;
+  void LookupBatch(const uint64_t* ids, size_t n, float* out) override;
+  void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
+                          float lr) override;
   size_t MemoryBytes() const override {
     return table_.size() * sizeof(float);
   }
@@ -39,6 +42,9 @@ class HashEmbedding : public EmbeddingStore {
   uint64_t num_rows_;
   SeededHash hash_;
   std::vector<float> table_;  // num_rows x dim
+  /// Row indices of the in-flight batch: hashed once up front so the
+  /// gather loop can prefetch rows ahead of the copy. Reused across calls.
+  std::vector<uint64_t> row_scratch_;
 };
 
 }  // namespace cafe

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.h"
 
@@ -103,7 +104,9 @@ MdeEmbedding::MdeEmbedding(const EmbeddingConfig& config,
   }
 }
 
-void MdeEmbedding::Lookup(uint64_t id, float* out) {
+void MdeEmbedding::Lookup(uint64_t id, float* out) { LookupOne(id, out); }
+
+void MdeEmbedding::LookupOne(uint64_t id, float* out) const {
   const size_t field = layout_.FieldOf(id);
   const uint64_t local = id - layout_.offset(field);
   const uint32_t df = field_dims_[field];
@@ -118,6 +121,36 @@ void MdeEmbedding::Lookup(uint64_t id, float* out) {
 }
 
 void MdeEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
+  ApplyOne(id, grad, lr);
+}
+
+void MdeEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
+  // Project once per unique id, then replicate the finished embedding to
+  // duplicate occurrences (read-only, so results match the scalar loop).
+  const uint32_t d = config_.dim;
+  dedup_.Build(ids, n);
+  const size_t num_unique = dedup_.num_unique();
+  for (size_t u = 0; u < num_unique; ++u) {
+    LookupOne(dedup_.unique_id(u),
+              out + static_cast<size_t>(dedup_.first_occurrence(u)) * d);
+  }
+  dedup_.ReplicateRows(out, n, d);
+}
+
+void MdeEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
+                                      const float* grads, float lr) {
+  // One row+projection backward per unique id with the accumulated
+  // gradient: the projection matrix sees the true batch gradient instead of
+  // per-occurrence partial steps.
+  dedup_.Build(ids, n);
+  dedup_.AccumulateRows(grads, n, config_.dim, &grad_accum_);
+  const size_t num_unique = dedup_.num_unique();
+  for (size_t u = 0; u < num_unique; ++u) {
+    ApplyOne(dedup_.unique_id(u), grad_accum_.data() + u * config_.dim, lr);
+  }
+}
+
+void MdeEmbedding::ApplyOne(uint64_t id, const float* grad, float lr) {
   const size_t field = layout_.FieldOf(id);
   const uint64_t local = id - layout_.offset(field);
   const uint32_t df = field_dims_[field];

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "embed/batch_dedup.h"
 #include "embed/embedding_store.h"
 
 namespace cafe {
@@ -36,6 +37,9 @@ class MdeEmbedding : public EmbeddingStore {
   uint32_t dim() const override { return config_.dim; }
   void Lookup(uint64_t id, float* out) override;
   void ApplyGradient(uint64_t id, const float* grad, float lr) override;
+  void LookupBatch(const uint64_t* ids, size_t n, float* out) override;
+  void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
+                          float lr) override;
   size_t MemoryBytes() const override;
   std::string Name() const override { return "mde"; }
 
@@ -45,6 +49,12 @@ class MdeEmbedding : public EmbeddingStore {
   MdeEmbedding(const EmbeddingConfig& config, const FieldLayout& layout,
                std::vector<uint32_t> field_dims);
 
+  /// Forward projection row -> d-dim embedding for one feature (the scalar
+  /// Lookup body; the batched path runs it once per unique id).
+  void LookupOne(uint64_t id, float* out) const;
+  /// Row + projection backward for one feature.
+  void ApplyOne(uint64_t id, const float* grad, float lr);
+
   EmbeddingConfig config_;
   FieldLayout layout_;
   std::vector<uint32_t> field_dims_;        // d_f per field
@@ -52,6 +62,11 @@ class MdeEmbedding : public EmbeddingStore {
   std::vector<size_t> proj_offset_;         // float offset of field proj
   std::vector<float> tables_;               // concat of n_f x d_f tables
   std::vector<float> projections_;          // concat of d_f x d matrices
+
+  // Batch scratch, reused across calls. The d_f x d projection matmul is
+  // MDE's per-id cost; dedup runs it once per unique id.
+  BatchDeduper dedup_;
+  std::vector<float> grad_accum_;  // num_unique x dim
 };
 
 }  // namespace cafe

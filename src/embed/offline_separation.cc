@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/prefetch.h"
 
 namespace cafe {
 
@@ -38,25 +39,71 @@ OfflineSeparationEmbedding::OfflineSeparationEmbedding(
   for (float& w : shared_table_) w = rng.UniformFloat(-bound, bound);
 }
 
-void OfflineSeparationEmbedding::Lookup(uint64_t id, float* out) {
+float* OfflineSeparationEmbedding::RowOf(uint64_t id) {
   auto it = hot_index_.find(id);
-  const float* row =
-      it != hot_index_.end()
-          ? hot_table_.data() + static_cast<size_t>(it->second) * config_.dim
-          : shared_table_.data() +
-                hash_.Bounded(id, shared_rows_) * config_.dim;
-  std::memcpy(out, row, config_.dim * sizeof(float));
+  return it != hot_index_.end()
+             ? hot_table_.data() + static_cast<size_t>(it->second) * config_.dim
+             : shared_table_.data() +
+                   hash_.Bounded(id, shared_rows_) * config_.dim;
+}
+
+void OfflineSeparationEmbedding::Lookup(uint64_t id, float* out) {
+  std::memcpy(out, RowOf(id), config_.dim * sizeof(float));
 }
 
 void OfflineSeparationEmbedding::ApplyGradient(uint64_t id, const float* grad,
                                                float lr) {
-  auto it = hot_index_.find(id);
-  float* row =
-      it != hot_index_.end()
-          ? hot_table_.data() + static_cast<size_t>(it->second) * config_.dim
-          : shared_table_.data() +
-                hash_.Bounded(id, shared_rows_) * config_.dim;
+  float* row = RowOf(id);
   for (uint32_t i = 0; i < config_.dim; ++i) row[i] -= lr * grad[i];
+}
+
+void OfflineSeparationEmbedding::LookupBatch(const uint64_t* ids, size_t n,
+                                             float* out) {
+  // One hot-index probe per unique id when the batch dedups (skewed
+  // per-field streams); mostly-unique batches abandon the scratch table and
+  // run a direct resolve + prefetched copy instead. Either way the output
+  // is byte-identical to n scalar Lookup calls.
+  const uint32_t d = config_.dim;
+  if (!dedup_.BuildAdaptive(ids, n)) {
+    row_scratch_.resize(n);
+    for (size_t i = 0; i < n; ++i) row_scratch_[i] = RowOf(ids[i]);
+    for (size_t i = 0; i < n; ++i) {
+      if (i + kPrefetchDistance < n) {
+        PrefetchRead(row_scratch_[i + kPrefetchDistance]);
+      }
+      embed_internal::CopyRow(out + i * d, row_scratch_[i], d);
+    }
+    return;
+  }
+  const size_t num_unique = dedup_.num_unique();
+  row_scratch_.resize(num_unique);
+  for (size_t u = 0; u < num_unique; ++u) {
+    row_scratch_[u] = RowOf(dedup_.unique_id(u));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDistance < n) {
+      PrefetchRead(row_scratch_[dedup_.unique_of(i + kPrefetchDistance)]);
+    }
+    embed_internal::CopyRow(out + i * d, row_scratch_[dedup_.unique_of(i)], d);
+  }
+}
+
+void OfflineSeparationEmbedding::ApplyGradientBatch(const uint64_t* ids,
+                                                    size_t n,
+                                                    const float* grads,
+                                                    float lr) {
+  // Resolve each unique id once and apply its accumulated gradient in one
+  // SGD step. The hot/shared split is static, so this is the plain batch
+  // formulation of the scalar loop.
+  const uint32_t d = config_.dim;
+  dedup_.Build(ids, n);
+  dedup_.AccumulateRows(grads, n, d, &grad_accum_);
+  const size_t num_unique = dedup_.num_unique();
+  for (size_t u = 0; u < num_unique; ++u) {
+    float* row = RowOf(dedup_.unique_id(u));
+    const float* g = grad_accum_.data() + u * d;
+    for (uint32_t k = 0; k < d; ++k) row[k] -= lr * g[k];
+  }
 }
 
 size_t OfflineSeparationEmbedding::MemoryBytes() const {

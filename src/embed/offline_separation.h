@@ -7,6 +7,7 @@
 
 #include "common/hash.h"
 #include "common/random.h"
+#include "embed/batch_dedup.h"
 #include "embed/embedding_store.h"
 
 namespace cafe {
@@ -34,6 +35,9 @@ class OfflineSeparationEmbedding : public EmbeddingStore {
   uint32_t dim() const override { return config_.dim; }
   void Lookup(uint64_t id, float* out) override;
   void ApplyGradient(uint64_t id, const float* grad, float lr) override;
+  void LookupBatch(const uint64_t* ids, size_t n, float* out) override;
+  void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
+                          float lr) override;
   size_t MemoryBytes() const override;
   std::string Name() const override { return "offline"; }
 
@@ -44,6 +48,10 @@ class OfflineSeparationEmbedding : public EmbeddingStore {
                              uint64_t shared_rows,
                              const std::vector<uint64_t>& hot_ids);
 
+  /// Hot-or-shared row of `id` (one hash-map probe; the batched paths
+  /// resolve it once per unique id).
+  float* RowOf(uint64_t id);
+
   EmbeddingConfig config_;
   uint64_t hot_rows_;
   uint64_t shared_rows_;
@@ -51,6 +59,11 @@ class OfflineSeparationEmbedding : public EmbeddingStore {
   std::unordered_map<uint64_t, uint32_t> hot_index_;  // feature -> hot row
   std::vector<float> hot_table_;     // hot_rows x dim
   std::vector<float> shared_table_;  // shared_rows x dim
+
+  // Batch scratch, reused across calls.
+  BatchDeduper dedup_;
+  std::vector<float> grad_accum_;   // num_unique x dim
+  std::vector<float*> row_scratch_; // num_unique resolved rows
 };
 
 }  // namespace cafe

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/prefetch.h"
 
 namespace cafe {
 
@@ -95,6 +96,60 @@ void QrEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
       const float r_old = r[i];
       r[i] -= lr * grad[i] * q[i];
       q[i] -= lr * grad[i] * r_old;
+    }
+  }
+}
+
+void QrEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
+  const uint32_t d = config_.dim;
+  const float* rem = remainder_table_.data();
+  const float* quo = quotient_table_.data();
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDistance < n) {
+      const uint64_t ahead = ids[i + kPrefetchDistance];
+      PrefetchRead(rem + (ahead % m_) * d);
+      PrefetchRead(quo + (ahead / m_) * d);
+    }
+    CAFE_DCHECK(ids[i] < config_.total_features);
+    const float* r = rem + (ids[i] % m_) * d;
+    const float* q = quo + (ids[i] / m_) * d;
+    float* o = out + i * d;
+    if (combine_ == Combine::kAdd) {
+      for (uint32_t k = 0; k < d; ++k) o[k] = r[k] + q[k];
+    } else {
+      for (uint32_t k = 0; k < d; ++k) o[k] = r[k] * q[k];
+    }
+  }
+}
+
+void QrEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
+                                     const float* grads, float lr) {
+  // Stream order: ids sharing either component row update it in the same
+  // sequence as the scalar loop.
+  const uint32_t d = config_.dim;
+  float* rem = remainder_table_.data();
+  float* quo = quotient_table_.data();
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDistance < n) {
+      const uint64_t ahead = ids[i + kPrefetchDistance];
+      PrefetchWrite(rem + (ahead % m_) * d);
+      PrefetchWrite(quo + (ahead / m_) * d);
+    }
+    CAFE_DCHECK(ids[i] < config_.total_features);
+    float* r = rem + (ids[i] % m_) * d;
+    float* q = quo + (ids[i] / m_) * d;
+    const float* g = grads + i * d;
+    if (combine_ == Combine::kAdd) {
+      for (uint32_t k = 0; k < d; ++k) {
+        r[k] -= lr * g[k];
+        q[k] -= lr * g[k];
+      }
+    } else {
+      for (uint32_t k = 0; k < d; ++k) {
+        const float r_old = r[k];
+        r[k] -= lr * g[k] * q[k];
+        q[k] -= lr * g[k] * r_old;
+      }
     }
   }
 }

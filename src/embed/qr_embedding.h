@@ -32,6 +32,9 @@ class QrEmbedding : public EmbeddingStore {
   uint32_t dim() const override { return config_.dim; }
   void Lookup(uint64_t id, float* out) override;
   void ApplyGradient(uint64_t id, const float* grad, float lr) override;
+  void LookupBatch(const uint64_t* ids, size_t n, float* out) override;
+  void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
+                          float lr) override;
   size_t MemoryBytes() const override {
     return (remainder_table_.size() + quotient_table_.size()) * sizeof(float);
   }

@@ -26,7 +26,10 @@ StatusOr<std::unique_ptr<DcnModel>> DcnModel::Create(const ModelConfig& config,
 }
 
 DcnModel::DcnModel(const ModelConfig& config, EmbeddingStore* store)
-    : config_(config), store_(store), rng_(config.seed) {
+    : config_(config),
+      store_(store),
+      emb_layer_(store, config.num_fields),
+      rng_(config.seed) {
   const size_t d_in = InputSize();
   const float bound = 1.0f / std::sqrt(static_cast<float>(d_in));
   for (size_t l = 0; l < config_.num_cross_layers; ++l) {
@@ -62,17 +65,14 @@ DcnModel::DcnModel(const ModelConfig& config, EmbeddingStore* store)
 }
 
 void DcnModel::BuildInput(const Batch& batch) {
-  const uint32_t d = config_.emb_dim;
-  const size_t emb_cols = config_.num_fields * d;
+  const size_t emb_cols = config_.num_fields * config_.emb_dim;
   input_.Resize(batch.batch_size, InputSize());
-  for (size_t b = 0; b < batch.batch_size; ++b) {
-    const uint32_t* cats = batch.sample_categorical(b);
-    float* row = input_.row(b);
-    for (size_t f = 0; f < batch.num_fields; ++f) {
-      store_->Lookup(cats[f], row + f * d);
-    }
-    if (config_.num_numerical > 0) {
-      std::memcpy(row + emb_cols, batch.sample_numerical(b),
+  // Batched embedding gather straight into the input tensor (sample stride
+  // InputSize()); the numerical tail of each row is filled afterwards.
+  emb_layer_.Forward(batch, input_.data(), InputSize());
+  if (config_.num_numerical > 0) {
+    for (size_t b = 0; b < batch.batch_size; ++b) {
+      std::memcpy(input_.row(b) + emb_cols, batch.sample_numerical(b),
                   config_.num_numerical * sizeof(float));
     }
   }
@@ -179,8 +179,8 @@ double DcnModel::TrainStep(const Batch& batch) {
     float* ge = grad_emb_.row(b);
     for (size_t i = 0; i < emb_cols; ++i) ge[i] = gc[i] + gx0[i] + gd[i];
   }
-  model_internal::ApplyBatchGradients(store_, batch, grad_emb_,
-                                      config_.emb_lr);
+  emb_layer_.Backward(batch, grad_emb_.data(), emb_cols, config_.emb_lr,
+                      /*reuse_staged_ids=*/true);
   store_->Tick();
   return loss;
 }

@@ -6,6 +6,7 @@
 
 #include "common/random.h"
 #include "models/model.h"
+#include "nn/embedding_bag.h"
 #include "nn/linear.h"
 #include "nn/mlp.h"
 
@@ -44,6 +45,7 @@ class DcnModel : public RecModel {
 
   ModelConfig config_;
   EmbeddingStore* store_;
+  EmbeddingLayerGroup emb_layer_;  // batched lookup/update over store_
   Rng rng_;
 
   // Cross-network parameters: per layer a weight vector w (D) and bias

@@ -22,7 +22,10 @@ StatusOr<std::unique_ptr<DlrmModel>> DlrmModel::Create(
 }
 
 DlrmModel::DlrmModel(const ModelConfig& config, EmbeddingStore* store)
-    : config_(config), store_(store), rng_(config.seed) {
+    : config_(config),
+      store_(store),
+      emb_layer_(store, config.num_fields),
+      rng_(config.seed) {
   if (config_.num_numerical > 0) {
     std::vector<size_t> bottom_sizes;
     bottom_sizes.push_back(config_.num_numerical);
@@ -50,7 +53,8 @@ DlrmModel::DlrmModel(const ModelConfig& config, EmbeddingStore* store)
 void DlrmModel::Forward(const Batch& batch, Tensor* logits) {
   CAFE_DCHECK(batch.num_fields == config_.num_fields);
   const uint32_t d = config_.emb_dim;
-  model_internal::LookupBatch(store_, batch, &emb_);
+  emb_.Resize(batch.batch_size, batch.num_fields * d);
+  emb_layer_.Forward(batch, emb_.data(), batch.num_fields * d);
 
   if (bottom_ != nullptr) {
     numerical_in_.Resize(batch.batch_size, config_.num_numerical);
@@ -142,8 +146,8 @@ double DlrmModel::TrainStep(const Batch& batch) {
     bottom_->Backward(grad_bottom_out_, &grad_numerical_);
   }
   optimizer_->Step(config_.dense_lr);
-  model_internal::ApplyBatchGradients(store_, batch, grad_emb_,
-                                      config_.emb_lr);
+  emb_layer_.Backward(batch, grad_emb_.data(), config_.num_fields * d,
+                      config_.emb_lr, /*reuse_staged_ids=*/true);
   store_->Tick();
   return loss;
 }

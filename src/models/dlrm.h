@@ -6,6 +6,7 @@
 
 #include "common/random.h"
 #include "models/model.h"
+#include "nn/embedding_bag.h"
 #include "nn/mlp.h"
 
 namespace cafe {
@@ -49,6 +50,7 @@ class DlrmModel : public RecModel {
 
   ModelConfig config_;
   EmbeddingStore* store_;
+  EmbeddingLayerGroup emb_layer_;  // batched lookup/update over store_
   Rng rng_;
   std::unique_ptr<Mlp> bottom_;  // nullptr when num_numerical == 0
   std::unique_ptr<Mlp> top_;

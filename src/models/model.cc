@@ -1,8 +1,7 @@
 #include "models/model.h"
 
-#include <algorithm>
-
 #include "common/logging.h"
+#include "nn/embedding_bag.h"
 
 namespace cafe {
 namespace model_internal {
@@ -10,13 +9,8 @@ namespace model_internal {
 void LookupBatch(EmbeddingStore* store, const Batch& batch, Tensor* out) {
   const uint32_t d = store->dim();
   out->Resize(batch.batch_size, batch.num_fields * d);
-  for (size_t b = 0; b < batch.batch_size; ++b) {
-    const uint32_t* cats = batch.sample_categorical(b);
-    float* row = out->row(b);
-    for (size_t f = 0; f < batch.num_fields; ++f) {
-      store->Lookup(cats[f], row + f * d);
-    }
-  }
+  EmbeddingLayerGroup group(store, batch.num_fields);
+  group.Forward(batch, out->data(), batch.num_fields * d);
 }
 
 void ApplyBatchGradients(EmbeddingStore* store, const Batch& batch,
@@ -24,24 +18,8 @@ void ApplyBatchGradients(EmbeddingStore* store, const Batch& batch,
   const uint32_t d = store->dim();
   CAFE_DCHECK(grad.rows() == batch.batch_size);
   CAFE_DCHECK(grad.cols() == batch.num_fields * d);
-  // Elementwise clipping keeps heavily collided shared rows stable at
-  // extreme compression ratios (hundreds of features SGD-ing into one row
-  // can otherwise enter a positive-feedback blowup). Applied uniformly to
-  // every store, so method comparisons stay fair.
-  constexpr float kClip = 1.0f;
-  float clipped[512];
-  CAFE_CHECK(d <= 512) << "embedding dim too large for the clip buffer";
-  for (size_t b = 0; b < batch.batch_size; ++b) {
-    const uint32_t* cats = batch.sample_categorical(b);
-    const float* row = grad.row(b);
-    for (size_t f = 0; f < batch.num_fields; ++f) {
-      const float* g = row + f * d;
-      for (uint32_t i = 0; i < d; ++i) {
-        clipped[i] = std::clamp(g[i], -kClip, kClip);
-      }
-      store->ApplyGradient(cats[f], clipped, lr);
-    }
-  }
+  EmbeddingLayerGroup group(store, batch.num_fields);
+  group.Backward(batch, grad.data(), batch.num_fields * d, lr);
 }
 
 }  // namespace model_internal

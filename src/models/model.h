@@ -66,11 +66,15 @@ class RecModel {
 namespace model_internal {
 
 /// Gathers embeddings for every (sample, field) of `batch` into `out`
-/// (batch_size x num_fields*dim), sample-major.
+/// (batch_size x num_fields*dim), sample-major. Convenience wrapper over
+/// the batched store API for tools and tests; models keep a persistent
+/// EmbeddingLayerGroup (nn/embedding_bag.h) instead so staging buffers are
+/// reused across steps.
 void LookupBatch(EmbeddingStore* store, const Batch& batch, Tensor* out);
 
 /// Routes per-(sample, field) embedding gradients in `grad`
-/// (batch_size x num_fields*dim) back to the store with SGD rate `lr`.
+/// (batch_size x num_fields*dim) back to the store with SGD rate `lr`,
+/// clipped like the training path. Convenience wrapper, see LookupBatch.
 void ApplyBatchGradients(EmbeddingStore* store, const Batch& batch,
                          const Tensor& grad, float lr);
 

@@ -22,7 +22,10 @@ StatusOr<std::unique_ptr<WdlModel>> WdlModel::Create(const ModelConfig& config,
 }
 
 WdlModel::WdlModel(const ModelConfig& config, EmbeddingStore* store)
-    : config_(config), store_(store), rng_(config.seed) {
+    : config_(config),
+      store_(store),
+      emb_layer_(store, config.num_fields),
+      rng_(config.seed) {
   wide_ = std::make_unique<Linear>(InputSize(), 1, rng_);
   std::vector<size_t> deep_sizes;
   deep_sizes.push_back(InputSize());
@@ -41,17 +44,14 @@ WdlModel::WdlModel(const ModelConfig& config, EmbeddingStore* store)
 }
 
 void WdlModel::BuildInput(const Batch& batch) {
-  const uint32_t d = config_.emb_dim;
-  const size_t emb_cols = config_.num_fields * d;
+  const size_t emb_cols = config_.num_fields * config_.emb_dim;
   input_.Resize(batch.batch_size, InputSize());
-  for (size_t b = 0; b < batch.batch_size; ++b) {
-    const uint32_t* cats = batch.sample_categorical(b);
-    float* row = input_.row(b);
-    for (size_t f = 0; f < batch.num_fields; ++f) {
-      store_->Lookup(cats[f], row + f * d);
-    }
-    if (config_.num_numerical > 0) {
-      std::memcpy(row + emb_cols, batch.sample_numerical(b),
+  // Batched embedding gather straight into the input tensor (sample stride
+  // InputSize()); the numerical tail of each row is filled afterwards.
+  emb_layer_.Forward(batch, input_.data(), InputSize());
+  if (config_.num_numerical > 0) {
+    for (size_t b = 0; b < batch.batch_size; ++b) {
+      std::memcpy(input_.row(b) + emb_cols, batch.sample_numerical(b),
                   config_.num_numerical * sizeof(float));
     }
   }
@@ -90,8 +90,8 @@ double WdlModel::TrainStep(const Batch& batch) {
     float* ge = grad_emb_.row(b);
     for (size_t i = 0; i < emb_cols; ++i) ge[i] = gw[i] + gd[i];
   }
-  model_internal::ApplyBatchGradients(store_, batch, grad_emb_,
-                                      config_.emb_lr);
+  emb_layer_.Backward(batch, grad_emb_.data(), emb_cols, config_.emb_lr,
+                      /*reuse_staged_ids=*/true);
   store_->Tick();
   return loss;
 }

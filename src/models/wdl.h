@@ -6,6 +6,7 @@
 
 #include "common/random.h"
 #include "models/model.h"
+#include "nn/embedding_bag.h"
 #include "nn/linear.h"
 #include "nn/mlp.h"
 
@@ -39,6 +40,7 @@ class WdlModel : public RecModel {
 
   ModelConfig config_;
   EmbeddingStore* store_;
+  EmbeddingLayerGroup emb_layer_;  // batched lookup/update over store_
   Rng rng_;
   std::unique_ptr<Linear> wide_;  // InputSize() -> 1
   std::unique_ptr<Mlp> deep_;     // InputSize() -> hidden -> 1

@@ -1,0 +1,62 @@
+#include "nn/embedding_bag.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace cafe {
+
+EmbeddingLayerGroup::EmbeddingLayerGroup(EmbeddingStore* store,
+                                         size_t num_fields)
+    : store_(store), num_fields_(num_fields) {
+  CAFE_CHECK(store != nullptr) << "embedding layer group needs a store";
+  CAFE_CHECK(num_fields > 0) << "embedding layer group needs fields";
+}
+
+void EmbeddingLayerGroup::Forward(const Batch& batch, float* out,
+                                  size_t stride) {
+  CAFE_DCHECK(batch.num_fields == num_fields_);
+  const uint32_t d = store_->dim();
+  const size_t n = batch.batch_size;
+  CAFE_DCHECK(stride >= num_fields_ * d);
+  ids_.BuildFrom(batch);
+  field_out_.resize(n * d);
+  for (size_t f = 0; f < num_fields_; ++f) {
+    store_->LookupBatch(ids_.field(f), n, field_out_.data());
+    const float* src = field_out_.data();
+    float* dst = out + f * d;
+    for (size_t b = 0; b < n; ++b) {
+      std::memcpy(dst + b * stride, src + b * d, d * sizeof(float));
+    }
+  }
+}
+
+void EmbeddingLayerGroup::Backward(const Batch& batch, const float* grad,
+                                   size_t stride, float lr,
+                                   bool reuse_staged_ids) {
+  CAFE_DCHECK(batch.num_fields == num_fields_);
+  const uint32_t d = store_->dim();
+  const size_t n = batch.batch_size;
+  CAFE_DCHECK(stride >= num_fields_ * d);
+  if (!reuse_staged_ids) {
+    ids_.BuildFrom(batch);
+  }
+  CAFE_DCHECK(ids_.batch_size() == n && ids_.num_fields() == num_fields_);
+  field_grad_.resize(n * d);
+  for (size_t f = 0; f < num_fields_; ++f) {
+    // Stage field f's gradient column block contiguously, clipped.
+    const float* src = grad + f * d;
+    float* dst = field_grad_.data();
+    for (size_t b = 0; b < n; ++b) {
+      const float* g = src + b * stride;
+      float* staged = dst + b * d;
+      for (uint32_t k = 0; k < d; ++k) {
+        staged[k] = std::clamp(g[k], -kGradClip, kGradClip);
+      }
+    }
+    store_->ApplyGradientBatch(ids_.field(f), n, field_grad_.data(), lr);
+  }
+}
+
+}  // namespace cafe

@@ -1,0 +1,64 @@
+#ifndef CAFE_NN_EMBEDDING_BAG_H_
+#define CAFE_NN_EMBEDDING_BAG_H_
+
+#include <vector>
+
+#include "data/batch.h"
+#include "embed/embedding_store.h"
+
+namespace cafe {
+
+/// The batched embedding layer shared by every recommendation model: it
+/// owns the field-major id staging, the per-field lookup buffer, and the
+/// backward gradient staging, and drives the EmbeddingStore through one
+/// LookupBatch / ApplyGradientBatch call per field instead of one virtual
+/// Lookup / ApplyGradient per (sample, field).
+///
+/// Field-major execution matters beyond devirtualization: ids repeat within
+/// a field (the same hot advertiser, the same site id), so per-field batches
+/// are exactly the streams the stores' in-batch deduplication compresses.
+///
+/// Layout contract: sample b's embedding block starts at out + b * stride,
+/// with field f at column offset f * dim — the sample-major concatenation
+/// every model feeds its dense layers. The gradient passed to Backward uses
+/// the same layout.
+class EmbeddingLayerGroup {
+ public:
+  /// `store` must outlive the group. `stride` defaults (0) to
+  /// num_fields * dim, the packed layout; WDL/DCN pass their full input
+  /// width so embeddings land directly in the model input tensor.
+  EmbeddingLayerGroup(EmbeddingStore* store, size_t num_fields);
+
+  /// Batched forward for all fields of `batch`: writes batch.batch_size
+  /// sample blocks at out + b * stride (stride in floats).
+  void Forward(const Batch& batch, float* out, size_t stride);
+
+  /// Batched backward: clips the per-(sample, field) embedding gradients
+  /// elementwise to [-kGradClip, kGradClip] and routes them to the store
+  /// with SGD rate `lr`. `grad` mirrors Forward's layout.
+  /// `reuse_staged_ids` lets a TrainStep that just ran Forward on the SAME
+  /// unmodified batch skip re-transposing the ids; the caller asserts the
+  /// reuse explicitly (no pointer-identity guessing).
+  void Backward(const Batch& batch, const float* grad, size_t stride,
+                float lr, bool reuse_staged_ids = false);
+
+  EmbeddingStore* store() const { return store_; }
+
+  /// Elementwise gradient clip applied by Backward. Keeps heavily collided
+  /// shared rows stable at extreme compression ratios (hundreds of features
+  /// SGD-ing into one row can otherwise enter a positive-feedback blowup).
+  /// Uniform across stores so method comparisons stay fair.
+  static constexpr float kGradClip = 1.0f;
+
+ private:
+  EmbeddingStore* store_;
+  size_t num_fields_;
+
+  FieldMajorIds ids_;              // field-major id staging
+  std::vector<float> field_out_;   // batch_size x dim lookup buffer
+  std::vector<float> field_grad_;  // batch_size x dim clipped grad staging
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_NN_EMBEDDING_BAG_H_

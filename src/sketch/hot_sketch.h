@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/prefetch.h"
 #include "common/status.h"
 
 namespace cafe {
@@ -102,6 +103,13 @@ class HotSketch {
   /// invalidated by the next Insert/Decay. Payload may be mutated in place.
   Slot* Find(uint64_t key);
   const Slot* Find(uint64_t key) const;
+
+  /// Prefetches `key`'s bucket (one cache line at the paper's c = 4). The
+  /// batched embedding paths issue this a few ids ahead of Find/Insert so
+  /// the sketch probe does not stall on DRAM.
+  void PrefetchBucket(uint64_t key) const {
+    PrefetchRead(slots_.data() + BucketOf(key) * config_.slots_per_bucket);
+  }
 
   /// Multiplies every stored score by `factor` (paper §3.3: periodic decay
   /// so stale hot features exit under distribution shift).

@@ -29,6 +29,16 @@ void CollectPredictions(RecModel* model, const SyntheticCtrDataset& data,
 
 }  // namespace
 
+EvalMetrics EvaluateMetrics(RecModel* model, const SyntheticCtrDataset& data,
+                            size_t begin, size_t end, size_t batch_size) {
+  std::vector<float> logits, labels;
+  CollectPredictions(model, data, begin, end, batch_size, &logits, &labels);
+  EvalMetrics metrics;
+  metrics.auc = ComputeAuc(logits, labels);
+  metrics.logloss = ComputeLogLoss(logits, labels);
+  return metrics;
+}
+
 double EvaluateAuc(RecModel* model, const SyntheticCtrDataset& data,
                    size_t begin, size_t end, size_t batch_size) {
   std::vector<float> logits, labels;
@@ -89,9 +99,11 @@ TrainResult TrainOnePass(RecModel* model, const SyntheticCtrDataset& data,
           : 0.0;
   result.avg_train_loss =
       samples_seen > 0 ? loss_sum / static_cast<double>(samples_seen) : 0.0;
-  result.final_test_auc = EvaluateAuc(model, data, test_begin, test_end);
-  result.final_test_logloss =
-      EvaluateLogLoss(model, data, test_begin, test_end);
+  // One batched prediction sweep feeds both offline metrics.
+  const EvalMetrics final_metrics =
+      EvaluateMetrics(model, data, test_begin, test_end);
+  result.final_test_auc = final_metrics.auc;
+  result.final_test_logloss = final_metrics.logloss;
   return result;
 }
 

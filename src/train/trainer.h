@@ -41,6 +41,18 @@ struct TrainResult {
   double train_throughput = 0.0;
 };
 
+/// Offline metrics computed from one prediction sweep.
+struct EvalMetrics {
+  double auc = 0.5;
+  double logloss = 0.0;
+};
+
+/// AUC and log-loss of `model` on samples [begin, end) of `data` in a
+/// single batched prediction pass (no parameter updates).
+EvalMetrics EvaluateMetrics(RecModel* model, const SyntheticCtrDataset& data,
+                            size_t begin, size_t end,
+                            size_t batch_size = 1024);
+
 /// AUC of `model` on samples [begin, end) of `data` (no parameter updates).
 double EvaluateAuc(RecModel* model, const SyntheticCtrDataset& data,
                    size_t begin, size_t end, size_t batch_size = 1024);
