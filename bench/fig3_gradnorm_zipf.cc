@@ -25,6 +25,9 @@ class GradNormRecorder : public EmbeddingStore {
 
   uint32_t dim() const override { return inner_->dim(); }
   void Lookup(uint64_t id, float* out) override { inner_->Lookup(id, out); }
+  void LookupConst(uint64_t id, float* out) const override {
+    inner_->LookupConst(id, out);
+  }
   void ApplyGradient(uint64_t id, const float* grad, float lr) override {
     double norm_sq = 0;
     for (uint32_t i = 0; i < dim(); ++i) {

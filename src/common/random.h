@@ -66,6 +66,16 @@ class Rng {
   /// Bernoulli with probability p.
   bool Bernoulli(double p) { return UniformDouble() < p; }
 
+  /// Copies the four xoshiro state words out / back in. Used by checkpoint
+  /// serialization so stores that draw randomness after a restore (AdaEmbed
+  /// row re-init) continue bit-identically to an uninterrupted run.
+  void SaveState(uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+  void LoadState(const uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

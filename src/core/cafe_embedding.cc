@@ -97,6 +97,25 @@ void CafeEmbedding::Lookup(uint64_t id, float* out) {
   LookupOne(id, out, /*occurrences=*/1);
 }
 
+void CafeEmbedding::LookupConst(uint64_t id, float* out) const {
+  // The serving path: identical resolution to LookupOne but with the
+  // hot/cold classification read-only and no lookup statistics — the
+  // "frozen at snapshot time" semantics, and what makes concurrent serving
+  // callers safe on a quiescent store.
+  const HotSketch::Slot* slot = sketch_.Find(id);
+  if (slot != nullptr && slot->payload >= 0) {
+    embed_internal::CopyRow(
+        out,
+        hot_table_.data() +
+            static_cast<size_t>(slot->payload) * config_.embedding.dim,
+        config_.embedding.dim);
+    return;
+  }
+  const bool medium = config_.use_multi_level && slot != nullptr &&
+                      slot->GuaranteedScore() >= medium_threshold_;
+  SharedLookup(id, medium, out);
+}
+
 void CafeEmbedding::LookupOne(uint64_t id, float* out, uint64_t occurrences) {
   const HotSketch::Slot* slot = sketch_.Find(id);
   if (slot != nullptr && slot->payload >= 0) {
@@ -118,7 +137,21 @@ void CafeEmbedding::LookupOne(uint64_t id, float* out, uint64_t occurrences) {
   }
 }
 
-void CafeEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
+void CafeEmbedding::LookupBatchConst(const uint64_t* ids, size_t n, float* out,
+                                     size_t out_stride) const {
+  // Scratch-free concurrent-read path: only the sketch-bucket prefetch
+  // survives from the batched resolve (the two-pass row materialization
+  // needs per-call scratch, which serving threads must not share).
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDistance < n) {
+      sketch_.PrefetchBucket(ids[i + kPrefetchDistance]);
+    }
+    LookupConst(ids[i], out + i * out_stride);
+  }
+}
+
+void CafeEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
+                                size_t out_stride) {
   // Sketch probe + hot/cold classification once per unique id; duplicate
   // occurrences replicate the resolved row. Lookups are read-only, so the
   // output is byte-identical to n scalar calls either way — which is what
@@ -133,7 +166,7 @@ void CafeEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
       if (i + kPrefetchDistance < n) {
         sketch_.PrefetchBucket(ids[i + kPrefetchDistance]);
       }
-      LookupOne(ids[i], out + i * d, 1);
+      LookupOne(ids[i], out + i * out_stride, 1);
     }
     return;
   }
@@ -181,7 +214,8 @@ void CafeEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
       if (ahead.b != nullptr) PrefetchRead(ahead.b);
     }
     const ResolvedRow& resolved = row_ptr_scratch_[u];
-    float* dst = out + static_cast<size_t>(dedup_.first_occurrence(u)) * d;
+    float* dst =
+        out + static_cast<size_t>(dedup_.first_occurrence(u)) * out_stride;
     if (resolved.b == nullptr) {
       embed_internal::CopyRow(dst, resolved.a, d);
     } else {
@@ -189,7 +223,7 @@ void CafeEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
     }
   }
 
-  dedup_.ReplicateRows(out, n, d);
+  dedup_.ReplicateRows(out, n, d, out_stride);
 }
 
 CafeEmbedding::Path CafeEmbedding::ClassifyForTest(uint64_t id) const {
@@ -429,6 +463,104 @@ size_t CafeEmbedding::MemoryBytes() const {
   return sketch_.MemoryBytes() +
          (hot_table_.size() + shared_a_.size() + shared_b_.size()) *
              sizeof(float);
+}
+
+Status CafeEmbedding::SaveState(io::Writer* writer) const {
+  // Sizing guard (derived from config + plan; re-checked on load).
+  writer->WriteU32(config_.embedding.dim);
+  writer->WriteU64(plan_.hot_capacity);
+  writer->WriteU64(plan_.shared_rows_a);
+  writer->WriteU64(plan_.shared_rows_b);
+  writer->WriteU64(sketch_.capacity());
+  writer->WriteBool(config_.use_multi_level);
+  writer->WriteBool(config_.per_field_hot);
+
+  // The complete migration machinery, not just the tables: thresholds, the
+  // per-interval growth snapshot, and the victim queue, so a restored store
+  // keeps promoting/demoting exactly like the uninterrupted one.
+  writer->WriteVec(sketch_.slots());
+  writer->WriteVec(hot_table_);
+  writer->WriteVec(shared_a_);
+  writer->WriteVec(shared_b_);
+  writer->WriteVec(free_rows_);
+  writer->WriteVec(field_used_);
+  writer->WriteF64(hot_threshold_);
+  writer->WriteF64(medium_threshold_);
+  writer->WriteVec(row_prev_score_);
+  writer->WriteU64(victim_queue_.size());
+  for (const auto& [growth, slot_index] : victim_queue_) {
+    writer->WriteF64(growth);
+    writer->WriteI64(slot_index);
+  }
+  writer->WriteU64(victim_idx_);
+  writer->WriteU64(iteration_);
+  writer->WriteU64(migrations_);
+  writer->WriteU64(demotions_);
+  writer->WriteU64(lookup_stats_.hot);
+  writer->WriteU64(lookup_stats_.medium);
+  writer->WriteU64(lookup_stats_.cold);
+  return Status::OK();
+}
+
+Status CafeEmbedding::LoadState(io::Reader* reader) {
+  uint32_t d = 0;
+  uint64_t hot_capacity = 0, rows_a = 0, rows_b = 0, sketch_capacity = 0;
+  bool multi_level = false, per_field = false;
+  CAFE_RETURN_IF_ERROR(reader->ReadU32(&d));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&hot_capacity));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&rows_a));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&rows_b));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&sketch_capacity));
+  CAFE_RETURN_IF_ERROR(reader->ReadBool(&multi_level));
+  CAFE_RETURN_IF_ERROR(reader->ReadBool(&per_field));
+  if (d != config_.embedding.dim || hot_capacity != plan_.hot_capacity ||
+      rows_a != plan_.shared_rows_a || rows_b != plan_.shared_rows_b ||
+      sketch_capacity != sketch_.capacity() ||
+      multi_level != config_.use_multi_level ||
+      per_field != config_.per_field_hot) {
+    return Status::FailedPrecondition(
+        "cafe embedding: checkpoint sizing does not match this store");
+  }
+
+  std::vector<HotSketch::Slot> slots;
+  CAFE_RETURN_IF_ERROR(reader->ReadVec(&slots));
+  CAFE_RETURN_IF_ERROR(sketch_.RestoreSlots(std::move(slots)));
+  CAFE_RETURN_IF_ERROR(
+      reader->ReadVecExpected(&hot_table_, hot_table_.size(), "hot table"));
+  CAFE_RETURN_IF_ERROR(
+      reader->ReadVecExpected(&shared_a_, shared_a_.size(), "shared table A"));
+  CAFE_RETURN_IF_ERROR(
+      reader->ReadVecExpected(&shared_b_, shared_b_.size(), "shared table B"));
+  CAFE_RETURN_IF_ERROR(reader->ReadVec(&free_rows_));
+  if (free_rows_.size() > plan_.hot_capacity) {
+    return Status::FailedPrecondition("cafe embedding: corrupt free-row list");
+  }
+  CAFE_RETURN_IF_ERROR(reader->ReadVecExpected(&field_used_, field_used_.size(),
+                                               "per-field usage"));
+  CAFE_RETURN_IF_ERROR(reader->ReadF64(&hot_threshold_));
+  CAFE_RETURN_IF_ERROR(reader->ReadF64(&medium_threshold_));
+  CAFE_RETURN_IF_ERROR(reader->ReadVecExpected(
+      &row_prev_score_, row_prev_score_.size(), "row score snapshot"));
+  uint64_t queue_size = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&queue_size));
+  if (queue_size > sketch_.capacity()) {
+    return Status::FailedPrecondition(
+        "cafe embedding: corrupt victim queue size");
+  }
+  victim_queue_.resize(queue_size);
+  for (auto& [growth, slot_index] : victim_queue_) {
+    CAFE_RETURN_IF_ERROR(reader->ReadF64(&growth));
+    CAFE_RETURN_IF_ERROR(reader->ReadI64(&slot_index));
+  }
+  uint64_t victim_idx = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&victim_idx));
+  victim_idx_ = static_cast<size_t>(victim_idx);
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&iteration_));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&migrations_));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&demotions_));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&lookup_stats_.hot));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&lookup_stats_.medium));
+  return reader->ReadU64(&lookup_stats_.cold);
 }
 
 }  // namespace cafe

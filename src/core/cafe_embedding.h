@@ -47,8 +47,13 @@ class CafeEmbedding : public EmbeddingStore {
 
   uint32_t dim() const override { return config_.embedding.dim; }
   void Lookup(uint64_t id, float* out) override;
+  void LookupConst(uint64_t id, float* out) const override;
   void ApplyGradient(uint64_t id, const float* grad, float lr) override;
-  void LookupBatch(const uint64_t* ids, size_t n, float* out) override;
+  using EmbeddingStore::LookupBatch;
+  void LookupBatch(const uint64_t* ids, size_t n, float* out,
+                   size_t out_stride) override;
+  void LookupBatchConst(const uint64_t* ids, size_t n, float* out,
+                        size_t out_stride) const override;
   void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
                           float lr) override;
   void Tick() override;
@@ -56,6 +61,8 @@ class CafeEmbedding : public EmbeddingStore {
   std::string Name() const override {
     return config_.use_multi_level ? "cafe-ml" : "cafe";
   }
+  Status SaveState(io::Writer* writer) const override;
+  Status LoadState(io::Reader* reader) override;
 
   /// Classification a lookup of `id` would take right now.
   Path ClassifyForTest(uint64_t id) const;

@@ -47,7 +47,9 @@ AdaEmbedding::AdaEmbedding(const EmbeddingConfig& config,
   }
 }
 
-void AdaEmbedding::Lookup(uint64_t id, float* out) {
+void AdaEmbedding::Lookup(uint64_t id, float* out) { LookupConst(id, out); }
+
+void AdaEmbedding::LookupConst(uint64_t id, float* out) const {
   CAFE_DCHECK(id < config_.total_features);
   const int32_t row = row_of_[id];
   if (row < 0) {
@@ -58,7 +60,8 @@ void AdaEmbedding::Lookup(uint64_t id, float* out) {
               config_.dim * sizeof(float));
 }
 
-void AdaEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
+void AdaEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
+                               size_t out_stride) {
   const uint32_t d = config_.dim;
   const float* table = table_.data();
   row_scratch_.resize(n);
@@ -73,9 +76,31 @@ void AdaEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
     }
     const int64_t row = row_scratch_[i];
     if (row < 0) {
-      std::memset(out + i * d, 0, d * sizeof(float));
+      std::memset(out + i * out_stride, 0, d * sizeof(float));
     } else {
-      embed_internal::CopyRow(out + i * d,
+      embed_internal::CopyRow(out + i * out_stride,
+                              table + static_cast<size_t>(row) * d, d);
+    }
+  }
+}
+
+void AdaEmbedding::LookupBatchConst(const uint64_t* ids, size_t n, float* out,
+                                    size_t out_stride) const {
+  // Scratch-free serving path: the row-index array is itself the prefetch
+  // target one step ahead, then the row a second read resolves.
+  const uint32_t d = config_.dim;
+  const float* table = table_.data();
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDistance < n) {
+      const int32_t ahead = row_of_[ids[i + kPrefetchDistance]];
+      if (ahead >= 0) PrefetchRead(table + static_cast<size_t>(ahead) * d);
+    }
+    CAFE_DCHECK(ids[i] < config_.total_features);
+    const int32_t row = row_of_[ids[i]];
+    if (row < 0) {
+      std::memset(out + i * out_stride, 0, d * sizeof(float));
+    } else {
+      embed_internal::CopyRow(out + i * out_stride,
                               table + static_cast<size_t>(row) * d, d);
     }
   }
@@ -198,6 +223,52 @@ void AdaEmbedding::Reallocate() {
     }
     ++moved;
   }
+}
+
+Status AdaEmbedding::SaveState(io::Writer* writer) const {
+  writer->WriteU64(config_.total_features);
+  writer->WriteU64(num_rows_);
+  writer->WriteU32(config_.dim);
+  writer->WriteU64(iteration_);
+  writer->WriteU64(allocated_count_);
+  uint64_t rng_state[4];
+  rng_.SaveState(rng_state);
+  for (uint64_t word : rng_state) writer->WriteU64(word);
+  writer->WriteVec(scores_);
+  writer->WriteVec(row_of_);
+  writer->WriteVec(owner_of_);
+  writer->WriteVec(free_rows_);
+  writer->WriteVec(table_);
+  return Status::OK();
+}
+
+Status AdaEmbedding::LoadState(io::Reader* reader) {
+  uint64_t features = 0, rows = 0;
+  uint32_t d = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&features));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&rows));
+  CAFE_RETURN_IF_ERROR(reader->ReadU32(&d));
+  if (features != config_.total_features || rows != num_rows_ ||
+      d != config_.dim) {
+    return Status::FailedPrecondition(
+        "ada embedding: checkpoint sizing does not match this store");
+  }
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&iteration_));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&allocated_count_));
+  uint64_t rng_state[4];
+  for (uint64_t& word : rng_state) CAFE_RETURN_IF_ERROR(reader->ReadU64(&word));
+  rng_.LoadState(rng_state);
+  CAFE_RETURN_IF_ERROR(
+      reader->ReadVecExpected(&scores_, scores_.size(), "ada scores"));
+  CAFE_RETURN_IF_ERROR(
+      reader->ReadVecExpected(&row_of_, row_of_.size(), "ada row index"));
+  CAFE_RETURN_IF_ERROR(
+      reader->ReadVecExpected(&owner_of_, owner_of_.size(), "ada row owners"));
+  CAFE_RETURN_IF_ERROR(reader->ReadVec(&free_rows_));
+  if (free_rows_.size() > num_rows_) {
+    return Status::FailedPrecondition("ada embedding: corrupt free-row list");
+  }
+  return reader->ReadVecExpected(&table_, table_.size(), "ada table");
 }
 
 size_t AdaEmbedding::MemoryBytes() const {

@@ -104,17 +104,21 @@ class BatchDeduper {
   }
 
   /// Replicates each unique id's finished row (already materialized at its
-  /// first occurrence in `out`, dim floats per slot) to every duplicate
-  /// occurrence. The shared tail of the dedup'd LookupBatch paths.
-  void ReplicateRows(float* out, size_t n, uint32_t dim) const {
+  /// first occurrence in `out`, dim floats per `stride`-float slot) to every
+  /// duplicate occurrence. The shared tail of the dedup'd LookupBatch paths.
+  void ReplicateRows(float* out, size_t n, uint32_t dim,
+                     size_t stride) const {
     if (unique_.size() == n) return;
     for (size_t i = 0; i < n; ++i) {
       const uint32_t first = first_occurrence_[occ_to_unique_[i]];
       if (first != i) {
-        embed_internal::CopyRow(out + i * dim,
-                                out + static_cast<size_t>(first) * dim, dim);
+        embed_internal::CopyRow(
+            out + i * stride, out + static_cast<size_t>(first) * stride, dim);
       }
     }
+  }
+  void ReplicateRows(float* out, size_t n, uint32_t dim) const {
+    ReplicateRows(out, n, dim, dim);
   }
 
  private:

@@ -36,9 +36,14 @@ Status EmbeddingConfig::Validate() const {
   return Status::OK();
 }
 
-void EmbeddingStore::LookupBatch(const uint64_t* ids, size_t n, float* out) {
-  const uint32_t d = dim();
-  for (size_t i = 0; i < n; ++i) Lookup(ids[i], out + i * d);
+void EmbeddingStore::LookupBatch(const uint64_t* ids, size_t n, float* out,
+                                 size_t out_stride) {
+  for (size_t i = 0; i < n; ++i) Lookup(ids[i], out + i * out_stride);
+}
+
+void EmbeddingStore::LookupBatchConst(const uint64_t* ids, size_t n,
+                                      float* out, size_t out_stride) const {
+  for (size_t i = 0; i < n; ++i) LookupConst(ids[i], out + i * out_stride);
 }
 
 void EmbeddingStore::ApplyGradientBatch(const uint64_t* ids, size_t n,

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "io/serialize.h"
 
 namespace cafe {
 
@@ -80,9 +81,12 @@ struct EmbeddingConfig {
 /// counts, and hot/cold classification run once per unique id.
 ///
 /// Contract:
-///  - LookupBatch writes ids[i]'s embedding at out + i*dim and is byte-
+///  - LookupBatch writes ids[i]'s embedding at out + i*out_stride (the
+///    packed convenience overload passes out_stride == dim) and is byte-
 ///    identical to n scalar Lookup calls (lookups are read-only, so probe
-///    deduplication cannot change results).
+///    deduplication cannot change results). The stride lets consumers gather
+///    field columns straight into sample-major model inputs with no staging
+///    copy; out_stride >= dim always.
 ///  - ApplyGradientBatch consumes grads + i*dim for ids[i]. Stores without
 ///    importance state (full, hash, qr) apply per-occurrence updates in
 ///    stream order — bit-identical to the scalar loop. Adaptive stores
@@ -113,10 +117,30 @@ class EmbeddingStore {
   /// statistics the scheme keeps.
   virtual void ApplyGradient(uint64_t id, const float* grad, float lr) = 0;
 
-  /// Batched forward: writes ids[i]'s embedding into out + i*dim for
-  /// i in [0, n). Default is the scalar-fallback loop; stores override with
-  /// gather loops (prefetch) and probe deduplication.
-  virtual void LookupBatch(const uint64_t* ids, size_t n, float* out);
+  /// Batched forward: writes ids[i]'s embedding into out + i*out_stride for
+  /// i in [0, n), out_stride >= dim in floats. Default is the scalar-
+  /// fallback loop; stores override with gather loops (prefetch) and probe
+  /// deduplication. Derived classes override the strided virtual and pull
+  /// the packed overload back in with `using EmbeddingStore::LookupBatch`.
+  virtual void LookupBatch(const uint64_t* ids, size_t n, float* out,
+                           size_t out_stride);
+
+  /// Packed convenience overload: rows at out + i*dim.
+  void LookupBatch(const uint64_t* ids, size_t n, float* out) {
+    LookupBatch(ids, n, out, dim());
+  }
+
+  /// Read-only scalar lookup with NO side effects — no statistics, no
+  /// owner-managed scratch — byte-identical to Lookup. This is the serving
+  /// path: any number of threads may call it concurrently on a store that
+  /// is not being trained (see serve/frozen_store.h).
+  virtual void LookupConst(uint64_t id, float* out) const = 0;
+
+  /// Batched, strided variant of LookupConst with the same concurrency
+  /// guarantee. Default is the scalar loop; stores with gather loops
+  /// override to keep prefetching (scratch-free, so still thread-safe).
+  virtual void LookupBatchConst(const uint64_t* ids, size_t n, float* out,
+                                size_t out_stride) const;
 
   /// Batched backward + sparse SGD: grads + i*dim is the gradient for
   /// ids[i]. Default is the scalar-fallback loop; see the class comment for
@@ -135,6 +159,28 @@ class EmbeddingStore {
 
   /// Short scheme name for tables ("hash", "qr", "ada", "cafe", ...).
   virtual std::string Name() const = 0;
+
+  /// Serializes the complete mutable state — embedding tables, sketches,
+  /// score/frequency arrays, migration counters, RNG state — such that
+  /// LoadState on a freshly constructed store with the SAME configuration
+  /// reproduces this store bit-for-bit: identical lookups, MemoryBytes,
+  /// counters, and identical behavior under continued training. Sizing
+  /// derived from the config (row counts, sketch geometry) is written as a
+  /// guard and re-checked by LoadState, not trusted from the file.
+  virtual Status SaveState(io::Writer* writer) const {
+    (void)writer;
+    return Status::Unimplemented("store '" + Name() +
+                                 "' does not support checkpointing");
+  }
+
+  /// Restores state written by SaveState. On any mismatch (shape guard,
+  /// truncation) the Status is non-OK and the store must be considered
+  /// unusable (partially restored) — construct a fresh one to retry.
+  virtual Status LoadState(io::Reader* reader) {
+    (void)reader;
+    return Status::Unimplemented("store '" + Name() +
+                                 "' does not support checkpointing");
+  }
 
   /// Achieved compression ratio (uncompressed bytes / MemoryBytes).
   double AchievedCompressionRatio(const EmbeddingConfig& config) const {

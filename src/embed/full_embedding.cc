@@ -21,6 +21,10 @@ FullEmbedding::FullEmbedding(const EmbeddingConfig& config)
 }
 
 void FullEmbedding::Lookup(uint64_t id, float* out) {
+  LookupConst(id, out);
+}
+
+void FullEmbedding::LookupConst(uint64_t id, float* out) const {
   CAFE_DCHECK(id < config_.total_features);
   std::memcpy(out, table_.data() + id * config_.dim,
               config_.dim * sizeof(float));
@@ -32,7 +36,13 @@ void FullEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
   for (uint32_t i = 0; i < config_.dim; ++i) row[i] -= lr * grad[i];
 }
 
-void FullEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
+void FullEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
+                                size_t out_stride) {
+  LookupBatchConst(ids, n, out, out_stride);
+}
+
+void FullEmbedding::LookupBatchConst(const uint64_t* ids, size_t n, float* out,
+                                     size_t out_stride) const {
   const uint32_t d = config_.dim;
   const float* table = table_.data();
   for (size_t i = 0; i < n; ++i) {
@@ -40,8 +50,27 @@ void FullEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
       PrefetchRead(table + ids[i + kPrefetchDistance] * d);
     }
     CAFE_DCHECK(ids[i] < config_.total_features);
-    embed_internal::CopyRow(out + i * d, table + ids[i] * d, d);
+    embed_internal::CopyRow(out + i * out_stride, table + ids[i] * d, d);
   }
+}
+
+Status FullEmbedding::SaveState(io::Writer* writer) const {
+  writer->WriteU64(config_.total_features);
+  writer->WriteU32(config_.dim);
+  writer->WriteVec(table_);
+  return Status::OK();
+}
+
+Status FullEmbedding::LoadState(io::Reader* reader) {
+  uint64_t features = 0;
+  uint32_t d = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&features));
+  CAFE_RETURN_IF_ERROR(reader->ReadU32(&d));
+  if (features != config_.total_features || d != config_.dim) {
+    return Status::FailedPrecondition(
+        "full embedding: checkpoint sizing does not match this store");
+  }
+  return reader->ReadVecExpected(&table_, table_.size(), "full table");
 }
 
 void FullEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,

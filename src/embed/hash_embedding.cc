@@ -31,7 +31,9 @@ HashEmbedding::HashEmbedding(const EmbeddingConfig& config, uint64_t num_rows)
   for (float& w : table_) w = rng.UniformFloat(-bound, bound);
 }
 
-void HashEmbedding::Lookup(uint64_t id, float* out) {
+void HashEmbedding::Lookup(uint64_t id, float* out) { LookupConst(id, out); }
+
+void HashEmbedding::LookupConst(uint64_t id, float* out) const {
   std::memcpy(out, table_.data() + RowOf(id) * config_.dim,
               config_.dim * sizeof(float));
 }
@@ -41,7 +43,8 @@ void HashEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
   for (uint32_t i = 0; i < config_.dim; ++i) row[i] -= lr * grad[i];
 }
 
-void HashEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
+void HashEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
+                                size_t out_stride) {
   const uint32_t d = config_.dim;
   const float* table = table_.data();
   row_scratch_.resize(n);
@@ -50,8 +53,44 @@ void HashEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
     if (i + kPrefetchDistance < n) {
       PrefetchRead(table + row_scratch_[i + kPrefetchDistance] * d);
     }
-    embed_internal::CopyRow(out + i * d, table + row_scratch_[i] * d, d);
+    embed_internal::CopyRow(out + i * out_stride, table + row_scratch_[i] * d,
+                            d);
   }
+}
+
+void HashEmbedding::LookupBatchConst(const uint64_t* ids, size_t n, float* out,
+                                     size_t out_stride) const {
+  // Scratch-free (concurrent serving callers): the row of the id
+  // kPrefetchDistance ahead is hashed twice — once to prefetch, once to
+  // copy — which is still far cheaper than a DRAM stall per row.
+  const uint32_t d = config_.dim;
+  const float* table = table_.data();
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDistance < n) {
+      PrefetchRead(table + RowOf(ids[i + kPrefetchDistance]) * d);
+    }
+    embed_internal::CopyRow(out + i * out_stride, table + RowOf(ids[i]) * d,
+                            d);
+  }
+}
+
+Status HashEmbedding::SaveState(io::Writer* writer) const {
+  writer->WriteU64(num_rows_);
+  writer->WriteU32(config_.dim);
+  writer->WriteVec(table_);
+  return Status::OK();
+}
+
+Status HashEmbedding::LoadState(io::Reader* reader) {
+  uint64_t rows = 0;
+  uint32_t d = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&rows));
+  CAFE_RETURN_IF_ERROR(reader->ReadU32(&d));
+  if (rows != num_rows_ || d != config_.dim) {
+    return Status::FailedPrecondition(
+        "hash embedding: checkpoint sizing does not match this store");
+  }
+  return reader->ReadVecExpected(&table_, table_.size(), "hash table");
 }
 
 void HashEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,

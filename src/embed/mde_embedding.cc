@@ -106,6 +106,12 @@ MdeEmbedding::MdeEmbedding(const EmbeddingConfig& config,
 
 void MdeEmbedding::Lookup(uint64_t id, float* out) { LookupOne(id, out); }
 
+void MdeEmbedding::LookupConst(uint64_t id, float* out) const {
+  // LookupOne is already a pure read over the tables; the projection runs
+  // straight into `out`, so concurrent serving callers never share scratch.
+  LookupOne(id, out);
+}
+
 void MdeEmbedding::LookupOne(uint64_t id, float* out) const {
   const size_t field = layout_.FieldOf(id);
   const uint64_t local = id - layout_.offset(field);
@@ -124,7 +130,8 @@ void MdeEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
   ApplyOne(id, grad, lr);
 }
 
-void MdeEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
+void MdeEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
+                               size_t out_stride) {
   // Project once per unique id, then replicate the finished embedding to
   // duplicate occurrences (read-only, so results match the scalar loop).
   const uint32_t d = config_.dim;
@@ -132,9 +139,10 @@ void MdeEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
   const size_t num_unique = dedup_.num_unique();
   for (size_t u = 0; u < num_unique; ++u) {
     LookupOne(dedup_.unique_id(u),
-              out + static_cast<size_t>(dedup_.first_occurrence(u)) * d);
+              out + static_cast<size_t>(dedup_.first_occurrence(u)) *
+                        out_stride);
   }
-  dedup_.ReplicateRows(out, n, d);
+  dedup_.ReplicateRows(out, n, d, out_stride);
 }
 
 void MdeEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
@@ -167,6 +175,36 @@ void MdeEmbedding::ApplyOne(uint64_t id, const float* grad, float lr) {
     }
     row[i] -= lr * grad_row_i;
   }
+}
+
+Status MdeEmbedding::SaveState(io::Writer* writer) const {
+  writer->WriteU64(config_.total_features);
+  writer->WriteU32(config_.dim);
+  writer->WriteVec(field_dims_);
+  writer->WriteVec(tables_);
+  writer->WriteVec(projections_);
+  return Status::OK();
+}
+
+Status MdeEmbedding::LoadState(io::Reader* reader) {
+  uint64_t features = 0;
+  uint32_t d = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&features));
+  CAFE_RETURN_IF_ERROR(reader->ReadU32(&d));
+  if (features != config_.total_features || d != config_.dim) {
+    return Status::FailedPrecondition(
+        "mde embedding: checkpoint sizing does not match this store");
+  }
+  std::vector<uint32_t> field_dims;
+  CAFE_RETURN_IF_ERROR(reader->ReadVec(&field_dims));
+  if (field_dims != field_dims_) {
+    return Status::FailedPrecondition(
+        "mde embedding: checkpoint per-field dims do not match this store");
+  }
+  CAFE_RETURN_IF_ERROR(
+      reader->ReadVecExpected(&tables_, tables_.size(), "mde tables"));
+  return reader->ReadVecExpected(&projections_, projections_.size(),
+                                 "mde projections");
 }
 
 size_t MdeEmbedding::MemoryBytes() const {

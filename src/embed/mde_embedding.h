@@ -36,12 +36,17 @@ class MdeEmbedding : public EmbeddingStore {
 
   uint32_t dim() const override { return config_.dim; }
   void Lookup(uint64_t id, float* out) override;
+  void LookupConst(uint64_t id, float* out) const override;
   void ApplyGradient(uint64_t id, const float* grad, float lr) override;
-  void LookupBatch(const uint64_t* ids, size_t n, float* out) override;
+  using EmbeddingStore::LookupBatch;
+  void LookupBatch(const uint64_t* ids, size_t n, float* out,
+                   size_t out_stride) override;
   void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
                           float lr) override;
   size_t MemoryBytes() const override;
   std::string Name() const override { return "mde"; }
+  Status SaveState(io::Writer* writer) const override;
+  Status LoadState(io::Reader* reader) override;
 
   uint32_t field_dim(size_t field) const { return field_dims_[field]; }
 

@@ -1,6 +1,8 @@
 #include "embed/offline_separation.h"
 
+#include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/prefetch.h"
@@ -47,7 +49,19 @@ float* OfflineSeparationEmbedding::RowOf(uint64_t id) {
                    hash_.Bounded(id, shared_rows_) * config_.dim;
 }
 
+const float* OfflineSeparationEmbedding::RowOf(uint64_t id) const {
+  auto it = hot_index_.find(id);
+  return it != hot_index_.end()
+             ? hot_table_.data() + static_cast<size_t>(it->second) * config_.dim
+             : shared_table_.data() +
+                   hash_.Bounded(id, shared_rows_) * config_.dim;
+}
+
 void OfflineSeparationEmbedding::Lookup(uint64_t id, float* out) {
+  LookupConst(id, out);
+}
+
+void OfflineSeparationEmbedding::LookupConst(uint64_t id, float* out) const {
   std::memcpy(out, RowOf(id), config_.dim * sizeof(float));
 }
 
@@ -58,7 +72,7 @@ void OfflineSeparationEmbedding::ApplyGradient(uint64_t id, const float* grad,
 }
 
 void OfflineSeparationEmbedding::LookupBatch(const uint64_t* ids, size_t n,
-                                             float* out) {
+                                             float* out, size_t out_stride) {
   // One hot-index probe per unique id when the batch dedups (skewed
   // per-field streams); mostly-unique batches abandon the scratch table and
   // run a direct resolve + prefetched copy instead. Either way the output
@@ -71,7 +85,7 @@ void OfflineSeparationEmbedding::LookupBatch(const uint64_t* ids, size_t n,
       if (i + kPrefetchDistance < n) {
         PrefetchRead(row_scratch_[i + kPrefetchDistance]);
       }
-      embed_internal::CopyRow(out + i * d, row_scratch_[i], d);
+      embed_internal::CopyRow(out + i * out_stride, row_scratch_[i], d);
     }
     return;
   }
@@ -84,7 +98,8 @@ void OfflineSeparationEmbedding::LookupBatch(const uint64_t* ids, size_t n,
     if (i + kPrefetchDistance < n) {
       PrefetchRead(row_scratch_[dedup_.unique_of(i + kPrefetchDistance)]);
     }
-    embed_internal::CopyRow(out + i * d, row_scratch_[dedup_.unique_of(i)], d);
+    embed_internal::CopyRow(out + i * out_stride,
+                            row_scratch_[dedup_.unique_of(i)], d);
   }
 }
 
@@ -104,6 +119,63 @@ void OfflineSeparationEmbedding::ApplyGradientBatch(const uint64_t* ids,
     const float* g = grad_accum_.data() + u * d;
     for (uint32_t k = 0; k < d; ++k) row[k] -= lr * g[k];
   }
+}
+
+Status OfflineSeparationEmbedding::SaveState(io::Writer* writer) const {
+  writer->WriteU64(hot_rows_);
+  writer->WriteU64(shared_rows_);
+  writer->WriteU32(config_.dim);
+  // The hot index is part of the frozen oracle assignment; serialize it
+  // sorted by feature id so the file bytes are deterministic regardless of
+  // hash-map iteration order.
+  std::vector<std::pair<uint64_t, uint32_t>> index(hot_index_.begin(),
+                                                   hot_index_.end());
+  std::sort(index.begin(), index.end());
+  writer->WriteU64(index.size());
+  for (const auto& [id, row] : index) {
+    writer->WriteU64(id);
+    writer->WriteU32(row);
+  }
+  writer->WriteVec(hot_table_);
+  writer->WriteVec(shared_table_);
+  return Status::OK();
+}
+
+Status OfflineSeparationEmbedding::LoadState(io::Reader* reader) {
+  uint64_t hot_rows = 0, shared_rows = 0;
+  uint32_t d = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&hot_rows));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&shared_rows));
+  CAFE_RETURN_IF_ERROR(reader->ReadU32(&d));
+  if (hot_rows != hot_rows_ || shared_rows != shared_rows_ ||
+      d != config_.dim) {
+    return Status::FailedPrecondition(
+        "offline separation: checkpoint sizing does not match this store");
+  }
+  uint64_t index_size = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&index_size));
+  if (index_size > hot_rows_) {
+    return Status::FailedPrecondition(
+        "offline separation: corrupt hot index size");
+  }
+  std::unordered_map<uint64_t, uint32_t> index;
+  index.reserve(index_size * 2);
+  for (uint64_t i = 0; i < index_size; ++i) {
+    uint64_t id = 0;
+    uint32_t row = 0;
+    CAFE_RETURN_IF_ERROR(reader->ReadU64(&id));
+    CAFE_RETURN_IF_ERROR(reader->ReadU32(&row));
+    if (row >= hot_rows_) {
+      return Status::FailedPrecondition(
+          "offline separation: hot index row out of range");
+    }
+    index.emplace(id, row);
+  }
+  hot_index_ = std::move(index);
+  CAFE_RETURN_IF_ERROR(reader->ReadVecExpected(&hot_table_, hot_table_.size(),
+                                               "offline hot table"));
+  return reader->ReadVecExpected(&shared_table_, shared_table_.size(),
+                                 "offline shared table");
 }
 
 size_t OfflineSeparationEmbedding::MemoryBytes() const {

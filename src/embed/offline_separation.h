@@ -34,12 +34,17 @@ class OfflineSeparationEmbedding : public EmbeddingStore {
 
   uint32_t dim() const override { return config_.dim; }
   void Lookup(uint64_t id, float* out) override;
+  void LookupConst(uint64_t id, float* out) const override;
   void ApplyGradient(uint64_t id, const float* grad, float lr) override;
-  void LookupBatch(const uint64_t* ids, size_t n, float* out) override;
+  using EmbeddingStore::LookupBatch;
+  void LookupBatch(const uint64_t* ids, size_t n, float* out,
+                   size_t out_stride) override;
   void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
                           float lr) override;
   size_t MemoryBytes() const override;
   std::string Name() const override { return "offline"; }
+  Status SaveState(io::Writer* writer) const override;
+  Status LoadState(io::Reader* reader) override;
 
   uint64_t hot_rows() const { return hot_rows_; }
 
@@ -51,6 +56,7 @@ class OfflineSeparationEmbedding : public EmbeddingStore {
   /// Hot-or-shared row of `id` (one hash-map probe; the batched paths
   /// resolve it once per unique id).
   float* RowOf(uint64_t id);
+  const float* RowOf(uint64_t id) const;
 
   EmbeddingConfig config_;
   uint64_t hot_rows_;

@@ -71,7 +71,9 @@ QrEmbedding::QrEmbedding(const EmbeddingConfig& config, Combine combine,
   }
 }
 
-void QrEmbedding::Lookup(uint64_t id, float* out) {
+void QrEmbedding::Lookup(uint64_t id, float* out) { LookupConst(id, out); }
+
+void QrEmbedding::LookupConst(uint64_t id, float* out) const {
   CAFE_DCHECK(id < config_.total_features);
   const float* r = remainder_table_.data() + (id % m_) * config_.dim;
   const float* q = quotient_table_.data() + (id / m_) * config_.dim;
@@ -100,7 +102,13 @@ void QrEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
   }
 }
 
-void QrEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
+void QrEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
+                              size_t out_stride) {
+  LookupBatchConst(ids, n, out, out_stride);
+}
+
+void QrEmbedding::LookupBatchConst(const uint64_t* ids, size_t n, float* out,
+                                   size_t out_stride) const {
   const uint32_t d = config_.dim;
   const float* rem = remainder_table_.data();
   const float* quo = quotient_table_.data();
@@ -113,13 +121,42 @@ void QrEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out) {
     CAFE_DCHECK(ids[i] < config_.total_features);
     const float* r = rem + (ids[i] % m_) * d;
     const float* q = quo + (ids[i] / m_) * d;
-    float* o = out + i * d;
+    float* o = out + i * out_stride;
     if (combine_ == Combine::kAdd) {
       for (uint32_t k = 0; k < d; ++k) o[k] = r[k] + q[k];
     } else {
       for (uint32_t k = 0; k < d; ++k) o[k] = r[k] * q[k];
     }
   }
+}
+
+Status QrEmbedding::SaveState(io::Writer* writer) const {
+  writer->WriteU64(m_);
+  writer->WriteU64(q_rows_);
+  writer->WriteU32(config_.dim);
+  writer->WriteU8(combine_ == Combine::kAdd ? 0 : 1);
+  writer->WriteVec(remainder_table_);
+  writer->WriteVec(quotient_table_);
+  return Status::OK();
+}
+
+Status QrEmbedding::LoadState(io::Reader* reader) {
+  uint64_t m = 0, q_rows = 0;
+  uint32_t d = 0;
+  uint8_t combine = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&m));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&q_rows));
+  CAFE_RETURN_IF_ERROR(reader->ReadU32(&d));
+  CAFE_RETURN_IF_ERROR(reader->ReadU8(&combine));
+  if (m != m_ || q_rows != q_rows_ || d != config_.dim ||
+      combine != (combine_ == Combine::kAdd ? 0 : 1)) {
+    return Status::FailedPrecondition(
+        "qr embedding: checkpoint sizing does not match this store");
+  }
+  CAFE_RETURN_IF_ERROR(reader->ReadVecExpected(
+      &remainder_table_, remainder_table_.size(), "qr remainder table"));
+  return reader->ReadVecExpected(&quotient_table_, quotient_table_.size(),
+                                 "qr quotient table");
 }
 
 void QrEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,

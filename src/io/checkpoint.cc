@@ -1,0 +1,164 @@
+#include "io/checkpoint.h"
+
+#include <cstring>
+#include <vector>
+
+#include "io/serialize.h"
+
+namespace cafe {
+namespace io {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'A', 'F', 'E', 'C', 'K', 'P', 'T'};
+constexpr uint8_t kHasStore = 1u << 0;
+constexpr uint8_t kHasModel = 1u << 1;
+
+void AppendModelSection(RecModel* model, Writer* writer) {
+  Writer section;
+  section.WriteString(model->Name());
+  std::vector<Param> params;
+  model->CollectDenseParams(&params);
+  section.WriteU64(params.size());
+  for (const Param& p : params) {
+    section.WriteU64(p.size);
+    section.WriteBytes(p.value, p.size * sizeof(float));
+  }
+  writer->WriteU64(section.size());
+  writer->WriteBytes(section.buffer().data(), section.size());
+}
+
+Status RestoreModelSection(Reader* reader, RecModel* model) {
+  std::string name;
+  CAFE_RETURN_IF_ERROR(reader->ReadString(&name));
+  if (name != model->Name()) {
+    return Status::FailedPrecondition("checkpoint holds model '" + name +
+                                      "' but the target is '" +
+                                      model->Name() + "'");
+  }
+  std::vector<Param> params;
+  model->CollectDenseParams(&params);
+  uint64_t block_count = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&block_count));
+  if (block_count != params.size()) {
+    return Status::FailedPrecondition(
+        "checkpoint dense-parameter block count does not match the model");
+  }
+  for (Param& p : params) {
+    uint64_t size = 0;
+    CAFE_RETURN_IF_ERROR(reader->ReadU64(&size));
+    if (size != p.size) {
+      return Status::FailedPrecondition(
+          "checkpoint dense-parameter block shape does not match the model");
+    }
+    CAFE_RETURN_IF_ERROR(reader->ReadBytes(p.value, size * sizeof(float)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const std::string& path, const EmbeddingStore& store,
+                      RecModel* model) {
+  Writer writer;
+  writer.WriteBytes(kMagic, sizeof(kMagic));
+  writer.WriteU32(kCheckpointVersion);
+  uint8_t flags = kHasStore;
+  if (model != nullptr) flags |= kHasModel;
+  writer.WriteU8(flags);
+
+  Writer store_section;
+  store_section.WriteString(store.Name());
+  CAFE_RETURN_IF_ERROR(store.SaveState(&store_section));
+  writer.WriteU64(store_section.size());
+  writer.WriteBytes(store_section.buffer().data(), store_section.size());
+
+  if (model != nullptr) {
+    AppendModelSection(model, &writer);
+  }
+
+  writer.WriteU64(Fingerprint(writer.buffer().data(), writer.size()));
+  return WriteFileAtomic(path, writer.buffer());
+}
+
+Status LoadCheckpoint(const std::string& path, EmbeddingStore* store,
+                      RecModel* model) {
+  auto bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  std::string data = std::move(bytes).value();
+  if (data.size() < sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint8_t) +
+                        sizeof(uint64_t)) {
+    return Status::OutOfRange("checkpoint file truncated: " + path);
+  }
+
+  // Verify the trailing fingerprint before touching any live state.
+  uint64_t stored_fingerprint = 0;
+  std::memcpy(&stored_fingerprint, data.data() + data.size() - sizeof(uint64_t),
+              sizeof(uint64_t));
+  if (Fingerprint(data.data(), data.size() - sizeof(uint64_t)) !=
+      stored_fingerprint) {
+    return Status::InvalidArgument("checkpoint fingerprint mismatch (file "
+                                   "corrupted or truncated): " +
+                                   path);
+  }
+
+  // Chop the fingerprint off in place and move the payload into the reader
+  // — a checkpoint can be GBs, so never hold a second copy.
+  data.resize(data.size() - sizeof(uint64_t));
+  Reader reader(std::move(data));
+  char magic[sizeof(kMagic)];
+  CAFE_RETURN_IF_ERROR(reader.ReadBytes(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a CAFE checkpoint: " + path);
+  }
+  uint32_t version = 0;
+  CAFE_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kCheckpointVersion) +
+        ")");
+  }
+  uint8_t flags = 0;
+  CAFE_RETURN_IF_ERROR(reader.ReadU8(&flags));
+
+  if ((flags & kHasStore) != 0) {
+    uint64_t section_size = 0;
+    CAFE_RETURN_IF_ERROR(reader.ReadU64(&section_size));
+    if (store == nullptr) {
+      CAFE_RETURN_IF_ERROR(reader.Skip(section_size));
+    } else {
+      const size_t section_start = reader.position();
+      std::string name;
+      CAFE_RETURN_IF_ERROR(reader.ReadString(&name));
+      if (name != store->Name()) {
+        return Status::FailedPrecondition("checkpoint holds store '" + name +
+                                          "' but the target is '" +
+                                          store->Name() + "'");
+      }
+      CAFE_RETURN_IF_ERROR(store->LoadState(&reader));
+      if (reader.position() - section_start != section_size) {
+        return Status::InvalidArgument(
+            "checkpoint store section size mismatch");
+      }
+    }
+  } else if (store != nullptr) {
+    return Status::NotFound("checkpoint has no store section: " + path);
+  }
+
+  if (model != nullptr) {
+    if ((flags & kHasModel) == 0) {
+      return Status::NotFound("checkpoint has no model section: " + path);
+    }
+    uint64_t section_size = 0;
+    CAFE_RETURN_IF_ERROR(reader.ReadU64(&section_size));
+    const size_t section_start = reader.position();
+    CAFE_RETURN_IF_ERROR(RestoreModelSection(&reader, model));
+    if (reader.position() - section_start != section_size) {
+      return Status::InvalidArgument("checkpoint model section size mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace io
+}  // namespace cafe

@@ -1,0 +1,51 @@
+#ifndef CAFE_IO_CHECKPOINT_H_
+#define CAFE_IO_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "embed/embedding_store.h"
+#include "models/model.h"
+
+namespace cafe {
+namespace io {
+
+/// Versioned on-disk checkpoint container:
+///
+///   magic "CAFECKPT" | u32 version | u8 flags        (header)
+///   [store section]  store Name() + SaveState payload (if flag bit 0)
+///   [model section]  model Name() + dense param blocks (if flag bit 1)
+///   u64 FNV-1a fingerprint over everything above      (trailer)
+///
+/// The container stores STATE, not configuration: loading requires a store
+/// (and model) freshly constructed from the same configuration that
+/// produced the checkpoint — the same contract as the factories. Name and
+/// shape guards reject a checkpoint applied to the wrong scheme or sizing;
+/// the trailing fingerprint rejects corruption and truncation before any
+/// state is installed.
+constexpr uint32_t kCheckpointVersion = 1;
+
+/// Serializes `store` (and, when non-null, `model`'s dense parameters) to
+/// `path` atomically (temp file + rename).
+///
+/// Scope of the two sections: the STORE section is complete — a restored
+/// store continues training bit-identically. The MODEL section holds dense
+/// WEIGHTS only (not Adagrad/Adam accumulator state), which is exact for
+/// serving — the intended consumer — but a model that resumes dense
+/// training from a checkpoint restarts its adaptive step sizes (see
+/// ROADMAP open items).
+Status SaveCheckpoint(const std::string& path, const EmbeddingStore& store,
+                      RecModel* model = nullptr);
+
+/// Restores a checkpoint written by SaveCheckpoint into a freshly
+/// constructed `store` / `model`. Pass model == nullptr to skip a model
+/// section (or load a store-only checkpoint); pass store == nullptr to
+/// restore only the model's dense weights. On error the targets must be
+/// considered partially restored — rebuild them before retrying.
+Status LoadCheckpoint(const std::string& path, EmbeddingStore* store,
+                      RecModel* model = nullptr);
+
+}  // namespace io
+}  // namespace cafe
+
+#endif  // CAFE_IO_CHECKPOINT_H_

@@ -53,15 +53,19 @@ DcnModel::DcnModel(const ModelConfig& config, EmbeddingStore* store)
   CAFE_CHECK(optimizer_ != nullptr)
       << "unknown optimizer: " << config_.dense_optimizer;
   std::vector<Param> params;
-  for (size_t l = 0; l < config_.num_cross_layers; ++l) {
-    params.push_back({cross_w_[l].data(), cross_w_grad_[l].data(),
-                      cross_w_[l].size()});
-    params.push_back({cross_b_[l].data(), cross_b_grad_[l].data(),
-                      cross_b_[l].size()});
-  }
-  deep_->CollectParams(&params);
-  final_->CollectParams(&params);
+  CollectDenseParams(&params);
   optimizer_->Register(params);
+}
+
+void DcnModel::CollectDenseParams(std::vector<Param>* out) {
+  for (size_t l = 0; l < config_.num_cross_layers; ++l) {
+    out->push_back({cross_w_[l].data(), cross_w_grad_[l].data(),
+                    cross_w_[l].size()});
+    out->push_back({cross_b_[l].data(), cross_b_grad_[l].data(),
+                    cross_b_[l].size()});
+  }
+  deep_->CollectParams(out);
+  final_->CollectParams(out);
 }
 
 void DcnModel::BuildInput(const Batch& batch) {

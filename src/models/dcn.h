@@ -28,6 +28,7 @@ class DcnModel : public RecModel {
   std::string Name() const override { return "dcn"; }
   EmbeddingStore* store() override { return store_; }
   size_t DenseParameters() const override;
+  void CollectDenseParams(std::vector<Param>* out) override;
 
  private:
   DcnModel(const ModelConfig& config, EmbeddingStore* store);

@@ -45,9 +45,13 @@ DlrmModel::DlrmModel(const ModelConfig& config, EmbeddingStore* store)
   CAFE_CHECK(optimizer_ != nullptr)
       << "unknown optimizer: " << config_.dense_optimizer;
   std::vector<Param> params;
-  if (bottom_ != nullptr) bottom_->CollectParams(&params);
-  top_->CollectParams(&params);
+  CollectDenseParams(&params);
   optimizer_->Register(params);
+}
+
+void DlrmModel::CollectDenseParams(std::vector<Param>* out) {
+  if (bottom_ != nullptr) bottom_->CollectParams(out);
+  top_->CollectParams(out);
 }
 
 void DlrmModel::Forward(const Batch& batch, Tensor* logits) {

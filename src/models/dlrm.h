@@ -29,6 +29,7 @@ class DlrmModel : public RecModel {
   std::string Name() const override { return "dlrm"; }
   EmbeddingStore* store() override { return store_; }
   size_t DenseParameters() const override;
+  void CollectDenseParams(std::vector<Param>* out) override;
 
  private:
   DlrmModel(const ModelConfig& config, EmbeddingStore* store);

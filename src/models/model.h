@@ -61,6 +61,12 @@ class RecModel {
   /// Learnable scalars outside the embedding table (for Table 2-style
   /// accounting; negligible next to embeddings, as the paper notes).
   virtual size_t DenseParameters() const = 0;
+
+  /// Appends views over every dense learnable parameter block in a stable
+  /// order (the same order the blocks register with the optimizer), so two
+  /// models built from the same config expose structurally identical lists.
+  /// Checkpointing walks this to save/restore dense weights (io/checkpoint).
+  virtual void CollectDenseParams(std::vector<Param>* out) = 0;
 };
 
 namespace model_internal {

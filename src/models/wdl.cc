@@ -38,9 +38,13 @@ WdlModel::WdlModel(const ModelConfig& config, EmbeddingStore* store)
   CAFE_CHECK(optimizer_ != nullptr)
       << "unknown optimizer: " << config_.dense_optimizer;
   std::vector<Param> params;
-  wide_->CollectParams(&params);
-  deep_->CollectParams(&params);
+  CollectDenseParams(&params);
   optimizer_->Register(params);
+}
+
+void WdlModel::CollectDenseParams(std::vector<Param>* out) {
+  wide_->CollectParams(out);
+  deep_->CollectParams(out);
 }
 
 void WdlModel::BuildInput(const Batch& batch) {

@@ -26,6 +26,7 @@ class WdlModel : public RecModel {
   std::string Name() const override { return "wdl"; }
   EmbeddingStore* store() override { return store_; }
   size_t DenseParameters() const override;
+  void CollectDenseParams(std::vector<Param>* out) override;
 
  private:
   WdlModel(const ModelConfig& config, EmbeddingStore* store);

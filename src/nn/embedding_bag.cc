@@ -21,14 +21,11 @@ void EmbeddingLayerGroup::Forward(const Batch& batch, float* out,
   const size_t n = batch.batch_size;
   CAFE_DCHECK(stride >= num_fields_ * d);
   ids_.BuildFrom(batch);
-  field_out_.resize(n * d);
+  // Strided gather: field f's column block of every sample is written in
+  // place at out + b*stride + f*d by the store itself — no per-field
+  // staging buffer, no second copy.
   for (size_t f = 0; f < num_fields_; ++f) {
-    store_->LookupBatch(ids_.field(f), n, field_out_.data());
-    const float* src = field_out_.data();
-    float* dst = out + f * d;
-    for (size_t b = 0; b < n; ++b) {
-      std::memcpy(dst + b * stride, src + b * d, d * sizeof(float));
-    }
+    store_->LookupBatch(ids_.field(f), n, out + f * d, stride);
   }
 }
 

@@ -30,7 +30,8 @@ class EmbeddingLayerGroup {
   EmbeddingLayerGroup(EmbeddingStore* store, size_t num_fields);
 
   /// Batched forward for all fields of `batch`: writes batch.batch_size
-  /// sample blocks at out + b * stride (stride in floats).
+  /// sample blocks at out + b * stride (stride in floats). Each field's
+  /// LookupBatch writes its strided column block directly (no staging copy).
   void Forward(const Batch& batch, float* out, size_t stride);
 
   /// Batched backward: clips the per-(sample, field) embedding gradients
@@ -55,7 +56,6 @@ class EmbeddingLayerGroup {
   size_t num_fields_;
 
   FieldMajorIds ids_;              // field-major id staging
-  std::vector<float> field_out_;   // batch_size x dim lookup buffer
   std::vector<float> field_grad_;  // batch_size x dim clipped grad staging
 };
 

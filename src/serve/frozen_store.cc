@@ -1,0 +1,60 @@
+#include "serve/frozen_store.h"
+
+#include "common/logging.h"
+
+namespace cafe {
+
+FrozenStore::FrozenStore(const EmbeddingStore* store,
+                         std::unique_ptr<EmbeddingStore> owned)
+    : store_(store), owned_(std::move(owned)) {
+  CAFE_CHECK(store_ != nullptr) << "frozen store needs an underlying store";
+}
+
+std::unique_ptr<FrozenStore> FrozenStore::Adopt(
+    std::unique_ptr<EmbeddingStore> store) {
+  const EmbeddingStore* raw = store.get();
+  return std::unique_ptr<FrozenStore>(
+      new FrozenStore(raw, std::move(store)));
+}
+
+std::unique_ptr<FrozenStore> FrozenStore::Wrap(const EmbeddingStore* store) {
+  return std::unique_ptr<FrozenStore>(new FrozenStore(store, nullptr));
+}
+
+void FrozenStore::Lookup(uint64_t id, float* out) {
+  store_->LookupConst(id, out);
+}
+
+void FrozenStore::LookupConst(uint64_t id, float* out) const {
+  store_->LookupConst(id, out);
+}
+
+void FrozenStore::LookupBatch(const uint64_t* ids, size_t n, float* out,
+                              size_t out_stride) {
+  store_->LookupBatchConst(ids, n, out, out_stride);
+}
+
+void FrozenStore::LookupBatchConst(const uint64_t* ids, size_t n, float* out,
+                                   size_t out_stride) const {
+  store_->LookupBatchConst(ids, n, out, out_stride);
+}
+
+void FrozenStore::ApplyGradient(uint64_t id, const float* grad, float lr) {
+  (void)id;
+  (void)grad;
+  (void)lr;
+  CAFE_CHECK(false) << "ApplyGradient on a frozen store (" << Name()
+                    << "): snapshots are read-only";
+}
+
+void FrozenStore::ApplyGradientBatch(const uint64_t* ids, size_t n,
+                                     const float* grads, float lr) {
+  (void)ids;
+  (void)n;
+  (void)grads;
+  (void)lr;
+  CAFE_CHECK(false) << "ApplyGradientBatch on a frozen store (" << Name()
+                    << "): snapshots are read-only";
+}
+
+}  // namespace cafe

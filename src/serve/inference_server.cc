@@ -1,0 +1,183 @@
+#include "serve/inference_server.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace cafe {
+
+InferenceServer::InferenceServer(const InferenceServerOptions& options)
+    : options_(options) {}
+
+StatusOr<std::unique_ptr<InferenceServer>> InferenceServer::Start(
+    const InferenceServerOptions& options, const ModelFactory& factory) {
+  if (options.num_workers == 0) {
+    return Status::InvalidArgument("inference server needs >= 1 worker");
+  }
+  if (options.max_batch == 0) {
+    return Status::InvalidArgument("inference server needs max_batch >= 1");
+  }
+  if (options.num_fields == 0) {
+    return Status::InvalidArgument("inference server needs num_fields");
+  }
+  std::unique_ptr<InferenceServer> server(new InferenceServer(options));
+  server->models_.reserve(options.num_workers);
+  for (size_t i = 0; i < options.num_workers; ++i) {
+    auto model = factory(i);
+    if (!model.ok()) return model.status();
+    if (*model == nullptr) {
+      return Status::InvalidArgument("model factory returned null");
+    }
+    server->models_.push_back(std::move(model).value());
+  }
+  server->workers_.reserve(options.num_workers);
+  for (size_t i = 0; i < options.num_workers; ++i) {
+    server->workers_.emplace_back(
+        [raw = server.get(), i]() { raw->WorkerLoop(i); });
+  }
+  return server;
+}
+
+InferenceServer::~InferenceServer() { Shutdown(); }
+
+void InferenceServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::future<std::vector<float>> InferenceServer::Submit(const Batch& batch) {
+  CAFE_CHECK(batch.num_fields == options_.num_fields)
+      << "request field count does not match the serving config";
+  CAFE_CHECK(batch.num_numerical == options_.num_numerical)
+      << "request numerical count does not match the serving config";
+  CAFE_CHECK(batch.batch_size > 0) << "empty prediction request";
+
+  Pending pending;
+  pending.batch_size = batch.batch_size;
+  pending.categorical.assign(
+      batch.categorical, batch.categorical + batch.batch_size * batch.num_fields);
+  if (batch.num_numerical > 0) {
+    pending.numerical.assign(
+        batch.numerical, batch.numerical + batch.batch_size * batch.num_numerical);
+  }
+  pending.enqueue = Clock::now();
+  std::future<std::vector<float>> future = pending.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CAFE_CHECK(!stop_) << "Submit on a stopped inference server";
+    queued_samples_ += pending.batch_size;
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void InferenceServer::WorkerLoop(size_t worker_index) {
+  RecModel* model = models_[worker_index].get();
+  std::vector<Pending> claimed;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and fully drained
+
+      // Micro-batch window: hold until the batch fills or the oldest
+      // request times out. Shutdown flushes immediately.
+      const Clock::time_point deadline =
+          queue_.front().enqueue +
+          std::chrono::microseconds(options_.max_wait_us);
+      cv_.wait_until(lock, deadline, [this] {
+        return stop_ || queued_samples_ >= options_.max_batch ||
+               queue_.empty();
+      });
+      if (queue_.empty()) continue;  // another worker claimed everything
+
+      claimed.clear();
+      size_t total = 0;
+      while (!queue_.empty()) {
+        Pending& front = queue_.front();
+        if (!claimed.empty() && total + front.batch_size > options_.max_batch) {
+          break;
+        }
+        total += front.batch_size;
+        queued_samples_ -= front.batch_size;
+        claimed.push_back(std::move(front));
+        queue_.pop_front();
+      }
+    }
+    // Wake a peer: there may be leftover requests past the claimed window.
+    cv_.notify_one();
+    Execute(model, &claimed);
+  }
+}
+
+void InferenceServer::Execute(RecModel* model, std::vector<Pending>* claimed) {
+  size_t total = 0;
+  for (const Pending& p : *claimed) total += p.batch_size;
+
+  // Assemble one contiguous micro-batch from the claimed requests. These
+  // are worker-local buffers; the shared frozen store is only read.
+  std::vector<uint32_t> categorical(total * options_.num_fields);
+  std::vector<float> numerical(total * options_.num_numerical);
+  size_t offset = 0;
+  for (const Pending& p : *claimed) {
+    std::memcpy(categorical.data() + offset * options_.num_fields,
+                p.categorical.data(),
+                p.categorical.size() * sizeof(uint32_t));
+    if (options_.num_numerical > 0) {
+      std::memcpy(numerical.data() + offset * options_.num_numerical,
+                  p.numerical.data(), p.numerical.size() * sizeof(float));
+    }
+    offset += p.batch_size;
+  }
+
+  Batch batch;
+  batch.batch_size = total;
+  batch.num_fields = options_.num_fields;
+  batch.num_numerical = options_.num_numerical;
+  batch.categorical = categorical.data();
+  batch.numerical = options_.num_numerical > 0 ? numerical.data() : nullptr;
+  batch.labels = nullptr;  // prediction only
+
+  std::vector<float> logits;
+  model->Predict(batch, &logits);
+  CAFE_CHECK(logits.size() == total) << "model returned a short logit vector";
+
+  // Publish stats BEFORE completing any future: a client that returns from
+  // future.get() must observe every counter of its own request.
+  const Clock::time_point done = Clock::now();
+  for (const Pending& p : *claimed) {
+    latency_.Record(
+        std::chrono::duration<double, std::micro>(done - p.enqueue).count());
+    samples_.fetch_add(p.batch_size, std::memory_order_relaxed);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+  executed_batches_.fetch_add(1, std::memory_order_relaxed);
+
+  offset = 0;
+  for (Pending& p : *claimed) {
+    std::vector<float> result(logits.begin() + offset,
+                              logits.begin() + offset + p.batch_size);
+    offset += p.batch_size;
+    p.promise.set_value(std::move(result));
+  }
+}
+
+InferenceServer::Stats InferenceServer::stats() const {
+  Stats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.samples = samples_.load(std::memory_order_relaxed);
+  stats.executed_batches = executed_batches_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace cafe

@@ -1,0 +1,121 @@
+#ifndef CAFE_SERVE_INFERENCE_SERVER_H_
+#define CAFE_SERVE_INFERENCE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/batch.h"
+#include "models/model.h"
+#include "serve/latency_recorder.h"
+
+namespace cafe {
+
+struct InferenceServerOptions {
+  /// Worker threads; each owns a private RecModel replica (models cache
+  /// step-scoped tensors, so replicas — not locks — give parallelism). All
+  /// replicas share one frozen store through their embedding layers.
+  size_t num_workers = 1;
+  /// Micro-batching: a worker coalesces queued requests until their sample
+  /// total reaches max_batch or the OLDEST queued request has waited
+  /// max_wait_us, then executes them as one forward pass. A single request
+  /// larger than max_batch executes alone (never split).
+  size_t max_batch = 256;
+  uint64_t max_wait_us = 200;
+  /// Shape every request must match (one serving config per server).
+  size_t num_fields = 0;
+  uint32_t num_numerical = 0;
+};
+
+/// A concurrent micro-batching inference server over frozen recommendation
+/// models.
+///
+/// Clients Submit() small prediction requests; workers coalesce them into
+/// large forward passes through the existing batched execution path
+/// (EmbeddingLayerGroup -> LookupBatch on a FrozenStore), which is where
+/// CAFE's in-batch dedup and prefetch win, then complete each request's
+/// future and record its end-to-end latency (enqueue -> logits ready).
+///
+/// Determinism: every per-sample forward in this library is independent of
+/// the other samples in its tensor batch, so a request's logits are
+/// bit-identical however the batcher groups it — N-thread serving equals
+/// single-thread evaluation exactly (asserted by tests/serving_test.cc).
+class InferenceServer {
+ public:
+  /// Builds the worker `index`'s model replica. Called num_workers times
+  /// from Start (on the calling thread). Replicas must share the same
+  /// weights (e.g. each restored from one checkpoint) for deterministic
+  /// serving.
+  using ModelFactory =
+      std::function<StatusOr<std::unique_ptr<RecModel>>(size_t index)>;
+
+  static StatusOr<std::unique_ptr<InferenceServer>> Start(
+      const InferenceServerOptions& options, const ModelFactory& factory);
+
+  /// Drains outstanding requests, then joins the workers.
+  ~InferenceServer();
+
+  /// Enqueues `batch.batch_size` samples for prediction; the future yields
+  /// one logit per sample. Inputs are copied, so the caller's batch memory
+  /// may be reused immediately. Must not be called after Shutdown.
+  std::future<std::vector<float>> Submit(const Batch& batch);
+
+  /// Stops accepting work, completes everything already queued, joins the
+  /// workers. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t samples = 0;
+    /// Executed forward passes; requests / executed_batches is the achieved
+    /// coalescing factor.
+    uint64_t executed_batches = 0;
+  };
+  Stats stats() const;
+
+  const LatencyRecorder& latency() const { return latency_; }
+  const InferenceServerOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    std::vector<uint32_t> categorical;
+    std::vector<float> numerical;
+    size_t batch_size = 0;
+    Clock::time_point enqueue;
+    std::promise<std::vector<float>> promise;
+  };
+
+  explicit InferenceServer(const InferenceServerOptions& options);
+
+  void WorkerLoop(size_t worker_index);
+  void Execute(RecModel* model, std::vector<Pending>* claimed);
+
+  InferenceServerOptions options_;
+  std::vector<std::unique_ptr<RecModel>> models_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  size_t queued_samples_ = 0;
+  bool stop_ = false;
+
+  LatencyRecorder latency_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> samples_{0};
+  std::atomic<uint64_t> executed_batches_{0};
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_SERVE_INFERENCE_SERVER_H_

@@ -1,0 +1,37 @@
+#include "serve/latency_recorder.h"
+
+#include <algorithm>
+
+namespace cafe {
+namespace {
+
+/// Nearest-rank percentile over a sorted population.
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+LatencySummary LatencyRecorder::Summary() const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = samples_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  LatencySummary summary;
+  summary.count = sorted.size();
+  if (sorted.empty()) return summary;
+  summary.p50_us = Percentile(sorted, 0.50);
+  summary.p95_us = Percentile(sorted, 0.95);
+  summary.p99_us = Percentile(sorted, 0.99);
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  summary.mean_us = sum / static_cast<double>(sorted.size());
+  summary.max_us = sorted.back();
+  return summary;
+}
+
+}  // namespace cafe

@@ -1,0 +1,53 @@
+#ifndef CAFE_SERVE_LATENCY_RECORDER_H_
+#define CAFE_SERVE_LATENCY_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace cafe {
+
+/// Percentile summary of a latency population, in microseconds.
+struct LatencySummary {
+  size_t count = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Thread-safe collector of per-request latencies. Workers record one
+/// sample per completed request; Summary() computes exact percentiles over
+/// a snapshot (serving benches are bounded, so keeping every sample is
+/// cheaper and more honest than a streaming quantile sketch — revisit if a
+/// server ever runs unbounded).
+class LatencyRecorder {
+ public:
+  void Record(double micros) {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.push_back(micros);
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.clear();
+  }
+
+  size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_.size();
+  }
+
+  /// Exact percentiles (nearest-rank) over all recorded samples.
+  LatencySummary Summary() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_SERVE_LATENCY_RECORDER_H_

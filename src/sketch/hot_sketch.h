@@ -137,6 +137,19 @@ class HotSketch {
   /// Mutable slot access for owners that manage payloads (CAFE).
   Slot& slot_at(size_t i) { return slots_[i]; }
 
+  /// Replaces the whole slot array (checkpoint restore). The geometry —
+  /// bucket count, slots per bucket, hash seed — comes from the live
+  /// config, so only the slot contents travel; a size mismatch means the
+  /// checkpoint was produced by a differently sized sketch.
+  Status RestoreSlots(std::vector<Slot> slots) {
+    if (slots.size() != slots_.size()) {
+      return Status::FailedPrecondition(
+          "hot sketch: slot count does not match this sketch's geometry");
+    }
+    slots_ = std::move(slots);
+    return Status::OK();
+  }
+
  private:
   HotSketch(const HotSketchConfig& config);
 

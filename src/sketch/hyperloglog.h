@@ -1,0 +1,99 @@
+#ifndef CAFE_SKETCH_HYPERLOGLOG_H_
+#define CAFE_SKETCH_HYPERLOGLOG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace cafe {
+
+/// HyperLogLog distinct-count estimator (Flajolet et al. 2007).
+///
+/// Role here: the trainer tracks one per categorical field to estimate how
+/// many DISTINCT feature ids actually flow through training — the live
+/// counterpart of the dataset's offline #Features column (Table 2), and the
+/// number a serving deployment sizes its id space and hot-table expectations
+/// from. Exact counting needs a hash set that scales with the id space; HLL
+/// gives ~1.04/sqrt(2^p) relative error in 2^p bytes (p=12: one 4 KiB page,
+/// ~1.6% typical error) with O(1) inserts — the same streaming-sketch
+/// bargain HotSketch makes for importance.
+///
+/// The estimator applies the standard small-range correction (linear
+/// counting over empty registers); the 32-bit large-range correction is
+/// unnecessary because ranks come from a 64-bit hash.
+class HyperLogLog {
+ public:
+  /// `precision` p in [4, 18]: 2^p one-byte registers.
+  explicit HyperLogLog(uint32_t precision = 12, uint64_t seed = 0x177ULL)
+      : precision_(precision),
+        seed_(seed),
+        registers_(size_t{1} << precision, 0) {
+    CAFE_CHECK(precision >= 4 && precision <= 18)
+        << "hyperloglog precision out of range";
+  }
+
+  void Insert(uint64_t id) {
+    const uint64_t h = HashMix(id, seed_);
+    const uint64_t index = h >> (64 - precision_);
+    const uint64_t rest = h << precision_;
+    // Rank = leading zeros of the remaining bits + 1, capped by the bit
+    // budget. rest == 0 would make clz undefined; the or-ed sentinel bit
+    // yields exactly the cap in that case.
+    const uint8_t rank = static_cast<uint8_t>(
+        1 + __builtin_clzll(rest | (uint64_t{1} << (precision_ - 1))));
+    if (rank > registers_[index]) registers_[index] = rank;
+  }
+
+  /// Merges another sketch tracking the same (precision, seed) stream
+  /// universe; the union estimate is then Estimate().
+  void Merge(const HyperLogLog& other) {
+    CAFE_CHECK(other.precision_ == precision_ && other.seed_ == seed_)
+        << "hyperloglog merge needs identical precision and seed";
+    for (size_t i = 0; i < registers_.size(); ++i) {
+      if (other.registers_[i] > registers_[i]) {
+        registers_[i] = other.registers_[i];
+      }
+    }
+  }
+
+  double Estimate() const {
+    const double m = static_cast<double>(registers_.size());
+    double inverse_sum = 0.0;
+    size_t zero_registers = 0;
+    for (uint8_t r : registers_) {
+      inverse_sum += std::ldexp(1.0, -static_cast<int>(r));
+      if (r == 0) ++zero_registers;
+    }
+    const double raw = Alpha(m) * m * m / inverse_sum;
+    if (raw <= 2.5 * m && zero_registers > 0) {
+      // Small-range: linear counting over empty registers is more accurate.
+      return m * std::log(m / static_cast<double>(zero_registers));
+    }
+    return raw;
+  }
+
+  void Clear() { registers_.assign(registers_.size(), 0); }
+
+  uint32_t precision() const { return precision_; }
+  size_t num_registers() const { return registers_.size(); }
+  size_t MemoryBytes() const { return registers_.size(); }
+
+ private:
+  static double Alpha(double m) {
+    if (m <= 16.0) return 0.673;
+    if (m <= 32.0) return 0.697;
+    if (m <= 64.0) return 0.709;
+    return 0.7213 / (1.0 + 1.079 / m);
+  }
+
+  uint32_t precision_;
+  uint64_t seed_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_SKETCH_HYPERLOGLOG_H_

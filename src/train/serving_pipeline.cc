@@ -1,0 +1,114 @@
+#include "train/serving_pipeline.h"
+
+#include <algorithm>
+#include <deque>
+#include <future>
+#include <memory>
+#include <utility>
+
+#include "common/timer.h"
+#include "io/checkpoint.h"
+#include "serve/frozen_store.h"
+#include "train/model_factory.h"
+
+namespace cafe {
+
+StatusOr<ServingPipelineResult> RunServingPipeline(
+    const std::string& store_name, const StoreFactoryContext& context,
+    const std::string& model_name, const ModelConfig& model_config,
+    const SyntheticCtrDataset& data, const ServingPipelineOptions& options) {
+  if (options.checkpoint_path.empty()) {
+    return Status::InvalidArgument("serving pipeline needs a checkpoint path");
+  }
+  if (options.request_size == 0) {
+    return Status::InvalidArgument("serving pipeline needs request_size >= 1");
+  }
+  ServingPipelineResult result;
+
+  // Phase 1: train.
+  auto train_store = MakeStore(store_name, context);
+  if (!train_store.ok()) return train_store.status();
+  auto train_model = MakeModel(model_name, model_config, train_store->get());
+  if (!train_model.ok()) return train_model.status();
+  result.train = TrainOnePass(train_model->get(), data, options.train);
+
+  // Phase 2: checkpoint (store + dense weights), then drop the training
+  // instances — serving must survive on the file alone.
+  CAFE_RETURN_IF_ERROR(io::SaveCheckpoint(
+      options.checkpoint_path, **train_store, train_model->get()));
+  train_model->reset();
+  train_store->reset();
+
+  // Phase 3: restore into a fresh store and freeze it.
+  auto serve_store = MakeStore(store_name, context);
+  if (!serve_store.ok()) return serve_store.status();
+  CAFE_RETURN_IF_ERROR(
+      io::LoadCheckpoint(options.checkpoint_path, serve_store->get()));
+  auto frozen = FrozenStore::Adopt(std::move(serve_store).value());
+
+  // Phase 4: serve the test day through a concurrent micro-batching server;
+  // every worker replica restores its dense weights from the checkpoint.
+  InferenceServerOptions server_options = options.server;
+  server_options.num_fields = data.num_fields();
+  server_options.num_numerical = data.config().num_numerical;
+  FrozenStore* frozen_raw = frozen.get();
+  const std::string checkpoint_path = options.checkpoint_path;
+  auto server = InferenceServer::Start(
+      server_options,
+      [&model_config, &model_name, frozen_raw, &checkpoint_path](size_t)
+          -> StatusOr<std::unique_ptr<RecModel>> {
+        auto model = MakeModel(model_name, model_config, frozen_raw);
+        if (!model.ok()) return model.status();
+        CAFE_RETURN_IF_ERROR(io::LoadCheckpoint(
+            checkpoint_path, /*store=*/nullptr, model->get()));
+        return std::move(model).value();
+      });
+  if (!server.ok()) return server.status();
+
+  const size_t test_begin = data.train_size();
+  const size_t test_end = data.num_samples();
+  // Closed-loop client with bounded in-flight work: collecting from the
+  // front while submitting keeps request latency a property of the SERVER
+  // (batching window + execution), not of an ever-growing client backlog.
+  const size_t max_inflight =
+      std::max<size_t>(2 * server_options.num_workers *
+                           (server_options.max_batch / options.request_size +
+                            1),
+                       16);
+  std::deque<std::future<std::vector<float>>> inflight;
+  WallTimer timer;
+  size_t submitted = 0;
+  for (size_t start = test_begin; start < test_end;
+       start += options.request_size) {
+    if (options.max_requests > 0 && submitted >= options.max_requests) break;
+    const size_t size = std::min(options.request_size, test_end - start);
+    inflight.push_back((*server)->Submit(data.GetBatch(start, size)));
+    ++submitted;
+    if (inflight.size() >= max_inflight) {
+      std::vector<float> logits = inflight.front().get();
+      inflight.pop_front();
+      result.logits.insert(result.logits.end(), logits.begin(), logits.end());
+    }
+  }
+  while (!inflight.empty()) {
+    std::vector<float> logits = inflight.front().get();
+    inflight.pop_front();
+    result.logits.insert(result.logits.end(), logits.begin(), logits.end());
+  }
+  result.serve_seconds = timer.ElapsedSeconds();
+
+  const InferenceServer::Stats stats = (*server)->stats();
+  result.latency = (*server)->latency().Summary();
+  result.requests = stats.requests;
+  result.executed_batches = stats.executed_batches;
+  if (result.serve_seconds > 0.0) {
+    result.requests_per_second =
+        static_cast<double>(stats.requests) / result.serve_seconds;
+    result.samples_per_second =
+        static_cast<double>(stats.samples) / result.serve_seconds;
+  }
+  (*server)->Shutdown();
+  return result;
+}
+
+}  // namespace cafe

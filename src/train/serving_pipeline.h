@@ -1,0 +1,55 @@
+#ifndef CAFE_TRAIN_SERVING_PIPELINE_H_
+#define CAFE_TRAIN_SERVING_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "serve/inference_server.h"
+#include "train/store_factory.h"
+#include "train/trainer.h"
+
+namespace cafe {
+
+/// Knobs for the end-to-end train → checkpoint → serve pipeline.
+struct ServingPipelineOptions {
+  TrainOptions train;
+  /// Serving shape (num_fields / num_numerical are filled from the dataset).
+  InferenceServerOptions server;
+  /// Where the checkpoint lands between the train and serve phases.
+  std::string checkpoint_path;
+  /// Samples per serving request (requests are slices of the test day).
+  size_t request_size = 16;
+  /// Cap on served requests; 0 serves the whole test day.
+  size_t max_requests = 0;
+};
+
+struct ServingPipelineResult {
+  TrainResult train;
+  /// Per-request end-to-end latency percentiles over the serving run.
+  LatencySummary latency;
+  double serve_seconds = 0.0;
+  double requests_per_second = 0.0;
+  double samples_per_second = 0.0;
+  uint64_t requests = 0;
+  /// Forward passes the micro-batcher executed (requests / this = achieved
+  /// coalescing factor).
+  uint64_t executed_batches = 0;
+  /// Served logits, in test-day order (for parity checks against offline
+  /// evaluation).
+  std::vector<float> logits;
+};
+
+/// The full production loop in miniature, exercising every layer this
+/// library has: train `model_name` over `store_name` on `data`, persist the
+/// trained store + dense weights to a checkpoint, reload the checkpoint
+/// into a fresh store, freeze it, replicate the model across the server's
+/// workers (each restored from the same checkpoint), and serve the test day
+/// as concurrent micro-batched requests.
+StatusOr<ServingPipelineResult> RunServingPipeline(
+    const std::string& store_name, const StoreFactoryContext& context,
+    const std::string& model_name, const ModelConfig& model_config,
+    const SyntheticCtrDataset& data, const ServingPipelineOptions& options);
+
+}  // namespace cafe
+
+#endif  // CAFE_TRAIN_SERVING_PIPELINE_H_

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "sketch/hyperloglog.h"
 #include "train/metrics.h"
 
 namespace cafe {
@@ -69,6 +70,16 @@ TrainResult TrainOnePass(RecModel* model, const SyntheticCtrDataset& data,
           ? std::max<size_t>(1, total_iters / options.curve_points)
           : 0;
 
+  // One HyperLogLog per field over the training id stream: the live
+  // distinct-feature census serving capacity planning reads.
+  std::vector<HyperLogLog> field_hll;
+  if (options.track_field_cardinality) {
+    field_hll.reserve(data.num_fields());
+    for (size_t f = 0; f < data.num_fields(); ++f) {
+      field_hll.emplace_back(options.cardinality_precision);
+    }
+  }
+
   WallTimer timer;
   double eval_seconds = 0.0;
   double loss_sum = 0.0;
@@ -77,6 +88,14 @@ TrainResult TrainOnePass(RecModel* model, const SyntheticCtrDataset& data,
   for (size_t start = 0; start < train_end; start += options.batch_size) {
     const size_t size = std::min(options.batch_size, train_end - start);
     const Batch batch = data.GetBatch(start, size);
+    if (options.track_field_cardinality) {
+      for (size_t b = 0; b < size; ++b) {
+        const uint32_t* cats = batch.sample_categorical(b);
+        for (size_t f = 0; f < batch.num_fields; ++f) {
+          field_hll[f].Insert(cats[f]);
+        }
+      }
+    }
     loss_sum += model->TrainStep(batch) * static_cast<double>(size);
     samples_seen += size;
     ++iter;
@@ -104,6 +123,10 @@ TrainResult TrainOnePass(RecModel* model, const SyntheticCtrDataset& data,
       EvaluateMetrics(model, data, test_begin, test_end);
   result.final_test_auc = final_metrics.auc;
   result.final_test_logloss = final_metrics.logloss;
+  result.field_distinct_estimates.reserve(field_hll.size());
+  for (const HyperLogLog& hll : field_hll) {
+    result.field_distinct_estimates.push_back(hll.Estimate());
+  }
   return result;
 }
 

@@ -18,6 +18,12 @@ struct TrainOptions {
   /// Cap on test samples used per AUC evaluation (the full last day can be
   /// large; a prefix preserves ordering-free AUC estimates).
   size_t max_eval_samples = 20000;
+  /// Track a per-field HyperLogLog over the training id stream and report
+  /// distinct-feature estimates in TrainResult (serving capacity planning;
+  /// printed alongside serving stats). ~2^precision bytes and one O(1)
+  /// insert per (sample, field) — noise next to the forward/backward pass.
+  bool track_field_cardinality = true;
+  uint32_t cardinality_precision = 12;
 };
 
 struct MetricPoint {
@@ -39,6 +45,9 @@ struct TrainResult {
   double train_seconds = 0.0;
   /// Training samples per second (includes embedding + dense compute).
   double train_throughput = 0.0;
+  /// HyperLogLog estimate of distinct ids seen per field during training
+  /// (empty when track_field_cardinality is off).
+  std::vector<double> field_distinct_estimates;
 };
 
 /// Offline metrics computed from one prediction sweep.

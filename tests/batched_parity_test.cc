@@ -205,8 +205,10 @@ TEST_P(BatchedParityTest, LookupBatchMatchesScalarWithDuplicates) {
   }
 
   const auto probe_batches = MakeDuplicateBatches(/*seed=*/999);
+  constexpr size_t kStride = kDim + 3;  // strided output (model-input gather)
   std::vector<float> scalar_out(kBatch * kDim);
   std::vector<float> batched_out(kBatch * kDim);
+  std::vector<float> strided_out(kBatch * kStride);
   for (size_t k = 0; k < kNumBatches; ++k) {
     const std::vector<uint64_t>& ids = probe_batches[k];
     for (size_t i = 0; i < kBatch; ++i) {
@@ -214,6 +216,15 @@ TEST_P(BatchedParityTest, LookupBatchMatchesScalarWithDuplicates) {
     }
     store->LookupBatch(ids.data(), kBatch, batched_out.data());
     ExpectBitIdentical(scalar_out, batched_out, "read-only lookups", name, k);
+    store->LookupBatch(ids.data(), kBatch, strided_out.data(), kStride);
+    for (size_t i = 0; i < kBatch; ++i) {
+      ASSERT_EQ(std::memcmp(scalar_out.data() + i * kDim,
+                            strided_out.data() + i * kStride,
+                            kDim * sizeof(float)),
+                0)
+          << name << ": strided lookup diverged at batch " << k << " row "
+          << i;
+    }
   }
 }
 

@@ -1,0 +1,329 @@
+// Checkpoint round trips: every store the factory can build is trained on a
+// realistic (duplicate-heavy, Zipf) stream, saved, reloaded into a freshly
+// constructed store, and must reproduce the original bit-for-bit — lookups,
+// MemoryBytes, CAFE's migration machinery, and (the strongest probe of
+// completeness) CONTINUED training. Corrupted, truncated, mismatched and
+// wrong-version files must be rejected with a clean Status before any state
+// is installed.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/zipf.h"
+#include "core/cafe_embedding.h"
+#include "io/checkpoint.h"
+#include "io/serialize.h"
+#include "train/model_factory.h"
+#include "train/store_factory.h"
+
+namespace cafe {
+namespace {
+
+constexpr uint64_t kFeatures = 5000;
+constexpr uint32_t kDim = 8;
+constexpr size_t kBatch = 64;
+constexpr size_t kNumBatches = 40;
+
+struct StoreCase {
+  const char* name;
+  double cr;
+};
+
+const StoreCase kAllStores[] = {
+    {"full", 1.0},  {"hash", 20.0},    {"qr", 10.0},    {"ada", 2.0},
+    {"mde", 2.0},   {"offline", 20.0}, {"cafe", 20.0},  {"cafe-ml", 20.0},
+};
+
+StoreFactoryContext MakeContext(double cr) {
+  StoreFactoryContext context;
+  context.embedding.total_features = kFeatures;
+  context.embedding.dim = kDim;
+  context.embedding.compression_ratio = cr;
+  context.embedding.seed = 42;
+  context.layout = FieldLayout({2000, 1500, 1000, 500});
+  // Short maintenance cadence so checkpoints capture mid-flight migration
+  // state (victim queues, thresholds, decayed sketches), not just tables.
+  context.cafe.decay_interval = 10;
+  context.ada.realloc_interval = 10;
+  for (uint64_t id = 0; id < 400; ++id) {
+    context.offline_hot_ids.push_back(id * 7 % kFeatures);
+  }
+  return context;
+}
+
+std::unique_ptr<EmbeddingStore> MakeCheckpointStore(const std::string& name,
+                                                    double cr) {
+  auto store = MakeStore(name, MakeContext(cr));
+  EXPECT_TRUE(store.ok()) << name << ": " << store.status().ToString();
+  return std::move(store).value();
+}
+
+std::vector<std::vector<uint64_t>> MakeBatches(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  ZipfDistribution zipf(kFeatures, 1.2);
+  std::vector<std::vector<uint64_t>> batches(count);
+  for (auto& batch : batches) {
+    for (size_t i = 0; i < kBatch; ++i) batch.push_back(zipf.SampleIndex(rng));
+  }
+  return batches;
+}
+
+std::vector<std::vector<float>> MakeGradients(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> grads(count);
+  for (auto& g : grads) {
+    g.resize(kBatch * kDim);
+    for (float& v : g) v = rng.UniformFloat(-0.5f, 0.5f);
+  }
+  return grads;
+}
+
+void Train(EmbeddingStore* store, uint64_t seed, size_t batches) {
+  const auto ids = MakeBatches(seed, batches);
+  const auto grads = MakeGradients(seed ^ 0x5a5aULL, batches);
+  for (size_t k = 0; k < batches; ++k) {
+    store->ApplyGradientBatch(ids[k].data(), kBatch, grads[k].data(), 0.05f);
+    store->Tick();
+  }
+}
+
+void ExpectStoresBitIdentical(EmbeddingStore* a, EmbeddingStore* b,
+                              const std::string& name) {
+  std::vector<float> row_a(kDim), row_b(kDim);
+  for (uint64_t id = 0; id < kFeatures; ++id) {
+    a->Lookup(id, row_a.data());
+    b->Lookup(id, row_b.data());
+    ASSERT_EQ(std::memcmp(row_a.data(), row_b.data(), kDim * sizeof(float)), 0)
+        << name << ": embedding of id " << id << " diverged";
+  }
+  EXPECT_EQ(a->MemoryBytes(), b->MemoryBytes()) << name;
+}
+
+std::string CheckpointPath(const std::string& tag) {
+  return ::testing::TempDir() + "cafe_ckpt_" + tag + ".bin";
+}
+
+class CheckpointRoundTripTest : public ::testing::TestWithParam<StoreCase> {};
+
+TEST_P(CheckpointRoundTripTest, RoundTripsBitIdentically) {
+  const std::string name = GetParam().name;
+  auto original = MakeCheckpointStore(name, GetParam().cr);
+  ASSERT_NE(original, nullptr);
+  Train(original.get(), /*seed=*/1234, kNumBatches);
+
+  const std::string path = CheckpointPath(name);
+  ASSERT_TRUE(io::SaveCheckpoint(path, *original).ok());
+
+  auto restored = MakeCheckpointStore(name, GetParam().cr);
+  ASSERT_NE(restored, nullptr);
+  const Status load = io::LoadCheckpoint(path, restored.get());
+  ASSERT_TRUE(load.ok()) << name << ": " << load.ToString();
+
+  // Bit-identical lookups over the whole id space + batched probes.
+  ExpectStoresBitIdentical(original.get(), restored.get(), name);
+  const auto probes = MakeBatches(/*seed=*/999, 10);
+  std::vector<float> out_a(kBatch * kDim), out_b(kBatch * kDim);
+  for (const auto& ids : probes) {
+    original->LookupBatch(ids.data(), kBatch, out_a.data());
+    restored->LookupBatch(ids.data(), kBatch, out_b.data());
+    ASSERT_EQ(
+        std::memcmp(out_a.data(), out_b.data(), out_a.size() * sizeof(float)),
+        0)
+        << name << ": batched lookups diverged after restore";
+  }
+
+  // CAFE's migration machinery must survive exactly.
+  auto* cafe_a = dynamic_cast<CafeEmbedding*>(original.get());
+  auto* cafe_b = dynamic_cast<CafeEmbedding*>(restored.get());
+  ASSERT_EQ(cafe_a == nullptr, cafe_b == nullptr);
+  if (cafe_a != nullptr) {
+    EXPECT_EQ(cafe_a->migrations(), cafe_b->migrations());
+    EXPECT_EQ(cafe_a->demotions(), cafe_b->demotions());
+    EXPECT_EQ(cafe_a->hot_count(), cafe_b->hot_count());
+    EXPECT_EQ(cafe_a->hot_threshold(), cafe_b->hot_threshold());
+    EXPECT_EQ(cafe_a->medium_threshold(), cafe_b->medium_threshold());
+    EXPECT_EQ(cafe_a->lookup_stats().hot, cafe_b->lookup_stats().hot);
+    EXPECT_EQ(cafe_a->lookup_stats().medium, cafe_b->lookup_stats().medium);
+    EXPECT_EQ(cafe_a->lookup_stats().cold, cafe_b->lookup_stats().cold);
+  }
+
+  // Continued training: a restored store must behave EXACTLY like the
+  // uninterrupted one on the same future stream — the strongest check that
+  // no hidden state (iteration counters, victim queues, RNG) was dropped.
+  Train(original.get(), /*seed=*/777, kNumBatches);
+  Train(restored.get(), /*seed=*/777, kNumBatches);
+  ExpectStoresBitIdentical(original.get(), restored.get(),
+                           name + " (continued training)");
+  if (cafe_a != nullptr) {
+    EXPECT_EQ(cafe_a->migrations(), cafe_b->migrations());
+    EXPECT_EQ(cafe_a->demotions(), cafe_b->demotions());
+    EXPECT_EQ(cafe_a->hot_count(), cafe_b->hot_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStores, CheckpointRoundTripTest,
+                         ::testing::ValuesIn(kAllStores),
+                         [](const ::testing::TestParamInfo<StoreCase>& info) {
+                           std::string name = info.param.name;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(CheckpointModelTest, ModelWeightsRoundTripThroughPredictions) {
+  for (const char* model_name : {"dlrm", "wdl", "dcn"}) {
+    auto store = MakeCheckpointStore("full", 1.0);
+    ModelConfig config;
+    config.num_fields = 4;
+    config.emb_dim = kDim;
+    config.num_numerical = 0;
+    config.seed = 9;
+    auto model = MakeModel(model_name, config, store.get());
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+    // A few training steps so the dense weights leave their init.
+    Rng rng(31);
+    ZipfDistribution zipf(kFeatures, 1.2);
+    std::vector<uint32_t> cats(kBatch * 4);
+    std::vector<float> labels(kBatch);
+    FieldLayout layout({2000, 1500, 1000, 500});
+    for (int step = 0; step < 5; ++step) {
+      for (size_t b = 0; b < kBatch; ++b) {
+        for (size_t f = 0; f < 4; ++f) {
+          const uint64_t local = zipf.SampleIndex(rng) % layout.cardinality(f);
+          cats[b * 4 + f] = static_cast<uint32_t>(layout.GlobalId(f, local));
+        }
+        labels[b] = rng.Bernoulli(0.3) ? 1.0f : 0.0f;
+      }
+      Batch batch;
+      batch.batch_size = kBatch;
+      batch.num_fields = 4;
+      batch.categorical = cats.data();
+      batch.labels = labels.data();
+      (*model)->TrainStep(batch);
+    }
+
+    const std::string path = CheckpointPath(std::string("model_") + model_name);
+    ASSERT_TRUE(io::SaveCheckpoint(path, *store, model->get()).ok());
+
+    auto restored_store = MakeCheckpointStore("full", 1.0);
+    auto restored_model = MakeModel(model_name, config, restored_store.get());
+    ASSERT_TRUE(restored_model.ok());
+    const Status load =
+        io::LoadCheckpoint(path, restored_store.get(), restored_model->get());
+    ASSERT_TRUE(load.ok()) << load.ToString();
+
+    Batch probe;
+    probe.batch_size = kBatch;
+    probe.num_fields = 4;
+    probe.categorical = cats.data();
+    probe.labels = labels.data();
+    std::vector<float> logits_a, logits_b;
+    (*model)->Predict(probe, &logits_a);
+    (*restored_model)->Predict(probe, &logits_b);
+    ASSERT_EQ(logits_a.size(), logits_b.size());
+    EXPECT_EQ(std::memcmp(logits_a.data(), logits_b.data(),
+                          logits_a.size() * sizeof(float)),
+              0)
+        << model_name << ": predictions diverged after model restore";
+  }
+}
+
+TEST(CheckpointRejectionTest, RejectsCorruptTruncatedAndMismatchedFiles) {
+  auto store = MakeCheckpointStore("cafe", 20.0);
+  Train(store.get(), /*seed=*/55, 10);
+  const std::string path = CheckpointPath("reject");
+  ASSERT_TRUE(io::SaveCheckpoint(path, *store).ok());
+  auto bytes = io::ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+
+  // Truncation (mid-payload).
+  {
+    const std::string truncated_path = CheckpointPath("truncated");
+    ASSERT_TRUE(
+        io::WriteFileAtomic(truncated_path, bytes->substr(0, bytes->size() / 2))
+            .ok());
+    auto fresh = MakeCheckpointStore("cafe", 20.0);
+    EXPECT_FALSE(io::LoadCheckpoint(truncated_path, fresh.get()).ok());
+  }
+  // Bit rot in the payload (fingerprint must catch it).
+  {
+    std::string corrupted = *bytes;
+    corrupted[corrupted.size() / 2] ^= 0x40;
+    const std::string corrupt_path = CheckpointPath("corrupt");
+    ASSERT_TRUE(io::WriteFileAtomic(corrupt_path, corrupted).ok());
+    auto fresh = MakeCheckpointStore("cafe", 20.0);
+    const Status status = io::LoadCheckpoint(corrupt_path, fresh.get());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+        << status.ToString();
+  }
+  // Wrong magic.
+  {
+    std::string wrong_magic = *bytes;
+    wrong_magic[0] = 'X';
+    // Re-stamp the fingerprint so ONLY the magic check can reject it.
+    const uint64_t fp = io::Fingerprint(
+        wrong_magic.data(), wrong_magic.size() - sizeof(uint64_t));
+    std::memcpy(&wrong_magic[wrong_magic.size() - sizeof(uint64_t)], &fp,
+                sizeof(uint64_t));
+    const std::string magic_path = CheckpointPath("magic");
+    ASSERT_TRUE(io::WriteFileAtomic(magic_path, wrong_magic).ok());
+    auto fresh = MakeCheckpointStore("cafe", 20.0);
+    EXPECT_FALSE(io::LoadCheckpoint(magic_path, fresh.get()).ok());
+  }
+  // Wrong version (byte 8 is the low byte of the u32 version).
+  {
+    std::string wrong_version = *bytes;
+    wrong_version[8] = 0x7f;
+    const uint64_t fp = io::Fingerprint(
+        wrong_version.data(), wrong_version.size() - sizeof(uint64_t));
+    std::memcpy(&wrong_version[wrong_version.size() - sizeof(uint64_t)], &fp,
+                sizeof(uint64_t));
+    const std::string version_path = CheckpointPath("version");
+    ASSERT_TRUE(io::WriteFileAtomic(version_path, wrong_version).ok());
+    auto fresh = MakeCheckpointStore("cafe", 20.0);
+    const Status status = io::LoadCheckpoint(version_path, fresh.get());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+        << status.ToString();
+  }
+  // Scheme mismatch: a cafe checkpoint cannot restore into a hash store.
+  {
+    auto hash_store = MakeCheckpointStore("hash", 20.0);
+    const Status status = io::LoadCheckpoint(path, hash_store.get());
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition)
+        << status.ToString();
+  }
+  // Sizing mismatch: same scheme, different compression ratio.
+  {
+    auto smaller = MakeCheckpointStore("cafe", 40.0);
+    const Status status = io::LoadCheckpoint(path, smaller.get());
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition)
+        << status.ToString();
+  }
+  // Missing file.
+  {
+    auto fresh = MakeCheckpointStore("cafe", 20.0);
+    EXPECT_EQ(io::LoadCheckpoint(CheckpointPath("missing"), fresh.get()).code(),
+              StatusCode::kNotFound);
+  }
+  // Store-only checkpoint has no model section to restore from.
+  {
+    auto fresh = MakeCheckpointStore("cafe", 20.0);
+    ModelConfig config;
+    config.num_fields = 4;
+    config.emb_dim = kDim;
+    auto model = MakeModel("dlrm", config, fresh.get());
+    ASSERT_TRUE(model.ok());
+    EXPECT_EQ(io::LoadCheckpoint(path, nullptr, model->get()).code(),
+              StatusCode::kNotFound);
+  }
+}
+
+}  // namespace
+}  // namespace cafe

@@ -1,0 +1,82 @@
+// HyperLogLog accuracy against known cardinalities, plus the idempotence
+// and merge properties the trainer's per-field tracking relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/random.h"
+#include "sketch/hyperloglog.h"
+
+namespace cafe {
+namespace {
+
+/// Expected standard error of a 2^p-register HLL.
+double StdError(uint32_t precision) {
+  return 1.04 / std::sqrt(static_cast<double>(size_t{1} << precision));
+}
+
+TEST(HyperLogLogTest, KnownCardinalities) {
+  // 4-sigma tolerance: the estimate is deterministic given the hash seed,
+  // so this just has to hold for the specific populations below (no flake).
+  for (const uint64_t true_count : {1000ULL, 50000ULL, 500000ULL}) {
+    HyperLogLog hll(/*precision=*/14);
+    for (uint64_t id = 0; id < true_count; ++id) {
+      hll.Insert(id * 0x9e3779b97f4a7c15ULL);  // well-spread distinct keys
+    }
+    const double estimate = hll.Estimate();
+    const double tolerance = 4.0 * StdError(14) * true_count;
+    EXPECT_NEAR(estimate, static_cast<double>(true_count), tolerance)
+        << "cardinality " << true_count;
+  }
+}
+
+TEST(HyperLogLogTest, SmallRangeLinearCountingIsTight) {
+  HyperLogLog hll(/*precision=*/12);
+  constexpr uint64_t kDistinct = 100;
+  for (uint64_t id = 0; id < kDistinct; ++id) hll.Insert(id);
+  // Far below 2.5m, the linear-counting correction applies and is near
+  // exact.
+  EXPECT_NEAR(hll.Estimate(), kDistinct, kDistinct * 0.05);
+}
+
+TEST(HyperLogLogTest, DuplicatesDoNotChangeTheEstimate) {
+  HyperLogLog once(/*precision=*/12);
+  HyperLogLog many(/*precision=*/12);
+  Rng rng(7);
+  for (uint64_t id = 0; id < 10000; ++id) {
+    once.Insert(id);
+    // Zipf-ish duplication: hot ids are inserted many times.
+    const int repeats = 1 + static_cast<int>(rng.Uniform(5));
+    for (int r = 0; r < repeats; ++r) many.Insert(id);
+  }
+  EXPECT_DOUBLE_EQ(once.Estimate(), many.Estimate());
+}
+
+TEST(HyperLogLogTest, MergeEqualsUnion) {
+  HyperLogLog a(/*precision=*/13), b(/*precision=*/13), u(/*precision=*/13);
+  for (uint64_t id = 0; id < 30000; ++id) {
+    if (id % 2 == 0) a.Insert(id);
+    if (id % 3 == 0) b.Insert(id);
+    if (id % 2 == 0 || id % 3 == 0) u.Insert(id);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), u.Estimate());
+}
+
+TEST(HyperLogLogTest, ClearResets) {
+  HyperLogLog hll(/*precision=*/10);
+  for (uint64_t id = 0; id < 1000; ++id) hll.Insert(id);
+  EXPECT_GT(hll.Estimate(), 0.0);
+  hll.Clear();
+  EXPECT_EQ(hll.Estimate(), 0.0);
+}
+
+TEST(HyperLogLogTest, MemoryIsRegisterArray) {
+  EXPECT_EQ(HyperLogLog(10).MemoryBytes(), 1024u);
+  EXPECT_EQ(HyperLogLog(14).MemoryBytes(), 16384u);
+}
+
+}  // namespace
+}  // namespace cafe
