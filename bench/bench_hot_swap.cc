@@ -1,0 +1,256 @@
+// Hot-swap rollout bench: what does a live model rollout cost the serving
+// path? Three phases over the same cafe + dlrm workload:
+//
+//   steady    — frozen serving, no swaps (the PR-2 baseline shape);
+//   rollout   — training continues on a trainer thread while a rollout
+//               thread cuts + hot-swaps snapshots mid-traffic: reports the
+//               swap cadence, the trainer's copy pause, the off-trainer
+//               rebuild time, and the serving QPS/latency DURING rollout
+//               (the QPS dip is the rollout tax);
+//   overload  — admission-controlled server under a flooding client:
+//               reports admitted/rejected counts and the bounded queue
+//               depth (fast-fail engages instead of unbounded latency).
+//
+// Usage: bench_hot_swap [--smoke]   (--smoke: CI-sized volumes)
+
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "serve/inference_server.h"
+#include "serve/snapshot_manager.h"
+#include "serve/swappable_store.h"
+#include "train/model_factory.h"
+
+using namespace cafe;
+
+namespace {
+
+struct PhaseResult {
+  LatencySummary latency;
+  double qps = 0.0;
+  uint64_t served = 0;
+  uint64_t rejected = 0;
+};
+
+/// Drives `total_requests` fixed-size requests from `num_clients` threads
+/// against `server`; rejected submissions are counted, not retried.
+PhaseResult DriveTraffic(InferenceServer* server,
+                         const SyntheticCtrDataset& data,
+                         size_t total_requests, size_t request_size,
+                         size_t num_clients) {
+  const size_t test_begin = data.train_size();
+  const size_t test_span =
+      data.num_samples() - test_begin - request_size;
+  std::atomic<size_t> next_request{0};
+  std::atomic<uint64_t> served{0};
+  std::atomic<uint64_t> rejected{0};
+  server->ClearLatency();  // per-phase percentiles
+  WallTimer timer;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&]() {
+      std::deque<std::future<std::vector<float>>> inflight;
+      uint64_t ok = 0, shed = 0;
+      for (;;) {
+        const size_t r = next_request.fetch_add(1);
+        if (r >= total_requests) break;
+        const size_t start = test_begin + (r * request_size) % test_span;
+        auto submitted = server->Submit(data.GetBatch(start, request_size));
+        if (submitted.ok()) {
+          inflight.push_back(std::move(submitted).value());
+        } else {
+          ++shed;
+        }
+        if (inflight.size() >= 8) {
+          inflight.front().get();
+          inflight.pop_front();
+          ++ok;
+        }
+      }
+      while (!inflight.empty()) {
+        inflight.front().get();
+        inflight.pop_front();
+        ++ok;
+      }
+      served.fetch_add(ok);
+      rejected.fetch_add(shed);
+    });
+  }
+  for (auto& client : clients) client.join();
+  const double seconds = timer.ElapsedSeconds();
+
+  PhaseResult result;
+  result.latency = server->latency().Summary();
+  result.served = served.load();
+  result.rejected = rejected.load();
+  result.qps = seconds > 0.0 ? static_cast<double>(result.served) / seconds
+                             : 0.0;
+  return result;
+}
+
+void PrintPhase(const char* phase, const PhaseResult& r) {
+  std::printf("%-9s %10.0f %10.0f %10.0f %12.0f %9llu %9llu\n", phase,
+              r.latency.p50_us, r.latency.p95_us, r.latency.p99_us, r.qps,
+              static_cast<unsigned long long>(r.served),
+              static_cast<unsigned long long>(r.rejected));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bench::PrintTitle(
+      "Hot-swap rollout — swap latency, serving QPS during rollout, "
+      "backpressure");
+  bench::Workload w = bench::MakeWorkload(CriteoLikePreset());
+
+  const size_t total_requests = smoke ? 300 : 4000;
+  const size_t request_size = 16;
+  const size_t warmup_batches = smoke ? 30 : 150;
+  const size_t num_workers =
+      std::max<size_t>(2, std::thread::hardware_concurrency());
+  constexpr size_t kClients = 3;
+  constexpr size_t kTrainBatch = 128;
+
+  StoreFactoryContext context = bench::MakeContext(w, 20.0);
+  auto live_store = MakeStore("cafe", context);
+  CAFE_CHECK(live_store.ok()) << live_store.status().ToString();
+  auto live_model = MakeModel("dlrm", w.model_config, live_store->get());
+  CAFE_CHECK(live_model.ok());
+  // Warm the store (hot-set formation) before the first snapshot.
+  for (size_t k = 0; k < warmup_batches; ++k) {
+    (*live_model)->TrainStep(
+        w.dataset->GetBatch(k * kTrainBatch, kTrainBatch));
+  }
+
+  SnapshotManager::Options manager_options;
+  manager_options.min_steps_between_cuts = smoke ? 10 : 25;
+  SnapshotManager manager(
+      live_store->get(), live_model->get(),
+      [&context]() { return MakeStore("cafe", context); }, manager_options);
+  auto initial = manager.Cut();
+  CAFE_CHECK(initial.ok()) << initial.status().ToString();
+  SwappableStore swap(std::move(initial).value());
+
+  InferenceServerOptions options;
+  options.num_workers = num_workers;
+  options.max_batch = 256;
+  options.max_wait_us = 200;
+  options.num_fields = w.dataset->num_fields();
+  options.num_numerical = w.preset.data.num_numerical;
+  auto server = InferenceServer::Start(
+      options,
+      [&](size_t) -> StatusOr<std::unique_ptr<RecModel>> {
+        return MakeModel("dlrm", w.model_config, &swap);
+      },
+      &swap);
+  CAFE_CHECK(server.ok()) << server.status().ToString();
+
+  std::printf(
+      "cafe + dlrm @ CR 20 | %zu workers | %zu x %zu-sample requests per "
+      "phase\n\n",
+      num_workers, total_requests, request_size);
+  std::printf("%-9s %10s %10s %10s %12s %9s %9s\n", "phase", "p50 us",
+              "p95 us", "p99 us", "QPS", "served", "rejected");
+
+  // Phase 1: steady-state serving on the initial generation.
+  const PhaseResult steady = DriveTraffic(server->get(), *w.dataset,
+                                          total_requests, request_size,
+                                          kClients);
+  PrintPhase("steady", steady);
+
+  // Phase 2: identical traffic while training + rollout run concurrently.
+  std::atomic<bool> stop_training{false};
+  manager.BeginTraining();  // before the rollout thread: no direct cuts
+  std::thread trainer([&]() {
+    uint64_t step = 0;
+    size_t cursor = warmup_batches;
+    const size_t train_batches = w.dataset->train_size() / kTrainBatch;
+    while (!stop_training.load(std::memory_order_acquire)) {
+      (*live_model)->TrainStep(w.dataset->GetBatch(
+          (cursor++ % train_batches) * kTrainBatch, kTrainBatch));
+      manager.AtStepBoundary(++step);
+    }
+    manager.FinishTraining(step);
+  });
+  std::atomic<bool> stop_rollout{false};
+  std::atomic<uint64_t> swaps{0};
+  std::thread rollout([&]() {
+    while (!stop_rollout.load(std::memory_order_acquire)) {
+      auto snapshot = manager.Cut();
+      CAFE_CHECK(snapshot.ok()) << snapshot.status().ToString();
+      (*server)->InstallSnapshot(std::move(snapshot).value());
+      swaps.fetch_add(1);
+    }
+  });
+  const PhaseResult during = DriveTraffic(server->get(), *w.dataset,
+                                          total_requests, request_size,
+                                          kClients);
+  stop_rollout.store(true, std::memory_order_release);
+  stop_training.store(true, std::memory_order_release);
+  rollout.join();
+  trainer.join();
+  PrintPhase("rollout", during);
+
+  const SnapshotManager::Stats cut_stats = manager.stats();
+  const InferenceServer::Stats serve_stats = (*server)->stats();
+  std::printf(
+      "\nswaps during rollout phase: %llu (generation now %llu)\n"
+      "swap latency: trainer copy pause last %.0f us (max %.0f us), "
+      "off-trainer rebuild last %.0f us (max %.0f us)\n"
+      "QPS dip vs steady: %.1f%%\n",
+      static_cast<unsigned long long>(swaps.load()),
+      static_cast<unsigned long long>(serve_stats.snapshot_generation),
+      cut_stats.last_copy_us, cut_stats.max_copy_us,
+      cut_stats.last_rebuild_us, cut_stats.max_rebuild_us,
+      steady.qps > 0.0 ? 100.0 * (1.0 - during.qps / steady.qps) : 0.0);
+  (*server)->Shutdown();
+
+  // Phase 3: overload against a deliberately under-provisioned,
+  // admission-controlled server (1 worker, tiny queue cap).
+  auto tail = manager.Cut();
+  CAFE_CHECK(tail.ok());
+  SwappableStore overload_swap(std::move(tail).value());
+  InferenceServerOptions overload_options = options;
+  overload_options.num_workers = 1;
+  overload_options.max_batch = 64;
+  overload_options.max_wait_us = 1000;
+  overload_options.max_queue_samples = 8 * request_size;
+  auto overload_server = InferenceServer::Start(
+      overload_options,
+      [&](size_t) -> StatusOr<std::unique_ptr<RecModel>> {
+        return MakeModel("dlrm", w.model_config, &overload_swap);
+      },
+      &overload_swap);
+  CAFE_CHECK(overload_server.ok());
+  const PhaseResult overload =
+      DriveTraffic(overload_server->get(), *w.dataset, total_requests,
+                   request_size, kClients);
+  PrintPhase("overload", overload);
+  const InferenceServer::Stats overload_stats = (*overload_server)->stats();
+  std::printf(
+      "\noverload: queue capped at %zu samples, peak depth %zu, "
+      "%llu rejected (%.1f%% shed) — depth stays bounded and p99 stays "
+      "finite because fast-fail engages instead of queue growth.\n",
+      overload_options.max_queue_samples, overload_stats.peak_queue_depth,
+      static_cast<unsigned long long>(overload_stats.rejected),
+      100.0 * static_cast<double>(overload.rejected) /
+          static_cast<double>(total_requests));
+  CAFE_CHECK(overload_stats.peak_queue_depth <=
+             overload_options.max_queue_samples)
+      << "admission control failed to bound the queue";
+  (*overload_server)->Shutdown();
+
+  std::printf(
+      "\nShape check: rollout-phase p50/p99 sit near steady-state (workers "
+      "never drain;\nswaps are one pointer flip + a dense-weight refresh per "
+      "worker), and the trainer's\nonly rollout cost is the state copy at a "
+      "step boundary.\n");
+  return 0;
+}

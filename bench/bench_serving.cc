@@ -84,8 +84,10 @@ ServeResult ServeOnce(const bench::Workload& w, const std::string& method,
         const size_t r = next_request.fetch_add(1);
         if (r >= total_requests) break;
         const size_t start = test_begin + (r * request_size) % test_span;
-        inflight.push_back(
-            (*server)->Submit(w.dataset->GetBatch(start, request_size)));
+        auto submitted =
+            (*server)->Submit(w.dataset->GetBatch(start, request_size));
+        CAFE_CHECK(submitted.ok()) << submitted.status().ToString();
+        inflight.push_back(std::move(submitted).value());
         // Bound in-flight work per client so latency reflects the server,
         // not an unbounded client-side backlog (4 clients x 8 x 16 samples
         // still covers two max_batch windows of demand).

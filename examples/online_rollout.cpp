@@ -1,0 +1,91 @@
+// The continuously-updating service, end to end: DLRM over CAFE trains on
+// the Criteo-like preset WHILE an InferenceServer serves the held-out day —
+// a rollout thread keeps cutting consistent snapshots from the live store
+// (SnapshotManager's step-boundary copy) and hot-swapping them into the
+// server, so fresh model generations reach traffic without ever draining a
+// worker. Prints the rollout cadence, the trainer's copy pause, swap
+// counts, and serving latency under live rollout.
+//
+// Usage: example_online_rollout
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "data/presets.h"
+#include "train/online_pipeline.h"
+
+using namespace cafe;
+
+int main() {
+  DatasetPreset preset = CriteoLikePreset();
+  auto data = SyntheticCtrDataset::Generate(preset.data);
+  CAFE_CHECK(data.ok()) << data.status().ToString();
+
+  StoreFactoryContext context;
+  context.embedding.total_features = (*data)->layout().total_features();
+  context.embedding.dim = preset.embedding_dim;
+  context.embedding.compression_ratio = 20.0;
+  context.embedding.seed = 97;
+  context.layout = (*data)->layout();
+  context.cafe.decay_interval = 50;
+
+  ModelConfig model_config;
+  model_config.num_fields = (*data)->num_fields();
+  model_config.emb_dim = preset.embedding_dim;
+  model_config.num_numerical = preset.data.num_numerical;
+  model_config.emb_lr = 0.2f;
+  model_config.dense_lr = 0.05f;
+  model_config.seed = 1234;
+
+  OnlinePipelineOptions options;
+  options.batch_size = 128;
+  options.passes = 1;
+  options.snapshot_interval = 40;
+  options.server.num_workers = 2;
+  options.server.max_batch = 256;
+  options.server.max_wait_us = 200;
+  options.server.max_queue_samples = 4096;  // backpressure, generous cap
+  options.num_clients = 2;
+  options.request_size = 16;
+
+  std::printf("== train WHILE serving (cafe @ 20x, dlrm, hot rollout) ==\n\n");
+  auto result = RunOnlinePipeline("cafe", context, "dlrm", model_config,
+                                  **data, options);
+  CAFE_CHECK(result.ok()) << result.status().ToString();
+
+  std::printf(
+      "training:  %llu steps | avg loss %.4f | %.1fs\n",
+      static_cast<unsigned long long>(result->train_steps),
+      result->avg_train_loss, result->train_seconds);
+  std::printf(
+      "rollout:   %llu generations installed (one per ~%llu steps) | "
+      "final generation cut at step %llu\n",
+      static_cast<unsigned long long>(result->snapshots_installed),
+      static_cast<unsigned long long>(options.snapshot_interval),
+      static_cast<unsigned long long>(result->final_snapshot->train_step));
+  std::printf(
+      "swap cost: trainer copy pause max %.0f us | off-trainer rebuild max "
+      "%.0f us\n",
+      result->snapshot_stats.max_copy_us,
+      result->snapshot_stats.max_rebuild_us);
+  std::printf(
+      "serving:   %llu responses (%llu shed by backpressure) | p50 %.0f us "
+      "| p95 %.0f us | p99 %.0f us\n",
+      static_cast<unsigned long long>(result->requests_ok),
+      static_cast<unsigned long long>(result->requests_rejected),
+      result->latency.p50_us, result->latency.p95_us,
+      result->latency.p99_us);
+  std::printf(
+      "server:    generation %llu serving | %llu swaps | peak queue %zu "
+      "samples\n",
+      static_cast<unsigned long long>(
+          result->server_stats.snapshot_generation),
+      static_cast<unsigned long long>(result->server_stats.snapshot_swaps),
+      result->server_stats.peak_queue_depth);
+  std::printf(
+      "\nEvery response above was served by exactly one generation (the\n"
+      "per-micro-batch snapshot pin), and the final generation is\n"
+      "bit-identical to a quiesced freeze of the fully trained state —\n"
+      "tests/hot_swap_test.cc proves both under ThreadSanitizer.\n");
+  return 0;
+}

@@ -137,17 +137,97 @@ void CafeEmbedding::LookupOne(uint64_t id, float* out, uint64_t occurrences) {
   }
 }
 
+void CafeEmbedding::ResolveUniqueRows(const BatchDeduper& dedup,
+                                      std::vector<ResolvedRow>* rows,
+                                      PathStats* stats) const {
+  const uint32_t d = config_.embedding.dim;
+  const size_t num_unique = dedup.num_unique();
+  const std::vector<uint64_t>& unique = dedup.unique_ids();
+  rows->resize(num_unique);
+  for (size_t u = 0; u < num_unique; ++u) {
+    if (u + kPrefetchDistance < num_unique) {
+      sketch_.PrefetchBucket(unique[u + kPrefetchDistance]);
+    }
+    const uint64_t id = unique[u];
+    const HotSketch::Slot* slot = sketch_.Find(id);
+    ResolvedRow& resolved = (*rows)[u];
+    if (slot != nullptr && slot->payload >= 0) {
+      resolved.a = hot_table_.data() + static_cast<size_t>(slot->payload) * d;
+      resolved.b = nullptr;
+      if (stats != nullptr) stats->hot += dedup.count(u);
+    } else {
+      const bool medium = config_.use_multi_level && slot != nullptr &&
+                          slot->GuaranteedScore() >= medium_threshold_;
+      resolved.a =
+          shared_a_.data() + hash_a_.Bounded(id, plan_.shared_rows_a) * d;
+      resolved.b = medium && plan_.shared_rows_b > 0
+                       ? shared_b_.data() +
+                             hash_b_.Bounded(id, plan_.shared_rows_b) * d
+                       : nullptr;
+      if (stats != nullptr) {
+        if (medium) {
+          stats->medium += dedup.count(u);
+        } else {
+          stats->cold += dedup.count(u);
+        }
+      }
+    }
+  }
+}
+
+void CafeEmbedding::MaterializeUniqueRows(const BatchDeduper& dedup,
+                                          const std::vector<ResolvedRow>& rows,
+                                          size_t n, float* out,
+                                          size_t out_stride) const {
+  const uint32_t d = config_.embedding.dim;
+  const size_t num_unique = dedup.num_unique();
+  for (size_t u = 0; u < num_unique; ++u) {
+    if (u + kPrefetchDistance < num_unique) {
+      const ResolvedRow& ahead = rows[u + kPrefetchDistance];
+      PrefetchRead(ahead.a);
+      if (ahead.b != nullptr) PrefetchRead(ahead.b);
+    }
+    const ResolvedRow& resolved = rows[u];
+    float* dst =
+        out + static_cast<size_t>(dedup.first_occurrence(u)) * out_stride;
+    if (resolved.b == nullptr) {
+      embed_internal::CopyRow(dst, resolved.a, d);
+    } else {
+      for (uint32_t k = 0; k < d; ++k) dst[k] = resolved.a[k] + resolved.b[k];
+    }
+  }
+  dedup.ReplicateRows(out, n, d, out_stride);
+}
+
 void CafeEmbedding::LookupBatchConst(const uint64_t* ids, size_t n, float* out,
                                      size_t out_stride) const {
-  // Scratch-free concurrent-read path: only the sketch-bucket prefetch
-  // survives from the batched resolve (the two-pass row materialization
-  // needs per-call scratch, which serving threads must not share).
-  for (size_t i = 0; i < n; ++i) {
-    if (i + kPrefetchDistance < n) {
-      sketch_.PrefetchBucket(ids[i + kPrefetchDistance]);
+  // Concurrent-read path with the SAME two-pass dedup'd resolve as
+  // LookupBatch (Resolve/MaterializeUniqueRows — one copy of the
+  // resolution rules), minus statistics. The scratch that made the
+  // training path unshareable lives in thread_local storage here — one
+  // deduper + row buffer per serving worker — so any number of threads
+  // still run lookups concurrently while skewed serving batches pay one
+  // sketch probe per UNIQUE id instead of per occurrence. Classification
+  // is read-only, so the output stays byte-identical to n scalar
+  // LookupConst calls.
+  struct ConstBatchScratch {
+    BatchDeduper dedup;
+    std::vector<ResolvedRow> rows;
+  };
+  static thread_local ConstBatchScratch scratch;
+  if (!scratch.dedup.BuildAdaptive(ids, n)) {
+    // Mostly-unique batch: direct scalar resolve, sketch bucket prefetched
+    // ahead (same abandon heuristic as the training path).
+    for (size_t i = 0; i < n; ++i) {
+      if (i + kPrefetchDistance < n) {
+        sketch_.PrefetchBucket(ids[i + kPrefetchDistance]);
+      }
+      LookupConst(ids[i], out + i * out_stride);
     }
-    LookupConst(ids[i], out + i * out_stride);
+    return;
   }
+  ResolveUniqueRows(scratch.dedup, &scratch.rows, /*stats=*/nullptr);
+  MaterializeUniqueRows(scratch.dedup, scratch.rows, n, out, out_stride);
 }
 
 void CafeEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
@@ -160,7 +240,6 @@ void CafeEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
   // per-unique path, while mostly-unique batches abandon dedup after a
   // sampled prefix and run a direct devirtualized loop instead of paying
   // for a scratch table they would not reuse.
-  const uint32_t d = config_.embedding.dim;
   if (!dedup_.BuildAdaptive(ids, n)) {
     for (size_t i = 0; i < n; ++i) {
       if (i + kPrefetchDistance < n) {
@@ -177,53 +256,8 @@ void CafeEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
   // ahead) and only records row addresses; pass 2 copies rows (again
   // prefetched kPrefetchDistance ahead). The scalar path eats the full
   // bucket-then-row latency chain on every call.
-  const size_t num_unique = dedup_.num_unique();
-  const std::vector<uint64_t>& unique = dedup_.unique_ids();
-  row_ptr_scratch_.resize(num_unique);
-  for (size_t u = 0; u < num_unique; ++u) {
-    if (u + kPrefetchDistance < num_unique) {
-      sketch_.PrefetchBucket(unique[u + kPrefetchDistance]);
-    }
-    const uint64_t id = unique[u];
-    const HotSketch::Slot* slot = sketch_.Find(id);
-    ResolvedRow& resolved = row_ptr_scratch_[u];
-    if (slot != nullptr && slot->payload >= 0) {
-      resolved.a = hot_table_.data() + static_cast<size_t>(slot->payload) * d;
-      resolved.b = nullptr;
-      lookup_stats_.hot += dedup_.count(u);
-    } else {
-      const bool medium = config_.use_multi_level && slot != nullptr &&
-                          slot->GuaranteedScore() >= medium_threshold_;
-      resolved.a =
-          shared_a_.data() + hash_a_.Bounded(id, plan_.shared_rows_a) * d;
-      resolved.b = medium && plan_.shared_rows_b > 0
-                       ? shared_b_.data() +
-                             hash_b_.Bounded(id, plan_.shared_rows_b) * d
-                       : nullptr;
-      if (medium) {
-        lookup_stats_.medium += dedup_.count(u);
-      } else {
-        lookup_stats_.cold += dedup_.count(u);
-      }
-    }
-  }
-  for (size_t u = 0; u < num_unique; ++u) {
-    if (u + kPrefetchDistance < num_unique) {
-      const ResolvedRow& ahead = row_ptr_scratch_[u + kPrefetchDistance];
-      PrefetchRead(ahead.a);
-      if (ahead.b != nullptr) PrefetchRead(ahead.b);
-    }
-    const ResolvedRow& resolved = row_ptr_scratch_[u];
-    float* dst =
-        out + static_cast<size_t>(dedup_.first_occurrence(u)) * out_stride;
-    if (resolved.b == nullptr) {
-      embed_internal::CopyRow(dst, resolved.a, d);
-    } else {
-      for (uint32_t k = 0; k < d; ++k) dst[k] = resolved.a[k] + resolved.b[k];
-    }
-  }
-
-  dedup_.ReplicateRows(out, n, d, out_stride);
+  ResolveUniqueRows(dedup_, &row_ptr_scratch_, &lookup_stats_);
+  MaterializeUniqueRows(dedup_, row_ptr_scratch_, n, out, out_stride);
 }
 
 CafeEmbedding::Path CafeEmbedding::ClassifyForTest(uint64_t id) const {

@@ -99,6 +99,25 @@ class CafeEmbedding : public EmbeddingStore {
   /// lookups and as migration initialization).
   void SharedLookup(uint64_t id, bool medium, float* out) const;
 
+  struct ResolvedRow;
+
+  /// Pass 1 of the dedup'd batch lookup: probes the sketch once per unique
+  /// id of `dedup` (bucket-prefetched) and records each id's resolved row
+  /// pointer(s) in `rows`. Classification is read-only; `stats` (when not
+  /// null — the training path) is advanced by the occurrence counts. The
+  /// ONE copy of CAFE's resolution rules shared by LookupBatch and
+  /// LookupBatchConst, so the serving path can never drift from the
+  /// training path.
+  void ResolveUniqueRows(const BatchDeduper& dedup,
+                         std::vector<ResolvedRow>* rows,
+                         PathStats* stats) const;
+
+  /// Pass 2: materializes each unique id's row(s) at its first occurrence
+  /// in `out` (row-prefetched) and replicates to duplicate occurrences.
+  void MaterializeUniqueRows(const BatchDeduper& dedup,
+                             const std::vector<ResolvedRow>& rows, size_t n,
+                             float* out, size_t out_stride) const;
+
   /// Tries to claim an exclusive row for the feature in `slot`; returns
   /// true and installs the payload on success.
   bool TryPromote(uint64_t id, HotSketch::Slot* slot);

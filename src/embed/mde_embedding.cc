@@ -145,6 +145,27 @@ void MdeEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
   dedup_.ReplicateRows(out, n, d, out_stride);
 }
 
+void MdeEmbedding::LookupBatchConst(const uint64_t* ids, size_t n, float* out,
+                                    size_t out_stride) const {
+  // Serving path: the per-id projection matmul is MDE's whole lookup cost,
+  // so recover the per-unique dedup here too. The deduper is thread_local
+  // (one per serving worker), keeping concurrent callers scratch-free with
+  // respect to each other; projections are pure reads, so the output is
+  // byte-identical to n scalar LookupConst calls.
+  static thread_local BatchDeduper dedup;
+  if (!dedup.BuildAdaptive(ids, n)) {
+    for (size_t i = 0; i < n; ++i) LookupOne(ids[i], out + i * out_stride);
+    return;
+  }
+  const size_t num_unique = dedup.num_unique();
+  for (size_t u = 0; u < num_unique; ++u) {
+    LookupOne(dedup.unique_id(u),
+              out + static_cast<size_t>(dedup.first_occurrence(u)) *
+                        out_stride);
+  }
+  dedup.ReplicateRows(out, n, config_.dim, out_stride);
+}
+
 void MdeEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
                                       const float* grads, float lr) {
   // One row+projection backward per unique id with the accumulated

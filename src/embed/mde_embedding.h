@@ -41,6 +41,8 @@ class MdeEmbedding : public EmbeddingStore {
   using EmbeddingStore::LookupBatch;
   void LookupBatch(const uint64_t* ids, size_t n, float* out,
                    size_t out_stride) override;
+  void LookupBatchConst(const uint64_t* ids, size_t n, float* out,
+                        size_t out_stride) const override;
   void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
                           float lr) override;
   size_t MemoryBytes() const override;

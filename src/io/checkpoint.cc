@@ -13,7 +13,7 @@ constexpr char kMagic[8] = {'C', 'A', 'F', 'E', 'C', 'K', 'P', 'T'};
 constexpr uint8_t kHasStore = 1u << 0;
 constexpr uint8_t kHasModel = 1u << 1;
 
-void AppendModelSection(RecModel* model, Writer* writer) {
+Status AppendModelSection(RecModel* model, Writer* writer) {
   Writer section;
   section.WriteString(model->Name());
   std::vector<Param> params;
@@ -23,11 +23,18 @@ void AppendModelSection(RecModel* model, Writer* writer) {
     section.WriteU64(p.size);
     section.WriteBytes(p.value, p.size * sizeof(float));
   }
+  Optimizer* optimizer = model->optimizer();
+  section.WriteBool(optimizer != nullptr);
+  if (optimizer != nullptr) {
+    CAFE_RETURN_IF_ERROR(optimizer->SaveState(&section));
+  }
   writer->WriteU64(section.size());
   writer->WriteBytes(section.buffer().data(), section.size());
+  return Status::OK();
 }
 
-Status RestoreModelSection(Reader* reader, RecModel* model) {
+Status RestoreModelSection(Reader* reader, RecModel* model,
+                           uint32_t version) {
   std::string name;
   CAFE_RETURN_IF_ERROR(reader->ReadString(&name));
   if (name != model->Name()) {
@@ -52,6 +59,21 @@ Status RestoreModelSection(Reader* reader, RecModel* model) {
     }
     CAFE_RETURN_IF_ERROR(reader->ReadBytes(p.value, size * sizeof(float)));
   }
+  if (version < 2) {
+    // v1 model sections end after the weight blocks: the optimizer keeps
+    // its fresh state (the documented pre-v2 resume semantics).
+    return Status::OK();
+  }
+  bool has_optimizer = false;
+  CAFE_RETURN_IF_ERROR(reader->ReadBool(&has_optimizer));
+  if (has_optimizer) {
+    if (model->optimizer() == nullptr) {
+      return Status::FailedPrecondition(
+          "checkpoint carries optimizer state but the target model has no "
+          "optimizer");
+    }
+    CAFE_RETURN_IF_ERROR(model->optimizer()->LoadState(reader));
+  }
   return Status::OK();
 }
 
@@ -73,7 +95,7 @@ Status SaveCheckpoint(const std::string& path, const EmbeddingStore& store,
   writer.WriteBytes(store_section.buffer().data(), store_section.size());
 
   if (model != nullptr) {
-    AppendModelSection(model, &writer);
+    CAFE_RETURN_IF_ERROR(AppendModelSection(model, &writer));
   }
 
   writer.WriteU64(Fingerprint(writer.buffer().data(), writer.size()));
@@ -112,11 +134,13 @@ Status LoadCheckpoint(const std::string& path, EmbeddingStore* store,
   }
   uint32_t version = 0;
   CAFE_RETURN_IF_ERROR(reader.ReadU32(&version));
-  if (version != kCheckpointVersion) {
+  if (version < kMinReadableCheckpointVersion ||
+      version > kCheckpointVersion) {
     return Status::InvalidArgument(
         "unsupported checkpoint version " + std::to_string(version) +
-        " (this build reads version " + std::to_string(kCheckpointVersion) +
-        ")");
+        " (this build reads versions " +
+        std::to_string(kMinReadableCheckpointVersion) + ".." +
+        std::to_string(kCheckpointVersion) + ")");
   }
   uint8_t flags = 0;
   CAFE_RETURN_IF_ERROR(reader.ReadU8(&flags));
@@ -152,7 +176,7 @@ Status LoadCheckpoint(const std::string& path, EmbeddingStore* store,
     uint64_t section_size = 0;
     CAFE_RETURN_IF_ERROR(reader.ReadU64(&section_size));
     const size_t section_start = reader.position();
-    CAFE_RETURN_IF_ERROR(RestoreModelSection(&reader, model));
+    CAFE_RETURN_IF_ERROR(RestoreModelSection(&reader, model, version));
     if (reader.position() - section_start != section_size) {
       return Status::InvalidArgument("checkpoint model section size mismatch");
     }

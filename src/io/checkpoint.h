@@ -14,7 +14,8 @@ namespace io {
 ///
 ///   magic "CAFECKPT" | u32 version | u8 flags        (header)
 ///   [store section]  store Name() + SaveState payload (if flag bit 0)
-///   [model section]  model Name() + dense param blocks (if flag bit 1)
+///   [model section]  model Name() + dense param blocks
+///                    + optimizer adaptive state       (if flag bit 1)
 ///   u64 FNV-1a fingerprint over everything above      (trailer)
 ///
 /// The container stores STATE, not configuration: loading requires a store
@@ -23,17 +24,25 @@ namespace io {
 /// shape guards reject a checkpoint applied to the wrong scheme or sizing;
 /// the trailing fingerprint rejects corruption and truncation before any
 /// state is installed.
-constexpr uint32_t kCheckpointVersion = 1;
-
-/// Serializes `store` (and, when non-null, `model`'s dense parameters) to
-/// `path` atomically (temp file + rename).
 ///
-/// Scope of the two sections: the STORE section is complete — a restored
-/// store continues training bit-identically. The MODEL section holds dense
-/// WEIGHTS only (not Adagrad/Adam accumulator state), which is exact for
-/// serving — the intended consumer — but a model that resumes dense
-/// training from a checkpoint restarts its adaptive step sizes (see
-/// ROADMAP open items).
+/// Version history: 1 = store + dense weights; 2 adds the optimizer's
+/// adaptive state (Adagrad/Adam accumulators, Adam step counter) to the
+/// model section. Writers emit kCheckpointVersion; readers accept
+/// [kMinReadableCheckpointVersion, kCheckpointVersion] — a v1 file
+/// restores with the pre-v2 semantics (dense weights exact, adaptive step
+/// sizes reset).
+constexpr uint32_t kCheckpointVersion = 2;
+constexpr uint32_t kMinReadableCheckpointVersion = 1;
+
+/// Serializes `store` (and, when non-null, `model`'s dense parameters plus
+/// its optimizer's adaptive state) to `path` atomically (temp file +
+/// rename).
+///
+/// Both sections are complete: a restored store continues training
+/// bit-identically, and a restored model resumes dense training
+/// bit-identically too (weights AND Adagrad/Adam accumulator state; the
+/// checkpoint_test resume-parity suite asserts checkpoint/restore/continue
+/// equals uninterrupted training exactly).
 Status SaveCheckpoint(const std::string& path, const EmbeddingStore& store,
                       RecModel* model = nullptr);
 

@@ -57,6 +57,11 @@ class Writer {
   const std::string& buffer() const { return buffer_; }
   size_t size() const { return buffer_.size(); }
 
+  /// Moves the encoded bytes out (the writer is empty afterwards). The
+  /// online snapshot path uses this to hand the trainer's serialize buffer
+  /// to the rebuild thread without a copy.
+  std::string Release() { return std::move(buffer_); }
+
  private:
   std::string buffer_;
 };

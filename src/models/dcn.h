@@ -29,6 +29,7 @@ class DcnModel : public RecModel {
   EmbeddingStore* store() override { return store_; }
   size_t DenseParameters() const override;
   void CollectDenseParams(std::vector<Param>* out) override;
+  Optimizer* optimizer() override { return optimizer_.get(); }
 
  private:
   DcnModel(const ModelConfig& config, EmbeddingStore* store);

@@ -30,6 +30,7 @@ class DlrmModel : public RecModel {
   EmbeddingStore* store() override { return store_; }
   size_t DenseParameters() const override;
   void CollectDenseParams(std::vector<Param>* out) override;
+  Optimizer* optimizer() override { return optimizer_.get(); }
 
  private:
   DlrmModel(const ModelConfig& config, EmbeddingStore* store);

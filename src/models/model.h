@@ -67,6 +67,11 @@ class RecModel {
   /// models built from the same config expose structurally identical lists.
   /// Checkpointing walks this to save/restore dense weights (io/checkpoint).
   virtual void CollectDenseParams(std::vector<Param>* out) = 0;
+
+  /// The dense-parameter optimizer, so checkpoints can carry its adaptive
+  /// state (Adagrad/Adam accumulators) and training resume is bit-identical.
+  /// May be null for models that do no dense training.
+  virtual Optimizer* optimizer() { return nullptr; }
 };
 
 namespace model_internal {

@@ -27,6 +27,7 @@ class WdlModel : public RecModel {
   EmbeddingStore* store() override { return store_; }
   size_t DenseParameters() const override;
   void CollectDenseParams(std::vector<Param>* out) override;
+  Optimizer* optimizer() override { return optimizer_.get(); }
 
  private:
   WdlModel(const ModelConfig& config, EmbeddingStore* store);

@@ -10,6 +10,21 @@ void Optimizer::Register(const std::vector<Param>& params) {
   params_.insert(params_.end(), params.begin(), params.end());
 }
 
+Status Optimizer::SaveState(io::Writer* writer) const {
+  writer->WriteString(Name());
+  return Status::OK();
+}
+
+Status Optimizer::LoadState(io::Reader* reader) {
+  std::string kind;
+  CAFE_RETURN_IF_ERROR(reader->ReadString(&kind));
+  if (kind != Name()) {
+    return Status::FailedPrecondition("checkpoint holds optimizer '" + kind +
+                                      "' but the target is '" + Name() + "'");
+  }
+  return Status::OK();
+}
+
 void Optimizer::ZeroGrad() {
   for (const Param& p : params_) {
     std::memset(p.grad, 0, p.size * sizeof(float));
@@ -39,6 +54,28 @@ void AdagradOptimizer::Step(float lr) {
   }
 }
 
+Status AdagradOptimizer::SaveState(io::Writer* writer) const {
+  CAFE_RETURN_IF_ERROR(Optimizer::SaveState(writer));
+  writer->WriteU64(accum_.size());
+  for (const std::vector<float>& acc : accum_) writer->WriteVec(acc);
+  return Status::OK();
+}
+
+Status AdagradOptimizer::LoadState(io::Reader* reader) {
+  CAFE_RETURN_IF_ERROR(Optimizer::LoadState(reader));
+  uint64_t blocks = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&blocks));
+  if (blocks != accum_.size()) {
+    return Status::FailedPrecondition(
+        "adagrad: checkpoint block count does not match this optimizer");
+  }
+  for (std::vector<float>& acc : accum_) {
+    CAFE_RETURN_IF_ERROR(
+        reader->ReadVecExpected(&acc, acc.size(), "adagrad accumulator"));
+  }
+  return Status::OK();
+}
+
 void AdamOptimizer::Register(const std::vector<Param>& params) {
   Optimizer::Register(params);
   for (const Param& p : params) {
@@ -64,6 +101,35 @@ void AdamOptimizer::Step(float lr) {
       p.value[i] -= lr * m_hat / (std::sqrt(v_hat) + epsilon_);
     }
   }
+}
+
+Status AdamOptimizer::SaveState(io::Writer* writer) const {
+  CAFE_RETURN_IF_ERROR(Optimizer::SaveState(writer));
+  writer->WriteI64(t_);
+  writer->WriteU64(m_.size());
+  for (size_t b = 0; b < m_.size(); ++b) {
+    writer->WriteVec(m_[b]);
+    writer->WriteVec(v_[b]);
+  }
+  return Status::OK();
+}
+
+Status AdamOptimizer::LoadState(io::Reader* reader) {
+  CAFE_RETURN_IF_ERROR(Optimizer::LoadState(reader));
+  CAFE_RETURN_IF_ERROR(reader->ReadI64(&t_));
+  uint64_t blocks = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&blocks));
+  if (blocks != m_.size()) {
+    return Status::FailedPrecondition(
+        "adam: checkpoint block count does not match this optimizer");
+  }
+  for (size_t b = 0; b < m_.size(); ++b) {
+    CAFE_RETURN_IF_ERROR(
+        reader->ReadVecExpected(&m_[b], m_[b].size(), "adam first moment"));
+    CAFE_RETURN_IF_ERROR(
+        reader->ReadVecExpected(&v_[b], v_[b].size(), "adam second moment"));
+  }
+  return Status::OK();
 }
 
 std::unique_ptr<Optimizer> MakeOptimizer(const std::string& name) {

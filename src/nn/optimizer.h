@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "io/serialize.h"
 #include "nn/layer.h"
 
 namespace cafe {
@@ -17,12 +18,29 @@ class Optimizer {
  public:
   virtual ~Optimizer() = default;
 
+  /// Kind tag ("sgd" | "adagrad" | "adam"), the name MakeOptimizer accepts;
+  /// Save/LoadState guard on it so checkpointed state cannot restore into a
+  /// different optimizer.
+  virtual std::string Name() const = 0;
+
   /// Registers parameter blocks. May be called multiple times (e.g. one
   /// call per model component); state is allocated per block.
   virtual void Register(const std::vector<Param>& params);
 
   /// Applies one update with learning rate `lr`, consuming `grad`.
   virtual void Step(float lr) = 0;
+
+  /// Serializes the ADAPTIVE state (per-coordinate accumulators, step
+  /// counters) such that LoadState on a freshly built optimizer with the
+  /// same registered blocks continues training bit-identically. Parameter
+  /// values are NOT included — the checkpoint's dense-weight blocks own
+  /// those. Base implementation writes just the kind guard (SGD is
+  /// stateless).
+  virtual Status SaveState(io::Writer* writer) const;
+
+  /// Restores state written by SaveState; FailedPrecondition on a kind or
+  /// shape mismatch (the optimizer is then partially restored — rebuild).
+  virtual Status LoadState(io::Reader* reader);
 
   void ZeroGrad();
 
@@ -34,6 +52,7 @@ class Optimizer {
 /// (paper §3.5.2 analyzes SGD).
 class SgdOptimizer : public Optimizer {
  public:
+  std::string Name() const override { return "sgd"; }
   void Step(float lr) override;
 };
 
@@ -43,8 +62,11 @@ class AdagradOptimizer : public Optimizer {
  public:
   explicit AdagradOptimizer(float epsilon = 1e-8f) : epsilon_(epsilon) {}
 
+  std::string Name() const override { return "adagrad"; }
   void Register(const std::vector<Param>& params) override;
   void Step(float lr) override;
+  Status SaveState(io::Writer* writer) const override;
+  Status LoadState(io::Reader* reader) override;
 
  private:
   float epsilon_;
@@ -59,8 +81,11 @@ class AdamOptimizer : public Optimizer {
                 float epsilon = 1e-8f)
       : beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
 
+  std::string Name() const override { return "adam"; }
   void Register(const std::vector<Param>& params) override;
   void Step(float lr) override;
+  Status SaveState(io::Writer* writer) const override;
+  Status LoadState(io::Reader* reader) override;
 
  private:
   float beta1_;

@@ -7,12 +7,34 @@
 #include "common/logging.h"
 
 namespace cafe {
+namespace {
+
+/// Overwrites `model`'s dense parameter blocks with the snapshot's captured
+/// weights. A snapshot cut without a model carries no blocks and leaves the
+/// replica's weights alone (store-only rollout).
+void LoadSnapshotDenseParams(RecModel* model, const ServingSnapshot& snap) {
+  if (snap.dense_params.empty()) return;
+  std::vector<Param> params;
+  model->CollectDenseParams(&params);
+  CAFE_CHECK(params.size() == snap.dense_params.size())
+      << "snapshot dense-parameter block count does not match the replica";
+  for (size_t b = 0; b < params.size(); ++b) {
+    CAFE_CHECK(params[b].size == snap.dense_params[b].size())
+        << "snapshot dense-parameter block " << b
+        << " shape does not match the replica";
+    std::memcpy(params[b].value, snap.dense_params[b].data(),
+                params[b].size * sizeof(float));
+  }
+}
+
+}  // namespace
 
 InferenceServer::InferenceServer(const InferenceServerOptions& options)
     : options_(options) {}
 
 StatusOr<std::unique_ptr<InferenceServer>> InferenceServer::Start(
-    const InferenceServerOptions& options, const ModelFactory& factory) {
+    const InferenceServerOptions& options, const ModelFactory& factory,
+    SwappableStore* swap_store) {
   if (options.num_workers == 0) {
     return Status::InvalidArgument("inference server needs >= 1 worker");
   }
@@ -23,6 +45,7 @@ StatusOr<std::unique_ptr<InferenceServer>> InferenceServer::Start(
     return Status::InvalidArgument("inference server needs num_fields");
   }
   std::unique_ptr<InferenceServer> server(new InferenceServer(options));
+  server->swap_store_ = swap_store;
   server->models_.reserve(options.num_workers);
   for (size_t i = 0; i < options.num_workers; ++i) {
     auto model = factory(i);
@@ -32,6 +55,9 @@ StatusOr<std::unique_ptr<InferenceServer>> InferenceServer::Start(
     }
     server->models_.push_back(std::move(model).value());
   }
+  // Sentinel: every worker loads the pinned snapshot's dense weights on its
+  // first micro-batch (generations are 1-based).
+  server->worker_generations_.assign(options.num_workers, 0);
   server->workers_.reserve(options.num_workers);
   for (size_t i = 0; i < options.num_workers; ++i) {
     server->workers_.emplace_back(
@@ -53,7 +79,8 @@ void InferenceServer::Shutdown() {
   }
 }
 
-std::future<std::vector<float>> InferenceServer::Submit(const Batch& batch) {
+StatusOr<std::future<std::vector<float>>> InferenceServer::Submit(
+    const Batch& batch) {
   CAFE_CHECK(batch.num_fields == options_.num_fields)
       << "request field count does not match the serving config";
   CAFE_CHECK(batch.num_numerical == options_.num_numerical)
@@ -73,12 +100,36 @@ std::future<std::vector<float>> InferenceServer::Submit(const Batch& batch) {
 
   {
     std::lock_guard<std::mutex> lock(mu_);
-    CAFE_CHECK(!stop_) << "Submit on a stopped inference server";
+    if (stop_) {
+      return Status::FailedPrecondition(
+          "Submit on a stopped inference server");
+    }
+    // Admission control: fast-fail instead of queueing past the cap. An
+    // oversized request against an EMPTY queue is admitted — it can never
+    // fit under the cap and would otherwise starve forever.
+    if (options_.max_queue_samples > 0 && !queue_.empty() &&
+        queued_samples_ + pending.batch_size > options_.max_queue_samples) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "inference queue full (" + std::to_string(queued_samples_) + " of " +
+          std::to_string(options_.max_queue_samples) +
+          " samples queued): backpressure");
+    }
     queued_samples_ += pending.batch_size;
+    peak_queued_samples_ = std::max(peak_queued_samples_, queued_samples_);
     queue_.push_back(std::move(pending));
   }
   cv_.notify_one();
   return future;
+}
+
+uint64_t InferenceServer::InstallSnapshot(
+    std::shared_ptr<const ServingSnapshot> snapshot) {
+  CAFE_CHECK(swap_store_ != nullptr)
+      << "InstallSnapshot on a server started without a swap store";
+  const uint64_t generation = swap_store_->Install(std::move(snapshot));
+  snapshot_swaps_.fetch_add(1, std::memory_order_relaxed);
+  return generation;
 }
 
 void InferenceServer::WorkerLoop(size_t worker_index) {
@@ -116,11 +167,12 @@ void InferenceServer::WorkerLoop(size_t worker_index) {
     }
     // Wake a peer: there may be leftover requests past the claimed window.
     cv_.notify_one();
-    Execute(model, &claimed);
+    Execute(worker_index, model, &claimed);
   }
 }
 
-void InferenceServer::Execute(RecModel* model, std::vector<Pending>* claimed) {
+void InferenceServer::Execute(size_t worker_index, RecModel* model,
+                              std::vector<Pending>* claimed) {
   size_t total = 0;
   for (const Pending& p : *claimed) total += p.batch_size;
 
@@ -149,7 +201,20 @@ void InferenceServer::Execute(RecModel* model, std::vector<Pending>* claimed) {
   batch.labels = nullptr;  // prediction only
 
   std::vector<float> logits;
-  model->Predict(batch, &logits);
+  if (swap_store_ != nullptr) {
+    // Hot reload pick-up point: pin the current snapshot for the WHOLE
+    // micro-batch (no torn generations within a response), and refresh the
+    // replica's dense weights if the generation moved since this worker's
+    // last batch. Only this worker touches its replica and its slot.
+    SwappableStore::PinScope pin(swap_store_);
+    if (pin.generation() != worker_generations_[worker_index]) {
+      LoadSnapshotDenseParams(model, pin.snapshot());
+      worker_generations_[worker_index] = pin.generation();
+    }
+    model->Predict(batch, &logits);
+  } else {
+    model->Predict(batch, &logits);
+  }
   CAFE_CHECK(logits.size() == total) << "model returned a short logit vector";
 
   // Publish stats BEFORE completing any future: a client that returns from
@@ -177,6 +242,16 @@ InferenceServer::Stats InferenceServer::stats() const {
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.samples = samples_.load(std::memory_order_relaxed);
   stats.executed_batches = executed_batches_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.queue_depth = queued_samples_;
+    stats.peak_queue_depth = peak_queued_samples_;
+  }
+  if (swap_store_ != nullptr) {
+    stats.snapshot_generation = swap_store_->generation();
+    stats.snapshot_swaps = snapshot_swaps_.load(std::memory_order_relaxed);
+  }
   return stats;
 }
 

@@ -16,6 +16,7 @@
 #include "data/batch.h"
 #include "models/model.h"
 #include "serve/latency_recorder.h"
+#include "serve/swappable_store.h"
 
 namespace cafe {
 
@@ -30,43 +31,73 @@ struct InferenceServerOptions {
   /// larger than max_batch executes alone (never split).
   size_t max_batch = 256;
   uint64_t max_wait_us = 200;
+  /// Admission control: total queued samples the server will hold before
+  /// Submit fast-fails with ResourceExhausted (backpressure) instead of
+  /// letting latency grow without bound. 0 = unbounded (no admission
+  /// control). A single request larger than the cap is still admitted when
+  /// the queue is empty — it could never be served otherwise (requests are
+  /// never split).
+  size_t max_queue_samples = 0;
   /// Shape every request must match (one serving config per server).
   size_t num_fields = 0;
   uint32_t num_numerical = 0;
 };
 
 /// A concurrent micro-batching inference server over frozen recommendation
-/// models.
+/// models, with optional hot reload.
 ///
 /// Clients Submit() small prediction requests; workers coalesce them into
 /// large forward passes through the existing batched execution path
-/// (EmbeddingLayerGroup -> LookupBatch on a FrozenStore), which is where
+/// (EmbeddingLayerGroup -> LookupBatch on a frozen snapshot), which is where
 /// CAFE's in-batch dedup and prefetch win, then complete each request's
 /// future and record its end-to-end latency (enqueue -> logits ready).
+///
+/// Hot reload: when started over a SwappableStore, each worker picks up the
+/// CURRENT ServingSnapshot once per micro-batch (a pin — an atomic
+/// shared_ptr acquisition), loads the snapshot's dense weights into its
+/// replica if the generation changed, and executes the whole batch against
+/// that one generation. InstallSnapshot() therefore rolls a fresh snapshot
+/// out without draining workers or rejecting traffic, and no response can
+/// ever mix two generations.
 ///
 /// Determinism: every per-sample forward in this library is independent of
 /// the other samples in its tensor batch, so a request's logits are
 /// bit-identical however the batcher groups it — N-thread serving equals
-/// single-thread evaluation exactly (asserted by tests/serving_test.cc).
+/// single-thread evaluation exactly (asserted by tests/serving_test.cc),
+/// per generation (asserted by tests/hot_swap_test.cc).
 class InferenceServer {
  public:
   /// Builds the worker `index`'s model replica. Called num_workers times
   /// from Start (on the calling thread). Replicas must share the same
   /// weights (e.g. each restored from one checkpoint) for deterministic
-  /// serving.
+  /// serving — unless a swap store is used, in which case each snapshot's
+  /// dense weights overwrite the replica at first pick-up.
   using ModelFactory =
       std::function<StatusOr<std::unique_ptr<RecModel>>(size_t index)>;
 
+  /// `swap_store` (optional) enables hot reload; it must outlive the
+  /// server, and the factory's replicas must be built OVER it (their
+  /// lookups route through the store the server pins per micro-batch).
   static StatusOr<std::unique_ptr<InferenceServer>> Start(
-      const InferenceServerOptions& options, const ModelFactory& factory);
+      const InferenceServerOptions& options, const ModelFactory& factory,
+      SwappableStore* swap_store = nullptr);
 
   /// Drains outstanding requests, then joins the workers.
   ~InferenceServer();
 
   /// Enqueues `batch.batch_size` samples for prediction; the future yields
   /// one logit per sample. Inputs are copied, so the caller's batch memory
-  /// may be reused immediately. Must not be called after Shutdown.
-  std::future<std::vector<float>> Submit(const Batch& batch);
+  /// may be reused immediately.
+  /// Fast-fail Statuses (the request is NOT enqueued):
+  ///  - ResourceExhausted: admission control — the queue holds
+  ///    max_queue_samples already (shed load or retry later);
+  ///  - FailedPrecondition: the server is shut down.
+  StatusOr<std::future<std::vector<float>>> Submit(const Batch& batch);
+
+  /// Atomically rolls `snapshot` out to all workers (picked up per
+  /// micro-batch; see class comment). Returns the installed generation.
+  /// Requires a swap store. Any thread may call this.
+  uint64_t InstallSnapshot(std::shared_ptr<const ServingSnapshot> snapshot);
 
   /// Stops accepting work, completes everything already queued, joins the
   /// workers. Idempotent; the destructor calls it.
@@ -78,10 +109,21 @@ class InferenceServer {
     /// Executed forward passes; requests / executed_batches is the achieved
     /// coalescing factor.
     uint64_t executed_batches = 0;
+    /// Submissions fast-failed by admission control.
+    uint64_t rejected = 0;
+    /// Samples queued right now / the high-water mark (bounded by
+    /// max_queue_samples when admission control is on).
+    size_t queue_depth = 0;
+    size_t peak_queue_depth = 0;
+    /// Hot-reload generation counters (0 when no swap store is attached).
+    uint64_t snapshot_generation = 0;
+    uint64_t snapshot_swaps = 0;
   };
   Stats stats() const;
 
   const LatencyRecorder& latency() const { return latency_; }
+  /// Drops recorded latencies (benches measure phases on one server).
+  void ClearLatency() { latency_.Clear(); }
   const InferenceServerOptions& options() const { return options_; }
 
  private:
@@ -98,22 +140,30 @@ class InferenceServer {
   explicit InferenceServer(const InferenceServerOptions& options);
 
   void WorkerLoop(size_t worker_index);
-  void Execute(RecModel* model, std::vector<Pending>* claimed);
+  void Execute(size_t worker_index, RecModel* model,
+               std::vector<Pending>* claimed);
 
   InferenceServerOptions options_;
+  SwappableStore* swap_store_ = nullptr;  // not owned; null = no hot reload
   std::vector<std::unique_ptr<RecModel>> models_;
+  /// Snapshot generation each worker's replica last loaded dense weights
+  /// from (worker-indexed; only that worker touches its slot).
+  std::vector<uint64_t> worker_generations_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Pending> queue_;
   size_t queued_samples_ = 0;
+  size_t peak_queued_samples_ = 0;
   bool stop_ = false;
 
   LatencyRecorder latency_;
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> samples_{0};
   std::atomic<uint64_t> executed_batches_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> snapshot_swaps_{0};
 };
 
 }  // namespace cafe

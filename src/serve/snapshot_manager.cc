@@ -1,0 +1,166 @@
+#include "serve/snapshot_manager.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "io/serialize.h"
+
+namespace cafe {
+
+SnapshotManager::SnapshotManager(EmbeddingStore* live_store,
+                                 RecModel* live_model,
+                                 FreshStoreFactory factory,
+                                 const Options& options)
+    : live_store_(live_store),
+      live_model_(live_model),
+      factory_(std::move(factory)),
+      options_(options),
+      live_name_(live_store != nullptr ? live_store->Name() : "") {
+  CAFE_CHECK(live_store_ != nullptr) << "snapshot manager needs a live store";
+  CAFE_CHECK(factory_ != nullptr) << "snapshot manager needs a store factory";
+}
+
+SnapshotManager::SnapshotManager(EmbeddingStore* live_store,
+                                 RecModel* live_model,
+                                 FreshStoreFactory factory)
+    : SnapshotManager(live_store, live_model, std::move(factory), Options()) {}
+
+void SnapshotManager::CopyStateLocked(uint64_t step) {
+  WallTimer timer;
+  io::Writer writer;
+  pending_status_ = live_store_->SaveState(&writer);
+  pending_payload_ = writer.Release();
+  pending_dense_.clear();
+  if (pending_status_.ok() && live_model_ != nullptr) {
+    std::vector<Param> params;
+    live_model_->CollectDenseParams(&params);
+    pending_dense_.reserve(params.size());
+    for (const Param& p : params) {
+      pending_dense_.emplace_back(p.value, p.value + p.size);
+    }
+  }
+  pending_step_ = step;
+  last_cut_step_ = step;
+  copy_ready_ = true;
+  const double copy_us = timer.ElapsedMicros();
+  stats_.last_copy_us = copy_us;
+  if (copy_us > stats_.max_copy_us) stats_.max_copy_us = copy_us;
+}
+
+void SnapshotManager::AtStepBoundary(uint64_t step) {
+  // Fast path: one relaxed load per training step when nobody is cutting.
+  if (!cut_requested_.load(std::memory_order_acquire)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  last_step_ = step;
+  if (!cut_requested_.load(std::memory_order_relaxed) || copy_ready_) return;
+  if (options_.min_steps_between_cuts > 0 &&
+      step < last_cut_step_ + options_.min_steps_between_cuts) {
+    return;  // keep the request pending until the interval is met
+  }
+  CopyStateLocked(step);
+  cut_requested_.store(false, std::memory_order_release);
+  cv_.notify_all();
+}
+
+void SnapshotManager::BeginTraining() {
+  std::lock_guard<std::mutex> lock(mu_);
+  training_active_ = true;
+}
+
+void SnapshotManager::FinishTraining(uint64_t final_step) {
+  std::lock_guard<std::mutex> lock(mu_);
+  training_active_ = false;
+  last_step_ = final_step;
+  cv_.notify_all();
+}
+
+StatusOr<std::shared_ptr<const ServingSnapshot>> SnapshotManager::Cut() {
+  std::string payload;
+  std::vector<std::vector<float>> dense;
+  uint64_t step = 0;
+  uint64_t generation = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // One hand-off at a time: wait until no other cutter's request or
+    // unclaimed copy is in flight (the rebuild below runs unlocked, so a
+    // second cutter can already be copying while we rebuild).
+    cv_.wait(lock, [this] {
+      return !cut_requested_.load(std::memory_order_relaxed) && !copy_ready_;
+    });
+    if (training_active_) {
+      cut_requested_.store(true, std::memory_order_release);
+      cv_.wait(lock, [this] { return copy_ready_ || !training_active_; });
+      if (!copy_ready_) {
+        // The trainer finished before servicing us: the store is quiescent
+        // again, copy directly at its final step.
+        cut_requested_.store(false, std::memory_order_release);
+        CopyStateLocked(last_step_);
+      }
+    } else {
+      // No trainer pumping boundaries: the caller guarantees quiescence
+      // (initial snapshot before training, or tail snapshot after it).
+      CopyStateLocked(last_step_);
+    }
+    payload = std::move(pending_payload_);
+    pending_payload_.clear();
+    dense = std::move(pending_dense_);
+    pending_dense_.clear();
+    step = pending_step_;
+    copy_ready_ = false;
+    const Status copy_status = pending_status_;
+    cv_.notify_all();
+    if (!copy_status.ok()) return copy_status;
+    // Assign the generation at CLAIM time, under the lock: hand-offs are
+    // serialized and copies are monotone in step, so generation order
+    // always matches step order even when Cut() callers' unlocked rebuilds
+    // finish out of order — a higher generation can never carry an older
+    // state.
+    generation = ++next_generation_;
+  }
+
+  // Rebuild OFF the trainer's critical path: a factory-fresh store takes
+  // the copied state, then freezes.
+  WallTimer timer;
+  auto fresh = factory_();
+  if (!fresh.ok()) return fresh.status();
+  if (*fresh == nullptr) {
+    return Status::InvalidArgument("snapshot store factory returned null");
+  }
+  if ((*fresh)->Name() != live_name_) {
+    return Status::FailedPrecondition(
+        "snapshot store factory built '" + (*fresh)->Name() +
+        "' but the live store is '" + live_name_ + "'");
+  }
+  io::Reader reader(std::move(payload));
+  CAFE_RETURN_IF_ERROR((*fresh)->LoadState(&reader));
+  if (reader.remaining() != 0) {
+    return Status::Internal("snapshot state not fully consumed by LoadState");
+  }
+
+  auto snapshot = std::make_shared<ServingSnapshot>();
+  snapshot->store = FrozenStore::Adopt(std::move(fresh).value());
+  snapshot->dense_params = std::move(dense);
+  snapshot->train_step = step;
+  snapshot->generation = generation;
+
+  const double rebuild_us = timer.ElapsedMicros();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.cuts;
+    stats_.last_rebuild_us = rebuild_us;
+    if (rebuild_us > stats_.max_rebuild_us) {
+      stats_.max_rebuild_us = rebuild_us;
+    }
+  }
+  return std::shared_ptr<const ServingSnapshot>(std::move(snapshot));
+}
+
+SnapshotManager::Stats SnapshotManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cafe

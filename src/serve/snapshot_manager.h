@@ -1,0 +1,150 @@
+#ifndef CAFE_SERVE_SNAPSHOT_MANAGER_H_
+#define CAFE_SERVE_SNAPSHOT_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "embed/embedding_store.h"
+#include "models/model.h"
+#include "serve/swappable_store.h"
+
+namespace cafe {
+
+/// Cuts consistent ServingSnapshots from a store (and optionally a model)
+/// that is STILL TAKING gradient updates — the online half of the rollout
+/// subsystem. No full quiesce: the server never drains and the trainer
+/// never stops for a rebuild; it pauses only for the in-memory state copy.
+///
+/// The scheme is epoch-based double buffering, where an epoch is a training
+/// step boundary:
+///
+///   trainer thread                      rollout thread
+///   --------------                      --------------
+///   TrainStep(batch k)                  Cut(): request + wait
+///   AtStepBoundary(k):
+///     state -> WRITE buffer  ----+
+///   TrainStep(batch k+1)        +--->   claim buffer (now the READ buffer)
+///   TrainStep(batch k+2)                rebuild fresh store <- READ buffer
+///   AtStepBoundary(k+2):                FrozenStore::Adopt -> snapshot
+///     state -> fresh WRITE buffer       (next Cut may already be copying)
+///
+/// Between gradient steps the store is consistent (every mutation happens
+/// inside ApplyGradient*/Tick on the trainer thread), so the copy taken at
+/// a boundary is exactly the state a quiesced freeze at that step would
+/// capture — bit-identical, which tests/hot_swap_test.cc asserts. The copy
+/// is the mutable state exposed by SaveState (tables, sketches, thresholds,
+/// RNG — the complete continued-training state), so the expensive rebuild
+/// (LoadState into a factory-fresh store) runs on the rollout thread while
+/// training continues; ownership of the buffer moves between the two
+/// threads at the epoch boundary, never shared.
+///
+/// When no trainer is active (before BeginTraining / after FinishTraining)
+/// Cut() copies directly on the calling thread — the store is quiescent by
+/// contract then, which is how the initial and final generations are cut.
+class SnapshotManager {
+ public:
+  /// Builds a fresh, untrained store of the live store's exact
+  /// configuration (the checkpoint-restore contract: state is copied into
+  /// it via LoadState).
+  using FreshStoreFactory =
+      std::function<StatusOr<std::unique_ptr<EmbeddingStore>>()>;
+
+  struct Options {
+    /// Trainer steps that must elapse between serviced cuts; a pending
+    /// request simply waits at the boundary until the interval is met.
+    /// 0 services every request at the next boundary.
+    uint64_t min_steps_between_cuts = 0;
+  };
+
+  /// `live_store` (and `live_model`, when not null) must outlive the
+  /// manager; `live_model`'s dense parameters are captured into each
+  /// snapshot at the same boundary as the store state. Pass a null model
+  /// for store-only snapshots.
+  SnapshotManager(EmbeddingStore* live_store, RecModel* live_model,
+                  FreshStoreFactory factory, const Options& options);
+  SnapshotManager(EmbeddingStore* live_store, RecModel* live_model,
+                  FreshStoreFactory factory);
+
+  /// Trainer thread: call once between TrainStep k and k+1 (and never
+  /// concurrently with mutations). Near-free when no cut is pending (one
+  /// relaxed atomic load); services a pending request by copying the
+  /// store's state + the model's dense weights into the hand-off buffer.
+  void AtStepBoundary(uint64_t step);
+
+  /// Marks the trainer active: Cut() now blocks for a boundary copy
+  /// instead of copying directly.
+  void BeginTraining();
+
+  /// Trainer thread, after the last step: wakes any cutter still waiting
+  /// (it falls back to a direct copy — the store is quiescent again) and
+  /// returns Cut() to direct-copy mode. `final_step` labels those cuts.
+  void FinishTraining(uint64_t final_step);
+
+  /// Rollout thread: returns a consistent snapshot of the live state.
+  /// Active trainer: blocks until the next (interval-eligible) step
+  /// boundary copy, then rebuilds off the trainer thread. Idle trainer:
+  /// copies directly on this thread. Concurrent Cut() calls are safe and
+  /// serialize on the hand-off, not on the rebuild.
+  StatusOr<std::shared_ptr<const ServingSnapshot>> Cut();
+
+  /// True while a Cut() is waiting for a step boundary to copy at. Lets
+  /// tests (and cautious trainers) sequence deterministically against the
+  /// rollout thread; the training loop itself only needs AtStepBoundary.
+  bool cut_pending() const {
+    return cut_requested_.load(std::memory_order_acquire);
+  }
+
+  struct Stats {
+    uint64_t cuts = 0;
+    /// Trainer pause per cut (the state copy) — the cost training pays.
+    double last_copy_us = 0.0;
+    double max_copy_us = 0.0;
+    /// Off-trainer rebuild (LoadState + freeze) per cut.
+    double last_rebuild_us = 0.0;
+    double max_rebuild_us = 0.0;
+  };
+  Stats stats() const;
+
+ private:
+  /// Copies live state into the hand-off buffer. Caller holds mu_ and
+  /// guarantees the store is not being mutated (trainer thread at a
+  /// boundary, or no trainer active).
+  void CopyStateLocked(uint64_t step);
+
+  EmbeddingStore* live_store_;
+  RecModel* live_model_;
+  FreshStoreFactory factory_;
+  Options options_;
+  std::string live_name_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Fast-path flag the trainer polls; mu_ guards the slow path.
+  std::atomic<bool> cut_requested_{false};
+  bool copy_ready_ = false;
+  bool training_active_ = false;
+  uint64_t last_step_ = 0;
+  uint64_t last_cut_step_ = 0;
+  // Hand-off buffer (the write buffer until claimed by Cut(), which moves
+  // it out and leaves a fresh one behind — the double-buffer exchange).
+  std::string pending_payload_;
+  std::vector<std::vector<float>> pending_dense_;
+  uint64_t pending_step_ = 0;
+  Status pending_status_;
+  /// Guarded by mu_; assigned at claim time so generation order == step
+  /// order regardless of rebuild completion order.
+  uint64_t next_generation_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_SERVE_SNAPSHOT_MANAGER_H_

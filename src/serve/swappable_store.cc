@@ -1,0 +1,117 @@
+#include "serve/swappable_store.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace cafe {
+
+thread_local SwappableStore::PinEntry SwappableStore::tls_pin_{nullptr,
+                                                               nullptr};
+
+SwappableStore::SwappableStore(std::shared_ptr<const ServingSnapshot> initial) {
+  CAFE_CHECK(initial != nullptr && initial->store != nullptr)
+      << "swappable store needs an initial snapshot";
+  CAFE_CHECK(initial->generation >= 1)
+      << "serving snapshots are 1-based (0 means 'none')";
+  dim_ = initial->store->dim();
+  generation_.store(initial->generation, std::memory_order_release);
+  current_ = std::move(initial);
+}
+
+uint64_t SwappableStore::Install(
+    std::shared_ptr<const ServingSnapshot> snapshot) {
+  CAFE_CHECK(snapshot != nullptr && snapshot->store != nullptr)
+      << "cannot install a null snapshot";
+  CAFE_CHECK(snapshot->store->dim() == dim_)
+      << "snapshot dim " << snapshot->store->dim()
+      << " does not match the serving dim " << dim_;
+  const uint64_t generation = snapshot->generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(snapshot);
+    // Publish the generation after the pointer so generation() never runs
+    // ahead of what Acquire() can observe.
+    generation_.store(generation, std::memory_order_release);
+  }
+  return generation;
+}
+
+std::shared_ptr<const ServingSnapshot> SwappableStore::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+SwappableStore::PinScope::PinScope(const SwappableStore* store)
+    : store_(store), snapshot_(store->Acquire()), previous_(nullptr) {
+  PinEntry& entry = tls_pin_;
+  CAFE_CHECK(entry.owner == nullptr || entry.owner == store_)
+      << "nested pins across different swappable stores are not supported";
+  previous_ = entry.snapshot;
+  entry.owner = store_;
+  entry.snapshot = snapshot_.get();
+}
+
+SwappableStore::PinScope::~PinScope() {
+  PinEntry& entry = tls_pin_;
+  entry.snapshot = previous_;
+  if (previous_ == nullptr) entry.owner = nullptr;
+}
+
+const ServingSnapshot* SwappableStore::Resolve(
+    std::shared_ptr<const ServingSnapshot>* hold) const {
+  const PinEntry& entry = tls_pin_;
+  if (entry.owner == this && entry.snapshot != nullptr) return entry.snapshot;
+  *hold = Acquire();
+  return hold->get();
+}
+
+void SwappableStore::Lookup(uint64_t id, float* out) {
+  LookupConst(id, out);
+}
+
+void SwappableStore::LookupConst(uint64_t id, float* out) const {
+  std::shared_ptr<const ServingSnapshot> hold;
+  Resolve(&hold)->store->LookupConst(id, out);
+}
+
+void SwappableStore::LookupBatch(const uint64_t* ids, size_t n, float* out,
+                                 size_t out_stride) {
+  LookupBatchConst(ids, n, out, out_stride);
+}
+
+void SwappableStore::LookupBatchConst(const uint64_t* ids, size_t n,
+                                      float* out, size_t out_stride) const {
+  std::shared_ptr<const ServingSnapshot> hold;
+  Resolve(&hold)->store->LookupBatchConst(ids, n, out, out_stride);
+}
+
+void SwappableStore::ApplyGradient(uint64_t id, const float* grad, float lr) {
+  (void)id;
+  (void)grad;
+  (void)lr;
+  CAFE_CHECK(false) << "ApplyGradient on a swappable serving store ("
+                    << Name() << "): snapshots are read-only";
+}
+
+void SwappableStore::ApplyGradientBatch(const uint64_t* ids, size_t n,
+                                        const float* grads, float lr) {
+  (void)ids;
+  (void)n;
+  (void)grads;
+  (void)lr;
+  CAFE_CHECK(false) << "ApplyGradientBatch on a swappable serving store ("
+                    << Name() << "): snapshots are read-only";
+}
+
+size_t SwappableStore::MemoryBytes() const {
+  std::shared_ptr<const ServingSnapshot> hold;
+  return Resolve(&hold)->store->MemoryBytes();
+}
+
+std::string SwappableStore::Name() const {
+  std::shared_ptr<const ServingSnapshot> hold;
+  return Resolve(&hold)->store->Name() + "-hot";
+}
+
+}  // namespace cafe

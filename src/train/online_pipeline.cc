@@ -1,0 +1,205 @@
+#include "train/online_pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "serve/swappable_store.h"
+
+namespace cafe {
+
+StatusOr<OnlinePipelineResult> RunOnlinePipeline(
+    const std::string& store_name, const StoreFactoryContext& context,
+    const std::string& model_name, const ModelConfig& model_config,
+    const SyntheticCtrDataset& data, const OnlinePipelineOptions& options) {
+  if (options.batch_size == 0 || options.passes == 0) {
+    return Status::InvalidArgument(
+        "online pipeline needs batch_size >= 1 and passes >= 1");
+  }
+  if (options.request_size == 0 || options.num_clients == 0) {
+    return Status::InvalidArgument(
+        "online pipeline needs request_size >= 1 and num_clients >= 1");
+  }
+  const size_t test_begin = data.train_size();
+  if (data.num_samples() < test_begin + options.request_size) {
+    return Status::InvalidArgument(
+        "online pipeline needs a test day of at least request_size samples");
+  }
+
+  OnlinePipelineResult result;
+
+  // Live training stack.
+  auto live_store = MakeStore(store_name, context);
+  if (!live_store.ok()) return live_store.status();
+  auto live_model = MakeModel(model_name, model_config, live_store->get());
+  if (!live_model.ok()) return live_model.status();
+
+  SnapshotManager::Options manager_options;
+  manager_options.min_steps_between_cuts = options.snapshot_interval;
+  SnapshotManager manager(
+      live_store->get(), live_model->get(),
+      [&store_name, &context]() { return MakeStore(store_name, context); },
+      manager_options);
+
+  // Generation 1: the untrained-but-consistent state the server opens on
+  // (traffic starts flowing before the first gradient lands, as it would
+  // in a warm-started production rollout).
+  auto initial = manager.Cut();
+  if (!initial.ok()) return initial.status();
+  SwappableStore swap(std::move(initial).value());
+
+  InferenceServerOptions server_options = options.server;
+  server_options.num_fields = data.num_fields();
+  server_options.num_numerical = data.config().num_numerical;
+  auto server = InferenceServer::Start(
+      server_options,
+      [&model_name, &model_config, &swap](size_t)
+          -> StatusOr<std::unique_ptr<RecModel>> {
+        // Replicas are built over the swappable store; their dense weights
+        // are overwritten from the pinned snapshot on first pick-up, so no
+        // checkpoint restore is needed here.
+        return MakeModel(model_name, model_config, &swap);
+      },
+      &swap);
+  if (!server.ok()) return server.status();
+  InferenceServer* server_raw = server->get();
+
+  // Client traffic: closed-loop threads hammering test-day slices from
+  // before the first training step until after the final swap.
+  std::atomic<bool> stop_clients{false};
+  std::atomic<uint64_t> client_ok{0};
+  std::atomic<uint64_t> client_rejected{0};
+  const size_t test_span =
+      data.num_samples() - test_begin - options.request_size + 1;
+  WallTimer serve_timer;
+  std::vector<std::thread> clients;
+  clients.reserve(options.num_clients);
+  for (size_t c = 0; c < options.num_clients; ++c) {
+    clients.emplace_back([&, c]() {
+      Rng rng(options.client_seed ^ (0x9e37ULL * (c + 1)));
+      std::deque<std::future<std::vector<float>>> inflight;
+      uint64_t ok = 0, rejected = 0;
+      while (!stop_clients.load(std::memory_order_acquire)) {
+        const size_t start = test_begin + rng.Uniform(test_span);
+        auto submitted =
+            server_raw->Submit(data.GetBatch(start, options.request_size));
+        if (submitted.ok()) {
+          inflight.push_back(std::move(submitted).value());
+        } else {
+          ++rejected;
+        }
+        while (inflight.size() >= options.client_inflight) {
+          inflight.front().get();
+          inflight.pop_front();
+          ++ok;
+        }
+      }
+      while (!inflight.empty()) {
+        inflight.front().get();
+        inflight.pop_front();
+        ++ok;
+      }
+      client_ok.fetch_add(ok, std::memory_order_relaxed);
+      client_rejected.fetch_add(rejected, std::memory_order_relaxed);
+    });
+  }
+
+  // Rollout thread: cut + hot-swap for as long as training runs. The
+  // manager paces cuts to snapshot_interval trainer steps. Training is
+  // marked active BEFORE the rollout thread exists: its first Cut() must
+  // handshake with a step boundary, never direct-copy under a live trainer.
+  manager.BeginTraining();
+  std::atomic<bool> training_done{false};
+  std::atomic<uint64_t> last_installed_step{0};
+  uint64_t installs = 1;  // generation 1 is already serving
+  Status rollout_status;
+  std::thread rollout([&]() {
+    while (!training_done.load(std::memory_order_acquire)) {
+      auto snapshot = manager.Cut();
+      if (!snapshot.ok()) {
+        rollout_status = snapshot.status();
+        return;
+      }
+      last_installed_step.store((*snapshot)->train_step,
+                                std::memory_order_release);
+      server_raw->InstallSnapshot(std::move(snapshot).value());
+      ++installs;
+    }
+  });
+
+  // Train on this thread; the only rollout cost it pays is the state copy
+  // at the boundaries where a cut is pending.
+  WallTimer train_timer;
+  double loss_sum = 0.0;
+  size_t samples_seen = 0;
+  uint64_t step = 0;
+  const size_t train_end = data.train_size();
+  for (size_t pass = 0; pass < options.passes; ++pass) {
+    for (size_t start = 0; start < train_end; start += options.batch_size) {
+      const size_t size = std::min(options.batch_size, train_end - start);
+      const Batch batch = data.GetBatch(start, size);
+      loss_sum += (*live_model)->TrainStep(batch) * static_cast<double>(size);
+      samples_seen += size;
+      ++step;
+      manager.AtStepBoundary(step);
+    }
+  }
+  result.train_seconds = train_timer.ElapsedSeconds();
+  // Order matters: the done flag must be visible BEFORE FinishTraining
+  // wakes a cutter blocked inside Cut(), or the rollout loop keeps taking
+  // idle cuts of the same final state until this thread gets scheduled
+  // again (observed as dozens of duplicate generations under load).
+  training_done.store(true, std::memory_order_release);
+  manager.FinishTraining(step);
+  rollout.join();
+  if (!rollout_status.ok()) {
+    stop_clients.store(true, std::memory_order_release);
+    for (std::thread& client : clients) client.join();
+    return rollout_status;
+  }
+
+  // Tail rollout: make sure the FULLY trained state is what keeps serving
+  // (the in-flight cut may have landed a few steps short of the end).
+  std::shared_ptr<const ServingSnapshot> final_snapshot;
+  if (last_installed_step.load(std::memory_order_acquire) < step ||
+      installs == 1) {
+    auto snapshot = manager.Cut();  // trainer idle: direct quiesced copy
+    if (!snapshot.ok()) {
+      stop_clients.store(true, std::memory_order_release);
+      for (std::thread& client : clients) client.join();
+      return snapshot.status();
+    }
+    final_snapshot = std::move(snapshot).value();
+    server_raw->InstallSnapshot(final_snapshot);
+    ++installs;
+  } else {
+    final_snapshot = swap.Acquire();
+  }
+
+  stop_clients.store(true, std::memory_order_release);
+  for (std::thread& client : clients) client.join();
+  result.serve_seconds = serve_timer.ElapsedSeconds();
+  result.latency = server_raw->latency().Summary();
+  result.server_stats = server_raw->stats();
+  (*server)->Shutdown();
+
+  result.avg_train_loss =
+      samples_seen > 0 ? loss_sum / static_cast<double>(samples_seen) : 0.0;
+  result.train_steps = step;
+  result.snapshots_installed = installs;
+  result.requests_ok = client_ok.load(std::memory_order_relaxed);
+  result.requests_rejected = client_rejected.load(std::memory_order_relaxed);
+  result.snapshot_stats = manager.stats();
+  result.final_snapshot = std::move(final_snapshot);
+  return result;
+}
+
+}  // namespace cafe

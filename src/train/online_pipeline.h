@@ -1,0 +1,80 @@
+#ifndef CAFE_TRAIN_ONLINE_PIPELINE_H_
+#define CAFE_TRAIN_ONLINE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+
+#include "serve/inference_server.h"
+#include "serve/snapshot_manager.h"
+#include "train/model_factory.h"
+#include "train/store_factory.h"
+#include "train/trainer.h"
+
+namespace cafe {
+
+/// Knobs for the continuously-updating train-WHILE-serve loop.
+struct OnlinePipelineOptions {
+  /// Trainer: chronological passes over the training split.
+  size_t batch_size = 128;
+  size_t passes = 1;
+  /// Trainer steps between snapshot cuts (the rollout cadence).
+  uint64_t snapshot_interval = 50;
+  /// Serving shape (num_fields / num_numerical are filled from the dataset).
+  /// Set max_queue_samples here for admission control under overload.
+  InferenceServerOptions server;
+  /// Client traffic: `num_clients` closed-loop threads submit
+  /// `request_size`-sample slices of the test day for the whole run.
+  size_t num_clients = 2;
+  size_t request_size = 16;
+  /// Per-client cap on outstanding futures (closed loop).
+  size_t client_inflight = 8;
+  uint64_t client_seed = 20240607;
+};
+
+struct OnlinePipelineResult {
+  /// Online training metric (paper's average train loss over the run).
+  double avg_train_loss = 0.0;
+  uint64_t train_steps = 0;
+  double train_seconds = 0.0;
+  /// Generations installed into the server, INCLUDING the initial one the
+  /// server started on. The final generation always carries the fully
+  /// trained state.
+  uint64_t snapshots_installed = 0;
+  /// Client-side outcome counts: served responses vs fast-fail rejections
+  /// (admission control).
+  uint64_t requests_ok = 0;
+  uint64_t requests_rejected = 0;
+  double serve_seconds = 0.0;
+  LatencySummary latency;
+  InferenceServer::Stats server_stats;
+  SnapshotManager::Stats snapshot_stats;
+  /// The last snapshot installed (the fully trained state) — callers can
+  /// verify it against an offline freeze or keep serving from it.
+  std::shared_ptr<const ServingSnapshot> final_snapshot;
+};
+
+/// The continuously-updating service in miniature — the online counterpart
+/// of RunServingPipeline's train-then-serve:
+///
+///   1. build the live store + model and cut generation 1 (quiesced);
+///   2. start a hot-reload InferenceServer over a SwappableStore, with
+///      `num_clients` closed-loop clients immediately driving traffic;
+///   3. train on the MAIN thread while a rollout thread repeatedly cuts
+///      consistent snapshots (SnapshotManager's step-boundary copy; the
+///      trainer pauses only for the copy, the server never drains) and
+///      hot-swaps them into the server mid-traffic;
+///   4. after the last step, install one final snapshot of the fully
+///      trained state, then stop the clients and drain.
+///
+/// Every response the clients receive reflects exactly one snapshot
+/// generation (tests/hot_swap_test.cc asserts no tearing), and requests
+/// beyond the admission cap fast-fail with ResourceExhausted rather than
+/// stretching latency.
+StatusOr<OnlinePipelineResult> RunOnlinePipeline(
+    const std::string& store_name, const StoreFactoryContext& context,
+    const std::string& model_name, const ModelConfig& model_config,
+    const SyntheticCtrDataset& data, const OnlinePipelineOptions& options);
+
+}  // namespace cafe
+
+#endif  // CAFE_TRAIN_ONLINE_PIPELINE_H_

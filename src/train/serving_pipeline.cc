@@ -82,7 +82,11 @@ StatusOr<ServingPipelineResult> RunServingPipeline(
        start += options.request_size) {
     if (options.max_requests > 0 && submitted >= options.max_requests) break;
     const size_t size = std::min(options.request_size, test_end - start);
-    inflight.push_back((*server)->Submit(data.GetBatch(start, size)));
+    auto request = (*server)->Submit(data.GetBatch(start, size));
+    // No admission cap is configured here, so a rejection is a bug worth
+    // surfacing, not traffic to shed.
+    if (!request.ok()) return request.status();
+    inflight.push_back(std::move(request).value());
     ++submitted;
     if (inflight.size() >= max_inflight) {
       std::vector<float> logits = inflight.front().get();

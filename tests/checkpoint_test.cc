@@ -235,6 +235,213 @@ TEST(CheckpointModelTest, ModelWeightsRoundTripThroughPredictions) {
   }
 }
 
+// The PR-2 gap, closed: checkpoints now carry Adagrad/Adam accumulator
+// state, so train k steps -> checkpoint -> restore -> train k more must be
+// BIT-IDENTICAL to 2k uninterrupted steps — dense weights, optimizer state
+// and store state all resume exactly. Exercised for all three models over
+// an adaptive store (cafe) with both adaptive optimizers.
+TEST(CheckpointResumeParityTest, ResumedTrainingMatchesUninterrupted) {
+  constexpr size_t kHalfSteps = 8;
+  constexpr size_t kFields = 4;
+  const FieldLayout layout({2000, 1500, 1000, 500});
+
+  // Deterministic labeled batch stream shared by both arms.
+  auto fill_batch = [&](size_t step, std::vector<uint32_t>* cats,
+                        std::vector<float>* labels) {
+    Rng rng(0xbeefULL + step);
+    ZipfDistribution zipf(kFeatures, 1.2);
+    cats->resize(kBatch * kFields);
+    labels->resize(kBatch);
+    for (size_t b = 0; b < kBatch; ++b) {
+      for (size_t f = 0; f < kFields; ++f) {
+        const uint64_t local = zipf.SampleIndex(rng) % layout.cardinality(f);
+        (*cats)[b * kFields + f] =
+            static_cast<uint32_t>(layout.GlobalId(f, local));
+      }
+      (*labels)[b] = rng.Bernoulli(0.3) ? 1.0f : 0.0f;
+    }
+  };
+  auto train_steps = [&](RecModel* model, size_t begin, size_t end) {
+    std::vector<uint32_t> cats;
+    std::vector<float> labels;
+    for (size_t step = begin; step < end; ++step) {
+      fill_batch(step, &cats, &labels);
+      Batch batch;
+      batch.batch_size = kBatch;
+      batch.num_fields = kFields;
+      batch.categorical = cats.data();
+      batch.labels = labels.data();
+      model->TrainStep(batch);
+    }
+  };
+
+  for (const char* model_name : {"dlrm", "wdl", "dcn"}) {
+    for (const char* optimizer_name : {"adagrad", "adam"}) {
+      const std::string tag =
+          std::string(model_name) + "_" + optimizer_name;
+      ModelConfig config;
+      config.num_fields = kFields;
+      config.emb_dim = kDim;
+      config.num_numerical = 0;
+      config.dense_optimizer = optimizer_name;
+      config.seed = 9;
+
+      // Arm A: 2k uninterrupted steps.
+      auto store_a = MakeCheckpointStore("cafe", 20.0);
+      auto model_a = MakeModel(model_name, config, store_a.get());
+      ASSERT_TRUE(model_a.ok()) << tag << ": " << model_a.status().ToString();
+      train_steps(model_a->get(), 0, 2 * kHalfSteps);
+
+      // Arm B: k steps, checkpoint, restore into a FRESH stack, k more.
+      auto store_b = MakeCheckpointStore("cafe", 20.0);
+      auto model_b = MakeModel(model_name, config, store_b.get());
+      ASSERT_TRUE(model_b.ok());
+      train_steps(model_b->get(), 0, kHalfSteps);
+      const std::string path = CheckpointPath("resume_" + tag);
+      ASSERT_TRUE(
+          io::SaveCheckpoint(path, *store_b, model_b->get()).ok());
+      auto store_c = MakeCheckpointStore("cafe", 20.0);
+      auto model_c = MakeModel(model_name, config, store_c.get());
+      ASSERT_TRUE(model_c.ok());
+      const Status load =
+          io::LoadCheckpoint(path, store_c.get(), model_c->get());
+      ASSERT_TRUE(load.ok()) << tag << ": " << load.ToString();
+      train_steps(model_c->get(), kHalfSteps, 2 * kHalfSteps);
+
+      // Stores, dense weights and predictions must all be bit-identical.
+      ExpectStoresBitIdentical(store_a.get(), store_c.get(), tag);
+      std::vector<Param> params_a, params_c;
+      model_a->get()->CollectDenseParams(&params_a);
+      model_c->get()->CollectDenseParams(&params_c);
+      ASSERT_EQ(params_a.size(), params_c.size()) << tag;
+      for (size_t b = 0; b < params_a.size(); ++b) {
+        ASSERT_EQ(params_a[b].size, params_c[b].size) << tag;
+        EXPECT_EQ(std::memcmp(params_a[b].value, params_c[b].value,
+                              params_a[b].size * sizeof(float)),
+                  0)
+            << tag << ": dense block " << b
+            << " diverged after checkpoint resume (optimizer state leak)";
+      }
+      std::vector<uint32_t> cats;
+      std::vector<float> labels;
+      fill_batch(999, &cats, &labels);
+      Batch probe;
+      probe.batch_size = kBatch;
+      probe.num_fields = kFields;
+      probe.categorical = cats.data();
+      probe.labels = labels.data();
+      std::vector<float> logits_a, logits_c;
+      (*model_a)->Predict(probe, &logits_a);
+      (*model_c)->Predict(probe, &logits_c);
+      ASSERT_EQ(logits_a.size(), logits_c.size());
+      EXPECT_EQ(std::memcmp(logits_a.data(), logits_c.data(),
+                            logits_a.size() * sizeof(float)),
+                0)
+          << tag << ": predictions diverged after checkpoint resume";
+    }
+  }
+}
+
+// Optimizer state itself round-trips through its Save/LoadState hooks and
+// rejects kind mismatches.
+TEST(CheckpointResumeParityTest, OptimizerStateGuardsKindAndShape) {
+  std::vector<float> value(8, 0.5f), grad(8, 0.1f);
+  Param p{value.data(), grad.data(), value.size()};
+
+  auto adam = MakeOptimizer("adam");
+  adam->Register({p});
+  adam->Step(0.01f);
+  io::Writer writer;
+  ASSERT_TRUE(adam->SaveState(&writer).ok());
+
+  // Restoring adam state into adagrad must fail on the kind guard.
+  auto adagrad = MakeOptimizer("adagrad");
+  adagrad->Register({p});
+  io::Reader wrong_kind(writer.buffer());
+  EXPECT_EQ(adagrad->LoadState(&wrong_kind).code(),
+            StatusCode::kFailedPrecondition);
+
+  // A fresh adam with the same blocks restores and steps identically.
+  // (State t=1 pairs with the post-step-1 parameter values, so both
+  // continuations start from `value` as it is NOW.)
+  std::vector<float> value_b(value);
+  Param p_b{value_b.data(), grad.data(), value_b.size()};
+  auto adam_b = MakeOptimizer("adam");
+  adam_b->Register({p_b});
+  io::Reader reader(writer.buffer());
+  ASSERT_TRUE(adam_b->LoadState(&reader).ok());
+  // One more step on both must land on identical values (t and moments
+  // restored; values start from the same point).
+  std::vector<float> value_a(8);
+  std::memcpy(value_a.data(), value.data(), 8 * sizeof(float));
+  Param p_a{value_a.data(), grad.data(), value_a.size()};
+  auto adam_a = MakeOptimizer("adam");
+  adam_a->Register({p_a});
+  io::Reader reader_a(writer.buffer());
+  ASSERT_TRUE(adam_a->LoadState(&reader_a).ok());
+  adam_a->Step(0.01f);
+  adam_b->Step(0.01f);
+  EXPECT_EQ(std::memcmp(value_a.data(), value_b.data(), 8 * sizeof(float)),
+            0);
+}
+
+// Backward compatibility: a version-1 container (model section without the
+// trailing optimizer state) still loads — dense weights exact, optimizer
+// left fresh (the documented pre-v2 resume semantics).
+TEST(CheckpointCompatTest, ReadsVersion1ModelSectionWithoutOptimizerState) {
+  auto store = MakeCheckpointStore("hash", 20.0);
+  Train(store.get(), /*seed=*/21, 5);
+  ModelConfig config;
+  config.num_fields = 4;
+  config.emb_dim = kDim;
+  config.seed = 9;
+  auto model = MakeModel("dlrm", config, store.get());
+  ASSERT_TRUE(model.ok());
+
+  // Hand-build a v1 container: magic | u32 1 | flags | store section |
+  // model section WITHOUT the optimizer bool | fingerprint.
+  io::Writer writer;
+  writer.WriteBytes("CAFECKPT", 8);
+  writer.WriteU32(1);
+  writer.WriteU8(0x3);  // store + model
+  io::Writer store_section;
+  store_section.WriteString(store->Name());
+  ASSERT_TRUE(store->SaveState(&store_section).ok());
+  writer.WriteU64(store_section.size());
+  writer.WriteBytes(store_section.buffer().data(), store_section.size());
+  io::Writer model_section;
+  model_section.WriteString((*model)->Name());
+  std::vector<Param> params;
+  (*model)->CollectDenseParams(&params);
+  model_section.WriteU64(params.size());
+  for (const Param& p : params) {
+    model_section.WriteU64(p.size);
+    model_section.WriteBytes(p.value, p.size * sizeof(float));
+  }
+  writer.WriteU64(model_section.size());
+  writer.WriteBytes(model_section.buffer().data(), model_section.size());
+  writer.WriteU64(io::Fingerprint(writer.buffer().data(), writer.size()));
+  const std::string path = CheckpointPath("v1_compat");
+  ASSERT_TRUE(io::WriteFileAtomic(path, writer.buffer()).ok());
+
+  auto restored_store = MakeCheckpointStore("hash", 20.0);
+  auto restored_model = MakeModel("dlrm", config, restored_store.get());
+  ASSERT_TRUE(restored_model.ok());
+  const Status load =
+      io::LoadCheckpoint(path, restored_store.get(), restored_model->get());
+  ASSERT_TRUE(load.ok()) << load.ToString();
+  ExpectStoresBitIdentical(store.get(), restored_store.get(), "v1 compat");
+  std::vector<Param> restored_params;
+  (*restored_model)->CollectDenseParams(&restored_params);
+  ASSERT_EQ(params.size(), restored_params.size());
+  for (size_t b = 0; b < params.size(); ++b) {
+    EXPECT_EQ(std::memcmp(params[b].value, restored_params[b].value,
+                          params[b].size * sizeof(float)),
+              0)
+        << "v1 compat: dense block " << b << " diverged";
+  }
+}
+
 TEST(CheckpointRejectionTest, RejectsCorruptTruncatedAndMismatchedFiles) {
   auto store = MakeCheckpointStore("cafe", 20.0);
   Train(store.get(), /*seed=*/55, 10);

@@ -1,0 +1,703 @@
+// The online-rollout test battery: snapshot-while-training consistency
+// (a mid-training cut must be bit-identical to a quiesced freeze of the
+// same logical state), hot-swap serving (N workers serve while M snapshots
+// are cut and installed mid-traffic; every response must match exactly one
+// snapshot generation — never a torn mix), admission-control fast-fail
+// under a saturated queue, thread_local const-path dedup under concurrent
+// serving load, and the end-to-end RunOnlinePipeline. These tests are also
+// the ThreadSanitizer workload for the rollout subsystem.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/zipf.h"
+#include "data/synthetic.h"
+#include "serve/frozen_store.h"
+#include "serve/inference_server.h"
+#include "serve/snapshot_manager.h"
+#include "serve/swappable_store.h"
+#include "train/model_factory.h"
+#include "train/online_pipeline.h"
+#include "train/store_factory.h"
+
+namespace cafe {
+namespace {
+
+constexpr uint64_t kFeatures = 5000;
+constexpr uint32_t kDim = 8;
+constexpr size_t kBatch = 64;
+
+StoreFactoryContext MakeContext(double cr) {
+  StoreFactoryContext context;
+  context.embedding.total_features = kFeatures;
+  context.embedding.dim = kDim;
+  context.embedding.compression_ratio = cr;
+  context.embedding.seed = 42;
+  context.layout = FieldLayout({2000, 1500, 1000, 500});
+  context.cafe.decay_interval = 10;
+  context.ada.realloc_interval = 10;
+  for (uint64_t id = 0; id < 400; ++id) {
+    context.offline_hot_ids.push_back(id * 7 % kFeatures);
+  }
+  return context;
+}
+
+/// Deterministic training stream: batch k's ids and gradients depend only
+/// on (seed, k), so two stores replaying the same prefix see identical
+/// updates.
+struct GradStream {
+  explicit GradStream(uint64_t seed) : rng(seed), zipf(kFeatures, 1.2) {}
+
+  void Next(std::vector<uint64_t>* ids, std::vector<float>* grads) {
+    ids->resize(kBatch);
+    grads->resize(kBatch * kDim);
+    for (auto& id : *ids) id = zipf.SampleIndex(rng);
+    for (auto& g : *grads) g = rng.UniformFloat(-0.5f, 0.5f);
+  }
+
+  Rng rng;
+  ZipfDistribution zipf;
+};
+
+void ApplyStream(EmbeddingStore* store, uint64_t seed, size_t batches) {
+  GradStream stream(seed);
+  std::vector<uint64_t> ids;
+  std::vector<float> grads;
+  for (size_t k = 0; k < batches; ++k) {
+    stream.Next(&ids, &grads);
+    store->ApplyGradientBatch(ids.data(), kBatch, grads.data(), 0.05f);
+    store->Tick();
+  }
+}
+
+void ExpectStoresBitIdentical(const EmbeddingStore& a, const EmbeddingStore& b,
+                              const std::string& what) {
+  std::vector<float> row_a(kDim), row_b(kDim);
+  for (uint64_t id = 0; id < kFeatures; ++id) {
+    a.LookupConst(id, row_a.data());
+    b.LookupConst(id, row_b.data());
+    ASSERT_EQ(std::memcmp(row_a.data(), row_b.data(), kDim * sizeof(float)), 0)
+        << what << ": embedding of id " << id << " diverged";
+  }
+  EXPECT_EQ(a.MemoryBytes(), b.MemoryBytes()) << what;
+}
+
+struct StoreCase {
+  const char* name;
+  double cr;
+};
+
+const StoreCase kAllStores[] = {
+    {"full", 1.0},  {"hash", 20.0},    {"qr", 10.0},    {"ada", 2.0},
+    {"mde", 2.0},   {"offline", 20.0}, {"cafe", 20.0},  {"cafe-ml", 20.0},
+};
+
+class SnapshotCutTest : public ::testing::TestWithParam<StoreCase> {};
+
+// The tentpole consistency guarantee: a snapshot cut WHILE a trainer thread
+// is applying gradients must equal, bit for bit, a quiesced freeze of a
+// second store trained on exactly the captured-step prefix of the same
+// stream. Also covers the tail cut after FinishTraining.
+TEST_P(SnapshotCutTest, MidTrainingCutMatchesQuiescedFreeze) {
+  const std::string name = GetParam().name;
+  const StoreFactoryContext context = MakeContext(GetParam().cr);
+  auto live = MakeStore(name, context);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+
+  constexpr size_t kSteps = 200;
+  SnapshotManager::Options manager_options;
+  manager_options.min_steps_between_cuts = 37;  // bias the cut mid-stream
+  SnapshotManager manager(
+      live->get(), /*live_model=*/nullptr,
+      [&name, &context]() { return MakeStore(name, context); },
+      manager_options);
+
+  manager.BeginTraining();
+  std::thread trainer([&]() {
+    GradStream stream(/*seed=*/321);
+    std::vector<uint64_t> ids;
+    std::vector<float> grads;
+    for (size_t k = 1; k <= kSteps; ++k) {
+      // Hold the first step until the cutter's request is registered, so
+      // the cut deterministically lands MID-stream (at the interval floor,
+      // step 37) rather than racing the end of the pass.
+      while (k == 1 && !manager.cut_pending()) {
+        std::this_thread::yield();
+      }
+      stream.Next(&ids, &grads);
+      (*live)->ApplyGradientBatch(ids.data(), kBatch, grads.data(), 0.05f);
+      (*live)->Tick();
+      manager.AtStepBoundary(k);
+    }
+    manager.FinishTraining(kSteps);
+  });
+
+  auto snapshot = manager.Cut();
+  ASSERT_TRUE(snapshot.ok()) << name << ": " << snapshot.status().ToString();
+  trainer.join();
+
+  const uint64_t s = (*snapshot)->train_step;
+  EXPECT_EQ(s, manager_options.min_steps_between_cuts) << name;
+  EXPECT_EQ((*snapshot)->generation, 1u);
+  EXPECT_TRUE((*snapshot)->dense_params.empty());
+
+  // Quiesced reference: a fresh store trained on the first s batches of the
+  // SAME stream, frozen the PR-2 way.
+  auto reference = MakeStore(name, context);
+  ASSERT_TRUE(reference.ok());
+  ApplyStream(reference->get(), /*seed=*/321, s);
+  auto reference_frozen = FrozenStore::Wrap(reference->get());
+  ExpectStoresBitIdentical(*(*snapshot)->store, *reference_frozen,
+                           name + " (cut at step " + std::to_string(s) + ")");
+
+  // Tail cut: the trainer is idle again, so Cut() copies directly and must
+  // capture the full 200-step state.
+  auto tail = manager.Cut();
+  ASSERT_TRUE(tail.ok()) << tail.status().ToString();
+  EXPECT_EQ((*tail)->train_step, kSteps);
+  EXPECT_EQ((*tail)->generation, 2u);
+  auto live_frozen = FrozenStore::Wrap(live->get());
+  ExpectStoresBitIdentical(*(*tail)->store, *live_frozen,
+                           name + " (tail cut)");
+
+  const SnapshotManager::Stats stats = manager.stats();
+  EXPECT_EQ(stats.cuts, 2u);
+  EXPECT_GT(stats.max_copy_us, 0.0);
+  EXPECT_GT(stats.max_rebuild_us, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStores, SnapshotCutTest,
+                         ::testing::ValuesIn(kAllStores),
+                         [](const ::testing::TestParamInfo<StoreCase>& info) {
+                           std::string name = info.param.name;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+std::unique_ptr<SyntheticCtrDataset> MakeRolloutDataset() {
+  SyntheticDatasetConfig config;
+  config.name = "hot-swap-test";
+  config.field_cardinalities = {2000, 1500, 1000, 500};
+  config.num_numerical = 2;
+  config.num_samples = 6000;
+  config.num_days = 3;
+  config.seed = 77;
+  auto data = SyntheticCtrDataset::Generate(config);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+ModelConfig MakeRolloutModelConfig(const SyntheticCtrDataset& data) {
+  ModelConfig config;
+  config.num_fields = data.num_fields();
+  config.emb_dim = kDim;
+  config.num_numerical = data.config().num_numerical;
+  config.seed = 1234;
+  return config;
+}
+
+void ExpectDenseParamsMatchSnapshot(RecModel* model,
+                                    const ServingSnapshot& snapshot,
+                                    const std::string& what) {
+  std::vector<Param> params;
+  model->CollectDenseParams(&params);
+  ASSERT_EQ(params.size(), snapshot.dense_params.size()) << what;
+  for (size_t b = 0; b < params.size(); ++b) {
+    ASSERT_EQ(params[b].size, snapshot.dense_params[b].size()) << what;
+    EXPECT_EQ(std::memcmp(params[b].value, snapshot.dense_params[b].data(),
+                          params[b].size * sizeof(float)),
+              0)
+        << what << ": dense block " << b << " diverged";
+  }
+}
+
+// With a live MODEL attached, the cut captures the dense weights at the
+// same step boundary as the store state: both must equal a quiesced
+// reference trained on the same step prefix.
+TEST(SnapshotCutTest, DenseWeightsCutAtTheSameBoundaryAsTheStore) {
+  auto data = MakeRolloutDataset();
+  StoreFactoryContext context = MakeContext(20.0);
+  context.embedding.total_features = data->layout().total_features();
+  context.layout = data->layout();
+  const ModelConfig model_config = MakeRolloutModelConfig(*data);
+
+  auto live_store = MakeStore("cafe", context);
+  ASSERT_TRUE(live_store.ok());
+  auto live_model = MakeModel("dlrm", model_config, live_store->get());
+  ASSERT_TRUE(live_model.ok());
+
+  constexpr size_t kSteps = 40;
+  constexpr size_t kTrainBatch = 128;
+  SnapshotManager::Options manager_options;
+  manager_options.min_steps_between_cuts = 11;
+  SnapshotManager manager(
+      live_store->get(), live_model->get(),
+      [&context]() { return MakeStore("cafe", context); }, manager_options);
+
+  manager.BeginTraining();
+  std::thread trainer([&]() {
+    for (size_t k = 1; k <= kSteps; ++k) {
+      while (k == 1 && !manager.cut_pending()) {
+        std::this_thread::yield();
+      }
+      (*live_model)->TrainStep(data->GetBatch((k - 1) * kTrainBatch % 4000,
+                                              kTrainBatch));
+      manager.AtStepBoundary(k);
+    }
+    manager.FinishTraining(kSteps);
+  });
+  auto snapshot = manager.Cut();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  trainer.join();
+
+  const uint64_t s = (*snapshot)->train_step;
+  EXPECT_EQ(s, manager_options.min_steps_between_cuts);
+  ASSERT_FALSE((*snapshot)->dense_params.empty());
+
+  // Quiesced reference: identical seeds, identical batch prefix.
+  auto ref_store = MakeStore("cafe", context);
+  ASSERT_TRUE(ref_store.ok());
+  auto ref_model = MakeModel("dlrm", model_config, ref_store->get());
+  ASSERT_TRUE(ref_model.ok());
+  for (size_t k = 1; k <= s; ++k) {
+    (*ref_model)->TrainStep(data->GetBatch((k - 1) * kTrainBatch % 4000,
+                                           kTrainBatch));
+  }
+  auto ref_frozen = FrozenStore::Wrap(ref_store->get());
+  ExpectStoresBitIdentical(*(*snapshot)->store, *ref_frozen,
+                           "cafe + dlrm cut at step " + std::to_string(s));
+  ExpectDenseParamsMatchSnapshot(ref_model->get(), **snapshot,
+                                 "cut at step " + std::to_string(s));
+}
+
+// The headline rollout guarantee: 4 workers serve a fixed probe while a
+// trainer keeps learning and a rollout thread cuts + hot-swaps 5 fresh
+// generations mid-traffic. Every single response must be bit-identical to
+// the offline prediction of exactly ONE generation — a torn read (store
+// from one generation, dense weights from another, or a mid-batch flip)
+// would match none.
+TEST(HotSwapServingTest, EveryResponseMatchesExactlyOneGeneration) {
+  auto data = MakeRolloutDataset();
+  StoreFactoryContext context = MakeContext(1.0);
+  context.embedding.total_features = data->layout().total_features();
+  context.layout = data->layout();
+  const ModelConfig model_config = MakeRolloutModelConfig(*data);
+
+  auto live_store = MakeStore("full", context);
+  ASSERT_TRUE(live_store.ok());
+  auto live_model = MakeModel("wdl", model_config, live_store->get());
+  ASSERT_TRUE(live_model.ok());
+
+  SnapshotManager::Options manager_options;
+  manager_options.min_steps_between_cuts = 5;
+  SnapshotManager manager(
+      live_store->get(), live_model->get(),
+      [&context]() { return MakeStore("full", context); }, manager_options);
+
+  std::vector<std::shared_ptr<const ServingSnapshot>> generations;
+  auto initial = manager.Cut();
+  ASSERT_TRUE(initial.ok()) << initial.status().ToString();
+  generations.push_back(*initial);
+  SwappableStore swap(*initial);
+
+  InferenceServerOptions options;
+  options.num_workers = 4;
+  options.max_batch = 48;
+  options.max_wait_us = 100;
+  options.num_fields = data->num_fields();
+  options.num_numerical = data->config().num_numerical;
+  auto server = InferenceServer::Start(
+      options,
+      [&](size_t) -> StatusOr<std::unique_ptr<RecModel>> {
+        return MakeModel("wdl", model_config, &swap);
+      },
+      &swap);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  // Fixed probe: every request predicts the same 16 test-day samples, so a
+  // response is fully determined by the generation that served it.
+  const size_t test_begin = data->train_size();
+  const Batch probe = data->GetBatch(test_begin, 16);
+
+  constexpr size_t kSwaps = 5;
+  constexpr size_t kClients = 3;
+  constexpr size_t kTrainBatch = 128;
+  std::atomic<bool> stop_training{false};
+  std::atomic<bool> stop_clients{false};
+
+  // Active BEFORE the rollout thread exists: its cuts must handshake with
+  // step boundaries, never direct-copy under the live trainer.
+  manager.BeginTraining();
+  std::thread trainer([&]() {
+    uint64_t step = 0;
+    while (!stop_training.load(std::memory_order_acquire)) {
+      (*live_model)->TrainStep(
+          data->GetBatch((step * kTrainBatch) % 4000, kTrainBatch));
+      ++step;
+      manager.AtStepBoundary(step);
+    }
+    manager.FinishTraining(step);
+  });
+
+  std::string rollout_error;
+  std::thread rollout([&]() {
+    for (size_t m = 0; m < kSwaps; ++m) {
+      auto snapshot = manager.Cut();
+      if (!snapshot.ok()) {
+        rollout_error = snapshot.status().ToString();
+        break;
+      }
+      generations.push_back(*snapshot);
+      (*server)->InstallSnapshot(*snapshot);
+    }
+    stop_training.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::vector<std::vector<float>>> responses(kClients);
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      std::vector<std::future<std::vector<float>>> inflight;
+      while (!stop_clients.load(std::memory_order_acquire)) {
+        auto submitted = (*server)->Submit(probe);
+        if (!submitted.ok()) {
+          errors[c] = submitted.status().ToString();
+          return;
+        }
+        inflight.push_back(std::move(submitted).value());
+        if (inflight.size() >= 8) {
+          for (auto& f : inflight) responses[c].push_back(f.get());
+          inflight.clear();
+        }
+      }
+      for (auto& f : inflight) responses[c].push_back(f.get());
+    });
+  }
+
+  rollout.join();
+  trainer.join();
+  stop_clients.store(true, std::memory_order_release);
+  for (auto& client : clients) client.join();
+  ASSERT_EQ(rollout_error, "");
+  for (const std::string& error : errors) ASSERT_EQ(error, "");
+
+  // Offline reference per generation: a fresh replica over the snapshot's
+  // frozen store with the snapshot's dense weights.
+  ASSERT_EQ(generations.size(), kSwaps + 1);
+  std::vector<std::vector<float>> reference(generations.size());
+  for (size_t g = 0; g < generations.size(); ++g) {
+    auto replica =
+        MakeModel("wdl", model_config, generations[g]->store.get());
+    ASSERT_TRUE(replica.ok());
+    std::vector<Param> params;
+    (*replica)->CollectDenseParams(&params);
+    ASSERT_EQ(params.size(), generations[g]->dense_params.size());
+    for (size_t b = 0; b < params.size(); ++b) {
+      ASSERT_EQ(params[b].size, generations[g]->dense_params[b].size());
+      std::memcpy(params[b].value, generations[g]->dense_params[b].data(),
+                  params[b].size * sizeof(float));
+    }
+    (*replica)->Predict(probe, &reference[g]);
+  }
+  // Generations must be distinguishable, or "exactly one" is vacuous.
+  for (size_t a = 0; a < reference.size(); ++a) {
+    for (size_t b = a + 1; b < reference.size(); ++b) {
+      ASSERT_NE(std::memcmp(reference[a].data(), reference[b].data(),
+                            reference[a].size() * sizeof(float)),
+                0)
+          << "generations " << a + 1 << " and " << b + 1
+          << " are indistinguishable; the tear check would be vacuous";
+    }
+  }
+
+  size_t total_responses = 0;
+  for (size_t c = 0; c < kClients; ++c) {
+    for (size_t r = 0; r < responses[c].size(); ++r) {
+      const std::vector<float>& got = responses[c][r];
+      ASSERT_EQ(got.size(), reference[0].size());
+      size_t matches = 0;
+      for (const std::vector<float>& ref : reference) {
+        if (std::memcmp(got.data(), ref.data(),
+                        got.size() * sizeof(float)) == 0) {
+          ++matches;
+        }
+      }
+      ASSERT_EQ(matches, 1u)
+          << "client " << c << " response " << r
+          << (matches == 0 ? " matches NO generation (torn read)"
+                           : " matches multiple generations");
+      ++total_responses;
+    }
+  }
+  EXPECT_GT(total_responses, 0u);
+
+  const InferenceServer::Stats stats = (*server)->stats();
+  EXPECT_EQ(stats.snapshot_swaps, kSwaps);
+  EXPECT_EQ(stats.snapshot_generation, generations.back()->generation);
+  EXPECT_EQ(stats.rejected, 0u);
+  (*server)->Shutdown();
+}
+
+/// A model whose Predict blocks until released — makes queue saturation
+/// deterministic (no timing assumptions) for the backpressure test.
+class GateModel : public RecModel {
+ public:
+  double TrainStep(const Batch& batch) override {
+    (void)batch;
+    return 0.0;
+  }
+  void Predict(const Batch& batch, std::vector<float>* logits) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++entered_;
+      cv_.notify_all();
+      cv_.wait(lock, [this] { return open_; });
+    }
+    logits->assign(batch.batch_size, 0.0f);
+  }
+  std::string Name() const override { return "gate"; }
+  EmbeddingStore* store() override { return nullptr; }
+  size_t DenseParameters() const override { return 0; }
+  void CollectDenseParams(std::vector<Param>* out) override { (void)out; }
+
+  void WaitForEntry() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return entered_ > 0; });
+  }
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int entered_ = 0;
+  bool open_ = false;
+};
+
+// Admission control: once max_queue_samples are queued, Submit fast-fails
+// with ResourceExhausted instead of growing the queue; queue depth stays
+// bounded; admitted work still completes; an oversized request against an
+// empty queue is admitted (requests are never split).
+TEST(AdmissionControlTest, BackpressureFastFailsWhenTheQueueSaturates) {
+  auto data = MakeRolloutDataset();
+
+  GateModel* gate = nullptr;
+  InferenceServerOptions options;
+  options.num_workers = 1;
+  options.max_batch = 4;  // the blocked worker claims exactly one request
+  options.max_wait_us = 100;
+  options.max_queue_samples = 32;
+  options.num_fields = data->num_fields();
+  options.num_numerical = data->config().num_numerical;
+  auto server = InferenceServer::Start(
+      options, [&gate](size_t) -> StatusOr<std::unique_ptr<RecModel>> {
+        auto model = std::make_unique<GateModel>();
+        gate = model.get();
+        return StatusOr<std::unique_ptr<RecModel>>(std::move(model));
+      });
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  ASSERT_NE(gate, nullptr);
+
+  // First request: claimed by the worker, which then blocks inside Predict.
+  auto first = (*server)->Submit(data->GetBatch(0, 4));
+  ASSERT_TRUE(first.ok());
+  gate->WaitForEntry();
+
+  // Fill the queue to exactly the cap while the worker is stuck.
+  std::vector<std::future<std::vector<float>>> admitted;
+  for (int r = 0; r < 8; ++r) {
+    auto submitted = (*server)->Submit(data->GetBatch(4 + r * 4, 4));
+    ASSERT_TRUE(submitted.ok()) << "request " << r << " should fit the cap: "
+                                << submitted.status().ToString();
+    admitted.push_back(std::move(submitted).value());
+  }
+  EXPECT_EQ((*server)->stats().queue_depth, 32u);
+
+  // Saturated: every further submission fast-fails, depth stays bounded.
+  for (int r = 0; r < 5; ++r) {
+    auto rejected = (*server)->Submit(data->GetBatch(100, 4));
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted)
+        << rejected.status().ToString();
+  }
+  {
+    const InferenceServer::Stats stats = (*server)->stats();
+    EXPECT_EQ(stats.rejected, 5u);
+    EXPECT_EQ(stats.queue_depth, 32u);
+    EXPECT_LE(stats.peak_queue_depth, options.max_queue_samples);
+  }
+
+  // Release the worker: every ADMITTED request completes.
+  gate->Open();
+  EXPECT_EQ(std::move(first).value().get().size(), 4u);
+  for (auto& future : admitted) {
+    EXPECT_EQ(future.get().size(), 4u);
+  }
+  {
+    const InferenceServer::Stats stats = (*server)->stats();
+    EXPECT_EQ(stats.requests, 9u);
+    EXPECT_EQ(stats.samples, 36u);
+    EXPECT_EQ(stats.queue_depth, 0u);
+  }
+
+  // Never-split rule: a request larger than the whole cap is admitted when
+  // the queue is empty (it could otherwise never be served).
+  auto oversized = (*server)->Submit(data->GetBatch(0, 40));
+  ASSERT_TRUE(oversized.ok());
+  EXPECT_EQ(std::move(oversized).value().get().size(), 40u);
+  (*server)->Shutdown();
+
+  // A stopped server fast-fails too (no more CHECK-crash on Submit).
+  auto after_stop = (*server)->Submit(data->GetBatch(0, 4));
+  ASSERT_FALSE(after_stop.ok());
+  EXPECT_EQ(after_stop.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// The thread_local serving-path dedup (CAFE/MDE) must stay byte-identical
+// to scalar const lookups under concurrent multi-threaded load — this is
+// the TSan probe for the per-worker scratch.
+TEST(ConstDedupTest, ConcurrentDedupLookupsMatchScalarConstPath) {
+  for (const char* name : {"cafe", "cafe-ml", "mde"}) {
+    const double cr = std::strcmp(name, "mde") == 0 ? 2.0 : 20.0;
+    auto store = MakeStore(name, MakeContext(cr));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ApplyStream(store->get(), /*seed=*/99, 40);
+    const EmbeddingStore* frozen = store->get();
+
+    constexpr size_t kThreads = 8;
+    constexpr size_t kRounds = 10;
+    constexpr size_t kProbe = 256;  // duplicate-heavy zipf batches
+    std::vector<std::string> errors(kThreads);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t]() {
+        Rng rng(1000 + t);
+        ZipfDistribution zipf(kFeatures, 1.2);
+        std::vector<uint64_t> ids(kProbe);
+        std::vector<float> batched(kProbe * kDim);
+        std::vector<float> scalar(kProbe * kDim);
+        for (size_t round = 0; round < kRounds; ++round) {
+          for (auto& id : ids) id = zipf.SampleIndex(rng);
+          frozen->LookupBatchConst(ids.data(), kProbe, batched.data(), kDim);
+          for (size_t i = 0; i < kProbe; ++i) {
+            frozen->LookupConst(ids[i], scalar.data() + i * kDim);
+          }
+          if (std::memcmp(batched.data(), scalar.data(),
+                          batched.size() * sizeof(float)) != 0) {
+            errors[t] = "thread " + std::to_string(t) + " round " +
+                        std::to_string(round) + ": dedup'd const batch "
+                        "diverged from scalar lookups";
+            return;
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    for (const std::string& error : errors) {
+      EXPECT_EQ(error, "") << name;
+    }
+  }
+}
+
+// End to end: the online pipeline trains, hot-swaps generations under live
+// traffic, and its FINAL generation must be bit-identical to an
+// uninterrupted offline run of the same training stream.
+TEST(OnlinePipelineTest, FinalGenerationMatchesUninterruptedTraining) {
+  auto data = MakeRolloutDataset();
+  StoreFactoryContext context = MakeContext(20.0);
+  context.embedding.total_features = data->layout().total_features();
+  context.layout = data->layout();
+  const ModelConfig model_config = MakeRolloutModelConfig(*data);
+
+  OnlinePipelineOptions options;
+  options.batch_size = 128;
+  options.passes = 1;
+  options.snapshot_interval = 8;
+  options.server.num_workers = 2;
+  options.server.max_batch = 64;
+  options.server.max_wait_us = 100;
+  options.num_clients = 2;
+  options.request_size = 12;
+  auto result = RunOnlinePipeline("cafe", context, "dlrm", model_config,
+                                  *data, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const size_t train_end = data->train_size();
+  const uint64_t expected_steps = (train_end + 127) / 128;
+  EXPECT_EQ(result->train_steps, expected_steps);
+  EXPECT_GE(result->snapshots_installed, 2u);
+  EXPECT_GT(result->requests_ok, 0u);
+  EXPECT_EQ(result->requests_rejected, 0u);  // no admission cap configured
+  EXPECT_EQ(result->server_stats.snapshot_generation,
+            result->snapshots_installed);
+  EXPECT_EQ(result->server_stats.snapshot_swaps,
+            result->snapshots_installed - 1);
+  EXPECT_GT(result->avg_train_loss, 0.0);
+  EXPECT_GE(result->snapshot_stats.cuts, result->snapshots_installed);
+  ASSERT_NE(result->final_snapshot, nullptr);
+  EXPECT_EQ(result->final_snapshot->train_step, expected_steps);
+
+  // Uninterrupted reference: same seeds, same chronological batch stream,
+  // no serving, no snapshots.
+  auto ref_store = MakeStore("cafe", context);
+  ASSERT_TRUE(ref_store.ok());
+  auto ref_model = MakeModel("dlrm", model_config, ref_store->get());
+  ASSERT_TRUE(ref_model.ok());
+  for (size_t start = 0; start < train_end; start += 128) {
+    (*ref_model)->TrainStep(
+        data->GetBatch(start, std::min<size_t>(128, train_end - start)));
+  }
+  auto ref_frozen = FrozenStore::Wrap(ref_store->get());
+  ExpectStoresBitIdentical(*result->final_snapshot->store, *ref_frozen,
+                           "online pipeline final generation");
+  ExpectDenseParamsMatchSnapshot(ref_model->get(), *result->final_snapshot,
+                                 "online pipeline final dense weights");
+}
+
+// Under a tiny admission cap and heavy client flooding, the pipeline sheds
+// load (queue depth stays within the cap) instead of stretching latency.
+TEST(OnlinePipelineTest, AdmissionCapBoundsQueueDepthUnderOverload) {
+  auto data = MakeRolloutDataset();
+  StoreFactoryContext context = MakeContext(1.0);
+  context.embedding.total_features = data->layout().total_features();
+  context.layout = data->layout();
+  const ModelConfig model_config = MakeRolloutModelConfig(*data);
+
+  OnlinePipelineOptions options;
+  options.batch_size = 128;
+  options.passes = 2;  // enough steps for the clients to saturate the queue
+  options.snapshot_interval = 16;
+  options.server.num_workers = 1;
+  options.server.max_batch = 32;
+  options.server.max_wait_us = 2000;
+  options.server.max_queue_samples = 64;
+  options.num_clients = 4;
+  options.request_size = 16;
+  options.client_inflight = 32;
+  auto result = RunOnlinePipeline("full", context, "wdl", model_config,
+                                  *data, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->requests_ok, 0u);
+  EXPECT_LE(result->server_stats.peak_queue_depth,
+            options.server.max_queue_samples);
+  EXPECT_EQ(result->server_stats.queue_depth, 0u);  // drained at the end
+}
+
+}  // namespace
+}  // namespace cafe

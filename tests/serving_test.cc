@@ -207,8 +207,14 @@ TEST(InferenceServerTest, ConcurrentPredictionsMatchSingleThreadEvaluation) {
       for (size_t start = c * kRequestSize; start < test_size;
            start += kClients * kRequestSize) {
         const size_t size = std::min(kRequestSize, test_size - start);
-        inflight.emplace_back(
-            start, (*server)->Submit(data->GetBatch(test_begin + start, size)));
+        auto submitted =
+            (*server)->Submit(data->GetBatch(test_begin + start, size));
+        if (!submitted.ok()) {
+          errors[c] = "client " + std::to_string(c) +
+                      ": submit failed: " + submitted.status().ToString();
+          return;
+        }
+        inflight.emplace_back(start, std::move(submitted).value());
       }
       for (auto& [start, future] : inflight) {
         const std::vector<float> got = future.get();
@@ -266,7 +272,9 @@ TEST(InferenceServerTest, MicroBatcherCoalescesUpToMaxBatch) {
 
   std::vector<std::future<std::vector<float>>> futures;
   for (int r = 0; r < 10; ++r) {
-    futures.push_back((*server)->Submit(data->GetBatch(r * 4, 4)));
+    auto submitted = (*server)->Submit(data->GetBatch(r * 4, 4));
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(submitted).value());
   }
   for (auto& future : futures) {
     EXPECT_EQ(future.get().size(), 4u);
@@ -307,7 +315,9 @@ TEST(InferenceServerTest, ShutdownDrainsQueuedRequests) {
 
   std::vector<std::future<std::vector<float>>> futures;
   for (int r = 0; r < 6; ++r) {
-    futures.push_back((*server)->Submit(data->GetBatch(r * 5, 5)));
+    auto submitted = (*server)->Submit(data->GetBatch(r * 5, 5));
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(submitted).value());
   }
   (*server)->Shutdown();  // flushes the window immediately
   for (auto& future : futures) {
