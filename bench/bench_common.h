@@ -6,14 +6,22 @@
 // training, and table printing. Every figure binary prints the same rows /
 // series the paper reports so shapes can be compared side by side.
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/random.h"
+#include "common/zipf.h"
 #include "data/presets.h"
 #include "data/synthetic.h"
+#include "io/serialize.h"
 #include "train/model_factory.h"
 #include "train/store_factory.h"
 #include "train/trainer.h"
@@ -115,6 +123,277 @@ inline std::string Cell(bool feasible, double value) {
   char buffer[32];
   std::snprintf(buffer, sizeof(buffer), "%7.4f", value);
   return buffer;
+}
+
+// ---------------------------------------------------------------------------
+// Shared id-stream workloads for the store microbenches (bench_lookup_batch,
+// bench_backward): ONE definition of the Criteo-like field shape and the
+// global/layer streams, so the two binaries always measure the same
+// distributions and their BENCH_*.json files stay comparable across PRs.
+// ---------------------------------------------------------------------------
+
+/// Criteo-like categorical field cardinalities: a few huge fields, a long
+/// tail of small ones (Table 2 regime). Total ~20.6M features at divisor 1.
+inline constexpr uint64_t kMicroFieldCards[] = {
+    9980333, 5278081, 3172477, 1254577, 492877, 239747, 98506, 39979,
+    17139,   7420,    3206,    1381,    612,    253,    105,   48,
+    24,      14,      10,      7,       4,      4,      3,     3,
+    3,       2};
+inline constexpr size_t kNumMicroFields =
+    sizeof(kMicroFieldCards) / sizeof(kMicroFieldCards[0]);
+
+struct IdWorkload {
+  std::string name;
+  uint64_t total_features = 0;
+  FieldLayout layout;
+  /// num_batches batches of batch_size ids each, concatenated; in the
+  /// layer workload batch f holds only field f's ids.
+  std::vector<uint64_t> ids;
+};
+
+/// One Zipf stream over a single `total_features`-wide id space — the
+/// whole-table view of a CTR workload.
+inline IdWorkload MakeGlobalIdWorkload(uint64_t total_features,
+                                       size_t num_batches, size_t batch_size,
+                                       double zipf_z) {
+  IdWorkload w;
+  w.name = "global";
+  w.total_features = total_features;
+  w.layout = FieldLayout({total_features});
+  Rng rng(2024);
+  ZipfDistribution zipf(total_features, zipf_z);
+  w.ids.resize(num_batches * batch_size);
+  for (uint64_t& id : w.ids) id = zipf.SampleIndex(rng);
+  return w;
+}
+
+/// The per-field stream the refactored consumer stack actually produces:
+/// one batch per field, Zipf within each field, cardinalities scaled by
+/// `card_divisor` (1 = full Criteo-like scale; larger = smoke-sized).
+inline IdWorkload MakeLayerIdWorkload(uint64_t card_divisor,
+                                      size_t num_batches, size_t batch_size,
+                                      double zipf_z) {
+  CAFE_CHECK(num_batches <= kNumMicroFields);
+  IdWorkload w;
+  w.name = "layer";
+  std::vector<uint64_t> cards;
+  std::vector<uint64_t> offsets;
+  for (size_t f = 0; f < kNumMicroFields; ++f) {
+    const uint64_t scaled =
+        std::max<uint64_t>(2, kMicroFieldCards[f] / card_divisor);
+    offsets.push_back(w.total_features);
+    cards.push_back(scaled);
+    w.total_features += scaled;
+  }
+  w.layout = FieldLayout(cards);
+  Rng rng(4096);
+  w.ids.reserve(num_batches * batch_size);
+  for (size_t f = 0; f < num_batches; ++f) {
+    ZipfDistribution zipf(cards[f], zipf_z);
+    for (size_t i = 0; i < batch_size; ++i) {
+      w.ids.push_back(offsets[f] + zipf.SampleIndex(rng));
+    }
+  }
+  return w;
+}
+
+/// Store-factory context the microbenches share: maintenance on a 100-
+/// iteration cadence and an offline hot set of the top 5% of ids (capped).
+inline StoreFactoryContext MakeMicrobenchContext(const IdWorkload& w,
+                                                 uint32_t dim, double cr) {
+  StoreFactoryContext context;
+  context.embedding.total_features = w.total_features;
+  context.embedding.dim = dim;
+  context.embedding.compression_ratio = cr;
+  context.embedding.seed = 97;
+  context.layout = w.layout;
+  context.cafe.decay_interval = 100;
+  context.ada.realloc_interval = 100;
+  const uint64_t hot = std::min<uint64_t>(w.total_features / 20, 1'000'000);
+  for (uint64_t id = 0; id < hot; ++id) {
+    context.offline_hot_ids.push_back(id);
+  }
+  return context;
+}
+
+inline double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// Minimal JSON emitter for the machine-readable BENCH_<name>.json result
+/// files every microbench writes under --json: enough structure (nested
+/// objects/arrays, escaped strings, finite numbers) for a CI script or a
+/// cross-PR perf tracker to parse, with no dependency. Call order mirrors
+/// the document: Begin/EndObject, Begin/EndArray, Key before each member
+/// value. Comma placement is handled internally.
+class JsonWriter {
+ public:
+  void BeginObject() {
+    Comma();
+    out_ += '{';
+    fresh_ = true;
+  }
+  void EndObject() {
+    out_ += '}';
+    fresh_ = false;
+  }
+  void BeginArray() {
+    Comma();
+    out_ += '[';
+    fresh_ = true;
+  }
+  void EndArray() {
+    out_ += ']';
+    fresh_ = false;
+  }
+  void Key(const char* key) {
+    Comma();
+    AppendQuoted(key);
+    out_ += ':';
+    fresh_ = true;  // the upcoming value follows the colon, no comma
+  }
+  void String(const std::string& value) {
+    Comma();
+    AppendQuoted(value.c_str());
+  }
+  void Number(double value) {
+    Comma();
+    if (!std::isfinite(value)) {  // NaN/inf are not valid JSON
+      out_ += "null";
+      return;
+    }
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    out_ += buffer;
+  }
+  void Int(int64_t value) {
+    Comma();
+    out_ += std::to_string(value);
+  }
+  void Uint(uint64_t value) {
+    Comma();
+    out_ += std::to_string(value);
+  }
+  void Bool(bool value) {
+    Comma();
+    out_ += value ? "true" : "false";
+  }
+
+  /// Convenience for the dominant pattern: a scalar object member.
+  void Field(const char* key, const std::string& value) {
+    Key(key);
+    String(value);
+  }
+  void Field(const char* key, const char* value) {
+    Key(key);
+    String(value);
+  }
+  void Field(const char* key, double value) {
+    Key(key);
+    Number(value);
+  }
+  void Field(const char* key, uint64_t value) {
+    Key(key);
+    Uint(value);
+  }
+  void Field(const char* key, int value) {
+    Key(key);
+    Int(value);
+  }
+  void Field(const char* key, bool value) {
+    Key(key);
+    Bool(value);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Comma() {
+    if (!fresh_ && !out_.empty()) out_ += ',';
+    fresh_ = false;
+  }
+  void AppendQuoted(const char* s) {
+    out_ += '"';
+    for (; *s != '\0'; ++s) {
+      const char c = *s;
+      if (c == '"' || c == '\\') {
+        out_ += '\\';
+        out_ += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buffer[8];
+        std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+        out_ += buffer;
+      } else {
+        out_ += c;
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+/// Emits the shared "host" section (what the numbers were measured on) into
+/// an open object.
+inline void WriteHostInfo(JsonWriter* json) {
+  json->Key("host");
+  json->BeginObject();
+  json->Field("hardware_concurrency",
+              static_cast<uint64_t>(std::thread::hardware_concurrency()));
+#ifdef NDEBUG
+  json->Field("build", "release");
+#else
+  json->Field("build", "debug");
+#endif
+#if defined(__clang__)
+  json->Field("compiler", "clang " __clang_version__);
+#elif defined(__GNUC__)
+  json->Field("compiler", "gcc " __VERSION__);
+#else
+  json->Field("compiler", "unknown");
+#endif
+  json->EndObject();
+}
+
+/// Writes a finished JSON document to `path` (atomic rename, like the
+/// checkpoint files). Fatal on failure: a bench asked for --json must not
+/// silently produce nothing.
+inline void WriteJsonFile(const std::string& path, const JsonWriter& json) {
+  const Status status = io::WriteFileAtomic(path, json.str());
+  CAFE_CHECK(status.ok()) << "failed to write " << path << ": "
+                          << status.ToString();
+  std::printf("\nwrote %s (%zu bytes)\n", path.c_str(), json.str().size());
+}
+
+/// Shared flag parsing for the microbench binaries:
+///   [--smoke] [--json <path>]
+struct BenchArgs {
+  bool smoke = false;
+  std::string json_path;  // empty = no JSON output
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json needs a file path\n");
+        std::exit(2);
+      }
+      args.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s' (usage: %s [--smoke] [--json "
+                   "<path>])\n",
+                   argv[i], argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
 }
 
 }  // namespace bench

@@ -11,7 +11,14 @@
 //               reports admitted/rejected counts and the bounded queue
 //               depth (fast-fail engages instead of unbounded latency).
 //
-// Usage: bench_hot_swap [--smoke]   (--smoke: CI-sized volumes)
+// The rollout phase cuts snapshots INCREMENTALLY (SnapshotManager's
+// delta mode): the first cut copies the full base and turns dirty-row
+// tracking on; every later trainer pause serializes only the rows dirtied
+// since the previous cut.
+//
+// Usage: bench_hot_swap [--smoke] [--json <path>]
+//   --smoke  CI-sized volumes
+//   --json   write BENCH_hot_swap.json-style machine-readable results
 
 #include <atomic>
 #include <cstring>
@@ -104,7 +111,8 @@ void PrintPhase(const char* phase, const PhaseResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  const bool smoke = args.smoke;
   bench::PrintTitle(
       "Hot-swap rollout — swap latency, serving QPS during rollout, "
       "backpressure");
@@ -131,6 +139,7 @@ int main(int argc, char** argv) {
 
   SnapshotManager::Options manager_options;
   manager_options.min_steps_between_cuts = smoke ? 10 : 25;
+  manager_options.incremental = true;  // delta cuts after the first base
   SnapshotManager manager(
       live_store->get(), live_model->get(),
       [&context]() { return MakeStore("cafe", context); }, manager_options);
@@ -204,11 +213,16 @@ int main(int argc, char** argv) {
       "\nswaps during rollout phase: %llu (generation now %llu)\n"
       "swap latency: trainer copy pause last %.0f us (max %.0f us), "
       "off-trainer rebuild last %.0f us (max %.0f us)\n"
+      "incremental cuts: %llu of %llu were deltas; last boundary copy "
+      "%llu bytes\n"
       "QPS dip vs steady: %.1f%%\n",
       static_cast<unsigned long long>(swaps.load()),
       static_cast<unsigned long long>(serve_stats.snapshot_generation),
       cut_stats.last_copy_us, cut_stats.max_copy_us,
       cut_stats.last_rebuild_us, cut_stats.max_rebuild_us,
+      static_cast<unsigned long long>(cut_stats.delta_cuts),
+      static_cast<unsigned long long>(cut_stats.cuts),
+      static_cast<unsigned long long>(cut_stats.last_copy_bytes),
       steady.qps > 0.0 ? 100.0 * (1.0 - during.qps / steady.qps) : 0.0);
   (*server)->Shutdown();
 
@@ -252,5 +266,60 @@ int main(int argc, char** argv) {
       "never drain;\nswaps are one pointer flip + a dense-weight refresh per "
       "worker), and the trainer's\nonly rollout cost is the state copy at a "
       "step boundary.\n");
+
+  if (!args.json_path.empty()) {
+    bench::JsonWriter json;
+    json.BeginObject();
+    json.Field("bench", "hot_swap");
+    json.Field("smoke", smoke);
+    json.Key("config");
+    json.BeginObject();
+    json.Field("store", "cafe");
+    json.Field("cr", 20.0);
+    json.Field("total_requests", static_cast<uint64_t>(total_requests));
+    json.Field("request_size", static_cast<uint64_t>(request_size));
+    json.Field("num_workers", static_cast<uint64_t>(num_workers));
+    json.Field("clients", static_cast<uint64_t>(kClients));
+    json.Field("incremental_cuts", true);
+    json.EndObject();
+    bench::WriteHostInfo(&json);
+    auto phase = [&json](const char* name, const PhaseResult& r) {
+      json.Key(name);
+      json.BeginObject();
+      json.Field("p50_us", r.latency.p50_us);
+      json.Field("p95_us", r.latency.p95_us);
+      json.Field("p99_us", r.latency.p99_us);
+      json.Field("qps", r.qps);
+      json.Field("served", r.served);
+      json.Field("rejected", r.rejected);
+      json.EndObject();
+    };
+    phase("steady", steady);
+    phase("rollout", during);
+    phase("overload", overload);
+    json.Key("swap");
+    json.BeginObject();
+    json.Field("swaps", swaps.load());
+    json.Field("cuts", cut_stats.cuts);
+    json.Field("delta_cuts", cut_stats.delta_cuts);
+    json.Field("last_copy_us", cut_stats.last_copy_us);
+    json.Field("max_copy_us", cut_stats.max_copy_us);
+    json.Field("last_copy_bytes", cut_stats.last_copy_bytes);
+    json.Field("last_rebuild_us", cut_stats.last_rebuild_us);
+    json.Field("max_rebuild_us", cut_stats.max_rebuild_us);
+    json.Field("qps_dip_fraction",
+               steady.qps > 0.0 ? 1.0 - during.qps / steady.qps : 0.0);
+    json.EndObject();
+    json.Key("overload_stats");
+    json.BeginObject();
+    json.Field("queue_cap_samples",
+               static_cast<uint64_t>(overload_options.max_queue_samples));
+    json.Field("peak_queue_depth",
+               static_cast<uint64_t>(overload_stats.peak_queue_depth));
+    json.Field("rejected", overload_stats.rejected);
+    json.EndObject();
+    json.EndObject();
+    bench::WriteJsonFile(args.json_path, json);
+  }
   return 0;
 }

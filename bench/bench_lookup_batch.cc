@@ -45,71 +45,20 @@ constexpr uint32_t kDim = 16;
 constexpr size_t kBatchSize = 4096;
 constexpr size_t kNumBatches = 26;  // one per field in the layer workload
 constexpr double kZipfZ = 1.05;
-constexpr int kRounds = 9;
 
-/// Criteo-like categorical field cardinalities: a few huge fields, a long
-/// tail of small ones (Table 2 regime). Total ~20.6M features.
-const uint64_t kFieldCards[] = {9980333, 5278081, 3172477, 1254577, 492877,
-                                239747,  98506,   39979,   17139,   7420,
-                                3206,    1381,    612,     253,     105,
-                                48,      24,      14,      10,      7,
-                                4,       4,       3,       3,       3,
-                                2};
-
-struct Workload {
-  std::string name;
-  uint64_t total_features = 0;
-  /// kNumBatches batches of kBatchSize ids each, concatenated.
-  std::vector<uint64_t> ids;
+/// Shrunk under --smoke so CI / check.sh pay seconds, not minutes.
+struct BenchShape {
+  int rounds = 9;
+  uint64_t global_features = 20'000'000;
+  uint64_t card_divisor = 1;
 };
+BenchShape g_shape;
 
-Workload MakeGlobalWorkload() {
-  Workload w;
-  w.name = "global";
-  w.total_features = 20'000'000;
-  Rng rng(2024);
-  ZipfDistribution zipf(w.total_features, kZipfZ);
-  w.ids.resize(kNumBatches * kBatchSize);
-  for (uint64_t& id : w.ids) id = zipf.SampleIndex(rng);
-  return w;
-}
-
-Workload MakeLayerWorkload() {
-  Workload w;
-  w.name = "layer";
-  std::vector<uint64_t> offsets;
-  for (uint64_t card : kFieldCards) {
-    offsets.push_back(w.total_features);
-    w.total_features += card;
-  }
-  Rng rng(4096);
-  w.ids.reserve(kNumBatches * kBatchSize);
-  for (size_t f = 0; f < kNumBatches; ++f) {
-    ZipfDistribution zipf(kFieldCards[f], kZipfZ);
-    for (size_t i = 0; i < kBatchSize; ++i) {
-      w.ids.push_back(offsets[f] + zipf.SampleIndex(rng));
-    }
-  }
-  return w;
-}
-
-StoreFactoryContext MakeBenchContext(const Workload& w, double cr) {
-  StoreFactoryContext context;
-  context.embedding.total_features = w.total_features;
-  context.embedding.dim = kDim;
-  context.embedding.compression_ratio = cr;
-  context.embedding.seed = 97;
-  context.cafe.decay_interval = 100;
-  for (uint64_t id = 0; id < 1'000'000; ++id) {
-    context.offline_hot_ids.push_back(id);
-  }
-  return context;
-}
-
-double Median(std::vector<double> v) {
-  std::sort(v.begin(), v.end());
-  return v[v.size() / 2];
-}
+// Workload construction (Criteo-like field shape, global + layer streams)
+// and the store context are shared with bench_backward via bench_common.h,
+// so the two binaries always measure the same distributions.
+using bench::IdWorkload;
+using bench::Median;
 
 struct PathRates {
   double scalar_per_sec = 0.0;
@@ -119,12 +68,12 @@ struct PathRates {
 
 /// Interleaves scalar and batched rounds (median of kRounds) — virtualized
 /// hosts drift over seconds, so back-to-back A/B pairs keep it fair.
-PathRates MeasureLookups(EmbeddingStore* store, const Workload& w,
+PathRates MeasureLookups(EmbeddingStore* store, const IdWorkload& w,
                          std::vector<float>* out) {
   std::vector<double> scalar_ns, batched_ns;
   const size_t total = w.ids.size();
   WallTimer timer;
-  for (int round = 0; round < kRounds; ++round) {
+  for (int round = 0; round < g_shape.rounds; ++round) {
     timer.Restart();
     for (size_t k = 0; k < kNumBatches; ++k) {
       const uint64_t* batch = w.ids.data() + k * kBatchSize;
@@ -146,12 +95,12 @@ PathRates MeasureLookups(EmbeddingStore* store, const Workload& w,
   return rates;
 }
 
-PathRates MeasureUpdates(EmbeddingStore* store, const Workload& w,
+PathRates MeasureUpdates(EmbeddingStore* store, const IdWorkload& w,
                          const std::vector<float>& grads) {
   std::vector<double> scalar_ns, batched_ns;
   const size_t total = w.ids.size();
   WallTimer timer;
-  for (int round = 0; round < kRounds; ++round) {
+  for (int round = 0; round < g_shape.rounds; ++round) {
     timer.Restart();
     for (size_t k = 0; k < kNumBatches; ++k) {
       const uint64_t* batch = w.ids.data() + k * kBatchSize;
@@ -175,7 +124,16 @@ PathRates MeasureUpdates(EmbeddingStore* store, const Workload& w,
   return rates;
 }
 
-void RunWorkload(const Workload& w) {
+struct ResultRow {
+  std::string workload;
+  std::string store;
+  double cr = 0.0;
+  PathRates lookups;
+  PathRates updates;
+  double memory_mb = 0.0;
+};
+
+void RunWorkload(const IdWorkload& w, std::vector<ResultRow>* rows) {
   struct MethodCase {
     const char* name;
     double cr;
@@ -199,7 +157,7 @@ void RunWorkload(const Workload& w) {
   std::vector<float> out(kBatchSize * kDim);
 
   for (const MethodCase& c : cases) {
-    auto store_or = MakeStore(c.name, MakeBenchContext(w, c.cr));
+    auto store_or = MakeStore(c.name, bench::MakeMicrobenchContext(w, kDim, c.cr));
     if (!store_or.ok()) {
       std::printf("%-8s %6.0f  infeasible: %s\n", c.name, c.cr,
                   store_or.status().ToString().c_str());
@@ -215,34 +173,85 @@ void RunWorkload(const Workload& w) {
     }
     const PathRates lookups = MeasureLookups(store, w, &out);
     const PathRates updates = MeasureUpdates(store, w, grads);
+    const double mb =
+        static_cast<double>(store->MemoryBytes()) / (1024.0 * 1024.0);
     std::printf("%-8s %6.0f %12.3e %12.3e %7.2fx %12.3e %12.3e %7.2fx %9.1f\n",
                 c.name, c.cr, lookups.scalar_per_sec, lookups.batched_per_sec,
                 lookups.Speedup(), updates.scalar_per_sec,
-                updates.batched_per_sec, updates.Speedup(),
-                static_cast<double>(store->MemoryBytes()) / (1024.0 * 1024.0));
+                updates.batched_per_sec, updates.Speedup(), mb);
+    rows->push_back({w.name, c.name, c.cr, lookups, updates, mb});
   }
   bench::PrintRule(100);
 }
 
-void Run() {
+void WriteJson(const std::string& path, bool smoke,
+               const std::vector<ResultRow>& rows) {
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "lookup_batch");
+  json.Field("smoke", smoke);
+  json.Key("config");
+  json.BeginObject();
+  json.Field("dim", static_cast<uint64_t>(kDim));
+  json.Field("batch_size", static_cast<uint64_t>(kBatchSize));
+  json.Field("num_batches", static_cast<uint64_t>(kNumBatches));
+  json.Field("zipf_z", kZipfZ);
+  json.Field("rounds", g_shape.rounds);
+  json.Field("global_features", g_shape.global_features);
+  json.EndObject();
+  bench::WriteHostInfo(&json);
+  json.Key("results");
+  json.BeginArray();
+  for (const ResultRow& row : rows) {
+    json.BeginObject();
+    json.Field("workload", row.workload);
+    json.Field("store", row.store);
+    json.Field("cr", row.cr);
+    json.Field("scalar_lookups_per_sec", row.lookups.scalar_per_sec);
+    json.Field("batched_lookups_per_sec", row.lookups.batched_per_sec);
+    json.Field("lookup_speedup", row.lookups.Speedup());
+    json.Field("scalar_updates_per_sec", row.updates.scalar_per_sec);
+    json.Field("batched_updates_per_sec", row.updates.batched_per_sec);
+    json.Field("update_speedup", row.updates.Speedup());
+    json.Field("memory_mb", row.memory_mb);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  bench::WriteJsonFile(path, json);
+}
+
+void Run(const bench::BenchArgs& args) {
+  if (args.smoke) {
+    g_shape.rounds = 3;
+    g_shape.global_features = 500'000;
+    g_shape.card_divisor = 40;
+  }
   bench::PrintTitle(
       "bench_lookup_batch: scalar (per-id virtual) vs batched embedding "
-      "execution\n(batch 4096, dim 16, Zipf z = 1.05, median of 9 "
-      "interleaved rounds)");
-  RunWorkload(MakeGlobalWorkload());
-  RunWorkload(MakeLayerWorkload());
+      "execution\n(batch 4096, dim 16, Zipf z = 1.05, interleaved medians)");
+  std::vector<ResultRow> rows;
+  RunWorkload(bench::MakeGlobalIdWorkload(g_shape.global_features,
+                                          kNumBatches, kBatchSize, kZipfZ),
+              &rows);
+  RunWorkload(bench::MakeLayerIdWorkload(g_shape.card_divisor, kNumBatches,
+                                         kBatchSize, kZipfZ),
+              &rows);
   std::printf(
       "\nlookupB/updateB = the batched LookupBatch/ApplyGradientBatch "
       "paths.\nBatched gains = probe dedup per unique id + devirtualized, "
       "prefetched gathers;\non virtualized single-core hosts the per-id "
       "baseline already saturates the\nmemory system, so these ratios are "
       "lower bounds of bare-metal behavior.\n");
+  if (!args.json_path.empty()) {
+    WriteJson(args.json_path, args.smoke, rows);
+  }
 }
 
 }  // namespace
 }  // namespace cafe
 
-int main() {
-  cafe::Run();
+int main(int argc, char** argv) {
+  cafe::Run(cafe::bench::ParseBenchArgs(argc, argv));
   return 0;
 }

@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build, and run the full test suite.
+# Tier-1 verify: configure, build, run the full test suite, then smoke-run
+# the microbenches and validate their machine-readable BENCH_*.json output
+# (the cross-PR perf trajectory record) — a missing or malformed file fails
+# the check.
 # Usage: scripts/check.sh [build-dir]
 set -euo pipefail
 
@@ -9,3 +12,14 @@ BUILD_DIR="${1:-build}"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+# Bench smokes with machine-readable results.
+"$BUILD_DIR"/bench_lookup_batch --smoke --json "$BUILD_DIR/BENCH_lookup_batch.json"
+"$BUILD_DIR"/bench_backward     --smoke --json "$BUILD_DIR/BENCH_backward.json"
+"$BUILD_DIR"/bench_serving      --smoke
+"$BUILD_DIR"/bench_hot_swap     --smoke --json "$BUILD_DIR/BENCH_hot_swap.json"
+
+scripts/validate_bench_json.sh \
+  "$BUILD_DIR/BENCH_lookup_batch.json" \
+  "$BUILD_DIR/BENCH_backward.json" \
+  "$BUILD_DIR/BENCH_hot_swap.json"

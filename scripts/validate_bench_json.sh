@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Validates machine-readable bench result files: each argument must exist,
+# be non-empty, and parse as JSON (python3 when available, an object-shape
+# sniff otherwise). Shared by scripts/check.sh and CI so the validation
+# contract has exactly one definition.
+# Usage: scripts/validate_bench_json.sh <file.json> [<file.json> ...]
+set -euo pipefail
+
+if [[ $# -eq 0 ]]; then
+  echo "usage: $0 <file.json> [<file.json> ...]" >&2
+  exit 2
+fi
+
+for file in "$@"; do
+  if [[ ! -s "$file" ]]; then
+    echo "FAIL: $file is missing or empty" >&2
+    exit 1
+  fi
+  if command -v python3 > /dev/null 2>&1; then
+    if ! python3 -m json.tool "$file" > /dev/null; then
+      echo "FAIL: $file is not valid JSON" >&2
+      exit 1
+    fi
+  else
+    # No python3: at least require the document to open and close an object.
+    head_char="$(head -c 1 "$file")"
+    tail_char="$(tail -c 1 "$file")"
+    if [[ "$head_char" != "{" || "$tail_char" != "}" ]]; then
+      echo "FAIL: $file does not look like a JSON object" >&2
+      exit 1
+    fi
+  fi
+  echo "ok: $file"
+done

@@ -284,6 +284,7 @@ bool CafeEmbedding::TryPromote(uint64_t id, HotSketch::Slot* slot) {
   const int32_t row = free_rows_.back();
   free_rows_.pop_back();
   if (config_.per_field_hot) ++field_used_[field];
+  if (dirty_hot_.enabled()) dirty_hot_.Mark(static_cast<uint64_t>(row));
   // Migration initialization: copy the feature's current shared embedding
   // so its representation evolves smoothly across the promotion (§3.3).
   const bool was_medium = config_.use_multi_level &&
@@ -312,18 +313,21 @@ void CafeEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
 }
 
 void CafeEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
-                                       const float* grads, float lr) {
+                                       const float* grads, size_t grad_stride,
+                                       float lr, float clip) {
   // Per-batch sketch insertion (the paper's training-loop formulation): the
   // batch is deduplicated and the sketch advances ONCE per unique id, by
   // the id's total importance over the batch — occurrence count under the
-  // frequency metric, summed per-occurrence gradient norms under the
-  // gradient-norm metric (summing norms rather than taking the norm of the
-  // sum keeps scores identical to the scalar stream; mixed-sign gradients
-  // must not cancel a hot feature's importance). Promotion, demotion, and
-  // one SGD step with the accumulated gradient then run per unique id.
+  // frequency metric, summed per-occurrence clipped gradient norms under
+  // the gradient-norm metric (summing norms rather than taking the norm of
+  // the sum keeps scores identical to the scalar stream; mixed-sign
+  // gradients must not cancel a hot feature's importance). Gradients
+  // accumulate straight from the model's strided tensor with the clamp
+  // fused into the read; promotion, demotion, and one SGD step with the
+  // accumulated gradient then run per unique id.
   const uint32_t d = config_.embedding.dim;
   dedup_.Build(ids, n);
-  dedup_.AccumulateRows(grads, n, d, &grad_accum_);
+  dedup_.AccumulateRows(grads, n, d, grad_stride, clip, &grad_accum_);
   const size_t num_unique = dedup_.num_unique();
   if (config_.importance == ImportanceMetric::kFrequency) {
     importance_accum_.resize(num_unique);
@@ -331,7 +335,8 @@ void CafeEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
       importance_accum_[u] = static_cast<double>(dedup_.count(u));
     }
   } else {
-    dedup_.AccumulateNorms(grads, n, d, &importance_accum_);
+    dedup_.AccumulateNorms(grads, n, d, grad_stride, clip,
+                           &importance_accum_);
   }
   const std::vector<uint64_t>& unique = dedup_.unique_ids();
   for (size_t u = 0; u < num_unique; ++u) {
@@ -346,7 +351,9 @@ void CafeEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
 void CafeEmbedding::ApplyGradientOne(uint64_t id, const float* grad, float lr,
                                      double importance) {
   const uint32_t d = config_.embedding.dim;
+  const bool track = dirty_hot_.enabled();
   HotSketch::InsertResult res = sketch_.Insert(id, importance);
+  if (track && res.slot_index >= 0) MarkBucket(res.slot_index);
   if (res.evicted && res.evicted_payload >= 0) {
     // A hot feature lost its sketch slot: its exclusive row is recycled and
     // it silently degrades to the shared path (§3.3 exit-by-eviction).
@@ -378,6 +385,7 @@ void CafeEmbedding::ApplyGradientOne(uint64_t id, const float* grad, float lr,
         }
         if (slot->GuaranteedScore() >
             std::max(growth * config_.promote_margin, 1e-12)) {
+          if (track) MarkBucket(victim_index);
           FreeRow(victim.payload);
           victim.payload = HotSketch::kNoPayload;
           ++demotions_;
@@ -390,17 +398,22 @@ void CafeEmbedding::ApplyGradientOne(uint64_t id, const float* grad, float lr,
   }
 
   if (slot->payload >= 0) {
+    if (track) dirty_hot_.Mark(static_cast<uint64_t>(slot->payload));
     float* row =
         hot_table_.data() + static_cast<size_t>(slot->payload) * d;
     for (uint32_t i = 0; i < d; ++i) row[i] -= lr * grad[i];
     return;
   }
-  float* a = shared_a_.data() + hash_a_.Bounded(id, plan_.shared_rows_a) * d;
+  const uint64_t row_a = hash_a_.Bounded(id, plan_.shared_rows_a);
+  float* a = shared_a_.data() + row_a * d;
   const bool medium = config_.use_multi_level &&
                       slot->GuaranteedScore() >= medium_threshold_;
+  if (track) dirty_shared_a_.Mark(row_a);
   if (medium && plan_.shared_rows_b > 0) {
     // Pooled-by-sum embedding: the gradient flows to both rows unchanged.
-    float* b = shared_b_.data() + hash_b_.Bounded(id, plan_.shared_rows_b) * d;
+    const uint64_t row_b = hash_b_.Bounded(id, plan_.shared_rows_b);
+    if (track) dirty_shared_b_.Mark(row_b);
+    float* b = shared_b_.data() + row_b * d;
     for (uint32_t i = 0; i < d; ++i) {
       a[i] -= lr * grad[i];
       b[i] -= lr * grad[i];
@@ -457,6 +470,13 @@ void CafeEmbedding::Tick() {
 
   // Measure per-row growth over the closing interval BEFORE decay so the
   // victim queue reflects pure traffic, then decay and refresh thresholds.
+  // Decay touches every sketch slot and the maintenance pass rewrites the
+  // victim queue + growth snapshot wholesale: the next delta ships those
+  // sections in full instead of per-bucket records.
+  if (dirty_buckets_.enabled()) {
+    sketch_fully_dirty_ = true;
+    maintenance_dirty_ = true;
+  }
   RefreshVictimQueue();
   sketch_.Decay(config_.decay_coefficient);
   if (config_.auto_threshold) {
@@ -536,6 +556,183 @@ Status CafeEmbedding::SaveState(io::Writer* writer) const {
   return Status::OK();
 }
 
+Status CafeEmbedding::EnableDirtyTracking() {
+  dirty_hot_.Enable(plan_.hot_capacity);
+  dirty_shared_a_.Enable(plan_.shared_rows_a);
+  dirty_shared_b_.Enable(plan_.shared_rows_b);
+  dirty_buckets_.Enable(sketch_.num_buckets());
+  sketch_fully_dirty_ = false;
+  maintenance_dirty_ = false;
+  return Status::OK();
+}
+
+void CafeEmbedding::DisableDirtyTracking() {
+  dirty_hot_.Disable();
+  dirty_shared_a_.Disable();
+  dirty_shared_b_.Disable();
+  dirty_buckets_.Disable();
+  sketch_fully_dirty_ = false;
+  maintenance_dirty_ = false;
+}
+
+Status CafeEmbedding::SaveDelta(io::Writer* writer) {
+  if (!dirty_hot_.enabled()) {
+    return Status::FailedPrecondition(
+        "cafe embedding: dirty tracking is not enabled");
+  }
+  const uint32_t c = config_.slots_per_bucket;
+  // Sizing guard, as in SaveState.
+  writer->WriteU32(config_.embedding.dim);
+  writer->WriteU64(plan_.hot_capacity);
+  writer->WriteU64(plan_.shared_rows_a);
+  writer->WriteU64(plan_.shared_rows_b);
+  writer->WriteU64(sketch_.capacity());
+
+  // O(1)/O(hot) machinery every delta carries: counters, thresholds, the
+  // free-row list and per-field usage.
+  writer->WriteU64(iteration_);
+  writer->WriteU64(migrations_);
+  writer->WriteU64(demotions_);
+  writer->WriteU64(lookup_stats_.hot);
+  writer->WriteU64(lookup_stats_.medium);
+  writer->WriteU64(lookup_stats_.cold);
+  writer->WriteU64(victim_idx_);
+  writer->WriteF64(hot_threshold_);
+  writer->WriteF64(medium_threshold_);
+  writer->WriteVec(free_rows_);
+  writer->WriteVec(field_used_);
+
+  // Maintenance state: rewritten wholesale only at decay ticks.
+  writer->WriteBool(maintenance_dirty_);
+  if (maintenance_dirty_) {
+    writer->WriteVec(row_prev_score_);
+    writer->WriteU64(victim_queue_.size());
+    for (const auto& [growth, slot_index] : victim_queue_) {
+      writer->WriteF64(growth);
+      writer->WriteI64(slot_index);
+    }
+  }
+
+  // Sketch: whole slot array after a decay tick, dirty buckets otherwise
+  // (one Insert touches one bucket, so this scales with unique ids).
+  writer->WriteBool(sketch_fully_dirty_);
+  if (sketch_fully_dirty_) {
+    writer->WriteVec(sketch_.slots());
+  } else {
+    writer->WriteU64(dirty_buckets_.rows().size());
+    for (const uint64_t bucket : dirty_buckets_.rows()) {
+      writer->WriteU64(bucket);
+      writer->WriteBytes(sketch_.slots().data() + bucket * c,
+                         c * sizeof(HotSketch::Slot));
+    }
+  }
+
+  // The embedding tables, dirty rows only.
+  const uint32_t d = config_.embedding.dim;
+  delta_internal::WriteDirtyRows(writer, dirty_hot_, hot_table_.data(), d);
+  delta_internal::WriteDirtyRows(writer, dirty_shared_a_, shared_a_.data(), d);
+  delta_internal::WriteDirtyRows(writer, dirty_shared_b_, shared_b_.data(), d);
+
+  dirty_hot_.Flush();
+  dirty_shared_a_.Flush();
+  dirty_shared_b_.Flush();
+  dirty_buckets_.Flush();
+  sketch_fully_dirty_ = false;
+  maintenance_dirty_ = false;
+  return Status::OK();
+}
+
+Status CafeEmbedding::LoadDelta(io::Reader* reader) {
+  const uint32_t c = config_.slots_per_bucket;
+  uint32_t d = 0;
+  uint64_t hot_capacity = 0, rows_a = 0, rows_b = 0, sketch_capacity = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU32(&d));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&hot_capacity));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&rows_a));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&rows_b));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&sketch_capacity));
+  if (d != config_.embedding.dim || hot_capacity != plan_.hot_capacity ||
+      rows_a != plan_.shared_rows_a || rows_b != plan_.shared_rows_b ||
+      sketch_capacity != sketch_.capacity()) {
+    return Status::FailedPrecondition(
+        "cafe embedding: delta sizing does not match this store");
+  }
+
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&iteration_));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&migrations_));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&demotions_));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&lookup_stats_.hot));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&lookup_stats_.medium));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&lookup_stats_.cold));
+  uint64_t victim_idx = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&victim_idx));
+  victim_idx_ = static_cast<size_t>(victim_idx);
+  CAFE_RETURN_IF_ERROR(reader->ReadF64(&hot_threshold_));
+  CAFE_RETURN_IF_ERROR(reader->ReadF64(&medium_threshold_));
+  CAFE_RETURN_IF_ERROR(reader->ReadVec(&free_rows_));
+  if (free_rows_.size() > plan_.hot_capacity) {
+    return Status::FailedPrecondition("cafe embedding: corrupt free-row list");
+  }
+  CAFE_RETURN_IF_ERROR(reader->ReadVecExpected(&field_used_, field_used_.size(),
+                                               "per-field usage"));
+
+  bool maintenance = false;
+  CAFE_RETURN_IF_ERROR(reader->ReadBool(&maintenance));
+  if (maintenance) {
+    CAFE_RETURN_IF_ERROR(reader->ReadVecExpected(
+        &row_prev_score_, row_prev_score_.size(), "row score snapshot"));
+    uint64_t queue_size = 0;
+    CAFE_RETURN_IF_ERROR(reader->ReadU64(&queue_size));
+    if (queue_size > sketch_.capacity()) {
+      return Status::FailedPrecondition(
+          "cafe embedding: corrupt victim queue size");
+    }
+    victim_queue_.resize(queue_size);
+    for (auto& [growth, slot_index] : victim_queue_) {
+      CAFE_RETURN_IF_ERROR(reader->ReadF64(&growth));
+      CAFE_RETURN_IF_ERROR(reader->ReadI64(&slot_index));
+      if (slot_index < 0 ||
+          static_cast<uint64_t>(slot_index) >= sketch_.capacity()) {
+        return Status::FailedPrecondition(
+            "cafe embedding: victim queue slot index out of range");
+      }
+    }
+  }
+
+  bool sketch_full = false;
+  CAFE_RETURN_IF_ERROR(reader->ReadBool(&sketch_full));
+  if (sketch_full) {
+    std::vector<HotSketch::Slot> slots;
+    CAFE_RETURN_IF_ERROR(reader->ReadVec(&slots));
+    CAFE_RETURN_IF_ERROR(sketch_.RestoreSlots(std::move(slots)));
+  } else {
+    uint64_t bucket_count = 0;
+    CAFE_RETURN_IF_ERROR(reader->ReadU64(&bucket_count));
+    if (bucket_count > sketch_.num_buckets()) {
+      return Status::FailedPrecondition(
+          "cafe embedding: corrupt delta bucket count");
+    }
+    for (uint64_t i = 0; i < bucket_count; ++i) {
+      uint64_t bucket = 0;
+      CAFE_RETURN_IF_ERROR(reader->ReadU64(&bucket));
+      if (bucket >= sketch_.num_buckets()) {
+        return Status::FailedPrecondition(
+            "cafe embedding: delta bucket out of range");
+      }
+      CAFE_RETURN_IF_ERROR(reader->ReadBytes(&sketch_.slot_at(bucket * c),
+                                             c * sizeof(HotSketch::Slot)));
+    }
+  }
+
+  CAFE_RETURN_IF_ERROR(delta_internal::ReadDirtyRows(
+      reader, hot_table_.data(), plan_.hot_capacity, d, "hot table"));
+  CAFE_RETURN_IF_ERROR(delta_internal::ReadDirtyRows(
+      reader, shared_a_.data(), plan_.shared_rows_a, d, "shared table A"));
+  return delta_internal::ReadDirtyRows(reader, shared_b_.data(),
+                                       plan_.shared_rows_b, d,
+                                       "shared table B");
+}
+
 Status CafeEmbedding::LoadState(io::Reader* reader) {
   uint32_t d = 0;
   uint64_t hot_capacity = 0, rows_a = 0, rows_b = 0, sketch_capacity = 0;
@@ -585,6 +782,11 @@ Status CafeEmbedding::LoadState(io::Reader* reader) {
   for (auto& [growth, slot_index] : victim_queue_) {
     CAFE_RETURN_IF_ERROR(reader->ReadF64(&growth));
     CAFE_RETURN_IF_ERROR(reader->ReadI64(&slot_index));
+    if (slot_index < 0 ||
+        static_cast<uint64_t>(slot_index) >= sketch_.capacity()) {
+      return Status::FailedPrecondition(
+          "cafe embedding: victim queue slot index out of range");
+    }
   }
   uint64_t victim_idx = 0;
   CAFE_RETURN_IF_ERROR(reader->ReadU64(&victim_idx));

@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "core/cafe_config.h"
 #include "embed/batch_dedup.h"
+#include "embed/dirty_rows.h"
 #include "embed/embedding_store.h"
 #include "sketch/hot_sketch.h"
 
@@ -54,8 +55,9 @@ class CafeEmbedding : public EmbeddingStore {
                    size_t out_stride) override;
   void LookupBatchConst(const uint64_t* ids, size_t n, float* out,
                         size_t out_stride) const override;
+  using EmbeddingStore::ApplyGradientBatch;
   void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
-                          float lr) override;
+                          size_t grad_stride, float lr, float clip) override;
   void Tick() override;
   size_t MemoryBytes() const override;
   std::string Name() const override {
@@ -63,6 +65,11 @@ class CafeEmbedding : public EmbeddingStore {
   }
   Status SaveState(io::Writer* writer) const override;
   Status LoadState(io::Reader* reader) override;
+  bool SupportsIncrementalSnapshots() const override { return true; }
+  Status EnableDirtyTracking() override;
+  void DisableDirtyTracking() override;
+  Status SaveDelta(io::Writer* writer) override;
+  Status LoadDelta(io::Reader* reader) override;
 
   /// Classification a lookup of `id` would take right now.
   Path ClassifyForTest(uint64_t id) const;
@@ -177,6 +184,27 @@ class CafeEmbedding : public EmbeddingStore {
     const float* b = nullptr;
   };
   std::vector<ResolvedRow> row_ptr_scratch_;  // num_unique
+
+  /// Marks the bucket owning sketch slot `slot_index` dirty.
+  void MarkBucket(int64_t slot_index) {
+    dirty_buckets_.Mark(static_cast<uint64_t>(slot_index) /
+                        config_.slots_per_bucket);
+  }
+
+  // Incremental-snapshot tracking. Big arrays are row-keyed: the three
+  // embedding tables plus the sketch (keyed by BUCKET — one Insert touches
+  // one bucket, so dirty buckets scale with unique ids like dirty rows).
+  // A maintenance tick decays every sketch slot and rebuilds the victim
+  // queue / growth snapshot wholesale, so it flags those sections fully
+  // dirty for the next delta; the remaining machinery (counters,
+  // thresholds, free list, per-field usage) is O(hot) and travels with
+  // every delta.
+  DirtyRowSet dirty_hot_;
+  DirtyRowSet dirty_shared_a_;
+  DirtyRowSet dirty_shared_b_;
+  DirtyRowSet dirty_buckets_;
+  bool sketch_fully_dirty_ = false;
+  bool maintenance_dirty_ = false;
 };
 
 }  // namespace cafe

@@ -109,15 +109,18 @@ void AdaEmbedding::LookupBatchConst(const uint64_t* ids, size_t n, float* out,
 using embed_internal::GradNorm;
 
 void AdaEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
-                                      const float* grads, float lr) {
-  // Dedup + accumulate: the importance score advances once per unique id by
-  // the summed per-occurrence gradient norms (identical to the scalar
-  // stream's total — mixed-sign gradients must not cancel importance), and
-  // each allocated row takes one SGD step with the accumulated gradient.
+                                      const float* grads, size_t grad_stride,
+                                      float lr, float clip) {
+  // Dedup + accumulate straight from the model's strided gradient tensor,
+  // clamping each element as it is read: the importance score advances once
+  // per unique id by the summed per-occurrence clipped gradient norms
+  // (identical to the scalar stream's total — mixed-sign gradients must not
+  // cancel importance), and each allocated row takes one SGD step with the
+  // accumulated clipped gradient.
   const uint32_t d = config_.dim;
   dedup_.Build(ids, n);
-  dedup_.AccumulateRows(grads, n, d, &grad_accum_);
-  dedup_.AccumulateNorms(grads, n, d, &importance_accum_);
+  dedup_.AccumulateRows(grads, n, d, grad_stride, clip, &grad_accum_);
+  dedup_.AccumulateNorms(grads, n, d, grad_stride, clip, &importance_accum_);
   const size_t num_unique = dedup_.num_unique();
   for (size_t u = 0; u < num_unique; ++u) {
     ApplyOne(dedup_.unique_id(u), grad_accum_.data() + u * d, lr,
@@ -132,6 +135,7 @@ void AdaEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
 void AdaEmbedding::ApplyOne(uint64_t id, const float* grad, float lr,
                             double score_inc) {
   CAFE_DCHECK(id < config_.total_features);
+  if (dirty_features_.enabled()) dirty_features_.Mark(id);
   scores_[id] += static_cast<float>(score_inc);
 
   int32_t row = row_of_[id];
@@ -150,6 +154,7 @@ void AdaEmbedding::ApplyOne(uint64_t id, const float* grad, float lr,
       fresh[i] = rng_.UniformFloat(-bound, bound);
     }
   }
+  if (dirty_rows_.enabled()) dirty_rows_.Mark(static_cast<uint64_t>(row));
   float* values = table_.data() + static_cast<size_t>(row) * config_.dim;
   for (uint32_t i = 0; i < config_.dim; ++i) values[i] -= lr * grad[i];
 }
@@ -161,6 +166,9 @@ void AdaEmbedding::Tick() {
 
 void AdaEmbedding::Reallocate() {
   // Decay first so stale importance fades (AdaEmbed's recency weighting).
+  // Every score changes, so the next delta ships the score array whole
+  // instead of n per-feature records.
+  if (dirty_features_.enabled()) scores_fully_dirty_ = true;
   for (float& s : scores_) {
     s *= static_cast<float>(options_.score_decay);
   }
@@ -212,11 +220,16 @@ void AdaEmbedding::Reallocate() {
       const uint64_t victim = evict[evict_idx++];
       row = row_of_[victim];
       row_of_[victim] = -1;  // victim's embedding is discarded
+      if (dirty_features_.enabled()) dirty_features_.Mark(victim);
     } else {
       break;
     }
     row_of_[f] = row;
     owner_of_[row] = f;
+    if (dirty_features_.enabled()) {
+      dirty_features_.Mark(f);
+      dirty_rows_.Mark(static_cast<uint64_t>(row));
+    }
     float* values = table_.data() + static_cast<size_t>(row) * config_.dim;
     for (uint32_t i = 0; i < config_.dim; ++i) {
       values[i] = rng_.UniformFloat(-bound, bound);
@@ -269,6 +282,121 @@ Status AdaEmbedding::LoadState(io::Reader* reader) {
     return Status::FailedPrecondition("ada embedding: corrupt free-row list");
   }
   return reader->ReadVecExpected(&table_, table_.size(), "ada table");
+}
+
+Status AdaEmbedding::EnableDirtyTracking() {
+  dirty_features_.Enable(config_.total_features);
+  dirty_rows_.Enable(num_rows_);
+  scores_fully_dirty_ = false;
+  return Status::OK();
+}
+
+Status AdaEmbedding::SaveDelta(io::Writer* writer) {
+  if (!dirty_features_.enabled()) {
+    return Status::FailedPrecondition(
+        "ada embedding: dirty tracking is not enabled");
+  }
+  // Guards + the O(1) state a delta always carries: counters, RNG, and the
+  // free-row list (near-empty in steady state, bounded by the row pool).
+  writer->WriteU32(config_.dim);
+  writer->WriteU64(config_.total_features);
+  writer->WriteU64(num_rows_);
+  writer->WriteU64(iteration_);
+  writer->WriteU64(allocated_count_);
+  uint64_t rng_state[4];
+  rng_.SaveState(rng_state);
+  for (uint64_t word : rng_state) writer->WriteU64(word);
+  writer->WriteVec(free_rows_);
+  // Scores: whole array if a reallocation decayed everything this interval
+  // (the per-feature records then carry only row_of_ — their score is
+  // already in the array), otherwise per dirty feature below.
+  writer->WriteBool(scores_fully_dirty_);
+  if (scores_fully_dirty_) writer->WriteVec(scores_);
+  // Per dirty feature: row index (covers realloc victims, whose row index
+  // went to -1 without a row write) + score unless shipped in full above.
+  writer->WriteU64(dirty_features_.rows().size());
+  for (const uint64_t id : dirty_features_.rows()) {
+    writer->WriteU64(id);
+    if (!scores_fully_dirty_) writer->WriteF32(scores_[id]);
+    writer->WriteI32(row_of_[id]);
+  }
+  // Per dirty row: owner + values (ownership changes exactly when the row's
+  // contents are rewritten — cold-start claim or realloc re-init).
+  writer->WriteU64(dirty_rows_.rows().size());
+  for (const uint64_t row : dirty_rows_.rows()) {
+    writer->WriteU64(row);
+    writer->WriteU64(owner_of_[row]);
+    writer->WriteBytes(table_.data() + row * config_.dim,
+                       config_.dim * sizeof(float));
+  }
+  dirty_features_.Flush();
+  dirty_rows_.Flush();
+  scores_fully_dirty_ = false;
+  return Status::OK();
+}
+
+Status AdaEmbedding::LoadDelta(io::Reader* reader) {
+  uint32_t d = 0;
+  uint64_t features = 0, rows = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU32(&d));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&features));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&rows));
+  if (d != config_.dim || features != config_.total_features ||
+      rows != num_rows_) {
+    return Status::FailedPrecondition(
+        "ada embedding: delta sizing does not match this store");
+  }
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&iteration_));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&allocated_count_));
+  uint64_t rng_state[4];
+  for (uint64_t& word : rng_state) CAFE_RETURN_IF_ERROR(reader->ReadU64(&word));
+  rng_.LoadState(rng_state);
+  CAFE_RETURN_IF_ERROR(reader->ReadVec(&free_rows_));
+  if (free_rows_.size() > num_rows_) {
+    return Status::FailedPrecondition("ada embedding: corrupt free-row list");
+  }
+  bool scores_full = false;
+  CAFE_RETURN_IF_ERROR(reader->ReadBool(&scores_full));
+  if (scores_full) {
+    CAFE_RETURN_IF_ERROR(
+        reader->ReadVecExpected(&scores_, scores_.size(), "ada delta scores"));
+  }
+  uint64_t feature_count = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&feature_count));
+  if (feature_count > config_.total_features) {
+    return Status::FailedPrecondition("ada embedding: corrupt delta features");
+  }
+  for (uint64_t i = 0; i < feature_count; ++i) {
+    uint64_t id = 0;
+    CAFE_RETURN_IF_ERROR(reader->ReadU64(&id));
+    if (id >= config_.total_features) {
+      return Status::FailedPrecondition(
+          "ada embedding: delta feature out of range");
+    }
+    if (!scores_full) CAFE_RETURN_IF_ERROR(reader->ReadF32(&scores_[id]));
+    CAFE_RETURN_IF_ERROR(reader->ReadI32(&row_of_[id]));
+    if (row_of_[id] >= static_cast<int64_t>(num_rows_)) {
+      return Status::FailedPrecondition(
+          "ada embedding: delta row index out of range");
+    }
+  }
+  uint64_t row_count = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&row_count));
+  if (row_count > num_rows_) {
+    return Status::FailedPrecondition("ada embedding: corrupt delta rows");
+  }
+  for (uint64_t i = 0; i < row_count; ++i) {
+    uint64_t row = 0;
+    CAFE_RETURN_IF_ERROR(reader->ReadU64(&row));
+    if (row >= num_rows_) {
+      return Status::FailedPrecondition(
+          "ada embedding: delta row out of range");
+    }
+    CAFE_RETURN_IF_ERROR(reader->ReadU64(&owner_of_[row]));
+    CAFE_RETURN_IF_ERROR(reader->ReadBytes(
+        table_.data() + row * config_.dim, config_.dim * sizeof(float)));
+  }
+  return Status::OK();
 }
 
 size_t AdaEmbedding::MemoryBytes() const {

@@ -6,6 +6,7 @@
 
 #include "common/random.h"
 #include "embed/batch_dedup.h"
+#include "embed/dirty_rows.h"
 #include "embed/embedding_store.h"
 
 namespace cafe {
@@ -55,13 +56,23 @@ class AdaEmbedding : public EmbeddingStore {
                    size_t out_stride) override;
   void LookupBatchConst(const uint64_t* ids, size_t n, float* out,
                         size_t out_stride) const override;
+  using EmbeddingStore::ApplyGradientBatch;
   void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
-                          float lr) override;
+                          size_t grad_stride, float lr, float clip) override;
   void Tick() override;
   size_t MemoryBytes() const override;
   std::string Name() const override { return "ada"; }
   Status SaveState(io::Writer* writer) const override;
   Status LoadState(io::Reader* reader) override;
+  bool SupportsIncrementalSnapshots() const override { return true; }
+  Status EnableDirtyTracking() override;
+  void DisableDirtyTracking() override {
+    dirty_features_.Disable();
+    dirty_rows_.Disable();
+    scores_fully_dirty_ = false;
+  }
+  Status SaveDelta(io::Writer* writer) override;
+  Status LoadDelta(io::Reader* reader) override;
 
   uint64_t num_rows() const { return num_rows_; }
   uint64_t allocated_features() const { return allocated_count_; }
@@ -97,6 +108,15 @@ class AdaEmbedding : public EmbeddingStore {
   std::vector<float> grad_accum_;        // num_unique x dim
   std::vector<double> importance_accum_; // num_unique
   std::vector<int64_t> row_scratch_;
+
+  // Incremental-snapshot tracking. AdaEmbed mutates TWO big spaces: the
+  // per-feature score / row-index arrays (keyed by feature id) and the
+  // row pool (keyed by physical row; a dirty row also carries its owner).
+  // A reallocation decays EVERY score, so it flags the score array fully
+  // dirty for the next delta instead of marking n features one by one.
+  DirtyRowSet dirty_features_;
+  DirtyRowSet dirty_rows_;
+  bool scores_fully_dirty_ = false;
 };
 
 }  // namespace cafe

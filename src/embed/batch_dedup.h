@@ -74,33 +74,53 @@ class BatchDeduper {
   /// Batch position where unique id `u` first appeared.
   uint32_t first_occurrence(size_t u) const { return first_occurrence_[u]; }
 
-  /// Sums per-occurrence rows (dim floats at grads + i*dim) into per-unique
-  /// rows: (*accum)[u*dim ..] = sum over occurrences of unique id u, added
-  /// in occurrence order so a single-occurrence id reproduces its gradient
-  /// bit-for-bit.
+  /// Sums per-occurrence rows (dim floats at grads + i*stride, each element
+  /// clamped to [-clip, clip] on read when clip > 0) into per-unique rows:
+  /// (*accum)[u*dim ..] = sum over occurrences of unique id u, added in
+  /// occurrence order so a single-occurrence id reproduces its (clipped)
+  /// gradient bit-for-bit. The clip-on-read is bit-identical to clamping
+  /// into a contiguous staging buffer first — which is exactly the copy the
+  /// strided backward path deletes.
   void AccumulateRows(const float* grads, size_t n, uint32_t dim,
+                      size_t stride, float clip,
                       std::vector<float>* accum) const {
+    const float bound = embed_internal::ClipBound(clip);
     accum->assign(unique_.size() * dim, 0.0f);
     float* acc = accum->data();
     for (size_t i = 0; i < n; ++i) {
       float* dst = acc + static_cast<size_t>(occ_to_unique_[i]) * dim;
-      const float* src = grads + i * dim;
-      for (uint32_t k = 0; k < dim; ++k) dst[k] += src[k];
+      const float* src = grads + i * stride;
+      for (uint32_t k = 0; k < dim; ++k) {
+        dst[k] += embed_internal::ClipVal(src[k], bound);
+      }
     }
   }
+  /// Packed, unclipped overload.
+  void AccumulateRows(const float* grads, size_t n, uint32_t dim,
+                      std::vector<float>* accum) const {
+    AccumulateRows(grads, n, dim, dim, /*clip=*/0.0f, accum);
+  }
 
-  /// Sums per-occurrence gradient L2 norms into per-unique importances.
-  /// Summing norms — NOT taking the norm of the sum — is load-bearing for
-  /// the importance-tracking stores: mixed-sign gradients across a batch
-  /// must not cancel a hot feature's importance, and it keeps batched
-  /// scores identical to the scalar stream's totals.
+  /// Sums per-occurrence (clipped) gradient L2 norms into per-unique
+  /// importances. Summing norms — NOT taking the norm of the sum — is
+  /// load-bearing for the importance-tracking stores: mixed-sign gradients
+  /// across a batch must not cancel a hot feature's importance, and it
+  /// keeps batched scores identical to the scalar stream's totals.
   void AccumulateNorms(const float* grads, size_t n, uint32_t dim,
+                       size_t stride, float clip,
                        std::vector<double>* accum) const {
+    const float bound = embed_internal::ClipBound(clip);
     accum->assign(unique_.size(), 0.0);
     double* acc = accum->data();
     for (size_t i = 0; i < n; ++i) {
-      acc[occ_to_unique_[i]] += embed_internal::GradNorm(grads + i * dim, dim);
+      acc[occ_to_unique_[i]] +=
+          embed_internal::ClippedGradNorm(grads + i * stride, dim, bound);
     }
+  }
+  /// Packed, unclipped overload.
+  void AccumulateNorms(const float* grads, size_t n, uint32_t dim,
+                       std::vector<double>* accum) const {
+    AccumulateNorms(grads, n, dim, dim, /*clip=*/0.0f, accum);
   }
 
   /// Replicates each unique id's finished row (already materialized at its

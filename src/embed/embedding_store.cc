@@ -47,9 +47,21 @@ void EmbeddingStore::LookupBatchConst(const uint64_t* ids, size_t n,
 }
 
 void EmbeddingStore::ApplyGradientBatch(const uint64_t* ids, size_t n,
-                                        const float* grads, float lr) {
+                                        const float* grads, size_t grad_stride,
+                                        float lr, float clip) {
+  // Scalar fallback: clamp one row into a local buffer and hand it to the
+  // per-id reference path. Overriding stores fuse the clamp into their
+  // scatter/accumulate loops instead.
   const uint32_t d = dim();
-  for (size_t i = 0; i < n; ++i) ApplyGradient(ids[i], grads + i * d, lr);
+  const float bound = embed_internal::ClipBound(clip);
+  std::vector<float> row(d);
+  for (size_t i = 0; i < n; ++i) {
+    const float* g = grads + i * grad_stride;
+    for (uint32_t k = 0; k < d; ++k) {
+      row[k] = embed_internal::ClipVal(g[k], bound);
+    }
+    ApplyGradient(ids[i], row.data(), lr);
+  }
 }
 
 namespace embed_internal {

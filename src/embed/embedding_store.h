@@ -1,9 +1,11 @@
 #ifndef CAFE_EMBED_EMBEDDING_STORE_H_
 #define CAFE_EMBED_EMBEDDING_STORE_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -69,9 +71,9 @@ struct EmbeddingConfig {
 /// trainer are agnostic to the compression scheme behind it.
 ///
 /// The training loop drives it at BATCH granularity:
-///   LookupBatch(ids, n, out)              -- forward, per (field, batch)
-///   ApplyGradientBatch(ids, n, grads, lr) -- backward + sparse SGD update
-///   Tick()                                -- once per iteration (batch)
+///   LookupBatch(ids, n, out)                             -- forward
+///   ApplyGradientBatch(ids, n, grads, stride, lr, clip)  -- backward + SGD
+///   Tick()                                 -- once per iteration (batch)
 ///
 /// The per-id Lookup/ApplyGradient entry points remain for tools, tests and
 /// as the reference semantics, but consumers should prefer the batch API: it
@@ -87,14 +89,21 @@ struct EmbeddingConfig {
 ///    deduplication cannot change results). The stride lets consumers gather
 ///    field columns straight into sample-major model inputs with no staging
 ///    copy; out_stride >= dim always.
-///  - ApplyGradientBatch consumes grads + i*dim for ids[i]. Stores without
-///    importance state (full, hash, qr) apply per-occurrence updates in
-///    stream order — bit-identical to the scalar loop. Adaptive stores
-///    deduplicate: each unique id is updated ONCE with its occurrence-order
-///    accumulated gradient, and importance statistics advance once per
-///    unique id (frequency metrics by the occurrence count) — the paper's
-///    per-batch sketch insertion. When every id in the batch is distinct the
-///    two formulations coincide bit-for-bit.
+///  - ApplyGradientBatch consumes grads + i*grad_stride for ids[i]
+///    (grad_stride >= dim; the packed overload passes dim), clamping each
+///    gradient element to [-clip, clip] as it is read when clip > 0 — the
+///    fused form of the consumer-side "copy the field's column block into a
+///    clipped staging buffer" pass, so the model's sample-major gradient
+///    tensor feeds the scatter loop directly with no staging copy. Stores
+///    without importance state (full, hash, qr) apply per-occurrence
+///    updates in stream order — bit-identical to the scalar loop over
+///    pre-clipped gradients. Adaptive stores deduplicate: each unique id is
+///    updated ONCE with its occurrence-order accumulated (clipped) gradient,
+///    and importance statistics advance once per unique id (frequency
+///    metrics by the occurrence count, gradient-norm metrics by the summed
+///    per-occurrence clipped norms) — the paper's per-batch sketch
+///    insertion. When every id in the batch is distinct the two
+///    formulations coincide bit-for-bit.
 ///
 /// Implementations may use Lookup-time state (e.g. AdaEmbed frequency) and
 /// Tick-time maintenance (CAFE score decay, AdaEmbed reallocation).
@@ -142,11 +151,24 @@ class EmbeddingStore {
   virtual void LookupBatchConst(const uint64_t* ids, size_t n, float* out,
                                 size_t out_stride) const;
 
-  /// Batched backward + sparse SGD: grads + i*dim is the gradient for
-  /// ids[i]. Default is the scalar-fallback loop; see the class comment for
-  /// the dedup semantics adaptive stores implement.
+  /// Batched backward + sparse SGD: grads + i*grad_stride holds ids[i]'s
+  /// gradient (dim floats; grad_stride >= dim), each element clamped to
+  /// [-clip, clip] on read when clip > 0 (clip <= 0 disables clipping).
+  /// The stride + fused clip let EmbeddingLayerGroup::Backward scatter a
+  /// field's column block straight out of the model's sample-major gradient
+  /// tensor — no per-field staging buffer. Default is the scalar-fallback
+  /// loop; see the class comment for the dedup semantics adaptive stores
+  /// implement. Derived classes override this strided virtual and pull the
+  /// packed overload back in with `using EmbeddingStore::ApplyGradientBatch`.
   virtual void ApplyGradientBatch(const uint64_t* ids, size_t n,
-                                  const float* grads, float lr);
+                                  const float* grads, size_t grad_stride,
+                                  float lr, float clip);
+
+  /// Packed, unclipped convenience overload (grad_stride == dim).
+  void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
+                          float lr) {
+    ApplyGradientBatch(ids, n, grads, dim(), lr, /*clip=*/0.0f);
+  }
 
   /// Called once per training iteration; default no-op. Periodic work
   /// (score decay, reallocation) hangs off this.
@@ -182,6 +204,50 @@ class EmbeddingStore {
                                  "' does not support checkpointing");
   }
 
+  /// True when the store implements the incremental-snapshot trio below
+  /// (EnableDirtyTracking / SaveDelta / LoadDelta).
+  virtual bool SupportsIncrementalSnapshots() const { return false; }
+
+  /// Switches on dirty-row tracking: from this call on, every mutation is
+  /// recorded in per-store epoch-stamped dirty sets keyed on PHYSICAL rows
+  /// (table rows, hash/qr buckets, cafe hot slots + hash backing, mde
+  /// projections), so SaveDelta can serialize exactly what changed. The
+  /// caller MUST capture a full SaveState base at the same quiescent point
+  /// (same step boundary): a delta is only meaningful relative to that base
+  /// plus every prior delta. Calling it again resets the sets (a rebase).
+  /// Costs O(rows) stamp memory while enabled and one branch + one stamp
+  /// check per row touched on the update path.
+  virtual Status EnableDirtyTracking() {
+    return Status::Unimplemented("store '" + Name() +
+                                 "' does not support incremental snapshots");
+  }
+
+  /// Stops tracking and releases the stamp arrays. No-op when not enabled.
+  virtual void DisableDirtyTracking() {}
+
+  /// Serializes every piece of mutable state that changed since the last
+  /// SaveDelta (or since EnableDirtyTracking), then flushes the dirty sets
+  /// — the O(changed rows) snapshot cut the online rollout path takes at a
+  /// trainer step boundary, instead of SaveState's O(store bytes). Small
+  /// O(1)/O(hot) state (counters, RNG, thresholds, free lists, sketch
+  /// slots) is always included. FailedPrecondition when tracking is off.
+  virtual Status SaveDelta(io::Writer* writer) {
+    (void)writer;
+    return Status::Unimplemented("store '" + Name() +
+                                 "' does not support incremental snapshots");
+  }
+
+  /// Applies a delta written by SaveDelta to a store previously restored
+  /// from the matching base SaveState plus every preceding delta IN ORDER.
+  /// After the k-th LoadDelta the store is bit-identical to the live store
+  /// at the k-th cut (identical SaveState bytes). On any mismatch the store
+  /// must be considered unusable, like LoadState.
+  virtual Status LoadDelta(io::Reader* reader) {
+    (void)reader;
+    return Status::Unimplemented("store '" + Name() +
+                                 "' does not support incremental snapshots");
+  }
+
   /// Achieved compression ratio (uncompressed bytes / MemoryBytes).
   double AchievedCompressionRatio(const EmbeddingConfig& config) const {
     return static_cast<double>(config.UncompressedBytes()) /
@@ -202,6 +268,32 @@ inline double GradNorm(const float* grad, uint32_t dim) {
   double norm_sq = 0.0;
   for (uint32_t i = 0; i < dim; ++i) {
     norm_sq += static_cast<double>(grad[i]) * grad[i];
+  }
+  return std::sqrt(norm_sq);
+}
+
+/// Normalizes an ApplyGradientBatch clip parameter to a clamp bound:
+/// clip <= 0 means "no clipping", which std::clamp against +/-infinity
+/// reproduces exactly (finite floats, including -0.0f, pass through with
+/// their bit pattern intact), so the scatter loops keep ONE code path.
+inline float ClipBound(float clip) {
+  return clip > 0.0f ? clip : std::numeric_limits<float>::infinity();
+}
+
+/// One gradient element, clamped on read — the fused form of the staging
+/// buffer's element clamp. Bit-identical to clamping into a staging array
+/// and reading it back.
+inline float ClipVal(float g, float bound) {
+  return std::clamp(g, -bound, bound);
+}
+
+/// GradNorm over clip-on-read elements: what the staged path computed by
+/// taking GradNorm of the already-clamped staging buffer.
+inline double ClippedGradNorm(const float* grad, uint32_t dim, float bound) {
+  double norm_sq = 0.0;
+  for (uint32_t i = 0; i < dim; ++i) {
+    const double g = ClipVal(grad[i], bound);
+    norm_sq += g * g;
   }
   return std::sqrt(norm_sq);
 }

@@ -32,6 +32,7 @@ void FullEmbedding::LookupConst(uint64_t id, float* out) const {
 
 void FullEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
   CAFE_DCHECK(id < config_.total_features);
+  if (dirty_.enabled()) dirty_.Mark(id);
   float* row = table_.data() + id * config_.dim;
   for (uint32_t i = 0; i < config_.dim; ++i) row[i] -= lr * grad[i];
 }
@@ -74,20 +75,56 @@ Status FullEmbedding::LoadState(io::Reader* reader) {
 }
 
 void FullEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
-                                       const float* grads, float lr) {
-  // Per-occurrence updates in stream order: bit-identical to the scalar
-  // loop even when the batch repeats ids.
+                                       const float* grads, size_t grad_stride,
+                                       float lr, float clip) {
+  // Per-occurrence updates in stream order, gradient elements clamped as
+  // they are read straight from the model's strided gradient tensor:
+  // bit-identical to the scalar loop over pre-clipped gradients even when
+  // the batch repeats ids.
   const uint32_t d = config_.dim;
+  const float bound = embed_internal::ClipBound(clip);
+  const bool track = dirty_.enabled();
   float* table = table_.data();
   for (size_t i = 0; i < n; ++i) {
     if (i + kPrefetchDistance < n) {
       PrefetchWrite(table + ids[i + kPrefetchDistance] * d);
     }
     CAFE_DCHECK(ids[i] < config_.total_features);
+    if (track) dirty_.Mark(ids[i]);
     float* row = table + ids[i] * d;
-    const float* g = grads + i * d;
-    for (uint32_t k = 0; k < d; ++k) row[k] -= lr * g[k];
+    const float* g = grads + i * grad_stride;
+    for (uint32_t k = 0; k < d; ++k) {
+      row[k] -= lr * embed_internal::ClipVal(g[k], bound);
+    }
   }
+}
+
+Status FullEmbedding::EnableDirtyTracking() {
+  dirty_.Enable(config_.total_features);
+  return Status::OK();
+}
+
+Status FullEmbedding::SaveDelta(io::Writer* writer) {
+  if (!dirty_.enabled()) {
+    return Status::FailedPrecondition(
+        "full embedding: dirty tracking is not enabled");
+  }
+  writer->WriteU32(config_.dim);
+  delta_internal::WriteDirtyRows(writer, dirty_, table_.data(), config_.dim);
+  dirty_.Flush();
+  return Status::OK();
+}
+
+Status FullEmbedding::LoadDelta(io::Reader* reader) {
+  uint32_t d = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU32(&d));
+  if (d != config_.dim) {
+    return Status::FailedPrecondition(
+        "full embedding: delta sizing does not match this store");
+  }
+  return delta_internal::ReadDirtyRows(reader, table_.data(),
+                                       config_.total_features, config_.dim,
+                                       "full table");
 }
 
 }  // namespace cafe

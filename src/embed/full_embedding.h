@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "embed/dirty_rows.h"
 #include "embed/embedding_store.h"
 
 namespace cafe {
@@ -26,20 +27,27 @@ class FullEmbedding : public EmbeddingStore {
                    size_t out_stride) override;
   void LookupBatchConst(const uint64_t* ids, size_t n, float* out,
                         size_t out_stride) const override;
+  using EmbeddingStore::ApplyGradientBatch;
   void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
-                          float lr) override;
+                          size_t grad_stride, float lr, float clip) override;
   size_t MemoryBytes() const override {
     return table_.size() * sizeof(float);
   }
   std::string Name() const override { return "full"; }
   Status SaveState(io::Writer* writer) const override;
   Status LoadState(io::Reader* reader) override;
+  bool SupportsIncrementalSnapshots() const override { return true; }
+  Status EnableDirtyTracking() override;
+  void DisableDirtyTracking() override { dirty_.Disable(); }
+  Status SaveDelta(io::Writer* writer) override;
+  Status LoadDelta(io::Reader* reader) override;
 
  private:
   explicit FullEmbedding(const EmbeddingConfig& config);
 
   EmbeddingConfig config_;
   std::vector<float> table_;  // n x dim
+  DirtyRowSet dirty_;         // table rows touched since the last delta cut
 };
 
 }  // namespace cafe

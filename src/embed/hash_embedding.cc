@@ -39,7 +39,9 @@ void HashEmbedding::LookupConst(uint64_t id, float* out) const {
 }
 
 void HashEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
-  float* row = table_.data() + RowOf(id) * config_.dim;
+  const uint64_t bucket = RowOf(id);
+  if (dirty_.enabled()) dirty_.Mark(bucket);
+  float* row = table_.data() + bucket * config_.dim;
   for (uint32_t i = 0; i < config_.dim; ++i) row[i] -= lr * grad[i];
 }
 
@@ -94,10 +96,14 @@ Status HashEmbedding::LoadState(io::Reader* reader) {
 }
 
 void HashEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
-                                       const float* grads, float lr) {
+                                       const float* grads, size_t grad_stride,
+                                       float lr, float clip) {
   // Stream order is preserved so colliding ids scatter their updates in the
-  // same sequence as the scalar loop (bit-identical results).
+  // same sequence as the scalar loop (bit-identical results); gradient
+  // elements clamp on read straight from the strided tensor.
   const uint32_t d = config_.dim;
+  const float bound = embed_internal::ClipBound(clip);
+  const bool track = dirty_.enabled();
   float* table = table_.data();
   row_scratch_.resize(n);
   for (size_t i = 0; i < n; ++i) row_scratch_[i] = RowOf(ids[i]);
@@ -105,10 +111,40 @@ void HashEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
     if (i + kPrefetchDistance < n) {
       PrefetchWrite(table + row_scratch_[i + kPrefetchDistance] * d);
     }
+    if (track) dirty_.Mark(row_scratch_[i]);
     float* row = table + row_scratch_[i] * d;
-    const float* g = grads + i * d;
-    for (uint32_t k = 0; k < d; ++k) row[k] -= lr * g[k];
+    const float* g = grads + i * grad_stride;
+    for (uint32_t k = 0; k < d; ++k) {
+      row[k] -= lr * embed_internal::ClipVal(g[k], bound);
+    }
   }
+}
+
+Status HashEmbedding::EnableDirtyTracking() {
+  dirty_.Enable(num_rows_);
+  return Status::OK();
+}
+
+Status HashEmbedding::SaveDelta(io::Writer* writer) {
+  if (!dirty_.enabled()) {
+    return Status::FailedPrecondition(
+        "hash embedding: dirty tracking is not enabled");
+  }
+  writer->WriteU32(config_.dim);
+  delta_internal::WriteDirtyRows(writer, dirty_, table_.data(), config_.dim);
+  dirty_.Flush();
+  return Status::OK();
+}
+
+Status HashEmbedding::LoadDelta(io::Reader* reader) {
+  uint32_t d = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU32(&d));
+  if (d != config_.dim) {
+    return Status::FailedPrecondition(
+        "hash embedding: delta sizing does not match this store");
+  }
+  return delta_internal::ReadDirtyRows(reader, table_.data(), num_rows_,
+                                       config_.dim, "hash table");
 }
 
 }  // namespace cafe

@@ -6,6 +6,7 @@
 
 #include "common/hash.h"
 #include "common/random.h"
+#include "embed/dirty_rows.h"
 #include "embed/embedding_store.h"
 
 namespace cafe {
@@ -29,14 +30,20 @@ class HashEmbedding : public EmbeddingStore {
                    size_t out_stride) override;
   void LookupBatchConst(const uint64_t* ids, size_t n, float* out,
                         size_t out_stride) const override;
+  using EmbeddingStore::ApplyGradientBatch;
   void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
-                          float lr) override;
+                          size_t grad_stride, float lr, float clip) override;
   size_t MemoryBytes() const override {
     return table_.size() * sizeof(float);
   }
   std::string Name() const override { return "hash"; }
   Status SaveState(io::Writer* writer) const override;
   Status LoadState(io::Reader* reader) override;
+  bool SupportsIncrementalSnapshots() const override { return true; }
+  Status EnableDirtyTracking() override;
+  void DisableDirtyTracking() override { dirty_.Disable(); }
+  Status SaveDelta(io::Writer* writer) override;
+  Status LoadDelta(io::Reader* reader) override;
 
   uint64_t num_rows() const { return num_rows_; }
 
@@ -52,6 +59,7 @@ class HashEmbedding : public EmbeddingStore {
   /// Row indices of the in-flight batch: hashed once up front so the
   /// gather loop can prefetch rows ahead of the copy. Reused across calls.
   std::vector<uint64_t> row_scratch_;
+  DirtyRowSet dirty_;  // hash buckets touched since the last delta cut
 };
 
 }  // namespace cafe

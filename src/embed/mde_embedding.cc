@@ -167,12 +167,14 @@ void MdeEmbedding::LookupBatchConst(const uint64_t* ids, size_t n, float* out,
 }
 
 void MdeEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
-                                      const float* grads, float lr) {
-  // One row+projection backward per unique id with the accumulated
-  // gradient: the projection matrix sees the true batch gradient instead of
-  // per-occurrence partial steps.
+                                      const float* grads, size_t grad_stride,
+                                      float lr, float clip) {
+  // One row+projection backward per unique id with the clip-on-read
+  // accumulated gradient: the projection matrix sees the true batch
+  // gradient instead of per-occurrence partial steps.
   dedup_.Build(ids, n);
-  dedup_.AccumulateRows(grads, n, config_.dim, &grad_accum_);
+  dedup_.AccumulateRows(grads, n, config_.dim, grad_stride, clip,
+                        &grad_accum_);
   const size_t num_unique = dedup_.num_unique();
   for (size_t u = 0; u < num_unique; ++u) {
     ApplyOne(dedup_.unique_id(u), grad_accum_.data() + u * config_.dim, lr);
@@ -183,6 +185,10 @@ void MdeEmbedding::ApplyOne(uint64_t id, const float* grad, float lr) {
   const size_t field = layout_.FieldOf(id);
   const uint64_t local = id - layout_.offset(field);
   const uint32_t df = field_dims_[field];
+  if (dirty_features_.enabled()) {
+    dirty_features_.Mark(id);
+    dirty_projections_.Mark(field);
+  }
   float* row = tables_.data() + table_offset_[field] + local * df;
   float* proj = projections_.data() + proj_offset_[field];
   // d(out)/d(row_i) = proj row i; d(out)/d(proj_ij) = row_i * grad_j.
@@ -226,6 +232,93 @@ Status MdeEmbedding::LoadState(io::Reader* reader) {
       reader->ReadVecExpected(&tables_, tables_.size(), "mde tables"));
   return reader->ReadVecExpected(&projections_, projections_.size(),
                                  "mde projections");
+}
+
+Status MdeEmbedding::EnableDirtyTracking() {
+  dirty_features_.Enable(config_.total_features);
+  dirty_projections_.Enable(layout_.num_fields());
+  return Status::OK();
+}
+
+Status MdeEmbedding::SaveDelta(io::Writer* writer) {
+  if (!dirty_features_.enabled()) {
+    return Status::FailedPrecondition(
+        "mde embedding: dirty tracking is not enabled");
+  }
+  writer->WriteU32(config_.dim);
+  writer->WriteU64(config_.total_features);
+  // Per dirty feature: its d_f-wide table row (width derived from the
+  // feature's field on both sides).
+  writer->WriteU64(dirty_features_.rows().size());
+  for (const uint64_t id : dirty_features_.rows()) {
+    const size_t field = layout_.FieldOf(id);
+    const uint64_t local = id - layout_.offset(field);
+    const uint32_t df = field_dims_[field];
+    writer->WriteU64(id);
+    writer->WriteBytes(tables_.data() + table_offset_[field] + local * df,
+                       df * sizeof(float));
+  }
+  // Per dirty field: the whole d_f x d projection matrix.
+  writer->WriteU64(dirty_projections_.rows().size());
+  for (const uint64_t field : dirty_projections_.rows()) {
+    writer->WriteU64(field);
+    writer->WriteBytes(
+        projections_.data() + proj_offset_[field],
+        static_cast<size_t>(field_dims_[field]) * config_.dim *
+            sizeof(float));
+  }
+  dirty_features_.Flush();
+  dirty_projections_.Flush();
+  return Status::OK();
+}
+
+Status MdeEmbedding::LoadDelta(io::Reader* reader) {
+  uint32_t d = 0;
+  uint64_t features = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU32(&d));
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&features));
+  if (d != config_.dim || features != config_.total_features) {
+    return Status::FailedPrecondition(
+        "mde embedding: delta sizing does not match this store");
+  }
+  uint64_t feature_count = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&feature_count));
+  if (feature_count > config_.total_features) {
+    return Status::FailedPrecondition("mde embedding: corrupt delta features");
+  }
+  for (uint64_t i = 0; i < feature_count; ++i) {
+    uint64_t id = 0;
+    CAFE_RETURN_IF_ERROR(reader->ReadU64(&id));
+    if (id >= config_.total_features) {
+      return Status::FailedPrecondition(
+          "mde embedding: delta feature out of range");
+    }
+    const size_t field = layout_.FieldOf(id);
+    const uint64_t local = id - layout_.offset(field);
+    const uint32_t df = field_dims_[field];
+    CAFE_RETURN_IF_ERROR(reader->ReadBytes(
+        tables_.data() + table_offset_[field] + local * df,
+        df * sizeof(float)));
+  }
+  uint64_t field_count = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&field_count));
+  if (field_count > layout_.num_fields()) {
+    return Status::FailedPrecondition(
+        "mde embedding: corrupt delta projections");
+  }
+  for (uint64_t i = 0; i < field_count; ++i) {
+    uint64_t field = 0;
+    CAFE_RETURN_IF_ERROR(reader->ReadU64(&field));
+    if (field >= layout_.num_fields()) {
+      return Status::FailedPrecondition(
+          "mde embedding: delta field out of range");
+    }
+    CAFE_RETURN_IF_ERROR(reader->ReadBytes(
+        projections_.data() + proj_offset_[field],
+        static_cast<size_t>(field_dims_[field]) * config_.dim *
+            sizeof(float)));
+  }
+  return Status::OK();
 }
 
 size_t MdeEmbedding::MemoryBytes() const {

@@ -6,6 +6,7 @@
 
 #include "common/random.h"
 #include "embed/batch_dedup.h"
+#include "embed/dirty_rows.h"
 #include "embed/embedding_store.h"
 
 namespace cafe {
@@ -43,12 +44,21 @@ class MdeEmbedding : public EmbeddingStore {
                    size_t out_stride) override;
   void LookupBatchConst(const uint64_t* ids, size_t n, float* out,
                         size_t out_stride) const override;
+  using EmbeddingStore::ApplyGradientBatch;
   void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
-                          float lr) override;
+                          size_t grad_stride, float lr, float clip) override;
   size_t MemoryBytes() const override;
   std::string Name() const override { return "mde"; }
   Status SaveState(io::Writer* writer) const override;
   Status LoadState(io::Reader* reader) override;
+  bool SupportsIncrementalSnapshots() const override { return true; }
+  Status EnableDirtyTracking() override;
+  void DisableDirtyTracking() override {
+    dirty_features_.Disable();
+    dirty_projections_.Disable();
+  }
+  Status SaveDelta(io::Writer* writer) override;
+  Status LoadDelta(io::Reader* reader) override;
 
   uint32_t field_dim(size_t field) const { return field_dims_[field]; }
 
@@ -74,6 +84,13 @@ class MdeEmbedding : public EmbeddingStore {
   // MDE's per-id cost; dedup runs it once per unique id.
   BatchDeduper dedup_;
   std::vector<float> grad_accum_;  // num_unique x dim
+
+  // Incremental-snapshot tracking: a feature's update dirties its d_f-wide
+  // table row (keyed by global feature id) AND its field's whole d_f x d
+  // projection matrix (the backward writes every projection element), so
+  // projections are tracked per FIELD — a few small matrices per delta.
+  DirtyRowSet dirty_features_;
+  DirtyRowSet dirty_projections_;
 };
 
 }  // namespace cafe

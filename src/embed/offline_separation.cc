@@ -67,7 +67,9 @@ void OfflineSeparationEmbedding::LookupConst(uint64_t id, float* out) const {
 
 void OfflineSeparationEmbedding::ApplyGradient(uint64_t id, const float* grad,
                                                float lr) {
-  float* row = RowOf(id);
+  const uint64_t index = RowIndexOf(id);
+  if (dirty_hot_.enabled()) MarkRow(index);
+  float* row = RowAt(index);
   for (uint32_t i = 0; i < config_.dim; ++i) row[i] -= lr * grad[i];
 }
 
@@ -106,19 +108,59 @@ void OfflineSeparationEmbedding::LookupBatch(const uint64_t* ids, size_t n,
 void OfflineSeparationEmbedding::ApplyGradientBatch(const uint64_t* ids,
                                                     size_t n,
                                                     const float* grads,
-                                                    float lr) {
-  // Resolve each unique id once and apply its accumulated gradient in one
-  // SGD step. The hot/shared split is static, so this is the plain batch
-  // formulation of the scalar loop.
+                                                    size_t grad_stride,
+                                                    float lr, float clip) {
+  // Resolve each unique id once and apply its clip-on-read accumulated
+  // gradient in one SGD step. The hot/shared split is static, so this is
+  // the plain batch formulation of the scalar loop.
   const uint32_t d = config_.dim;
+  const bool track = dirty_hot_.enabled();
   dedup_.Build(ids, n);
-  dedup_.AccumulateRows(grads, n, d, &grad_accum_);
+  dedup_.AccumulateRows(grads, n, d, grad_stride, clip, &grad_accum_);
   const size_t num_unique = dedup_.num_unique();
   for (size_t u = 0; u < num_unique; ++u) {
-    float* row = RowOf(dedup_.unique_id(u));
+    const uint64_t index = RowIndexOf(dedup_.unique_id(u));
+    if (track) MarkRow(index);
+    float* row = RowAt(index);
     const float* g = grad_accum_.data() + u * d;
     for (uint32_t k = 0; k < d; ++k) row[k] -= lr * g[k];
   }
+}
+
+Status OfflineSeparationEmbedding::EnableDirtyTracking() {
+  dirty_hot_.Enable(hot_rows_);
+  dirty_shared_.Enable(shared_rows_);
+  return Status::OK();
+}
+
+Status OfflineSeparationEmbedding::SaveDelta(io::Writer* writer) {
+  if (!dirty_hot_.enabled()) {
+    return Status::FailedPrecondition(
+        "offline separation: dirty tracking is not enabled");
+  }
+  writer->WriteU32(config_.dim);
+  delta_internal::WriteDirtyRows(writer, dirty_hot_, hot_table_.data(),
+                                 config_.dim);
+  delta_internal::WriteDirtyRows(writer, dirty_shared_, shared_table_.data(),
+                                 config_.dim);
+  dirty_hot_.Flush();
+  dirty_shared_.Flush();
+  return Status::OK();
+}
+
+Status OfflineSeparationEmbedding::LoadDelta(io::Reader* reader) {
+  uint32_t d = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU32(&d));
+  if (d != config_.dim) {
+    return Status::FailedPrecondition(
+        "offline separation: delta sizing does not match this store");
+  }
+  CAFE_RETURN_IF_ERROR(delta_internal::ReadDirtyRows(
+      reader, hot_table_.data(), hot_rows_, config_.dim,
+      "offline hot table"));
+  return delta_internal::ReadDirtyRows(reader, shared_table_.data(),
+                                       shared_rows_, config_.dim,
+                                       "offline shared table");
 }
 
 Status OfflineSeparationEmbedding::SaveState(io::Writer* writer) const {

@@ -8,6 +8,7 @@
 #include "common/hash.h"
 #include "common/random.h"
 #include "embed/batch_dedup.h"
+#include "embed/dirty_rows.h"
 #include "embed/embedding_store.h"
 
 namespace cafe {
@@ -39,12 +40,21 @@ class OfflineSeparationEmbedding : public EmbeddingStore {
   using EmbeddingStore::LookupBatch;
   void LookupBatch(const uint64_t* ids, size_t n, float* out,
                    size_t out_stride) override;
+  using EmbeddingStore::ApplyGradientBatch;
   void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
-                          float lr) override;
+                          size_t grad_stride, float lr, float clip) override;
   size_t MemoryBytes() const override;
   std::string Name() const override { return "offline"; }
   Status SaveState(io::Writer* writer) const override;
   Status LoadState(io::Reader* reader) override;
+  bool SupportsIncrementalSnapshots() const override { return true; }
+  Status EnableDirtyTracking() override;
+  void DisableDirtyTracking() override {
+    dirty_hot_.Disable();
+    dirty_shared_.Disable();
+  }
+  Status SaveDelta(io::Writer* writer) override;
+  Status LoadDelta(io::Reader* reader) override;
 
   uint64_t hot_rows() const { return hot_rows_; }
 
@@ -58,6 +68,28 @@ class OfflineSeparationEmbedding : public EmbeddingStore {
   float* RowOf(uint64_t id);
   const float* RowOf(uint64_t id) const;
 
+  /// Physical row of `id` in the combined space [0, hot_rows) hot,
+  /// [hot_rows, hot_rows + shared_rows) shared — what the dirty sets and
+  /// the update paths key on (the pointer falls out of the index).
+  uint64_t RowIndexOf(uint64_t id) const {
+    auto it = hot_index_.find(id);
+    return it != hot_index_.end() ? it->second
+                                  : hot_rows_ + hash_.Bounded(id, shared_rows_);
+  }
+  float* RowAt(uint64_t index) {
+    return index < hot_rows_
+               ? hot_table_.data() + static_cast<size_t>(index) * config_.dim
+               : shared_table_.data() +
+                     static_cast<size_t>(index - hot_rows_) * config_.dim;
+  }
+  void MarkRow(uint64_t index) {
+    if (index < hot_rows_) {
+      dirty_hot_.Mark(index);
+    } else {
+      dirty_shared_.Mark(index - hot_rows_);
+    }
+  }
+
   EmbeddingConfig config_;
   uint64_t hot_rows_;
   uint64_t shared_rows_;
@@ -70,6 +102,10 @@ class OfflineSeparationEmbedding : public EmbeddingStore {
   BatchDeduper dedup_;
   std::vector<float> grad_accum_;   // num_unique x dim
   std::vector<float*> row_scratch_; // num_unique resolved rows
+
+  // Incremental-snapshot tracking, one set per physical table.
+  DirtyRowSet dirty_hot_;
+  DirtyRowSet dirty_shared_;
 };
 
 }  // namespace cafe

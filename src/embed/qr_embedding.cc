@@ -86,6 +86,10 @@ void QrEmbedding::LookupConst(uint64_t id, float* out) const {
 
 void QrEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
   CAFE_DCHECK(id < config_.total_features);
+  if (dirty_remainder_.enabled()) {
+    dirty_remainder_.Mark(id % m_);
+    dirty_quotient_.Mark(id / m_);
+  }
   float* r = remainder_table_.data() + (id % m_) * config_.dim;
   float* q = quotient_table_.data() + (id / m_) * config_.dim;
   if (combine_ == Combine::kAdd) {
@@ -160,10 +164,13 @@ Status QrEmbedding::LoadState(io::Reader* reader) {
 }
 
 void QrEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
-                                     const float* grads, float lr) {
+                                     const float* grads, size_t grad_stride,
+                                     float lr, float clip) {
   // Stream order: ids sharing either component row update it in the same
-  // sequence as the scalar loop.
+  // sequence as the scalar loop; gradient elements clamp on read.
   const uint32_t d = config_.dim;
+  const float bound = embed_internal::ClipBound(clip);
+  const bool track = dirty_remainder_.enabled();
   float* rem = remainder_table_.data();
   float* quo = quotient_table_.data();
   for (size_t i = 0; i < n; ++i) {
@@ -173,22 +180,64 @@ void QrEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
       PrefetchWrite(quo + (ahead / m_) * d);
     }
     CAFE_DCHECK(ids[i] < config_.total_features);
+    if (track) {
+      dirty_remainder_.Mark(ids[i] % m_);
+      dirty_quotient_.Mark(ids[i] / m_);
+    }
     float* r = rem + (ids[i] % m_) * d;
     float* q = quo + (ids[i] / m_) * d;
-    const float* g = grads + i * d;
+    const float* g = grads + i * grad_stride;
     if (combine_ == Combine::kAdd) {
       for (uint32_t k = 0; k < d; ++k) {
-        r[k] -= lr * g[k];
-        q[k] -= lr * g[k];
+        const float gk = embed_internal::ClipVal(g[k], bound);
+        r[k] -= lr * gk;
+        q[k] -= lr * gk;
       }
     } else {
       for (uint32_t k = 0; k < d; ++k) {
+        const float gk = embed_internal::ClipVal(g[k], bound);
         const float r_old = r[k];
-        r[k] -= lr * g[k] * q[k];
-        q[k] -= lr * g[k] * r_old;
+        r[k] -= lr * gk * q[k];
+        q[k] -= lr * gk * r_old;
       }
     }
   }
+}
+
+Status QrEmbedding::EnableDirtyTracking() {
+  dirty_remainder_.Enable(m_);
+  dirty_quotient_.Enable(q_rows_);
+  return Status::OK();
+}
+
+Status QrEmbedding::SaveDelta(io::Writer* writer) {
+  if (!dirty_remainder_.enabled()) {
+    return Status::FailedPrecondition(
+        "qr embedding: dirty tracking is not enabled");
+  }
+  writer->WriteU32(config_.dim);
+  delta_internal::WriteDirtyRows(writer, dirty_remainder_,
+                                 remainder_table_.data(), config_.dim);
+  delta_internal::WriteDirtyRows(writer, dirty_quotient_,
+                                 quotient_table_.data(), config_.dim);
+  dirty_remainder_.Flush();
+  dirty_quotient_.Flush();
+  return Status::OK();
+}
+
+Status QrEmbedding::LoadDelta(io::Reader* reader) {
+  uint32_t d = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU32(&d));
+  if (d != config_.dim) {
+    return Status::FailedPrecondition(
+        "qr embedding: delta sizing does not match this store");
+  }
+  CAFE_RETURN_IF_ERROR(delta_internal::ReadDirtyRows(
+      reader, remainder_table_.data(), m_, config_.dim,
+      "qr remainder table"));
+  return delta_internal::ReadDirtyRows(reader, quotient_table_.data(),
+                                       q_rows_, config_.dim,
+                                       "qr quotient table");
 }
 
 }  // namespace cafe

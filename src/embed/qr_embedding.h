@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "embed/dirty_rows.h"
 #include "embed/embedding_store.h"
 
 namespace cafe {
@@ -38,10 +39,19 @@ class QrEmbedding : public EmbeddingStore {
                    size_t out_stride) override;
   void LookupBatchConst(const uint64_t* ids, size_t n, float* out,
                         size_t out_stride) const override;
+  using EmbeddingStore::ApplyGradientBatch;
   void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
-                          float lr) override;
+                          size_t grad_stride, float lr, float clip) override;
   Status SaveState(io::Writer* writer) const override;
   Status LoadState(io::Reader* reader) override;
+  bool SupportsIncrementalSnapshots() const override { return true; }
+  Status EnableDirtyTracking() override;
+  void DisableDirtyTracking() override {
+    dirty_remainder_.Disable();
+    dirty_quotient_.Disable();
+  }
+  Status SaveDelta(io::Writer* writer) override;
+  Status LoadDelta(io::Reader* reader) override;
   size_t MemoryBytes() const override {
     return (remainder_table_.size() + quotient_table_.size()) * sizeof(float);
   }
@@ -60,6 +70,10 @@ class QrEmbedding : public EmbeddingStore {
   uint64_t q_rows_;  // quotient table rows = ceil(n / m)
   std::vector<float> remainder_table_;
   std::vector<float> quotient_table_;
+  // Each component table is its own physical row space: an id's update
+  // dirties one row in EACH.
+  DirtyRowSet dirty_remainder_;
+  DirtyRowSet dirty_quotient_;
 };
 
 }  // namespace cafe

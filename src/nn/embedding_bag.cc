@@ -1,8 +1,5 @@
 #include "nn/embedding_bag.h"
 
-#include <algorithm>
-#include <cstring>
-
 #include "common/logging.h"
 
 namespace cafe {
@@ -40,19 +37,12 @@ void EmbeddingLayerGroup::Backward(const Batch& batch, const float* grad,
     ids_.BuildFrom(batch);
   }
   CAFE_DCHECK(ids_.batch_size() == n && ids_.num_fields() == num_fields_);
-  field_grad_.resize(n * d);
+  // Strided scatter: field f's gradient column block is consumed in place
+  // at grad + b*stride + f*d by the store itself, clamped as it reads —
+  // the backward mirror of Forward's strided gather.
   for (size_t f = 0; f < num_fields_; ++f) {
-    // Stage field f's gradient column block contiguously, clipped.
-    const float* src = grad + f * d;
-    float* dst = field_grad_.data();
-    for (size_t b = 0; b < n; ++b) {
-      const float* g = src + b * stride;
-      float* staged = dst + b * d;
-      for (uint32_t k = 0; k < d; ++k) {
-        staged[k] = std::clamp(g[k], -kGradClip, kGradClip);
-      }
-    }
-    store_->ApplyGradientBatch(ids_.field(f), n, field_grad_.data(), lr);
+    store_->ApplyGradientBatch(ids_.field(f), n, grad + f * d, stride, lr,
+                               kGradClip);
   }
 }
 

@@ -9,10 +9,14 @@
 namespace cafe {
 
 /// The batched embedding layer shared by every recommendation model: it
-/// owns the field-major id staging, the per-field lookup buffer, and the
-/// backward gradient staging, and drives the EmbeddingStore through one
-/// LookupBatch / ApplyGradientBatch call per field instead of one virtual
-/// Lookup / ApplyGradient per (sample, field).
+/// owns the field-major id staging and drives the EmbeddingStore through
+/// one LookupBatch / ApplyGradientBatch call per field instead of one
+/// virtual Lookup / ApplyGradient per (sample, field). Both directions are
+/// staging-free: Forward gathers each field's column block straight into
+/// the model input via LookupBatch's output stride, and Backward scatters
+/// each field's gradient column block straight out of the model's gradient
+/// tensor via ApplyGradientBatch's gradient stride, with the elementwise
+/// clip fused into the store's read.
 ///
 /// Field-major execution matters beyond devirtualization: ids repeat within
 /// a field (the same hot advertiser, the same site id), so per-field batches
@@ -34,9 +38,10 @@ class EmbeddingLayerGroup {
   /// LookupBatch writes its strided column block directly (no staging copy).
   void Forward(const Batch& batch, float* out, size_t stride);
 
-  /// Batched backward: clips the per-(sample, field) embedding gradients
-  /// elementwise to [-kGradClip, kGradClip] and routes them to the store
-  /// with SGD rate `lr`. `grad` mirrors Forward's layout.
+  /// Batched backward: routes each field's gradient column block of `grad`
+  /// (mirroring Forward's layout) to the store with SGD rate `lr`; the
+  /// store clamps every element to [-kGradClip, kGradClip] as it reads —
+  /// no per-field staging buffer, no second pass over the gradient.
   /// `reuse_staged_ids` lets a TrainStep that just ran Forward on the SAME
   /// unmodified batch skip re-transposing the ids; the caller asserts the
   /// reuse explicitly (no pointer-identity guessing).
@@ -55,8 +60,9 @@ class EmbeddingLayerGroup {
   EmbeddingStore* store_;
   size_t num_fields_;
 
-  FieldMajorIds ids_;              // field-major id staging
-  std::vector<float> field_grad_;  // batch_size x dim clipped grad staging
+  // Field-major id staging, reused across batches (BuildFrom only grows
+  // the backing buffer; steady state re-fills in place, no allocation).
+  FieldMajorIds ids_;
 };
 
 }  // namespace cafe

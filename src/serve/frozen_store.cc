@@ -48,11 +48,14 @@ void FrozenStore::ApplyGradient(uint64_t id, const float* grad, float lr) {
 }
 
 void FrozenStore::ApplyGradientBatch(const uint64_t* ids, size_t n,
-                                     const float* grads, float lr) {
+                                     const float* grads, size_t grad_stride,
+                                     float lr, float clip) {
   (void)ids;
   (void)n;
   (void)grads;
+  (void)grad_stride;
   (void)lr;
+  (void)clip;
   CAFE_CHECK(false) << "ApplyGradientBatch on a frozen store (" << Name()
                     << "): snapshots are read-only";
 }

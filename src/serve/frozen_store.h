@@ -46,8 +46,9 @@ class FrozenStore : public EmbeddingStore {
 
   /// Frozen stores are read-only; calling these aborts.
   void ApplyGradient(uint64_t id, const float* grad, float lr) override;
+  using EmbeddingStore::ApplyGradientBatch;
   void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
-                          float lr) override;
+                          size_t grad_stride, float lr, float clip) override;
   void Tick() override {}
 
   size_t MemoryBytes() const override { return store_->MemoryBytes(); }

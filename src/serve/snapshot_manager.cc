@@ -19,6 +19,10 @@ SnapshotManager::SnapshotManager(EmbeddingStore* live_store,
       live_name_(live_store != nullptr ? live_store->Name() : "") {
   CAFE_CHECK(live_store_ != nullptr) << "snapshot manager needs a live store";
   CAFE_CHECK(factory_ != nullptr) << "snapshot manager needs a store factory";
+  CAFE_CHECK(!options_.incremental ||
+             live_store_->SupportsIncrementalSnapshots())
+      << "incremental cuts requested but store '" << live_name_
+      << "' does not support SaveDelta/LoadDelta";
 }
 
 SnapshotManager::SnapshotManager(EmbeddingStore* live_store,
@@ -26,10 +30,29 @@ SnapshotManager::SnapshotManager(EmbeddingStore* live_store,
                                  FreshStoreFactory factory)
     : SnapshotManager(live_store, live_model, std::move(factory), Options()) {}
 
+SnapshotManager::~SnapshotManager() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.incremental && base_cut_done_) {
+    live_store_->DisableDirtyTracking();
+  }
+}
+
 void SnapshotManager::CopyStateLocked(uint64_t step) {
   WallTimer timer;
   io::Writer writer;
-  pending_status_ = live_store_->SaveState(&writer);
+  if (options_.incremental && base_cut_done_) {
+    pending_status_ = live_store_->SaveDelta(&writer);
+    pending_is_delta_ = true;
+  } else {
+    pending_status_ = live_store_->SaveState(&writer);
+    pending_is_delta_ = false;
+    if (options_.incremental && pending_status_.ok()) {
+      // Tracking switches on at the SAME boundary the base captures:
+      // everything after this instant lands in the first delta.
+      pending_status_ = live_store_->EnableDirtyTracking();
+      base_cut_done_ = pending_status_.ok();
+    }
+  }
   pending_payload_ = writer.Release();
   pending_dense_.clear();
   if (pending_status_.ok() && live_model_ != nullptr) {
@@ -45,6 +68,7 @@ void SnapshotManager::CopyStateLocked(uint64_t step) {
   copy_ready_ = true;
   const double copy_us = timer.ElapsedMicros();
   stats_.last_copy_us = copy_us;
+  stats_.last_copy_bytes = pending_payload_.size();
   if (copy_us > stats_.max_copy_us) stats_.max_copy_us = copy_us;
 }
 
@@ -77,8 +101,58 @@ void SnapshotManager::FinishTraining(uint64_t final_step) {
   cv_.notify_all();
 }
 
+StatusOr<std::string> SnapshotManager::ApplyToStaging(std::string payload,
+                                                      bool is_delta,
+                                                      uint64_t generation) {
+  std::unique_lock<std::mutex> lock(staging_mu_);
+  // Deltas are relative to the staging store's CURRENT state, so they must
+  // replay in claim order even when concurrent Cut() callers reach this
+  // point out of order.
+  staging_cv_.wait(lock,
+                   [&] { return applied_generation_ + 1 == generation; });
+  Status status = staging_status_;
+  std::string result;
+  if (status.ok() && staging_store_ == nullptr) {
+    auto fresh = factory_();
+    if (!fresh.ok()) {
+      status = fresh.status();
+    } else if (*fresh == nullptr) {
+      status = Status::InvalidArgument("snapshot store factory returned null");
+    } else if ((*fresh)->Name() != live_name_) {
+      status = Status::FailedPrecondition(
+          "snapshot store factory built '" + (*fresh)->Name() +
+          "' but the live store is '" + live_name_ + "'");
+    } else {
+      staging_store_ = std::move(fresh).value();
+    }
+  }
+  if (status.ok()) {
+    io::Reader reader(std::move(payload));
+    status = is_delta ? staging_store_->LoadDelta(&reader)
+                      : staging_store_->LoadState(&reader);
+    if (status.ok() && reader.remaining() != 0) {
+      status = Status::Internal(
+          "snapshot payload not fully consumed by the staging store");
+    }
+  }
+  if (status.ok()) {
+    io::Writer writer;
+    status = staging_store_->SaveState(&writer);
+    if (status.ok()) result = writer.Release();
+  }
+  // Failure poisons the staging chain: a later delta would apply on top of
+  // unknown state, so every subsequent incremental cut fails fast instead.
+  if (!status.ok() && staging_status_.ok()) staging_status_ = status;
+  applied_generation_ = generation;
+  staging_cv_.notify_all();
+  lock.unlock();
+  if (!status.ok()) return status;
+  return StatusOr<std::string>(std::move(result));
+}
+
 StatusOr<std::shared_ptr<const ServingSnapshot>> SnapshotManager::Cut() {
   std::string payload;
+  bool is_delta = false;
   std::vector<std::vector<float>> dense;
   uint64_t step = 0;
   uint64_t generation = 0;
@@ -106,6 +180,7 @@ StatusOr<std::shared_ptr<const ServingSnapshot>> SnapshotManager::Cut() {
     }
     payload = std::move(pending_payload_);
     pending_payload_.clear();
+    is_delta = pending_is_delta_;
     dense = std::move(pending_dense_);
     pending_dense_.clear();
     step = pending_step_;
@@ -122,8 +197,16 @@ StatusOr<std::shared_ptr<const ServingSnapshot>> SnapshotManager::Cut() {
   }
 
   // Rebuild OFF the trainer's critical path: a factory-fresh store takes
-  // the copied state, then freezes.
+  // the copied state, then freezes. Incremental mode first replays the
+  // payload into the resident staging store (in claim order) and publishes
+  // the staging store's full state — base + k deltas behaves exactly like
+  // the full copy would have.
   WallTimer timer;
+  if (options_.incremental) {
+    auto staged = ApplyToStaging(std::move(payload), is_delta, generation);
+    if (!staged.ok()) return staged.status();
+    payload = std::move(staged).value();
+  }
   auto fresh = factory_();
   if (!fresh.ok()) return fresh.status();
   if (*fresh == nullptr) {
@@ -150,6 +233,7 @@ StatusOr<std::shared_ptr<const ServingSnapshot>> SnapshotManager::Cut() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.cuts;
+    if (is_delta) ++stats_.delta_cuts;
     stats_.last_rebuild_us = rebuild_us;
     if (rebuild_us > stats_.max_rebuild_us) {
       stats_.max_rebuild_us = rebuild_us;

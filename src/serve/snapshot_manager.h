@@ -48,6 +48,16 @@ namespace cafe {
 /// When no trainer is active (before BeginTraining / after FinishTraining)
 /// Cut() copies directly on the calling thread — the store is quiescent by
 /// contract then, which is how the initial and final generations are cut.
+///
+/// With Options::incremental the boundary copy shrinks from O(store bytes)
+/// to O(rows changed since the last cut): the first serviced cut copies the
+/// full SaveState payload and switches the store's dirty-row tracking on at
+/// the same boundary; later cuts copy only a SaveDelta. The rollout side
+/// keeps ONE resident staging store in sync (base + deltas replayed in
+/// claim order) and publishes every snapshot from it, so each published
+/// generation is still bit-identical to a quiesced freeze at its step —
+/// the same guarantee as full cuts, at a trainer pause proportional to the
+/// write set.
 class SnapshotManager {
  public:
   /// Builds a fresh, untrained store of the live store's exact
@@ -61,6 +71,17 @@ class SnapshotManager {
     /// request simply waits at the boundary until the interval is met.
     /// 0 services every request at the next boundary.
     uint64_t min_steps_between_cuts = 0;
+
+    /// Incremental cuts: the FIRST serviced cut copies the store's full
+    /// SaveState payload and enables dirty-row tracking at the same step
+    /// boundary; every later cut copies only a SaveDelta — the trainer's
+    /// pause becomes O(rows changed since the last cut) instead of
+    /// O(store bytes). The rollout side maintains a resident staging store
+    /// (base + deltas applied in claim order) and publishes each snapshot
+    /// from it, so rebuild cost and memory stay flat no matter how many
+    /// deltas have been cut. Requires a store with
+    /// SupportsIncrementalSnapshots() (checked at construction).
+    bool incremental = false;
   };
 
   /// `live_store` (and `live_model`, when not null) must outlive the
@@ -71,6 +92,11 @@ class SnapshotManager {
                   FreshStoreFactory factory, const Options& options);
   SnapshotManager(EmbeddingStore* live_store, RecModel* live_model,
                   FreshStoreFactory factory);
+
+  /// Switches the live store's dirty tracking back off (incremental mode).
+  /// The caller must have stopped training and joined every Cut() caller
+  /// first — the same quiescence the rest of teardown already requires.
+  ~SnapshotManager();
 
   /// Trainer thread: call once between TrainStep k and k+1 (and never
   /// concurrently with mutations). Near-free when no cut is pending (one
@@ -103,9 +129,13 @@ class SnapshotManager {
 
   struct Stats {
     uint64_t cuts = 0;
+    /// Cuts serviced as deltas (incremental mode; the first cut is a base).
+    uint64_t delta_cuts = 0;
     /// Trainer pause per cut (the state copy) — the cost training pays.
     double last_copy_us = 0.0;
     double max_copy_us = 0.0;
+    /// Bytes of the last boundary copy (full SaveState or delta payload).
+    uint64_t last_copy_bytes = 0;
     /// Off-trainer rebuild (LoadState + freeze) per cut.
     double last_rebuild_us = 0.0;
     double max_rebuild_us = 0.0;
@@ -113,10 +143,18 @@ class SnapshotManager {
   Stats stats() const;
 
  private:
-  /// Copies live state into the hand-off buffer. Caller holds mu_ and
-  /// guarantees the store is not being mutated (trainer thread at a
-  /// boundary, or no trainer active).
+  /// Copies live state into the hand-off buffer — the full SaveState
+  /// payload, or (incremental mode, after the base) a SaveDelta. Caller
+  /// holds mu_ and guarantees the store is not being mutated (trainer
+  /// thread at a boundary, or no trainer active).
   void CopyStateLocked(uint64_t step);
+
+  /// Incremental-mode publish: applies `payload` (base or delta) to the
+  /// resident staging store IN claim (generation) order, then serializes
+  /// the staging store's full state for the fresh snapshot store. Returns
+  /// the full-state payload.
+  StatusOr<std::string> ApplyToStaging(std::string payload, bool is_delta,
+                                       uint64_t generation);
 
   EmbeddingStore* live_store_;
   RecModel* live_model_;
@@ -132,15 +170,31 @@ class SnapshotManager {
   bool training_active_ = false;
   uint64_t last_step_ = 0;
   uint64_t last_cut_step_ = 0;
+  /// Incremental mode: true once the base copy + EnableDirtyTracking ran
+  /// at a boundary (subsequent copies are deltas). Guarded by mu_.
+  bool base_cut_done_ = false;
   // Hand-off buffer (the write buffer until claimed by Cut(), which moves
   // it out and leaves a fresh one behind — the double-buffer exchange).
   std::string pending_payload_;
+  bool pending_is_delta_ = false;
   std::vector<std::vector<float>> pending_dense_;
   uint64_t pending_step_ = 0;
   Status pending_status_;
   /// Guarded by mu_; assigned at claim time so generation order == step
   /// order regardless of rebuild completion order.
   uint64_t next_generation_ = 0;
+
+  /// Incremental-mode rollout-side state: the resident staging store the
+  /// deltas replay into. Deltas MUST apply in claim order, so appliers
+  /// sequence on applied_generation_ under staging_mu_ (concurrent Cut()
+  /// callers' unlocked rebuilds can otherwise finish out of order). A
+  /// failed apply poisons the staging store: every later incremental cut
+  /// fails fast instead of publishing divergent state.
+  std::mutex staging_mu_;
+  std::condition_variable staging_cv_;
+  std::unique_ptr<EmbeddingStore> staging_store_;
+  uint64_t applied_generation_ = 0;
+  Status staging_status_;
 
   Stats stats_;
 };

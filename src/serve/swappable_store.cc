@@ -95,11 +95,15 @@ void SwappableStore::ApplyGradient(uint64_t id, const float* grad, float lr) {
 }
 
 void SwappableStore::ApplyGradientBatch(const uint64_t* ids, size_t n,
-                                        const float* grads, float lr) {
+                                        const float* grads,
+                                        size_t grad_stride, float lr,
+                                        float clip) {
   (void)ids;
   (void)n;
   (void)grads;
+  (void)grad_stride;
   (void)lr;
+  (void)clip;
   CAFE_CHECK(false) << "ApplyGradientBatch on a swappable serving store ("
                     << Name() << "): snapshots are read-only";
 }

@@ -100,8 +100,9 @@ class SwappableStore : public EmbeddingStore {
   void LookupBatchConst(const uint64_t* ids, size_t n, float* out,
                         size_t out_stride) const override;
   void ApplyGradient(uint64_t id, const float* grad, float lr) override;
+  using EmbeddingStore::ApplyGradientBatch;
   void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
-                          float lr) override;
+                          size_t grad_stride, float lr, float clip) override;
   void Tick() override {}
   size_t MemoryBytes() const override;
   std::string Name() const override;

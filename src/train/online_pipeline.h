@@ -19,6 +19,11 @@ struct OnlinePipelineOptions {
   size_t passes = 1;
   /// Trainer steps between snapshot cuts (the rollout cadence).
   uint64_t snapshot_interval = 50;
+  /// Incremental cuts: after generation 1's full base copy, each cut's
+  /// trainer pause copies only the rows dirtied since the previous cut
+  /// (SnapshotManager::Options::incremental). Requires a store with
+  /// SaveDelta/LoadDelta support — all built-in stores qualify.
+  bool incremental_snapshots = false;
   /// Serving shape (num_fields / num_numerical are filled from the dataset).
   /// Set max_queue_samples here for admission control under overload.
   InferenceServerOptions server;

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -225,6 +226,79 @@ TEST_P(BatchedParityTest, LookupBatchMatchesScalarWithDuplicates) {
           << name << ": strided lookup diverged at batch " << k << " row "
           << i;
     }
+  }
+}
+
+// The staged path this refactor deleted: clamp each gradient row out of the
+// strided tensor into a contiguous staging buffer, then feed the packed
+// batch call — exactly what EmbeddingLayerGroup::Backward used to do per
+// field. The strided call with fused clipping must reproduce it bit for
+// bit, INCLUDING on duplicate-heavy streams (same dedup decisions, same
+// accumulation order, same importance scores) — this is the contract that
+// let the staging copy be deleted.
+TEST_P(BatchedParityTest, StridedBackwardMatchesStagedPath) {
+  const std::string name = GetParam().name;
+  auto staged_store = MakeParityStore(name, GetParam().cr);
+  auto strided_store = MakeParityStore(name, GetParam().cr);
+  ASSERT_NE(staged_store, nullptr);
+  ASSERT_NE(strided_store, nullptr);
+
+  constexpr size_t kStride = kDim + 5;  // model-gradient-tensor layout
+  constexpr float kClip = 1.0f;
+  const auto batches = MakeDuplicateBatches(/*seed=*/4242);
+
+  // Gradients wide enough that the clamp actually engages (the staged path
+  // clipped, so parity would be vacuous on never-clipped values).
+  Rng rng(2121);
+  std::vector<std::vector<float>> grads(kNumBatches);
+  for (auto& g : grads) {
+    g.resize(kBatch * kStride);
+    for (float& v : g) v = rng.UniformFloat(-2.0f, 2.0f);
+  }
+
+  std::vector<float> staging(kBatch * kDim);
+  std::vector<float> out(kBatch * kDim);
+  for (size_t k = 0; k < kNumBatches; ++k) {
+    const std::vector<uint64_t>& ids = batches[k];
+    // Forward on both (advances cafe/ada lookup statistics identically).
+    staged_store->LookupBatch(ids.data(), kBatch, out.data());
+    strided_store->LookupBatch(ids.data(), kBatch, out.data());
+    // Staged reference: clip into the contiguous buffer, packed call.
+    for (size_t i = 0; i < kBatch; ++i) {
+      const float* src = grads[k].data() + i * kStride;
+      float* dst = staging.data() + i * kDim;
+      for (uint32_t t = 0; t < kDim; ++t) {
+        dst[t] = std::clamp(src[t], -kClip, kClip);
+      }
+    }
+    staged_store->ApplyGradientBatch(ids.data(), kBatch, staging.data(),
+                                     0.05f);
+    // Strided path: clamp fused into the scatter, no staging.
+    strided_store->ApplyGradientBatch(ids.data(), kBatch, grads[k].data(),
+                                      kStride, 0.05f, kClip);
+    staged_store->Tick();
+    strided_store->Tick();
+  }
+
+  ExpectAllEmbeddingsIdentical(staged_store.get(), strided_store.get(), name);
+  EXPECT_EQ(staged_store->MemoryBytes(), strided_store->MemoryBytes());
+
+  // Migration decisions (promotion/demotion under dedup'd importance
+  // accumulation) must also be identical, not just the tables.
+  auto* staged_cafe = dynamic_cast<CafeEmbedding*>(staged_store.get());
+  auto* strided_cafe = dynamic_cast<CafeEmbedding*>(strided_store.get());
+  ASSERT_EQ(staged_cafe == nullptr, strided_cafe == nullptr);
+  if (staged_cafe != nullptr) {
+    EXPECT_EQ(staged_cafe->migrations(), strided_cafe->migrations());
+    EXPECT_EQ(staged_cafe->demotions(), strided_cafe->demotions());
+    EXPECT_EQ(staged_cafe->hot_count(), strided_cafe->hot_count());
+    EXPECT_EQ(staged_cafe->hot_threshold(), strided_cafe->hot_threshold());
+    EXPECT_EQ(staged_cafe->lookup_stats().hot,
+              strided_cafe->lookup_stats().hot);
+    EXPECT_EQ(staged_cafe->lookup_stats().medium,
+              strided_cafe->lookup_stats().medium);
+    EXPECT_EQ(staged_cafe->lookup_stats().cold,
+              strided_cafe->lookup_stats().cold);
   }
 }
 
