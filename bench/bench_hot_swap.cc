@@ -14,7 +14,14 @@
 // The rollout phase cuts snapshots INCREMENTALLY (SnapshotManager's
 // delta mode): the first cut copies the full base and turns dirty-row
 // tracking on; every later trainer pause serializes only the rows dirtied
-// since the previous cut.
+// since the previous cut, and every later PUBLISH replays those deltas
+// straight into the manager's ping-pong buffer stores (no full serialize,
+// no fresh store per generation).
+//
+// A fourth section measures the publish path in isolation: per-generation
+// publish cost at 1% / 10% / 100% dirty fractions on a "full" store,
+// against the non-incremental full rebuild — the O(dirty) publish claim,
+// machine-readable in BENCH_hot_swap.json as "publish_scaling".
 //
 // Usage: bench_hot_swap [--smoke] [--json <path>]
 //   --smoke  CI-sized volumes
@@ -28,6 +35,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/random.h"
 #include "common/timer.h"
 #include "serve/inference_server.h"
 #include "serve/snapshot_manager.h"
@@ -212,17 +220,21 @@ int main(int argc, char** argv) {
   std::printf(
       "\nswaps during rollout phase: %llu (generation now %llu)\n"
       "swap latency: trainer copy pause last %.0f us (max %.0f us), "
-      "off-trainer rebuild last %.0f us (max %.0f us)\n"
+      "off-trainer publish last %.0f us (max %.0f us; delta replay last "
+      "%.0f us / %llu bytes into the double buffer)\n"
       "incremental cuts: %llu of %llu were deltas; last boundary copy "
-      "%llu bytes\n"
+      "%llu bytes; retired buffers %llu\n"
       "QPS dip vs steady: %.1f%%\n",
       static_cast<unsigned long long>(swaps.load()),
       static_cast<unsigned long long>(serve_stats.snapshot_generation),
       cut_stats.last_copy_us, cut_stats.max_copy_us,
-      cut_stats.last_rebuild_us, cut_stats.max_rebuild_us,
+      cut_stats.last_publish_us, cut_stats.max_publish_us,
+      cut_stats.last_apply_us,
+      static_cast<unsigned long long>(cut_stats.last_apply_bytes),
       static_cast<unsigned long long>(cut_stats.delta_cuts),
       static_cast<unsigned long long>(cut_stats.cuts),
       static_cast<unsigned long long>(cut_stats.last_copy_bytes),
+      static_cast<unsigned long long>(cut_stats.retired_buffers),
       steady.qps > 0.0 ? 100.0 * (1.0 - during.qps / steady.qps) : 0.0);
   (*server)->Shutdown();
 
@@ -261,11 +273,146 @@ int main(int argc, char** argv) {
       << "admission control failed to bound the queue";
   (*overload_server)->Shutdown();
 
+  // Phase 4: publish scaling — the O(dirty) publish claim, measured on an
+  // isolated "full" store (rows == features, so the dirty fraction maps 1:1
+  // onto delta size). Per fraction: one interval touches EVERY id in the
+  // first fraction-of-the-id-space once (a dense sweep, so the labeled
+  // fraction is exactly the dirty fraction — a fixed-size sampled stream
+  // would cap dirty rows at its draw count and mislabel the axis), then
+  // cut once through the incremental (double-buffered) manager and once
+  // through a full-rebuild manager. Snapshots are dropped immediately (the
+  // healthy retention pattern), so incremental publishes stay on the
+  // reclaim fast path. At 100% dirty the delta IS the store and publish
+  // parity with the full rebuild is expected; the win is the sub-linear
+  // region serving rollouts actually live in.
+  struct ScalingRow {
+    double fraction = 0.0;
+    uint64_t delta_copy_bytes = 0;
+    uint64_t apply_bytes = 0;
+    double apply_us = 0.0;
+    double publish_us = 0.0;
+    double full_publish_us = 0.0;
+  };
+  std::vector<ScalingRow> scaling;
+  const uint64_t scale_features = smoke ? 200'000 : 2'600'000;
+  {
+    constexpr uint32_t kScaleDim = 16;
+    constexpr size_t kScaleBatch = 4096;
+    const int rounds = smoke ? 2 : 3;
+    StoreFactoryContext scale_context;
+    scale_context.embedding.total_features = scale_features;
+    scale_context.embedding.dim = kScaleDim;
+    scale_context.embedding.compression_ratio = 1.0;
+    scale_context.embedding.seed = 97;
+    scale_context.layout = FieldLayout({scale_features});
+    auto scale_live = MakeStore("full", scale_context);
+    CAFE_CHECK(scale_live.ok()) << scale_live.status().ToString();
+    auto scale_factory = [&scale_context]() {
+      return MakeStore("full", scale_context);
+    };
+
+    SnapshotManager::Options inc_options;
+    inc_options.incremental = true;
+    SnapshotManager inc_manager(scale_live->get(), nullptr, scale_factory,
+                                inc_options);
+    SnapshotManager full_manager(scale_live->get(), nullptr, scale_factory);
+
+    Rng scale_rng(1234);
+    std::vector<uint64_t> ids(kScaleBatch);
+    std::vector<float> grads(kScaleBatch * kScaleDim);
+    for (float& g : grads) g = scale_rng.UniformFloat(-0.5f, 0.5f);
+    // One interval = every id in [0, span) updated exactly once: the
+    // labeled dirty fraction is the REAL dirty fraction.
+    auto train_interval = [&](uint64_t span) {
+      for (uint64_t start = 0; start < span; start += kScaleBatch) {
+        const size_t n = static_cast<size_t>(
+            std::min<uint64_t>(kScaleBatch, span - start));
+        for (size_t i = 0; i < n; ++i) ids[i] = start + i;
+        scale_live->get()->ApplyGradientBatch(ids.data(), n, grads.data(),
+                                              0.05f);
+        scale_live->get()->Tick();
+      }
+    };
+    // Warm + base cut (turns tracking on; published O(store) once).
+    train_interval(scale_features);
+    {
+      auto base = inc_manager.Cut();
+      CAFE_CHECK(base.ok()) << base.status().ToString();
+    }
+    // Bootstrap the second buffer: generation 2's publish folds the full
+    // base into the other ping-pong buffer — a one-time O(store) cost.
+    // Measure from generation 3 on, where steady state is two delta
+    // replays per publish.
+    train_interval(scale_features);
+    {
+      auto bootstrap = inc_manager.Cut();
+      CAFE_CHECK(bootstrap.ok()) << bootstrap.status().ToString();
+    }
+
+    std::printf(
+        "\npublish scaling (store=full, %llu features, dense full-coverage "
+        "intervals, median of %d cuts)\n",
+        static_cast<unsigned long long>(scale_features), rounds);
+    std::printf("%8s %14s %14s %12s %12s %14s %9s\n", "dirty", "delta bytes",
+                "apply bytes", "apply us", "publish us", "full rebuild",
+                "publish x");
+    bench::PrintRule(90);
+    const double fractions[] = {0.01, 0.10, 1.00};
+    for (const double fraction : fractions) {
+      const uint64_t span = std::max<uint64_t>(
+          1, static_cast<uint64_t>(fraction *
+                                   static_cast<double>(scale_features)));
+      // Transition cut (not measured): the off-buffer's lagging queue still
+      // holds the PREVIOUS fraction's delta; flush it so every measured
+      // publish replays two same-fraction deltas (the steady state).
+      train_interval(span);
+      {
+        auto transition = inc_manager.Cut();
+        CAFE_CHECK(transition.ok()) << transition.status().ToString();
+      }
+      std::vector<double> apply_us, publish_us, full_us;
+      ScalingRow row;
+      row.fraction = fraction;
+      for (int round = 0; round < rounds; ++round) {
+        train_interval(span);
+        {
+          auto snapshot = inc_manager.Cut();
+          CAFE_CHECK(snapshot.ok()) << snapshot.status().ToString();
+        }
+        const SnapshotManager::Stats inc_stats = inc_manager.stats();
+        CAFE_CHECK(inc_stats.retired_buffers == 0)
+            << "scaling cuts should stay on the reclaim fast path";
+        apply_us.push_back(inc_stats.last_apply_us);
+        publish_us.push_back(inc_stats.last_publish_us);
+        row.delta_copy_bytes = inc_stats.last_copy_bytes;
+        row.apply_bytes = inc_stats.last_apply_bytes;
+        {
+          auto snapshot = full_manager.Cut();
+          CAFE_CHECK(snapshot.ok()) << snapshot.status().ToString();
+        }
+        full_us.push_back(full_manager.stats().last_publish_us);
+      }
+      row.apply_us = bench::Median(apply_us);
+      row.publish_us = bench::Median(publish_us);
+      row.full_publish_us = bench::Median(full_us);
+      scaling.push_back(row);
+      std::printf("%7.0f%% %14llu %14llu %12.1f %12.1f %14.1f %8.1fx\n",
+                  100.0 * fraction,
+                  static_cast<unsigned long long>(row.delta_copy_bytes),
+                  static_cast<unsigned long long>(row.apply_bytes),
+                  row.apply_us, row.publish_us, row.full_publish_us,
+                  row.publish_us > 0.0 ? row.full_publish_us / row.publish_us
+                                       : 0.0);
+    }
+    bench::PrintRule(90);
+  }
+
   std::printf(
       "\nShape check: rollout-phase p50/p99 sit near steady-state (workers "
       "never drain;\nswaps are one pointer flip + a dense-weight refresh per "
-      "worker), and the trainer's\nonly rollout cost is the state copy at a "
-      "step boundary.\n");
+      "worker); the trainer's\nonly rollout cost is the state copy at a "
+      "step boundary, and the publish cost\ntracks the dirty fraction "
+      "instead of the store size.\n");
 
   if (!args.json_path.empty()) {
     bench::JsonWriter json;
@@ -302,13 +449,34 @@ int main(int argc, char** argv) {
     json.Field("swaps", swaps.load());
     json.Field("cuts", cut_stats.cuts);
     json.Field("delta_cuts", cut_stats.delta_cuts);
+    json.Field("retired_buffers", cut_stats.retired_buffers);
     json.Field("last_copy_us", cut_stats.last_copy_us);
     json.Field("max_copy_us", cut_stats.max_copy_us);
     json.Field("last_copy_bytes", cut_stats.last_copy_bytes);
-    json.Field("last_rebuild_us", cut_stats.last_rebuild_us);
-    json.Field("max_rebuild_us", cut_stats.max_rebuild_us);
+    json.Field("last_apply_us", cut_stats.last_apply_us);
+    json.Field("last_apply_bytes", cut_stats.last_apply_bytes);
+    json.Field("last_publish_us", cut_stats.last_publish_us);
+    json.Field("max_publish_us", cut_stats.max_publish_us);
     json.Field("qps_dip_fraction",
                steady.qps > 0.0 ? 1.0 - during.qps / steady.qps : 0.0);
+    json.EndObject();
+    json.Key("publish_scaling");
+    json.BeginObject();
+    json.Field("store", "full");
+    json.Field("features", scale_features);
+    json.Key("rows");
+    json.BeginArray();
+    for (const ScalingRow& row : scaling) {
+      json.BeginObject();
+      json.Field("dirty_fraction", row.fraction);
+      json.Field("delta_copy_bytes", row.delta_copy_bytes);
+      json.Field("apply_bytes", row.apply_bytes);
+      json.Field("apply_us", row.apply_us);
+      json.Field("publish_us", row.publish_us);
+      json.Field("full_publish_us", row.full_publish_us);
+      json.EndObject();
+    }
+    json.EndArray();
     json.EndObject();
     json.Key("overload_stats");
     json.BeginObject();

@@ -1,34 +1,80 @@
 #!/usr/bin/env bash
 # Validates machine-readable bench result files: each argument must exist,
 # be non-empty, and parse as JSON (python3 when available, an object-shape
-# sniff otherwise). Shared by scripts/check.sh and CI so the validation
-# contract has exactly one definition.
-# Usage: scripts/validate_bench_json.sh <file.json> [<file.json> ...]
+# sniff otherwise). An argument may carry a required-key suffix,
+#   <file.json>[:key1,key2,...]
+# in which case every listed key must appear somewhere in the document
+# (python3: recursive key walk; fallback: quoted-string grep) — this is how
+# check.sh/CI pin the bench output contract (e.g. the O(dirty) publish
+# fields) so a refactor cannot silently drop a measured series.
+# Shared by scripts/check.sh and CI so the validation contract has exactly
+# one definition.
+# Usage: scripts/validate_bench_json.sh <file.json>[:k1,k2] ...
 set -euo pipefail
 
 if [[ $# -eq 0 ]]; then
-  echo "usage: $0 <file.json> [<file.json> ...]" >&2
+  echo "usage: $0 <file.json>[:key1,key2,...] ..." >&2
   exit 2
 fi
 
-for file in "$@"; do
+for arg in "$@"; do
+  file="${arg%%:*}"
+  keys=""
+  if [[ "$arg" == *:* ]]; then
+    keys="${arg#*:}"
+  fi
   if [[ ! -s "$file" ]]; then
     echo "FAIL: $file is missing or empty" >&2
     exit 1
   fi
   if command -v python3 > /dev/null 2>&1; then
-    if ! python3 -m json.tool "$file" > /dev/null; then
-      echo "FAIL: $file is not valid JSON" >&2
+    if ! python3 - "$file" "$keys" <<'EOF'
+import json, sys
+path, keys = sys.argv[1], sys.argv[2]
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except Exception as e:
+    print(f"FAIL: {path} is not valid JSON: {e}", file=sys.stderr)
+    sys.exit(1)
+found = set()
+def walk(node):
+    if isinstance(node, dict):
+        for k, v in node.items():
+            found.add(k)
+            walk(v)
+    elif isinstance(node, list):
+        for v in node:
+            walk(v)
+walk(doc)
+missing = [k for k in keys.split(",") if k and k not in found]
+if missing:
+    print(f"FAIL: {path} is missing required keys: {', '.join(missing)}",
+          file=sys.stderr)
+    sys.exit(1)
+EOF
+    then
       exit 1
     fi
   else
-    # No python3: at least require the document to open and close an object.
+    # No python3: at least require the document to open and close an object
+    # and mention each required key as a quoted string.
     head_char="$(head -c 1 "$file")"
     tail_char="$(tail -c 1 "$file")"
     if [[ "$head_char" != "{" || "$tail_char" != "}" ]]; then
       echo "FAIL: $file does not look like a JSON object" >&2
       exit 1
     fi
+    if [[ -n "$keys" ]]; then
+      IFS=',' read -ra key_list <<< "$keys"
+      for key in "${key_list[@]}"; do
+        [[ -z "$key" ]] && continue
+        if ! grep -q "\"$key\"" "$file"; then
+          echo "FAIL: $file is missing required key: $key" >&2
+          exit 1
+        fi
+      done
+    fi
   fi
-  echo "ok: $file"
+  echo "ok: $file${keys:+ (keys: $keys)}"
 done

@@ -556,23 +556,21 @@ Status CafeEmbedding::SaveState(io::Writer* writer) const {
   return Status::OK();
 }
 
-Status CafeEmbedding::EnableDirtyTracking() {
-  dirty_hot_.Enable(plan_.hot_capacity);
-  dirty_shared_a_.Enable(plan_.shared_rows_a);
-  dirty_shared_b_.Enable(plan_.shared_rows_b);
-  dirty_buckets_.Enable(sketch_.num_buckets());
+Status CafeEmbedding::EnableDirtyTracking(bool enable) {
+  if (enable) {
+    dirty_hot_.Enable(plan_.hot_capacity);
+    dirty_shared_a_.Enable(plan_.shared_rows_a);
+    dirty_shared_b_.Enable(plan_.shared_rows_b);
+    dirty_buckets_.Enable(sketch_.num_buckets());
+  } else {
+    dirty_hot_.Disable();
+    dirty_shared_a_.Disable();
+    dirty_shared_b_.Disable();
+    dirty_buckets_.Disable();
+  }
   sketch_fully_dirty_ = false;
   maintenance_dirty_ = false;
   return Status::OK();
-}
-
-void CafeEmbedding::DisableDirtyTracking() {
-  dirty_hot_.Disable();
-  dirty_shared_a_.Disable();
-  dirty_shared_b_.Disable();
-  dirty_buckets_.Disable();
-  sketch_fully_dirty_ = false;
-  maintenance_dirty_ = false;
 }
 
 Status CafeEmbedding::SaveDelta(io::Writer* writer) {

@@ -66,8 +66,8 @@ class CafeEmbedding : public EmbeddingStore {
   Status SaveState(io::Writer* writer) const override;
   Status LoadState(io::Reader* reader) override;
   bool SupportsIncrementalSnapshots() const override { return true; }
-  Status EnableDirtyTracking() override;
-  void DisableDirtyTracking() override;
+  using EmbeddingStore::EnableDirtyTracking;
+  Status EnableDirtyTracking(bool enable) override;
   Status SaveDelta(io::Writer* writer) override;
   Status LoadDelta(io::Reader* reader) override;
 

@@ -284,9 +284,14 @@ Status AdaEmbedding::LoadState(io::Reader* reader) {
   return reader->ReadVecExpected(&table_, table_.size(), "ada table");
 }
 
-Status AdaEmbedding::EnableDirtyTracking() {
-  dirty_features_.Enable(config_.total_features);
-  dirty_rows_.Enable(num_rows_);
+Status AdaEmbedding::EnableDirtyTracking(bool enable) {
+  if (enable) {
+    dirty_features_.Enable(config_.total_features);
+    dirty_rows_.Enable(num_rows_);
+  } else {
+    dirty_features_.Disable();
+    dirty_rows_.Disable();
+  }
   scores_fully_dirty_ = false;
   return Status::OK();
 }

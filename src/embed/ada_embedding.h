@@ -65,12 +65,8 @@ class AdaEmbedding : public EmbeddingStore {
   Status SaveState(io::Writer* writer) const override;
   Status LoadState(io::Reader* reader) override;
   bool SupportsIncrementalSnapshots() const override { return true; }
-  Status EnableDirtyTracking() override;
-  void DisableDirtyTracking() override {
-    dirty_features_.Disable();
-    dirty_rows_.Disable();
-    scores_fully_dirty_ = false;
-  }
+  using EmbeddingStore::EnableDirtyTracking;
+  Status EnableDirtyTracking(bool enable) override;
   Status SaveDelta(io::Writer* writer) override;
   Status LoadDelta(io::Reader* reader) override;
 

@@ -39,9 +39,13 @@ class DirtyRowSet {
     dirty_.clear();
   }
 
-  /// Stops tracking and releases the stamp array.
+  /// Stops tracking, releases the stamp array, and zeroes the epoch so a
+  /// disabled set is bit-identical to a freshly constructed one. Enable()
+  /// re-zeroes stamps and epoch itself, so the reset here is canonical
+  /// state, not a correctness requirement for re-enabling.
   void Disable() {
     enabled_ = false;
+    epoch_ = 0;
     stamps_.clear();
     stamps_.shrink_to_fit();
     dirty_.clear();

@@ -208,22 +208,36 @@ class EmbeddingStore {
   /// (EnableDirtyTracking / SaveDelta / LoadDelta).
   virtual bool SupportsIncrementalSnapshots() const { return false; }
 
-  /// Switches on dirty-row tracking: from this call on, every mutation is
-  /// recorded in per-store epoch-stamped dirty sets keyed on PHYSICAL rows
-  /// (table rows, hash/qr buckets, cafe hot slots + hash backing, mde
-  /// projections), so SaveDelta can serialize exactly what changed. The
-  /// caller MUST capture a full SaveState base at the same quiescent point
-  /// (same step boundary): a delta is only meaningful relative to that base
-  /// plus every prior delta. Calling it again resets the sets (a rebase).
-  /// Costs O(rows) stamp memory while enabled and one branch + one stamp
-  /// check per row touched on the update path.
-  virtual Status EnableDirtyTracking() {
+  /// Switches dirty-row tracking on (enable == true) or off.
+  ///
+  /// Enabling: from this call on, every mutation is recorded in per-store
+  /// epoch-stamped dirty sets keyed on PHYSICAL rows (table rows, hash/qr
+  /// buckets, cafe hot slots + hash backing, mde projections), so SaveDelta
+  /// can serialize exactly what changed. The caller MUST capture a full
+  /// SaveState base at the same quiescent point (same step boundary): a
+  /// delta is only meaningful relative to that base plus every prior delta.
+  /// Calling it again resets the sets (a rebase). Costs O(rows) stamp
+  /// memory while enabled and one branch + one stamp check per row touched
+  /// on the update path.
+  ///
+  /// Disabling releases the stamp arrays AND resets every tracking epoch
+  /// and full-section flag (sketch/score "rewritten wholesale" markers), so
+  /// the next enable — possibly issued by a DIFFERENT SnapshotManager after
+  /// the previous one was torn down mid-chain or with a poisoned publish —
+  /// starts from a clean slate instead of inheriting stale dirty state.
+  /// Disable is a no-op (and always OK) when tracking was never enabled.
+  virtual Status EnableDirtyTracking(bool enable) {
+    if (!enable) return Status::OK();
     return Status::Unimplemented("store '" + Name() +
                                  "' does not support incremental snapshots");
   }
 
-  /// Stops tracking and releases the stamp arrays. No-op when not enabled.
-  virtual void DisableDirtyTracking() {}
+  /// Convenience spelling: EnableDirtyTracking() == EnableDirtyTracking(true)
+  /// (derived classes re-expose it with `using`, like the batch overloads).
+  Status EnableDirtyTracking() { return EnableDirtyTracking(true); }
+
+  /// Convenience alias for EnableDirtyTracking(false).
+  void DisableDirtyTracking() { (void)EnableDirtyTracking(false); }
 
   /// Serializes every piece of mutable state that changed since the last
   /// SaveDelta (or since EnableDirtyTracking), then flushes the dirty sets

@@ -99,8 +99,12 @@ void FullEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
   }
 }
 
-Status FullEmbedding::EnableDirtyTracking() {
-  dirty_.Enable(config_.total_features);
+Status FullEmbedding::EnableDirtyTracking(bool enable) {
+  if (enable) {
+    dirty_.Enable(config_.total_features);
+  } else {
+    dirty_.Disable();
+  }
   return Status::OK();
 }
 

@@ -120,8 +120,12 @@ void HashEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
   }
 }
 
-Status HashEmbedding::EnableDirtyTracking() {
-  dirty_.Enable(num_rows_);
+Status HashEmbedding::EnableDirtyTracking(bool enable) {
+  if (enable) {
+    dirty_.Enable(num_rows_);
+  } else {
+    dirty_.Disable();
+  }
   return Status::OK();
 }
 

@@ -234,9 +234,14 @@ Status MdeEmbedding::LoadState(io::Reader* reader) {
                                  "mde projections");
 }
 
-Status MdeEmbedding::EnableDirtyTracking() {
-  dirty_features_.Enable(config_.total_features);
-  dirty_projections_.Enable(layout_.num_fields());
+Status MdeEmbedding::EnableDirtyTracking(bool enable) {
+  if (enable) {
+    dirty_features_.Enable(config_.total_features);
+    dirty_projections_.Enable(layout_.num_fields());
+  } else {
+    dirty_features_.Disable();
+    dirty_projections_.Disable();
+  }
   return Status::OK();
 }
 

@@ -127,9 +127,14 @@ void OfflineSeparationEmbedding::ApplyGradientBatch(const uint64_t* ids,
   }
 }
 
-Status OfflineSeparationEmbedding::EnableDirtyTracking() {
-  dirty_hot_.Enable(hot_rows_);
-  dirty_shared_.Enable(shared_rows_);
+Status OfflineSeparationEmbedding::EnableDirtyTracking(bool enable) {
+  if (enable) {
+    dirty_hot_.Enable(hot_rows_);
+    dirty_shared_.Enable(shared_rows_);
+  } else {
+    dirty_hot_.Disable();
+    dirty_shared_.Disable();
+  }
   return Status::OK();
 }
 

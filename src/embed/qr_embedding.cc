@@ -204,9 +204,14 @@ void QrEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
   }
 }
 
-Status QrEmbedding::EnableDirtyTracking() {
-  dirty_remainder_.Enable(m_);
-  dirty_quotient_.Enable(q_rows_);
+Status QrEmbedding::EnableDirtyTracking(bool enable) {
+  if (enable) {
+    dirty_remainder_.Enable(m_);
+    dirty_quotient_.Enable(q_rows_);
+  } else {
+    dirty_remainder_.Disable();
+    dirty_quotient_.Disable();
+  }
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #include "io/checkpoint.h"
 
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "io/serialize.h"
@@ -13,23 +14,50 @@ constexpr char kMagic[8] = {'C', 'A', 'F', 'E', 'C', 'K', 'P', 'T'};
 constexpr uint8_t kHasStore = 1u << 0;
 constexpr uint8_t kHasModel = 1u << 1;
 
-Status AppendModelSection(RecModel* model, Writer* writer) {
+/// A dense block as (data, float count) — the one shape both the live-model
+/// and captured-state paths can supply.
+using DenseBlockView = std::pair<const float*, uint64_t>;
+
+/// THE model-section layout (mirrored by RestoreModelSection): name, block
+/// count, per-block size + bytes, optimizer flag + raw optimizer state.
+/// Both writers go through here so the live-model and snapshot-state
+/// checkpoints cannot drift apart byte-wise.
+void AppendModelSectionFromViews(Writer* writer, const std::string& name,
+                                 const std::vector<DenseBlockView>& blocks,
+                                 bool has_optimizer,
+                                 const std::string& optimizer_state) {
   Writer section;
-  section.WriteString(model->Name());
-  std::vector<Param> params;
-  model->CollectDenseParams(&params);
-  section.WriteU64(params.size());
-  for (const Param& p : params) {
-    section.WriteU64(p.size);
-    section.WriteBytes(p.value, p.size * sizeof(float));
+  section.WriteString(name);
+  section.WriteU64(blocks.size());
+  for (const DenseBlockView& block : blocks) {
+    section.WriteU64(block.second);
+    section.WriteBytes(block.first, block.second * sizeof(float));
   }
-  Optimizer* optimizer = model->optimizer();
-  section.WriteBool(optimizer != nullptr);
-  if (optimizer != nullptr) {
-    CAFE_RETURN_IF_ERROR(optimizer->SaveState(&section));
+  section.WriteBool(has_optimizer);
+  if (has_optimizer) {
+    section.WriteBytes(optimizer_state.data(), optimizer_state.size());
   }
   writer->WriteU64(section.size());
   writer->WriteBytes(section.buffer().data(), section.size());
+}
+
+Status AppendModelSection(RecModel* model, Writer* writer) {
+  std::vector<Param> params;
+  model->CollectDenseParams(&params);
+  std::vector<DenseBlockView> blocks;
+  blocks.reserve(params.size());
+  for (const Param& p : params) {
+    blocks.emplace_back(p.value, p.size);
+  }
+  Optimizer* optimizer = model->optimizer();
+  std::string optimizer_state;
+  if (optimizer != nullptr) {
+    Writer optimizer_writer;
+    CAFE_RETURN_IF_ERROR(optimizer->SaveState(&optimizer_writer));
+    optimizer_state = optimizer_writer.Release();
+  }
+  AppendModelSectionFromViews(writer, model->Name(), blocks,
+                              optimizer != nullptr, optimizer_state);
   return Status::OK();
 }
 
@@ -77,16 +105,25 @@ Status RestoreModelSection(Reader* reader, RecModel* model,
   return Status::OK();
 }
 
+void WriteContainerHeader(Writer* writer, bool has_model) {
+  writer->WriteBytes(kMagic, sizeof(kMagic));
+  writer->WriteU32(kCheckpointVersion);
+  uint8_t flags = kHasStore;
+  if (has_model) flags |= kHasModel;
+  writer->WriteU8(flags);
+}
+
+Status SealAndWrite(const std::string& path, Writer* writer) {
+  writer->WriteU64(Fingerprint(writer->buffer().data(), writer->size()));
+  return WriteFileAtomic(path, writer->buffer());
+}
+
 }  // namespace
 
 Status SaveCheckpoint(const std::string& path, const EmbeddingStore& store,
                       RecModel* model) {
   Writer writer;
-  writer.WriteBytes(kMagic, sizeof(kMagic));
-  writer.WriteU32(kCheckpointVersion);
-  uint8_t flags = kHasStore;
-  if (model != nullptr) flags |= kHasModel;
-  writer.WriteU8(flags);
+  WriteContainerHeader(&writer, model != nullptr);
 
   Writer store_section;
   store_section.WriteString(store.Name());
@@ -97,9 +134,40 @@ Status SaveCheckpoint(const std::string& path, const EmbeddingStore& store,
   if (model != nullptr) {
     CAFE_RETURN_IF_ERROR(AppendModelSection(model, &writer));
   }
+  return SealAndWrite(path, &writer);
+}
 
-  writer.WriteU64(Fingerprint(writer.buffer().data(), writer.size()));
-  return WriteFileAtomic(path, writer.buffer());
+Status SaveCheckpointFromState(const std::string& path,
+                               const std::string& store_name,
+                               const std::string& store_state,
+                               const CheckpointModelState* model) {
+  if (model != nullptr &&
+      (model->dense_blocks == nullptr ||
+       (model->has_optimizer && model->optimizer_state == nullptr))) {
+    return Status::InvalidArgument(
+        "checkpoint model state is missing dense blocks or optimizer bytes");
+  }
+  Writer writer;
+  WriteContainerHeader(&writer, model != nullptr);
+
+  // Store section: identical bytes to SaveCheckpoint's (name + SaveState).
+  Writer store_section;
+  store_section.WriteString(store_name);
+  store_section.WriteBytes(store_state.data(), store_state.size());
+  writer.WriteU64(store_section.size());
+  writer.WriteBytes(store_section.buffer().data(), store_section.size());
+
+  if (model != nullptr) {
+    std::vector<DenseBlockView> blocks;
+    blocks.reserve(model->dense_blocks->size());
+    for (const std::vector<float>& block : *model->dense_blocks) {
+      blocks.emplace_back(block.data(), block.size());
+    }
+    AppendModelSectionFromViews(
+        &writer, model->model_name, blocks, model->has_optimizer,
+        model->has_optimizer ? *model->optimizer_state : std::string());
+  }
+  return SealAndWrite(path, &writer);
 }
 
 Status LoadCheckpoint(const std::string& path, EmbeddingStore* store,

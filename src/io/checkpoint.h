@@ -54,6 +54,30 @@ Status SaveCheckpoint(const std::string& path, const EmbeddingStore& store,
 Status LoadCheckpoint(const std::string& path, EmbeddingStore* store,
                       RecModel* model = nullptr);
 
+/// Model-section contents captured out-of-band — a boundary-consistent
+/// ServingSnapshot rather than a live RecModel. Every view must stay valid
+/// for the duration of the SaveCheckpointFromState call.
+struct CheckpointModelState {
+  std::string model_name;
+  /// Dense blocks in CollectDenseParams order (required, may be empty).
+  const std::vector<std::vector<float>>* dense_blocks = nullptr;
+  /// Optimizer::SaveState bytes; ignored unless has_optimizer.
+  bool has_optimizer = false;
+  const std::string* optimizer_state = nullptr;
+};
+
+/// Writes the SAME v2 container as SaveCheckpoint, but from already
+/// serialized state: `store_state` is the store's SaveState payload and
+/// `model` (optional) the dense/optimizer state captured with it. This is
+/// how a ServingSnapshot cut with capture_optimizer becomes a full
+/// training-resume checkpoint (serve/snapshot_checkpoint.h) — the online
+/// and offline checkpoint paths produce interchangeable files, readable by
+/// LoadCheckpoint.
+Status SaveCheckpointFromState(const std::string& path,
+                               const std::string& store_name,
+                               const std::string& store_state,
+                               const CheckpointModelState* model);
+
 }  // namespace io
 }  // namespace cafe
 

@@ -66,12 +66,26 @@ class Writer {
   std::string buffer_;
 };
 
-/// Sequential decoder over an owned byte buffer. Every accessor checks
-/// bounds and returns OutOfRange on truncation instead of reading past the
-/// end, so a corrupted file fails with a clean Status.
+/// Sequential decoder over an owned byte buffer (or a borrowed view).
+/// Every accessor checks bounds and returns OutOfRange on truncation
+/// instead of reading past the end, so a corrupted file fails with a clean
+/// Status.
 class Reader {
  public:
-  explicit Reader(std::string bytes) : bytes_(std::move(bytes)) {}
+  explicit Reader(std::string bytes)
+      : owned_(std::move(bytes)), bytes_(&owned_) {}
+
+  /// Non-owning view: `*borrowed` must outlive the reader and stay
+  /// unmodified while it reads. The snapshot publish path uses this to
+  /// replay ONE delta payload into both ping-pong buffers without copying
+  /// the bytes per application.
+  explicit Reader(const std::string* borrowed) : bytes_(borrowed) {}
+
+  // Not copyable or movable: an owning reader's cursor points into its own
+  // owned_ buffer, so the compiler-generated copies would leave the new
+  // object reading the OLD object's storage. Readers are consumed in place.
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
 
   Status ReadBytes(void* out, size_t size) {
     // All bounds checks in this class compare against the REMAINING byte
@@ -80,7 +94,7 @@ class Reader {
     if (size > remaining()) {
       return Status::OutOfRange("serialized data truncated");
     }
-    std::memcpy(out, bytes_.data() + pos_, size);
+    std::memcpy(out, bytes_->data() + pos_, size);
     pos_ += size;
     return Status::OK();
   }
@@ -105,7 +119,7 @@ class Reader {
     if (size > remaining()) {
       return Status::OutOfRange("serialized string truncated");
     }
-    s->assign(bytes_.data() + pos_, size);
+    s->assign(bytes_->data() + pos_, size);
     pos_ += size;
     return Status::OK();
   }
@@ -154,11 +168,12 @@ class Reader {
   }
 
   size_t position() const { return pos_; }
-  size_t remaining() const { return bytes_.size() - pos_; }
-  const std::string& bytes() const { return bytes_; }
+  size_t remaining() const { return bytes_->size() - pos_; }
+  const std::string& bytes() const { return *bytes_; }
 
  private:
-  std::string bytes_;
+  std::string owned_;           // empty when borrowing
+  const std::string* bytes_;    // -> owned_, or the borrowed buffer
   size_t pos_ = 0;
 };
 

@@ -5,8 +5,9 @@
 namespace cafe {
 
 FrozenStore::FrozenStore(const EmbeddingStore* store,
-                         std::unique_ptr<EmbeddingStore> owned)
-    : store_(store), owned_(std::move(owned)) {
+                         std::unique_ptr<EmbeddingStore> owned,
+                         std::shared_ptr<EmbeddingStore> shared)
+    : store_(store), owned_(std::move(owned)), shared_(std::move(shared)) {
   CAFE_CHECK(store_ != nullptr) << "frozen store needs an underlying store";
 }
 
@@ -14,11 +15,19 @@ std::unique_ptr<FrozenStore> FrozenStore::Adopt(
     std::unique_ptr<EmbeddingStore> store) {
   const EmbeddingStore* raw = store.get();
   return std::unique_ptr<FrozenStore>(
-      new FrozenStore(raw, std::move(store)));
+      new FrozenStore(raw, std::move(store), nullptr));
+}
+
+std::unique_ptr<FrozenStore> FrozenStore::AdoptShared(
+    std::shared_ptr<EmbeddingStore> store) {
+  const EmbeddingStore* raw = store.get();
+  return std::unique_ptr<FrozenStore>(
+      new FrozenStore(raw, nullptr, std::move(store)));
 }
 
 std::unique_ptr<FrozenStore> FrozenStore::Wrap(const EmbeddingStore* store) {
-  return std::unique_ptr<FrozenStore>(new FrozenStore(store, nullptr));
+  return std::unique_ptr<FrozenStore>(
+      new FrozenStore(store, nullptr, nullptr));
 }
 
 void FrozenStore::Lookup(uint64_t id, float* out) {

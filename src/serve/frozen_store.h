@@ -28,11 +28,18 @@ namespace cafe {
 /// Ownership: Adopt() freezes and owns a store (the usual serving setup:
 /// load a checkpoint into a fresh store, hand it to the server); Wrap()
 /// borrows one that must outlive the snapshot AND stay quiescent — any
-/// concurrent training on the wrapped store is a data race.
+/// concurrent training on the wrapped store is a data race. AdoptShared()
+/// is the no-copy handoff for the double-buffered publish path: it freezes
+/// a store the SnapshotManager keeps co-owning, so the same resident buffer
+/// can be served now and handed back (through the snapshot's lease) for
+/// delta replay once every reader — including outstanding PinScopes holding
+/// the snapshot — is gone.
 class FrozenStore : public EmbeddingStore {
  public:
   static std::unique_ptr<FrozenStore> Adopt(
       std::unique_ptr<EmbeddingStore> store);
+  static std::unique_ptr<FrozenStore> AdoptShared(
+      std::shared_ptr<EmbeddingStore> store);
   static std::unique_ptr<FrozenStore> Wrap(const EmbeddingStore* store);
 
   uint32_t dim() const override { return store_->dim(); }
@@ -58,10 +65,12 @@ class FrozenStore : public EmbeddingStore {
 
  private:
   FrozenStore(const EmbeddingStore* store,
-              std::unique_ptr<EmbeddingStore> owned);
+              std::unique_ptr<EmbeddingStore> owned,
+              std::shared_ptr<EmbeddingStore> shared);
 
   const EmbeddingStore* store_;            // never null
-  std::unique_ptr<EmbeddingStore> owned_;  // null when wrapping
+  std::unique_ptr<EmbeddingStore> owned_;  // null unless Adopt()
+  std::shared_ptr<EmbeddingStore> shared_;  // null unless AdoptShared()
 };
 
 }  // namespace cafe

@@ -1,0 +1,34 @@
+#include "serve/snapshot_checkpoint.h"
+
+#include "io/checkpoint.h"
+#include "io/serialize.h"
+#include "serve/frozen_store.h"
+
+namespace cafe {
+
+Status WriteSnapshotCheckpoint(const ServingSnapshot& snapshot,
+                               const std::string& path) {
+  if (snapshot.store == nullptr) {
+    return Status::InvalidArgument(
+        "cannot checkpoint a snapshot with no store");
+  }
+  io::Writer store_state;
+  CAFE_RETURN_IF_ERROR(snapshot.store->underlying()->SaveState(&store_state));
+
+  if (snapshot.dense_params.empty() && snapshot.model_name.empty()) {
+    return io::SaveCheckpointFromState(path,
+                                       snapshot.store->underlying()->Name(),
+                                       store_state.buffer(),
+                                       /*model=*/nullptr);
+  }
+  io::CheckpointModelState model;
+  model.model_name = snapshot.model_name;
+  model.dense_blocks = &snapshot.dense_params;
+  model.has_optimizer = snapshot.has_optimizer;
+  model.optimizer_state = &snapshot.optimizer_state;
+  return io::SaveCheckpointFromState(path,
+                                     snapshot.store->underlying()->Name(),
+                                     store_state.buffer(), &model);
+}
+
+}  // namespace cafe

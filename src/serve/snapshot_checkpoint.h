@@ -1,0 +1,30 @@
+#ifndef CAFE_SERVE_SNAPSHOT_CHECKPOINT_H_
+#define CAFE_SERVE_SNAPSHOT_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "serve/swappable_store.h"
+
+namespace cafe {
+
+/// Writes `snapshot` as a standard v2 checkpoint container (io/checkpoint),
+/// byte-compatible with io::SaveCheckpoint — the unification of the online
+/// and offline checkpoint paths: a ServingSnapshot cut mid-training with
+/// SnapshotManager::Options::capture_optimizer carries store state, dense
+/// weights AND optimizer adaptive state from ONE step boundary, so
+/// io::LoadCheckpoint restores it into a fresh store + model and training
+/// resumes bit-identically from the snapshot's step (asserted by
+/// tests/hot_swap_test.cc).
+///
+/// Snapshots without dense weights write a store-only container; snapshots
+/// cut without capture_optimizer write a model section whose optimizer flag
+/// is off (restore keeps the optimizer fresh — the documented v1
+/// semantics). The snapshot's frozen store is only read (SaveState is
+/// const), so this may run while the snapshot is actively serving.
+Status WriteSnapshotCheckpoint(const ServingSnapshot& snapshot,
+                               const std::string& path);
+
+}  // namespace cafe
+
+#endif  // CAFE_SERVE_SNAPSHOT_CHECKPOINT_H_

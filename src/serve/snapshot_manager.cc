@@ -1,10 +1,12 @@
 #include "serve/snapshot_manager.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/timer.h"
 #include "io/serialize.h"
+#include "serve/frozen_store.h"
 
 namespace cafe {
 
@@ -16,13 +18,16 @@ SnapshotManager::SnapshotManager(EmbeddingStore* live_store,
       live_model_(live_model),
       factory_(std::move(factory)),
       options_(options),
-      live_name_(live_store != nullptr ? live_store->Name() : "") {
+      live_name_(live_store != nullptr ? live_store->Name() : ""),
+      leases_(std::make_shared<LeaseState>()) {
   CAFE_CHECK(live_store_ != nullptr) << "snapshot manager needs a live store";
   CAFE_CHECK(factory_ != nullptr) << "snapshot manager needs a store factory";
   CAFE_CHECK(!options_.incremental ||
              live_store_->SupportsIncrementalSnapshots())
       << "incremental cuts requested but store '" << live_name_
       << "' does not support SaveDelta/LoadDelta";
+  CAFE_CHECK(!options_.capture_optimizer || live_model_ != nullptr)
+      << "capture_optimizer requested without a live model";
 }
 
 SnapshotManager::SnapshotManager(EmbeddingStore* live_store,
@@ -33,7 +38,10 @@ SnapshotManager::SnapshotManager(EmbeddingStore* live_store,
 SnapshotManager::~SnapshotManager() {
   std::lock_guard<std::mutex> lock(mu_);
   if (options_.incremental && base_cut_done_) {
-    live_store_->DisableDirtyTracking();
+    // Full reset (epochs + full-section flags), not just a stop: a fresh
+    // manager created over the same live store must rebase from a clean
+    // slate even when THIS manager died with a poisoned publish chain.
+    (void)live_store_->EnableDirtyTracking(false);
   }
 }
 
@@ -55,13 +63,38 @@ void SnapshotManager::CopyStateLocked(uint64_t step) {
   }
   pending_payload_ = writer.Release();
   pending_dense_.clear();
+  pending_optimizer_.clear();
+  pending_has_optimizer_ = false;
+  pending_model_name_.clear();
   if (pending_status_.ok() && live_model_ != nullptr) {
+    pending_model_name_ = live_model_->Name();
     std::vector<Param> params;
     live_model_->CollectDenseParams(&params);
     pending_dense_.reserve(params.size());
     for (const Param& p : params) {
       pending_dense_.emplace_back(p.value, p.value + p.size);
     }
+    if (options_.capture_optimizer) {
+      Optimizer* optimizer = live_model_->optimizer();
+      if (optimizer != nullptr) {
+        io::Writer optimizer_writer;
+        pending_status_ = optimizer->SaveState(&optimizer_writer);
+        pending_optimizer_ = optimizer_writer.Release();
+        pending_has_optimizer_ = pending_status_.ok();
+      }
+    }
+  }
+  if (!pending_status_.ok() && options_.incremental && base_cut_done_) {
+    // A capture step failed and the payload is about to be discarded with
+    // the error — but it may have been the only record of flushed state: a
+    // SaveDelta has already emptied the dirty sets, and a just-taken base
+    // has already rebased tracking. Either way, staying "based" would make
+    // the NEXT successful cut emit a delta missing this interval's rows
+    // (or a delta with no base under it) — a silently divergent
+    // generation. Roll the whole chain back to unbased; the next cut
+    // retakes a full base at its own boundary.
+    (void)live_store_->EnableDirtyTracking(false);
+    base_cut_done_ = false;
   }
   pending_step_ = step;
   last_cut_step_ = step;
@@ -101,66 +134,202 @@ void SnapshotManager::FinishTraining(uint64_t final_step) {
   cv_.notify_all();
 }
 
-StatusOr<std::string> SnapshotManager::ApplyToStaging(std::string payload,
-                                                      bool is_delta,
-                                                      uint64_t generation) {
-  std::unique_lock<std::mutex> lock(staging_mu_);
-  // Deltas are relative to the staging store's CURRENT state, so they must
-  // replay in claim order even when concurrent Cut() callers reach this
-  // point out of order.
-  staging_cv_.wait(lock,
-                   [&] { return applied_generation_ + 1 == generation; });
-  Status status = staging_status_;
-  std::string result;
-  if (status.ok() && staging_store_ == nullptr) {
-    auto fresh = factory_();
-    if (!fresh.ok()) {
-      status = fresh.status();
-    } else if (*fresh == nullptr) {
-      status = Status::InvalidArgument("snapshot store factory returned null");
-    } else if ((*fresh)->Name() != live_name_) {
-      status = Status::FailedPrecondition(
-          "snapshot store factory built '" + (*fresh)->Name() +
-          "' but the live store is '" + live_name_ + "'");
-    } else {
-      staging_store_ = std::move(fresh).value();
+StatusOr<std::unique_ptr<EmbeddingStore>>
+SnapshotManager::MakeValidatedFreshStore() {
+  auto fresh = factory_();
+  if (!fresh.ok()) return fresh.status();
+  if (*fresh == nullptr) {
+    return Status::InvalidArgument("snapshot store factory returned null");
+  }
+  if ((*fresh)->Name() != live_name_) {
+    return Status::FailedPrecondition(
+        "snapshot store factory built '" + (*fresh)->Name() +
+        "' but the live store is '" + live_name_ + "'");
+  }
+  return fresh;
+}
+
+Status SnapshotManager::ReclaimOrRetire(size_t slot, uint64_t generation,
+                                        bool* retired) {
+  *retired = false;
+  {
+    std::unique_lock<std::mutex> lock(leases_->mu);
+    if (leases_->leased[slot]) {
+      const auto wait = std::chrono::microseconds(options_.reclaim_wait_us);
+      if (!leases_->cv.wait_for(
+              lock, wait, [&] { return !leases_->leased[slot]; })) {
+        // The previous-but-one generation is still held: retire this buffer
+        // to its holder (shared ownership keeps it alive) and bump the
+        // lease epoch so the stale lease's eventual release cannot clear a
+        // lease the REPLACEMENT buffer hands out later.
+        leases_->leased[slot] = false;
+        ++leases_->epoch[slot];
+        *retired = true;
+      }
     }
   }
+  if (!*retired) return Status::OK();
+
+  BufferSlot& target = buffers_[slot];
+  BufferSlot& other = buffers_[slot ^ 1];
+  if (other.store == nullptr || other.state_gen + 1 != generation) {
+    return Status::Internal(
+        "double-buffer retire: serving buffer is not at the preceding "
+        "generation");
+  }
+  target.store.reset();  // the holder's FrozenStore keeps the old buffer
+  auto fresh = MakeValidatedFreshStore();
+  if (!fresh.ok()) return fresh.status();
+  // Clone the serving buffer's state: SaveState is const and the buffer is
+  // frozen, so this runs safely alongside concurrent serving lookups. This
+  // is the O(store) fallback the lease machinery exists to avoid.
+  io::Writer writer;
+  CAFE_RETURN_IF_ERROR(other.store->SaveState(&writer));
+  std::string full = writer.Release();
+  io::Reader reader(std::move(full));
+  CAFE_RETURN_IF_ERROR((*fresh)->LoadState(&reader));
+  if (reader.remaining() != 0) {
+    return Status::Internal(
+        "snapshot state not fully consumed rebuilding a retired buffer");
+  }
+  target.store = std::move(fresh).value();
+  target.state_gen = other.state_gen;
+  // Payloads the rebuild already folded in are no longer needed.
+  while (!target.pending.empty() &&
+         target.pending.front().generation <= target.state_gen) {
+    target.pending.pop_front();
+  }
+  return Status::OK();
+}
+
+Status SnapshotManager::PublishIncremental(std::string payload, bool is_delta,
+                                           uint64_t generation,
+                                           ServingSnapshot* out) {
+  WallTimer publish_timer;
+  Status status;
+  {
+    // Wait for the publish turn: deltas are relative to the buffers'
+    // current state, so publishes replay in claim order even when
+    // concurrent Cut() callers reach this point out of order. Holding the
+    // turn (published_generation_ + 1 == generation) gives exclusive access
+    // to the buffers without holding the lock through the heavy work.
+    std::unique_lock<std::mutex> lock(publish_mu_);
+    publish_cv_.wait(
+        lock, [&] { return published_generation_ + 1 == generation; });
+    status = publish_status_;
+  }
+
+  const size_t slot = static_cast<size_t>(generation & 1);
+  uint64_t apply_bytes = 0;
+  double apply_us = 0.0;
+  bool retired = false;
   if (status.ok()) {
-    io::Reader reader(std::move(payload));
-    status = is_delta ? staging_store_->LoadDelta(&reader)
-                      : staging_store_->LoadState(&reader);
-    if (status.ok() && reader.remaining() != 0) {
+    // Every payload goes to BOTH buffers: the target folds it in now, the
+    // serving buffer keeps it queued (the lagging queue) until it rotates
+    // back to the off position next cut.
+    auto shared = std::make_shared<const std::string>(std::move(payload));
+    buffers_[0].pending.push_back({generation, is_delta, shared});
+    buffers_[1].pending.push_back({generation, is_delta, shared});
+    status = ReclaimOrRetire(slot, generation, &retired);
+  }
+  if (status.ok()) {
+    BufferSlot& target = buffers_[slot];
+    WallTimer apply_timer;
+    while (status.ok() && !target.pending.empty()) {
+      PendingPayload entry = std::move(target.pending.front());
+      target.pending.pop_front();
+      if (entry.generation <= target.state_gen) continue;  // folded in
+      if (target.store == nullptr) {
+        auto fresh = MakeValidatedFreshStore();
+        if (!fresh.ok()) {
+          status = fresh.status();
+          break;
+        }
+        target.store = std::move(fresh).value();
+      }
+      io::Reader reader(entry.payload.get());
+      status = entry.is_delta ? target.store->LoadDelta(&reader)
+                              : target.store->LoadState(&reader);
+      if (status.ok() && reader.remaining() != 0) {
+        status = Status::Internal(
+            "snapshot payload not fully consumed by the buffer store");
+      }
+      if (status.ok()) {
+        apply_bytes += entry.payload->size();
+        target.state_gen = entry.generation;
+      }
+    }
+    apply_us = apply_timer.ElapsedMicros();
+    if (status.ok() && target.state_gen != generation) {
       status = Status::Internal(
-          "snapshot payload not fully consumed by the staging store");
+          "double-buffer publish drained to the wrong generation");
     }
   }
   if (status.ok()) {
-    io::Writer writer;
-    status = staging_store_->SaveState(&writer);
-    if (status.ok()) result = writer.Release();
+    // Freeze + no-copy handoff. The lease is marked before the snapshot
+    // escapes; its deleter (run by whoever drops the last reference — the
+    // hub at Install, or the last in-flight PinScope) hands the buffer
+    // back. The deleter holds LeaseState strongly, so a snapshot outliving
+    // the manager still releases against valid memory.
+    uint64_t token = 0;
+    {
+      std::lock_guard<std::mutex> lock(leases_->mu);
+      leases_->leased[slot] = true;
+      token = ++leases_->epoch[slot];
+    }
+    std::shared_ptr<LeaseState> lease_state = leases_;
+    out->buffer_lease = std::shared_ptr<void>(
+        static_cast<void*>(nullptr),
+        [lease_state, slot, token](void*) {
+          std::lock_guard<std::mutex> lock(lease_state->mu);
+          if (lease_state->epoch[slot] == token) {
+            lease_state->leased[slot] = false;
+            lease_state->cv.notify_all();
+          }
+        });
+    out->store = FrozenStore::AdoptShared(buffers_[slot].store);
   }
-  // Failure poisons the staging chain: a later delta would apply on top of
-  // unknown state, so every subsequent incremental cut fails fast instead.
-  if (!status.ok() && staging_status_.ok()) staging_status_ = status;
-  applied_generation_ = generation;
-  staging_cv_.notify_all();
-  lock.unlock();
-  if (!status.ok()) return status;
-  return StatusOr<std::string>(std::move(result));
+
+  const double publish_us = publish_timer.ElapsedMicros();
+  {
+    // Advance the turn even on failure (later publishers fail fast on the
+    // poisoned status instead of deadlocking on a generation gap).
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    if (!status.ok() && publish_status_.ok()) publish_status_ = status;
+    published_generation_ = generation;
+    publish_cv_.notify_all();
+  }
+  if (status.ok()) {
+    // Only successful publishes report: a fail-fast on a poisoned chain
+    // must not clobber the last real measurement with zeros, and a retire
+    // whose replacement rebuild then failed produced no publish to count.
+    RecordPublishStats(apply_us, apply_bytes, publish_us, retired);
+  }
+  return status;
+}
+
+void SnapshotManager::RecordPublishStats(double apply_us, uint64_t apply_bytes,
+                                         double publish_us, bool retired) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.last_apply_us = apply_us;
+  stats_.last_apply_bytes = apply_bytes;
+  stats_.last_publish_us = publish_us;
+  if (publish_us > stats_.max_publish_us) stats_.max_publish_us = publish_us;
+  stats_.last_rebuild_us = publish_us;
+  if (publish_us > stats_.max_rebuild_us) stats_.max_rebuild_us = publish_us;
+  if (retired) ++stats_.retired_buffers;
 }
 
 StatusOr<std::shared_ptr<const ServingSnapshot>> SnapshotManager::Cut() {
   std::string payload;
   bool is_delta = false;
-  std::vector<std::vector<float>> dense;
-  uint64_t step = 0;
+  auto snapshot = std::make_shared<ServingSnapshot>();
   uint64_t generation = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
     // One hand-off at a time: wait until no other cutter's request or
-    // unclaimed copy is in flight (the rebuild below runs unlocked, so a
-    // second cutter can already be copying while we rebuild).
+    // unclaimed copy is in flight (the publish below runs unlocked, so a
+    // second cutter can already be copying while we publish).
     cv_.wait(lock, [this] {
       return !cut_requested_.load(std::memory_order_relaxed) && !copy_ready_;
     });
@@ -181,63 +350,56 @@ StatusOr<std::shared_ptr<const ServingSnapshot>> SnapshotManager::Cut() {
     payload = std::move(pending_payload_);
     pending_payload_.clear();
     is_delta = pending_is_delta_;
-    dense = std::move(pending_dense_);
+    snapshot->dense_params = std::move(pending_dense_);
     pending_dense_.clear();
-    step = pending_step_;
+    snapshot->optimizer_state = std::move(pending_optimizer_);
+    pending_optimizer_.clear();
+    snapshot->has_optimizer = pending_has_optimizer_;
+    snapshot->model_name = pending_model_name_;
+    snapshot->train_step = pending_step_;
     copy_ready_ = false;
     const Status copy_status = pending_status_;
     cv_.notify_all();
     if (!copy_status.ok()) return copy_status;
     // Assign the generation at CLAIM time, under the lock: hand-offs are
     // serialized and copies are monotone in step, so generation order
-    // always matches step order even when Cut() callers' unlocked rebuilds
-    // finish out of order — a higher generation can never carry an older
-    // state.
+    // always matches step order even when Cut() callers' unlocked
+    // publishes finish out of order — a higher generation can never carry
+    // an older state.
     generation = ++next_generation_;
+    snapshot->generation = generation;
   }
 
-  // Rebuild OFF the trainer's critical path: a factory-fresh store takes
-  // the copied state, then freezes. Incremental mode first replays the
-  // payload into the resident staging store (in claim order) and publishes
-  // the staging store's full state — base + k deltas behaves exactly like
-  // the full copy would have.
-  WallTimer timer;
+  // Publish OFF the trainer's critical path.
   if (options_.incremental) {
-    auto staged = ApplyToStaging(std::move(payload), is_delta, generation);
-    if (!staged.ok()) return staged.status();
-    payload = std::move(staged).value();
-  }
-  auto fresh = factory_();
-  if (!fresh.ok()) return fresh.status();
-  if (*fresh == nullptr) {
-    return Status::InvalidArgument("snapshot store factory returned null");
-  }
-  if ((*fresh)->Name() != live_name_) {
-    return Status::FailedPrecondition(
-        "snapshot store factory built '" + (*fresh)->Name() +
-        "' but the live store is '" + live_name_ + "'");
-  }
-  io::Reader reader(std::move(payload));
-  CAFE_RETURN_IF_ERROR((*fresh)->LoadState(&reader));
-  if (reader.remaining() != 0) {
-    return Status::Internal("snapshot state not fully consumed by LoadState");
+    // Double-buffered O(dirty) publish: replay the lagging queue into the
+    // non-serving buffer and freeze it in place (see the class comment).
+    CAFE_RETURN_IF_ERROR(
+        PublishIncremental(std::move(payload), is_delta, generation,
+                           snapshot.get()));
+  } else {
+    // Full publish: a factory-fresh store takes the copied state, then
+    // freezes — each snapshot is self-contained.
+    WallTimer timer;
+    auto fresh = MakeValidatedFreshStore();
+    if (!fresh.ok()) return fresh.status();
+    io::Reader reader(std::move(payload));
+    const size_t payload_bytes = reader.remaining();
+    CAFE_RETURN_IF_ERROR((*fresh)->LoadState(&reader));
+    if (reader.remaining() != 0) {
+      return Status::Internal(
+          "snapshot state not fully consumed by LoadState");
+    }
+    snapshot->store = FrozenStore::Adopt(std::move(fresh).value());
+    const double rebuild_us = timer.ElapsedMicros();
+    RecordPublishStats(rebuild_us, payload_bytes, rebuild_us,
+                       /*retired=*/false);
   }
 
-  auto snapshot = std::make_shared<ServingSnapshot>();
-  snapshot->store = FrozenStore::Adopt(std::move(fresh).value());
-  snapshot->dense_params = std::move(dense);
-  snapshot->train_step = step;
-  snapshot->generation = generation;
-
-  const double rebuild_us = timer.ElapsedMicros();
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.cuts;
     if (is_delta) ++stats_.delta_cuts;
-    stats_.last_rebuild_us = rebuild_us;
-    if (rebuild_us > stats_.max_rebuild_us) {
-      stats_.max_rebuild_us = rebuild_us;
-    }
   }
   return std::shared_ptr<const ServingSnapshot>(std::move(snapshot));
 }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -31,33 +32,67 @@ namespace cafe {
 ///   AtStepBoundary(k):
 ///     state -> WRITE buffer  ----+
 ///   TrainStep(batch k+1)        +--->   claim buffer (now the READ buffer)
-///   TrainStep(batch k+2)                rebuild fresh store <- READ buffer
-///   AtStepBoundary(k+2):                FrozenStore::Adopt -> snapshot
-///     state -> fresh WRITE buffer       (next Cut may already be copying)
+///   TrainStep(batch k+2)                publish off the trainer thread
+///   AtStepBoundary(k+2):                (next Cut may already be copying)
+///     state -> fresh WRITE buffer
 ///
 /// Between gradient steps the store is consistent (every mutation happens
 /// inside ApplyGradient*/Tick on the trainer thread), so the copy taken at
 /// a boundary is exactly the state a quiesced freeze at that step would
 /// capture — bit-identical, which tests/hot_swap_test.cc asserts. The copy
 /// is the mutable state exposed by SaveState (tables, sketches, thresholds,
-/// RNG — the complete continued-training state), so the expensive rebuild
-/// (LoadState into a factory-fresh store) runs on the rollout thread while
-/// training continues; ownership of the buffer moves between the two
-/// threads at the epoch boundary, never shared.
+/// RNG — the complete continued-training state), so the expensive publish
+/// runs on the rollout thread while training continues; ownership of the
+/// hand-off buffer moves between the two threads at the epoch boundary,
+/// never shared.
 ///
 /// When no trainer is active (before BeginTraining / after FinishTraining)
 /// Cut() copies directly on the calling thread — the store is quiescent by
 /// contract then, which is how the initial and final generations are cut.
 ///
-/// With Options::incremental the boundary copy shrinks from O(store bytes)
-/// to O(rows changed since the last cut): the first serviced cut copies the
-/// full SaveState payload and switches the store's dirty-row tracking on at
-/// the same boundary; later cuts copy only a SaveDelta. The rollout side
-/// keeps ONE resident staging store in sync (base + deltas replayed in
-/// claim order) and publishes every snapshot from it, so each published
-/// generation is still bit-identical to a quiesced freeze at its step —
-/// the same guarantee as full cuts, at a trainer pause proportional to the
-/// write set.
+/// # Full cuts (Options::incremental == false)
+///
+/// Every cut copies the full SaveState payload and publishes by LoadState
+/// into a factory-fresh store — each snapshot is self-contained, any number
+/// of generations can be retained side by side, and both the trainer pause
+/// and the publish are O(store bytes).
+///
+/// # Incremental cuts (Options::incremental == true)
+///
+/// The WHOLE path is O(rows changed since the last cut):
+///
+///  - Trainer copy: the first serviced cut copies the full SaveState base
+///    and switches the store's dirty-row tracking on at the same boundary;
+///    every later cut copies only a SaveDelta.
+///  - Publish: the manager keeps TWO resident ping-pong buffer stores. Each
+///    payload is queued to both; a cut drains the NON-serving buffer's
+///    lagging queue (the deltas it missed while it was pinned by the
+///    previous-but-one generation) directly via LoadDelta, then freezes and
+///    publishes that buffer with a no-copy handoff
+///    (FrozenStore::AdoptShared) while the previous generation keeps
+///    serving from the other buffer. No full serialize, no LoadState, no
+///    fresh store per publish — steady-state publish cost is two delta
+///    applications.
+///  - Reclaim: each published snapshot carries a lease on its buffer; the
+///    buffer only re-enters delta replay once every holder — including
+///    outstanding SwappableStore PinScopes — has dropped the snapshot
+///    (Install() retires the outgoing generation; the last pin releases the
+///    lease). If a consumer retains an old generation past
+///    Options::reclaim_wait_us, the manager RETIRES that buffer to the
+///    holder (shared ownership keeps it alive) and rebuilds a replacement
+///    from the serving buffer's SaveState — an O(store) fallback that keeps
+///    every generation correct at the cost of one full rebuild, counted in
+///    Stats::retired_buffers.
+///
+/// Either way every published generation is bit-identical to a quiesced
+/// SaveState freeze at its step — the invariant the hot-swap/parity test
+/// batteries assert for all 8 stores, under TSan.
+///
+/// Incremental-mode retention contract: at most the two most recent
+/// generations can be held WITHOUT forcing retire fallbacks; a rollout loop
+/// that installs each snapshot into a SwappableStore (dropping its own
+/// reference) satisfies it naturally. A snapshot may outlive the manager —
+/// shared buffer ownership keeps its store alive.
 class SnapshotManager {
  public:
   /// Builds a fresh, untrained store of the live store's exact
@@ -72,16 +107,23 @@ class SnapshotManager {
     /// 0 services every request at the next boundary.
     uint64_t min_steps_between_cuts = 0;
 
-    /// Incremental cuts: the FIRST serviced cut copies the store's full
-    /// SaveState payload and enables dirty-row tracking at the same step
-    /// boundary; every later cut copies only a SaveDelta — the trainer's
-    /// pause becomes O(rows changed since the last cut) instead of
-    /// O(store bytes). The rollout side maintains a resident staging store
-    /// (base + deltas applied in claim order) and publishes each snapshot
-    /// from it, so rebuild cost and memory stay flat no matter how many
-    /// deltas have been cut. Requires a store with
-    /// SupportsIncrementalSnapshots() (checked at construction).
+    /// Incremental cuts + double-buffered O(dirty) publish (see the class
+    /// comment). Requires a store with SupportsIncrementalSnapshots()
+    /// (checked at construction).
     bool incremental = false;
+
+    /// Also copy the live model's Optimizer::SaveState (Adagrad/Adam
+    /// accumulators, Adam step counter) at the same boundary, making every
+    /// snapshot a full training-resume checkpoint
+    /// (serve/snapshot_checkpoint.h writes it as a v2 container). Adds the
+    /// optimizer serialize to the trainer pause. Requires a live model.
+    bool capture_optimizer = false;
+
+    /// Incremental mode: how long a publish waits for the target buffer's
+    /// lease before giving up and retiring it (O(store) rebuild fallback).
+    /// In a healthy rollout the lease released a whole cut interval ago;
+    /// this only bites consumers that retain generations.
+    uint64_t reclaim_wait_us = 20000;
   };
 
   /// `live_store` (and `live_model`, when not null) must outlive the
@@ -93,9 +135,12 @@ class SnapshotManager {
   SnapshotManager(EmbeddingStore* live_store, RecModel* live_model,
                   FreshStoreFactory factory);
 
-  /// Switches the live store's dirty tracking back off (incremental mode).
+  /// Switches the live store's dirty tracking back off (incremental mode)
+  /// with a FULL epoch reset, so a fresh manager on the same live store —
+  /// even after this one's publish chain was poisoned — rebases cleanly.
   /// The caller must have stopped training and joined every Cut() caller
   /// first — the same quiescence the rest of teardown already requires.
+  /// Outstanding snapshots stay valid: their buffers are co-owned.
   ~SnapshotManager();
 
   /// Trainer thread: call once between TrainStep k and k+1 (and never
@@ -115,9 +160,10 @@ class SnapshotManager {
 
   /// Rollout thread: returns a consistent snapshot of the live state.
   /// Active trainer: blocks until the next (interval-eligible) step
-  /// boundary copy, then rebuilds off the trainer thread. Idle trainer:
-  /// copies directly on this thread. Concurrent Cut() calls are safe and
-  /// serialize on the hand-off, not on the rebuild.
+  /// boundary copy, then publishes off the trainer thread. Idle trainer:
+  /// copies directly on this thread. Concurrent Cut() calls are safe; they
+  /// serialize on the hand-off and (incremental mode) publish in claim
+  /// order.
   StatusOr<std::shared_ptr<const ServingSnapshot>> Cut();
 
   /// True while a Cut() is waiting for a step boundary to copy at. Lets
@@ -131,30 +177,91 @@ class SnapshotManager {
     uint64_t cuts = 0;
     /// Cuts serviced as deltas (incremental mode; the first cut is a base).
     uint64_t delta_cuts = 0;
+    /// Incremental publishes that hit the retire fallback (the target
+    /// buffer's generation was still held past reclaim_wait_us, forcing an
+    /// O(store) rebuild). 0 in a healthy install-and-release rollout.
+    uint64_t retired_buffers = 0;
     /// Trainer pause per cut (the state copy) — the cost training pays.
     double last_copy_us = 0.0;
     double max_copy_us = 0.0;
     /// Bytes of the last boundary copy (full SaveState or delta payload).
     uint64_t last_copy_bytes = 0;
-    /// Off-trainer rebuild (LoadState + freeze) per cut.
+    /// Off-trainer publish per cut, split into the delta/base replay into
+    /// the target buffer (apply) and the whole publish (reclaim wait +
+    /// apply + freeze). Incremental mode: apply bytes are the lagging-queue
+    /// payload bytes folded into the published buffer — O(dirty) in steady
+    /// state. Full mode: apply == the LoadState rebuild, bytes == the full
+    /// payload.
+    double last_apply_us = 0.0;
+    uint64_t last_apply_bytes = 0;
+    double last_publish_us = 0.0;
+    double max_publish_us = 0.0;
+    /// Back-compat aliases of the publish timings (pre-double-buffer name).
     double last_rebuild_us = 0.0;
     double max_rebuild_us = 0.0;
   };
   Stats stats() const;
 
  private:
+  /// One queued copy payload awaiting replay into a buffer.
+  struct PendingPayload {
+    uint64_t generation = 0;
+    bool is_delta = false;
+    /// Shared between the two buffers' queues (applied once per buffer,
+    /// through a borrowing io::Reader — never copied).
+    std::shared_ptr<const std::string> payload;
+  };
+
+  /// One resident ping-pong buffer. Only the publish-turn holder touches a
+  /// slot (publishes are generation-sequenced), so no per-slot lock.
+  struct BufferSlot {
+    std::shared_ptr<EmbeddingStore> store;  // null until first materialized
+    /// Generation whose state the store currently holds.
+    uint64_t state_gen = 0;
+    /// Payloads newer than state_gen, oldest first (the lagging queue).
+    std::deque<PendingPayload> pending;
+  };
+
+  /// Lease bookkeeping shared with outstanding snapshots' lease deleters;
+  /// lives in a shared_ptr so a snapshot outliving the manager releases
+  /// against valid memory.
+  struct LeaseState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool leased[2] = {false, false};
+    /// Bumped per lease hand-out AND per retire: a retired (stale) lease's
+    /// eventual release compares its token against this and no-ops, so it
+    /// can never clear a lease the replacement buffer handed out later.
+    uint64_t epoch[2] = {0, 0};
+  };
+
   /// Copies live state into the hand-off buffer — the full SaveState
-  /// payload, or (incremental mode, after the base) a SaveDelta. Caller
+  /// payload, or (incremental mode, after the base) a SaveDelta — plus the
+  /// model's dense weights and (capture_optimizer) optimizer state. Caller
   /// holds mu_ and guarantees the store is not being mutated (trainer
   /// thread at a boundary, or no trainer active).
   void CopyStateLocked(uint64_t step);
 
-  /// Incremental-mode publish: applies `payload` (base or delta) to the
-  /// resident staging store IN claim (generation) order, then serializes
-  /// the staging store's full state for the fresh snapshot store. Returns
-  /// the full-state payload.
-  StatusOr<std::string> ApplyToStaging(std::string payload, bool is_delta,
-                                       uint64_t generation);
+  /// Factory call + null/name validation.
+  StatusOr<std::unique_ptr<EmbeddingStore>> MakeValidatedFreshStore();
+
+  /// Incremental-mode publish for `generation`: queue the payload to both
+  /// buffers, wait for the publish turn, reclaim-or-retire the target
+  /// buffer, drain its lagging queue via LoadDelta/LoadState, freeze it
+  /// into `out` with a lease. Fills the apply/publish stats fields.
+  Status PublishIncremental(std::string payload, bool is_delta,
+                            uint64_t generation, ServingSnapshot* out);
+
+  /// Waits up to reclaim_wait_us for `slot`'s lease, else retires the
+  /// buffer to its holder and rebuilds a replacement at generation
+  /// `generation - 1` from the other (serving) buffer's SaveState.
+  Status ReclaimOrRetire(size_t slot, uint64_t generation, bool* retired);
+
+  /// One definition of the per-publish Stats update (apply/publish splits,
+  /// maxes, the last_rebuild_us aliases, the retire counter), shared by the
+  /// incremental and full publish paths so the two modes cannot drift.
+  void RecordPublishStats(double apply_us, uint64_t apply_bytes,
+                          double publish_us, bool retired);
 
   EmbeddingStore* live_store_;
   RecModel* live_model_;
@@ -178,23 +285,29 @@ class SnapshotManager {
   std::string pending_payload_;
   bool pending_is_delta_ = false;
   std::vector<std::vector<float>> pending_dense_;
+  std::string pending_optimizer_;
+  bool pending_has_optimizer_ = false;
+  std::string pending_model_name_;
   uint64_t pending_step_ = 0;
   Status pending_status_;
   /// Guarded by mu_; assigned at claim time so generation order == step
-  /// order regardless of rebuild completion order.
+  /// order regardless of publish completion order.
   uint64_t next_generation_ = 0;
 
-  /// Incremental-mode rollout-side state: the resident staging store the
-  /// deltas replay into. Deltas MUST apply in claim order, so appliers
-  /// sequence on applied_generation_ under staging_mu_ (concurrent Cut()
-  /// callers' unlocked rebuilds can otherwise finish out of order). A
-  /// failed apply poisons the staging store: every later incremental cut
-  /// fails fast instead of publishing divergent state.
-  std::mutex staging_mu_;
-  std::condition_variable staging_cv_;
-  std::unique_ptr<EmbeddingStore> staging_store_;
-  uint64_t applied_generation_ = 0;
-  Status staging_status_;
+  /// Incremental-mode publish state. Publishes MUST run in claim order
+  /// (each delta is relative to the buffers' current state), so publishers
+  /// sequence on published_generation_ under publish_mu_; the turn holder
+  /// then works on the buffers unlocked (no other thread touches them until
+  /// it advances the generation). A failed publish poisons the chain:
+  /// every later incremental cut fails fast instead of publishing divergent
+  /// state. Lease state lives separately (leases_) so a serving thread
+  /// releasing the last pin never contends with an in-flight apply.
+  std::mutex publish_mu_;
+  std::condition_variable publish_cv_;
+  uint64_t published_generation_ = 0;
+  Status publish_status_;
+  BufferSlot buffers_[2];
+  std::shared_ptr<LeaseState> leases_;
 
   Stats stats_;
 };

@@ -19,6 +19,13 @@ namespace cafe {
 /// `shared_ptr<const ServingSnapshot>` so an install can never invalidate a
 /// generation a worker is still executing against.
 struct ServingSnapshot {
+  /// Buffer lease, set only by the incremental (double-buffered) publish
+  /// path: its deleter hands the resident buffer behind `store` back to the
+  /// SnapshotManager for delta replay. Declared FIRST so it is destroyed
+  /// LAST — the manager must not see the buffer as reclaimable while the
+  /// FrozenStore borrowing it still exists. Null for self-contained
+  /// snapshots (full cuts own their store outright).
+  std::shared_ptr<void> buffer_lease;
   /// Frozen at `train_step`; FrozenStore is inherently read-only, so the
   /// pointer is usable (e.g. to build a model replica over the snapshot)
   /// even through a const ServingSnapshot.
@@ -27,6 +34,19 @@ struct ServingSnapshot {
   /// same step boundary as the store. Empty when the snapshot was cut
   /// without a model (store-only rollout: replicas keep their weights).
   std::vector<std::vector<float>> dense_params;
+  /// Optimizer adaptive state (Optimizer::SaveState bytes) captured at the
+  /// same boundary when SnapshotManager::Options::capture_optimizer is set
+  /// — together with `store` + `dense_params` this makes the snapshot a
+  /// full training-resume checkpoint (serve/snapshot_checkpoint.h writes it
+  /// as a v2 container). `has_optimizer` is true only when state was
+  /// actually captured (capture_optimizer on AND the model has an
+  /// optimizer); a capture from an optimizer-less model looks the same as
+  /// no capture — restore then keeps a fresh optimizer either way.
+  std::string optimizer_state;
+  bool has_optimizer = false;
+  /// Name of the model the dense weights (and optimizer state) came from;
+  /// empty for store-only snapshots. Guards checkpoint restore.
+  std::string model_name;
   /// Monotonic snapshot id (1-based; 0 means "no snapshot").
   uint64_t generation = 0;
   /// Trainer step boundary the state was copied at.
@@ -59,6 +79,11 @@ class SwappableStore : public EmbeddingStore {
   /// its generation id. In-flight pinned batches keep the old snapshot; new
   /// pins pick this one up. The embedding dim must match the initial
   /// snapshot (models are built against it).
+  ///
+  /// Install is also the RETIRE step of the double-buffered rollout: the
+  /// hub's reference to the outgoing generation drops here, so once the
+  /// last in-flight PinScope on it closes, its buffer_lease releases and
+  /// the SnapshotManager reclaims that buffer for the next delta replay.
   uint64_t Install(std::shared_ptr<const ServingSnapshot> snapshot);
 
   /// The currently installed snapshot.

@@ -45,6 +45,7 @@ StatusOr<OnlinePipelineResult> RunOnlinePipeline(
   SnapshotManager::Options manager_options;
   manager_options.min_steps_between_cuts = options.snapshot_interval;
   manager_options.incremental = options.incremental_snapshots;
+  manager_options.capture_optimizer = options.capture_optimizer;
   SnapshotManager manager(
       live_store->get(), live_model->get(),
       [&store_name, &context]() { return MakeStore(store_name, context); },

@@ -22,9 +22,11 @@
 #include "common/random.h"
 #include "common/zipf.h"
 #include "data/synthetic.h"
+#include "io/checkpoint.h"
 #include "io/serialize.h"
 #include "serve/frozen_store.h"
 #include "serve/inference_server.h"
+#include "serve/snapshot_checkpoint.h"
 #include "serve/snapshot_manager.h"
 #include "serve/swappable_store.h"
 #include "train/model_factory.h"
@@ -332,6 +334,11 @@ TEST_P(IncrementalCutTest, MidTrainingIncrementalCutsMatchQuiescedFreezes) {
   SnapshotManager::Options manager_options;
   manager_options.min_steps_between_cuts = 31;
   manager_options.incremental = true;
+  // This test RETAINS every generation (to compare them all at the end),
+  // deliberately violating the two-generation retention contract: every
+  // publish from generation 3 on must take the retire fallback. Shorten the
+  // reclaim grace so the forced fallbacks don't stall the suite.
+  manager_options.reclaim_wait_us = 2000;
   SnapshotManager manager(
       live->get(), /*live_model=*/nullptr,
       [&name, &context]() { return MakeStore(name, context); },
@@ -368,7 +375,10 @@ TEST_P(IncrementalCutTest, MidTrainingIncrementalCutsMatchQuiescedFreezes) {
   snapshots.push_back(std::move(tail).value());
   EXPECT_EQ(snapshots.back()->train_step, kSteps);
 
-  // Every generation equals a quiesced reference trained on its prefix.
+  // Every generation equals a quiesced reference trained on its prefix —
+  // not just lookup-identical but byte-identical SaveState, the invariant
+  // the double-buffered publish must preserve through delta replay, buffer
+  // rotation, and retire rebuilds alike.
   for (size_t m = 0; m < snapshots.size(); ++m) {
     const uint64_t s = snapshots[m]->train_step;
     EXPECT_EQ(snapshots[m]->generation, m + 1);
@@ -380,12 +390,21 @@ TEST_P(IncrementalCutTest, MidTrainingIncrementalCutsMatchQuiescedFreezes) {
         *snapshots[m]->store, *reference_frozen,
         name + " (incremental cut " + std::to_string(m) + " at step " +
             std::to_string(s) + ")");
+    EXPECT_EQ(SaveStateBytes(*reference->get()),
+              SaveStateBytes(*snapshots[m]->store->underlying()))
+        << name << ": generation " << m + 1
+        << " is not byte-identical to a quiesced SaveState freeze";
   }
 
   const SnapshotManager::Stats stats = manager.stats();
   EXPECT_EQ(stats.cuts, kCuts + 1);
   EXPECT_EQ(stats.delta_cuts, kCuts) << name;  // all but the base
   EXPECT_GT(stats.last_copy_bytes, 0u);
+  // Generations 1 and 2 publish into free buffers; 3 and 4 find their
+  // buffer still held by the retained generation-minus-two snapshot and
+  // must retire it (the held snapshots stay immutable, as verified above).
+  EXPECT_EQ(stats.retired_buffers, 2u) << name;
+  EXPECT_GT(stats.last_publish_us, 0.0) << name;
 }
 
 INSTANTIATE_TEST_SUITE_P(AllStores, IncrementalCutTest,
@@ -397,6 +416,344 @@ INSTANTIATE_TEST_SUITE_P(AllStores, IncrementalCutTest,
                            }
                            return name;
                          });
+
+class ReentrantLoadDeltaTest : public ::testing::TestWithParam<StoreCase> {};
+
+// The double-buffer precondition: LoadState + k LoadDeltas must land
+// byte-identically on an ALREADY-POPULATED store — one that trained through
+// its own decay/maintenance ticks and holds unrelated sketch contents,
+// victim queues, realloc'd score arrays and RNG state — exactly what a
+// resident ping-pong buffer is between publishes. Every section has to be
+// fully overwritten by the replay; nothing may leak through from the
+// previous occupancy. Byte-compared to the live SaveState after EVERY
+// delta, across maintenance ticks on both sides.
+TEST_P(ReentrantLoadDeltaTest, BaseDeltasOntoPopulatedStoreStayByteIdentical) {
+  const std::string name = GetParam().name;
+  const StoreFactoryContext context = MakeContext(GetParam().cr);
+  auto live = MakeStore(name, context);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+
+  GradStream stream(/*seed=*/4242);
+  std::vector<uint64_t> ids;
+  std::vector<float> grads;
+  auto train = [&](EmbeddingStore* store, size_t batches) {
+    for (size_t k = 0; k < batches; ++k) {
+      stream.Next(&ids, &grads);
+      store->ApplyGradientBatch(ids.data(), kBatch, grads.data(), 0.05f);
+      store->Tick();
+    }
+  };
+  train(live->get(), 25);
+  const std::string base = SaveStateBytes(**live);
+  ASSERT_TRUE((*live)->EnableDirtyTracking().ok()) << name;
+
+  // The target is NOT fresh: it trained on a different stream, long enough
+  // to cross its own maintenance ticks (decay/realloc intervals are 10).
+  auto target = MakeStore(name, context);
+  ASSERT_TRUE(target.ok());
+  ApplyStream(target->get(), /*seed=*/9090, 35);
+
+  {
+    io::Reader reader(base);
+    ASSERT_TRUE((*target)->LoadState(&reader).ok()) << name;
+    EXPECT_EQ(reader.remaining(), 0u) << name;
+  }
+  EXPECT_EQ(base, SaveStateBytes(**target))
+      << name << ": LoadState onto a populated store leaked old state";
+
+  constexpr size_t kIntervals = 4;
+  for (size_t j = 0; j < kIntervals; ++j) {
+    train(live->get(), 15);  // crosses a maintenance tick every interval
+    io::Writer delta_writer;
+    ASSERT_TRUE((*live)->SaveDelta(&delta_writer).ok()) << name;
+    const std::string delta = delta_writer.Release();
+    io::Reader reader(&delta);  // borrowed, like the publish path
+    ASSERT_TRUE((*target)->LoadDelta(&reader).ok()) << name << ": delta " << j;
+    EXPECT_EQ(reader.remaining(), 0u) << name << ": delta " << j;
+    EXPECT_EQ(SaveStateBytes(**live), SaveStateBytes(**target))
+        << name << ": SaveState diverged after re-entrant delta " << j;
+  }
+
+  // The replayed store keeps TRAINING identically (RNG, importance scores,
+  // migration machinery all came across, none survived from the previous
+  // occupancy).
+  GradStream continue_live(/*seed=*/808);
+  GradStream continue_target(/*seed=*/808);
+  for (size_t k = 0; k < 20; ++k) {
+    continue_live.Next(&ids, &grads);
+    (*live)->ApplyGradientBatch(ids.data(), kBatch, grads.data(), 0.05f);
+    (*live)->Tick();
+    continue_target.Next(&ids, &grads);
+    (*target)->ApplyGradientBatch(ids.data(), kBatch, grads.data(), 0.05f);
+    (*target)->Tick();
+  }
+  ExpectStoresBitIdentical(**live, **target,
+                           name + " (continued training after re-entrant "
+                                  "replay)");
+  (*live)->DisableDirtyTracking();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStores, ReentrantLoadDeltaTest,
+                         ::testing::ValuesIn(kAllStores),
+                         [](const ::testing::TestParamInfo<StoreCase>& info) {
+                           std::string name = info.param.name;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// Regression: a manager whose publish chain was POISONED (store factory
+// failure mid-rollout) must not bleed into a fresh manager on the same live
+// store. Its destructor turns dirty tracking off with a full epoch reset
+// (EnableDirtyTracking(false)), so training that happens between the two
+// managers is not silently attributed to the new manager's first delta —
+// the new manager rebases from its own full base and its cuts stay
+// byte-identical to quiesced freezes.
+TEST(SnapshotManagerTest, FreshManagerRebasesCleanlyAfterPoisonedChain) {
+  const StoreFactoryContext context = MakeContext(20.0);
+  auto live = MakeStore("cafe", context);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+
+  GradStream stream(/*seed=*/616);
+  std::vector<uint64_t> ids;
+  std::vector<float> grads;
+  auto train = [&](size_t batches) {
+    for (size_t k = 0; k < batches; ++k) {
+      stream.Next(&ids, &grads);
+      (*live)->ApplyGradientBatch(ids.data(), kBatch, grads.data(), 0.05f);
+      (*live)->Tick();
+    }
+  };
+  size_t total_batches = 0;
+  train(30);
+  total_batches += 30;
+
+  {
+    SnapshotManager::Options options;
+    options.incremental = true;
+    SnapshotManager poisoned(
+        live->get(), /*live_model=*/nullptr,
+        []() -> StatusOr<std::unique_ptr<EmbeddingStore>> {
+          return Status::Internal("injected factory failure");
+        },
+        options);
+    // The base copy succeeds and turns tracking ON, but the publish cannot
+    // materialize a buffer: the chain is poisoned from generation 1.
+    auto first = poisoned.Cut();
+    ASSERT_FALSE(first.ok());
+    // Sticky: the next cut (a delta copy) fails fast on the poisoned chain.
+    auto second = poisoned.Cut();
+    ASSERT_FALSE(second.ok());
+    // Destruction disables tracking with a full reset.
+  }
+
+  // Training BETWEEN managers: with stale tracking state this would either
+  // leak into the new manager's first delta or be lost from it.
+  train(10);
+  total_batches += 10;
+
+  SnapshotManager::Options options;
+  options.incremental = true;
+  SnapshotManager manager(
+      live->get(), /*live_model=*/nullptr,
+      [&context]() { return MakeStore("cafe", context); }, options);
+  auto base_cut = manager.Cut();
+  ASSERT_TRUE(base_cut.ok()) << base_cut.status().ToString();
+
+  train(12);
+  total_batches += 12;
+  auto delta_cut = manager.Cut();
+  ASSERT_TRUE(delta_cut.ok()) << delta_cut.status().ToString();
+
+  auto reference = MakeStore("cafe", context);
+  ASSERT_TRUE(reference.ok());
+  ApplyStream(reference->get(), /*seed=*/616, total_batches);
+  EXPECT_EQ(SaveStateBytes(*reference->get()),
+            SaveStateBytes(*(*delta_cut)->store->underlying()))
+      << "delta cut after the poisoned manager diverged from a quiesced "
+         "freeze";
+  const SnapshotManager::Stats stats = manager.stats();
+  EXPECT_EQ(stats.cuts, 2u);
+  EXPECT_EQ(stats.delta_cuts, 1u);
+}
+
+/// Optimizer whose SaveState succeeds `succeed_before` times, then fails
+/// `failures` times, then succeeds again — injects a capture failure AFTER
+/// the store side of the copy (base or delta) already ran.
+class FlakyOptimizer : public Optimizer {
+ public:
+  FlakyOptimizer(int succeed_before, int failures)
+      : succeed_before_(succeed_before), failures_left_(failures) {}
+  std::string Name() const override { return "flaky"; }
+  void Step(float lr) override { (void)lr; }
+  Status SaveState(io::Writer* writer) const override {
+    if (succeed_before_ > 0) {
+      --succeed_before_;
+    } else if (failures_left_ > 0) {
+      --failures_left_;
+      return Status::Internal("injected optimizer capture failure");
+    }
+    return Optimizer::SaveState(writer);
+  }
+
+ private:
+  mutable int succeed_before_;
+  mutable int failures_left_;
+};
+
+/// Minimal model shell so a SnapshotManager can exercise capture_optimizer
+/// against a store that is trained directly.
+class FlakyOptimizerModel : public RecModel {
+ public:
+  FlakyOptimizerModel(int succeed_before, int failures)
+      : optimizer_(succeed_before, failures) {}
+  double TrainStep(const Batch& batch) override {
+    (void)batch;
+    return 0.0;
+  }
+  void Predict(const Batch& batch, std::vector<float>* logits) override {
+    logits->assign(batch.batch_size, 0.0f);
+  }
+  std::string Name() const override { return "flaky-stub"; }
+  EmbeddingStore* store() override { return nullptr; }
+  size_t DenseParameters() const override { return 0; }
+  void CollectDenseParams(std::vector<Param>* out) override { (void)out; }
+  Optimizer* optimizer() override { return &optimizer_; }
+
+ private:
+  FlakyOptimizer optimizer_;
+};
+
+// Regression: when the OPTIMIZER capture fails after the store base was
+// copied and dirty tracking switched on, the failed cut must roll the
+// rebase back — the base payload is discarded with the error, so leaving
+// tracking "based" would make the next cut publish a delta with no base
+// under it (a silently corrupt generation). The retry must retake a full
+// base and every later generation must still match a quiesced freeze.
+TEST(SnapshotManagerTest, FailedOptimizerCaptureRollsBackTheBase) {
+  const StoreFactoryContext context = MakeContext(20.0);
+  auto live = MakeStore("cafe", context);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  FlakyOptimizerModel model(/*succeed_before=*/0, /*failures=*/1);
+
+  GradStream stream(/*seed=*/717);
+  std::vector<uint64_t> ids;
+  std::vector<float> grads;
+  auto train = [&](size_t batches) {
+    for (size_t k = 0; k < batches; ++k) {
+      stream.Next(&ids, &grads);
+      (*live)->ApplyGradientBatch(ids.data(), kBatch, grads.data(), 0.05f);
+      (*live)->Tick();
+    }
+  };
+  size_t total_batches = 0;
+  train(25);
+  total_batches += 25;
+
+  SnapshotManager::Options options;
+  options.incremental = true;
+  options.capture_optimizer = true;
+  SnapshotManager manager(
+      live->get(), &model,
+      [&context]() { return MakeStore("cafe", context); }, options);
+
+  // First cut: store base + EnableDirtyTracking succeed, optimizer capture
+  // fails — the whole cut errors and the rebase is rolled back.
+  auto failed = manager.Cut();
+  ASSERT_FALSE(failed.ok());
+
+  train(10);
+  total_batches += 10;
+
+  // Retry: must be a fresh FULL base (not a delta over a discarded base).
+  auto base_cut = manager.Cut();
+  ASSERT_TRUE(base_cut.ok()) << base_cut.status().ToString();
+  EXPECT_TRUE((*base_cut)->has_optimizer);
+
+  train(12);
+  total_batches += 12;
+  auto delta_cut = manager.Cut();
+  ASSERT_TRUE(delta_cut.ok()) << delta_cut.status().ToString();
+
+  auto reference = MakeStore("cafe", context);
+  ASSERT_TRUE(reference.ok());
+  ApplyStream(reference->get(), /*seed=*/717, total_batches);
+  EXPECT_EQ(SaveStateBytes(*reference->get()),
+            SaveStateBytes(*(*delta_cut)->store->underlying()))
+      << "generation after a failed optimizer capture diverged from a "
+         "quiesced freeze";
+  const SnapshotManager::Stats stats = manager.stats();
+  EXPECT_EQ(stats.cuts, 2u);
+  EXPECT_EQ(stats.delta_cuts, 1u);  // the retry was a base, not a delta
+}
+
+// The harder variant: the optimizer capture fails on a DELTA cut, after
+// SaveDelta already flushed the dirty sets. The discarded payload was the
+// only record of that interval's rows, so the chain must rebase (next cut
+// is a full base again) — without it, the next successful cut would emit a
+// delta missing the failed interval's rows and publish a silently
+// divergent generation.
+TEST(SnapshotManagerTest, FailedOptimizerCaptureOnDeltaCutForcesRebase) {
+  const StoreFactoryContext context = MakeContext(20.0);
+  auto live = MakeStore("cafe", context);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  // Base capture succeeds, the capture on the first DELTA cut fails.
+  FlakyOptimizerModel model(/*succeed_before=*/1, /*failures=*/1);
+
+  GradStream stream(/*seed=*/727);
+  std::vector<uint64_t> ids;
+  std::vector<float> grads;
+  auto train = [&](size_t batches) {
+    for (size_t k = 0; k < batches; ++k) {
+      stream.Next(&ids, &grads);
+      (*live)->ApplyGradientBatch(ids.data(), kBatch, grads.data(), 0.05f);
+      (*live)->Tick();
+    }
+  };
+  size_t total_batches = 0;
+  train(25);
+  total_batches += 25;
+
+  SnapshotManager::Options options;
+  options.incremental = true;
+  options.capture_optimizer = true;
+  SnapshotManager manager(
+      live->get(), &model,
+      [&context]() { return MakeStore("cafe", context); }, options);
+
+  auto base_cut = manager.Cut();
+  ASSERT_TRUE(base_cut.ok()) << base_cut.status().ToString();
+
+  train(10);
+  total_batches += 10;
+  // Delta copy runs (and flushes the dirty sets), then the optimizer
+  // capture fails: the whole interval's dirty record is discarded.
+  auto failed = manager.Cut();
+  ASSERT_FALSE(failed.ok());
+
+  train(12);
+  total_batches += 12;
+  auto rebased = manager.Cut();
+  ASSERT_TRUE(rebased.ok()) << rebased.status().ToString();
+
+  train(9);
+  total_batches += 9;
+  auto delta_cut = manager.Cut();
+  ASSERT_TRUE(delta_cut.ok()) << delta_cut.status().ToString();
+
+  auto reference = MakeStore("cafe", context);
+  ASSERT_TRUE(reference.ok());
+  ApplyStream(reference->get(), /*seed=*/727, total_batches);
+  EXPECT_EQ(SaveStateBytes(*reference->get()),
+            SaveStateBytes(*(*delta_cut)->store->underlying()))
+      << "generation after a failed delta-cut capture diverged from a "
+         "quiesced freeze";
+  const SnapshotManager::Stats stats = manager.stats();
+  EXPECT_EQ(stats.cuts, 3u);
+  // base, rebased FULL base (not a delta over the lost interval), delta.
+  EXPECT_EQ(stats.delta_cuts, 1u);
+}
 
 std::unique_ptr<SyntheticCtrDataset> MakeRolloutDataset() {
   SyntheticDatasetConfig config;
@@ -432,6 +789,21 @@ void ExpectDenseParamsMatchSnapshot(RecModel* model,
                           params[b].size * sizeof(float)),
               0)
         << what << ": dense block " << b << " diverged";
+  }
+}
+
+void ExpectDenseParamsBitIdentical(RecModel* a, RecModel* b,
+                                   const std::string& what) {
+  std::vector<Param> params_a, params_b;
+  a->CollectDenseParams(&params_a);
+  b->CollectDenseParams(&params_b);
+  ASSERT_EQ(params_a.size(), params_b.size()) << what;
+  for (size_t i = 0; i < params_a.size(); ++i) {
+    ASSERT_EQ(params_a[i].size, params_b[i].size) << what;
+    EXPECT_EQ(std::memcmp(params_a[i].value, params_b[i].value,
+                          params_a[i].size * sizeof(float)),
+              0)
+        << what << ": dense block " << i << " diverged";
   }
 }
 
@@ -661,6 +1033,268 @@ TEST(HotSwapServingTest, EveryResponseMatchesExactlyOneGeneration) {
   EXPECT_EQ(stats.snapshot_generation, generations.back()->generation);
   EXPECT_EQ(stats.rejected, 0u);
   (*server)->Shutdown();
+}
+
+// The double-buffer serve-while-apply workload (and its TSan probe):
+// workers serve pinned generations from one resident buffer WHILE the
+// rollout thread replays deltas into the other and flips them. References
+// are captured as logits at install time and the snapshots RELEASED — the
+// healthy retention pattern, keeping publishes on the reclaim fast path.
+// Every response must still match exactly one generation bit-for-bit.
+TEST(HotSwapServingTest, IncrementalDoubleBufferRolloutServesTearFree) {
+  auto data = MakeRolloutDataset();
+  StoreFactoryContext context = MakeContext(1.0);
+  context.embedding.total_features = data->layout().total_features();
+  context.layout = data->layout();
+  const ModelConfig model_config = MakeRolloutModelConfig(*data);
+
+  auto live_store = MakeStore("full", context);
+  ASSERT_TRUE(live_store.ok());
+  auto live_model = MakeModel("wdl", model_config, live_store->get());
+  ASSERT_TRUE(live_model.ok());
+
+  SnapshotManager::Options manager_options;
+  manager_options.min_steps_between_cuts = 5;
+  manager_options.incremental = true;
+  SnapshotManager manager(
+      live_store->get(), live_model->get(),
+      [&context]() { return MakeStore("full", context); }, manager_options);
+
+  const size_t test_begin = data->train_size();
+  const Batch probe = data->GetBatch(test_begin, 16);
+
+  // Reference logits per generation, computed while the generation is
+  // current and before this thread's snapshot reference is released.
+  std::vector<std::vector<float>> reference;
+  auto record_reference =
+      [&](const std::shared_ptr<const ServingSnapshot>& snapshot) {
+        auto replica =
+            MakeModel("wdl", model_config, snapshot->store.get());
+        ASSERT_TRUE(replica.ok());
+        std::vector<Param> params;
+        (*replica)->CollectDenseParams(&params);
+        ASSERT_EQ(params.size(), snapshot->dense_params.size());
+        for (size_t b = 0; b < params.size(); ++b) {
+          ASSERT_EQ(params[b].size, snapshot->dense_params[b].size());
+          std::memcpy(params[b].value, snapshot->dense_params[b].data(),
+                      params[b].size * sizeof(float));
+        }
+        reference.emplace_back();
+        (*replica)->Predict(probe, &reference.back());
+      };
+
+  auto initial = manager.Cut();
+  ASSERT_TRUE(initial.ok()) << initial.status().ToString();
+  record_reference(*initial);
+  SwappableStore swap(std::move(initial).value());
+
+  InferenceServerOptions options;
+  options.num_workers = 4;
+  options.max_batch = 48;
+  options.max_wait_us = 100;
+  options.num_fields = data->num_fields();
+  options.num_numerical = data->config().num_numerical;
+  auto server = InferenceServer::Start(
+      options,
+      [&](size_t) -> StatusOr<std::unique_ptr<RecModel>> {
+        return MakeModel("wdl", model_config, &swap);
+      },
+      &swap);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  constexpr size_t kSwaps = 5;
+  constexpr size_t kClients = 3;
+  constexpr size_t kTrainBatch = 128;
+  std::atomic<bool> stop_training{false};
+  std::atomic<bool> stop_clients{false};
+
+  manager.BeginTraining();
+  std::thread trainer([&]() {
+    uint64_t step = 0;
+    while (!stop_training.load(std::memory_order_acquire)) {
+      (*live_model)->TrainStep(
+          data->GetBatch((step * kTrainBatch) % 4000, kTrainBatch));
+      ++step;
+      manager.AtStepBoundary(step);
+    }
+    manager.FinishTraining(step);
+  });
+
+  std::string rollout_error;
+  std::thread rollout([&]() {
+    for (size_t m = 0; m < kSwaps; ++m) {
+      auto snapshot = manager.Cut();
+      if (!snapshot.ok()) {
+        rollout_error = snapshot.status().ToString();
+        break;
+      }
+      {
+        auto replica = MakeModel("wdl", model_config, (*snapshot)->store.get());
+        if (!replica.ok()) {
+          rollout_error = replica.status().ToString();
+          break;
+        }
+        std::vector<Param> params;
+        (*replica)->CollectDenseParams(&params);
+        for (size_t b = 0; b < params.size(); ++b) {
+          std::memcpy(params[b].value, (*snapshot)->dense_params[b].data(),
+                      params[b].size * sizeof(float));
+        }
+        reference.emplace_back();
+        (*replica)->Predict(probe, &reference.back());
+      }
+      // Install retires the outgoing generation; moving our reference in
+      // releases this thread's hold — the buffer lease drains as soon as
+      // the last pinned micro-batch on the PREVIOUS generation completes.
+      (*server)->InstallSnapshot(std::move(snapshot).value());
+    }
+    stop_training.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::vector<std::vector<float>>> responses(kClients);
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      std::vector<std::future<std::vector<float>>> inflight;
+      while (!stop_clients.load(std::memory_order_acquire)) {
+        auto submitted = (*server)->Submit(probe);
+        if (!submitted.ok()) {
+          errors[c] = submitted.status().ToString();
+          return;
+        }
+        inflight.push_back(std::move(submitted).value());
+        if (inflight.size() >= 8) {
+          for (auto& f : inflight) responses[c].push_back(f.get());
+          inflight.clear();
+        }
+      }
+      for (auto& f : inflight) responses[c].push_back(f.get());
+    });
+  }
+
+  rollout.join();
+  trainer.join();
+  stop_clients.store(true, std::memory_order_release);
+  for (auto& client : clients) client.join();
+  ASSERT_EQ(rollout_error, "");
+  for (const std::string& error : errors) ASSERT_EQ(error, "");
+
+  ASSERT_EQ(reference.size(), kSwaps + 1);
+  for (size_t a = 0; a < reference.size(); ++a) {
+    for (size_t b = a + 1; b < reference.size(); ++b) {
+      ASSERT_NE(std::memcmp(reference[a].data(), reference[b].data(),
+                            reference[a].size() * sizeof(float)),
+                0)
+          << "generations " << a + 1 << " and " << b + 1
+          << " are indistinguishable; the tear check would be vacuous";
+    }
+  }
+
+  size_t total_responses = 0;
+  for (size_t c = 0; c < kClients; ++c) {
+    for (size_t r = 0; r < responses[c].size(); ++r) {
+      const std::vector<float>& got = responses[c][r];
+      ASSERT_EQ(got.size(), reference[0].size());
+      size_t matches = 0;
+      for (const std::vector<float>& ref : reference) {
+        if (std::memcmp(got.data(), ref.data(),
+                        got.size() * sizeof(float)) == 0) {
+          ++matches;
+        }
+      }
+      ASSERT_EQ(matches, 1u)
+          << "client " << c << " response " << r
+          << (matches == 0 ? " matches NO generation (torn read)"
+                           : " matches multiple generations");
+      ++total_responses;
+    }
+  }
+  EXPECT_GT(total_responses, 0u);
+
+  const SnapshotManager::Stats stats = manager.stats();
+  EXPECT_EQ(stats.cuts, kSwaps + 1);
+  EXPECT_EQ(stats.delta_cuts, kSwaps);  // everything after the base
+  EXPECT_GT(stats.last_publish_us, 0.0);
+  const InferenceServer::Stats serve_stats = (*server)->stats();
+  EXPECT_EQ(serve_stats.snapshot_swaps, kSwaps);
+  (*server)->Shutdown();
+}
+
+// Snapshot-cut optimizer state: with capture_optimizer a mid-training
+// snapshot written through WriteSnapshotCheckpoint is a FULL training-resume
+// checkpoint — restoring it into a fresh store + model and replaying the
+// remaining steps lands bit-identical to the uninterrupted run (dense
+// weights, Adagrad accumulators, store state: the unified online/offline
+// checkpoint path).
+TEST(SnapshotCheckpointTest, CapturedOptimizerStateResumesBitIdentically) {
+  auto data = MakeRolloutDataset();
+  StoreFactoryContext context = MakeContext(20.0);
+  context.embedding.total_features = data->layout().total_features();
+  context.layout = data->layout();
+  const ModelConfig model_config = MakeRolloutModelConfig(*data);
+
+  auto live_store = MakeStore("cafe", context);
+  ASSERT_TRUE(live_store.ok());
+  auto live_model = MakeModel("dlrm", model_config, live_store->get());
+  ASSERT_TRUE(live_model.ok());
+
+  constexpr size_t kSteps = 40;
+  constexpr size_t kTrainBatch = 128;
+  SnapshotManager::Options manager_options;
+  manager_options.min_steps_between_cuts = 13;
+  manager_options.incremental = true;
+  manager_options.capture_optimizer = true;
+  SnapshotManager manager(
+      live_store->get(), live_model->get(),
+      [&context]() { return MakeStore("cafe", context); }, manager_options);
+
+  manager.BeginTraining();
+  std::thread trainer([&]() {
+    for (size_t k = 1; k <= kSteps; ++k) {
+      while (k == 1 && !manager.cut_pending()) {
+        std::this_thread::yield();
+      }
+      (*live_model)->TrainStep(data->GetBatch((k - 1) * kTrainBatch % 4000,
+                                              kTrainBatch));
+      manager.AtStepBoundary(k);
+    }
+    manager.FinishTraining(kSteps);
+  });
+  auto snapshot = manager.Cut();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  trainer.join();
+
+  const uint64_t s = (*snapshot)->train_step;
+  EXPECT_EQ(s, manager_options.min_steps_between_cuts);
+  ASSERT_TRUE((*snapshot)->has_optimizer);
+  ASSERT_FALSE((*snapshot)->optimizer_state.empty());
+  EXPECT_EQ((*snapshot)->model_name, "dlrm");
+
+  const std::string path = ::testing::TempDir() + "cafe_snapshot_resume.bin";
+  ASSERT_TRUE(WriteSnapshotCheckpoint(**snapshot, path).ok());
+
+  // Restore into a fresh stack and replay steps s+1..kSteps.
+  auto resumed_store = MakeStore("cafe", context);
+  ASSERT_TRUE(resumed_store.ok());
+  auto resumed_model = MakeModel("dlrm", model_config, resumed_store->get());
+  ASSERT_TRUE(resumed_model.ok());
+  const Status load =
+      io::LoadCheckpoint(path, resumed_store->get(), resumed_model->get());
+  ASSERT_TRUE(load.ok()) << load.ToString();
+  for (size_t k = s + 1; k <= kSteps; ++k) {
+    (*resumed_model)->TrainStep(data->GetBatch((k - 1) * kTrainBatch % 4000,
+                                               kTrainBatch));
+  }
+
+  // The live stack trained 1..kSteps uninterrupted; resume must match it
+  // exactly — including the optimizer's adaptive step sizes, which a
+  // weights-only snapshot would get wrong.
+  ExpectStoresBitIdentical(**resumed_store, **live_store,
+                           "snapshot-checkpoint resume (store)");
+  EXPECT_EQ(SaveStateBytes(**resumed_store), SaveStateBytes(**live_store));
+  ExpectDenseParamsBitIdentical(resumed_model->get(), live_model->get(),
+                                "snapshot-checkpoint resume (dense)");
 }
 
 /// A model whose Predict blocks until released — makes queue saturation
