@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -368,10 +369,15 @@ inline void WriteJsonFile(const std::string& path, const JsonWriter& json) {
 }
 
 /// Shared flag parsing for the microbench binaries:
-///   [--smoke] [--json <path>]
+///   [--smoke] [--json <path>] [--threads <n>]
 struct BenchArgs {
   bool smoke = false;
   std::string json_path;  // empty = no JSON output
+  /// Worker threads for the benches' parallel sections (serving workers,
+  /// hot-swap clients, the backward scaling sweep). Defaults to the host's
+  /// concurrency, floor 2, so single-core CI still exercises the
+  /// multi-threaded paths.
+  size_t threads = std::max<size_t>(2, std::thread::hardware_concurrency());
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -385,10 +391,16 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
         std::exit(2);
       }
       args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc || std::atoi(argv[i + 1]) <= 0) {
+        std::fprintf(stderr, "--threads needs a positive count\n");
+        std::exit(2);
+      }
+      args.threads = static_cast<size_t>(std::atoi(argv[++i]));
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s' (usage: %s [--smoke] [--json "
-                   "<path>])\n",
+                   "<path>] [--threads <n>])\n",
                    argv[i], argv[0]);
       std::exit(2);
     }

@@ -129,8 +129,7 @@ int main(int argc, char** argv) {
   const size_t total_requests = smoke ? 300 : 4000;
   const size_t request_size = 16;
   const size_t warmup_batches = smoke ? 30 : 150;
-  const size_t num_workers =
-      std::max<size_t>(2, std::thread::hardware_concurrency());
+  const size_t num_workers = args.threads;
   constexpr size_t kClients = 3;
   constexpr size_t kTrainBatch = 128;
 

@@ -118,14 +118,13 @@ ServeResult ServeOnce(const bench::Workload& w, const std::string& method,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke =
-      argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  const bool smoke = args.smoke;
   bench::PrintTitle(
       "Serving latency — micro-batched inference over frozen stores");
   bench::Workload w = bench::MakeWorkload(CriteoLikePreset());
 
-  const size_t hardware_workers =
-      std::max<size_t>(2, std::thread::hardware_concurrency());
+  const size_t hardware_workers = args.threads;
   const size_t total_requests = smoke ? 200 : 4000;
   const size_t request_size = 16;
   const size_t train_batches = smoke ? 40 : 200;

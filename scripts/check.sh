@@ -19,10 +19,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 "$BUILD_DIR"/bench_serving      --smoke
 "$BUILD_DIR"/bench_hot_swap     --smoke --json "$BUILD_DIR/BENCH_hot_swap.json"
 
-# hot_swap additionally pins the O(dirty)-publish contract: the double-
-# buffered rollout must keep reporting its copy/apply/publish split and the
-# per-dirty-fraction publish-scaling series.
+# backward pins the parallel-scatter contract (the threads -> updates/sec
+# scaling series from the sharded backward sweep); hot_swap additionally
+# pins the O(dirty)-publish contract: the double-buffered rollout must keep
+# reporting its copy/apply/publish split and the per-dirty-fraction
+# publish-scaling series.
 scripts/validate_bench_json.sh \
   "$BUILD_DIR/BENCH_lookup_batch.json" \
-  "$BUILD_DIR/BENCH_backward.json" \
+  "$BUILD_DIR/BENCH_backward.json:backward_scaling,threads,updates_per_sec,speedup_vs_serial" \
   "$BUILD_DIR/BENCH_hot_swap.json:last_publish_us,last_apply_bytes,retired_buffers,publish_scaling,dirty_fraction,full_publish_us"

@@ -14,6 +14,8 @@
 
 namespace cafe {
 
+class ThreadPool;
+
 /// Describes the categorical fields of a dataset: per-field cardinalities
 /// and the global-id offsets that concatenate them into one id space
 /// [0, total_features). CAFE keeps a single table across fields (§5.3
@@ -168,6 +170,26 @@ class EmbeddingStore {
   void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
                           float lr) {
     ApplyGradientBatch(ids, n, grads, dim(), lr, /*clip=*/0.0f);
+  }
+
+  /// Sharded backward: semantically IDENTICAL to ApplyGradientBatch — same
+  /// updates, same importance statistics, same dirty marks, bit-for-bit —
+  /// but the SGD scatter may run on `pool` with the physical row space
+  /// partitioned into `num_shards` by ShardOfRow (common/thread_pool.h).
+  /// Each row has exactly one writing shard, so workers share no state and
+  /// the float-op sequence per row matches the serial path exactly; any
+  /// stateful decision logic (sketch insertion, migration, allocation)
+  /// stays serialized inside the store. num_shards <= 1 or pool == nullptr
+  /// must take the serial path verbatim. The default forwards to the serial
+  /// ApplyGradientBatch, so stores opt in per their own data layout.
+  virtual void ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
+                                         const float* grads,
+                                         size_t grad_stride, float lr,
+                                         float clip, ThreadPool* pool,
+                                         uint32_t num_shards) {
+    (void)pool;
+    (void)num_shards;
+    ApplyGradientBatch(ids, n, grads, grad_stride, lr, clip);
   }
 
   /// Called once per training iteration; default no-op. Periodic work

@@ -33,6 +33,10 @@ class HashEmbedding : public EmbeddingStore {
   using EmbeddingStore::ApplyGradientBatch;
   void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
                           size_t grad_stride, float lr, float clip) override;
+  void ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
+                                 const float* grads, size_t grad_stride,
+                                 float lr, float clip, ThreadPool* pool,
+                                 uint32_t num_shards) override;
   size_t MemoryBytes() const override {
     return table_.size() * sizeof(float);
   }

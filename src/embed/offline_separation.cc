@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/prefetch.h"
+#include "common/thread_pool.h"
 
 namespace cafe {
 
@@ -112,18 +113,82 @@ void OfflineSeparationEmbedding::ApplyGradientBatch(const uint64_t* ids,
                                                     float lr, float clip) {
   // Resolve each unique id once and apply its clip-on-read accumulated
   // gradient in one SGD step. The hot/shared split is static, so this is
-  // the plain batch formulation of the scalar loop.
+  // the plain batch formulation of the scalar loop. Rows resolve up front
+  // so the scatter can prefetch ahead of the SGD writes, mirroring the
+  // gather side.
   const uint32_t d = config_.dim;
   const bool track = dirty_hot_.enabled();
   dedup_.Build(ids, n);
   dedup_.AccumulateRows(grads, n, d, grad_stride, clip, &grad_accum_);
   const size_t num_unique = dedup_.num_unique();
+  index_scratch_.resize(num_unique);
   for (size_t u = 0; u < num_unique; ++u) {
-    const uint64_t index = RowIndexOf(dedup_.unique_id(u));
+    index_scratch_[u] = RowIndexOf(dedup_.unique_id(u));
+  }
+  for (size_t u = 0; u < num_unique; ++u) {
+    if (u + kPrefetchDistance < num_unique) {
+      PrefetchWrite(RowAt(index_scratch_[u + kPrefetchDistance]));
+    }
+    const uint64_t index = index_scratch_[u];
     if (track) MarkRow(index);
     float* row = RowAt(index);
     const float* g = grad_accum_.data() + u * d;
     for (uint32_t k = 0; k < d; ++k) row[k] -= lr * g[k];
+  }
+}
+
+void OfflineSeparationEmbedding::ApplyGradientBatchSharded(
+    const uint64_t* ids, size_t n, const float* grads, size_t grad_stride,
+    float lr, float clip, ThreadPool* pool, uint32_t num_shards) {
+  if (pool == nullptr || num_shards <= 1) {
+    ApplyGradientBatch(ids, n, grads, grad_stride, lr, clip);
+    return;
+  }
+  // The hot/shared assignment is frozen, so everything parallelizes: phase
+  // A accumulates gradients (workers partitioned by unique index) and
+  // resolves each unique's combined-space row (read-only probes, chunked);
+  // phase B scatters with workers partitioned by resolved row — each row
+  // is updated by its one owner with the same accumulated gradient as the
+  // serial path.
+  const uint32_t d = config_.dim;
+  const bool track = dirty_hot_.enabled();
+  if (track) {
+    dirty_hot_.EnableShards(num_shards);
+    dirty_shared_.EnableShards(num_shards);
+  }
+  dedup_.Build(ids, n);
+  const size_t num_unique = dedup_.num_unique();
+  grad_accum_.resize(num_unique * d);
+  index_scratch_.resize(num_unique);
+  uint64_t* indices = index_scratch_.data();
+  pool->ParallelFor(num_shards, [&](uint32_t shard) {
+    const size_t begin = num_unique * shard / num_shards;
+    const size_t end = num_unique * (shard + 1) / num_shards;
+    for (size_t u = begin; u < end; ++u) {
+      indices[u] = RowIndexOf(dedup_.unique_id(u));
+    }
+    dedup_.AccumulateRowsSharded(
+        grads, n, d, grad_stride, clip, grad_accum_.data(),
+        [num_shards, shard](uint32_t u) {
+          return ShardOfRow(u, num_shards) == shard;
+        });
+  });
+  pool->ParallelFor(num_shards, [&](uint32_t shard) {
+    for (size_t u = 0; u < num_unique; ++u) {
+      if (u + kPrefetchDistance < num_unique &&
+          ShardOfRow(indices[u + kPrefetchDistance], num_shards) == shard) {
+        PrefetchWrite(RowAt(indices[u + kPrefetchDistance]));
+      }
+      if (ShardOfRow(indices[u], num_shards) != shard) continue;
+      if (track) MarkRow(indices[u], shard);
+      float* row = RowAt(indices[u]);
+      const float* g = grad_accum_.data() + u * d;
+      for (uint32_t k = 0; k < d; ++k) row[k] -= lr * g[k];
+    }
+  });
+  if (track) {
+    dirty_hot_.MergeShards();
+    dirty_shared_.MergeShards();
   }
 }
 

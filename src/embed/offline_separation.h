@@ -43,6 +43,10 @@ class OfflineSeparationEmbedding : public EmbeddingStore {
   using EmbeddingStore::ApplyGradientBatch;
   void ApplyGradientBatch(const uint64_t* ids, size_t n, const float* grads,
                           size_t grad_stride, float lr, float clip) override;
+  void ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
+                                 const float* grads, size_t grad_stride,
+                                 float lr, float clip, ThreadPool* pool,
+                                 uint32_t num_shards) override;
   size_t MemoryBytes() const override;
   std::string Name() const override { return "offline"; }
   Status SaveState(io::Writer* writer) const override;
@@ -86,6 +90,15 @@ class OfflineSeparationEmbedding : public EmbeddingStore {
       dirty_shared_.Mark(index - hot_rows_);
     }
   }
+  /// Shard-local MarkRow for the parallel scatter (the worker owning the
+  /// combined-space row stages into its own list).
+  void MarkRow(uint64_t index, uint32_t shard) {
+    if (index < hot_rows_) {
+      dirty_hot_.Mark(index, shard);
+    } else {
+      dirty_shared_.Mark(index - hot_rows_, shard);
+    }
+  }
 
   EmbeddingConfig config_;
   uint64_t hot_rows_;
@@ -97,8 +110,9 @@ class OfflineSeparationEmbedding : public EmbeddingStore {
 
   // Batch scratch, reused across calls.
   BatchDeduper dedup_;
-  std::vector<float> grad_accum_;   // num_unique x dim
-  std::vector<float*> row_scratch_; // num_unique resolved rows
+  std::vector<float> grad_accum_;      // num_unique x dim
+  std::vector<float*> row_scratch_;    // num_unique resolved rows
+  std::vector<uint64_t> index_scratch_;  // num_unique combined-space rows
 
   // Incremental-snapshot tracking, one set per physical table.
   DirtyRowSet dirty_hot_;

@@ -30,6 +30,9 @@ class DcnModel : public RecModel {
   size_t DenseParameters() const override;
   void CollectDenseParams(std::vector<Param>* out) override;
   Optimizer* optimizer() override { return optimizer_.get(); }
+  void SetBackwardParallelism(ThreadPool* pool, uint32_t shards) override {
+    emb_layer_.SetBackwardParallelism(pool, shards);
+  }
 
  private:
   DcnModel(const ModelConfig& config, EmbeddingStore* store);

@@ -39,10 +39,21 @@ void EmbeddingLayerGroup::Backward(const Batch& batch, const float* grad,
   CAFE_DCHECK(ids_.batch_size() == n && ids_.num_fields() == num_fields_);
   // Strided scatter: field f's gradient column block is consumed in place
   // at grad + b*stride + f*d by the store itself, clamped as it reads —
-  // the backward mirror of Forward's strided gather.
-  for (size_t f = 0; f < num_fields_; ++f) {
-    store_->ApplyGradientBatch(ids_.field(f), n, grad + f * d, stride, lr,
-                               kGradClip);
+  // the backward mirror of Forward's strided gather. With parallelism
+  // configured, each field's scatter fans out over the pool's row shards;
+  // fields stay sequential so stores with cross-field state (cafe's sketch,
+  // ada's scores) see the same field order as the serial path.
+  if (pool_ != nullptr && shards_ > 1) {
+    for (size_t f = 0; f < num_fields_; ++f) {
+      store_->ApplyGradientBatchSharded(ids_.field(f), n, grad + f * d,
+                                        stride, lr, kGradClip, pool_,
+                                        shards_);
+    }
+  } else {
+    for (size_t f = 0; f < num_fields_; ++f) {
+      store_->ApplyGradientBatch(ids_.field(f), n, grad + f * d, stride, lr,
+                                 kGradClip);
+    }
   }
 }
 

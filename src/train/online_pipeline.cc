@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "serve/swappable_store.h"
 
@@ -138,7 +139,16 @@ StatusOr<OnlinePipelineResult> RunOnlinePipeline(
   });
 
   // Train on this thread; the only rollout cost it pays is the state copy
-  // at the boundaries where a cut is pending.
+  // at the boundaries where a cut is pending. With backward_threads > 1 the
+  // embedding scatter fans out over the pool but every step still ends on
+  // this thread before AtStepBoundary, so cuts see quiesced stores exactly
+  // as in the serial run.
+  std::unique_ptr<ThreadPool> backward_pool;
+  if (options.backward_threads > 1) {
+    backward_pool = std::make_unique<ThreadPool>(options.backward_threads);
+    (*live_model)->SetBackwardParallelism(backward_pool.get(),
+                                          options.backward_threads);
+  }
   WallTimer train_timer;
   double loss_sum = 0.0;
   size_t samples_seen = 0;
@@ -153,6 +163,9 @@ StatusOr<OnlinePipelineResult> RunOnlinePipeline(
       ++step;
       manager.AtStepBoundary(step);
     }
+  }
+  if (backward_pool != nullptr) {
+    (*live_model)->SetBackwardParallelism(nullptr, 1);
   }
   result.train_seconds = train_timer.ElapsedSeconds();
   // Order matters: the done flag must be visible BEFORE FinishTraining

@@ -1,8 +1,10 @@
 #include "train/trainer.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "sketch/hyperloglog.h"
 #include "train/metrics.h"
@@ -80,6 +82,16 @@ TrainResult TrainOnePass(RecModel* model, const SyntheticCtrDataset& data,
     }
   }
 
+  // Parallel backward: the pool lives for the pass and the model routes
+  // every embedding scatter through it. Reset before the pool dies so the
+  // model never holds a dangling pointer past this function.
+  std::unique_ptr<ThreadPool> backward_pool;
+  if (options.backward_threads > 1) {
+    backward_pool = std::make_unique<ThreadPool>(options.backward_threads);
+    model->SetBackwardParallelism(backward_pool.get(),
+                                  options.backward_threads);
+  }
+
   WallTimer timer;
   double eval_seconds = 0.0;
   double loss_sum = 0.0;
@@ -110,6 +122,9 @@ TrainResult TrainOnePass(RecModel* model, const SyntheticCtrDataset& data,
       result.curve.push_back(point);
       eval_seconds += eval_timer.ElapsedSeconds();
     }
+  }
+  if (backward_pool != nullptr) {
+    model->SetBackwardParallelism(nullptr, 1);
   }
   result.train_seconds = timer.ElapsedSeconds() - eval_seconds;
   result.train_throughput =
