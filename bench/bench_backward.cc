@@ -383,6 +383,14 @@ void WriteJson(const std::string& path, const BenchShape& shape, bool smoke,
   json.BeginObject();
   json.Field("bench", "backward");
   json.Field("smoke", smoke);
+  // Whether the metrics/trace instrumentation was compiled in for this run.
+  // scripts/obs_overhead.sh builds both variants and merges the comparison
+  // into this file under "obs_overhead".
+#ifdef CAFE_OBS_DISABLED
+  json.Field("obs_enabled", false);
+#else
+  json.Field("obs_enabled", true);
+#endif
   json.Key("config");
   json.BeginObject();
   json.Field("dim", static_cast<uint64_t>(kDim));

@@ -23,6 +23,7 @@
 #include "data/presets.h"
 #include "data/synthetic.h"
 #include "io/serialize.h"
+#include "obs/json_writer.h"
 #include "train/model_factory.h"
 #include "train/store_factory.h"
 #include "train/trainer.h"
@@ -222,119 +223,12 @@ inline double Median(std::vector<double> v) {
   return v[v.size() / 2];
 }
 
-/// Minimal JSON emitter for the machine-readable BENCH_<name>.json result
-/// files every microbench writes under --json: enough structure (nested
-/// objects/arrays, escaped strings, finite numbers) for a CI script or a
-/// cross-PR perf tracker to parse, with no dependency. Call order mirrors
-/// the document: Begin/EndObject, Begin/EndArray, Key before each member
-/// value. Comma placement is handled internally.
-class JsonWriter {
- public:
-  void BeginObject() {
-    Comma();
-    out_ += '{';
-    fresh_ = true;
-  }
-  void EndObject() {
-    out_ += '}';
-    fresh_ = false;
-  }
-  void BeginArray() {
-    Comma();
-    out_ += '[';
-    fresh_ = true;
-  }
-  void EndArray() {
-    out_ += ']';
-    fresh_ = false;
-  }
-  void Key(const char* key) {
-    Comma();
-    AppendQuoted(key);
-    out_ += ':';
-    fresh_ = true;  // the upcoming value follows the colon, no comma
-  }
-  void String(const std::string& value) {
-    Comma();
-    AppendQuoted(value.c_str());
-  }
-  void Number(double value) {
-    Comma();
-    if (!std::isfinite(value)) {  // NaN/inf are not valid JSON
-      out_ += "null";
-      return;
-    }
-    char buffer[40];
-    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-    out_ += buffer;
-  }
-  void Int(int64_t value) {
-    Comma();
-    out_ += std::to_string(value);
-  }
-  void Uint(uint64_t value) {
-    Comma();
-    out_ += std::to_string(value);
-  }
-  void Bool(bool value) {
-    Comma();
-    out_ += value ? "true" : "false";
-  }
-
-  /// Convenience for the dominant pattern: a scalar object member.
-  void Field(const char* key, const std::string& value) {
-    Key(key);
-    String(value);
-  }
-  void Field(const char* key, const char* value) {
-    Key(key);
-    String(value);
-  }
-  void Field(const char* key, double value) {
-    Key(key);
-    Number(value);
-  }
-  void Field(const char* key, uint64_t value) {
-    Key(key);
-    Uint(value);
-  }
-  void Field(const char* key, int value) {
-    Key(key);
-    Int(value);
-  }
-  void Field(const char* key, bool value) {
-    Key(key);
-    Bool(value);
-  }
-
-  const std::string& str() const { return out_; }
-
- private:
-  void Comma() {
-    if (!fresh_ && !out_.empty()) out_ += ',';
-    fresh_ = false;
-  }
-  void AppendQuoted(const char* s) {
-    out_ += '"';
-    for (; *s != '\0'; ++s) {
-      const char c = *s;
-      if (c == '"' || c == '\\') {
-        out_ += '\\';
-        out_ += c;
-      } else if (static_cast<unsigned char>(c) < 0x20) {
-        char buffer[8];
-        std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-        out_ += buffer;
-      } else {
-        out_ += c;
-      }
-    }
-    out_ += '"';
-  }
-
-  std::string out_;
-  bool fresh_ = true;
-};
+/// JSON emitter for the machine-readable BENCH_<name>.json result files
+/// every microbench writes under --json. Promoted to src/obs/json_writer.h
+/// (the observability layer shares it for the metrics snapshot and the
+/// online-pipeline timeline); aliased here so bench code keeps spelling it
+/// bench::JsonWriter.
+using JsonWriter = ::cafe::obs::JsonWriter;
 
 /// Emits the shared "host" section (what the numbers were measured on) into
 /// an open object.

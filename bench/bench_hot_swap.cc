@@ -101,7 +101,7 @@ PhaseResult DriveTraffic(InferenceServer* server,
   const double seconds = timer.ElapsedSeconds();
 
   PhaseResult result;
-  result.latency = server->latency().Summary();
+  result.latency = server->latency_summary();
   result.served = served.load();
   result.rejected = rejected.load();
   result.qps = seconds > 0.0 ? static_cast<double>(result.served) / seconds

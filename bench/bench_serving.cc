@@ -11,7 +11,10 @@
 // numbers come from whatever machine runs it; on a 1-vCPU host the N-worker
 // row measures contention, not speedup).
 //
-// Usage: bench_serving [--smoke]   (--smoke: CI-sized request volume)
+// Usage: bench_serving [--smoke] [--json <path>]
+//   --smoke  CI-sized request volume
+//   --json   write BENCH_serving.json-style machine-readable results
+//            (scripts/obs_overhead.sh compares them across obs builds)
 
 #include <atomic>
 #include <cstring>
@@ -104,7 +107,7 @@ ServeResult ServeOnce(const bench::Workload& w, const std::string& method,
 
   ServeResult result;
   const InferenceServer::Stats stats = (*server)->stats();
-  result.latency = (*server)->latency().Summary();
+  result.latency = (*server)->latency_summary();
   result.qps = static_cast<double>(stats.requests) / seconds;
   result.samples_per_second = static_cast<double>(stats.samples) / seconds;
   result.coalescing = stats.executed_batches > 0
@@ -113,6 +116,48 @@ ServeResult ServeOnce(const bench::Workload& w, const std::string& method,
                           : 0.0;
   (*server)->Shutdown();
   return result;
+}
+
+struct ServingRow {
+  std::string method;
+  size_t workers = 0;
+  ServeResult result;
+};
+
+void WriteJson(const std::string& path, bool smoke, size_t total_requests,
+               size_t request_size, const std::vector<ServingRow>& rows) {
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "serving");
+  json.Field("smoke", smoke);
+#ifdef CAFE_OBS_DISABLED
+  json.Field("obs_enabled", false);
+#else
+  json.Field("obs_enabled", true);
+#endif
+  json.Key("config");
+  json.BeginObject();
+  json.Field("total_requests", static_cast<uint64_t>(total_requests));
+  json.Field("request_size", static_cast<uint64_t>(request_size));
+  json.EndObject();
+  bench::WriteHostInfo(&json);
+  json.Key("serving");
+  json.BeginArray();
+  for (const ServingRow& row : rows) {
+    json.BeginObject();
+    json.Field("store", row.method);
+    json.Field("workers", static_cast<uint64_t>(row.workers));
+    json.Field("p50_us", row.result.latency.p50_us);
+    json.Field("p95_us", row.result.latency.p95_us);
+    json.Field("p99_us", row.result.latency.p99_us);
+    json.Field("qps", row.result.qps);
+    json.Field("samples_per_sec", row.result.samples_per_second);
+    json.Field("coalescing", row.result.coalescing);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  bench::WriteJsonFile(path, json);
 }
 
 }  // namespace
@@ -137,6 +182,7 @@ int main(int argc, char** argv) {
 
   const BenchCase cases[] = {
       {"full", 1.0}, {"hash", 20.0}, {"cafe", 20.0}, {"cafe-ml", 20.0}};
+  std::vector<ServingRow> rows;
   for (const BenchCase& c : cases) {
     StoreFactoryContext context = bench::MakeContext(w, c.cr);
     auto store = MakeStore(c.method, context);
@@ -163,7 +209,11 @@ int main(int argc, char** argv) {
                   c.method, workers, r.latency.p50_us, r.latency.p95_us,
                   r.latency.p99_us, r.qps, r.samples_per_second,
                   r.coalescing);
+      rows.push_back(ServingRow{c.method, workers, r});
     }
+  }
+  if (!args.json_path.empty()) {
+    WriteJson(args.json_path, smoke, total_requests, request_size, rows);
   }
   std::printf(
       "\nShape check: hash/full rows serve fastest; cafe within a small\n"

@@ -6,9 +6,16 @@
 // worker. Prints the rollout cadence, the trainer's copy pause, swap
 // counts, and serving latency under live rollout.
 //
-// Usage: example_online_rollout
+// Usage: example_online_rollout [--passes <n>] [--stats-port <port>]
+//                               [--timeline <path>] [--metrics-json <path>]
+//   --stats-port    serve the metrics registry live over loopback HTTP for
+//                   the run (GET /metrics, /metrics.json; 0 = ephemeral)
+//   --timeline      append a JSONL telemetry timeline (one sample per 50ms)
+//   --metrics-json  write the final registry snapshot as JSON
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.h"
 #include "data/presets.h"
@@ -16,7 +23,7 @@
 
 using namespace cafe;
 
-int main() {
+int main(int argc, char** argv) {
   DatasetPreset preset = CriteoLikePreset();
   auto data = SyntheticCtrDataset::Generate(preset.data);
   CAFE_CHECK(data.ok()) << data.status().ToString();
@@ -48,7 +55,26 @@ int main() {
   options.num_clients = 2;
   options.request_size = 16;
 
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--passes") == 0 && i + 1 < argc) {
+      options.passes = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--stats-port") == 0 && i + 1 < argc) {
+      options.stats_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--timeline") == 0 && i + 1 < argc) {
+      options.timeline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      options.metrics_json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 1;
+    }
+  }
+
   std::printf("== train WHILE serving (cafe @ 20x, dlrm, hot rollout) ==\n\n");
+  if (options.stats_port >= 0) {
+    std::printf("telemetry: live scrape requested on port %d\n",
+                options.stats_port);
+  }
   auto result = RunOnlinePipeline("cafe", context, "dlrm", model_config,
                                   **data, options);
   CAFE_CHECK(result.ok()) << result.status().ToString();
@@ -82,6 +108,18 @@ int main() {
           result->server_stats.snapshot_generation),
       static_cast<unsigned long long>(result->server_stats.snapshot_swaps),
       result->server_stats.peak_queue_depth);
+  if (options.stats_port >= 0) {
+    std::printf("telemetry: served live on port %d\n", result->stats_port);
+  }
+  if (!options.timeline_path.empty()) {
+    std::printf("telemetry: %llu timeline samples -> %s\n",
+                static_cast<unsigned long long>(result->timeline_samples),
+                options.timeline_path.c_str());
+  }
+  if (!options.metrics_json_path.empty()) {
+    std::printf("telemetry: final metrics snapshot -> %s\n",
+                options.metrics_json_path.c_str());
+  }
   std::printf(
       "\nEvery response above was served by exactly one generation (the\n"
       "per-micro-batch snapshot pin), and the final generation is\n"

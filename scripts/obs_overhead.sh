@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# Observability overhead guard: builds the bench binaries twice — once as
+# configured (metrics + tracing compiled in) and once with
+# -DCAFE_OBS_DISABLED=ON (every obs call compiled to a no-op shim) — runs
+# bench_backward and bench_serving in both, and fails if the instrumented
+# build is more than OBS_OVERHEAD_MAX_PCT percent slower on either bench
+# (backward: median per-store overhead of the strided updates/sec rate;
+# serving: median per-row QPS overhead). Noise control, because a single
+# smoke run swings far more than the 2% budget being enforced:
+#   - each bench runs OBS_OVERHEAD_ROUNDS times per build and every row
+#     keeps its best rate (best-of-N sheds scheduler noise);
+#   - the two builds' rounds are INTERLEAVED, so a slow patch of machine
+#     time (another tenant, a background build) degrades both sides
+#     instead of biasing whichever build owned that window;
+#   - the gate is the median per-row overhead, not the aggregate rate —
+#     one store hitting a noisy window cannot swing the verdict;
+#   - a failing verdict re-measures once (OBS_OVERHEAD_ATTEMPTS, default 2)
+#     before failing for real: a genuine regression fails both attempts,
+#     while a several-minute load burst — which best-of-N cannot shed when
+#     it spans every round — has to recur across two separated windows.
+# Both measurements are merged into the instrumented BENCH_backward.json
+# under "obs_overhead" so the cross-PR perf record carries the comparison.
+# Usage: scripts/obs_overhead.sh [build-dir] [noobs-build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+NOOBS_DIR="${2:-build-noobs}"
+MAX_PCT="${OBS_OVERHEAD_MAX_PCT:-2.0}"
+ROUNDS="${OBS_OVERHEAD_ROUNDS:-7}"
+ATTEMPTS="${OBS_OVERHEAD_ATTEMPTS:-2}"
+
+command -v python3 > /dev/null 2>&1 || {
+  echo "obs_overhead: python3 required for the comparison" >&2
+  exit 2
+}
+
+# Instrumented build (the repo default).
+cmake -B "$BUILD_DIR" -S . > /dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_backward bench_serving
+
+# Shim build: identical sources, obs compiled out. Tests/examples skipped —
+# only the two benches are measured.
+cmake -B "$NOOBS_DIR" -S . -DCAFE_OBS_DISABLED=ON -DCAFE_BUILD_TESTS=OFF \
+  -DCAFE_BUILD_EXAMPLES=OFF > /dev/null
+cmake --build "$NOOBS_DIR" -j"$(nproc)" --target bench_backward bench_serving
+
+# Interleaved rounds with alternating order (noobs,obs / obs,noobs / ...):
+# transient machine load degrades both builds rather than one build's whole
+# window, and a monotone load ramp cannot systematically favor whichever
+# binary runs first.
+measure() {
+  for round in $(seq 1 "$ROUNDS"); do
+    if (( round % 2 )); then
+      order=("$NOOBS_DIR" "$BUILD_DIR")
+    else
+      order=("$BUILD_DIR" "$NOOBS_DIR")
+    fi
+    for dir in "${order[@]}"; do
+      "$dir"/bench_backward --smoke --json "$dir/BENCH_backward.r$round.json" \
+        > /dev/null
+      # Serving runs at full request volume: smoke's 200-request QPS swings
+      # several percent run to run, more than the budget being measured.
+      "$dir"/bench_serving --json "$dir/BENCH_serving.r$round.json" \
+        > /dev/null
+    done
+  done
+  echo "obs_overhead: measured both builds, $ROUNDS interleaved rounds"
+}
+
+compare() {
+python3 - "$BUILD_DIR" "$NOOBS_DIR" "$MAX_PCT" "$ROUNDS" <<'EOF'
+import json, statistics, sys
+
+build_dir, noobs_dir = sys.argv[1], sys.argv[2]
+max_pct, rounds = float(sys.argv[3]), int(sys.argv[4])
+
+def best_rows(dir_, name, row_key, rate_key, expect_obs):
+    best = {}
+    for r in range(1, rounds + 1):
+        doc = json.load(open(f"{dir_}/BENCH_{name}.r{r}.json"))
+        assert doc["obs_enabled"] == expect_obs, f"{dir_} {name} round {r}"
+        for row in doc[name]:
+            key = tuple(row[k] for k in row_key)
+            best[key] = max(best.get(key, 0.0), row[rate_key])
+    return best
+
+specs = {
+    "backward": (("workload", "store"), "strided_updates_per_sec"),
+    "serving": (("store", "workers"), "qps"),
+}
+results = {}
+for name, (row_key, rate_key) in specs.items():
+    enabled = best_rows(build_dir, name, row_key, rate_key, True)
+    disabled = best_rows(noobs_dir, name, row_key, rate_key, False)
+    assert enabled.keys() == disabled.keys(), name
+    per_row = [(disabled[k] - enabled[k]) / disabled[k] * 100.0
+               for k in enabled]
+    overhead_pct = statistics.median(per_row)
+    results[name] = {
+        "obs_rate": sum(enabled.values()),
+        "noobs_rate": sum(disabled.values()),
+        "overhead_pct": overhead_pct,
+    }
+    print(f"obs_overhead: {name}: median per-row overhead "
+          f"{overhead_pct:+.2f}% over {len(per_row)} rows "
+          f"(best of {rounds} interleaved rounds)")
+
+# Merge the comparison into the instrumented backward record (the last
+# round's file is the one check.sh/CI validated).
+path = f"{build_dir}/BENCH_backward.json"
+try:
+    doc = json.load(open(path))
+except FileNotFoundError:
+    doc = json.load(open(f"{build_dir}/BENCH_backward.r{rounds}.json"))
+doc["obs_overhead"] = {
+    "max_pct_allowed": max_pct,
+    "rounds": rounds,
+    **results,
+}
+json.dump(doc, open(path, "w"))
+
+worst = max(r["overhead_pct"] for r in results.values())
+if worst > max_pct:
+    print(f"FAIL: instrumentation overhead {worst:.2f}% exceeds "
+          f"{max_pct:.2f}% budget", file=sys.stderr)
+    sys.exit(1)
+print(f"obs_overhead: worst {worst:+.2f}% within {max_pct:.2f}% budget")
+EOF
+}
+
+measure
+for attempt in $(seq 1 "$ATTEMPTS"); do
+  if compare; then
+    exit 0
+  fi
+  if (( attempt < ATTEMPTS )); then
+    echo "obs_overhead: over budget on attempt $attempt/$ATTEMPTS," \
+      "re-measuring (transient load bursts do not recur; regressions do)"
+    measure
+  fi
+done
+echo "obs_overhead: over budget on all $ATTEMPTS attempts" >&2
+exit 1

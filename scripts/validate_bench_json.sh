@@ -7,9 +7,14 @@
 # (python3: recursive key walk; fallback: quoted-string grep) — this is how
 # check.sh/CI pin the bench output contract (e.g. the O(dirty) publish
 # fields) so a refactor cannot silently drop a measured series.
+#
+# Files ending in .jsonl are validated line-by-line instead: every line must
+# parse as a JSON object, and the required keys must appear in EVERY line —
+# the contract for the online pipeline's telemetry timeline.
+#
 # Shared by scripts/check.sh and CI so the validation contract has exactly
 # one definition.
-# Usage: scripts/validate_bench_json.sh <file.json>[:k1,k2] ...
+# Usage: scripts/validate_bench_json.sh <file.json[l]>[:k1,k2] ...
 set -euo pipefail
 
 if [[ $# -eq 0 ]]; then
@@ -26,6 +31,58 @@ for arg in "$@"; do
   if [[ ! -s "$file" ]]; then
     echo "FAIL: $file is missing or empty" >&2
     exit 1
+  fi
+  if [[ "$file" == *.jsonl ]]; then
+    if command -v python3 > /dev/null 2>&1; then
+      if ! python3 - "$file" "$keys" <<'EOF'
+import json, sys
+path, keys = sys.argv[1], sys.argv[2]
+required = [k for k in keys.split(",") if k]
+with open(path) as f:
+    for lineno, line in enumerate(f, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except Exception as e:
+            print(f"FAIL: {path}:{lineno} is not valid JSON: {e}",
+                  file=sys.stderr)
+            sys.exit(1)
+        if not isinstance(doc, dict):
+            print(f"FAIL: {path}:{lineno} is not a JSON object",
+                  file=sys.stderr)
+            sys.exit(1)
+        missing = [k for k in required if k not in doc]
+        if missing:
+            print(f"FAIL: {path}:{lineno} is missing required keys: "
+                  f"{', '.join(missing)}", file=sys.stderr)
+            sys.exit(1)
+EOF
+      then
+        exit 1
+      fi
+    else
+      while IFS= read -r line; do
+        [[ -z "$line" ]] && continue
+        if [[ "${line:0:1}" != "{" || "${line: -1}" != "}" ]]; then
+          echo "FAIL: $file has a line that is not a JSON object" >&2
+          exit 1
+        fi
+        if [[ -n "$keys" ]]; then
+          IFS=',' read -ra key_list <<< "$keys"
+          for key in "${key_list[@]}"; do
+            [[ -z "$key" ]] && continue
+            if [[ "$line" != *"\"$key\""* ]]; then
+              echo "FAIL: $file has a line missing required key: $key" >&2
+              exit 1
+            fi
+          done
+        fi
+      done < "$file"
+    fi
+    echo "ok: $file (jsonl${keys:+, keys: $keys})"
+    continue
   fi
   if command -v python3 > /dev/null 2>&1; then
     if ! python3 - "$file" "$keys" <<'EOF'

@@ -9,6 +9,7 @@
 #include "common/prefetch.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace cafe {
 
@@ -79,6 +80,18 @@ CafeEmbedding::CafeEmbedding(const CafeConfig& config,
     hot_threshold_ = config.hot_threshold;
   }
   medium_threshold_ = hot_threshold_ * config.medium_threshold_fraction;
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const std::string prefix = "store." + Name() + ".";
+  obs_migrations_ = registry.GetCounter(prefix + "migrations_total");
+  obs_demotions_ = registry.GetCounter(prefix + "demotions_total");
+  obs_decay_ticks_ = registry.GetCounter(prefix + "decay_ticks_total");
+  obs_lookup_hot_ = registry.GetCounter(prefix + "lookup_hot_total");
+  obs_lookup_medium_ = registry.GetCounter(prefix + "lookup_medium_total");
+  obs_lookup_cold_ = registry.GetCounter(prefix + "lookup_cold_total");
+  obs_hot_occupancy_ = registry.GetGauge(prefix + "hot_occupancy");
+  obs_victim_queue_depth_ = registry.GetGauge(prefix + "victim_queue_depth");
+  obs_hot_threshold_ = registry.GetGauge(prefix + "hot_threshold");
 }
 
 void CafeEmbedding::SharedLookup(uint64_t id, bool medium, float* out) const {
@@ -126,6 +139,7 @@ void CafeEmbedding::LookupOne(uint64_t id, float* out, uint64_t occurrences) {
             static_cast<size_t>(slot->payload) * config_.embedding.dim,
         config_.embedding.dim);
     lookup_stats_.hot += occurrences;
+    obs_lookup_hot_->Add(occurrences);
     return;
   }
   const bool medium = config_.use_multi_level && slot != nullptr &&
@@ -133,8 +147,10 @@ void CafeEmbedding::LookupOne(uint64_t id, float* out, uint64_t occurrences) {
   SharedLookup(id, medium, out);
   if (medium) {
     lookup_stats_.medium += occurrences;
+    obs_lookup_medium_->Add(occurrences);
   } else {
     lookup_stats_.cold += occurrences;
+    obs_lookup_cold_->Add(occurrences);
   }
 }
 
@@ -233,6 +249,7 @@ void CafeEmbedding::LookupBatchConst(const uint64_t* ids, size_t n, float* out,
 
 void CafeEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
                                 size_t out_stride) {
+  Obs().RecordLookup(n);
   // Sketch probe + hot/cold classification once per unique id; duplicate
   // occurrences replicate the resolved row. Lookups are read-only, so the
   // output is byte-identical to n scalar calls either way — which is what
@@ -257,7 +274,11 @@ void CafeEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
   // ahead) and only records row addresses; pass 2 copies rows (again
   // prefetched kPrefetchDistance ahead). The scalar path eats the full
   // bucket-then-row latency chain on every call.
+  const PathStats before = lookup_stats_;
   ResolveUniqueRows(dedup_, &row_ptr_scratch_, &lookup_stats_);
+  obs_lookup_hot_->Add(lookup_stats_.hot - before.hot);
+  obs_lookup_medium_->Add(lookup_stats_.medium - before.medium);
+  obs_lookup_cold_->Add(lookup_stats_.cold - before.cold);
   MaterializeUniqueRows(dedup_, row_ptr_scratch_, n, out, out_stride);
 }
 
@@ -304,6 +325,7 @@ bool CafeEmbedding::TryPromote(uint64_t id, HotSketch::Slot* slot) {
                    static_cast<size_t>(row) * config_.embedding.dim);
   slot->payload = row;
   ++migrations_;
+  obs_migrations_->Add(1);
   return true;
 }
 
@@ -337,6 +359,7 @@ void CafeEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
   // accumulated gradient then run per unique id.
   const uint32_t d = config_.embedding.dim;
   dedup_.Build(ids, n);
+  Obs().RecordBackward(n, dedup_.num_unique());
   dedup_.AccumulateRows(grads, n, d, grad_stride, clip, &grad_accum_);
   const size_t num_unique = dedup_.num_unique();
   if (config_.importance == ImportanceMetric::kFrequency) {
@@ -356,6 +379,8 @@ void CafeEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
     ApplyGradientOne(unique[u], grad_accum_.data() + u * d, lr,
                      importance_accum_[u]);
   }
+  obs_victim_queue_depth_->Set(
+      static_cast<double>(victim_queue_.size() - victim_idx_));
 }
 
 void CafeEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
@@ -367,9 +392,21 @@ void CafeEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
     ApplyGradientBatch(ids, n, grads, grad_stride, lr, clip);
     return;
   }
+  // Per-phase timing feeds the trainer's backward split (accumulate /
+  // decide / scatter); batch-granular, so the cost is three clock pairs
+  // per backward call regardless of batch size.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Histogram* const accumulate_hist = registry.GetHistogram(
+      "train.backward.accumulate_us", obs::DefaultTimeBucketsUs());
+  static obs::Histogram* const decide_hist = registry.GetHistogram(
+      "train.backward.decide_us", obs::DefaultTimeBucketsUs());
+  static obs::Histogram* const scatter_hist = registry.GetHistogram(
+      "train.backward.scatter_us", obs::DefaultTimeBucketsUs());
+
   const uint32_t d = config_.embedding.dim;
   dedup_.Build(ids, n);
   const size_t num_unique = dedup_.num_unique();
+  Obs().RecordBackward(n, num_unique);
   grad_accum_.resize(num_unique * d);
   importance_accum_.resize(num_unique);
 
@@ -377,6 +414,7 @@ void CafeEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
   // Each worker scans the full occurrence stream and sums only its own
   // unique ids' slices in stream order, so every accumulator is
   // bit-identical to the serial reduction.
+  obs::ScopedTimer accumulate_timer("backward.accumulate", accumulate_hist);
   pool->ParallelFor(num_shards, [&](uint32_t shard) {
     dedup_.AccumulateRowsSharded(
         grads, n, d, grad_stride, clip, grad_accum_.data(),
@@ -394,11 +432,14 @@ void CafeEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
     }
   });
 
+  accumulate_timer.Finish();
+
   // Phase B: the serial decision machine, unchanged from the serial path
   // (sketch insertion, eviction, promotion, demotion, counters, and every
   // dirty mark happen on this thread in unique order), with the SGD steps
   // deferred as per-row op chains. TryPromote flushes a row's chain before
   // touching its floats, so migration copies see serial-identical bytes.
+  obs::ScopedTimer decide_timer("backward.decide", decide_hist);
   const uint64_t total_rows =
       plan_.hot_capacity + plan_.shared_rows_a + plan_.shared_rows_b;
   if (row_gen_.size() < total_rows) {
@@ -417,12 +458,14 @@ void CafeEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
     ApplyGradientOne(unique[u], grad_accum_.data() + u * d, lr,
                      importance_accum_[u], static_cast<int64_t>(u));
   }
+  decide_timer.Finish();
 
   // Phase C: parallel scatter of the undrained ops, sharded by global row.
   // All ops on one row share an owner and sit in decision order in the op
   // list, so each row replays its serial SGD sequence exactly; rows are
   // disjoint across shards, so no float is written by two workers.
   const size_t num_ops = deferred_ops_.size();
+  obs::ScopedTimer scatter_timer("backward.scatter", scatter_hist);
   pool->ParallelFor(num_shards, [&](uint32_t shard) {
     for (size_t i = 0; i < num_ops; ++i) {
       const DeferredOp& op = deferred_ops_[i];
@@ -438,6 +481,9 @@ void CafeEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
       for (uint32_t k = 0; k < d; ++k) dst[k] -= lr * g[k];
     }
   });
+  scatter_timer.Finish();
+  obs_victim_queue_depth_->Set(
+      static_cast<double>(victim_queue_.size() - victim_idx_));
 }
 
 void CafeEmbedding::ApplyGradientOne(uint64_t id, const float* grad, float lr,
@@ -454,6 +500,7 @@ void CafeEmbedding::ApplyGradientOne(uint64_t id, const float* grad, float lr,
       --field_used_[FieldQuotaIndex(res.evicted_key)];
     }
     ++demotions_;
+    obs_demotions_->Add(1);
   }
   CAFE_DCHECK(res.slot_index >= 0);
   HotSketch::Slot* slot = &sketch_.slot_at(res.slot_index);
@@ -481,6 +528,7 @@ void CafeEmbedding::ApplyGradientOne(uint64_t id, const float* grad, float lr,
           FreeRow(victim.payload);
           victim.payload = HotSketch::kNoPayload;
           ++demotions_;
+          obs_demotions_->Add(1);
           ++victim_idx_;
           TryPromote(id, slot);
         }
@@ -636,6 +684,7 @@ void CafeEmbedding::Tick() {
       if (config_.per_field_hot) --field_used_[FieldQuotaIndex(s.key)];
       s.payload = HotSketch::kNoPayload;
       ++demotions_;
+      obs_demotions_->Add(1);
     }
   }
   // Re-snapshot after decay so next interval's growth is decay-consistent.
@@ -645,6 +694,12 @@ void CafeEmbedding::Tick() {
       row_prev_score_[s.payload] = s.score;
     }
   }
+
+  obs_decay_ticks_->Add(1);
+  obs_hot_occupancy_->Set(static_cast<double>(hot_count()));
+  obs_victim_queue_depth_->Set(
+      static_cast<double>(victim_queue_.size() - victim_idx_));
+  obs_hot_threshold_->Set(hot_threshold_);
 }
 
 size_t CafeEmbedding::MemoryBytes() const {
@@ -761,9 +816,13 @@ Status CafeEmbedding::SaveDelta(io::Writer* writer) {
 
   // The embedding tables, dirty rows only.
   const uint32_t d = config_.embedding.dim;
+  const size_t delta_start = writer->size();
   delta_internal::WriteDirtyRows(writer, dirty_hot_, hot_table_.data(), d);
   delta_internal::WriteDirtyRows(writer, dirty_shared_a_, shared_a_.data(), d);
   delta_internal::WriteDirtyRows(writer, dirty_shared_b_, shared_b_.data(), d);
+  Obs().RecordDelta(dirty_hot_.rows().size() + dirty_shared_a_.rows().size() +
+                        dirty_shared_b_.rows().size(),
+                    writer->size() - delta_start);
 
   dirty_hot_.Flush();
   dirty_shared_a_.Flush();

@@ -251,6 +251,22 @@ class CafeEmbedding : public EmbeddingStore {
   DirtyRowSet dirty_buckets_;
   bool sketch_fully_dirty_ = false;
   bool maintenance_dirty_ = false;
+
+  // Registry mirrors (store.cafe.* / store.cafe-ml.*), bound in the
+  // constructor. The serialized counters above (migrations_, demotions_,
+  // lookup_stats_) stay members because SaveState/SaveDelta carry them and
+  // parity tests assert byte-identical output; the registry handles are
+  // additive process-wide mirrors that survive ResetLookupStats and
+  // snapshot cuts.
+  obs::Counter* obs_migrations_ = nullptr;
+  obs::Counter* obs_demotions_ = nullptr;
+  obs::Counter* obs_decay_ticks_ = nullptr;
+  obs::Counter* obs_lookup_hot_ = nullptr;
+  obs::Counter* obs_lookup_medium_ = nullptr;
+  obs::Counter* obs_lookup_cold_ = nullptr;
+  obs::Gauge* obs_hot_occupancy_ = nullptr;
+  obs::Gauge* obs_victim_queue_depth_ = nullptr;
+  obs::Gauge* obs_hot_threshold_ = nullptr;
 };
 
 }  // namespace cafe

@@ -46,6 +46,11 @@ AdaEmbedding::AdaEmbedding(const EmbeddingConfig& config,
   for (uint64_t r = num_rows; r-- > 0;) {
     free_rows_.push_back(static_cast<int32_t>(r));
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs_admissions_ = registry.GetCounter("store.ada.admissions_total");
+  obs_evictions_ = registry.GetCounter("store.ada.evictions_total");
+  obs_realloc_ticks_ = registry.GetCounter("store.ada.realloc_ticks_total");
+  obs_allocated_rows_ = registry.GetGauge("store.ada.allocated_rows");
 }
 
 void AdaEmbedding::Lookup(uint64_t id, float* out) { LookupConst(id, out); }
@@ -63,6 +68,7 @@ void AdaEmbedding::LookupConst(uint64_t id, float* out) const {
 
 void AdaEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
                                size_t out_stride) {
+  Obs().RecordLookup(n);
   const uint32_t d = config_.dim;
   const float* table = table_.data();
   row_scratch_.resize(n);
@@ -120,6 +126,7 @@ void AdaEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
   // accumulated clipped gradient.
   const uint32_t d = config_.dim;
   dedup_.Build(ids, n);
+  Obs().RecordBackward(n, dedup_.num_unique());
   dedup_.AccumulateRows(grads, n, d, grad_stride, clip, &grad_accum_);
   dedup_.AccumulateNorms(grads, n, d, grad_stride, clip, &importance_accum_);
   const size_t num_unique = dedup_.num_unique();
@@ -159,6 +166,7 @@ void AdaEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
   const uint32_t d = config_.dim;
   dedup_.Build(ids, n);
   const size_t num_unique = dedup_.num_unique();
+  Obs().RecordBackward(n, num_unique);
   grad_accum_.resize(num_unique * d);
   importance_accum_.resize(num_unique);
   pool->ParallelFor(num_shards, [&](uint32_t shard) {
@@ -192,6 +200,7 @@ void AdaEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
       row_of_[id] = row;
       owner_of_[row] = id;
       ++allocated_count_;
+      obs_admissions_->Add(1);
       float* fresh = table_.data() + static_cast<size_t>(row) * d;
       for (uint32_t k = 0; k < d; ++k) {
         fresh[k] = rng_.UniformFloat(-bound, bound);
@@ -243,6 +252,7 @@ void AdaEmbedding::ApplyOne(uint64_t id, const float* grad, float lr,
     row_of_[id] = row;
     owner_of_[row] = id;
     ++allocated_count_;
+    obs_admissions_->Add(1);
     float* fresh = table_.data() + static_cast<size_t>(row) * config_.dim;
     const float bound = embed_internal::InitBound(config_.dim);
     for (uint32_t i = 0; i < config_.dim; ++i) {
@@ -257,9 +267,11 @@ void AdaEmbedding::ApplyOne(uint64_t id, const float* grad, float lr,
 void AdaEmbedding::Tick() {
   ++iteration_;
   if (iteration_ % options_.realloc_interval == 0) Reallocate();
+  obs_allocated_rows_->Set(static_cast<double>(allocated_count_));
 }
 
 void AdaEmbedding::Reallocate() {
+  obs_realloc_ticks_->Add(1);
   // Decay first so stale importance fades (AdaEmbed's recency weighting).
   // Every score changes, so the next delta ships the score array whole
   // instead of n per-feature records.
@@ -308,6 +320,7 @@ void AdaEmbedding::Reallocate() {
       row = free_rows_.back();
       free_rows_.pop_back();
       ++allocated_count_;
+      obs_admissions_->Add(1);
     } else if (evict_idx < evict.size() &&
                scores_[evict[evict_idx]] < scores_[f]) {
       // Swap only on strict improvement so equal-importance features do
@@ -315,6 +328,8 @@ void AdaEmbedding::Reallocate() {
       const uint64_t victim = evict[evict_idx++];
       row = row_of_[victim];
       row_of_[victim] = -1;  // victim's embedding is discarded
+      obs_evictions_->Add(1);
+      obs_admissions_->Add(1);
       if (dirty_features_.enabled()) dirty_features_.Mark(victim);
     } else {
       break;
@@ -422,6 +437,7 @@ Status AdaEmbedding::SaveDelta(io::Writer* writer) {
   }
   // Per dirty row: owner + values (ownership changes exactly when the row's
   // contents are rewritten — cold-start claim or realloc re-init).
+  const size_t delta_start = writer->size();
   writer->WriteU64(dirty_rows_.rows().size());
   for (const uint64_t row : dirty_rows_.rows()) {
     writer->WriteU64(row);
@@ -429,6 +445,7 @@ Status AdaEmbedding::SaveDelta(io::Writer* writer) {
     writer->WriteBytes(table_.data() + row * config_.dim,
                        config_.dim * sizeof(float));
   }
+  Obs().RecordDelta(dirty_rows_.rows().size(), writer->size() - delta_start);
   dirty_features_.Flush();
   dirty_rows_.Flush();
   scores_fully_dirty_ = false;

@@ -117,6 +117,14 @@ class AdaEmbedding : public EmbeddingStore {
   DirtyRowSet dirty_features_;
   DirtyRowSet dirty_rows_;
   bool scores_fully_dirty_ = false;
+
+  // Registry handles (store.ada.*), bound in the constructor. Admissions =
+  // cold-start claims + reallocation admits; evictions = reallocation
+  // victims. Gauges track the pool occupancy after each maintenance tick.
+  obs::Counter* obs_admissions_ = nullptr;
+  obs::Counter* obs_evictions_ = nullptr;
+  obs::Counter* obs_realloc_ticks_ = nullptr;
+  obs::Gauge* obs_allocated_rows_ = nullptr;
 };
 
 }  // namespace cafe

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "embed/store_obs.h"
 #include "io/serialize.h"
 
 namespace cafe {
@@ -289,6 +290,18 @@ class EmbeddingStore {
     return static_cast<double>(config.UncompressedBytes()) /
            static_cast<double>(MemoryBytes());
   }
+
+ protected:
+  /// Lazily-bound per-scheme metrics handles (store.<Name()>.*; see
+  /// store_obs.h for the naming contract and why only training entry
+  /// points should call this).
+  StoreObs& Obs() {
+    if (!obs_.bound()) obs_.Bind(Name());
+    return obs_;
+  }
+
+ private:
+  StoreObs obs_;
 };
 
 namespace embed_internal {

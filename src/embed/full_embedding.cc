@@ -40,6 +40,7 @@ void FullEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
 
 void FullEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
                                 size_t out_stride) {
+  Obs().RecordLookup(n);
   LookupBatchConst(ids, n, out, out_stride);
 }
 
@@ -82,6 +83,7 @@ void FullEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
   // they are read straight from the model's strided gradient tensor:
   // bit-identical to the scalar loop over pre-clipped gradients even when
   // the batch repeats ids.
+  Obs().RecordBackward(n, n);
   const uint32_t d = config_.dim;
   const float bound = embed_internal::ClipBound(clip);
   const bool track = dirty_.enabled();
@@ -113,6 +115,7 @@ void FullEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
   // every id one owning worker; each worker scans the whole occurrence
   // stream and applies only its rows, preserving per-row stream order —
   // bit-identical to the serial per-occurrence loop.
+  Obs().RecordBackward(n, n);
   const uint32_t d = config_.dim;
   const float bound = embed_internal::ClipBound(clip);
   const bool track = dirty_.enabled();
@@ -152,8 +155,11 @@ Status FullEmbedding::SaveDelta(io::Writer* writer) {
         "full embedding: dirty tracking is not enabled");
   }
   writer->WriteU32(config_.dim);
+  const size_t delta_start = writer->size();
+  const uint64_t delta_rows = dirty_.rows().size();
   delta_internal::WriteDirtyRows(writer, dirty_, table_.data(), config_.dim);
   dirty_.Flush();
+  Obs().RecordDelta(delta_rows, writer->size() - delta_start);
   return Status::OK();
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/prefetch.h"
@@ -46,8 +47,35 @@ void HashEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
   for (uint32_t i = 0; i < config_.dim; ++i) row[i] -= lr * grad[i];
 }
 
+void HashEmbedding::MaybeSampleCollisions(const uint64_t* ids, size_t n) {
+#ifndef CAFE_OBS_DISABLED
+  constexpr size_t kCollisionSampleInterval = 64;
+  if (n == 0 || (collision_sample_tick_++ % kCollisionSampleInterval) != 0) {
+    return;
+  }
+  std::unordered_set<uint64_t> unique_ids;
+  std::unordered_set<uint64_t> unique_buckets;
+  unique_ids.reserve(n);
+  unique_buckets.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    unique_ids.insert(ids[i]);
+    unique_buckets.insert(RowOf(ids[i]));
+  }
+  const double rate =
+      1.0 - static_cast<double>(unique_buckets.size()) /
+                static_cast<double>(unique_ids.size());
+  static obs::Gauge* const gauge = obs::MetricsRegistry::Global().GetGauge(
+      "store.hash.sampled_collision_rate");
+  gauge->Set(rate);
+#else
+  (void)ids;
+  (void)n;
+#endif
+}
+
 void HashEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
                                 size_t out_stride) {
+  Obs().RecordLookup(n);
   const uint32_t d = config_.dim;
   const float* table = table_.data();
   row_scratch_.resize(n);
@@ -102,6 +130,8 @@ void HashEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
   // Stream order is preserved so colliding ids scatter their updates in the
   // same sequence as the scalar loop (bit-identical results); gradient
   // elements clamp on read straight from the strided tensor.
+  Obs().RecordBackward(n, n);
+  MaybeSampleCollisions(ids, n);
   const uint32_t d = config_.dim;
   const float bound = embed_internal::ClipBound(clip);
   const bool track = dirty_.enabled();
@@ -135,6 +165,8 @@ void HashEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
   // semantics, just spread over workers. The hash pass fills row_scratch_
   // first (disjoint index ranges), then every worker scans the stream and
   // scatters only the buckets it owns.
+  Obs().RecordBackward(n, n);
+  MaybeSampleCollisions(ids, n);
   const uint32_t d = config_.dim;
   const float bound = embed_internal::ClipBound(clip);
   const bool track = dirty_.enabled();
@@ -180,8 +212,11 @@ Status HashEmbedding::SaveDelta(io::Writer* writer) {
         "hash embedding: dirty tracking is not enabled");
   }
   writer->WriteU32(config_.dim);
+  const size_t delta_start = writer->size();
+  const uint64_t delta_rows = dirty_.rows().size();
   delta_internal::WriteDirtyRows(writer, dirty_, table_.data(), config_.dim);
   dirty_.Flush();
+  Obs().RecordDelta(delta_rows, writer->size() - delta_start);
   return Status::OK();
 }
 

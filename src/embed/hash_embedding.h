@@ -56,6 +56,12 @@ class HashEmbedding : public EmbeddingStore {
 
   uint64_t RowOf(uint64_t id) const { return hash_.Bounded(id, num_rows_); }
 
+  /// Every kCollisionSampleInterval backward batches, measures the batch's
+  /// observed bucket-sharing rate (1 - unique buckets / unique ids) into
+  /// the store.hash.sampled_collision_rate gauge. Sampled because an exact
+  /// count needs two dedup passes the hot path should not pay.
+  void MaybeSampleCollisions(const uint64_t* ids, size_t n);
+
   EmbeddingConfig config_;
   uint64_t num_rows_;
   SeededHash hash_;
@@ -64,6 +70,7 @@ class HashEmbedding : public EmbeddingStore {
   /// gather loop can prefetch rows ahead of the copy. Reused across calls.
   std::vector<uint64_t> row_scratch_;
   DirtyRowSet dirty_;  // hash buckets touched since the last delta cut
+  size_t collision_sample_tick_ = 0;
 };
 
 }  // namespace cafe

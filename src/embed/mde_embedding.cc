@@ -135,6 +135,7 @@ void MdeEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
                                size_t out_stride) {
   // Project once per unique id, then replicate the finished embedding to
   // duplicate occurrences (read-only, so results match the scalar loop).
+  Obs().RecordLookup(n);
   const uint32_t d = config_.dim;
   dedup_.Build(ids, n);
   const size_t num_unique = dedup_.num_unique();
@@ -177,6 +178,7 @@ void MdeEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
   dedup_.AccumulateRows(grads, n, config_.dim, grad_stride, clip,
                         &grad_accum_);
   const size_t num_unique = dedup_.num_unique();
+  Obs().RecordBackward(n, num_unique);
   for (size_t u = 0; u < num_unique; ++u) {
     ApplyOne(dedup_.unique_id(u), grad_accum_.data() + u * config_.dim, lr);
   }
@@ -198,6 +200,7 @@ void MdeEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
   const uint32_t d = config_.dim;
   dedup_.Build(ids, n);
   const size_t num_unique = dedup_.num_unique();
+  Obs().RecordBackward(n, num_unique);
   grad_accum_.resize(num_unique * d);
   pool->ParallelFor(num_shards, [&](uint32_t shard) {
     dedup_.AccumulateRowsSharded(
@@ -280,6 +283,9 @@ Status MdeEmbedding::SaveDelta(io::Writer* writer) {
   }
   writer->WriteU32(config_.dim);
   writer->WriteU64(config_.total_features);
+  const size_t delta_start = writer->size();
+  const uint64_t delta_rows =
+      dirty_features_.rows().size() + dirty_projections_.rows().size();
   // Per dirty feature: its d_f-wide table row (width derived from the
   // feature's field on both sides).
   writer->WriteU64(dirty_features_.rows().size());
@@ -302,6 +308,7 @@ Status MdeEmbedding::SaveDelta(io::Writer* writer) {
   }
   dirty_features_.Flush();
   dirty_projections_.Flush();
+  Obs().RecordDelta(delta_rows, writer->size() - delta_start);
   return Status::OK();
 }
 

@@ -80,6 +80,7 @@ void OfflineSeparationEmbedding::LookupBatch(const uint64_t* ids, size_t n,
   // per-field streams); mostly-unique batches abandon the scratch table and
   // run a direct resolve + prefetched copy instead. Either way the output
   // is byte-identical to n scalar Lookup calls.
+  Obs().RecordLookup(n);
   const uint32_t d = config_.dim;
   if (!dedup_.BuildAdaptive(ids, n)) {
     row_scratch_.resize(n);
@@ -121,6 +122,7 @@ void OfflineSeparationEmbedding::ApplyGradientBatch(const uint64_t* ids,
   dedup_.Build(ids, n);
   dedup_.AccumulateRows(grads, n, d, grad_stride, clip, &grad_accum_);
   const size_t num_unique = dedup_.num_unique();
+  Obs().RecordBackward(n, num_unique);
   index_scratch_.resize(num_unique);
   for (size_t u = 0; u < num_unique; ++u) {
     index_scratch_[u] = RowIndexOf(dedup_.unique_id(u));
@@ -158,6 +160,7 @@ void OfflineSeparationEmbedding::ApplyGradientBatchSharded(
   }
   dedup_.Build(ids, n);
   const size_t num_unique = dedup_.num_unique();
+  Obs().RecordBackward(n, num_unique);
   grad_accum_.resize(num_unique * d);
   index_scratch_.resize(num_unique);
   uint64_t* indices = index_scratch_.data();
@@ -209,12 +212,16 @@ Status OfflineSeparationEmbedding::SaveDelta(io::Writer* writer) {
         "offline separation: dirty tracking is not enabled");
   }
   writer->WriteU32(config_.dim);
+  const size_t delta_start = writer->size();
+  const uint64_t delta_rows =
+      dirty_hot_.rows().size() + dirty_shared_.rows().size();
   delta_internal::WriteDirtyRows(writer, dirty_hot_, hot_table_.data(),
                                  config_.dim);
   delta_internal::WriteDirtyRows(writer, dirty_shared_, shared_table_.data(),
                                  config_.dim);
   dirty_hot_.Flush();
   dirty_shared_.Flush();
+  Obs().RecordDelta(delta_rows, writer->size() - delta_start);
   return Status::OK();
 }
 

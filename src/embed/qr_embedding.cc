@@ -109,6 +109,7 @@ void QrEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
 
 void QrEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
                               size_t out_stride) {
+  Obs().RecordLookup(n);
   LookupBatchConst(ids, n, out, out_stride);
 }
 
@@ -169,6 +170,7 @@ void QrEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
                                      float lr, float clip) {
   // Stream order: ids sharing either component row update it in the same
   // sequence as the scalar loop; gradient elements clamp on read.
+  Obs().RecordBackward(n, n);
   const uint32_t d = config_.dim;
   const float bound = embed_internal::ClipBound(clip);
   const bool track = dirty_remainder_.enabled();
@@ -225,6 +227,7 @@ void QrEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
   // at [m_, m_ + q_rows_). A worker scans the stream and applies whichever
   // HALF of each id's update it owns — per-row stream order is preserved
   // and every row still has a single writer.
+  Obs().RecordBackward(n, n);
   const uint32_t d = config_.dim;
   const float bound = embed_internal::ClipBound(clip);
   const bool track = dirty_remainder_.enabled();
@@ -282,12 +285,16 @@ Status QrEmbedding::SaveDelta(io::Writer* writer) {
         "qr embedding: dirty tracking is not enabled");
   }
   writer->WriteU32(config_.dim);
+  const size_t delta_start = writer->size();
+  const uint64_t delta_rows =
+      dirty_remainder_.rows().size() + dirty_quotient_.rows().size();
   delta_internal::WriteDirtyRows(writer, dirty_remainder_,
                                  remainder_table_.data(), config_.dim);
   delta_internal::WriteDirtyRows(writer, dirty_quotient_,
                                  quotient_table_.data(), config_.dim);
   dirty_remainder_.Flush();
   dirty_quotient_.Flush();
+  Obs().RecordDelta(delta_rows, writer->size() - delta_start);
   return Status::OK();
 }
 

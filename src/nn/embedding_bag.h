@@ -70,6 +70,10 @@ class EmbeddingLayerGroup {
   size_t num_fields_;
   ThreadPool* pool_ = nullptr;
   uint32_t shards_ = 1;
+  // Backward calls since construction; drives the sampled shard-imbalance
+  // probe (every 64th parallel Backward histograms one batch's ids by
+  // ShardOfRow and publishes max/mean to train.shard_imbalance).
+  uint64_t backward_calls_ = 0;
 
   // Field-major id staging, reused across batches (BuildFrom only grows
   // the backing buffer; steady state re-fills in place, no allocation).

@@ -1,0 +1,181 @@
+#include "obs/exposition.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/json_writer.h"
+#include "obs/trace.h"
+
+namespace cafe {
+namespace obs {
+namespace {
+
+/// Splits an optional trailing {label="v"} block off a registry name.
+void SplitLabels(const std::string& full, std::string* base,
+                 std::string* labels) {
+  const size_t brace = full.find('{');
+  if (brace == std::string::npos) {
+    *base = full;
+    labels->clear();
+    return;
+  }
+  *base = full.substr(0, brace);
+  *labels = full.substr(brace + 1);  // drop '{'
+  if (!labels->empty() && labels->back() == '}') labels->pop_back();
+}
+
+/// cafe_ prefix + [a-zA-Z0-9_] only, everything else collapsed to '_'.
+std::string PromName(const std::string& base) {
+  std::string out = "cafe_";
+  out.reserve(base.size() + 5);
+  for (const char c : base) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return out;
+}
+
+void AppendLabelBlock(std::string* out, const std::string& labels,
+                      const std::string& extra = std::string()) {
+  if (labels.empty() && extra.empty()) return;
+  *out += '{';
+  *out += labels;
+  if (!labels.empty() && !extra.empty()) *out += ',';
+  *out += extra;
+  *out += '}';
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  *out += buffer;
+}
+
+}  // namespace
+
+std::string DumpPrometheusText(MetricsRegistry* registry) {
+  MetricsRegistry& reg =
+      (registry != nullptr) ? *registry : MetricsRegistry::Global();
+  std::string out;
+  const auto entries = reg.Collect();
+#ifdef CAFE_OBS_DISABLED
+  out += "# observability compiled out (CAFE_OBS_DISABLED)\n";
+#endif
+  for (const auto& entry : entries) {
+    std::string base;
+    std::string labels;
+    SplitLabels(entry.name, &base, &labels);
+    const std::string name = PromName(base);
+    switch (entry.kind) {
+      case MetricsRegistry::Kind::kCounter: {
+        out += "# TYPE " + name + " counter\n";
+        out += name;
+        AppendLabelBlock(&out, labels);
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), " %" PRIu64 "\n",
+                      entry.counter);
+        out += buffer;
+        break;
+      }
+      case MetricsRegistry::Kind::kGauge: {
+        out += "# TYPE " + name + " gauge\n";
+        out += name;
+        AppendLabelBlock(&out, labels);
+        out += ' ';
+        AppendDouble(&out, entry.gauge);
+        out += '\n';
+        break;
+      }
+      case MetricsRegistry::Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < entry.hist.counts.size(); ++b) {
+          cumulative += entry.hist.counts[b];
+          std::string le;
+          if (b < entry.hist.bounds.size()) {
+            le = "le=\"";
+            char buffer[40];
+            std::snprintf(buffer, sizeof(buffer), "%.17g",
+                          entry.hist.bounds[b]);
+            le += buffer;
+            le += '"';
+          } else {
+            le = "le=\"+Inf\"";
+          }
+          out += name + "_bucket";
+          AppendLabelBlock(&out, labels, le);
+          char buffer[32];
+          std::snprintf(buffer, sizeof(buffer), " %" PRIu64 "\n",
+                        cumulative);
+          out += buffer;
+        }
+        out += name + "_sum";
+        AppendLabelBlock(&out, labels);
+        out += ' ';
+        AppendDouble(&out, entry.hist.sum);
+        out += '\n';
+        out += name + "_count";
+        AppendLabelBlock(&out, labels);
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), " %" PRIu64 "\n",
+                      entry.hist.count);
+        out += buffer;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string DumpJsonSnapshot(MetricsRegistry* registry, size_t max_spans) {
+  MetricsRegistry& reg =
+      (registry != nullptr) ? *registry : MetricsRegistry::Global();
+  const auto entries = reg.Collect();
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("t_us", NowMicros());
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& entry : entries) {
+    if (entry.kind != MetricsRegistry::Kind::kCounter) continue;
+    json.Field(entry.name.c_str(), entry.counter);
+  }
+  json.EndObject();
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& entry : entries) {
+    if (entry.kind != MetricsRegistry::Kind::kGauge) continue;
+    json.Field(entry.name.c_str(), entry.gauge);
+  }
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& entry : entries) {
+    if (entry.kind != MetricsRegistry::Kind::kHistogram) continue;
+    json.Key(entry.name.c_str());
+    json.BeginObject();
+    json.Field("count", entry.hist.count);
+    json.Field("sum", entry.hist.sum);
+    json.Field("p50", entry.hist.Quantile(0.50));
+    json.Field("p95", entry.hist.Quantile(0.95));
+    json.Field("p99", entry.hist.Quantile(0.99));
+    json.EndObject();
+  }
+  json.EndObject();
+  json.Key("spans");
+  json.BeginArray();
+  for (const auto& span : CollectSpans(max_spans)) {
+    json.BeginObject();
+    json.Field("name", span.name);
+    json.Field("t_us", span.start_us);
+    json.Field("dur_us", span.dur_us);
+    json.Field("tid", static_cast<uint64_t>(span.tid));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace obs
+}  // namespace cafe

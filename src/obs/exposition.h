@@ -1,0 +1,40 @@
+#ifndef CAFE_OBS_EXPOSITION_H_
+#define CAFE_OBS_EXPOSITION_H_
+
+// Renders a MetricsRegistry (plus the trace rings) in the two formats the
+// rest of the stack consumes:
+//
+//  - DumpPrometheusText: the Prometheus text exposition format, one
+//    `cafe_`-prefixed family per metric. Registry names are dotted
+//    ("snapshot.publish_us"); dots and other non-identifier characters
+//    become underscores. A trailing `{label="value"}` block in a registry
+//    name passes through as Prometheus labels. Histograms expose
+//    cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+//
+//  - DumpJsonSnapshot: one JSON object {t_us, counters, gauges,
+//    histograms, spans} keyed by the raw registry names, with p50/p95/p99
+//    folded out of the histogram buckets and the most recent trace spans
+//    appended. This is also the payload behind the /metrics.json endpoint
+//    route and the online pipeline's final metrics file.
+//
+// Both take an explicit registry so tests can expose a private instance;
+// nullptr means MetricsRegistry::Global(). In CAFE_OBS_DISABLED builds
+// both still link and return structurally valid (empty) documents.
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cafe {
+namespace obs {
+
+std::string DumpPrometheusText(MetricsRegistry* registry = nullptr);
+
+/// `max_spans` bounds the trace tail included under "spans".
+std::string DumpJsonSnapshot(MetricsRegistry* registry = nullptr,
+                             size_t max_spans = 128);
+
+}  // namespace obs
+}  // namespace cafe
+
+#endif  // CAFE_OBS_EXPOSITION_H_

@@ -1,0 +1,134 @@
+#ifndef CAFE_OBS_JSON_WRITER_H_
+#define CAFE_OBS_JSON_WRITER_H_
+
+// Minimal JSON emitter shared by the observability exposition (metrics
+// snapshots, the online pipeline's JSONL timeline) and the microbench
+// BENCH_<name>.json result files: enough structure (nested objects/arrays,
+// escaped strings, finite numbers) for a CI script or a cross-PR perf
+// tracker to parse, with no dependency. Call order mirrors the document:
+// Begin/EndObject, Begin/EndArray, Key before each member value. Comma
+// placement is handled internally.
+//
+// Promoted out of bench/bench_common.h so src/ targets can emit JSON
+// without depending on the bench tree; cafe::bench keeps an alias.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace cafe {
+namespace obs {
+
+class JsonWriter {
+ public:
+  void BeginObject() {
+    Comma();
+    out_ += '{';
+    fresh_ = true;
+  }
+  void EndObject() {
+    out_ += '}';
+    fresh_ = false;
+  }
+  void BeginArray() {
+    Comma();
+    out_ += '[';
+    fresh_ = true;
+  }
+  void EndArray() {
+    out_ += ']';
+    fresh_ = false;
+  }
+  void Key(const char* key) {
+    Comma();
+    AppendQuoted(key);
+    out_ += ':';
+    fresh_ = true;  // the upcoming value follows the colon, no comma
+  }
+  void String(const std::string& value) {
+    Comma();
+    AppendQuoted(value.c_str());
+  }
+  void Number(double value) {
+    Comma();
+    if (!std::isfinite(value)) {  // NaN/inf are not valid JSON
+      out_ += "null";
+      return;
+    }
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    out_ += buffer;
+  }
+  void Int(int64_t value) {
+    Comma();
+    out_ += std::to_string(value);
+  }
+  void Uint(uint64_t value) {
+    Comma();
+    out_ += std::to_string(value);
+  }
+  void Bool(bool value) {
+    Comma();
+    out_ += value ? "true" : "false";
+  }
+
+  /// Convenience for the dominant pattern: a scalar object member.
+  void Field(const char* key, const std::string& value) {
+    Key(key);
+    String(value);
+  }
+  void Field(const char* key, const char* value) {
+    Key(key);
+    String(value);
+  }
+  void Field(const char* key, double value) {
+    Key(key);
+    Number(value);
+  }
+  void Field(const char* key, uint64_t value) {
+    Key(key);
+    Uint(value);
+  }
+  void Field(const char* key, int value) {
+    Key(key);
+    Int(value);
+  }
+  void Field(const char* key, bool value) {
+    Key(key);
+    Bool(value);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Comma() {
+    if (!fresh_ && !out_.empty()) out_ += ',';
+    fresh_ = false;
+  }
+  void AppendQuoted(const char* s) {
+    out_ += '"';
+    for (; *s != '\0'; ++s) {
+      const char c = *s;
+      if (c == '"' || c == '\\') {
+        out_ += '\\';
+        out_ += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buffer[8];
+        std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+        out_ += buffer;
+      } else {
+        out_ += c;
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+}  // namespace obs
+}  // namespace cafe
+
+#endif  // CAFE_OBS_JSON_WRITER_H_

@@ -1,0 +1,240 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+#ifndef CAFE_OBS_DISABLED
+#include <algorithm>
+#include <map>
+#include <mutex>
+#endif
+
+namespace cafe {
+namespace obs {
+
+uint64_t NowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point kStart = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            kStart)
+          .count());
+}
+
+std::vector<double> DefaultTimeBucketsUs() {
+  return {1,     2,     5,     10,     25,     50,     100,
+          250,   500,   1e3,   2.5e3,  5e3,    1e4,    2.5e4,
+          5e4,   1e5,   2.5e5, 5e5,    1e6,    2.5e6,  5e6};
+}
+
+#ifndef CAFE_OBS_DISABLED
+
+namespace internal {
+namespace {
+
+std::mutex& SlotMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<uint32_t>& SlotFreelist() {
+  static std::vector<uint32_t> freelist = [] {
+    std::vector<uint32_t> slots;
+    slots.reserve(kOverflowSlot);
+    // Pop from the back -> low slots hand out first.
+    for (uint32_t s = kOverflowSlot; s-- > 0;) slots.push_back(s);
+    return slots;
+  }();
+  return freelist;
+}
+
+/// Owns this thread's shard index for its lifetime; the destructor runs at
+/// thread exit and recycles the slot so bounded pools of short-lived
+/// threads (test batteries, per-pass backward pools) never exhaust the
+/// shard space.
+struct SlotHolder {
+  uint32_t slot;
+  SlotHolder() {
+    std::lock_guard<std::mutex> lock(SlotMutex());
+    auto& freelist = SlotFreelist();
+    if (freelist.empty()) {
+      slot = kOverflowSlot;
+    } else {
+      slot = freelist.back();
+      freelist.pop_back();
+    }
+  }
+  ~SlotHolder() {
+    if (slot == kOverflowSlot) return;
+    std::lock_guard<std::mutex> lock(SlotMutex());
+    SlotFreelist().push_back(slot);
+  }
+};
+
+}  // namespace
+
+uint32_t ThisThreadSlot() {
+  thread_local SlotHolder holder;
+  return holder.slot;
+}
+
+}  // namespace internal
+
+// --------------------------------------------------------------------------
+// Histogram
+// --------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  CAFE_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bucket bounds must be ascending";
+  const size_t buckets = bounds_.size() + 1;  // + the +Inf bucket
+  // Round the per-slot run up to a cacheline of u64s so adjacent slots
+  // never share a line.
+  stride_ = (buckets + 7) / 8 * 8;
+  buckets_.reset(new std::atomic<uint64_t>[internal::kSlots * stride_]);
+  for (size_t i = 0; i < internal::kSlots * stride_; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Snapshot Histogram::Collect() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (uint32_t slot = 0; slot < internal::kSlots; ++slot) {
+    for (size_t b = 0; b < snap.counts.size(); ++b) {
+      snap.counts[b] +=
+          buckets_[slot * stride_ + b].load(std::memory_order_relaxed);
+    }
+    snap.count += counts_[slot].value.load(std::memory_order_relaxed);
+    snap.sum += sums_[slot].value.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0 || counts.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    const uint64_t in_bucket = counts[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (b >= bounds.size()) {
+        // +Inf bucket: the last finite edge is the best honest answer.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lo = (b == 0) ? 0.0 : bounds[b - 1];
+      const double hi = bounds[b];
+      const double into =
+          (rank - static_cast<double>(cumulative)) / in_bucket;
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, into));
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+// --------------------------------------------------------------------------
+// MetricsRegistry
+// --------------------------------------------------------------------------
+
+struct MetricsRegistry::Impl {
+  struct Slot {
+    Kind kind;
+    // Exactly one is set, matching `kind`. unique_ptr keeps addresses
+    // stable across map rehash/insert so handed-out handles never dangle.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  mutable std::mutex mutex;
+  std::map<std::string, Slot> metrics;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;  // never destroyed
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->metrics.find(name);
+  if (it == impl_->metrics.end()) {
+    Impl::Slot slot;
+    slot.kind = Kind::kCounter;
+    slot.counter.reset(new Counter);
+    it = impl_->metrics.emplace(name, std::move(slot)).first;
+  }
+  CAFE_CHECK(it->second.kind == Kind::kCounter)
+      << "metric '" << name << "' already registered with a different kind";
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->metrics.find(name);
+  if (it == impl_->metrics.end()) {
+    Impl::Slot slot;
+    slot.kind = Kind::kGauge;
+    slot.gauge.reset(new Gauge);
+    it = impl_->metrics.emplace(name, std::move(slot)).first;
+  }
+  CAFE_CHECK(it->second.kind == Kind::kGauge)
+      << "metric '" << name << "' already registered with a different kind";
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetHistogram(name, DefaultTimeBucketsUs());
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->metrics.find(name);
+  if (it == impl_->metrics.end()) {
+    Impl::Slot slot;
+    slot.kind = Kind::kHistogram;
+    slot.histogram.reset(new Histogram(std::move(bounds)));
+    it = impl_->metrics.emplace(name, std::move(slot)).first;
+  }
+  CAFE_CHECK(it->second.kind == Kind::kHistogram)
+      << "metric '" << name << "' already registered with a different kind";
+  return it->second.histogram.get();
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::Collect() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<Entry> entries;
+  entries.reserve(impl_->metrics.size());
+  for (const auto& [name, slot] : impl_->metrics) {
+    Entry entry;
+    entry.name = name;
+    entry.kind = slot.kind;
+    switch (slot.kind) {
+      case Kind::kCounter:
+        entry.counter = slot.counter->Value();
+        break;
+      case Kind::kGauge:
+        entry.gauge = slot.gauge->Value();
+        break;
+      case Kind::kHistogram:
+        entry.hist = slot.histogram->Collect();
+        break;
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;  // std::map iteration order is already name-sorted
+}
+
+#endif  // CAFE_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace cafe

@@ -1,0 +1,285 @@
+#ifndef CAFE_OBS_METRICS_H_
+#define CAFE_OBS_METRICS_H_
+
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms with a lock-free hot path. Writes go to per-thread shards
+// (the same single-writer philosophy as the sharded embedding backward:
+// each of the first kSlots-1 threads owns a cacheline-padded cell it alone
+// mutates, so the fast path is a relaxed load+store with no RMW); reads
+// aggregate across shards. Threads beyond the slot pool share one overflow
+// cell via fetch_add — still correct, just no longer contention-free.
+// Slots are recycled on thread exit, so short-lived worker pools (tests,
+// per-pass backward pools) do not exhaust the pool.
+//
+// Registration (GetCounter/GetGauge/GetHistogram) takes a mutex and is
+// meant to happen once per call site — cache the returned pointer. Handles
+// are never invalidated: metric objects live as long as their registry.
+//
+// Compiling with -DCAFE_OBS_DISABLED replaces every type in this header
+// with an inline no-op shim of identical shape, so instrumented call sites
+// compile unchanged and the optimizer deletes them. Used by the bench
+// overhead guard (scripts/obs_overhead.sh) to price the instrumentation.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cafe {
+namespace obs {
+
+/// Microseconds on the steady clock since process start. Monotone,
+/// comparable across threads, immune to wall-clock steps. Available in
+/// both normal and CAFE_OBS_DISABLED builds.
+uint64_t NowMicros();
+
+/// Default histogram bucket upper bounds for durations in microseconds:
+/// 1us .. 5s, roughly 1-2-5 per decade. Returned by value so callers can
+/// extend or trim.
+std::vector<double> DefaultTimeBucketsUs();
+
+#ifndef CAFE_OBS_DISABLED
+
+namespace internal {
+
+/// Per-metric shard count. 64 cells x 8 bytes x cacheline padding = 4 KiB
+/// per counter; the registry holds tens of metrics, so memory is trivial.
+inline constexpr uint32_t kSlots = 64;
+/// Threads past the pool share the last cell with atomic RMW.
+inline constexpr uint32_t kOverflowSlot = kSlots - 1;
+
+/// This thread's shard index in [0, kSlots). Exclusive below
+/// kOverflowSlot; the slot returns to a freelist when the thread exits.
+uint32_t ThisThreadSlot();
+
+struct alignas(64) PaddedU64 {
+  std::atomic<uint64_t> value{0};
+};
+
+struct alignas(64) PaddedF64 {
+  std::atomic<double> value{0.0};
+};
+
+}  // namespace internal
+
+/// Monotone event count. Add() from any thread; Value() sums the shards
+/// (relaxed — a concurrent reader sees some recent, internally consistent
+/// total, which is all a scrape needs).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    const uint32_t slot = internal::ThisThreadSlot();
+    std::atomic<uint64_t>& cell = cells_[slot].value;
+    if (slot != internal::kOverflowSlot) {
+      // Single writer for this cell: plain load+store beats lock xadd.
+      cell.store(cell.load(std::memory_order_relaxed) + n,
+                 std::memory_order_relaxed);
+    } else {
+      cell.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  internal::PaddedU64 cells_[internal::kSlots];
+};
+
+/// Last-write-wins scalar (queue depth, occupancy ratio, loss EMA).
+/// Single atomic: gauges are set at coarse cadence, not per-row.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. `bounds` are ascending inclusive upper edges;
+/// one implicit +Inf bucket follows. Record() is shard-local like
+/// Counter::Add. Collect() folds the shards into a snapshot with
+/// interpolated quantiles.
+class Histogram {
+ public:
+  struct Snapshot {
+    std::vector<double> bounds;   // upper edges, ascending (no +Inf entry)
+    std::vector<uint64_t> counts; // bounds.size() + 1 buckets
+    uint64_t count = 0;
+    double sum = 0.0;
+
+    /// Nearest-bucket quantile, linearly interpolated inside the bucket.
+    /// The +Inf bucket reports the last finite edge. 0 when empty.
+    double Quantile(double q) const;
+  };
+
+  void Record(double value) {
+    size_t b = 0;
+    while (b < bounds_.size() && value > bounds_[b]) ++b;
+    const uint32_t slot = internal::ThisThreadSlot();
+    std::atomic<uint64_t>& cell = buckets_[slot * stride_ + b];
+    std::atomic<uint64_t>& n = counts_[slot].value;
+    std::atomic<double>& sum = sums_[slot].value;
+    if (slot != internal::kOverflowSlot) {
+      cell.store(cell.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+      n.store(n.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+      sum.store(sum.load(std::memory_order_relaxed) + value,
+                std::memory_order_relaxed);
+    } else {
+      cell.fetch_add(1, std::memory_order_relaxed);
+      n.fetch_add(1, std::memory_order_relaxed);
+      double cur = sum.load(std::memory_order_relaxed);
+      while (!sum.compare_exchange_weak(cur, cur + value,
+                                        std::memory_order_relaxed)) {
+      }
+    }
+  }
+
+  Snapshot Collect() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;
+  size_t stride_ = 0;  // buckets per slot, rounded up to a cacheline
+  // Slot-major [kSlots x stride_] bucket cells; scalar count/sum padded.
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  internal::PaddedU64 counts_[internal::kSlots];
+  internal::PaddedF64 sums_[internal::kSlots];
+};
+
+/// Name -> metric map. Instantiable for tests; production code uses
+/// Global(). Names are dotted lowercase ("snapshot.publish_us"); an
+/// optional trailing {label="value"} block passes through to the
+/// Prometheus exposition verbatim.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  /// Find-or-create. Fatal if `name` already names a different kind.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Default bounds = DefaultTimeBucketsUs().
+  Histogram* GetHistogram(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  /// One metric folded for exposition.
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    uint64_t counter = 0;
+    double gauge = 0.0;
+    Histogram::Snapshot hist;
+  };
+
+  /// Snapshot of every registered metric, sorted by name. Safe concurrent
+  /// with writers (values are relaxed-atomic sums).
+  std::vector<Entry> Collect() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+#else  // CAFE_OBS_DISABLED -------------------------------------------------
+
+// No-op shims with the exact call surface of the real types. Everything is
+// inline and stateless so instrumented hot paths compile to nothing; the
+// benchmark overhead guard diffs this build against the instrumented one.
+
+class Counter {
+ public:
+  void Add(uint64_t = 1) {}
+  uint64_t Value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void Set(double) {}
+  void Add(double) {}
+  double Value() const { return 0.0; }
+};
+
+class Histogram {
+ public:
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double Quantile(double) const { return 0.0; }
+  };
+  void Record(double) {}
+  Snapshot Collect() const { return {}; }
+  const std::vector<double>& bounds() const {
+    static const std::vector<double> kEmpty;
+    return kEmpty;
+  }
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global() {
+    static MetricsRegistry r;
+    return r;
+  }
+  Counter* GetCounter(const std::string&) { return &counter_; }
+  Gauge* GetGauge(const std::string&) { return &gauge_; }
+  Histogram* GetHistogram(const std::string&) { return &histogram_; }
+  Histogram* GetHistogram(const std::string&, std::vector<double>) {
+    return &histogram_;
+  }
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    uint64_t counter = 0;
+    double gauge = 0.0;
+    Histogram::Snapshot hist;
+  };
+  std::vector<Entry> Collect() const { return {}; }
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+#endif  // CAFE_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace cafe
+
+#endif  // CAFE_OBS_METRICS_H_

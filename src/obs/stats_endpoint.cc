@@ -1,0 +1,177 @@
+#include "obs/stats_endpoint.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "obs/exposition.h"
+
+namespace cafe {
+namespace obs {
+namespace {
+
+/// Reads until the end of the request headers (or the peer stops sending).
+/// We only need the request line; the rest is drained and discarded.
+std::string ReadRequestLine(int fd) {
+  std::string buffer;
+  char chunk[512];
+  // Short, bounded read loop: a loopback client sends the whole request in
+  // one or two segments. 250ms cap so a stuck client cannot wedge the loop.
+  for (int spins = 0; spins < 50; ++spins) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 5);
+    if (ready < 0) break;
+    if (ready == 0) {
+      if (buffer.find('\n') != std::string::npos) break;
+      continue;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    if (buffer.find("\r\n\r\n") != std::string::npos ||
+        buffer.find("\n\n") != std::string::npos) {
+      break;
+    }
+    if (buffer.size() > 8192) break;  // nobody sends GETs this large
+  }
+  const size_t eol = buffer.find('\n');
+  return (eol == std::string::npos) ? buffer : buffer.substr(0, eol);
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+void WriteResponse(int fd, const char* status_line, const char* content_type,
+                   const std::string& body) {
+  std::string response = "HTTP/1.1 ";
+  response += status_line;
+  response += "\r\nContent-Type: ";
+  response += content_type;
+  response += "\r\nContent-Length: " + std::to_string(body.size());
+  response += "\r\nConnection: close\r\n\r\n";
+  response += body;
+  WriteAll(fd, response);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<StatsEndpoint>> StatsEndpoint::Start(
+    int port, MetricsRegistry* registry) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("stats endpoint port out of range: " +
+                                   std::to_string(port));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string msg =
+        std::string("bind(127.0.0.1:") + std::to_string(port) +
+        "): " + std::strerror(errno);
+    ::close(fd);
+    return Status::Internal(msg);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string msg = std::string("listen(): ") + std::strerror(errno);
+    ::close(fd);
+    return Status::Internal(msg);
+  }
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    const std::string msg =
+        std::string("getsockname(): ") + std::strerror(errno);
+    ::close(fd);
+    return Status::Internal(msg);
+  }
+  return std::unique_ptr<StatsEndpoint>(
+      new StatsEndpoint(fd, ntohs(bound.sin_port), registry));
+}
+
+StatsEndpoint::StatsEndpoint(int listen_fd, int port,
+                             MetricsRegistry* registry)
+    : listen_fd_(listen_fd), port_(port), registry_(registry) {
+  thread_ = std::thread([this] { ServeLoop(); });
+}
+
+StatsEndpoint::~StatsEndpoint() { Stop(); }
+
+void StatsEndpoint::Stop() {
+  if (stop_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void StatsEndpoint::ServeLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    const std::string request = ReadRequestLine(client);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    // "GET <path> HTTP/1.x" — tolerate missing version (bash /dev/tcp).
+    std::string path;
+    {
+      const size_t sp1 = request.find(' ');
+      if (sp1 != std::string::npos) {
+        const size_t sp2 = request.find(' ', sp1 + 1);
+        path = request.substr(
+            sp1 + 1,
+            (sp2 == std::string::npos) ? std::string::npos : sp2 - sp1 - 1);
+      }
+    }
+    if (request.compare(0, 4, "GET ") != 0) {
+      WriteResponse(client, "405 Method Not Allowed", "text/plain",
+                    "only GET is supported\n");
+    } else if (path == "/metrics" || path == "/") {
+      WriteResponse(client, "200 OK", "text/plain; version=0.0.4",
+                    DumpPrometheusText(registry_));
+    } else if (path == "/metrics.json" || path == "/stats.json") {
+      WriteResponse(client, "200 OK", "application/json",
+                    DumpJsonSnapshot(registry_));
+    } else if (path == "/healthz") {
+      WriteResponse(client, "200 OK", "text/plain", "ok\n");
+    } else {
+      WriteResponse(client, "404 Not Found", "text/plain",
+                    "unknown path; try /metrics, /metrics.json, /healthz\n");
+    }
+    ::close(client);
+  }
+}
+
+}  // namespace obs
+}  // namespace cafe

@@ -1,0 +1,65 @@
+#ifndef CAFE_OBS_STATS_ENDPOINT_H_
+#define CAFE_OBS_STATS_ENDPOINT_H_
+
+// A minimal loopback HTTP listener exposing the metrics registry while a
+// pipeline runs, so an operator (or scripts/check.sh) can scrape a live
+// process without stopping it:
+//
+//   GET /metrics       -> Prometheus text exposition
+//   GET /metrics.json  -> JSON snapshot (DumpJsonSnapshot)
+//   GET /healthz       -> "ok"
+//
+// Deliberately not a web server: it binds 127.0.0.1 only, handles one
+// short-lived connection at a time on one background thread, and speaks
+// just enough HTTP/1.1 for curl, Prometheus, and bash's /dev/tcp. Port 0
+// binds an ephemeral port; port() reports the bound one.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace cafe {
+namespace obs {
+
+class StatsEndpoint {
+ public:
+  /// Binds and starts serving. `registry` nullptr means Global().
+  static StatusOr<std::unique_ptr<StatsEndpoint>> Start(
+      int port, MetricsRegistry* registry = nullptr);
+
+  ~StatsEndpoint();
+  StatsEndpoint(const StatsEndpoint&) = delete;
+  StatsEndpoint& operator=(const StatsEndpoint&) = delete;
+
+  /// The bound TCP port (useful with port 0).
+  int port() const { return port_; }
+
+  /// Stops the accept loop and joins the thread. Idempotent; the
+  /// destructor calls it.
+  void Stop();
+
+  /// Requests served so far (all routes, including 404s).
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  StatsEndpoint(int listen_fd, int port, MetricsRegistry* registry);
+  void ServeLoop();
+
+  int listen_fd_;
+  int port_;
+  MetricsRegistry* registry_;  // may be null = Global()
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace cafe
+
+#endif  // CAFE_OBS_STATS_ENDPOINT_H_

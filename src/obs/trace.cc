@@ -1,0 +1,133 @@
+#include "obs/trace.h"
+
+#ifndef CAFE_OBS_DISABLED
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+namespace cafe {
+namespace obs {
+namespace internal {
+namespace {
+
+static_assert((kTraceRingCapacity & (kTraceRingCapacity - 1)) == 0,
+              "ring capacity must be a power of two");
+
+/// One thread's span ring. Every field of every slot is an independent
+/// relaxed atomic: the writer is single-threaded (the owning thread), and
+/// concurrent readers see tear-free fields. `head` counts total emits so
+/// readers know how full the ring is and where the oldest entry sits.
+struct TraceRing {
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<uint64_t> start_us{0};
+    std::atomic<uint64_t> dur_us{0};
+  };
+  Slot slots[kTraceRingCapacity];
+  std::atomic<uint64_t> head{0};
+  // Metrics shard slot of the current owner; atomic because ring reuse
+  // (thread exit -> freelist -> new thread) races with CollectSpans.
+  std::atomic<uint32_t> tid{0};
+
+  void Emit(const char* name, uint64_t start_us, uint64_t dur_us) {
+    const uint64_t h = head.load(std::memory_order_relaxed);
+    Slot& slot = slots[h & (kTraceRingCapacity - 1)];
+    slot.name.store(name, std::memory_order_relaxed);
+    slot.start_us.store(start_us, std::memory_order_relaxed);
+    slot.dur_us.store(dur_us, std::memory_order_relaxed);
+    // Release so a reader that observes the new head sees the fields.
+    head.store(h + 1, std::memory_order_release);
+  }
+};
+
+struct RingDirectory {
+  std::mutex mutex;
+  // Rings are never freed (a handful of 100-KiB blocks per peak thread
+  // count); exited threads' rings keep their history visible and return
+  // to this freelist for reuse.
+  std::vector<std::unique_ptr<TraceRing>> all;
+  std::vector<TraceRing*> free;
+};
+
+RingDirectory& Directory() {
+  static RingDirectory* dir = new RingDirectory;  // never destroyed
+  return *dir;
+}
+
+struct RingHolder {
+  TraceRing* ring;
+  RingHolder() {
+    RingDirectory& dir = Directory();
+    std::lock_guard<std::mutex> lock(dir.mutex);
+    if (dir.free.empty()) {
+      dir.all.emplace_back(new TraceRing);
+      ring = dir.all.back().get();
+    } else {
+      ring = dir.free.back();
+      dir.free.pop_back();
+    }
+    ring->tid.store(ThisThreadSlot(), std::memory_order_relaxed);
+  }
+  ~RingHolder() {
+    RingDirectory& dir = Directory();
+    std::lock_guard<std::mutex> lock(dir.mutex);
+    dir.free.push_back(ring);
+  }
+};
+
+TraceRing& ThisThreadRing() {
+  thread_local RingHolder holder;
+  return *holder.ring;
+}
+
+}  // namespace
+
+void EmitSpan(const char* name, uint64_t start_us, uint64_t dur_us) {
+  ThisThreadRing().Emit(name, start_us, dur_us);
+}
+
+}  // namespace internal
+
+std::vector<SpanEvent> CollectSpans(size_t max_events) {
+  using internal::TraceRing;
+  using internal::kTraceRingCapacity;
+  std::vector<TraceRing*> rings;
+  {
+    internal::RingDirectory& dir = internal::Directory();
+    std::lock_guard<std::mutex> lock(dir.mutex);
+    rings.reserve(dir.all.size());
+    for (const auto& ring : dir.all) rings.push_back(ring.get());
+  }
+  std::vector<SpanEvent> events;
+  for (TraceRing* ring : rings) {
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    const uint64_t available = std::min<uint64_t>(head, kTraceRingCapacity);
+    for (uint64_t i = head - available; i < head; ++i) {
+      const auto& slot = ring->slots[i & (kTraceRingCapacity - 1)];
+      const char* name = slot.name.load(std::memory_order_relaxed);
+      if (name == nullptr) continue;  // not yet written (benign race)
+      SpanEvent event;
+      event.name = name;
+      event.start_us = slot.start_us.load(std::memory_order_relaxed);
+      event.dur_us = slot.dur_us.load(std::memory_order_relaxed);
+      event.tid = ring->tid.load(std::memory_order_relaxed);
+      events.push_back(std::move(event));
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              return a.start_us < b.start_us;
+            });
+  if (events.size() > max_events) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<ptrdiff_t>(max_events));
+  }
+  return events;
+}
+
+}  // namespace obs
+}  // namespace cafe
+
+#endif  // CAFE_OBS_DISABLED

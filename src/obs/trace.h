@@ -1,0 +1,117 @@
+#ifndef CAFE_OBS_TRACE_H_
+#define CAFE_OBS_TRACE_H_
+
+// Timestamped span events in bounded per-thread ring buffers. A TraceSpan
+// is an RAII scope: construction stamps the start, destruction writes
+// {name, start_us, dur_us, tid} into this thread's ring. Rings are
+// fixed-size and overwrite oldest-first, so tracing is always on and never
+// allocates on the hot path. CollectSpans() races benignly with writers:
+// every slot field is an individual relaxed atomic, so a concurrent
+// snapshot sees each field tear-free; an entry being overwritten mid-read
+// can mix two events' fields, which a profile viewer tolerates and tests
+// avoid by quiescing first.
+//
+// Span names MUST be string literals (or otherwise outlive the process):
+// the ring stores the pointer, not a copy.
+//
+// ScopedTimer composes a TraceSpan with a Histogram: one scope both leaves
+// a trace event and feeds the duration distribution.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cafe {
+namespace obs {
+
+struct SpanEvent {
+  std::string name;
+  uint64_t start_us = 0;  // NowMicros() timebase (process start)
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;  // shard slot of the emitting thread, not an OS tid
+};
+
+#ifndef CAFE_OBS_DISABLED
+
+namespace internal {
+/// Events retained per thread. Power of two so wraparound is a mask.
+inline constexpr size_t kTraceRingCapacity = 4096;
+void EmitSpan(const char* name, uint64_t start_us, uint64_t dur_us);
+}  // namespace internal
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(name), start_us_(NowMicros()) {}
+  ~TraceSpan() {
+    if (name_ != nullptr) Finish();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Ends the span early; the destructor becomes a no-op.
+  void Finish() {
+    internal::EmitSpan(name_, start_us_, NowMicros() - start_us_);
+    name_ = nullptr;
+  }
+
+  uint64_t start_us() const { return start_us_; }
+
+ private:
+  const char* name_;
+  uint64_t start_us_;
+};
+
+/// TraceSpan + histogram feed. `hist` may be null (then it is just a span).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name, Histogram* hist = nullptr)
+      : name_(name), hist_(hist), start_us_(NowMicros()) {}
+  ~ScopedTimer() {
+    if (name_ != nullptr) Finish();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  void Finish() {
+    const uint64_t dur = NowMicros() - start_us_;
+    internal::EmitSpan(name_, start_us_, dur);
+    if (hist_ != nullptr) hist_->Record(static_cast<double>(dur));
+    name_ = nullptr;
+  }
+
+ private:
+  const char* name_;
+  Histogram* hist_;
+  uint64_t start_us_;
+};
+
+/// Most-recent spans across all thread rings, oldest first, at most
+/// `max_events`. Concurrent-safe (see file comment).
+std::vector<SpanEvent> CollectSpans(size_t max_events = 256);
+
+#else  // CAFE_OBS_DISABLED -------------------------------------------------
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*) {}
+  void Finish() {}
+  uint64_t start_us() const { return 0; }
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char*, Histogram* = nullptr) {}
+  void Finish() {}
+};
+
+inline std::vector<SpanEvent> CollectSpans(size_t = 256) { return {}; }
+
+#endif  // CAFE_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace cafe
+
+#endif  // CAFE_OBS_TRACE_H_

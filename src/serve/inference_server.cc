@@ -30,7 +30,20 @@ void LoadSnapshotDenseParams(RecModel* model, const ServingSnapshot& snap) {
 }  // namespace
 
 InferenceServer::InferenceServer(const InferenceServerOptions& options)
-    : options_(options) {}
+    : options_(options) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs_requests_ = registry.GetCounter("serve.requests_total");
+  obs_samples_ = registry.GetCounter("serve.samples_total");
+  obs_batches_ = registry.GetCounter("serve.batches_total");
+  obs_rejected_ = registry.GetCounter("serve.rejected_total");
+  obs_swaps_ = registry.GetCounter("serve.swaps_total");
+  obs_queue_depth_ = registry.GetGauge("serve.queue_depth");
+  obs_generation_ = registry.GetGauge("serve.generation");
+  obs_snapshot_age_us_ = registry.GetGauge("serve.snapshot_age_us");
+  obs_shed_rate_ = registry.GetGauge("serve.shed_rate");
+  obs_request_us_ = registry.GetHistogram("serve.request_us",
+                                          obs::DefaultTimeBucketsUs());
+}
 
 StatusOr<std::unique_ptr<InferenceServer>> InferenceServer::Start(
     const InferenceServerOptions& options, const ModelFactory& factory,
@@ -58,6 +71,10 @@ StatusOr<std::unique_ptr<InferenceServer>> InferenceServer::Start(
   // Sentinel: every worker loads the pinned snapshot's dense weights on its
   // first micro-batch (generations are 1-based).
   server->worker_generations_.assign(options.num_workers, 0);
+  server->worker_latency_.reserve(options.num_workers);
+  for (size_t i = 0; i < options.num_workers; ++i) {
+    server->worker_latency_.push_back(std::make_unique<LatencyRecorder>());
+  }
   server->workers_.reserve(options.num_workers);
   for (size_t i = 0; i < options.num_workers; ++i) {
     server->workers_.emplace_back(
@@ -76,6 +93,25 @@ void InferenceServer::Shutdown() {
   cv_.notify_all();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
+  }
+  // The gauge mirrors update on a sampled cadence while serving; sync them
+  // exactly now that the queue is drained so a post-run registry dump
+  // reflects the final state.
+  if (obs_queue_depth_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    obs_queue_depth_->Set(static_cast<double>(queued_samples_));
+    const uint64_t rejected = rejected_.load(std::memory_order_relaxed);
+    const uint64_t accepted = requests_.load(std::memory_order_relaxed);
+    if (rejected + accepted > 0) {
+      obs_shed_rate_->Set(static_cast<double>(rejected) /
+                          static_cast<double>(rejected + accepted));
+    }
+    const uint64_t installed =
+        snapshot_install_us_.load(std::memory_order_relaxed);
+    if (installed != 0) {
+      obs_snapshot_age_us_->Set(
+          static_cast<double>(obs::NowMicros() - installed));
+    }
   }
 }
 
@@ -109,7 +145,12 @@ StatusOr<std::future<std::vector<float>>> InferenceServer::Submit(
     // fit under the cap and would otherwise starve forever.
     if (options_.max_queue_samples > 0 && !queue_.empty() &&
         queued_samples_ + pending.batch_size > options_.max_queue_samples) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t rejected =
+          rejected_.fetch_add(1, std::memory_order_relaxed) + 1;
+      obs_rejected_->Add(1);
+      const uint64_t accepted = requests_.load(std::memory_order_relaxed);
+      obs_shed_rate_->Set(static_cast<double>(rejected) /
+                          static_cast<double>(rejected + accepted));
       return Status::ResourceExhausted(
           "inference queue full (" + std::to_string(queued_samples_) + " of " +
           std::to_string(options_.max_queue_samples) +
@@ -117,6 +158,12 @@ StatusOr<std::future<std::vector<float>>> InferenceServer::Submit(
     }
     queued_samples_ += pending.batch_size;
     peak_queued_samples_ = std::max(peak_queued_samples_, queued_samples_);
+    // Sampled mirror: the gauge is only read at scrape time, so a
+    // few-requests-stale depth is fine — an unconditional Set here is a
+    // contended cache-line write on every submit from every client thread.
+    if ((++queue_depth_updates_ & 0xF) == 0) {
+      obs_queue_depth_->Set(static_cast<double>(queued_samples_));
+    }
     queue_.push_back(std::move(pending));
   }
   cv_.notify_one();
@@ -129,6 +176,10 @@ uint64_t InferenceServer::InstallSnapshot(
       << "InstallSnapshot on a server started without a swap store";
   const uint64_t generation = swap_store_->Install(std::move(snapshot));
   snapshot_swaps_.fetch_add(1, std::memory_order_relaxed);
+  snapshot_install_us_.store(obs::NowMicros(), std::memory_order_relaxed);
+  obs_swaps_->Add(1);
+  obs_generation_->Set(static_cast<double>(generation));
+  obs_snapshot_age_us_->Set(0.0);
   return generation;
 }
 
@@ -163,6 +214,9 @@ void InferenceServer::WorkerLoop(size_t worker_index) {
         queued_samples_ -= front.batch_size;
         claimed.push_back(std::move(front));
         queue_.pop_front();
+      }
+      if ((++queue_depth_updates_ & 0xF) == 0) {
+        obs_queue_depth_->Set(static_cast<double>(queued_samples_));
       }
     }
     // Wake a peer: there may be leftover requests past the claimed window.
@@ -201,6 +255,7 @@ void InferenceServer::Execute(size_t worker_index, RecModel* model,
   batch.labels = nullptr;  // prediction only
 
   std::vector<float> logits;
+  uint64_t pinned_generation = 0;
   if (swap_store_ != nullptr) {
     // Hot reload pick-up point: pin the current snapshot for the WHOLE
     // micro-batch (no torn generations within a response), and refresh the
@@ -211,6 +266,7 @@ void InferenceServer::Execute(size_t worker_index, RecModel* model,
       LoadSnapshotDenseParams(model, pin.snapshot());
       worker_generations_[worker_index] = pin.generation();
     }
+    pinned_generation = pin.generation();
     model->Predict(batch, &logits);
   } else {
     model->Predict(batch, &logits);
@@ -220,13 +276,55 @@ void InferenceServer::Execute(size_t worker_index, RecModel* model,
   // Publish stats BEFORE completing any future: a client that returns from
   // future.get() must observe every counter of its own request.
   const Clock::time_point done = Clock::now();
+  LatencyRecorder* recorder = worker_latency_[worker_index].get();
   for (const Pending& p : *claimed) {
-    latency_.Record(
-        std::chrono::duration<double, std::micro>(done - p.enqueue).count());
+    const double micros =
+        std::chrono::duration<double, std::micro>(done - p.enqueue).count();
+    recorder->Record(micros);
+    obs_request_us_->Record(micros);
     samples_.fetch_add(p.batch_size, std::memory_order_relaxed);
     requests_.fetch_add(1, std::memory_order_relaxed);
   }
-  executed_batches_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t batch_seq =
+      executed_batches_.fetch_add(1, std::memory_order_relaxed);
+  // Counters are per-thread-sharded (cheap); the gauges below are single
+  // shared atomics, so their mirrors are refreshed on a sampled cadence —
+  // they are only read at scrape time and Shutdown() syncs them exactly.
+  const bool refresh_gauges = (batch_seq & 0x7) == 0;
+  obs_requests_->Add(claimed->size());
+  obs_samples_->Add(total);
+  obs_batches_->Add(1);
+  if (swap_store_ != nullptr) {
+    // Per-generation request counts, name-labeled. The handle is cached per
+    // worker thread and refreshed only when the pinned generation moves, so
+    // the steady-state cost is one pointer compare, not a registry lookup.
+    struct GenerationHandle {
+      uint64_t generation = ~0ULL;
+      obs::Counter* counter = nullptr;
+    };
+    static thread_local GenerationHandle cached;
+    if (cached.generation != pinned_generation) {
+      cached.generation = pinned_generation;
+      cached.counter = obs::MetricsRegistry::Global().GetCounter(
+          "serve.generation_requests_total{generation=\"" +
+          std::to_string(pinned_generation) + "\"}");
+    }
+    cached.counter->Add(claimed->size());
+    const uint64_t installed =
+        snapshot_install_us_.load(std::memory_order_relaxed);
+    if (installed != 0 && refresh_gauges) {
+      obs_snapshot_age_us_->Set(
+          static_cast<double>(obs::NowMicros() - installed));
+    }
+  }
+  if (refresh_gauges) {
+    const uint64_t rejected = rejected_.load(std::memory_order_relaxed);
+    const uint64_t accepted = requests_.load(std::memory_order_relaxed);
+    if (rejected + accepted > 0) {
+      obs_shed_rate_->Set(static_cast<double>(rejected) /
+                          static_cast<double>(rejected + accepted));
+    }
+  }
 
   offset = 0;
   for (Pending& p : *claimed) {
@@ -235,6 +333,18 @@ void InferenceServer::Execute(size_t worker_index, RecModel* model,
     offset += p.batch_size;
     p.promise.set_value(std::move(result));
   }
+}
+
+LatencySummary InferenceServer::latency_summary() const {
+  LatencyRecorder merged;
+  for (const auto& recorder : worker_latency_) merged.Merge(*recorder);
+  return merged.Summary();
+}
+
+size_t InferenceServer::latency_count() const {
+  size_t count = 0;
+  for (const auto& recorder : worker_latency_) count += recorder->count();
+  return count;
 }
 
 InferenceServer::Stats InferenceServer::stats() const {

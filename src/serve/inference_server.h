@@ -15,6 +15,7 @@
 
 #include "data/batch.h"
 #include "models/model.h"
+#include "obs/metrics.h"
 #include "serve/latency_recorder.h"
 #include "serve/swappable_store.h"
 
@@ -121,9 +122,20 @@ class InferenceServer {
   };
   Stats stats() const;
 
-  const LatencyRecorder& latency() const { return latency_; }
-  /// Drops recorded latencies (benches measure phases on one server).
-  void ClearLatency() { latency_.Clear(); }
+  /// Merged percentile summary over ALL workers' recorders. Each worker
+  /// records into a private LatencyRecorder (no shared-mutex contention on
+  /// the completion path); this merges their populations at read time —
+  /// identical numbers to the shared-instance design, minus the hot-path
+  /// lock. Safe to call while workers are serving.
+  LatencySummary latency_summary() const;
+  /// Completed-request sample count across all workers.
+  size_t latency_count() const;
+  /// Drops every worker's recorded latencies (benches measure phases on
+  /// one server); count and p50/p95/p99/mean/max all read as zero until
+  /// new requests complete.
+  void ClearLatency() {
+    for (auto& recorder : worker_latency_) recorder->Clear();
+  }
   const InferenceServerOptions& options() const { return options_; }
 
  private:
@@ -156,14 +168,41 @@ class InferenceServer {
   std::deque<Pending> queue_;
   size_t queued_samples_ = 0;
   size_t peak_queued_samples_ = 0;
+  /// Guarded by mu_. Counts queue mutations so the serve.queue_depth gauge
+  /// mirror refreshes every 16th change instead of on every submit/claim —
+  /// the gauge is a single shared atomic and per-request writes to it are
+  /// measurable against microsecond-scale service times.
+  uint64_t queue_depth_updates_ = 0;
   bool stop_ = false;
 
-  LatencyRecorder latency_;
+  /// One recorder per worker (worker-indexed, like the model replicas);
+  /// latency_summary() merges them. unique_ptr keeps addresses stable
+  /// (LatencyRecorder owns a mutex and cannot move).
+  std::vector<std::unique_ptr<LatencyRecorder>> worker_latency_;
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> samples_{0};
   std::atomic<uint64_t> executed_batches_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> snapshot_swaps_{0};
+  /// NowMicros() stamp of the last InstallSnapshot (0 = none yet); Execute
+  /// derives the serve.snapshot_age_us gauge from it on the sampled
+  /// gauge-refresh cadence (every 8th micro-batch).
+  std::atomic<uint64_t> snapshot_install_us_{0};
+
+  // Registry mirrors (serve.*), bound in the constructor. The member
+  // atomics above stay authoritative for stats() — tests assert exact
+  // per-instance values; the registry aggregates across every server in
+  // the process and survives server teardown.
+  obs::Counter* obs_requests_ = nullptr;
+  obs::Counter* obs_samples_ = nullptr;
+  obs::Counter* obs_batches_ = nullptr;
+  obs::Counter* obs_rejected_ = nullptr;
+  obs::Counter* obs_swaps_ = nullptr;
+  obs::Gauge* obs_queue_depth_ = nullptr;
+  obs::Gauge* obs_generation_ = nullptr;
+  obs::Gauge* obs_snapshot_age_us_ = nullptr;
+  obs::Gauge* obs_shed_rate_ = nullptr;
+  obs::Histogram* obs_request_us_ = nullptr;
 };
 
 }  // namespace cafe

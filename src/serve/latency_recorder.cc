@@ -14,6 +14,19 @@ double Percentile(const std::vector<double>& sorted, double p) {
 
 }  // namespace
 
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  // Copy under other's lock, append under ours; holding one mutex at a
+  // time keeps Merge deadlock-free even for a (pointless) self-cycle of
+  // concurrent A.Merge(B) / B.Merge(A).
+  std::vector<double> theirs;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    theirs = other.samples_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.insert(samples_.end(), theirs.begin(), theirs.end());
+}
+
 LatencySummary LatencyRecorder::Summary() const {
   std::vector<double> sorted;
   {

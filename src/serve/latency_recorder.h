@@ -23,6 +23,14 @@ struct LatencySummary {
 /// a snapshot (serving benches are bounded, so keeping every sample is
 /// cheaper and more honest than a streaming quantile sketch — revisit if a
 /// server ever runs unbounded).
+///
+/// Concurrency: every method takes the internal mutex, so Summary(),
+/// count(), Merge(), and Clear() are all safe concurrent with Record() —
+/// each sees a consistent point-in-time population. That said, a SHARED
+/// recorder serializes every Record() on one mutex; latency-sensitive
+/// multi-worker callers should give each worker a private recorder and
+/// Merge() them into a scratch instance at read time (what
+/// InferenceServer does), turning the hot path into an uncontended lock.
 class LatencyRecorder {
  public:
   void Record(double micros) {
@@ -30,6 +38,9 @@ class LatencyRecorder {
     samples_.push_back(micros);
   }
 
+  /// Clears the population; the next Summary() reports zero count and zero
+  /// p50/p95/p99/mean/max (percentiles reset together with the count —
+  /// there is no residual state to leak across bench phases).
   void Clear() {
     std::lock_guard<std::mutex> lock(mu_);
     samples_.clear();
@@ -39,6 +50,13 @@ class LatencyRecorder {
     std::lock_guard<std::mutex> lock(mu_);
     return samples_.size();
   }
+
+  /// Appends a snapshot of `other`'s samples to this recorder. Safe while
+  /// writers are still recording into either side (both mutexes are taken,
+  /// never simultaneously — no lock-order cycle). Combining per-worker
+  /// recorders through a scratch instance yields the same population a
+  /// single shared recorder would have collected, without its contention.
+  void Merge(const LatencyRecorder& other);
 
   /// Exact percentiles (nearest-rank) over all recorded samples.
   LatencySummary Summary() const;

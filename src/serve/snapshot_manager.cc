@@ -6,9 +6,47 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "io/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/frozen_store.h"
 
 namespace cafe {
+namespace {
+
+/// Registry handles (snapshot.*), shared by every manager in the process;
+/// the per-instance Stats struct stays authoritative for stats() — these
+/// are additive mirrors for scrapes and the JSONL timeline.
+struct SnapshotMetrics {
+  obs::Counter* cuts;
+  obs::Counter* delta_cuts;
+  obs::Counter* retired_buffers;
+  obs::Counter* copy_bytes;
+  obs::Counter* apply_bytes;
+  obs::Histogram* copy_us;
+  obs::Histogram* apply_us;
+  obs::Histogram* publish_us;
+  obs::Gauge* generation;
+};
+
+SnapshotMetrics& Metrics() {
+  static SnapshotMetrics* const metrics = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+    return new SnapshotMetrics{
+        r.GetCounter("snapshot.cuts_total"),
+        r.GetCounter("snapshot.delta_cuts_total"),
+        r.GetCounter("snapshot.retired_buffers_total"),
+        r.GetCounter("snapshot.copy_bytes_total"),
+        r.GetCounter("snapshot.apply_bytes_total"),
+        r.GetHistogram("snapshot.copy_us", obs::DefaultTimeBucketsUs()),
+        r.GetHistogram("snapshot.apply_us", obs::DefaultTimeBucketsUs()),
+        r.GetHistogram("snapshot.publish_us", obs::DefaultTimeBucketsUs()),
+        r.GetGauge("snapshot.generation"),
+    };
+  }();
+  return *metrics;
+}
+
+}  // namespace
 
 SnapshotManager::SnapshotManager(EmbeddingStore* live_store,
                                  RecModel* live_model,
@@ -46,6 +84,7 @@ SnapshotManager::~SnapshotManager() {
 }
 
 void SnapshotManager::CopyStateLocked(uint64_t step) {
+  obs::TraceSpan span("snapshot.copy");
   WallTimer timer;
   io::Writer writer;
   if (options_.incremental && base_cut_done_) {
@@ -103,6 +142,8 @@ void SnapshotManager::CopyStateLocked(uint64_t step) {
   stats_.last_copy_us = copy_us;
   stats_.last_copy_bytes = pending_payload_.size();
   if (copy_us > stats_.max_copy_us) stats_.max_copy_us = copy_us;
+  Metrics().copy_us->Record(copy_us);
+  Metrics().copy_bytes->Add(pending_payload_.size());
 }
 
 void SnapshotManager::AtStepBoundary(uint64_t step) {
@@ -234,6 +275,7 @@ Status SnapshotManager::PublishIncremental(std::string payload, bool is_delta,
   }
   if (status.ok()) {
     BufferSlot& target = buffers_[slot];
+    obs::TraceSpan apply_span("snapshot.apply");
     WallTimer apply_timer;
     while (status.ok() && !target.pending.empty()) {
       PendingPayload entry = std::move(target.pending.front());
@@ -310,6 +352,10 @@ Status SnapshotManager::PublishIncremental(std::string payload, bool is_delta,
 
 void SnapshotManager::RecordPublishStats(double apply_us, uint64_t apply_bytes,
                                          double publish_us, bool retired) {
+  Metrics().apply_us->Record(apply_us);
+  Metrics().apply_bytes->Add(apply_bytes);
+  Metrics().publish_us->Record(publish_us);
+  if (retired) Metrics().retired_buffers->Add(1);
   std::lock_guard<std::mutex> lock(mu_);
   stats_.last_apply_us = apply_us;
   stats_.last_apply_bytes = apply_bytes;
@@ -371,6 +417,7 @@ StatusOr<std::shared_ptr<const ServingSnapshot>> SnapshotManager::Cut() {
   }
 
   // Publish OFF the trainer's critical path.
+  obs::TraceSpan publish_span("snapshot.publish");
   if (options_.incremental) {
     // Double-buffered O(dirty) publish: replay the lagging queue into the
     // non-serving buffer and freeze it in place (see the class comment).
@@ -395,6 +442,11 @@ StatusOr<std::shared_ptr<const ServingSnapshot>> SnapshotManager::Cut() {
     RecordPublishStats(rebuild_us, payload_bytes, rebuild_us,
                        /*retired=*/false);
   }
+
+  publish_span.Finish();
+  Metrics().cuts->Add(1);
+  if (is_delta) Metrics().delta_cuts->Add(1);
+  Metrics().generation->Set(static_cast<double>(generation));
 
   {
     std::lock_guard<std::mutex> lock(mu_);

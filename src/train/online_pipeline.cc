@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <deque>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <string>
@@ -13,6 +15,11 @@
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "obs/exposition.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/stats_endpoint.h"
+#include "obs/trace.h"
 #include "serve/swappable_store.h"
 
 namespace cafe {
@@ -74,6 +81,70 @@ StatusOr<OnlinePipelineResult> RunOnlinePipeline(
       &swap);
   if (!server.ok()) return server.status();
   InferenceServer* server_raw = server->get();
+
+  // Live scrape endpoint: GET /metrics (Prometheus text) and /metrics.json
+  // over loopback for the whole run. Stopped by its destructor on every
+  // return path.
+  std::unique_ptr<obs::StatsEndpoint> endpoint;
+  if (options.stats_port >= 0) {
+    auto started = obs::StatsEndpoint::Start(options.stats_port);
+    if (!started.ok()) return started.status();
+    endpoint = std::move(started).value();
+    result.stats_port = endpoint->port();
+  }
+
+  // Timeline sampler: one JSON object per line, every timeline_interval_ms.
+  // Both `step` and `generation` are read from monotone sources (the
+  // trainer's published step counter, the server's install counter), so the
+  // timeline is monotone in both by construction. The stop flag is read
+  // BEFORE the sample, so the final line — written after the tail install —
+  // reflects the fully trained state.
+  std::atomic<uint64_t> published_step{0};
+  std::atomic<bool> stop_timeline{false};
+  std::atomic<uint64_t> timeline_samples{0};
+  Status timeline_status;  // written only by the sampler, read after join
+  std::thread timeline;
+  if (!options.timeline_path.empty()) {
+    timeline = std::thread([&]() {
+      std::ofstream out(options.timeline_path, std::ios::trunc);
+      if (!out) {
+        timeline_status = Status::Internal("cannot open timeline file: " +
+                                           options.timeline_path);
+        return;
+      }
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      obs::Gauge* const loss_ema_gauge = registry.GetGauge("train.loss_ema");
+      obs::Gauge* const shed_rate_gauge = registry.GetGauge("serve.shed_rate");
+      for (;;) {
+        const bool last = stop_timeline.load(std::memory_order_acquire);
+        const InferenceServer::Stats stats = server_raw->stats();
+        obs::JsonWriter line;
+        line.BeginObject();
+        line.Field("t_us", obs::NowMicros());
+        line.Field("step", published_step.load(std::memory_order_acquire));
+        line.Field("generation", stats.snapshot_generation);
+        line.Field("loss_ema", loss_ema_gauge->Value());
+        line.Field("queue_depth", static_cast<uint64_t>(stats.queue_depth));
+        line.Field("shed_rate", shed_rate_gauge->Value());
+        line.Field("requests_total", stats.requests);
+        line.EndObject();
+        out << line.str() << '\n';
+        timeline_samples.fetch_add(1, std::memory_order_relaxed);
+        if (last) break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.timeline_interval_ms));
+      }
+    });
+  }
+  // Every exit joins the sampler; error paths just haven't set result yet.
+  struct TimelineJoiner {
+    std::atomic<bool>* stop;
+    std::thread* thread;
+    ~TimelineJoiner() {
+      stop->store(true, std::memory_order_release);
+      if (thread->joinable()) thread->join();
+    }
+  } timeline_joiner{&stop_timeline, &timeline};
 
   // Client traffic: closed-loop threads hammering test-day slices from
   // before the first training step until after the final swap.
@@ -149,6 +220,22 @@ StatusOr<OnlinePipelineResult> RunOnlinePipeline(
     (*live_model)->SetBackwardParallelism(backward_pool.get(),
                                           options.backward_threads);
   }
+  // Same train.* registry surface as TrainOnePass: counters per step,
+  // loss EMA + windowed steps/s in gauges the live scrape reads mid-run.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* const obs_steps = registry.GetCounter("train.steps_total");
+  obs::Counter* const obs_examples =
+      registry.GetCounter("train.examples_total");
+  obs::Gauge* const obs_loss_ema = registry.GetGauge("train.loss_ema");
+  obs::Gauge* const obs_steps_per_sec =
+      registry.GetGauge("train.steps_per_sec");
+  obs::Histogram* const obs_step_us =
+      registry.GetHistogram("train.step_us", obs::DefaultTimeBucketsUs());
+  constexpr double kLossEmaAlpha = 0.05;
+  constexpr uint64_t kRateWindowSteps = 64;
+  double loss_ema = 0.0;
+  uint64_t rate_window_start_us = obs::NowMicros();
+
   WallTimer train_timer;
   double loss_sum = 0.0;
   size_t samples_seen = 0;
@@ -158,9 +245,30 @@ StatusOr<OnlinePipelineResult> RunOnlinePipeline(
     for (size_t start = 0; start < train_end; start += options.batch_size) {
       const size_t size = std::min(options.batch_size, train_end - start);
       const Batch batch = data.GetBatch(start, size);
-      loss_sum += (*live_model)->TrainStep(batch) * static_cast<double>(size);
+      double step_loss;
+      {
+        obs::ScopedTimer step_timer("train.step", obs_step_us);
+        step_loss = (*live_model)->TrainStep(batch);
+      }
+      loss_sum += step_loss * static_cast<double>(size);
+      loss_ema = step == 0 ? step_loss
+                           : (1.0 - kLossEmaAlpha) * loss_ema +
+                                 kLossEmaAlpha * step_loss;
+      obs_loss_ema->Set(loss_ema);
+      obs_steps->Add(1);
+      obs_examples->Add(size);
       samples_seen += size;
       ++step;
+      published_step.store(step, std::memory_order_release);
+      if (step % kRateWindowSteps == 0) {
+        const uint64_t now_us = obs::NowMicros();
+        if (now_us > rate_window_start_us) {
+          obs_steps_per_sec->Set(
+              static_cast<double>(kRateWindowSteps) * 1e6 /
+              static_cast<double>(now_us - rate_window_start_us));
+        }
+        rate_window_start_us = now_us;
+      }
       manager.AtStepBoundary(step);
     }
   }
@@ -199,12 +307,33 @@ StatusOr<OnlinePipelineResult> RunOnlinePipeline(
     final_snapshot = swap.Acquire();
   }
 
+  // Stop the sampler AFTER the tail install: its final line carries the
+  // last generation and the final step.
+  stop_timeline.store(true, std::memory_order_release);
+  if (timeline.joinable()) timeline.join();
+  if (!timeline_status.ok()) {
+    stop_clients.store(true, std::memory_order_release);
+    for (std::thread& client : clients) client.join();
+    return timeline_status;
+  }
+  result.timeline_samples =
+      timeline_samples.load(std::memory_order_relaxed);
+
   stop_clients.store(true, std::memory_order_release);
   for (std::thread& client : clients) client.join();
   result.serve_seconds = serve_timer.ElapsedSeconds();
-  result.latency = server_raw->latency().Summary();
+  result.latency = server_raw->latency_summary();
   result.server_stats = server_raw->stats();
   (*server)->Shutdown();
+
+  if (!options.metrics_json_path.empty()) {
+    std::ofstream metrics_out(options.metrics_json_path, std::ios::trunc);
+    if (!metrics_out) {
+      return Status::Internal("cannot open metrics json file: " +
+                              options.metrics_json_path);
+    }
+    metrics_out << obs::DumpJsonSnapshot() << '\n';
+  }
 
   result.avg_train_loss =
       samples_seen > 0 ? loss_sum / static_cast<double>(samples_seen) : 0.0;

@@ -49,6 +49,23 @@ struct OnlinePipelineOptions {
   /// Per-client cap on outstanding futures (closed loop).
   size_t client_inflight = 8;
   uint64_t client_seed = 20240607;
+
+  /// Telemetry. stats_port >= 0 serves the metrics registry live over
+  /// loopback HTTP for the whole run (obs::StatsEndpoint; 0 binds an
+  /// ephemeral port, reported in OnlinePipelineResult::stats_port).
+  /// -1 = no endpoint.
+  int stats_port = -1;
+  /// Non-empty: a sampler thread appends one JSON object per line to this
+  /// file every timeline_interval_ms for the duration of the run —
+  /// {t_us, step, generation, loss_ema, queue_depth, shed_rate,
+  /// requests_total} — monotone in step and generation by construction
+  /// (both are sampled from monotone sources).
+  std::string timeline_path;
+  uint64_t timeline_interval_ms = 50;
+  /// Non-empty: the full obs::DumpJsonSnapshot of the registry is written
+  /// here after the final install (counters/gauges/histograms + trace
+  /// tail) — the pull-API complement of the live endpoint.
+  std::string metrics_json_path;
 };
 
 struct OnlinePipelineResult {
@@ -71,6 +88,10 @@ struct OnlinePipelineResult {
   /// The last snapshot installed (the fully trained state) — callers can
   /// verify it against an offline freeze or keep serving from it.
   std::shared_ptr<const ServingSnapshot> final_snapshot;
+  /// Bound port of the live stats endpoint (0 when stats_port was -1).
+  int stats_port = 0;
+  /// Timeline lines appended (0 when timeline_path was empty).
+  uint64_t timeline_samples = 0;
 };
 
 /// The continuously-updating service in miniature — the online counterpart

@@ -102,7 +102,7 @@ StatusOr<ServingPipelineResult> RunServingPipeline(
   result.serve_seconds = timer.ElapsedSeconds();
 
   const InferenceServer::Stats stats = (*server)->stats();
-  result.latency = (*server)->latency().Summary();
+  result.latency = (*server)->latency_summary();
   result.requests = stats.requests;
   result.executed_batches = stats.executed_batches;
   if (result.serve_seconds > 0.0) {

@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sketch/hyperloglog.h"
 #include "train/metrics.h"
 
@@ -92,6 +94,22 @@ TrainResult TrainOnePass(RecModel* model, const SyntheticCtrDataset& data,
                                   options.backward_threads);
   }
 
+  // Trainer metrics (train.*). Counters advance per step; the loss EMA and
+  // the windowed steps/s land in gauges a live scrape can read mid-pass.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* const obs_steps = registry.GetCounter("train.steps_total");
+  obs::Counter* const obs_examples =
+      registry.GetCounter("train.examples_total");
+  obs::Gauge* const obs_loss_ema = registry.GetGauge("train.loss_ema");
+  obs::Gauge* const obs_steps_per_sec =
+      registry.GetGauge("train.steps_per_sec");
+  obs::Histogram* const obs_step_us =
+      registry.GetHistogram("train.step_us", obs::DefaultTimeBucketsUs());
+  constexpr double kLossEmaAlpha = 0.05;
+  constexpr size_t kRateWindowSteps = 64;
+  double loss_ema = 0.0;
+  uint64_t rate_window_start_us = obs::NowMicros();
+
   WallTimer timer;
   double eval_seconds = 0.0;
   double loss_sum = 0.0;
@@ -108,9 +126,29 @@ TrainResult TrainOnePass(RecModel* model, const SyntheticCtrDataset& data,
         }
       }
     }
-    loss_sum += model->TrainStep(batch) * static_cast<double>(size);
+    double step_loss;
+    {
+      obs::ScopedTimer step_timer("train.step", obs_step_us);
+      step_loss = model->TrainStep(batch);
+    }
+    loss_sum += step_loss * static_cast<double>(size);
+    loss_ema = iter == 0 ? step_loss
+                         : (1.0 - kLossEmaAlpha) * loss_ema +
+                               kLossEmaAlpha * step_loss;
+    obs_loss_ema->Set(loss_ema);
+    obs_steps->Add(1);
+    obs_examples->Add(size);
     samples_seen += size;
     ++iter;
+    if (iter % kRateWindowSteps == 0) {
+      const uint64_t now_us = obs::NowMicros();
+      if (now_us > rate_window_start_us) {
+        obs_steps_per_sec->Set(static_cast<double>(kRateWindowSteps) * 1e6 /
+                               static_cast<double>(now_us -
+                                                   rate_window_start_us));
+      }
+      rate_window_start_us = now_us;
+    }
     if (curve_every > 0 &&
         (iter % curve_every == 0 || samples_seen == train_end)) {
       WallTimer eval_timer;

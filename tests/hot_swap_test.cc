@@ -9,10 +9,20 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <future>
+#include <iterator>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -1637,6 +1647,153 @@ TEST(OnlinePipelineTest, AdmissionCapBoundsQueueDepthUnderOverload) {
             options.server.max_queue_samples);
   EXPECT_EQ(result->server_stats.queue_depth, 0u);  // drained at the end
 }
+
+// ------------------------------------------------------------- telemetry --
+#ifndef CAFE_OBS_DISABLED
+
+// Minimal loopback HTTP GET (mirrors tests/obs_test.cc) for scraping the
+// pipeline's live stats endpoint mid-run.
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  ::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char chunk[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// Pull one "key":<number> value out of a single-line JSON object. The
+// timeline fields are flat numerics, so a substring scan suffices.
+double JsonNumber(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = line.find(needle);
+  EXPECT_NE(at, std::string::npos) << key << " missing in: " << line;
+  if (at == std::string::npos) return -1.0;
+  return std::strtod(line.c_str() + at + needle.size(), nullptr);
+}
+
+// The online pipeline's telemetry, end to end: a live scrape mid-run shows
+// trainer/store/snapshot/server metrics, and the JSONL timeline it appends
+// is monotone in BOTH step and generation (each is sampled from a monotone
+// source; any regression here means a torn read in the sampler).
+TEST(OnlinePipelineTest, TelemetryTimelineMonotoneAndLiveScrape) {
+  auto data = MakeRolloutDataset();
+  StoreFactoryContext context = MakeContext(20.0);
+  context.embedding.total_features = data->layout().total_features();
+  context.layout = data->layout();
+  const ModelConfig model_config = MakeRolloutModelConfig(*data);
+
+  const std::string timeline_path =
+      testing::TempDir() + "/cafe_pipeline_timeline.jsonl";
+  const std::string metrics_path =
+      testing::TempDir() + "/cafe_pipeline_metrics.json";
+  std::remove(timeline_path.c_str());
+  std::remove(metrics_path.c_str());
+
+  // Fixed loopback port so the scraper thread can poll while the pipeline
+  // is still training (an ephemeral port is only known after the run).
+  constexpr int kScrapePort = 19931;
+  OnlinePipelineOptions options;
+  options.batch_size = 128;
+  options.passes = 2;  // long enough for several mid-run scrapes
+  options.snapshot_interval = 8;
+  options.server.num_workers = 2;
+  options.server.max_batch = 64;
+  options.server.max_wait_us = 100;
+  options.num_clients = 2;
+  options.request_size = 12;
+  options.stats_port = kScrapePort;
+  options.timeline_path = timeline_path;
+  options.timeline_interval_ms = 5;
+  options.metrics_json_path = metrics_path;
+
+  std::atomic<bool> stop_scraper{false};
+  std::string live_scrape;  // written by the scraper, read after join
+  std::thread scraper([&]() {
+    while (!stop_scraper.load(std::memory_order_acquire)) {
+      const std::string text = HttpGet(kScrapePort, "/metrics");
+      if (text.find("cafe_train_steps_total") != std::string::npos) {
+        live_scrape = text;
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  auto result = RunOnlinePipeline("cafe", context, "dlrm", model_config,
+                                  *data, options);
+  stop_scraper.store(true, std::memory_order_release);
+  scraper.join();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats_port, kScrapePort);
+
+  // The mid-run scrape saw every instrumented layer.
+  ASSERT_FALSE(live_scrape.empty()) << "scraper never reached the endpoint";
+  EXPECT_NE(live_scrape.find("cafe_train_steps_total"), std::string::npos);
+  EXPECT_NE(live_scrape.find("cafe_store_cafe_lookup_ids_total"),
+            std::string::npos);
+  EXPECT_NE(live_scrape.find("cafe_snapshot_cuts_total"), std::string::npos);
+  EXPECT_NE(live_scrape.find("cafe_serve_requests_total"), std::string::npos);
+
+  // Timeline: every line parses, both orderings hold, the final line
+  // reflects the fully trained, finally-installed state.
+  std::ifstream timeline(timeline_path);
+  ASSERT_TRUE(timeline.good()) << timeline_path;
+  std::string line;
+  uint64_t lines = 0;
+  double prev_step = -1.0, prev_generation = -1.0;
+  double last_step = 0.0, last_generation = 0.0;
+  while (std::getline(timeline, line)) {
+    ++lines;
+    const double step = JsonNumber(line, "step");
+    const double generation = JsonNumber(line, "generation");
+    JsonNumber(line, "t_us");
+    JsonNumber(line, "loss_ema");
+    JsonNumber(line, "queue_depth");
+    JsonNumber(line, "shed_rate");
+    JsonNumber(line, "requests_total");
+    EXPECT_GE(step, prev_step) << "step regressed at line " << lines;
+    EXPECT_GE(generation, prev_generation)
+        << "generation regressed at line " << lines;
+    prev_step = step;
+    prev_generation = generation;
+    last_step = step;
+    last_generation = generation;
+  }
+  EXPECT_EQ(lines, result->timeline_samples);
+  EXPECT_GE(lines, 2u);  // at least one mid-run sample plus the final one
+  EXPECT_EQ(static_cast<uint64_t>(last_step), result->train_steps);
+  EXPECT_EQ(static_cast<uint64_t>(last_generation),
+            result->server_stats.snapshot_generation);
+
+  // Final registry snapshot: the required keys for the bench validator.
+  std::ifstream metrics(metrics_path);
+  ASSERT_TRUE(metrics.good()) << metrics_path;
+  std::string snapshot((std::istreambuf_iterator<char>(metrics)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(snapshot.find("\"train.steps_total\""), std::string::npos);
+  EXPECT_NE(snapshot.find("\"snapshot.publish_us\""), std::string::npos);
+  EXPECT_NE(snapshot.find("\"serve.shed_rate\""), std::string::npos);
+}
+
+#endif  // CAFE_OBS_DISABLED
 
 }  // namespace
 }  // namespace cafe

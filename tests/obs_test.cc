@@ -1,0 +1,309 @@
+// Observability subsystem battery: metric correctness, per-thread shard
+// aggregation under concurrent writers (the TSan job runs this file),
+// trace-ring wraparound, exposition golden output, and the loopback
+// StatsEndpoint. Uses private MetricsRegistry instances so tests stay
+// independent of whatever the rest of the process logged into Global().
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exposition.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/stats_endpoint.h"
+#include "obs/trace.h"
+
+namespace cafe {
+namespace obs {
+namespace {
+
+#ifndef CAFE_OBS_DISABLED
+
+// ---------------------------------------------------------------- metrics --
+
+TEST(CounterTest, AddAndValue) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.events_total");
+  EXPECT_EQ(c->Value(), 0u);
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), 42u);
+  // Find-or-create returns the same handle for the same name.
+  EXPECT_EQ(registry.GetCounter("test.events_total"), c);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("test.depth");
+  g->Set(3.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 3.5);
+  g->Add(-1.25);
+  EXPECT_DOUBLE_EQ(g->Value(), 2.25);
+  g->Set(0.0);
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+}
+
+TEST(HistogramTest, BucketsSumCount) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.lat_us", {10.0, 100.0, 1000.0});
+  h->Record(5.0);     // <= 10
+  h->Record(10.0);    // <= 10 (inclusive upper edge)
+  h->Record(50.0);    // <= 100
+  h->Record(5000.0);  // +Inf
+  Histogram::Snapshot snap = h->Collect();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 5065.0);
+}
+
+TEST(HistogramTest, QuantilesInterpolateWithinBuckets) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.q_us", {100.0, 200.0});
+  for (int i = 0; i < 100; ++i) h->Record(50.0);   // bucket [0,100]
+  for (int i = 0; i < 100; ++i) h->Record(150.0);  // bucket (100,200]
+  Histogram::Snapshot snap = h->Collect();
+  // Rank 100 of 200 lands exactly at the top of the first bucket.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 100.0);
+  // Rank 190 of 200 is 90% into the second bucket.
+  EXPECT_NEAR(snap.Quantile(0.95), 190.0, 1e-9);
+  // The +Inf bucket clamps to the last finite edge.
+  h->Record(1e9);
+  EXPECT_DOUBLE_EQ(h->Collect().Quantile(1.0), 200.0);
+  // Empty histogram.
+  Histogram* empty = registry.GetHistogram("test.empty_us", {1.0});
+  EXPECT_DOUBLE_EQ(empty->Collect().Quantile(0.5), 0.0);
+}
+
+TEST(RegistryTest, CollectIsNameSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.GetGauge("b.gauge")->Set(1.0);
+  registry.GetCounter("a.counter_total")->Add(7);
+  registry.GetHistogram("c.hist_us", {1.0});
+  const auto entries = registry.Collect();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "a.counter_total");
+  EXPECT_EQ(entries[0].kind, MetricsRegistry::Kind::kCounter);
+  EXPECT_EQ(entries[0].counter, 7u);
+  EXPECT_EQ(entries[1].name, "b.gauge");
+  EXPECT_DOUBLE_EQ(entries[1].gauge, 1.0);
+  EXPECT_EQ(entries[2].name, "c.hist_us");
+}
+
+// The shard-aggregation contract: 8 concurrent writers on the same
+// counter/histogram, plus a reader scraping mid-flight, must lose nothing
+// and race nowhere (this test is in the TSan job's filter).
+TEST(ConcurrencyTest, EightWritersAggregateExactly) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("conc.events_total");
+  Histogram* h = registry.GetHistogram("conc.lat_us", {10.0, 100.0});
+  Gauge* g = registry.GetGauge("conc.depth");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::atomic<bool> stop_reader{false};
+  std::thread reader([&] {
+    // Scrape while writers run: totals must be internally consistent
+    // (never decreasing) and race-free.
+    uint64_t last = 0;
+    while (!stop_reader.load(std::memory_order_relaxed)) {
+      const uint64_t now = c->Value();
+      EXPECT_GE(now, last);
+      last = now;
+      DumpPrometheusText(&registry);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        c->Add(1);
+        h->Record(static_cast<double>((i + t) % 150));
+        g->Set(static_cast<double>(t));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop_reader.store(true);
+  reader.join();
+  EXPECT_EQ(c->Value(), kThreads * kPerThread);
+  Histogram::Snapshot snap = h->Collect();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.counts[0] + snap.counts[1] + snap.counts[2],
+            kThreads * kPerThread);
+}
+
+// Shard slots recycle on thread exit, so an unbounded sequence of
+// short-lived threads (well past the 64-slot pool) still counts exactly.
+TEST(ConcurrencyTest, SlotRecyclingAcrossManyShortLivedThreads) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("recycle.events_total");
+  constexpr int kGenerations = 150;  // > internal::kSlots
+  for (int i = 0; i < kGenerations; ++i) {
+    std::thread([&] { c->Add(1); }).join();
+  }
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kGenerations));
+}
+
+// ------------------------------------------------------------------ trace --
+
+TEST(TraceTest, RingWrapsAndKeepsMostRecent) {
+  constexpr size_t kCapacity = internal::kTraceRingCapacity;
+  for (size_t i = 0; i < kCapacity + 100; ++i) {
+    TraceSpan span("obs.wrap");
+    span.Finish();
+  }
+  const auto spans = CollectSpans(kCapacity * 4);
+  size_t wrapped = 0;
+  uint64_t last_start = 0;
+  for (const auto& span : spans) {
+    EXPECT_GE(span.start_us, last_start);  // oldest-first ordering
+    last_start = span.start_us;
+    if (span.name == "obs.wrap") ++wrapped;
+  }
+  // The ring holds exactly the last kCapacity of this thread's emits.
+  EXPECT_EQ(wrapped, kCapacity);
+}
+
+TEST(TraceTest, ScopedTimerFeedsHistogramAndRing) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("scoped.dur_us");
+  {
+    ScopedTimer timer("obs.scoped_timer", h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  Histogram::Snapshot snap = h->Collect();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.sum, 1000.0);  // slept ~2ms, recorded in microseconds
+  bool found = false;
+  for (const auto& span : CollectSpans(64)) {
+    if (span.name == "obs.scoped_timer") {
+      found = true;
+      EXPECT_GE(span.dur_us, 1000u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ------------------------------------------------------------- exposition --
+
+TEST(ExpositionTest, PrometheusTextGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.alpha_total")->Add(42);
+  registry.GetGauge("test.beta")->Set(0.5);
+  registry.GetHistogram("test.gamma_us", {1.0, 2.0})->Record(1.5);
+  const std::string text = DumpPrometheusText(&registry);
+  EXPECT_EQ(text,
+            "# TYPE cafe_test_alpha_total counter\n"
+            "cafe_test_alpha_total 42\n"
+            "# TYPE cafe_test_beta gauge\n"
+            "cafe_test_beta 0.5\n"
+            "# TYPE cafe_test_gamma_us histogram\n"
+            "cafe_test_gamma_us_bucket{le=\"1\"} 0\n"
+            "cafe_test_gamma_us_bucket{le=\"2\"} 1\n"
+            "cafe_test_gamma_us_bucket{le=\"+Inf\"} 1\n"
+            "cafe_test_gamma_us_sum 1.5\n"
+            "cafe_test_gamma_us_count 1\n");
+}
+
+TEST(ExpositionTest, LabeledNamesPassThrough) {
+  MetricsRegistry registry;
+  registry.GetCounter("serve.gen_requests_total{generation=\"3\"}")->Add(7);
+  const std::string text = DumpPrometheusText(&registry);
+  EXPECT_NE(text.find("cafe_serve_gen_requests_total{generation=\"3\"} 7"),
+            std::string::npos);
+}
+
+TEST(ExpositionTest, JsonSnapshotHoldsAllKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.alpha_total")->Add(42);
+  registry.GetGauge("test.beta")->Set(0.5);
+  registry.GetHistogram("test.gamma_us", {1.0, 2.0})->Record(1.5);
+  const std::string json = DumpJsonSnapshot(&registry, /*max_spans=*/4);
+  EXPECT_NE(json.find("\"test.alpha_total\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"test.beta\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.gamma_us\":{\"count\":1,\"sum\":1.5"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"spans\":["), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+// --------------------------------------------------------------- endpoint --
+
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  ::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char chunk[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(StatsEndpointTest, ServesTextJsonHealthAnd404) {
+  MetricsRegistry registry;
+  registry.GetCounter("endpoint.hits_total")->Add(3);
+  auto endpoint = StatsEndpoint::Start(/*port=*/0, &registry);
+  ASSERT_TRUE(endpoint.ok()) << endpoint.status().ToString();
+  const int port = (*endpoint)->port();
+  ASSERT_GT(port, 0);
+
+  const std::string text = HttpGet(port, "/metrics");
+  EXPECT_NE(text.find("200 OK"), std::string::npos);
+  EXPECT_NE(text.find("cafe_endpoint_hits_total 3"), std::string::npos);
+
+  const std::string json = HttpGet(port, "/metrics.json");
+  EXPECT_NE(json.find("200 OK"), std::string::npos);
+  EXPECT_NE(json.find("\"endpoint.hits_total\":3"), std::string::npos);
+
+  EXPECT_NE(HttpGet(port, "/healthz").find("ok"), std::string::npos);
+  EXPECT_NE(HttpGet(port, "/nope").find("404"), std::string::npos);
+  EXPECT_EQ((*endpoint)->requests_served(), 4u);
+  (*endpoint)->Stop();  // explicit stop then destructor: both must be safe
+}
+
+#else  // CAFE_OBS_DISABLED
+
+TEST(ObsDisabledTest, ShimsCompileAndReturnEmpty) {
+  MetricsRegistry registry;
+  registry.GetCounter("x")->Add(5);
+  EXPECT_EQ(registry.GetCounter("x")->Value(), 0u);
+  EXPECT_TRUE(registry.Collect().empty());
+  EXPECT_TRUE(CollectSpans().empty());
+}
+
+#endif  // CAFE_OBS_DISABLED
+
+}  // namespace
+}  // namespace obs
+}  // namespace cafe

@@ -239,7 +239,7 @@ TEST(InferenceServerTest, ConcurrentPredictionsMatchSingleThreadEvaluation) {
   EXPECT_EQ(stats.samples, test_size);
   EXPECT_GE(stats.executed_batches, 1u);
   EXPECT_LE(stats.executed_batches, stats.requests);
-  EXPECT_EQ((*server)->latency().count(), expected_requests);
+  EXPECT_EQ((*server)->latency_count(), expected_requests);
   (*server)->Shutdown();
 }
 
