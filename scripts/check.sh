@@ -48,17 +48,20 @@ scripts/validate_bench_json.sh \
 "$BUILD_DIR"/bench_backward     --smoke --json "$BUILD_DIR/BENCH_backward.json"
 "$BUILD_DIR"/bench_serving      --smoke --json "$BUILD_DIR/BENCH_serving.json"
 "$BUILD_DIR"/bench_hot_swap     --smoke --json "$BUILD_DIR/BENCH_hot_swap.json"
+"$BUILD_DIR"/bench_replication  --smoke --json "$BUILD_DIR/BENCH_replication.json"
 
 # backward pins the parallel-scatter contract (the threads -> updates/sec
 # scaling series from the sharded backward sweep); hot_swap additionally
 # pins the O(dirty)-publish contract: the double-buffered rollout must keep
 # reporting its copy/apply/publish split and the per-dirty-fraction
-# publish-scaling series.
+# publish-scaling series; replication pins the same contract OVER THE WIRE
+# (replica publish lag must keep tracking the streamed delta bytes).
 scripts/validate_bench_json.sh \
   "$BUILD_DIR/BENCH_lookup_batch.json" \
   "$BUILD_DIR/BENCH_backward.json:backward_scaling,threads,updates_per_sec,speedup_vs_serial,obs_enabled" \
   "$BUILD_DIR/BENCH_serving.json:serving,qps,p99_us,obs_enabled" \
-  "$BUILD_DIR/BENCH_hot_swap.json:last_publish_us,last_apply_bytes,retired_buffers,publish_scaling,dirty_fraction,full_publish_us"
+  "$BUILD_DIR/BENCH_hot_swap.json:last_publish_us,last_apply_bytes,retired_buffers,publish_scaling,dirty_fraction,full_publish_us" \
+  "$BUILD_DIR/BENCH_replication.json:replication,dirty_fraction,delta_bytes,replica_lag_us"
 
 # Instrumentation must stay within its overhead budget vs the no-op shim
 # build (also merges the comparison into BENCH_backward.json).

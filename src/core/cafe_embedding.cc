@@ -652,11 +652,12 @@ void CafeEmbedding::Tick() {
 
   // Measure per-row growth over the closing interval BEFORE decay so the
   // victim queue reflects pure traffic, then decay and refresh thresholds.
-  // Decay touches every sketch slot and the maintenance pass rewrites the
-  // victim queue + growth snapshot wholesale: the next delta ships those
-  // sections in full instead of per-bucket records.
+  // Decay multiplies every slot by one fixed coefficient, so the next
+  // delta ships a replay count instead of the slot array; the maintenance
+  // pass still rewrites the victim queue + growth snapshot wholesale
+  // (O(hot), rebuilt from mid-interval state a replica cannot reconstruct).
   if (dirty_buckets_.enabled()) {
-    sketch_fully_dirty_ = true;
+    ++pending_decay_ticks_;
     maintenance_dirty_ = true;
   }
   RefreshVictimQueue();
@@ -680,6 +681,7 @@ void CafeEmbedding::Tick() {
     HotSketch::Slot& s = sketch_.slot_at(i);
     if (s.key != HotSketch::kEmptyKey && s.payload >= 0 &&
         s.GuaranteedScore() < demote_below) {
+      if (dirty_buckets_.enabled()) MarkBucket(static_cast<int64_t>(i));
       FreeRow(s.payload);
       if (config_.per_field_hot) --field_used_[FieldQuotaIndex(s.key)];
       s.payload = HotSketch::kNoPayload;
@@ -757,7 +759,7 @@ Status CafeEmbedding::EnableDirtyTracking(bool enable) {
     dirty_shared_b_.Disable();
     dirty_buckets_.Disable();
   }
-  sketch_fully_dirty_ = false;
+  pending_decay_ticks_ = 0;
   maintenance_dirty_ = false;
   return Status::OK();
 }
@@ -800,18 +802,15 @@ Status CafeEmbedding::SaveDelta(io::Writer* writer) {
     }
   }
 
-  // Sketch: whole slot array after a decay tick, dirty buckets otherwise
-  // (one Insert touches one bucket, so this scales with unique ids).
-  writer->WriteBool(sketch_fully_dirty_);
-  if (sketch_fully_dirty_) {
-    writer->WriteVec(sketch_.slots());
-  } else {
-    writer->WriteU64(dirty_buckets_.rows().size());
-    for (const uint64_t bucket : dirty_buckets_.rows()) {
-      writer->WriteU64(bucket);
-      writer->WriteBytes(sketch_.slots().data() + bucket * c,
-                         c * sizeof(HotSketch::Slot));
-    }
+  // Sketch: decay ticks ship as a replay count (the apply side re-runs
+  // Decay with the configured coefficient), then dirty buckets only (one
+  // Insert touches one bucket, so this scales with unique ids).
+  writer->WriteU64(pending_decay_ticks_);
+  writer->WriteU64(dirty_buckets_.rows().size());
+  for (const uint64_t bucket : dirty_buckets_.rows()) {
+    writer->WriteU64(bucket);
+    writer->WriteBytes(sketch_.slots().data() + bucket * c,
+                       c * sizeof(HotSketch::Slot));
   }
 
   // The embedding tables, dirty rows only.
@@ -828,7 +827,7 @@ Status CafeEmbedding::SaveDelta(io::Writer* writer) {
   dirty_shared_a_.Flush();
   dirty_shared_b_.Flush();
   dirty_buckets_.Flush();
-  sketch_fully_dirty_ = false;
+  pending_decay_ticks_ = 0;
   maintenance_dirty_ = false;
   return Status::OK();
 }
@@ -890,29 +889,33 @@ Status CafeEmbedding::LoadDelta(io::Reader* reader) {
     }
   }
 
-  bool sketch_full = false;
-  CAFE_RETURN_IF_ERROR(reader->ReadBool(&sketch_full));
-  if (sketch_full) {
-    std::vector<HotSketch::Slot> slots;
-    CAFE_RETURN_IF_ERROR(reader->ReadVec(&slots));
-    CAFE_RETURN_IF_ERROR(sketch_.RestoreSlots(std::move(slots)));
-  } else {
-    uint64_t bucket_count = 0;
-    CAFE_RETURN_IF_ERROR(reader->ReadU64(&bucket_count));
-    if (bucket_count > sketch_.num_buckets()) {
+  uint64_t decay_ticks = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&decay_ticks));
+  if (decay_ticks > iteration_) {
+    return Status::FailedPrecondition(
+        "cafe embedding: corrupt delta decay count");
+  }
+  // Replay the decay ticks the source ran since the last delta. Untouched
+  // buckets see the exact multiply sequence the source did; dirty buckets
+  // are overwritten with their final bytes just below.
+  for (uint64_t tick = 0; tick < decay_ticks; ++tick) {
+    sketch_.Decay(config_.decay_coefficient);
+  }
+  uint64_t bucket_count = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&bucket_count));
+  if (bucket_count > sketch_.num_buckets()) {
+    return Status::FailedPrecondition(
+        "cafe embedding: corrupt delta bucket count");
+  }
+  for (uint64_t i = 0; i < bucket_count; ++i) {
+    uint64_t bucket = 0;
+    CAFE_RETURN_IF_ERROR(reader->ReadU64(&bucket));
+    if (bucket >= sketch_.num_buckets()) {
       return Status::FailedPrecondition(
-          "cafe embedding: corrupt delta bucket count");
+          "cafe embedding: delta bucket out of range");
     }
-    for (uint64_t i = 0; i < bucket_count; ++i) {
-      uint64_t bucket = 0;
-      CAFE_RETURN_IF_ERROR(reader->ReadU64(&bucket));
-      if (bucket >= sketch_.num_buckets()) {
-        return Status::FailedPrecondition(
-            "cafe embedding: delta bucket out of range");
-      }
-      CAFE_RETURN_IF_ERROR(reader->ReadBytes(&sketch_.slot_at(bucket * c),
-                                             c * sizeof(HotSketch::Slot)));
-    }
+    CAFE_RETURN_IF_ERROR(reader->ReadBytes(&sketch_.slot_at(bucket * c),
+                                           c * sizeof(HotSketch::Slot)));
   }
 
   CAFE_RETURN_IF_ERROR(delta_internal::ReadDirtyRows(

@@ -249,7 +249,11 @@ class CafeEmbedding : public EmbeddingStore {
   DirtyRowSet dirty_shared_a_;
   DirtyRowSet dirty_shared_b_;
   DirtyRowSet dirty_buckets_;
-  bool sketch_fully_dirty_ = false;
+  /// Decay ticks since the last SaveDelta. Decay multiplies every slot by
+  /// one fixed coefficient, so the delta ships this count and the apply
+  /// side replays sketch_.Decay() deterministically — O(1) on the wire
+  /// instead of the whole slot array.
+  uint64_t pending_decay_ticks_ = 0;
   bool maintenance_dirty_ = false;
 
   // Registry mirrors (store.cafe.* / store.cafe-ml.*), bound in the

@@ -273,9 +273,9 @@ void AdaEmbedding::Tick() {
 void AdaEmbedding::Reallocate() {
   obs_realloc_ticks_->Add(1);
   // Decay first so stale importance fades (AdaEmbed's recency weighting).
-  // Every score changes, so the next delta ships the score array whole
-  // instead of n per-feature records.
-  if (dirty_features_.enabled()) scores_fully_dirty_ = true;
+  // Every score changes by the same multiply, so the next delta ships the
+  // pass count and the apply side replays it instead of the array.
+  if (dirty_features_.enabled()) ++pending_score_decays_;
   for (float& s : scores_) {
     s *= static_cast<float>(options_.score_decay);
   }
@@ -402,7 +402,7 @@ Status AdaEmbedding::EnableDirtyTracking(bool enable) {
     dirty_features_.Disable();
     dirty_rows_.Disable();
   }
-  scores_fully_dirty_ = false;
+  pending_score_decays_ = 0;
   return Status::OK();
 }
 
@@ -422,17 +422,18 @@ Status AdaEmbedding::SaveDelta(io::Writer* writer) {
   rng_.SaveState(rng_state);
   for (uint64_t word : rng_state) writer->WriteU64(word);
   writer->WriteVec(free_rows_);
-  // Scores: whole array if a reallocation decayed everything this interval
-  // (the per-feature records then carry only row_of_ — their score is
-  // already in the array), otherwise per dirty feature below.
-  writer->WriteBool(scores_fully_dirty_);
-  if (scores_fully_dirty_) writer->WriteVec(scores_);
-  // Per dirty feature: row index (covers realloc victims, whose row index
-  // went to -1 without a row write) + score unless shipped in full above.
+  // Scores: realloc ticks decay every score by the same coefficient, so
+  // the delta ships the pass COUNT (replayed deterministically on apply)
+  // and only the dirty features' final scores — O(dirty) across a tick
+  // instead of the whole array.
+  writer->WriteU64(pending_score_decays_);
+  // Per dirty feature: final score (overrides the replayed decay) + row
+  // index (covers realloc victims, whose row index went to -1 without a
+  // row write).
   writer->WriteU64(dirty_features_.rows().size());
   for (const uint64_t id : dirty_features_.rows()) {
     writer->WriteU64(id);
-    if (!scores_fully_dirty_) writer->WriteF32(scores_[id]);
+    writer->WriteF32(scores_[id]);
     writer->WriteI32(row_of_[id]);
   }
   // Per dirty row: owner + values (ownership changes exactly when the row's
@@ -448,7 +449,7 @@ Status AdaEmbedding::SaveDelta(io::Writer* writer) {
   Obs().RecordDelta(dirty_rows_.rows().size(), writer->size() - delta_start);
   dirty_features_.Flush();
   dirty_rows_.Flush();
-  scores_fully_dirty_ = false;
+  pending_score_decays_ = 0;
   return Status::OK();
 }
 
@@ -472,11 +473,17 @@ Status AdaEmbedding::LoadDelta(io::Reader* reader) {
   if (free_rows_.size() > num_rows_) {
     return Status::FailedPrecondition("ada embedding: corrupt free-row list");
   }
-  bool scores_full = false;
-  CAFE_RETURN_IF_ERROR(reader->ReadBool(&scores_full));
-  if (scores_full) {
-    CAFE_RETURN_IF_ERROR(
-        reader->ReadVecExpected(&scores_, scores_.size(), "ada delta scores"));
+  uint64_t decay_passes = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&decay_passes));
+  if (decay_passes > iteration_) {
+    return Status::FailedPrecondition(
+        "ada embedding: corrupt delta decay count");
+  }
+  // Replay the realloc-tick decays the source ran since the last delta.
+  // Untouched features see the exact multiply sequence the source did;
+  // dirty features are overwritten with their final value just below.
+  for (uint64_t pass = 0; pass < decay_passes; ++pass) {
+    for (float& s : scores_) s *= static_cast<float>(options_.score_decay);
   }
   uint64_t feature_count = 0;
   CAFE_RETURN_IF_ERROR(reader->ReadU64(&feature_count));
@@ -490,7 +497,7 @@ Status AdaEmbedding::LoadDelta(io::Reader* reader) {
       return Status::FailedPrecondition(
           "ada embedding: delta feature out of range");
     }
-    if (!scores_full) CAFE_RETURN_IF_ERROR(reader->ReadF32(&scores_[id]));
+    CAFE_RETURN_IF_ERROR(reader->ReadF32(&scores_[id]));
     CAFE_RETURN_IF_ERROR(reader->ReadI32(&row_of_[id]));
     if (row_of_[id] >= static_cast<int64_t>(num_rows_)) {
       return Status::FailedPrecondition(

@@ -112,11 +112,13 @@ class AdaEmbedding : public EmbeddingStore {
   // Incremental-snapshot tracking. AdaEmbed mutates TWO big spaces: the
   // per-feature score / row-index arrays (keyed by feature id) and the
   // row pool (keyed by physical row; a dirty row also carries its owner).
-  // A reallocation decays EVERY score, so it flags the score array fully
-  // dirty for the next delta instead of marking n features one by one.
+  // A reallocation decays EVERY score with one fixed coefficient, so the
+  // delta ships the number of decay passes since the last cut and the
+  // apply side replays the multiply deterministically — O(1) on the wire
+  // instead of the whole score array.
   DirtyRowSet dirty_features_;
   DirtyRowSet dirty_rows_;
-  bool scores_fully_dirty_ = false;
+  uint64_t pending_score_decays_ = 0;
 
   // Registry handles (store.ada.*), bound in the constructor. Admissions =
   // cold-start claims + reallocation admits; evictions = reallocation

@@ -1,0 +1,147 @@
+#include "replicate/frame.h"
+
+#include <cstring>
+
+#include "io/serialize.h"
+
+namespace cafe {
+namespace replicate {
+
+bool IsValidFrameKind(uint8_t kind) {
+  return kind >= static_cast<uint8_t>(FrameKind::kBase) &&
+         kind <= static_cast<uint8_t>(FrameKind::kAck);
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  io::Writer writer;
+  writer.WriteU32(kFrameMagic);
+  writer.WriteU8(static_cast<uint8_t>(frame.kind));
+  writer.WriteU64(frame.generation);
+  writer.WriteU64(frame.train_step);
+  writer.WriteU64(frame.payload.size());
+  writer.WriteBytes(frame.payload.data(), frame.payload.size());
+  const uint64_t fp = io::Fingerprint(writer.buffer().data(), writer.size());
+  writer.WriteU64(fp);
+  return writer.Release();
+}
+
+std::string EncodeAux(const AuxState& aux) {
+  io::Writer writer;
+  writer.WriteString(aux.model_name);
+  writer.WriteU64(aux.dense_params.size());
+  for (const std::vector<float>& block : aux.dense_params) {
+    writer.WriteVec(block);
+  }
+  writer.WriteBool(aux.has_optimizer);
+  writer.WriteString(aux.optimizer_state);
+  return writer.Release();
+}
+
+Status DecodeAux(const std::string& payload, AuxState* out) {
+  io::Reader reader(&payload);
+  CAFE_RETURN_IF_ERROR(reader.ReadString(&out->model_name));
+  uint64_t blocks = 0;
+  CAFE_RETURN_IF_ERROR(reader.ReadU64(&blocks));
+  if (blocks > reader.remaining()) {
+    return Status::OutOfRange("aux payload: corrupt dense block count");
+  }
+  out->dense_params.resize(blocks);
+  for (std::vector<float>& block : out->dense_params) {
+    CAFE_RETURN_IF_ERROR(reader.ReadVec(&block));
+  }
+  CAFE_RETURN_IF_ERROR(reader.ReadBool(&out->has_optimizer));
+  CAFE_RETURN_IF_ERROR(reader.ReadString(&out->optimizer_state));
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument("aux payload: trailing bytes");
+  }
+  return Status::OK();
+}
+
+void FrameParser::Feed(const void* data, size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+void FrameParser::Consume(size_t n) {
+  pos_ += n;
+  if (pos_ > 4096 && pos_ >= buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+FrameParser::Result FrameParser::Next(Frame* out) {
+  while (true) {
+    const size_t avail = buffer_.size() - pos_;
+    if (avail < sizeof(uint32_t)) return Result::kNeedMore;
+
+    // Lock onto the magic. Anything before it is damage.
+    uint32_t magic = 0;
+    std::memcpy(&magic, buffer_.data() + pos_, sizeof(magic));
+    if (magic != kFrameMagic) {
+      // Scan for the next full 4-byte magic so one damage zone costs one
+      // rescan, not one event per skipped byte.
+      const char* base = buffer_.data() + pos_;
+      const char first = static_cast<char>(kFrameMagic & 0xff);
+      size_t skip = avail - (sizeof(uint32_t) - 1);
+      for (size_t at = 1; at + sizeof(uint32_t) <= avail;) {
+        const void* hit = std::memchr(base + at, first, avail - at);
+        if (hit == nullptr) break;
+        const size_t offset =
+            static_cast<size_t>(static_cast<const char*>(hit) - base);
+        if (offset + sizeof(uint32_t) > avail) break;
+        uint32_t candidate = 0;
+        std::memcpy(&candidate, base + offset, sizeof(candidate));
+        if (candidate == kFrameMagic) {
+          skip = offset;
+          break;
+        }
+        at = offset + 1;
+      }
+      Consume(skip);
+      ++corrupt_events_;
+      return Result::kCorrupt;
+    }
+
+    if (avail < kFrameHeaderBytes) return Result::kNeedMore;
+    const char* header = buffer_.data() + pos_;
+    const uint8_t kind = static_cast<uint8_t>(header[4]);
+    uint64_t generation = 0, train_step = 0, payload_size = 0;
+    std::memcpy(&generation, header + 5, sizeof(generation));
+    std::memcpy(&train_step, header + 13, sizeof(train_step));
+    std::memcpy(&payload_size, header + 21, sizeof(payload_size));
+    if (!IsValidFrameKind(kind) || payload_size > kMaxFramePayloadBytes) {
+      // A header this magic prefixes is garbage (likely a flipped byte or a
+      // magic-looking run inside damaged payload): skip past the magic and
+      // rescan.
+      Consume(sizeof(uint32_t));
+      ++corrupt_events_;
+      return Result::kCorrupt;
+    }
+
+    const size_t total =
+        kFrameHeaderBytes + static_cast<size_t>(payload_size) + 8;
+    if (avail < total) return Result::kNeedMore;
+
+    uint64_t stored_fp = 0;
+    std::memcpy(&stored_fp, header + kFrameHeaderBytes + payload_size,
+                sizeof(stored_fp));
+    const uint64_t fp =
+        io::Fingerprint(header, kFrameHeaderBytes + payload_size);
+    if (fp != stored_fp) {
+      Consume(sizeof(uint32_t));
+      ++corrupt_events_;
+      return Result::kCorrupt;
+    }
+
+    out->kind = static_cast<FrameKind>(kind);
+    out->generation = generation;
+    out->train_step = train_step;
+    out->payload.assign(header + kFrameHeaderBytes,
+                        static_cast<size_t>(payload_size));
+    Consume(total);
+    return Result::kFrame;
+  }
+}
+
+}  // namespace replicate
+}  // namespace cafe

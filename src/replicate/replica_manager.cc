@@ -1,0 +1,395 @@
+#include "replicate/replica_manager.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+#include "io/serialize.h"
+#include "serve/frozen_store.h"
+
+namespace cafe {
+namespace replicate {
+
+ReplicaManager::ReplicaManager(SnapshotManager::FreshStoreFactory factory,
+                               std::unique_ptr<ByteChannel> channel)
+    : ReplicaManager(std::move(factory), std::move(channel), Options()) {}
+
+ReplicaManager::ReplicaManager(SnapshotManager::FreshStoreFactory factory,
+                               std::unique_ptr<ByteChannel> channel,
+                               const Options& options)
+    : factory_(std::move(factory)),
+      channel_(std::move(channel)),
+      options_(options),
+      leases_(std::make_shared<LeaseState>()) {
+  CAFE_CHECK(factory_ != nullptr) << "replica manager needs a store factory";
+  CAFE_CHECK(channel_ != nullptr) << "replica manager needs a channel";
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const std::string prefix = "replicate." + options_.name;
+  obs_generation_ = registry.GetGauge(prefix + ".generation");
+  obs_corrupt_ = registry.GetCounter(prefix + ".corrupt_frames_total");
+  obs_gaps_ = registry.GetCounter(prefix + ".gap_frames_total");
+  obs_resyncs_ = registry.GetCounter(prefix + ".resyncs_total");
+  obs_bytes_applied_ = registry.GetCounter(prefix + ".bytes_applied_total");
+}
+
+ReplicaManager::~ReplicaManager() { Shutdown(); }
+
+Status ReplicaManager::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) {
+      return Status::FailedPrecondition("replica manager already started");
+    }
+    if (shutdown_) {
+      return Status::FailedPrecondition("replica manager is shut down");
+    }
+    started_ = true;
+  }
+  // Announce BEFORE the apply thread exists; after this, the apply thread
+  // is the channel's only writer.
+  SendControl(FrameKind::kHello, 0);
+  apply_thread_ = std::thread([this] { ApplyLoop(); });
+  return Status::OK();
+}
+
+void ReplicaManager::SendControl(FrameKind kind, uint64_t generation) {
+  Frame frame;
+  frame.kind = kind;
+  frame.generation = generation;
+  // A write failure means the link died; the reader sees EOF and the loop
+  // exits — nothing useful to do with the status here.
+  const std::string bytes = EncodeFrame(frame);
+  (void)channel_->Write(bytes.data(), bytes.size());
+}
+
+void ReplicaManager::EnterResync(const char* why) {
+  (void)why;
+  if (awaiting_base_) return;  // poison once, resync once
+  awaiting_base_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.resyncs_requested;
+  }
+  obs_resyncs_->Add(1);
+  SendControl(FrameKind::kResync, current_generation_);
+}
+
+void ReplicaManager::ApplyLoop() {
+  FrameParser parser;
+  char buf[4096];
+  Status fatal;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) break;
+    }
+    auto n = channel_->Read(buf, sizeof(buf));
+    if (!n.ok() || *n == 0) break;
+    parser.Feed(buf, *n);
+    Frame frame;
+    bool done = false;
+    while (!done) {
+      const FrameParser::Result result = parser.Next(&frame);
+      if (result == FrameParser::Result::kNeedMore) break;
+      if (result == FrameParser::Result::kCorrupt) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.corrupt_frames;
+        }
+        obs_corrupt_->Add(1);
+        EnterResync("corrupt or truncated frame");
+        continue;
+      }
+      fatal = HandleFrame(std::move(frame));
+      if (!fatal.ok()) done = true;
+    }
+    if (!fatal.ok()) break;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fatal.ok() && stats_.fatal.ok()) stats_.fatal = fatal;
+  stream_done_ = true;
+  cv_.notify_all();
+}
+
+Status ReplicaManager::HandleFrame(Frame frame) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.frames_received;
+  }
+  switch (frame.kind) {
+    case FrameKind::kAux: {
+      AuxState aux;
+      const Status status = DecodeAux(frame.payload, &aux);
+      if (!status.ok()) {
+        // Fingerprint-valid but undecodable: treat like wire damage.
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.corrupt_frames;
+        obs_corrupt_->Add(1);
+        return Status::OK();
+      }
+      aux_ = std::move(aux);
+      aux_generation_ = frame.generation;
+      have_aux_ = true;
+      return Status::OK();
+    }
+    case FrameKind::kBase: {
+      // A base rebases from ANY state. Accept a base AT the current
+      // generation only to clear a poison (the source had nothing newer).
+      if (frame.generation < current_generation_ ||
+          (frame.generation == current_generation_ && !awaiting_base_)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.stale_skipped;
+        return Status::OK();
+      }
+      auto payload =
+          std::make_shared<const std::string>(std::move(frame.payload));
+      buffers_[0].pending.push_back({frame.generation, false, payload});
+      buffers_[1].pending.push_back({frame.generation, false, payload});
+      CAFE_RETURN_IF_ERROR(PublishGeneration(frame.generation, frame.train_step,
+                                             &Stats::bases_applied));
+      awaiting_base_ = false;
+      SendControl(FrameKind::kAck, frame.generation);
+      return Status::OK();
+    }
+    case FrameKind::kDelta: {
+      if (awaiting_base_) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.poisoned_skipped;
+        return Status::OK();
+      }
+      if (frame.generation <= current_generation_) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.stale_skipped;
+        return Status::OK();
+      }
+      if (frame.generation != current_generation_ + 1) {
+        // A frame upstream never arrived: the delta chain is broken and
+        // only a rebase can repair it.
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.gap_frames;
+        }
+        obs_gaps_->Add(1);
+        EnterResync("generation gap (dropped frame)");
+        return Status::OK();
+      }
+      auto payload =
+          std::make_shared<const std::string>(std::move(frame.payload));
+      buffers_[0].pending.push_back({frame.generation, true, payload});
+      buffers_[1].pending.push_back({frame.generation, true, payload});
+      CAFE_RETURN_IF_ERROR(PublishGeneration(frame.generation, frame.train_step,
+                                             &Stats::deltas_applied));
+      SendControl(FrameKind::kAck, frame.generation);
+      return Status::OK();
+    }
+    default:
+      return Status::OK();  // control frames never flow source -> replica
+  }
+}
+
+Status ReplicaManager::ReclaimOrRetire(size_t slot, uint64_t generation) {
+  bool retired = false;
+  {
+    std::unique_lock<std::mutex> lock(leases_->mu);
+    if (leases_->leased[slot]) {
+      const auto wait = std::chrono::microseconds(options_.reclaim_wait_us);
+      if (!leases_->cv.wait_for(lock, wait,
+                                [&] { return !leases_->leased[slot]; })) {
+        leases_->leased[slot] = false;
+        ++leases_->epoch[slot];
+        retired = true;
+      }
+    }
+  }
+  if (!retired) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.retired_buffers;
+  }
+
+  BufferSlot& target = buffers_[slot];
+  BufferSlot& other = buffers_[slot ^ 1];
+  target.store.reset();  // the holder's FrozenStore keeps the old buffer
+
+  // If the queue holds a base, a factory-fresh store suffices — the base
+  // LoadState rebuilds from nothing. Entries BEFORE the last base must be
+  // dropped: a delta replayed into an untrained store is not merely wrong,
+  // its decay-replay guards reject it.
+  size_t last_base = target.pending.size();
+  for (size_t i = 0; i < target.pending.size(); ++i) {
+    if (!target.pending[i].is_delta) last_base = i;
+  }
+  if (last_base < target.pending.size()) {
+    target.pending.erase(target.pending.begin(),
+                         target.pending.begin() + last_base);
+    auto fresh = factory_();
+    if (!fresh.ok()) return fresh.status();
+    if (*fresh == nullptr) {
+      return Status::InvalidArgument("replica store factory returned null");
+    }
+    target.store = std::move(fresh).value();
+    target.state_gen = 0;
+    return Status::OK();
+  }
+
+  // Delta-only queue: clone the serving buffer (it is exactly one
+  // generation behind — deltas are accepted contiguously).
+  if (other.store == nullptr || other.state_gen + 1 != generation) {
+    return Status::Internal(
+        "replica retire: serving buffer is not at the preceding generation");
+  }
+  auto fresh = factory_();
+  if (!fresh.ok()) return fresh.status();
+  if (*fresh == nullptr) {
+    return Status::InvalidArgument("replica store factory returned null");
+  }
+  io::Writer writer;
+  CAFE_RETURN_IF_ERROR(other.store->SaveState(&writer));
+  io::Reader reader(writer.Release());
+  CAFE_RETURN_IF_ERROR((*fresh)->LoadState(&reader));
+  if (reader.remaining() != 0) {
+    return Status::Internal(
+        "replica state not fully consumed rebuilding a retired buffer");
+  }
+  target.store = std::move(fresh).value();
+  target.state_gen = other.state_gen;
+  while (!target.pending.empty() &&
+         target.pending.front().generation <= target.state_gen) {
+    target.pending.pop_front();
+  }
+  return Status::OK();
+}
+
+Status ReplicaManager::PublishGeneration(uint64_t generation,
+                                         uint64_t train_step,
+                                         uint64_t Stats::*applied) {
+  // Alternate slots per PUBLISH, not per generation parity: a rebase can
+  // jump the generation by any amount, and the target must never be the
+  // buffer the current generation is serving from.
+  const size_t slot = static_cast<size_t>(publish_seq_++ & 1);
+  CAFE_RETURN_IF_ERROR(ReclaimOrRetire(slot, generation));
+
+  BufferSlot& target = buffers_[slot];
+  uint64_t applied_bytes = 0;
+  while (!target.pending.empty()) {
+    PendingPayload entry = std::move(target.pending.front());
+    target.pending.pop_front();
+    if (entry.generation <= target.state_gen) continue;  // already folded in
+    if (target.store == nullptr) {
+      auto fresh = factory_();
+      if (!fresh.ok()) return fresh.status();
+      if (*fresh == nullptr) {
+        return Status::InvalidArgument("replica store factory returned null");
+      }
+      target.store = std::move(fresh).value();
+    }
+    io::Reader reader(entry.payload.get());
+    Status status = entry.is_delta ? target.store->LoadDelta(&reader)
+                                   : target.store->LoadState(&reader);
+    if (status.ok() && reader.remaining() != 0) {
+      status = Status::Internal(
+          "replication payload not fully consumed by the replica buffer");
+    }
+    // A fingerprint-valid frame that fails to APPLY is not wire damage — a
+    // resync would replay the same bytes. Configuration mismatch between
+    // source and replica factories; stop for good.
+    CAFE_RETURN_IF_ERROR(status);
+    applied_bytes += entry.payload->size();
+    target.state_gen = entry.generation;
+  }
+  if (target.state_gen != generation) {
+    return Status::Internal(
+        "replica publish drained to the wrong generation");
+  }
+
+  auto snapshot = std::make_shared<ServingSnapshot>();
+  uint64_t token = 0;
+  {
+    std::lock_guard<std::mutex> lock(leases_->mu);
+    leases_->leased[slot] = true;
+    token = ++leases_->epoch[slot];
+  }
+  std::shared_ptr<LeaseState> lease_state = leases_;
+  snapshot->buffer_lease = std::shared_ptr<void>(
+      static_cast<void*>(nullptr), [lease_state, slot, token](void*) {
+        std::lock_guard<std::mutex> lock(lease_state->mu);
+        if (lease_state->epoch[slot] == token) {
+          lease_state->leased[slot] = false;
+          lease_state->cv.notify_all();
+        }
+      });
+  snapshot->store = FrozenStore::AdoptShared(target.store);
+  snapshot->generation = generation;
+  snapshot->train_step = train_step;
+  if (have_aux_ && aux_generation_ == generation) {
+    snapshot->model_name = std::move(aux_.model_name);
+    snapshot->dense_params = std::move(aux_.dense_params);
+    snapshot->has_optimizer = aux_.has_optimizer;
+    snapshot->optimizer_state = std::move(aux_.optimizer_state);
+    have_aux_ = false;
+  }
+
+  current_generation_ = generation;
+  obs_generation_->Set(static_cast<double>(generation));
+  obs_bytes_applied_->Add(applied_bytes);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (swappable_ == nullptr) {
+      swappable_ = std::make_unique<SwappableStore>(std::move(snapshot));
+    } else {
+      swappable_->Install(std::move(snapshot));
+    }
+    stats_.generation = generation;
+    stats_.train_step = train_step;
+    stats_.bytes_applied += applied_bytes;
+    ++(stats_.*applied);
+    cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+Status ReplicaManager::WaitForGeneration(uint64_t generation,
+                                         uint64_t timeout_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::microseconds(timeout_us), [&] {
+    return stats_.generation >= generation || stream_done_;
+  });
+  if (stats_.generation >= generation) return Status::OK();
+  if (!stats_.fatal.ok()) return stats_.fatal;
+  if (stream_done_) {
+    return Status::FailedPrecondition(
+        "replication stream ended before generation " +
+        std::to_string(generation));
+  }
+  return Status::ResourceExhausted("replica did not reach generation " +
+                                   std::to_string(generation) +
+                                   " before the deadline");
+}
+
+SwappableStore* ReplicaManager::swappable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return swappable_.get();
+}
+
+uint64_t ReplicaManager::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.generation;
+}
+
+ReplicaManager::Stats ReplicaManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ReplicaManager::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  channel_->Close();
+  if (apply_thread_.joinable()) apply_thread_.join();
+}
+
+}  // namespace replicate
+}  // namespace cafe

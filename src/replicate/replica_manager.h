@@ -1,0 +1,181 @@
+#ifndef CAFE_REPLICATE_REPLICA_MANAGER_H_
+#define CAFE_REPLICATE_REPLICA_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "replicate/frame.h"
+#include "replicate/transport.h"
+#include "serve/snapshot_manager.h"
+#include "serve/swappable_store.h"
+
+namespace cafe {
+namespace replicate {
+
+/// The replica end of a replication link: consumes the frame stream from a
+/// ReplicationSource and republishes each generation locally, through the
+/// SAME double-buffered O(dirty) machinery the source-side SnapshotManager
+/// uses — two resident buffer stores, delta replay into the non-serving
+/// one, FrozenStore::AdoptShared freeze, lease-gated reclaim — feeding a
+/// local SwappableStore that a local InferenceServer serves from.
+///
+/// Lifecycle, driven entirely by the stream:
+///  - Start() announces with kHello; the source answers with a kBase at its
+///    head generation (late join == initial join).
+///  - kDelta frames must be contiguous (generation == current + 1). A gap
+///    (a dropped frame) poisons the chain: the replica stops applying,
+///    counts the damage, and sends ONE kResync; the next kBase rebases it.
+///  - A corrupt/truncated frame surfaces from the FrameParser as kCorrupt
+///    and takes the same poison-once/resync-once path.
+///  - Frames at or below the current generation (reordered or raced with a
+///    resync) are skipped as stale — never applied, never poison.
+///  - Every applied generation is acked (kAck) so the source can export
+///    this replica's lag.
+///
+/// The apply thread is the only mutator of the buffers, so unlike the
+/// source-side manager there is no publish-turn sequencing; the lease
+/// machinery is still needed because serving pins (PinScopes) hold
+/// generations while the apply thread wants the buffer back.
+class ReplicaManager {
+ public:
+  struct Options {
+    /// How long a publish waits for the target buffer's lease before
+    /// retiring it to the holder (O(store) rebuild fallback).
+    uint64_t reclaim_wait_us = 20000;
+    /// Label for this replica's obs metrics (replicate.<name>.*).
+    std::string name = "replica";
+  };
+
+  /// `factory` must build stores of the source's exact configuration (the
+  /// same factory contract as SnapshotManager). The channel is the replica
+  /// end of a transport whose source end is registered with
+  /// ReplicationSource::AddReplica.
+  ReplicaManager(SnapshotManager::FreshStoreFactory factory,
+                 std::unique_ptr<ByteChannel> channel);
+  ReplicaManager(SnapshotManager::FreshStoreFactory factory,
+                 std::unique_ptr<ByteChannel> channel,
+                 const Options& options);
+  ~ReplicaManager();
+
+  /// Sends kHello and starts the apply thread. Call once.
+  Status Start();
+
+  /// Blocks until the local serving generation reaches `generation`, the
+  /// stream dies, or `timeout_us` elapses. Returns the fatal status if the
+  /// apply loop stopped on one.
+  Status WaitForGeneration(uint64_t generation, uint64_t timeout_us);
+
+  /// The local serving hub (hand to InferenceServer::Start). Null until
+  /// the first generation is published; WaitForGeneration first.
+  SwappableStore* swappable() const;
+
+  /// Source generation currently serving locally (0 = none yet).
+  uint64_t generation() const;
+
+  struct Stats {
+    uint64_t frames_received = 0;
+    uint64_t bases_applied = 0;
+    uint64_t deltas_applied = 0;
+    /// Frames at or below the current generation, skipped (reorder/race).
+    uint64_t stale_skipped = 0;
+    /// Deltas dropped while awaiting a rebase after a poison.
+    uint64_t poisoned_skipped = 0;
+    uint64_t corrupt_frames = 0;
+    /// Deltas that arrived non-contiguous (a dropped frame upstream).
+    uint64_t gap_frames = 0;
+    /// kResync requests sent (one per poison transition).
+    uint64_t resyncs_requested = 0;
+    /// Publishes that hit the lease-retire fallback.
+    uint64_t retired_buffers = 0;
+    uint64_t bytes_applied = 0;
+    uint64_t generation = 0;
+    uint64_t train_step = 0;
+    /// First error that permanently stopped the apply loop (OK = healthy).
+    Status fatal;
+  };
+  Stats stats() const;
+
+  /// Closes the channel (the source sees EOF) and joins the apply thread.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+ private:
+  struct PendingPayload {
+    uint64_t generation = 0;
+    bool is_delta = false;
+    std::shared_ptr<const std::string> payload;
+  };
+  /// One resident ping-pong buffer (apply-thread-owned; see class comment).
+  struct BufferSlot {
+    std::shared_ptr<EmbeddingStore> store;
+    uint64_t state_gen = 0;
+    std::deque<PendingPayload> pending;
+  };
+  struct LeaseState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool leased[2] = {false, false};
+    uint64_t epoch[2] = {0, 0};
+  };
+
+  void ApplyLoop();
+  /// Dispatches one parsed frame; returns a fatal status to stop the loop.
+  Status HandleFrame(Frame frame);
+  /// Queues the payload to both buffers and publishes `generation` into
+  /// the local SwappableStore. `applied` (bases_applied / deltas_applied)
+  /// is bumped in the SAME critical section that exposes the generation, so
+  /// a stats() reader woken by WaitForGeneration never sees the count lag
+  /// the generation. Apply thread only.
+  Status PublishGeneration(uint64_t generation, uint64_t train_step,
+                           uint64_t Stats::*applied);
+  /// Lease reclaim with the retire fallback. Apply thread only.
+  Status ReclaimOrRetire(size_t slot, uint64_t generation);
+  /// Transition into the poisoned state and request a rebase (once).
+  void EnterResync(const char* why);
+  void SendControl(FrameKind kind, uint64_t generation);
+
+  SnapshotManager::FreshStoreFactory factory_;
+  std::unique_ptr<ByteChannel> channel_;
+  Options options_;
+
+  std::thread apply_thread_;
+  bool started_ = false;
+
+  // Apply-thread-only state (no lock needed).
+  BufferSlot buffers_[2];
+  uint64_t current_generation_ = 0;
+  /// Publishes alternate slots by SEQUENCE (a rebase may jump the
+  /// generation by any amount, including an even one).
+  uint64_t publish_seq_ = 0;
+  bool awaiting_base_ = true;  // poisoned or never synced: deltas skipped
+  bool have_aux_ = false;
+  uint64_t aux_generation_ = 0;
+  AuxState aux_;
+
+  std::shared_ptr<LeaseState> leases_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  bool stream_done_ = false;  // apply loop exited
+  std::unique_ptr<SwappableStore> swappable_;
+  Stats stats_;
+
+  obs::Gauge* obs_generation_ = nullptr;
+  obs::Counter* obs_corrupt_ = nullptr;
+  obs::Counter* obs_gaps_ = nullptr;
+  obs::Counter* obs_resyncs_ = nullptr;
+  obs::Counter* obs_bytes_applied_ = nullptr;
+};
+
+}  // namespace replicate
+}  // namespace cafe
+
+#endif  // CAFE_REPLICATE_REPLICA_MANAGER_H_

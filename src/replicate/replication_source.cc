@@ -1,0 +1,322 @@
+#include "replicate/replication_source.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "io/serialize.h"
+
+namespace cafe {
+namespace replicate {
+
+ReplicationSource::ReplicationSource(SnapshotManager::FreshStoreFactory factory)
+    : ReplicationSource(std::move(factory), Options()) {}
+
+ReplicationSource::ReplicationSource(SnapshotManager::FreshStoreFactory factory,
+                                     const Options& options)
+    : factory_(std::move(factory)), options_(options) {
+  CAFE_CHECK(factory_ != nullptr) << "replication source needs a store factory";
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs_frames_ = registry.GetCounter("replicate.source.frames_sent_total");
+  obs_bytes_ = registry.GetCounter("replicate.source.bytes_sent_total");
+  obs_resyncs_ = registry.GetCounter("replicate.source.base_resyncs_total");
+  obs_head_generation_ = registry.GetGauge("replicate.source.head_generation");
+  auto head = factory_();
+  if (head.ok()) {
+    head_ = std::move(head).value();
+    if (head_ == nullptr) {
+      head_status_ =
+          Status::InvalidArgument("replication store factory returned null");
+    }
+  } else {
+    head_status_ = head.status();
+  }
+}
+
+ReplicationSource::~ReplicationSource() { Shutdown(); }
+
+SnapshotManager::PayloadObserver ReplicationSource::MakeObserver() {
+  return [this](const SnapshotManager::BoundaryPayload& boundary) {
+    Publish(boundary);
+  };
+}
+
+Status ReplicationSource::AddReplica(std::unique_ptr<ByteChannel> channel) {
+  if (channel == nullptr) {
+    return Status::InvalidArgument("replication link needs a channel");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) {
+    return Status::FailedPrecondition("replication source is shut down");
+  }
+  auto link = std::make_unique<Link>();
+  link->channel = std::move(channel);
+  link->index = links_.size();
+  const std::string prefix =
+      "replicate.replica" + std::to_string(link->index);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  link->lag_generations = registry.GetGauge(prefix + ".lag_generations");
+  link->lag_bytes = registry.GetGauge(prefix + ".lag_bytes");
+  Link* raw = link.get();
+  link->reader = std::thread([this, raw] { ReaderLoop(raw); });
+  links_.push_back(std::move(link));
+  return Status::OK();
+}
+
+void ReplicationSource::Publish(
+    const SnapshotManager::BoundaryPayload& boundary) {
+  // Encode the sidecar NOW: the boundary's pointers are only valid for
+  // this call, while the queued entry may wait for an earlier generation.
+  std::string aux;
+  if (options_.ship_aux && boundary.payload != nullptr) {
+    const bool has_dense = boundary.dense_params != nullptr &&
+                           !boundary.dense_params->empty();
+    if (has_dense || boundary.has_optimizer) {
+      AuxState state;
+      if (boundary.model_name != nullptr) state.model_name = *boundary.model_name;
+      if (has_dense) state.dense_params = *boundary.dense_params;
+      state.has_optimizer = boundary.has_optimizer;
+      if (boundary.has_optimizer && boundary.optimizer_state != nullptr) {
+        state.optimizer_state = *boundary.optimizer_state;
+      }
+      aux = EncodeAux(state);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_ || !head_status_.ok() || boundary.payload == nullptr ||
+      boundary.generation <= head_generation_) {
+    return;
+  }
+  PendingEntry entry;
+  entry.is_delta = boundary.is_delta;
+  entry.payload = boundary.payload;
+  entry.train_step = boundary.train_step;
+  entry.aux = std::move(aux);
+  pending_.emplace(boundary.generation, std::move(entry));
+  DrainLocked();
+}
+
+void ReplicationSource::DrainLocked() {
+  while (!pending_.empty()) {
+    auto it = pending_.begin();
+    const uint64_t generation = it->first;
+    if (generation <= head_generation_) {
+      pending_.erase(it);
+      continue;
+    }
+    // Claimed generations are contiguous (a failed copy never claims one),
+    // so anything beyond head+1 is just an earlier cutter that has not
+    // reported yet — unless it is a base, which rebases from any state.
+    if (generation != head_generation_ + 1 && it->second.is_delta) break;
+    PendingEntry entry = std::move(it->second);
+    pending_.erase(it);
+
+    // Fold into the head store so a base for late joiners is always one
+    // SaveState away.
+    io::Reader reader(entry.payload.get());
+    Status status = entry.is_delta ? head_->LoadDelta(&reader)
+                                   : head_->LoadState(&reader);
+    if (status.ok() && reader.remaining() != 0) {
+      status = Status::Internal(
+          "replication payload not fully consumed by the head store");
+    }
+    if (!status.ok()) {
+      // The head diverged from the trainer: stop streaming rather than
+      // ship frames a resync could not repair. stats() exposes the cause.
+      head_status_ = status;
+      return;
+    }
+    head_generation_ = generation;
+    head_step_ = entry.train_step;
+    head_aux_ = entry.aux;
+    ++generations_published_;
+    obs_head_generation_->Set(static_cast<double>(head_generation_));
+
+    Frame frame;
+    frame.kind = entry.is_delta ? FrameKind::kDelta : FrameKind::kBase;
+    frame.generation = generation;
+    frame.train_step = entry.train_step;
+    frame.payload = *entry.payload;
+    const std::string data_bytes = EncodeFrame(frame);
+    std::string aux_bytes;
+    if (!entry.aux.empty()) {
+      Frame aux_frame;
+      aux_frame.kind = FrameKind::kAux;
+      aux_frame.generation = generation;
+      aux_frame.train_step = entry.train_step;
+      aux_frame.payload = entry.aux;
+      aux_bytes = EncodeFrame(aux_frame);
+    }
+    cumulative_bytes_ += data_bytes.size() + aux_bytes.size();
+    bytes_at_[generation] = cumulative_bytes_;
+    while (bytes_at_.size() > 1024) bytes_at_.erase(bytes_at_.begin());
+
+    for (auto& link : links_) {
+      if (!link->alive || !link->caught_up) continue;
+      if (!aux_bytes.empty()) WriteToLinkLocked(link.get(), aux_bytes);
+      if (link->alive) WriteToLinkLocked(link.get(), data_bytes);
+      UpdateLagLocked(link.get());
+    }
+  }
+
+  // A hello that arrived before the first cut is served as soon as a head
+  // exists.
+  if (head_generation_ >= 1) {
+    for (auto& link : links_) {
+      if (link->alive && link->hello_pending) SendBaseLocked(link.get());
+    }
+  }
+}
+
+void ReplicationSource::SendBaseLocked(Link* link) {
+  link->hello_pending = false;
+  if (head_generation_ < 1) {
+    // Nothing published yet: remember the request instead.
+    link->hello_pending = true;
+    return;
+  }
+  io::Writer writer;
+  const Status status = head_->SaveState(&writer);
+  if (!status.ok()) {
+    head_status_ = status;
+    return;
+  }
+  if (!head_aux_.empty()) {
+    Frame aux_frame;
+    aux_frame.kind = FrameKind::kAux;
+    aux_frame.generation = head_generation_;
+    aux_frame.train_step = head_step_;
+    aux_frame.payload = head_aux_;
+    WriteToLinkLocked(link, EncodeFrame(aux_frame));
+  }
+  Frame base;
+  base.kind = FrameKind::kBase;
+  base.generation = head_generation_;
+  base.train_step = head_step_;
+  base.payload = writer.Release();
+  if (link->alive) WriteToLinkLocked(link, EncodeFrame(base));
+  if (link->alive) {
+    link->caught_up = true;
+    ++link->base_resyncs;
+    ++base_resyncs_;
+    obs_resyncs_->Add(1);
+    UpdateLagLocked(link);
+  }
+}
+
+void ReplicationSource::WriteToLinkLocked(Link* link,
+                                          const std::string& bytes) {
+  const Status status = link->channel->Write(bytes.data(), bytes.size());
+  if (!status.ok()) {
+    link->alive = false;
+    return;
+  }
+  link->bytes_sent += bytes.size();
+  ++frames_sent_;
+  bytes_sent_ += bytes.size();
+  obs_frames_->Add(1);
+  obs_bytes_->Add(bytes.size());
+}
+
+void ReplicationSource::UpdateLagLocked(Link* link) {
+  const uint64_t acked = link->acked_generation;
+  const uint64_t lag_gen =
+      head_generation_ > acked ? head_generation_ - acked : 0;
+  uint64_t lag_bytes = 0;
+  const auto it = bytes_at_.find(acked);
+  if (it != bytes_at_.end()) {
+    lag_bytes = cumulative_bytes_ - it->second;
+  } else if (acked < head_generation_) {
+    // Ack older than the tracked window (or 0): everything is behind.
+    lag_bytes = cumulative_bytes_;
+  }
+  link->lag_generations->Set(static_cast<double>(lag_gen));
+  link->lag_bytes->Set(static_cast<double>(lag_bytes));
+}
+
+void ReplicationSource::ReaderLoop(Link* link) {
+  FrameParser parser;
+  char buf[4096];
+  while (true) {
+    auto n = link->channel->Read(buf, sizeof(buf));
+    if (!n.ok() || *n == 0) break;
+    parser.Feed(buf, *n);
+    Frame frame;
+    while (true) {
+      const FrameParser::Result result = parser.Next(&frame);
+      if (result == FrameParser::Result::kNeedMore) break;
+      if (result == FrameParser::Result::kCorrupt) continue;
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return;
+      switch (frame.kind) {
+        case FrameKind::kHello:
+        case FrameKind::kResync:
+          link->caught_up = false;
+          SendBaseLocked(link);
+          break;
+        case FrameKind::kAck:
+          link->acked_generation =
+              std::max(link->acked_generation, frame.generation);
+          UpdateLagLocked(link);
+          break;
+        default:
+          break;  // data frames never flow replica -> source
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  link->alive = false;
+}
+
+ReplicationSource::Stats ReplicationSource::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.head_generation = head_generation_;
+  stats.generations_published = generations_published_;
+  stats.frames_sent = frames_sent_;
+  stats.bytes_sent = bytes_sent_;
+  stats.base_resyncs = base_resyncs_;
+  stats.head_status = head_status_;
+  stats.replicas.reserve(links_.size());
+  for (const auto& link : links_) {
+    ReplicaStats replica;
+    replica.alive = link->alive;
+    replica.acked_generation = link->acked_generation;
+    replica.lag_generations = head_generation_ > link->acked_generation
+                                  ? head_generation_ - link->acked_generation
+                                  : 0;
+    const auto it = bytes_at_.find(link->acked_generation);
+    replica.lag_bytes = it != bytes_at_.end()
+                            ? cumulative_bytes_ - it->second
+                            : (link->acked_generation < head_generation_
+                                   ? cumulative_bytes_
+                                   : 0);
+    replica.base_resyncs = link->base_resyncs;
+    replica.bytes_sent = link->bytes_sent;
+    stats.replicas.push_back(replica);
+  }
+  return stats;
+}
+
+uint64_t ReplicationSource::head_generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_generation_;
+}
+
+void ReplicationSource::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    for (auto& link : links_) {
+      link->channel->Close();
+    }
+  }
+  for (auto& link : links_) {
+    if (link->reader.joinable()) link->reader.join();
+  }
+}
+
+}  // namespace replicate
+}  // namespace cafe

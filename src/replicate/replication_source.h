@@ -1,0 +1,172 @@
+#ifndef CAFE_REPLICATE_REPLICATION_SOURCE_H_
+#define CAFE_REPLICATE_REPLICATION_SOURCE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "replicate/frame.h"
+#include "replicate/transport.h"
+#include "serve/snapshot_manager.h"
+
+namespace cafe {
+namespace replicate {
+
+/// The trainer-side end of the replication tier: subscribes to a
+/// SnapshotManager's boundary payloads (Options::payload_observer ->
+/// MakeObserver()) and streams them as fingerprinted frames to N replica
+/// links — the same O(dirty) SaveDelta bytes the local double-buffer
+/// publish replays, shipped instead of recomputed.
+///
+/// The source keeps its own resident HEAD store that folds in every
+/// payload (LoadState/LoadDelta, generation order). That head is what
+/// makes the lifecycle cheap to serve:
+///  - late joiner (kHello) or poisoned replica (kResync): SaveState the
+///    head NOW and send it as a kBase at the head generation — no trainer
+///    involvement, no payload replay from generation 1;
+///  - replicas that keep up just get the per-cut frames fanned out.
+///
+/// Observer calls may arrive out of generation order (concurrent Cut()
+/// callers race after the claim); a reorder map drains them contiguously,
+/// which also keeps the head store's delta chain exact.
+///
+/// Per-replica lag is exported through the obs registry:
+///   replicate.replica<i>.lag_generations  (head gen - last acked gen)
+///   replicate.replica<i>.lag_bytes        (stream bytes past the ack)
+/// plus source totals (replicate.source.*).
+class ReplicationSource {
+ public:
+  struct Options {
+    /// Capture dense weights / optimizer state sidecars (kAux frames) when
+    /// the boundary carries them.
+    bool ship_aux = true;
+  };
+
+  /// `factory` must build stores of the live store's exact configuration
+  /// (the SnapshotManager contract; pass the same factory).
+  explicit ReplicationSource(SnapshotManager::FreshStoreFactory factory);
+  ReplicationSource(SnapshotManager::FreshStoreFactory factory,
+                    const Options& options);
+  ~ReplicationSource();
+
+  /// The callback to install as SnapshotManager::Options::payload_observer.
+  /// Valid for the source's lifetime.
+  SnapshotManager::PayloadObserver MakeObserver();
+
+  /// Registers a replica connection and starts its ack/resync reader
+  /// thread. The replica end of the transport goes to a ReplicaManager.
+  /// Safe before or after publishing starts; a link added late is served a
+  /// base when its kHello arrives.
+  Status AddReplica(std::unique_ptr<ByteChannel> channel);
+
+  /// Feeds one boundary payload (what the observer forwards to).
+  void Publish(const SnapshotManager::BoundaryPayload& boundary);
+
+  struct ReplicaStats {
+    bool alive = false;
+    /// Last generation the replica acked as serving.
+    uint64_t acked_generation = 0;
+    /// head_generation - acked_generation at the last update.
+    uint64_t lag_generations = 0;
+    /// Stream bytes sent past the acked generation.
+    uint64_t lag_bytes = 0;
+    /// kBase frames sent to this link (1 = initial sync only).
+    uint64_t base_resyncs = 0;
+    uint64_t bytes_sent = 0;
+  };
+  struct Stats {
+    uint64_t head_generation = 0;
+    uint64_t generations_published = 0;
+    uint64_t frames_sent = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t base_resyncs = 0;
+    /// First error that stopped the head store's apply chain (OK = healthy).
+    Status head_status;
+    std::vector<ReplicaStats> replicas;
+  };
+  Stats stats() const;
+
+  uint64_t head_generation() const;
+
+  /// Closes every link and joins the reader threads. Idempotent; the
+  /// destructor calls it. Replica ends see EOF.
+  void Shutdown();
+
+ private:
+  struct Link {
+    std::unique_ptr<ByteChannel> channel;
+    std::thread reader;
+    size_t index = 0;
+    bool alive = true;
+    /// False until this link has a base (its frames would be unreadable
+    /// before one); deltas are only fanned out to caught-up links.
+    bool caught_up = false;
+    /// kHello/kResync arrived before the first publish; serve the base as
+    /// soon as there is one.
+    bool hello_pending = false;
+    uint64_t acked_generation = 0;
+    uint64_t base_resyncs = 0;
+    uint64_t bytes_sent = 0;
+    obs::Gauge* lag_generations = nullptr;
+    obs::Gauge* lag_bytes = nullptr;
+  };
+
+  /// One reordered boundary awaiting its drain turn.
+  struct PendingEntry {
+    bool is_delta = false;
+    std::shared_ptr<const std::string> payload;
+    uint64_t train_step = 0;
+    std::string aux;  // encoded AuxState ("" = none)
+  };
+
+  void ReaderLoop(Link* link);
+  /// Applies contiguous pending entries to the head store and fans the
+  /// frames out to caught-up links. Caller holds mu_.
+  void DrainLocked();
+  /// SaveStates the head and sends it (aux first) as a kBase on `link`.
+  /// Caller holds mu_.
+  void SendBaseLocked(Link* link);
+  /// Writes `bytes` on `link`, updating its accounting; marks the link
+  /// dead on failure. Caller holds mu_.
+  void WriteToLinkLocked(Link* link, const std::string& bytes);
+  void UpdateLagLocked(Link* link);
+
+  SnapshotManager::FreshStoreFactory factory_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  bool shutdown_ = false;
+  std::unique_ptr<EmbeddingStore> head_;
+  Status head_status_;
+  uint64_t head_generation_ = 0;
+  uint64_t head_step_ = 0;
+  /// Aux sidecar of the head generation (encoded; "" = none) — resent with
+  /// every base so a rejoining replica gets matching dense weights.
+  std::string head_aux_;
+  std::map<uint64_t, PendingEntry> pending_;
+  /// generation -> cumulative stream bytes after its frames; lag_bytes for
+  /// an ack at g is cumulative_bytes_ - bytes_at_[g]. Pruned to a window.
+  std::map<uint64_t, uint64_t> bytes_at_;
+  uint64_t cumulative_bytes_ = 0;
+  uint64_t generations_published_ = 0;
+  uint64_t frames_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t base_resyncs_ = 0;
+  std::vector<std::unique_ptr<Link>> links_;
+
+  obs::Counter* obs_frames_ = nullptr;
+  obs::Counter* obs_bytes_ = nullptr;
+  obs::Counter* obs_resyncs_ = nullptr;
+  obs::Gauge* obs_head_generation_ = nullptr;
+};
+
+}  // namespace replicate
+}  // namespace cafe
+
+#endif  // CAFE_REPLICATE_REPLICATION_SOURCE_H_

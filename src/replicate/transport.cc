@@ -1,0 +1,258 @@
+#include "replicate/transport.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+namespace cafe {
+namespace replicate {
+namespace {
+
+/// One direction of a pipe: an unbounded byte queue. Both endpoints hold
+/// it via shared_ptr so either side may be destroyed first.
+struct PipeLane {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string data;
+  bool closed = false;
+
+  void Append(const void* bytes, size_t size) {
+    std::lock_guard<std::mutex> lock(mu);
+    data.append(static_cast<const char*>(bytes), size);
+    cv.notify_all();
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu);
+    closed = true;
+    cv.notify_all();
+  }
+};
+
+class PipeChannel : public ByteChannel {
+ public:
+  PipeChannel(std::shared_ptr<PipeLane> out, std::shared_ptr<PipeLane> in,
+              FaultPlan faults)
+      : out_(std::move(out)), in_(std::move(in)) {
+    for (const FaultPlan::Rule& rule : faults.rules) {
+      faults_[rule.frame_index] = rule;
+    }
+  }
+
+  ~PipeChannel() override { Close(); }
+
+  Status Write(const void* data, size_t size) override {
+    std::lock_guard<std::mutex> write_lock(write_mu_);
+    const uint64_t index = next_write_index_++;
+    {
+      std::lock_guard<std::mutex> lock(out_->mu);
+      if (out_->closed) return Status::FailedPrecondition("pipe closed");
+    }
+    const auto it = faults_.find(index);
+    if (it == faults_.end()) {
+      EmitWithHeld(data, size);
+      return Status::OK();
+    }
+    const FaultPlan::Rule& rule = it->second;
+    switch (rule.action) {
+      case FaultPlan::Action::kDrop:
+        break;  // the frame never happened; a held frame stays held
+      case FaultPlan::Action::kTruncate: {
+        size_t keep = rule.arg != 0 ? static_cast<size_t>(rule.arg) : size / 2;
+        keep = std::min(keep, size > 0 ? size - 1 : 0);
+        EmitWithHeld(data, keep);
+        break;
+      }
+      case FaultPlan::Action::kCorrupt: {
+        std::string damaged(static_cast<const char*>(data), size);
+        if (!damaged.empty()) {
+          damaged[static_cast<size_t>(rule.arg) % damaged.size()] ^=
+              static_cast<char>(0xff);
+        }
+        EmitWithHeld(damaged.data(), damaged.size());
+        break;
+      }
+      case FaultPlan::Action::kReorder:
+        held_.assign(static_cast<const char*>(data), size);
+        has_held_ = true;
+        break;
+      case FaultPlan::Action::kDelay:
+        std::this_thread::sleep_for(std::chrono::microseconds(rule.arg));
+        EmitWithHeld(data, size);
+        break;
+    }
+    return Status::OK();
+  }
+
+  StatusOr<size_t> Read(void* out, size_t max) override {
+    if (max == 0) return size_t{0};
+    std::unique_lock<std::mutex> lock(in_->mu);
+    in_->cv.wait(lock, [&] { return !in_->data.empty() || in_->closed; });
+    if (in_->data.empty()) return size_t{0};  // closed and drained
+    const size_t n = std::min(max, in_->data.size());
+    std::memcpy(out, in_->data.data(), n);
+    in_->data.erase(0, n);
+    return n;
+  }
+
+  void Close() override {
+    {
+      // Flush a reorder-held frame rather than silently losing it: the
+      // fault asked for a swap, and no later frame arrived to swap with.
+      std::lock_guard<std::mutex> write_lock(write_mu_);
+      if (has_held_) {
+        has_held_ = false;
+        out_->Append(held_.data(), held_.size());
+      }
+    }
+    out_->Close();
+    in_->Close();
+  }
+
+ private:
+  /// Emits `size` bytes, then any frame held back by a kReorder rule (so
+  /// the held frame lands AFTER its successor — the swap).
+  void EmitWithHeld(const void* data, size_t size) {
+    out_->Append(data, size);
+    if (has_held_) {
+      has_held_ = false;
+      out_->Append(held_.data(), held_.size());
+    }
+  }
+
+  std::shared_ptr<PipeLane> out_;
+  std::shared_ptr<PipeLane> in_;
+  std::unordered_map<uint64_t, FaultPlan::Rule> faults_;
+  /// Serializes writers against each other and against Close's held-frame
+  /// flush (guards next_write_index_ / held_ / has_held_).
+  std::mutex write_mu_;
+  uint64_t next_write_index_ = 0;
+  std::string held_;
+  bool has_held_ = false;
+};
+
+class TcpChannel : public ByteChannel {
+ public:
+  explicit TcpChannel(int fd) : fd_(fd) {}
+  ~TcpChannel() override {
+    Close();
+    // The fd is released only here: the owner destroys the channel after
+    // joining every thread that touches it, whereas Close() may run while
+    // another thread is still blocked in recv on this fd — closing there
+    // would race the kernel fd table (and could hand a recycled fd to the
+    // reader).
+    ::close(fd_);
+  }
+
+  Status Write(const void* data, size_t size) override {
+    const char* p = static_cast<const char*>(data);
+    size_t sent = 0;
+    while (sent < size) {
+      const ssize_t n = ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(std::string("tcp send failed: ") +
+                                std::strerror(errno));
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  StatusOr<size_t> Read(void* out, size_t max) override {
+    while (true) {
+      const ssize_t n = ::recv(fd_, out, max, 0);
+      if (n >= 0) return static_cast<size_t>(n);
+      if (errno == EINTR) continue;
+      if (closed_.load(std::memory_order_acquire)) return size_t{0};
+      return Status::Internal(std::string("tcp recv failed: ") +
+                              std::strerror(errno));
+    }
+  }
+
+  void Close() override {
+    if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+    ::shutdown(fd_, SHUT_RDWR);  // unblocks a peer (or own) blocked recv
+  }
+
+ private:
+  int fd_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace
+
+TransportPair MakePipeTransport(FaultPlan source_faults) {
+  auto forward = std::make_shared<PipeLane>();   // source -> replica
+  auto backward = std::make_shared<PipeLane>();  // replica -> source
+  TransportPair pair;
+  pair.source = std::make_unique<PipeChannel>(forward, backward,
+                                              std::move(source_faults));
+  pair.replica = std::make_unique<PipeChannel>(backward, forward, FaultPlan{});
+  return pair;
+}
+
+StatusOr<TransportPair> MakeTcpTransport() {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    return Status::Internal("tcp transport: socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 1) < 0) {
+    ::close(listener);
+    return Status::Internal("tcp transport: bind/listen failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &addr_len) <
+      0) {
+    ::close(listener);
+    return Status::Internal("tcp transport: getsockname failed");
+  }
+
+  // Loopback connect completes against the listen backlog without a
+  // concurrent accept, so this stays single-threaded.
+  const int client = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (client < 0) {
+    ::close(listener);
+    return Status::Internal("tcp transport: client socket() failed");
+  }
+  if (::connect(client, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listener);
+    ::close(client);
+    return Status::Internal("tcp transport: connect failed");
+  }
+  const int server = ::accept(listener, nullptr, nullptr);
+  ::close(listener);
+  if (server < 0) {
+    ::close(client);
+    return Status::Internal("tcp transport: accept failed");
+  }
+  const int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::setsockopt(server, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  TransportPair pair;
+  pair.source = std::make_unique<TcpChannel>(server);
+  pair.replica = std::make_unique<TcpChannel>(client);
+  return pair;
+}
+
+}  // namespace replicate
+}  // namespace cafe

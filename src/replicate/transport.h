@@ -1,0 +1,73 @@
+#ifndef CAFE_REPLICATE_TRANSPORT_H_
+#define CAFE_REPLICATE_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cafe {
+namespace replicate {
+
+/// A bidirectional byte stream endpoint: frames flow source -> replica,
+/// acks/resync requests flow back. Implementations must support one writer
+/// thread and one reader thread per endpoint concurrently (the source's
+/// publish path writes while its ack-reader thread reads), and Close()
+/// must unblock a Read() blocked on the peer.
+class ByteChannel {
+ public:
+  virtual ~ByteChannel() = default;
+
+  /// Writes all `size` bytes or fails. The replication protocol calls this
+  /// exactly once per frame, which is what fault injection counts.
+  virtual Status Write(const void* data, size_t size) = 0;
+
+  /// Blocks until at least one byte is available (returning up to `max`),
+  /// the peer closes (returns 0), or this end is Close()d (returns 0).
+  virtual StatusOr<size_t> Read(void* out, size_t max) = 0;
+
+  /// Idempotent; unblocks both directions on both ends.
+  virtual void Close() = 0;
+};
+
+/// The two ends of one source<->replica connection.
+struct TransportPair {
+  std::unique_ptr<ByteChannel> source;
+  std::unique_ptr<ByteChannel> replica;
+};
+
+/// Deterministic fault injection on the source->replica direction of a
+/// pipe transport. `frame_index` counts Write() calls on the source end
+/// from 0 — one frame per write by protocol contract — so tests can say
+/// "corrupt the 3rd frame" and get exactly that.
+struct FaultPlan {
+  enum class Action {
+    kDrop,      ///< swallow the frame entirely (gap at the replica)
+    kTruncate,  ///< deliver only the first `arg` bytes (default: half)
+    kCorrupt,   ///< flip one byte at offset `arg` % size
+    kReorder,   ///< hold the frame, deliver it AFTER the next one
+    kDelay,     ///< deliver intact after sleeping `arg` microseconds
+  };
+  struct Rule {
+    uint64_t frame_index = 0;
+    Action action = Action::kDrop;
+    uint64_t arg = 0;
+  };
+  std::vector<Rule> rules;
+};
+
+/// In-process pipe: lock + condvar byte queues, no descriptors. Writes
+/// never block (unbounded buffer), so fault schedules replay exactly the
+/// same under TSan and on any scheduler.
+TransportPair MakePipeTransport(FaultPlan source_faults = {});
+
+/// Loopback TCP (127.0.0.1, ephemeral port, TCP_NODELAY): the same
+/// protocol over a real socket — OS framing, partial reads, EPIPE on a
+/// dead peer.
+StatusOr<TransportPair> MakeTcpTransport();
+
+}  // namespace replicate
+}  // namespace cafe
+
+#endif  // CAFE_REPLICATE_TRANSPORT_H_

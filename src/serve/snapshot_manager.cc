@@ -243,9 +243,9 @@ Status SnapshotManager::ReclaimOrRetire(size_t slot, uint64_t generation,
   return Status::OK();
 }
 
-Status SnapshotManager::PublishIncremental(std::string payload, bool is_delta,
-                                           uint64_t generation,
-                                           ServingSnapshot* out) {
+Status SnapshotManager::PublishIncremental(
+    std::shared_ptr<const std::string> payload, bool is_delta,
+    uint64_t generation, ServingSnapshot* out) {
   WallTimer publish_timer;
   Status status;
   {
@@ -268,9 +268,8 @@ Status SnapshotManager::PublishIncremental(std::string payload, bool is_delta,
     // Every payload goes to BOTH buffers: the target folds it in now, the
     // serving buffer keeps it queued (the lagging queue) until it rotates
     // back to the off position next cut.
-    auto shared = std::make_shared<const std::string>(std::move(payload));
-    buffers_[0].pending.push_back({generation, is_delta, shared});
-    buffers_[1].pending.push_back({generation, is_delta, shared});
+    buffers_[0].pending.push_back({generation, is_delta, payload});
+    buffers_[1].pending.push_back({generation, is_delta, payload});
     status = ReclaimOrRetire(slot, generation, &retired);
   }
   if (status.ok()) {
@@ -416,13 +415,32 @@ StatusOr<std::shared_ptr<const ServingSnapshot>> SnapshotManager::Cut() {
     snapshot->generation = generation;
   }
 
+  // The replication tap sees every claimed generation before the local
+  // publish: replicas replay the same shared payload bytes the buffers do,
+  // and never wait on the local swap. Fired outside mu_ (the observer may
+  // do real work); out-of-order delivery across concurrent cutters is the
+  // consumer's contract (it reorders by generation).
+  auto shared_payload = std::make_shared<const std::string>(std::move(payload));
+  if (options_.payload_observer) {
+    BoundaryPayload boundary;
+    boundary.generation = generation;
+    boundary.train_step = snapshot->train_step;
+    boundary.is_delta = is_delta;
+    boundary.payload = shared_payload;
+    boundary.dense_params = &snapshot->dense_params;
+    boundary.optimizer_state = &snapshot->optimizer_state;
+    boundary.has_optimizer = snapshot->has_optimizer;
+    boundary.model_name = &snapshot->model_name;
+    options_.payload_observer(boundary);
+  }
+
   // Publish OFF the trainer's critical path.
   obs::TraceSpan publish_span("snapshot.publish");
   if (options_.incremental) {
     // Double-buffered O(dirty) publish: replay the lagging queue into the
     // non-serving buffer and freeze it in place (see the class comment).
     CAFE_RETURN_IF_ERROR(
-        PublishIncremental(std::move(payload), is_delta, generation,
+        PublishIncremental(shared_payload, is_delta, generation,
                            snapshot.get()));
   } else {
     // Full publish: a factory-fresh store takes the copied state, then
@@ -430,7 +448,7 @@ StatusOr<std::shared_ptr<const ServingSnapshot>> SnapshotManager::Cut() {
     WallTimer timer;
     auto fresh = MakeValidatedFreshStore();
     if (!fresh.ok()) return fresh.status();
-    io::Reader reader(std::move(payload));
+    io::Reader reader(shared_payload.get());
     const size_t payload_bytes = reader.remaining();
     CAFE_RETURN_IF_ERROR((*fresh)->LoadState(&reader));
     if (reader.remaining() != 0) {

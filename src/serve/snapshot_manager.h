@@ -101,11 +101,41 @@ class SnapshotManager {
   using FreshStoreFactory =
       std::function<StatusOr<std::unique_ptr<EmbeddingStore>>()>;
 
+  /// One boundary copy, as handed to Options::payload_observer: exactly
+  /// the bytes a replica must replay to reach `generation` (a full
+  /// SaveState base, or a SaveDelta relative to generation - 1), plus the
+  /// sidecar the snapshot carries. The pointers are valid only for the
+  /// duration of the observer call; `payload` may be retained (it is the
+  /// same shared buffer the publish path replays, never copied).
+  struct BoundaryPayload {
+    uint64_t generation = 0;
+    uint64_t train_step = 0;
+    bool is_delta = false;
+    std::shared_ptr<const std::string> payload;
+    const std::vector<std::vector<float>>* dense_params = nullptr;
+    const std::string* optimizer_state = nullptr;
+    bool has_optimizer = false;
+    const std::string* model_name = nullptr;
+  };
+
+  /// Observes every successful boundary copy, invoked from Cut() after the
+  /// generation is claimed and BEFORE the local publish (a replica stream
+  /// never waits on the local buffer swap, and still sees a generation
+  /// whose local publish later failed — the failure poisons the LOCAL
+  /// chain; the shipped payload itself is consistent). Calls may arrive
+  /// out of generation order when Cut() runs concurrently; consumers must
+  /// reorder by `generation`. The observer must not call back into the
+  /// manager.
+  using PayloadObserver = std::function<void(const BoundaryPayload&)>;
+
   struct Options {
     /// Trainer steps that must elapse between serviced cuts; a pending
     /// request simply waits at the boundary until the interval is met.
     /// 0 services every request at the next boundary.
     uint64_t min_steps_between_cuts = 0;
+
+    /// Replication tap (see BoundaryPayload above); null = disabled.
+    PayloadObserver payload_observer;
 
     /// Incremental cuts + double-buffered O(dirty) publish (see the class
     /// comment). Requires a store with SupportsIncrementalSnapshots()
@@ -249,8 +279,9 @@ class SnapshotManager {
   /// buffers, wait for the publish turn, reclaim-or-retire the target
   /// buffer, drain its lagging queue via LoadDelta/LoadState, freeze it
   /// into `out` with a lease. Fills the apply/publish stats fields.
-  Status PublishIncremental(std::string payload, bool is_delta,
-                            uint64_t generation, ServingSnapshot* out);
+  Status PublishIncremental(std::shared_ptr<const std::string> payload,
+                            bool is_delta, uint64_t generation,
+                            ServingSnapshot* out);
 
   /// Waits up to reclaim_wait_us for `slot`'s lease, else retires the
   /// buffer to its holder and rebuilds a replacement at generation

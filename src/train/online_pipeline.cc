@@ -54,6 +54,28 @@ StatusOr<OnlinePipelineResult> RunOnlinePipeline(
   manager_options.min_steps_between_cuts = options.snapshot_interval;
   manager_options.incremental = options.incremental_snapshots;
   manager_options.capture_optimizer = options.capture_optimizer;
+
+  // Replication tier: declared BEFORE the manager so the source outlives
+  // the observer installed into it. Replicas announce (kHello) now; the
+  // initial cut below serves their bases.
+  std::unique_ptr<replicate::ReplicationSource> replication;
+  std::vector<std::unique_ptr<replicate::ReplicaManager>> replicas;
+  if (options.replica_count > 0) {
+    replication = std::make_unique<replicate::ReplicationSource>(
+        [&store_name, &context]() { return MakeStore(store_name, context); });
+    manager_options.payload_observer = replication->MakeObserver();
+    for (size_t i = 0; i < options.replica_count; ++i) {
+      replicate::TransportPair pair = replicate::MakePipeTransport();
+      CAFE_RETURN_IF_ERROR(replication->AddReplica(std::move(pair.source)));
+      replicate::ReplicaManager::Options replica_options;
+      replica_options.name = "replica" + std::to_string(i);
+      replicas.push_back(std::make_unique<replicate::ReplicaManager>(
+          [&store_name, &context]() { return MakeStore(store_name, context); },
+          std::move(pair.replica), replica_options));
+      CAFE_RETURN_IF_ERROR(replicas.back()->Start());
+    }
+  }
+
   SnapshotManager manager(
       live_store->get(), live_model->get(),
       [&store_name, &context]() { return MakeStore(store_name, context); },
@@ -305,6 +327,33 @@ StatusOr<OnlinePipelineResult> RunOnlinePipeline(
     ++installs;
   } else {
     final_snapshot = swap.Acquire();
+  }
+
+  // Drain the replication tier: every replica must reach the final
+  // generation (it saw every frame the local rollout saw) before the run
+  // reports success. Shutdown closes the streams; the source's reader
+  // threads see EOF.
+  if (replication != nullptr) {
+    const uint64_t final_generation = final_snapshot->generation;
+    Status replica_status;
+    for (auto& replica : replicas) {
+      replica_status =
+          replica->WaitForGeneration(final_generation, options.replica_wait_us);
+      if (!replica_status.ok()) break;
+    }
+    if (replica_status.ok()) replica_status = replication->stats().head_status;
+    if (!replica_status.ok()) {
+      stop_clients.store(true, std::memory_order_release);
+      for (std::thread& client : clients) client.join();
+      return replica_status;
+    }
+    result.replication_stats = replication->stats();
+    result.replica_stats.reserve(replicas.size());
+    for (auto& replica : replicas) {
+      result.replica_stats.push_back(replica->stats());
+    }
+    for (auto& replica : replicas) replica->Shutdown();
+    replication->Shutdown();
   }
 
   // Stop the sampler AFTER the tail install: its final line carries the

@@ -4,6 +4,8 @@
 #include <memory>
 #include <string>
 
+#include "replicate/replica_manager.h"
+#include "replicate/replication_source.h"
 #include "serve/inference_server.h"
 #include "serve/snapshot_manager.h"
 #include "train/model_factory.h"
@@ -50,6 +52,17 @@ struct OnlinePipelineOptions {
   size_t client_inflight = 8;
   uint64_t client_seed = 20240607;
 
+  /// Replication: stream every cut generation (base + O(dirty) deltas) to
+  /// this many in-process replicas over pipe transports. Each replica
+  /// applies the frames into its own double-buffered resident stores and
+  /// publishes local generations; the run waits for every replica to reach
+  /// the final generation before returning. Per-replica lag is exported as
+  /// replicate.replica<i>.lag_{generations,bytes} for the whole run.
+  size_t replica_count = 0;
+  /// How long the tail waits for each replica to catch up to the final
+  /// generation before giving up with an error.
+  uint64_t replica_wait_us = 10000000;
+
   /// Telemetry. stats_port >= 0 serves the metrics registry live over
   /// loopback HTTP for the whole run (obs::StatsEndpoint; 0 binds an
   /// ephemeral port, reported in OnlinePipelineResult::stats_port).
@@ -88,6 +101,11 @@ struct OnlinePipelineResult {
   /// The last snapshot installed (the fully trained state) — callers can
   /// verify it against an offline freeze or keep serving from it.
   std::shared_ptr<const ServingSnapshot> final_snapshot;
+  /// Replication outcome (replica_count > 0): source totals + per-replica
+  /// stream stats, sampled AFTER every replica reached the final
+  /// generation. replica_stats[i].generation equals the source's head.
+  replicate::ReplicationSource::Stats replication_stats;
+  std::vector<replicate::ReplicaManager::Stats> replica_stats;
   /// Bound port of the live stats endpoint (0 when stats_port was -1).
   int stats_port = 0;
   /// Timeline lines appended (0 when timeline_path was empty).

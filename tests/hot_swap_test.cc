@@ -31,6 +31,7 @@
 
 #include "common/random.h"
 #include "common/zipf.h"
+#include "sketch/hot_sketch.h"
 #include "data/synthetic.h"
 #include "io/checkpoint.h"
 #include "io/serialize.h"
@@ -325,6 +326,89 @@ INSTANTIATE_TEST_SUITE_P(AllStores, IncrementalDeltaTest,
                            }
                            return name;
                          });
+
+// Maintenance ticks used to ship CAFE's whole sketch slot array (and
+// AdaEmbed's whole score array) in the next delta — an O(store) spike in an
+// otherwise O(dirty) stream, which becomes replica lag once deltas go over
+// a wire. Both stores now ship a decay-pass COUNT that the apply side
+// replays deterministically, so a tick-crossing delta with a narrow write
+// set must stay below the array bytes the old format serialized wholesale.
+// Bit-exact parity across ticks is covered by IncrementalDeltaTest /
+// ReentrantLoadDeltaTest; this test pins the SIZE. It runs at a larger
+// feature count than the rest of the file so the full arrays dominate the
+// per-delta floor (free-row lists, counters) and the bound discriminates.
+TEST(TickDeltaCompressionTest, TickCrossingDeltaUndercutsFullArrayShip) {
+  constexpr uint64_t kBigFeatures = 200000;
+  StoreFactoryContext context;
+  context.embedding.total_features = kBigFeatures;
+  context.embedding.dim = kDim;
+  context.embedding.seed = 42;
+  context.layout = FieldLayout({80000, 60000, 40000, 20000});
+  context.cafe.decay_interval = 10;
+  context.ada.realloc_interval = 10;
+
+  for (const StoreCase& c : {StoreCase{"cafe", 20.0}, StoreCase{"ada", 2.0}}) {
+    context.embedding.compression_ratio = c.cr;
+    auto live = MakeStore(c.name, context);
+    ASSERT_TRUE(live.ok()) << live.status().ToString();
+
+    Rng rng(4242);
+    std::vector<uint64_t> ids(kBatch);
+    std::vector<float> grads(kBatch * kDim);
+    auto narrow_train = [&](size_t batches) {
+      for (size_t k = 0; k < batches; ++k) {
+        for (auto& id : ids) id = rng.Uniform(64);
+        for (auto& g : grads) g = rng.UniformFloat(-0.5f, 0.5f);
+        (*live)->ApplyGradientBatch(ids.data(), kBatch, grads.data(), 0.05f);
+        (*live)->Tick();
+      }
+    };
+
+    narrow_train(5);  // land the base mid-interval
+    const std::string base = SaveStateBytes(**live);
+    ASSERT_TRUE((*live)->EnableDirtyTracking().ok()) << c.name;
+    auto restored = MakeStore(c.name, context);
+    ASSERT_TRUE(restored.ok());
+    {
+      io::Reader reader(&base);
+      ASSERT_TRUE((*restored)->LoadState(&reader).ok()) << c.name;
+    }
+
+    narrow_train(10);  // crosses the decay/realloc tick at iteration 10
+    io::Writer delta_writer;
+    ASSERT_TRUE((*live)->SaveDelta(&delta_writer).ok()) << c.name;
+    std::string delta = delta_writer.Release();
+
+    // The bytes the old format serialized wholesale at every tick: the
+    // sketch slot array (capacity read back from the base header) for
+    // cafe, the per-feature score array for ada.
+    size_t full_array_bytes = 0;
+    if (std::string(c.name) == "cafe") {
+      io::Reader header(&base);
+      uint32_t d = 0;
+      uint64_t hot = 0, rows_a = 0, rows_b = 0, sketch_capacity = 0;
+      ASSERT_TRUE(header.ReadU32(&d).ok());
+      ASSERT_TRUE(header.ReadU64(&hot).ok());
+      ASSERT_TRUE(header.ReadU64(&rows_a).ok());
+      ASSERT_TRUE(header.ReadU64(&rows_b).ok());
+      ASSERT_TRUE(header.ReadU64(&sketch_capacity).ok());
+      full_array_bytes = sketch_capacity * sizeof(HotSketch::Slot);
+    } else {
+      full_array_bytes = kBigFeatures * sizeof(float);
+    }
+    EXPECT_LT(delta.size(), full_array_bytes)
+        << c.name << ": tick-crossing delta should undercut the full "
+        << "sketch/score array the pre-replay format shipped";
+
+    // And the compressed tick delta still lands bit-exactly.
+    io::Reader reader(std::move(delta));
+    ASSERT_TRUE((*restored)->LoadDelta(&reader).ok()) << c.name;
+    EXPECT_EQ(reader.remaining(), 0u) << c.name;
+    EXPECT_EQ(SaveStateBytes(**live), SaveStateBytes(**restored))
+        << c.name << ": SaveState diverged across the compressed tick delta";
+    (*live)->DisableDirtyTracking();
+  }
+}
 
 class IncrementalCutTest : public ::testing::TestWithParam<StoreCase> {};
 
