@@ -263,7 +263,7 @@ inline void WriteJsonFile(const std::string& path, const JsonWriter& json) {
 }
 
 /// Shared flag parsing for the microbench binaries:
-///   [--smoke] [--json <path>] [--threads <n>]
+///   [--smoke] [--json <path>] [--threads <n>] [--kill-at-generation <g>]
 struct BenchArgs {
   bool smoke = false;
   std::string json_path;  // empty = no JSON output
@@ -272,6 +272,11 @@ struct BenchArgs {
   /// concurrency, floor 2, so single-core CI still exercises the
   /// multi-threaded paths.
   size_t threads = std::max<size_t>(2, std::thread::hardware_concurrency());
+  /// bench_replication's rejoin scenario: kill the durable replica once it
+  /// has applied this generation (0 = the bench's default kill point). The
+  /// rejoin timings (rejoin_delta_us / rejoin_base_us) are always measured;
+  /// the flag moves WHERE in the stream the outage starts.
+  uint64_t kill_at_generation = 0;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -291,10 +296,16 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
         std::exit(2);
       }
       args.threads = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--kill-at-generation") == 0) {
+      if (i + 1 >= argc || std::atoi(argv[i + 1]) <= 0) {
+        std::fprintf(stderr, "--kill-at-generation needs a positive count\n");
+        std::exit(2);
+      }
+      args.kill_at_generation = static_cast<uint64_t>(std::atoi(argv[++i]));
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s' (usage: %s [--smoke] [--json "
-                   "<path>] [--threads <n>])\n",
+                   "<path>] [--threads <n>] [--kill-at-generation <g>])\n",
                    argv[i], argv[0]);
       std::exit(2);
     }

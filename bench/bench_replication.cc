@@ -17,11 +17,22 @@
 // extended over a wire. The base row (generation 1, full SaveState) is the
 // O(store) anchor the deltas are measured against.
 //
+// A second scenario times the REJOIN path: a durable replica is killed at
+// generation K (--kill-at-generation; a default otherwise), the source
+// keeps cutting, and the restarted replica — restored from its ledger —
+// rejoins with hello(K). Killed briefly (outage inside the source's delta
+// history ring) the rejoin is deltas-only (rejoin_delta_us); killed long
+// (outage past the ring) it falls back to a full base (rejoin_base_us).
+//
 // Usage: bench_replication [--smoke] [--json <path>]
-//   --smoke  CI-sized volumes
-//   --json   write BENCH_replication.json-style machine-readable results
-
+//                          [--kill-at-generation <g>]
+//   --smoke               CI-sized volumes
+//   --json                write BENCH_replication.json machine-readable
+//   --kill-at-generation  move the rejoin scenario's first outage
+//
 #include <algorithm>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -190,6 +201,132 @@ int main(int argc, char** argv) {
       "below the full-base anchor), not the store size — the O(dirty)\n"
       "publish contract holds across the wire, not just in-process.\n");
 
+  // -------------------------------------------------------------------------
+  // Rejoin scenario: durable replica killed mid-stream, restarted later.
+  // A smaller rig with a 4-generation delta history ring; the replica keeps
+  // a ledger, so each restart restores locally and rejoins with hello(K).
+  // -------------------------------------------------------------------------
+  const uint64_t kRejoinRing = 4;
+  const uint64_t rejoin_features = smoke ? 100'000 : 400'000;
+  const uint64_t rejoin_span = rejoin_features / 20;  // 5% dirty per cut
+  const uint64_t kill_at =
+      args.kill_at_generation > 0 ? args.kill_at_generation : 3;
+
+  StoreFactoryContext rejoin_context;
+  rejoin_context.embedding.total_features = rejoin_features;
+  rejoin_context.embedding.dim = kDim;
+  rejoin_context.embedding.compression_ratio = 1.0;
+  rejoin_context.embedding.seed = 97;
+  rejoin_context.layout = FieldLayout({rejoin_features});
+  auto rejoin_live = MakeStore("full", rejoin_context);
+  CAFE_CHECK(rejoin_live.ok()) << rejoin_live.status().ToString();
+  auto rejoin_factory = [&rejoin_context]() {
+    return MakeStore("full", rejoin_context);
+  };
+
+  replicate::ReplicationSource::Options rejoin_source_options;
+  rejoin_source_options.delta_history_generations = kRejoinRing;
+  replicate::ReplicationSource rejoin_source(rejoin_factory,
+                                             rejoin_source_options);
+  SnapshotManager::Options rejoin_manager_options;
+  rejoin_manager_options.incremental = true;
+  rejoin_manager_options.payload_observer = rejoin_source.MakeObserver();
+  SnapshotManager rejoin_manager(rejoin_live->get(), nullptr, rejoin_factory,
+                                 rejoin_manager_options);
+
+  const std::string ledger_dir = "/tmp/cafe_bench_replication_ledger";
+  CAFE_CHECK(io::EnsureDirectory(ledger_dir).ok());
+  if (auto stale = io::ListDirectory(ledger_dir); stale.ok()) {
+    for (const std::string& file : *stale) {
+      (void)io::RemoveFile(ledger_dir + "/" + file);
+    }
+  }
+  replicate::ReplicaManager::Options rejoin_replica_options;
+  rejoin_replica_options.name = "bench_rejoin";
+  rejoin_replica_options.durable_dir = ledger_dir;
+
+  uint64_t rejoin_head = 0;
+  std::vector<uint64_t> rejoin_ids(kBatch);
+  auto rejoin_cut = [&](uint64_t span) {
+    for (uint64_t start = 0; start < span; start += kBatch) {
+      const size_t n =
+          static_cast<size_t>(std::min<uint64_t>(kBatch, span - start));
+      for (size_t i = 0; i < n; ++i) rejoin_ids[i] = start + i;
+      rejoin_live->get()->ApplyGradientBatch(rejoin_ids.data(), n,
+                                             grads.data(), 0.05f);
+      rejoin_live->get()->Tick();
+    }
+    auto snapshot = rejoin_manager.Cut();
+    CAFE_CHECK(snapshot.ok()) << snapshot.status().ToString();
+    rejoin_head = (*snapshot)->generation;
+  };
+
+  std::unique_ptr<replicate::ReplicaManager> rejoin_replica;
+  auto attach_replica = [&]() {
+    replicate::TransportPair rejoin_pair = replicate::MakePipeTransport();
+    CAFE_CHECK(rejoin_source.AddReplica(std::move(rejoin_pair.source)).ok());
+    rejoin_replica = std::make_unique<replicate::ReplicaManager>(
+        rejoin_factory, std::move(rejoin_pair.replica),
+        rejoin_replica_options);
+  };
+  // Restart the killed replica on a fresh link and time ledger restore +
+  // hello(K) + catch-up to the source's CURRENT head — the full outage
+  // recovery as a replica operator experiences it.
+  auto timed_rejoin = [&](uint64_t expect_bases,
+                          uint64_t expect_restored) -> double {
+    attach_replica();
+    WallTimer timer;
+    CAFE_CHECK(rejoin_replica->Start().ok());
+    CAFE_CHECK(rejoin_replica->WaitForGeneration(rejoin_head, kWaitUs).ok());
+    const double us = timer.ElapsedSeconds() * 1e6;
+    const replicate::ReplicaManager::Stats stats = rejoin_replica->stats();
+    CAFE_CHECK(stats.restores == 1 &&
+               stats.restored_generation == expect_restored)
+        << "rejoin did not restore the ledger (restored generation "
+        << stats.restored_generation << ", want " << expect_restored << ")";
+    CAFE_CHECK(stats.bases_applied == expect_bases)
+        << "rejoin applied " << stats.bases_applied << " bases, want "
+        << expect_bases;
+    return us;
+  };
+
+  // Cold join, then run the stream to the kill point.
+  attach_replica();
+  CAFE_CHECK(rejoin_replica->Start().ok());
+  for (uint64_t g = 0; g < kill_at; ++g) {
+    rejoin_cut(g == 0 ? rejoin_features : rejoin_span);
+  }
+  CAFE_CHECK(rejoin_replica->WaitForGeneration(kill_at, kWaitUs).ok());
+
+  // Outage 1: short — the ring still covers the restored generation, so
+  // the rejoin is deltas-only (bases_applied stays 0).
+  rejoin_replica->Shutdown();
+  rejoin_replica.reset();
+  for (int g = 0; g < 2; ++g) rejoin_cut(rejoin_span);
+  const double rejoin_delta_us = timed_rejoin(0, kill_at);
+
+  // Outage 2: long — the head moves past the ring, so the rejoin falls
+  // back to one full base.
+  const uint64_t second_kill = rejoin_head;
+  rejoin_replica->Shutdown();
+  rejoin_replica.reset();
+  for (uint64_t g = 0; g < kRejoinRing + 2; ++g) rejoin_cut(rejoin_span);
+  const double rejoin_base_us = timed_rejoin(1, second_kill);
+
+  const replicate::ReplicationSource::Stats rejoin_source_stats =
+      rejoin_source.stats();
+  CAFE_CHECK(rejoin_source_stats.delta_catchups >= 1)
+      << "short outage should have been served from the history ring";
+  std::printf(
+      "\nrejoin (durable ledger, ring=%llu deltas, killed at generation "
+      "%llu):\n  short outage -> deltas only: %10.1f us\n  long outage  -> "
+      "full base:   %10.1f us\n",
+      static_cast<unsigned long long>(kRejoinRing),
+      static_cast<unsigned long long>(kill_at), rejoin_delta_us,
+      rejoin_base_us);
+  rejoin_replica->Shutdown();
+  rejoin_source.Shutdown();
+
   if (!args.json_path.empty()) {
     bench::JsonWriter json;
     json.BeginObject();
@@ -208,6 +345,9 @@ int main(int argc, char** argv) {
     json.BeginObject();
     json.Field("base_bytes", base_bytes);
     json.Field("base_lag_us", base_lag_us);
+    json.Field("kill_at_generation", kill_at);
+    json.Field("rejoin_delta_us", rejoin_delta_us);
+    json.Field("rejoin_base_us", rejoin_base_us);
     json.Field("frames_sent", source_stats.frames_sent);
     json.Field("bytes_sent", source_stats.bytes_sent);
     json.Field("deltas_applied", replica_stats.deltas_applied);

@@ -20,6 +20,12 @@ enum class StatusCode : int {
   kResourceExhausted = 6,
   kInternal = 7,
   kUnimplemented = 8,
+  /// Transient transport failure (peer closed, connection refused, link
+  /// down): retrying — possibly after a backoff — may succeed.
+  kUnavailable = 9,
+  /// A bounded wait elapsed before the condition was met. Retrying with a
+  /// longer deadline may succeed; the operation itself is still valid.
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -61,6 +67,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

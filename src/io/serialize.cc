@@ -1,9 +1,12 @@
 #include "io/serialize.h"
 
+#include <cerrno>
 #include <cstdio>
 
 #ifdef __unix__
+#include <dirent.h>
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #endif
 
@@ -91,6 +94,54 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
     return Status::Internal("read error on " + path);
   }
   return bytes;
+}
+
+Status EnsureDirectory(const std::string& path) {
+#ifdef __unix__
+  if (mkdir(path.c_str(), 0755) == 0) return Status::OK();
+  struct stat st;
+  if (stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+    return Status::OK();
+  }
+  return Status::Internal("cannot create directory " + path);
+#else
+  return Status::Unimplemented("EnsureDirectory: " + path);
+#endif
+}
+
+StatusOr<std::vector<std::string>> ListDirectory(const std::string& path) {
+#ifdef __unix__
+  DIR* dir = opendir(path.c_str());
+  if (dir == nullptr) {
+    return Status::NotFound("cannot open directory " + path);
+  }
+  std::vector<std::string> names;
+  while (struct dirent* entry = readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    const std::string full = path + "/" + name;
+    if (stat(full.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) continue;
+    names.push_back(name);
+  }
+  closedir(dir);
+  return names;
+#else
+  return Status::Unimplemented("ListDirectory: " + path);
+#endif
+}
+
+Status RemoveFile(const std::string& path) {
+  if (std::remove(path.c_str()) == 0) return Status::OK();
+#ifdef __unix__
+  if (errno == ENOENT) return Status::OK();
+#endif
+  // Distinguish "already gone" from a real failure portably: if the file
+  // can no longer be opened, the caller's goal is met.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::OK();
+  std::fclose(f);
+  return Status::Internal("cannot remove " + path);
 }
 
 }  // namespace io

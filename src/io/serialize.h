@@ -184,6 +184,17 @@ Status WriteFileAtomic(const std::string& path, const std::string& bytes);
 /// Reads the whole file at `path`. NotFound / Internal on failure.
 StatusOr<std::string> ReadFileToString(const std::string& path);
 
+/// Creates `path` (one level; the parent must exist). OK if it already
+/// exists as a directory.
+Status EnsureDirectory(const std::string& path);
+
+/// Lists the plain-file names (not paths, no subdirectories) in `path`,
+/// unsorted. NotFound if the directory cannot be opened.
+StatusOr<std::vector<std::string>> ListDirectory(const std::string& path);
+
+/// Removes the file at `path`. OK if it does not exist.
+Status RemoveFile(const std::string& path);
+
 }  // namespace io
 }  // namespace cafe
 

@@ -1,0 +1,186 @@
+#include "replicate/durable_log.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "io/serialize.h"
+
+namespace cafe {
+namespace replicate {
+namespace {
+
+/// Parses "<kind>-<generation>.frame"; returns false for anything else
+/// (temp files, strangers — Load leaves those alone, appends never make
+/// them).
+bool ParseLedgerName(const std::string& name, std::string* kind,
+                     uint64_t* generation) {
+  const size_t dash = name.find('-');
+  const size_t suffix = name.rfind(".frame");
+  if (dash == std::string::npos || suffix == std::string::npos ||
+      suffix + 6 != name.size() || dash == 0 || dash + 1 >= suffix) {
+    return false;
+  }
+  *kind = name.substr(0, dash);
+  if (*kind != "base" && *kind != "delta" && *kind != "aux") return false;
+  uint64_t value = 0;
+  for (size_t i = dash + 1; i < suffix; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *generation = value;
+  return true;
+}
+
+/// Reads and fingerprint-validates one ledger file. Any failure means the
+/// file is unusable (torn write survived somehow, bit rot): callers prune.
+Status LoadFrameFile(const std::string& path, Frame* out) {
+  auto bytes = io::ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  return DecodeFrame(*bytes, out);
+}
+
+}  // namespace
+
+Status DurableReplicaLog::Init() { return io::EnsureDirectory(dir_); }
+
+std::string DurableReplicaLog::PathFor(const char* kind,
+                                       uint64_t generation) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s-%020" PRIu64 ".frame", kind,
+                generation);
+  return dir_ + "/" + name;
+}
+
+StatusOr<DurableReplicaLog::Restored> DurableReplicaLog::Load() {
+  delta_count_ = 0;
+  base_generation_ = 0;
+  auto names = io::ListDirectory(dir_);
+  if (!names.ok()) return names.status();
+
+  std::vector<uint64_t> bases;
+  std::map<uint64_t, bool> deltas;  // generation -> present
+  std::map<uint64_t, bool> auxes;
+  for (const std::string& name : *names) {
+    std::string kind;
+    uint64_t generation = 0;
+    if (!ParseLedgerName(name, &kind, &generation)) continue;
+    if (kind == "base") bases.push_back(generation);
+    if (kind == "delta") deltas[generation] = true;
+    if (kind == "aux") auxes[generation] = true;
+  }
+  std::sort(bases.begin(), bases.end(), std::greater<uint64_t>());
+
+  // Newest base that actually validates wins; older bases are stale.
+  Restored restored;
+  Frame base;
+  uint64_t base_gen = 0;
+  for (uint64_t candidate : bases) {
+    if (LoadFrameFile(PathFor("base", candidate), &base).ok()) {
+      base_gen = candidate;
+      break;
+    }
+  }
+  if (base_gen == 0) {
+    // Nothing usable: clear the ledger so stale deltas cannot shadow the
+    // next chain.
+    for (const std::string& name : *names) {
+      std::string kind;
+      uint64_t generation = 0;
+      if (ParseLedgerName(name, &kind, &generation)) {
+        (void)io::RemoveFile(dir_ + "/" + name);
+      }
+    }
+    return Status::NotFound("no valid durable base in " + dir_);
+  }
+
+  auto push_with_aux = [&](Frame frame) {
+    const auto aux_it = auxes.find(frame.generation);
+    if (aux_it != auxes.end()) {
+      Frame aux;
+      if (LoadFrameFile(PathFor("aux", frame.generation), &aux).ok() &&
+          aux.kind == FrameKind::kAux) {
+        restored.frames.push_back(std::move(aux));
+      }
+      auxes.erase(aux_it);
+    }
+    restored.generation = frame.generation;
+    restored.train_step = frame.train_step;
+    restored.frames.push_back(std::move(frame));
+  };
+  if (base.kind != FrameKind::kBase || base.generation != base_gen) {
+    return Status::Internal("durable base file holds a non-base frame");
+  }
+  push_with_aux(std::move(base));
+
+  // Contiguous validated deltas extend the chain; the first gap or damaged
+  // file ends it (later deltas are unusable without their predecessor).
+  uint64_t head = base_gen;
+  while (deltas.count(head + 1) != 0) {
+    Frame delta;
+    if (!LoadFrameFile(PathFor("delta", head + 1), &delta).ok() ||
+        delta.kind != FrameKind::kDelta || delta.generation != head + 1) {
+      break;
+    }
+    ++head;
+    ++delta_count_;
+    push_with_aux(std::move(delta));
+  }
+  base_generation_ = base_gen;
+
+  // Prune everything outside the restored chain.
+  for (uint64_t stale : bases) {
+    if (stale != base_gen) (void)io::RemoveFile(PathFor("base", stale));
+  }
+  for (const auto& entry : deltas) {
+    if (entry.first <= base_gen || entry.first > head) {
+      (void)io::RemoveFile(PathFor("delta", entry.first));
+    }
+  }
+  for (const auto& entry : auxes) {  // those consumed above were erased
+    (void)io::RemoveFile(PathFor("aux", entry.first));
+  }
+  return restored;
+}
+
+Status DurableReplicaLog::AppendBase(const Frame& frame) {
+  const std::string bytes = EncodeFrame(frame);
+  CAFE_RETURN_IF_ERROR(
+      io::WriteFileAtomic(PathFor("base", frame.generation), bytes));
+
+  // The new base subsumes the old chain: prune every other ledger file
+  // (keeping a same-generation aux, which still describes this base).
+  auto names = io::ListDirectory(dir_);
+  if (names.ok()) {
+    for (const std::string& name : *names) {
+      std::string kind;
+      uint64_t generation = 0;
+      if (!ParseLedgerName(name, &kind, &generation)) continue;
+      if (kind == "base" && generation == frame.generation) continue;
+      if (kind == "aux" && generation == frame.generation) continue;
+      (void)io::RemoveFile(dir_ + "/" + name);
+    }
+  }
+  base_generation_ = frame.generation;
+  delta_count_ = 0;
+  return Status::OK();
+}
+
+Status DurableReplicaLog::AppendDelta(const Frame& frame) {
+  const std::string bytes = EncodeFrame(frame);
+  CAFE_RETURN_IF_ERROR(
+      io::WriteFileAtomic(PathFor("delta", frame.generation), bytes));
+  ++delta_count_;
+  return Status::OK();
+}
+
+Status DurableReplicaLog::AppendAux(const Frame& frame) {
+  const std::string bytes = EncodeFrame(frame);
+  return io::WriteFileAtomic(PathFor("aux", frame.generation), bytes);
+}
+
+}  // namespace replicate
+}  // namespace cafe

@@ -1,0 +1,80 @@
+#ifndef CAFE_REPLICATE_DURABLE_LOG_H_
+#define CAFE_REPLICATE_DURABLE_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "replicate/frame.h"
+
+namespace cafe {
+namespace replicate {
+
+/// A replica's on-disk applied-state ledger: one file per applied frame
+/// (`base-<gen>.frame`, `delta-<gen>.frame`, `aux-<gen>.frame`), each the
+/// exact EncodeFrame() bytes — so the wire fingerprint doubles as the
+/// on-disk integrity check, every file is written atomically
+/// (io::WriteFileAtomic), and Load() re-validates byte by byte before
+/// anything reaches a store.
+///
+/// The chain invariant: one base at generation B plus contiguous deltas
+/// B+1..H. AppendBase prunes everything that is not part of the new chain
+/// (that is also how compaction works — the owner periodically folds a long
+/// delta tail into a fresh base from its serving store's SaveState).
+///
+/// Restart flow: Load() returns the chain; the replica replays it locally,
+/// then greets the source with hello(H), and the source ships only the
+/// deltas since H (or a base when H has aged out of its history ring).
+///
+/// Not thread-safe: the replica's apply thread is the only caller.
+class DurableReplicaLog {
+ public:
+  explicit DurableReplicaLog(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Creates the directory (one level) if needed.
+  Status Init();
+
+  struct Restored {
+    uint64_t generation = 0;  ///< head of the chain
+    uint64_t train_step = 0;
+    /// Base first, then contiguous deltas; each data frame preceded by its
+    /// same-generation aux sidecar when one was persisted.
+    std::vector<Frame> frames;
+  };
+
+  /// Validates and returns the longest usable chain, pruning stale and
+  /// damaged files. NotFound when no valid base exists.
+  StatusOr<Restored> Load();
+
+  /// Persists `frame` as the new chain root and prunes every other file
+  /// except a same-generation aux.
+  Status AppendBase(const Frame& frame);
+
+  /// Persists a delta file. The caller keeps the chain contiguity invariant
+  /// (it only appends frames it actually applied in order).
+  Status AppendDelta(const Frame& frame);
+
+  /// Persists an aux sidecar for its generation.
+  Status AppendAux(const Frame& frame);
+
+  /// Deltas currently in the chain (compaction trigger).
+  uint64_t delta_count() const { return delta_count_; }
+
+  /// Generation of the current chain root (0 = none).
+  uint64_t base_generation() const { return base_generation_; }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string PathFor(const char* kind, uint64_t generation) const;
+
+  std::string dir_;
+  uint64_t delta_count_ = 0;
+  uint64_t base_generation_ = 0;
+};
+
+}  // namespace replicate
+}  // namespace cafe
+
+#endif  // CAFE_REPLICATE_DURABLE_LOG_H_

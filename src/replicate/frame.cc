@@ -9,7 +9,7 @@ namespace replicate {
 
 bool IsValidFrameKind(uint8_t kind) {
   return kind >= static_cast<uint8_t>(FrameKind::kBase) &&
-         kind <= static_cast<uint8_t>(FrameKind::kAck);
+         kind <= static_cast<uint8_t>(FrameKind::kHeartbeat);
 }
 
 std::string EncodeFrame(const Frame& frame) {
@@ -23,6 +23,23 @@ std::string EncodeFrame(const Frame& frame) {
   const uint64_t fp = io::Fingerprint(writer.buffer().data(), writer.size());
   writer.WriteU64(fp);
   return writer.Release();
+}
+
+Status DecodeFrame(const std::string& bytes, Frame* out) {
+  FrameParser parser;
+  parser.Feed(bytes.data(), bytes.size());
+  switch (parser.Next(out)) {
+    case FrameParser::Result::kFrame:
+      break;
+    case FrameParser::Result::kNeedMore:
+      return Status::OutOfRange("frame truncated");
+    case FrameParser::Result::kCorrupt:
+      return Status::InvalidArgument("frame corrupt");
+  }
+  if (parser.buffered_bytes() != 0) {
+    return Status::InvalidArgument("trailing bytes after frame");
+  }
+  return Status::OK();
 }
 
 std::string EncodeAux(const AuxState& aux) {

@@ -48,6 +48,9 @@ enum class FrameKind : uint8_t {
   kResync = 5,
   /// Replica -> source: `generation` is applied and serving (lag probe).
   kAck = 6,
+  /// Either direction: liveness probe, no payload. `generation` carries the
+  /// sender's current head/applied generation as a free diagnostic.
+  kHeartbeat = 7,
 };
 
 bool IsValidFrameKind(uint8_t kind);
@@ -61,6 +64,11 @@ struct Frame {
 
 /// Serializes one frame, fingerprint included.
 std::string EncodeFrame(const Frame& frame);
+
+/// Parses `bytes` as EXACTLY one encoded frame (no leading damage, no
+/// trailing bytes). The durable replica ledger stores frames in this form so
+/// the wire fingerprint doubles as the on-disk integrity check.
+Status DecodeFrame(const std::string& bytes, Frame* out);
 
 /// The non-store half of a ServingSnapshot, shipped as a kAux payload so a
 /// replica's snapshots carry the same dense weights / optimizer state the

@@ -1,9 +1,11 @@
 #ifndef CAFE_REPLICATE_REPLICA_MANAGER_H_
 #define CAFE_REPLICATE_REPLICA_MANAGER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -11,6 +13,7 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "replicate/durable_log.h"
 #include "replicate/frame.h"
 #include "replicate/transport.h"
 #include "serve/snapshot_manager.h"
@@ -27,8 +30,11 @@ namespace replicate {
 /// local SwappableStore that a local InferenceServer serves from.
 ///
 /// Lifecycle, driven entirely by the stream:
-///  - Start() announces with kHello; the source answers with a kBase at its
-///    head generation (late join == initial join).
+///  - Start() restores from the durable ledger when one is configured
+///    (serving resumes BEFORE the link is up), then announces with
+///    kHello(last applied generation); the source answers with just the
+///    deltas since — or a kBase when the replica is older than the
+///    source's history ring. A cold start is kHello(0) -> kBase.
 ///  - kDelta frames must be contiguous (generation == current + 1). A gap
 ///    (a dropped frame) poisons the chain: the replica stops applying,
 ///    counts the damage, and sends ONE kResync; the next kBase rebases it.
@@ -37,7 +43,16 @@ namespace replicate {
 ///  - Frames at or below the current generation (reordered or raced with a
 ///    resync) are skipped as stale — never applied, never poison.
 ///  - Every applied generation is acked (kAck) so the source can export
-///    this replica's lag.
+///    this replica's lag; applied frames are appended to the durable
+///    ledger, which self-compacts (delta tail -> fresh base) past
+///    Options::durable_compact_after_deltas.
+///  - When the stream dies and Options::reconnect is set, the apply loop
+///    redials with exponential backoff + jitter and greets the source
+///    with its current generation — the rejoin handshake above.
+///  - With heartbeats enabled, a watchdog thread sends kHeartbeat each
+///    interval and severs the link itself when NOTHING has arrived for
+///    liveness_timeout_us (a half-open link looks exactly like silence),
+///    which feeds the reconnect path.
 ///
 /// The apply thread is the only mutator of the buffers, so unlike the
 /// source-side manager there is no publish-turn sequencing; the lease
@@ -51,6 +66,26 @@ class ReplicaManager {
     uint64_t reclaim_wait_us = 20000;
     /// Label for this replica's obs metrics (replicate.<name>.*).
     std::string name = "replica";
+    /// Directory for the durable applied-state ledger ("" = volatile
+    /// replica: every restart is a cold join).
+    std::string durable_dir;
+    /// Fold the durable delta tail into a fresh base (one SaveState of the
+    /// serving buffer) once it grows past this many deltas.
+    uint64_t durable_compact_after_deltas = 64;
+    /// Dial a replacement channel after the stream dies. Unavailable /
+    /// DeadlineExceeded results are retried with backoff; anything else
+    /// gives up. Null = no reconnection (stream end is final).
+    std::function<StatusOr<std::unique_ptr<ByteChannel>>()> reconnect;
+    uint64_t reconnect_backoff_initial_us = 50'000;
+    uint64_t reconnect_backoff_max_us = 2'000'000;
+    uint32_t reconnect_max_attempts = 8;
+    /// Jitter seed (backoff spreads as backoff * [1, 1.5)).
+    uint64_t reconnect_seed = 0x9e3779b97f4a7c15ull;
+    /// Replica -> source heartbeat period (0 = no heartbeats).
+    uint64_t heartbeat_interval_us = 0;
+    /// Sever the link after this long without any inbound byte, forcing a
+    /// reconnect (0 = trust the transport to report death).
+    uint64_t liveness_timeout_us = 0;
   };
 
   /// `factory` must build stores of the source's exact configuration (the
@@ -64,12 +99,13 @@ class ReplicaManager {
                  const Options& options);
   ~ReplicaManager();
 
-  /// Sends kHello and starts the apply thread. Call once.
+  /// Restores durable state (if any), sends kHello, and starts the apply
+  /// (+ optional watchdog) threads. Call once.
   Status Start();
 
   /// Blocks until the local serving generation reaches `generation`, the
-  /// stream dies, or `timeout_us` elapses. Returns the fatal status if the
-  /// apply loop stopped on one.
+  /// stream dies for good, or `timeout_us` elapses (DeadlineExceeded).
+  /// Returns the fatal status if the apply loop stopped on one.
   Status WaitForGeneration(uint64_t generation, uint64_t timeout_us);
 
   /// The local serving hub (hand to InferenceServer::Start). Null until
@@ -95,6 +131,16 @@ class ReplicaManager {
     /// Publishes that hit the lease-retire fallback.
     uint64_t retired_buffers = 0;
     uint64_t bytes_applied = 0;
+    /// Successful channel redials (replicate.<name>.reconnects_total).
+    uint64_t reconnects = 0;
+    /// Durable-ledger restores at Start (0 or 1).
+    uint64_t restores = 0;
+    /// Generation the ledger restored to serving (0 = cold start).
+    uint64_t restored_generation = 0;
+    /// Ledger writes that failed (replication continues; rejoin degrades
+    /// to whatever chain survived).
+    uint64_t durable_persist_failures = 0;
+    uint64_t heartbeats_received = 0;
     uint64_t generation = 0;
     uint64_t train_step = 0;
     /// First error that permanently stopped the apply loop (OK = healthy).
@@ -126,13 +172,27 @@ class ReplicaManager {
   };
 
   void ApplyLoop();
+  /// Reads the current channel until it ends; returns a fatal status to
+  /// stop the loop for good, OK to try reconnecting.
+  Status DrainStream();
+  /// Redials with exponential backoff + jitter. False = give up (shutdown,
+  /// attempts exhausted, or a non-retriable dial error).
+  bool ReconnectWithBackoff();
+  void WatchdogLoop();
   /// Dispatches one parsed frame; returns a fatal status to stop the loop.
   Status HandleFrame(Frame frame);
+  /// Replays a restored ledger chain into serving state. On failure the
+  /// buffers are reset for a clean cold join.
+  void RestoreFromDurable();
+  /// Appends an applied frame to the ledger (failure = counted, not fatal)
+  /// and compacts when the delta tail is long. Apply thread only.
+  void PersistFrame(const Frame& frame);
+  void MaybeCompactDurable(uint64_t generation, uint64_t train_step);
   /// Queues the payload to both buffers and publishes `generation` into
-  /// the local SwappableStore. `applied` (bases_applied / deltas_applied)
-  /// is bumped in the SAME critical section that exposes the generation, so
-  /// a stats() reader woken by WaitForGeneration never sees the count lag
-  /// the generation. Apply thread only.
+  /// the local SwappableStore. `applied` (bases_applied / deltas_applied /
+  /// restores) is bumped in the SAME critical section that exposes the
+  /// generation, so a stats() reader woken by WaitForGeneration never sees
+  /// the count lag the generation. Apply thread only.
   Status PublishGeneration(uint64_t generation, uint64_t train_step,
                            uint64_t Stats::*applied);
   /// Lease reclaim with the retire fallback. Apply thread only.
@@ -142,10 +202,10 @@ class ReplicaManager {
   void SendControl(FrameKind kind, uint64_t generation);
 
   SnapshotManager::FreshStoreFactory factory_;
-  std::unique_ptr<ByteChannel> channel_;
   Options options_;
 
   std::thread apply_thread_;
+  std::thread watchdog_thread_;
   bool started_ = false;
 
   // Apply-thread-only state (no lock needed).
@@ -158,8 +218,24 @@ class ReplicaManager {
   bool have_aux_ = false;
   uint64_t aux_generation_ = 0;
   AuxState aux_;
+  std::unique_ptr<DurableReplicaLog> durable_;
+  uint64_t jitter_state_ = 0;  // backoff jitter PRNG state
 
   std::shared_ptr<LeaseState> leases_;
+
+  /// Serializes channel Writes only (frame bytes must not interleave).
+  /// NEVER taken by a close path: Shutdown and the watchdog copy the
+  /// channel pointer under channel_mu_ and Close() WITHOUT send_mu_, so a
+  /// Write blocked on transport backpressure (stalled peer, full socket
+  /// buffer) cannot deadlock them — Close is what unblocks that Write.
+  std::mutex send_mu_;
+  /// Guards the channel_ POINTER (reconnect swaps it; writers and close
+  /// paths copy it). Never held across a Write/Read/Close. shared_ptr so
+  /// an in-flight Write on the pre-reconnect channel stays valid.
+  mutable std::mutex channel_mu_;
+  std::shared_ptr<ByteChannel> channel_;
+  /// Steady-clock stamp of the last inbound byte (watchdog liveness).
+  std::atomic<uint64_t> last_recv_us_{0};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -173,6 +249,7 @@ class ReplicaManager {
   obs::Counter* obs_gaps_ = nullptr;
   obs::Counter* obs_resyncs_ = nullptr;
   obs::Counter* obs_bytes_applied_ = nullptr;
+  obs::Counter* obs_reconnects_ = nullptr;
 };
 
 }  // namespace replicate

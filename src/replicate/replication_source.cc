@@ -1,6 +1,7 @@
 #include "replicate/replication_source.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/logging.h"
@@ -8,6 +9,16 @@
 
 namespace cafe {
 namespace replicate {
+namespace {
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 ReplicationSource::ReplicationSource(SnapshotManager::FreshStoreFactory factory)
     : ReplicationSource(std::move(factory), Options()) {}
@@ -20,6 +31,8 @@ ReplicationSource::ReplicationSource(SnapshotManager::FreshStoreFactory factory,
   obs_frames_ = registry.GetCounter("replicate.source.frames_sent_total");
   obs_bytes_ = registry.GetCounter("replicate.source.bytes_sent_total");
   obs_resyncs_ = registry.GetCounter("replicate.source.base_resyncs_total");
+  obs_overflows_ =
+      registry.GetCounter("replicate.source.queue_overflow_total");
   obs_head_generation_ = registry.GetGauge("replicate.source.head_generation");
   auto head = factory_();
   if (head.ok()) {
@@ -30,6 +43,9 @@ ReplicationSource::ReplicationSource(SnapshotManager::FreshStoreFactory factory,
     }
   } else {
     head_status_ = head.status();
+  }
+  if (options_.heartbeat_interval_us > 0 || options_.liveness_timeout_us > 0) {
+    maintenance_ = std::thread([this] { MaintenanceLoop(); });
   }
 }
 
@@ -52,13 +68,20 @@ Status ReplicationSource::AddReplica(std::unique_ptr<ByteChannel> channel) {
   auto link = std::make_unique<Link>();
   link->channel = std::move(channel);
   link->index = links_.size();
-  const std::string prefix =
+  link->last_recv_us = NowUs();
+  const std::string replica_prefix =
       "replicate.replica" + std::to_string(link->index);
+  const std::string link_prefix =
+      "replicate.source.link" + std::to_string(link->index);
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
-  link->lag_generations = registry.GetGauge(prefix + ".lag_generations");
-  link->lag_bytes = registry.GetGauge(prefix + ".lag_bytes");
+  link->lag_generations = registry.GetGauge(replica_prefix + ".lag_generations");
+  link->lag_bytes = registry.GetGauge(replica_prefix + ".lag_bytes");
+  link->queue_bytes_gauge = registry.GetGauge(link_prefix + ".send_queue_bytes");
+  link->queue_frames_gauge =
+      registry.GetGauge(link_prefix + ".send_queue_frames");
   Link* raw = link.get();
   link->reader = std::thread([this, raw] { ReaderLoop(raw); });
+  link->sender = std::thread([this, raw] { SenderLoop(raw); });
   links_.push_back(std::move(link));
   return Status::OK();
 }
@@ -152,30 +175,79 @@ void ReplicationSource::DrainLocked() {
     bytes_at_[generation] = cumulative_bytes_;
     while (bytes_at_.size() > 1024) bytes_at_.erase(bytes_at_.begin());
 
+    // The history ring holds deltas contiguous up to the head; a base
+    // publish resets it (catch-up across a base needs the base anyway).
+    if (entry.is_delta && options_.delta_history_generations > 0) {
+      HistoryEntry history;
+      history.generation = generation;
+      history.aux_bytes = aux_bytes;
+      history.data_bytes = data_bytes;
+      history_.push_back(std::move(history));
+      while (history_.size() > options_.delta_history_generations) {
+        history_.pop_front();
+      }
+    } else {
+      history_.clear();
+    }
+
     for (auto& link : links_) {
-      if (!link->alive || !link->caught_up) continue;
-      if (!aux_bytes.empty()) WriteToLinkLocked(link.get(), aux_bytes);
-      if (link->alive) WriteToLinkLocked(link.get(), data_bytes);
+      if (!link->alive || !link->caught_up || link->stale) continue;
+      if (!aux_bytes.empty() && !EnqueueLocked(link.get(), aux_bytes, true)) {
+        continue;  // went stale; the sender rebases once drained
+      }
+      EnqueueLocked(link.get(), data_bytes, true);
       UpdateLagLocked(link.get());
     }
   }
-
-  // A hello that arrived before the first cut is served as soon as a head
-  // exists.
-  if (head_generation_ >= 1) {
-    for (auto& link : links_) {
-      if (link->alive && link->hello_pending) SendBaseLocked(link.get());
-    }
-  }
+  // Wake senders: new frames may be queued, and a link waiting on "a head
+  // exists" for its first base can proceed after the first publish.
+  send_cv_.notify_all();
 }
 
-void ReplicationSource::SendBaseLocked(Link* link) {
-  link->hello_pending = false;
+bool ReplicationSource::EnqueueLocked(Link* link, const std::string& bytes,
+                                      bool is_data) {
+  if (!link->alive) return false;
+  // An empty queue always admits (a single frame above the watermark must
+  // not wedge the link forever) — so queue memory is bounded by
+  // max(watermark, one frame), not blocked at zero.
+  const bool fits =
+      link->send_queue.empty() ||
+      (link->queued_bytes + bytes.size() <= options_.send_queue_high_bytes &&
+       link->send_queue.size() + 1 <= options_.send_queue_high_frames);
+  if (!fits) {
+    if (is_data && !link->stale) {
+      // Crossing the watermark: stop enqueuing deltas for this link. The
+      // queued backlog (bounded) still drains; the sender then re-enters
+      // the link through the same rebase path a kResync takes.
+      link->stale = true;
+      link->needs_base = true;
+      link->caught_up = false;
+      ++link->queue_overflows;
+      ++queue_overflows_;
+      obs_overflows_->Add(1);
+    }
+    return false;
+  }
+  link->send_queue.push_back(bytes);
+  link->queued_bytes += bytes.size();
+  UpdateQueueGaugesLocked(link);
+  return true;
+}
+
+void ReplicationSource::EnqueueForcedLocked(Link* link, std::string bytes) {
+  link->queued_bytes += bytes.size();
+  link->send_queue.push_back(std::move(bytes));
+  UpdateQueueGaugesLocked(link);
+}
+
+void ReplicationSource::PrepareBaseLocked(Link* link) {
   if (head_generation_ < 1) {
-    // Nothing published yet: remember the request instead.
-    link->hello_pending = true;
+    // Nothing published yet: the sender re-runs this after the first cut.
+    link->needs_base = true;
     return;
   }
+  link->needs_base = false;
+  link->stale = false;
   io::Writer writer;
   const Status status = head_->SaveState(&writer);
   if (!status.ok()) {
@@ -188,35 +260,27 @@ void ReplicationSource::SendBaseLocked(Link* link) {
     aux_frame.generation = head_generation_;
     aux_frame.train_step = head_step_;
     aux_frame.payload = head_aux_;
-    WriteToLinkLocked(link, EncodeFrame(aux_frame));
+    EnqueueForcedLocked(link, EncodeFrame(aux_frame));
   }
   Frame base;
   base.kind = FrameKind::kBase;
   base.generation = head_generation_;
   base.train_step = head_step_;
   base.payload = writer.Release();
-  if (link->alive) WriteToLinkLocked(link, EncodeFrame(base));
-  if (link->alive) {
-    link->caught_up = true;
-    ++link->base_resyncs;
-    ++base_resyncs_;
-    obs_resyncs_->Add(1);
-    UpdateLagLocked(link);
-  }
+  EnqueueForcedLocked(link, EncodeFrame(base));
+  link->caught_up = true;
+  ++link->base_resyncs;
+  ++base_resyncs_;
+  obs_resyncs_->Add(1);
+  UpdateLagLocked(link);
+  send_cv_.notify_all();
 }
 
-void ReplicationSource::WriteToLinkLocked(Link* link,
-                                          const std::string& bytes) {
-  const Status status = link->channel->Write(bytes.data(), bytes.size());
-  if (!status.ok()) {
-    link->alive = false;
-    return;
-  }
-  link->bytes_sent += bytes.size();
-  ++frames_sent_;
-  bytes_sent_ += bytes.size();
-  obs_frames_->Add(1);
-  obs_bytes_->Add(bytes.size());
+bool ReplicationSource::HistoryCoversLocked(uint64_t generation) const {
+  return options_.delta_history_generations > 0 && !history_.empty() &&
+         generation < head_generation_ &&
+         history_.front().generation <= generation + 1 &&
+         history_.back().generation == head_generation_;
 }
 
 void ReplicationSource::UpdateLagLocked(Link* link) {
@@ -235,6 +299,49 @@ void ReplicationSource::UpdateLagLocked(Link* link) {
   link->lag_bytes->Set(static_cast<double>(lag_bytes));
 }
 
+void ReplicationSource::UpdateQueueGaugesLocked(Link* link) {
+  link->queue_bytes_gauge->Set(static_cast<double>(link->queued_bytes));
+  link->queue_frames_gauge->Set(static_cast<double>(link->send_queue.size()));
+}
+
+void ReplicationSource::SenderLoop(Link* link) {
+  while (true) {
+    std::string bytes;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      send_cv_.wait(lock, [&] {
+        return shutdown_ || !link->alive || !link->send_queue.empty() ||
+               (link->needs_base && head_generation_ >= 1);
+      });
+      if (shutdown_ || !link->alive) return;
+      if (link->send_queue.empty()) {
+        // Stale-and-drained (or a pending hello/resync): re-enter through
+        // a fresh base at the head, never by replaying a backlog.
+        PrepareBaseLocked(link);
+        if (link->send_queue.empty()) continue;  // head error; stay parked
+      }
+      bytes = std::move(link->send_queue.front());
+      link->send_queue.pop_front();
+      link->queued_bytes -= bytes.size();
+      UpdateQueueGaugesLocked(link);
+    }
+    // The write happens OUTSIDE mu_: it may block on transport
+    // backpressure, and Publish must never wait on a slow link.
+    const Status status = link->channel->Write(bytes.data(), bytes.size());
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!status.ok()) {
+      link->alive = false;
+      send_cv_.notify_all();
+      return;
+    }
+    link->bytes_sent += bytes.size();
+    ++frames_sent_;
+    bytes_sent_ += bytes.size();
+    obs_frames_->Add(1);
+    obs_bytes_->Add(bytes.size());
+  }
+}
+
 void ReplicationSource::ReaderLoop(Link* link) {
   FrameParser parser;
   char buf[4096];
@@ -249,17 +356,64 @@ void ReplicationSource::ReaderLoop(Link* link) {
       if (result == FrameParser::Result::kCorrupt) continue;
       std::lock_guard<std::mutex> lock(mu_);
       if (shutdown_) return;
+      link->last_recv_us = NowUs();
       switch (frame.kind) {
-        case FrameKind::kHello:
+        case FrameKind::kHello: {
+          link->caught_up = false;
+          link->stale = false;
+          link->acked_generation =
+              std::max(link->acked_generation, frame.generation);
+          if (frame.generation > 0 && frame.generation == head_generation_) {
+            // Rejoiner already at the head: nothing to ship.
+            link->needs_base = false;
+            link->caught_up = true;
+            ++link->delta_catchups;
+            ++delta_catchups_;
+            UpdateLagLocked(link);
+          } else if (frame.generation > 0 &&
+                     HistoryCoversLocked(frame.generation)) {
+            // Serve only the deltas since its last applied generation.
+            bool overflow = false;
+            for (const HistoryEntry& entry : history_) {
+              if (entry.generation <= frame.generation) continue;
+              if (!entry.aux_bytes.empty() &&
+                  !EnqueueLocked(link, entry.aux_bytes, true)) {
+                overflow = true;
+                break;
+              }
+              if (!EnqueueLocked(link, entry.data_bytes, true)) {
+                overflow = true;
+                break;
+              }
+            }
+            if (!overflow) {
+              link->needs_base = false;
+              link->caught_up = true;
+              ++link->delta_catchups;
+              ++delta_catchups_;
+            }
+            // On overflow EnqueueLocked marked the link stale; the sender
+            // rebases after the partial catch-up drains.
+            UpdateLagLocked(link);
+          } else {
+            // Cold joiner, or older than the ring: full base.
+            link->needs_base = true;
+          }
+          send_cv_.notify_all();
+          break;
+        }
         case FrameKind::kResync:
           link->caught_up = false;
-          SendBaseLocked(link);
+          link->needs_base = true;
+          send_cv_.notify_all();
           break;
         case FrameKind::kAck:
           link->acked_generation =
               std::max(link->acked_generation, frame.generation);
           UpdateLagLocked(link);
           break;
+        case FrameKind::kHeartbeat:
+          break;  // the last_recv_us stamp above is the point
         default:
           break;  // data frames never flow replica -> source
       }
@@ -267,6 +421,48 @@ void ReplicationSource::ReaderLoop(Link* link) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   link->alive = false;
+  send_cv_.notify_all();
+}
+
+void ReplicationSource::MaintenanceLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t interval_us = options_.heartbeat_interval_us;
+  if (interval_us == 0 || (options_.liveness_timeout_us > 0 &&
+                           options_.liveness_timeout_us / 2 < interval_us)) {
+    // Tick at least twice per liveness window so a dead link is pruned
+    // within ~1.5x the timeout.
+    if (options_.liveness_timeout_us > 0) {
+      interval_us = std::max<uint64_t>(options_.liveness_timeout_us / 2, 1000);
+    }
+  }
+  if (interval_us == 0) return;
+  while (!shutdown_) {
+    maintenance_cv_.wait_for(lock, std::chrono::microseconds(interval_us),
+                             [&] { return shutdown_; });
+    if (shutdown_) return;
+    const uint64_t now = NowUs();
+    for (auto& link : links_) {
+      if (!link->alive) continue;
+      if (options_.liveness_timeout_us > 0 &&
+          now - link->last_recv_us > options_.liveness_timeout_us) {
+        // Silent past the deadline: dead peer (or a half-open link). Close
+        // wakes its reader (which marks it dead) and unblocks its sender.
+        link->alive = false;
+        link->channel->Close();
+        ++links_pruned_;
+        continue;
+      }
+      if (options_.heartbeat_interval_us > 0 && link->caught_up &&
+          !link->stale) {
+        Frame heartbeat;
+        heartbeat.kind = FrameKind::kHeartbeat;
+        heartbeat.generation = head_generation_;
+        heartbeat.train_step = head_step_;
+        EnqueueLocked(link.get(), EncodeFrame(heartbeat), false);
+      }
+    }
+    send_cv_.notify_all();
+  }
 }
 
 ReplicationSource::Stats ReplicationSource::stats() const {
@@ -277,6 +473,10 @@ ReplicationSource::Stats ReplicationSource::stats() const {
   stats.frames_sent = frames_sent_;
   stats.bytes_sent = bytes_sent_;
   stats.base_resyncs = base_resyncs_;
+  stats.queue_overflows = queue_overflows_;
+  stats.delta_catchups = delta_catchups_;
+  stats.links_pruned = links_pruned_;
+  stats.history_generations = history_.size();
   stats.head_status = head_status_;
   stats.replicas.reserve(links_.size());
   for (const auto& link : links_) {
@@ -294,6 +494,11 @@ ReplicationSource::Stats ReplicationSource::stats() const {
                                    : 0);
     replica.base_resyncs = link->base_resyncs;
     replica.bytes_sent = link->bytes_sent;
+    replica.send_queue_bytes = link->queued_bytes;
+    replica.send_queue_frames = link->send_queue.size();
+    replica.queue_overflows = link->queue_overflows;
+    replica.delta_catchups = link->delta_catchups;
+    replica.stale = link->stale;
     stats.replicas.push_back(replica);
   }
   return stats;
@@ -312,9 +517,13 @@ void ReplicationSource::Shutdown() {
     for (auto& link : links_) {
       link->channel->Close();
     }
+    send_cv_.notify_all();
+    maintenance_cv_.notify_all();
   }
+  if (maintenance_.joinable()) maintenance_.join();
   for (auto& link : links_) {
     if (link->reader.joinable()) link->reader.join();
+    if (link->sender.joinable()) link->sender.join();
   }
 }
 

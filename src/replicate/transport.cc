@@ -2,14 +2,17 @@
 
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
+#include <fcntl.h>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -20,18 +23,35 @@ namespace cafe {
 namespace replicate {
 namespace {
 
-/// One direction of a pipe: an unbounded byte queue. Both endpoints hold
-/// it via shared_ptr so either side may be destroyed first.
+/// One direction of a pipe. `capacity == 0` means unbounded (writes never
+/// block); otherwise Append waits for the reader to drain space, which is
+/// the backpressure the flow-control tests lean on. Both endpoints hold the
+/// lane via shared_ptr so either side may be destroyed first.
 struct PipeLane {
+  explicit PipeLane(size_t capacity_bytes) : capacity(capacity_bytes) {}
+
+  const size_t capacity;
   std::mutex mu;
   std::condition_variable cv;
   std::string data;
   bool closed = false;
 
-  void Append(const void* bytes, size_t size) {
-    std::lock_guard<std::mutex> lock(mu);
+  /// Blocks until the bytes fit (an oversized write goes through alone once
+  /// the lane drains empty) or the lane closes. Returns false iff closed.
+  /// `force` skips the capacity wait — used by Close's held-frame flush,
+  /// which must never block.
+  bool Append(const void* bytes, size_t size, bool force = false) {
+    std::unique_lock<std::mutex> lock(mu);
+    if (!force && capacity != 0) {
+      cv.wait(lock, [&] {
+        return closed || data.size() + size <= capacity ||
+               (data.empty() && size > capacity);
+      });
+    }
+    if (closed) return false;
     data.append(static_cast<const char*>(bytes), size);
     cv.notify_all();
+    return true;
   }
 
   void Close() {
@@ -54,44 +74,75 @@ class PipeChannel : public ByteChannel {
   ~PipeChannel() override { Close(); }
 
   Status Write(const void* data, size_t size) override {
-    std::lock_guard<std::mutex> write_lock(write_mu_);
-    const uint64_t index = next_write_index_++;
+    // Decide what to emit under write_mu_, emit after releasing it: a
+    // bounded lane's Append blocks for capacity, and holding write_mu_
+    // through that wait would deadlock Close() (which takes write_mu_ to
+    // flush a reorder-held frame before closing the lane).
+    const char* direct = nullptr;  // emit caller bytes without copying
+    size_t direct_size = 0;
+    std::string owned;       // fault-modified bytes (emitted when !direct)
+    bool emit = true;        // false: kDrop / kReorder swallow the frame
+    std::string flush_held;  // previously held frame, emitted after
+    bool has_flush = false;
+    uint64_t delay_us = 0;
     {
-      std::lock_guard<std::mutex> lock(out_->mu);
-      if (out_->closed) return Status::FailedPrecondition("pipe closed");
-    }
-    const auto it = faults_.find(index);
-    if (it == faults_.end()) {
-      EmitWithHeld(data, size);
-      return Status::OK();
-    }
-    const FaultPlan::Rule& rule = it->second;
-    switch (rule.action) {
-      case FaultPlan::Action::kDrop:
-        break;  // the frame never happened; a held frame stays held
-      case FaultPlan::Action::kTruncate: {
-        size_t keep = rule.arg != 0 ? static_cast<size_t>(rule.arg) : size / 2;
-        keep = std::min(keep, size > 0 ? size - 1 : 0);
-        EmitWithHeld(data, keep);
-        break;
-      }
-      case FaultPlan::Action::kCorrupt: {
-        std::string damaged(static_cast<const char*>(data), size);
-        if (!damaged.empty()) {
-          damaged[static_cast<size_t>(rule.arg) % damaged.size()] ^=
-              static_cast<char>(0xff);
+      std::lock_guard<std::mutex> write_lock(write_mu_);
+      const uint64_t index = next_write_index_++;
+      const auto it = faults_.find(index);
+      if (it == faults_.end()) {
+        direct = static_cast<const char*>(data);
+        direct_size = size;
+      } else {
+        const FaultPlan::Rule& rule = it->second;
+        switch (rule.action) {
+          case FaultPlan::Action::kDrop:
+            emit = false;  // the frame never happened; a held frame stays
+            break;
+          case FaultPlan::Action::kTruncate: {
+            size_t keep =
+                rule.arg != 0 ? static_cast<size_t>(rule.arg) : size / 2;
+            keep = std::min(keep, size > 0 ? size - 1 : 0);
+            owned.assign(static_cast<const char*>(data), keep);
+            break;
+          }
+          case FaultPlan::Action::kCorrupt:
+            owned.assign(static_cast<const char*>(data), size);
+            if (!owned.empty()) {
+              owned[static_cast<size_t>(rule.arg) % owned.size()] ^=
+                  static_cast<char>(0xff);
+            }
+            break;
+          case FaultPlan::Action::kReorder:
+            held_.assign(static_cast<const char*>(data), size);
+            has_held_ = true;
+            emit = false;
+            break;
+          case FaultPlan::Action::kDelay:
+            delay_us = rule.arg;
+            direct = static_cast<const char*>(data);
+            direct_size = size;
+            break;
         }
-        EmitWithHeld(damaged.data(), damaged.size());
-        break;
       }
-      case FaultPlan::Action::kReorder:
-        held_.assign(static_cast<const char*>(data), size);
-        has_held_ = true;
-        break;
-      case FaultPlan::Action::kDelay:
-        std::this_thread::sleep_for(std::chrono::microseconds(rule.arg));
-        EmitWithHeld(data, size);
-        break;
+      if (emit && has_held_) {
+        // The emitted frame lands first, then the held one — the swap a
+        // kReorder rule asked for.
+        flush_held = std::move(held_);
+        has_held_ = false;
+        has_flush = true;
+      }
+    }
+    if (delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+    if (emit) {
+      const bool ok = direct != nullptr
+                          ? out_->Append(direct, direct_size)
+                          : out_->Append(owned.data(), owned.size());
+      if (!ok) return Status::Unavailable("pipe closed");
+    }
+    if (has_flush && !out_->Append(flush_held.data(), flush_held.size())) {
+      return Status::Unavailable("pipe closed");
     }
     return Status::OK();
   }
@@ -104,39 +155,36 @@ class PipeChannel : public ByteChannel {
     const size_t n = std::min(max, in_->data.size());
     std::memcpy(out, in_->data.data(), n);
     in_->data.erase(0, n);
+    in_->cv.notify_all();  // a bounded lane's writer may be capacity-blocked
     return n;
   }
 
   void Close() override {
+    // Flush a reorder-held frame rather than silently losing it: the fault
+    // asked for a swap, and no later frame arrived to swap with. Forced
+    // append — Close must not block on a full bounded lane.
+    std::string flush;
+    bool has_flush = false;
     {
-      // Flush a reorder-held frame rather than silently losing it: the
-      // fault asked for a swap, and no later frame arrived to swap with.
       std::lock_guard<std::mutex> write_lock(write_mu_);
       if (has_held_) {
+        flush = std::move(held_);
         has_held_ = false;
-        out_->Append(held_.data(), held_.size());
+        has_flush = true;
       }
     }
+    if (has_flush) out_->Append(flush.data(), flush.size(), /*force=*/true);
     out_->Close();
     in_->Close();
   }
 
  private:
-  /// Emits `size` bytes, then any frame held back by a kReorder rule (so
-  /// the held frame lands AFTER its successor — the swap).
-  void EmitWithHeld(const void* data, size_t size) {
-    out_->Append(data, size);
-    if (has_held_) {
-      has_held_ = false;
-      out_->Append(held_.data(), held_.size());
-    }
-  }
-
   std::shared_ptr<PipeLane> out_;
   std::shared_ptr<PipeLane> in_;
   std::unordered_map<uint64_t, FaultPlan::Rule> faults_;
   /// Serializes writers against each other and against Close's held-frame
-  /// flush (guards next_write_index_ / held_ / has_held_).
+  /// flush (guards next_write_index_ / held_ / has_held_). Never held
+  /// across a lane Append.
   std::mutex write_mu_;
   uint64_t next_write_index_ = 0;
   std::string held_;
@@ -163,8 +211,8 @@ class TcpChannel : public ByteChannel {
       const ssize_t n = ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
-        return Status::Internal(std::string("tcp send failed: ") +
-                                std::strerror(errno));
+        return Status::Unavailable(std::string("tcp send failed: ") +
+                                   std::strerror(errno));
       }
       sent += static_cast<size_t>(n);
     }
@@ -177,8 +225,8 @@ class TcpChannel : public ByteChannel {
       if (n >= 0) return static_cast<size_t>(n);
       if (errno == EINTR) continue;
       if (closed_.load(std::memory_order_acquire)) return size_t{0};
-      return Status::Internal(std::string("tcp recv failed: ") +
-                              std::strerror(errno));
+      return Status::Unavailable(std::string("tcp recv failed: ") +
+                                 std::strerror(errno));
     }
   }
 
@@ -192,11 +240,20 @@ class TcpChannel : public ByteChannel {
   std::atomic<bool> closed_{false};
 };
 
+void SetNoDelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
 }  // namespace
 
-TransportPair MakePipeTransport(FaultPlan source_faults) {
-  auto forward = std::make_shared<PipeLane>();   // source -> replica
-  auto backward = std::make_shared<PipeLane>();  // replica -> source
+TransportPair MakePipeTransport(FaultPlan source_faults,
+                                size_t capacity_bytes) {
+  // source -> replica
+  auto forward = std::make_shared<PipeLane>(capacity_bytes);
+  // replica -> source: control frames are tiny; keep it unbounded so a
+  // capacity meant for data frames can't deadlock ack/hello traffic.
+  auto backward = std::make_shared<PipeLane>(0);
   TransportPair pair;
   pair.source = std::make_unique<PipeChannel>(forward, backward,
                                               std::move(source_faults));
@@ -204,53 +261,145 @@ TransportPair MakePipeTransport(FaultPlan source_faults) {
   return pair;
 }
 
-StatusOr<TransportPair> MakeTcpTransport() {
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) {
-    return Status::Internal("tcp transport: socket() failed");
+TcpListener::~TcpListener() {
+  Close();
+  ::close(fd_);
+}
+
+StatusOr<std::unique_ptr<TcpListener>> TcpListener::Bind(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal("tcp listener: socket() failed");
   }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // ephemeral
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listener, 1) < 0) {
-    ::close(listener);
-    return Status::Internal("tcp transport: bind/listen failed");
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 8) < 0) {
+    ::close(fd);
+    return Status::Unavailable("tcp listener: bind/listen failed on port " +
+                               std::to_string(port));
   }
   socklen_t addr_len = sizeof(addr);
-  if (::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &addr_len) <
-      0) {
-    ::close(listener);
-    return Status::Internal("tcp transport: getsockname failed");
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) < 0) {
+    ::close(fd);
+    return Status::Internal("tcp listener: getsockname failed");
   }
+  return std::unique_ptr<TcpListener>(
+      new TcpListener(fd, ntohs(addr.sin_port)));
+}
+
+StatusOr<std::unique_ptr<ByteChannel>> TcpListener::Accept(
+    uint64_t timeout_us) {
+  // Poll in short slices so a concurrent Close() is noticed promptly even
+  // on platforms where shutdown() on a listening socket doesn't wake poll.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_us);
+  while (true) {
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("tcp listener closed");
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return Status::DeadlineExceeded("tcp accept timed out after " +
+                                      std::to_string(timeout_us) + "us");
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    struct pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int slice_ms =
+        static_cast<int>(std::min<int64_t>(remaining.count() + 1, 50));
+    const int ready = ::poll(&pfd, 1, slice_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("tcp accept poll failed: ") +
+                              std::strerror(errno));
+    }
+    if (ready == 0) continue;
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (closed_.load(std::memory_order_acquire)) {
+        return Status::Unavailable("tcp listener closed");
+      }
+      return Status::Unavailable(std::string("tcp accept failed: ") +
+                                 std::strerror(errno));
+    }
+    SetNoDelay(conn);
+    return std::unique_ptr<ByteChannel>(new TcpChannel(conn));
+  }
+}
+
+void TcpListener::Close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+StatusOr<std::unique_ptr<ByteChannel>> TcpConnect(uint16_t port,
+                                                  uint64_t timeout_us) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal("tcp connect: socket() failed");
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
+      errno != EINPROGRESS) {
+    const int saved = errno;
+    ::close(fd);
+    return Status::Unavailable(std::string("tcp connect failed: ") +
+                               std::strerror(saved));
+  }
+  struct pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  const int timeout_ms = static_cast<int>(
+      std::min<uint64_t>(timeout_us / 1000 + 1, 1u << 30));
+  int ready;
+  do {
+    ready = ::poll(&pfd, 1, timeout_ms);
+  } while (ready < 0 && errno == EINTR);
+  if (ready <= 0) {
+    ::close(fd);
+    return Status::DeadlineExceeded("tcp connect timed out after " +
+                                    std::to_string(timeout_us) + "us");
+  }
+  int err = 0;
+  socklen_t err_len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0 || err != 0) {
+    ::close(fd);
+    return Status::Unavailable(std::string("tcp connect failed: ") +
+                               std::strerror(err != 0 ? err : errno));
+  }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking for the channel
+  SetNoDelay(fd);
+  return std::unique_ptr<ByteChannel>(new TcpChannel(fd));
+}
+
+StatusOr<TransportPair> MakeTcpTransport() {
+  auto listener_or = TcpListener::Bind(0);
+  if (!listener_or.ok()) return listener_or.status();
+  std::unique_ptr<TcpListener> listener = std::move(listener_or).value();
 
   // Loopback connect completes against the listen backlog without a
   // concurrent accept, so this stays single-threaded.
-  const int client = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (client < 0) {
-    ::close(listener);
-    return Status::Internal("tcp transport: client socket() failed");
-  }
-  if (::connect(client, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    ::close(listener);
-    ::close(client);
-    return Status::Internal("tcp transport: connect failed");
-  }
-  const int server = ::accept(listener, nullptr, nullptr);
-  ::close(listener);
-  if (server < 0) {
-    ::close(client);
-    return Status::Internal("tcp transport: accept failed");
-  }
-  const int one = 1;
-  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  ::setsockopt(server, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto client_or = TcpConnect(listener->port(), /*timeout_us=*/2'000'000);
+  if (!client_or.ok()) return client_or.status();
+  auto server_or = listener->Accept(/*timeout_us=*/2'000'000);
+  if (!server_or.ok()) return server_or.status();
 
   TransportPair pair;
-  pair.source = std::make_unique<TcpChannel>(server);
-  pair.replica = std::make_unique<TcpChannel>(client);
+  pair.source = std::move(server_or).value();
+  pair.replica = std::move(client_or).value();
   return pair;
 }
 

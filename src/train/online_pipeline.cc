@@ -61,14 +61,30 @@ StatusOr<OnlinePipelineResult> RunOnlinePipeline(
   std::unique_ptr<replicate::ReplicationSource> replication;
   std::vector<std::unique_ptr<replicate::ReplicaManager>> replicas;
   if (options.replica_count > 0) {
+    replicate::ReplicationSource::Options source_options;
+    source_options.send_queue_high_bytes = options.replica_queue_high_bytes;
+    source_options.send_queue_high_frames = options.replica_queue_high_frames;
+    source_options.delta_history_generations = options.replica_delta_history;
+    source_options.heartbeat_interval_us =
+        options.replica_heartbeat_interval_us;
+    source_options.liveness_timeout_us = options.replica_liveness_timeout_us;
     replication = std::make_unique<replicate::ReplicationSource>(
-        [&store_name, &context]() { return MakeStore(store_name, context); });
+        [&store_name, &context]() { return MakeStore(store_name, context); },
+        source_options);
     manager_options.payload_observer = replication->MakeObserver();
     for (size_t i = 0; i < options.replica_count; ++i) {
       replicate::TransportPair pair = replicate::MakePipeTransport();
       CAFE_RETURN_IF_ERROR(replication->AddReplica(std::move(pair.source)));
       replicate::ReplicaManager::Options replica_options;
       replica_options.name = "replica" + std::to_string(i);
+      if (!options.replica_durable_dir.empty()) {
+        replica_options.durable_dir =
+            options.replica_durable_dir + "/replica" + std::to_string(i);
+      }
+      replica_options.heartbeat_interval_us =
+          options.replica_heartbeat_interval_us;
+      replica_options.liveness_timeout_us =
+          options.replica_liveness_timeout_us;
       replicas.push_back(std::make_unique<replicate::ReplicaManager>(
           [&store_name, &context]() { return MakeStore(store_name, context); },
           std::move(pair.replica), replica_options));

@@ -62,6 +62,25 @@ struct OnlinePipelineOptions {
   /// How long the tail waits for each replica to catch up to the final
   /// generation before giving up with an error.
   uint64_t replica_wait_us = 10000000;
+  /// Non-empty: each replica keeps a durable applied-state ledger under
+  /// <replica_durable_dir>/replica<i> and rejoins from it after a restart
+  /// (kHello carries the restored generation; the source serves only the
+  /// deltas since, when its history ring still covers them).
+  std::string replica_durable_dir;
+  /// Source-side flow control: per-link send-queue high watermarks.
+  /// Crossing either marks the link stale — deltas stop enqueuing and the
+  /// link rejoins via a fresh base once its queue drains — so source
+  /// memory stays O(watermark x replicas) under any consumer speed.
+  uint64_t replica_queue_high_bytes = 256ull << 20;
+  uint64_t replica_queue_high_frames = 1024;
+  /// Encoded delta generations the source retains for hello(G) catch-up
+  /// (0 = every rejoin gets a full base).
+  uint64_t replica_delta_history = 64;
+  /// Heartbeat period for BOTH ends of every link (0 = no heartbeats or
+  /// liveness timeouts; the transports report death themselves).
+  uint64_t replica_heartbeat_interval_us = 0;
+  /// Liveness window: each end severs a link silent past this (0 = never).
+  uint64_t replica_liveness_timeout_us = 0;
 
   /// Telemetry. stats_port >= 0 serves the metrics registry live over
   /// loopback HTTP for the whole run (obs::StatsEndpoint; 0 binds an

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <memory>
@@ -20,6 +21,8 @@
 #include "common/zipf.h"
 #include "data/synthetic.h"
 #include "io/serialize.h"
+#include "replicate/durable_log.h"
+#include "replicate/fault_injector.h"
 #include "replicate/frame.h"
 #include "replicate/replica_manager.h"
 #include "replicate/replication_source.h"
@@ -255,12 +258,13 @@ TEST(FrameCodecTest, AuxRoundTripAndTrailingBytesRejected) {
 /// is deterministic; the replica side applies asynchronously.
 class ReplicationRig {
  public:
-  ReplicationRig(const std::string& store_name, double cr)
+  ReplicationRig(const std::string& store_name, double cr,
+                 ReplicationSource::Options source_options = {})
       : name_(store_name), context_(MakeContext(cr)), stream_(777) {
     auto live = MakeStore(name_, context_);
     EXPECT_TRUE(live.ok()) << live.status().ToString();
     live_ = std::move(live).value();
-    source_ = std::make_unique<ReplicationSource>(Factory());
+    source_ = std::make_unique<ReplicationSource>(Factory(), source_options);
     SnapshotManager::Options options;
     options.incremental = true;
     options.payload_observer = source_->MakeObserver();
@@ -280,10 +284,15 @@ class ReplicationRig {
   }
 
   ReplicaManager* AddReplicaOnTransport(TransportPair pair) {
-    const Status added = source_->AddReplica(std::move(pair.source));
-    EXPECT_TRUE(added.ok()) << added.ToString();
     ReplicaManager::Options options;
     options.name = "test_replica" + std::to_string(replicas_.size());
+    return AddReplicaOnTransport(std::move(pair), options);
+  }
+
+  ReplicaManager* AddReplicaOnTransport(TransportPair pair,
+                                        ReplicaManager::Options options) {
+    const Status added = source_->AddReplica(std::move(pair.source));
+    EXPECT_TRUE(added.ok()) << added.ToString();
     replicas_.push_back(std::make_unique<ReplicaManager>(
         Factory(), std::move(pair.replica), options));
     const Status started = replicas_.back()->Start();
@@ -562,6 +571,388 @@ TEST(ReplicationLifecycleTest, SourceTracksPerReplicaLag) {
 }
 
 // ---------------------------------------------------------------------------
+// Typed transport statuses: flow control and the reconnect loop decide
+// retry-vs-give-up from these codes, so they are contract, not detail.
+// ---------------------------------------------------------------------------
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  EXPECT_TRUE(io::EnsureDirectory(dir).ok());
+  auto names = io::ListDirectory(dir);
+  if (names.ok()) {
+    for (const std::string& file : *names) {
+      (void)io::RemoveFile(dir + "/" + file);
+    }
+  }
+  return dir;
+}
+
+TEST(TransportStatusTest, PipeWriteAfterCloseIsUnavailable) {
+  TransportPair pair = MakePipeTransport();
+  pair.replica->Close();
+  const char byte = 'x';
+  const Status status = pair.source->Write(&byte, 1);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status.ToString();
+}
+
+TEST(TransportStatusTest, BoundedPipeBlocksOnCapacityAndUnblocksOnClose) {
+  TransportPair pair = MakePipeTransport({}, 1024);
+  const std::string chunk(800, 'x');
+  ASSERT_TRUE(pair.source->Write(chunk.data(), chunk.size()).ok());
+
+  // The second write exceeds capacity: it must BLOCK (not fail) until the
+  // reader drains space.
+  std::atomic<bool> second_done{false};
+  std::thread writer([&] {
+    EXPECT_TRUE(pair.source->Write(chunk.data(), chunk.size()).ok());
+    second_done.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_done.load(std::memory_order_acquire));
+  char buf[4096];
+  size_t drained = 0;
+  while (drained < 2 * chunk.size()) {
+    auto n = pair.replica->Read(buf, sizeof(buf));
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    ASSERT_GT(*n, 0u);
+    drained += *n;
+  }
+  writer.join();
+  EXPECT_TRUE(second_done.load(std::memory_order_acquire));
+
+  // A writer blocked on capacity must be UNBLOCKED by Close — with the
+  // typed verdict — not deadlocked.
+  ASSERT_TRUE(pair.source->Write(chunk.data(), chunk.size()).ok());
+  std::thread blocked([&] {
+    const Status status = pair.source->Write(chunk.data(), chunk.size());
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status.ToString();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  pair.replica->Close();
+  blocked.join();
+}
+
+TEST(TransportStatusTest, TcpAcceptTimesOutAndRefusedConnectIsUnavailable) {
+  auto listener = replicate::TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const uint16_t port = (*listener)->port();
+
+  auto accepted = (*listener)->Accept(30000);  // nobody dials
+  ASSERT_FALSE(accepted.ok());
+  EXPECT_EQ(accepted.status().code(), StatusCode::kDeadlineExceeded)
+      << accepted.status().ToString();
+
+  (*listener)->Close();
+  auto dial = replicate::TcpConnect(port, 1000000);  // nobody listens now
+  ASSERT_FALSE(dial.ok());
+  EXPECT_EQ(dial.status().code(), StatusCode::kUnavailable)
+      << dial.status().ToString();
+}
+
+TEST(TransportStatusTest, TcpListenerServesARedialOnTheSamePort) {
+  auto listener = replicate::TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const uint16_t port = (*listener)->port();
+  for (int round = 0; round < 2; ++round) {
+    auto dial = replicate::TcpConnect(port, 2000000);
+    ASSERT_TRUE(dial.ok()) << dial.status().ToString();
+    auto accepted = (*listener)->Accept(2000000);
+    ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+    const std::string ping = "ping" + std::to_string(round);
+    ASSERT_TRUE((*dial)->Write(ping.data(), ping.size()).ok());
+    char buf[16];
+    auto n = (*accepted)->Read(buf, sizeof(buf));
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    EXPECT_EQ(std::string(buf, *n), ping);
+    (*dial)->Close();
+    (*accepted)->Close();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Durable ledger.
+// ---------------------------------------------------------------------------
+
+TEST(DurableLogTest, LoadRestoresTheNewestValidChainAndPrunesDamage) {
+  const std::string dir = FreshDir("cafe_durable_log");
+  replicate::DurableReplicaLog log(dir);
+  ASSERT_TRUE(log.Init().ok());
+  EXPECT_EQ(log.Load().status().code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(log.AppendBase(MakeDataFrame(FrameKind::kBase, 3, 64, 'b')).ok());
+  for (uint64_t g = 4; g <= 7; ++g) {
+    ASSERT_TRUE(
+        log.AppendDelta(MakeDataFrame(FrameKind::kDelta, g, 32, 'd')).ok());
+  }
+  EXPECT_EQ(log.delta_count(), 4u);
+
+  // Bit-rot generation 6 on disk: the restored chain must stop at 5 (the
+  // wire fingerprint doubles as the at-rest integrity check) and the
+  // unusable tail must be pruned.
+  ASSERT_TRUE(io::WriteFileAtomic(dir + "/delta-00000000000000000006.frame",
+                                  "not a frame")
+                  .ok());
+  replicate::DurableReplicaLog reload(dir);
+  ASSERT_TRUE(reload.Init().ok());
+  auto restored = reload.Load();
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->generation, 5u);
+  ASSERT_EQ(restored->frames.size(), 3u);  // base 3 + deltas 4, 5
+  EXPECT_EQ(restored->frames.front().kind, FrameKind::kBase);
+  EXPECT_EQ(restored->frames.front().generation, 3u);
+  EXPECT_EQ(restored->frames.back().generation, 5u);
+
+  // A newer base subsumes the chain: only it (and a same-gen aux) survive.
+  ASSERT_TRUE(
+      reload.AppendBase(MakeDataFrame(FrameKind::kBase, 9, 64, 'B')).ok());
+  EXPECT_EQ(reload.delta_count(), 0u);
+  replicate::DurableReplicaLog compacted(dir);
+  ASSERT_TRUE(compacted.Init().ok());
+  auto after = compacted.Load();
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->generation, 9u);
+  ASSERT_EQ(after->frames.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Durable rejoin: kill the replica at EVERY generation, restart it from its
+// ledger, and check the rejoin path the source chose (delta catch-up from
+// the history ring when it covers the gap, one full base otherwise).
+// ---------------------------------------------------------------------------
+
+TEST(ReplicaRejoinTest, KillAtEveryGenerationRejoinsViaDeltaOrBase) {
+  constexpr uint64_t kHead = 6;  // generations cut while the replica is down
+  constexpr uint64_t kRing = 2;  // delta history covers rejoins at kHead-2+
+  for (uint64_t kill_at = 1; kill_at <= kHead; ++kill_at) {
+    SCOPED_TRACE("killed at generation " + std::to_string(kill_at));
+    ReplicationSource::Options source_options;
+    source_options.delta_history_generations = kRing;
+    ReplicationRig rig("cafe", 20.0, source_options);
+    ReplicaManager::Options options;
+    options.name = "rejoin_replica";
+    options.durable_dir =
+        FreshDir("cafe_rejoin_k" + std::to_string(kill_at));
+    ReplicaManager* replica =
+        rig.AddReplicaOnTransport(MakePipeTransport(), options);
+
+    rig.TrainAndCut(5);  // generation 1: the base
+    ASSERT_TRUE(replica->WaitForGeneration(1, kWaitUs).ok());
+    for (uint64_t g = 2; g <= kill_at; ++g) rig.TrainAndCut(5);
+    ASSERT_TRUE(replica->WaitForGeneration(kill_at, kWaitUs).ok());
+    replica->Shutdown();  // kill; the ledger survives
+
+    for (uint64_t g = kill_at + 1; g <= kHead; ++g) rig.TrainAndCut(5);
+
+    // Restart from the same ledger over a fresh transport. Serving resumes
+    // at the restored generation BEFORE the link carries a byte.
+    ReplicaManager* rejoined =
+        rig.AddReplicaOnTransport(MakePipeTransport(), options);
+    ASSERT_TRUE(rejoined->WaitForGeneration(kHead, kWaitUs).ok());
+    rig.TrainAndCut(5);  // one more delta rides the re-established chain
+    rig.ExpectReplicaByteIdentical(rejoined, "rejoined replica");
+
+    const ReplicaManager::Stats stats = rejoined->stats();
+    EXPECT_EQ(stats.restores, 1u);
+    EXPECT_EQ(stats.restored_generation, kill_at);
+    EXPECT_EQ(stats.resyncs_requested, 0u);
+    if (kill_at >= kHead - kRing) {
+      // Inside the ring: catch-up is pure deltas — no base shipped.
+      EXPECT_EQ(stats.bases_applied, 0u);
+      EXPECT_EQ(stats.deltas_applied, kHead + 1 - kill_at);
+      const ReplicationSource::Stats source_stats = rig.source()->stats();
+      EXPECT_GE(source_stats.delta_catchups, 1u);
+    } else {
+      // Older than the ring: one full base at the head, then deltas.
+      EXPECT_EQ(stats.bases_applied, 1u);
+      EXPECT_EQ(stats.deltas_applied, 1u);
+    }
+    EXPECT_TRUE(stats.fatal.ok()) << stats.fatal.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flow control: a stalled consumer must cost bounded source memory, then
+// re-enter through the rebase path once it drains.
+// ---------------------------------------------------------------------------
+
+TEST(FlowControlTest, StalledConsumerKeepsSourceMemoryBoundedThenRebases) {
+  ReplicationSource::Options source_options;
+  source_options.send_queue_high_bytes = 64ull << 10;
+  source_options.send_queue_high_frames = 4;
+  ReplicationRig rig("cafe", 20.0, source_options);
+
+  TransportPair pair = MakePipeTransport();
+  auto faulty =
+      std::make_unique<replicate::FaultyChannel>(std::move(pair.source));
+  replicate::FaultyChannel* stall = faulty.get();
+  pair.source = std::move(faulty);
+  ReplicaManager* replica = rig.AddReplicaOnTransport(std::move(pair));
+
+  rig.TrainAndCut(5);
+  ASSERT_TRUE(replica->WaitForGeneration(1, kWaitUs).ok());
+
+  // Stall the consumer, then keep publishing. Publish must never block,
+  // and the link's queue must cap at the watermark — NOT buffer the run.
+  stall->SetStalled(true);
+  for (int k = 0; k < 12; ++k) rig.TrainAndCut(3);  // generations 2-13
+
+  const ReplicationSource::Stats stalled = rig.source()->stats();
+  ASSERT_EQ(stalled.replicas.size(), 1u);
+  EXPECT_GE(stalled.replicas[0].queue_overflows, 1u);
+  EXPECT_TRUE(stalled.replicas[0].stale);
+  EXPECT_LE(stalled.replicas[0].send_queue_frames,
+            source_options.send_queue_high_frames);
+  EXPECT_LE(stalled.replicas[0].send_queue_bytes,
+            source_options.send_queue_high_bytes);
+  EXPECT_GE(stalled.queue_overflows, 1u);
+
+  // A stalled consumer is lag: the wait times out with the typed code.
+  const Status timeout = replica->WaitForGeneration(13, 50000);
+  EXPECT_EQ(timeout.code(), StatusCode::kDeadlineExceeded)
+      << timeout.ToString();
+
+  // Unstall: the bounded backlog drains, then the stale link re-enters
+  // through a fresh base at the head (the same path a kResync takes) —
+  // never by replaying the unbounded middle.
+  stall->SetStalled(false);
+  rig.TrainAndCut(3);  // generation 14
+  rig.ExpectReplicaByteIdentical(replica, "unstalled replica");
+
+  const ReplicaManager::Stats stats = replica->stats();
+  EXPECT_EQ(stats.bases_applied, 2u);  // initial sync + post-stall rebase
+  EXPECT_EQ(stats.resyncs_requested, 0u);
+  EXPECT_TRUE(stats.fatal.ok()) << stats.fatal.ToString();
+  const ReplicationSource::Stats after = rig.source()->stats();
+  EXPECT_FALSE(after.replicas[0].stale);
+  EXPECT_EQ(after.replicas[0].base_resyncs, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Reconnect and liveness.
+// ---------------------------------------------------------------------------
+
+TEST(ReconnectTest, DeadLinkRedialsWithBackoffAndCatchesUpOnDeltas) {
+  ReplicationSource::Options source_options;
+  source_options.delta_history_generations = 8;
+  ReplicationRig rig("cafe", 20.0, source_options);
+
+  TransportPair pair = MakePipeTransport();
+  ByteChannel* sever = pair.replica.get();
+  std::atomic<uint32_t> dials{0};
+  ReplicaManager::Options options;
+  options.name = "redial_replica";
+  options.reconnect_backoff_initial_us = 2000;
+  options.reconnect = [&rig, &dials]()
+      -> StatusOr<std::unique_ptr<ByteChannel>> {
+    // First dial fails retriably (the "source still restarting" case): the
+    // backoff loop must try again instead of giving up.
+    if (dials.fetch_add(1, std::memory_order_acq_rel) == 0) {
+      return Status::Unavailable("connection refused");
+    }
+    TransportPair fresh = MakePipeTransport();
+    CAFE_RETURN_IF_ERROR(rig.source()->AddReplica(std::move(fresh.source)));
+    return std::move(fresh.replica);
+  };
+  ReplicaManager* replica = rig.AddReplicaOnTransport(std::move(pair), options);
+
+  rig.TrainAndCut(5);
+  ASSERT_TRUE(replica->WaitForGeneration(1, kWaitUs).ok());
+  rig.TrainAndCut(5);
+  rig.TrainAndCut(5);
+  ASSERT_TRUE(replica->WaitForGeneration(3, kWaitUs).ok());
+
+  sever->Close();  // the link dies under the replica mid-run
+
+  rig.TrainAndCut(5);
+  rig.TrainAndCut(5);  // generations 4-5 ride the replacement link
+  rig.ExpectReplicaByteIdentical(replica, "redialed replica");
+
+  const ReplicaManager::Stats stats = replica->stats();
+  EXPECT_GE(stats.reconnects, 1u);
+  EXPECT_GE(dials.load(std::memory_order_acquire), 2u);
+  // The rejoin handshake resumed the delta chain: no second base.
+  EXPECT_EQ(stats.bases_applied, 1u);
+  EXPECT_EQ(stats.deltas_applied, 4u);
+  EXPECT_TRUE(stats.fatal.ok()) << stats.fatal.ToString();
+}
+
+TEST(LivenessTest, SourcePrunesSilentLinksWhileHeartbeatersStayAlive) {
+  ReplicationSource::Options source_options;
+  source_options.heartbeat_interval_us = 20000;
+  source_options.liveness_timeout_us = 150000;
+  ReplicationRig rig("cafe", 20.0, source_options);
+
+  ReplicaManager::Options heartbeat_options;
+  heartbeat_options.name = "hb_replica";
+  heartbeat_options.heartbeat_interval_us = 20000;
+  ReplicaManager* heartbeater =
+      rig.AddReplicaOnTransport(MakePipeTransport(), heartbeat_options);
+  ReplicaManager::Options silent_options;
+  silent_options.name = "silent_replica";
+  ReplicaManager* silent =
+      rig.AddReplicaOnTransport(MakePipeTransport(), silent_options);
+
+  rig.TrainAndCut(5);
+  ASSERT_TRUE(heartbeater->WaitForGeneration(1, kWaitUs).ok());
+  ASSERT_TRUE(silent->WaitForGeneration(1, kWaitUs).ok());
+
+  // Idle past the liveness window: the silent replica acks nothing more,
+  // so its link must be pruned; the heartbeater's stays up.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(kWaitUs);
+  ReplicationSource::Stats stats = rig.source()->stats();
+  while (stats.links_pruned < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    stats = rig.source()->stats();
+  }
+  EXPECT_EQ(stats.links_pruned, 1u);
+  ASSERT_EQ(stats.replicas.size(), 2u);
+  EXPECT_TRUE(stats.replicas[0].alive);
+  EXPECT_FALSE(stats.replicas[1].alive);
+  // The live replica heard the source's heartbeats too.
+  EXPECT_GT(heartbeater->stats().heartbeats_received, 0u);
+}
+
+TEST(LivenessTest, ReplicaWatchdogSeversASilentSourceAndRedials) {
+  ReplicationRig rig("cafe", 20.0);  // source never heartbeats
+  std::atomic<uint32_t> dials{0};
+  ReplicaManager::Options options;
+  options.name = "watchdog_replica";
+  options.heartbeat_interval_us = 20000;
+  options.liveness_timeout_us = 120000;
+  options.reconnect_backoff_initial_us = 2000;
+  options.reconnect = [&rig, &dials]()
+      -> StatusOr<std::unique_ptr<ByteChannel>> {
+    dials.fetch_add(1, std::memory_order_acq_rel);
+    TransportPair fresh = MakePipeTransport();
+    CAFE_RETURN_IF_ERROR(rig.source()->AddReplica(std::move(fresh.source)));
+    return std::move(fresh.replica);
+  };
+  ReplicaManager* replica =
+      rig.AddReplicaOnTransport(MakePipeTransport(), options);
+
+  rig.TrainAndCut(5);
+  ASSERT_TRUE(replica->WaitForGeneration(1, kWaitUs).ok());
+
+  // The source goes silent (no cuts, no heartbeats): the replica's
+  // watchdog must sever the half-dead link and redial on its own.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(kWaitUs);
+  while (replica->stats().reconnects < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(replica->stats().reconnects, 1u);
+  EXPECT_GE(dials.load(std::memory_order_acquire), 1u);
+
+  // The replacement link carries the next generation.
+  rig.TrainAndCut(5);
+  rig.ExpectReplicaByteIdentical(replica, "watchdog redial");
+  EXPECT_TRUE(replica->stats().fatal.ok());
+}
+
+// ---------------------------------------------------------------------------
 // Stream-while-train: the full online pipeline with replicas attached.
 // This is the concurrent TSan workload — trainer, rollout thread, serving
 // workers, source reader threads, and two replica apply threads all live.
@@ -597,6 +988,13 @@ TEST(ReplicatedPipelineTest, StreamWhileTrainReachesTheFinalGeneration) {
   options.snapshot_interval = 8;
   options.incremental_snapshots = true;
   options.replica_count = 2;
+  // Fresh the per-replica subdirs too: the pipeline writes each ledger
+  // under <dir>/replica<i>, and a stale ledger would turn this cold join
+  // into a restore.
+  options.replica_durable_dir = FreshDir("cafe_pipeline_durable");
+  FreshDir("cafe_pipeline_durable/replica0");
+  FreshDir("cafe_pipeline_durable/replica1");
+  options.replica_heartbeat_interval_us = 20000;
   options.server.num_workers = 2;
   options.server.max_batch = 64;
   options.server.max_wait_us = 100;
@@ -625,6 +1023,10 @@ TEST(ReplicatedPipelineTest, StreamWhileTrainReachesTheFinalGeneration) {
     EXPECT_EQ(stats.corrupt_frames, 0u) << "replica " << i;
     EXPECT_EQ(stats.gap_frames, 0u) << "replica " << i;
     EXPECT_EQ(stats.resyncs_requested, 0u) << "replica " << i;
+    // Fresh durable dirs: this run is a cold join that leaves a ledger
+    // behind, with no write failures along the way.
+    EXPECT_EQ(stats.restores, 0u) << "replica " << i;
+    EXPECT_EQ(stats.durable_persist_failures, 0u) << "replica " << i;
     EXPECT_TRUE(stats.fatal.ok()) << "replica " << i << ": "
                                   << stats.fatal.ToString();
   }
