@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/prefetch.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "obs/trace.h"
 
@@ -162,8 +163,8 @@ void CafeEmbedding::ResolveUniqueRows(const BatchDeduper& dedup,
   const std::vector<uint64_t>& unique = dedup.unique_ids();
   rows->resize(num_unique);
   for (size_t u = 0; u < num_unique; ++u) {
-    if (u + kPrefetchDistance < num_unique) {
-      sketch_.PrefetchBucket(unique[u + kPrefetchDistance]);
+    if (u + PrefetchDistance() < num_unique) {
+      sketch_.PrefetchBucket(unique[u + PrefetchDistance()]);
     }
     const uint64_t id = unique[u];
     const HotSketch::Slot* slot = sketch_.Find(id);
@@ -199,8 +200,8 @@ void CafeEmbedding::MaterializeUniqueRows(const BatchDeduper& dedup,
   const uint32_t d = config_.embedding.dim;
   const size_t num_unique = dedup.num_unique();
   for (size_t u = 0; u < num_unique; ++u) {
-    if (u + kPrefetchDistance < num_unique) {
-      const ResolvedRow& ahead = rows[u + kPrefetchDistance];
+    if (u + PrefetchDistance() < num_unique) {
+      const ResolvedRow& ahead = rows[u + PrefetchDistance()];
       PrefetchRead(ahead.a);
       if (ahead.b != nullptr) PrefetchRead(ahead.b);
     }
@@ -208,9 +209,9 @@ void CafeEmbedding::MaterializeUniqueRows(const BatchDeduper& dedup,
     float* dst =
         out + static_cast<size_t>(dedup.first_occurrence(u)) * out_stride;
     if (resolved.b == nullptr) {
-      embed_internal::CopyRow(dst, resolved.a, d);
+      simd::CopyRow(dst, resolved.a, d);
     } else {
-      for (uint32_t k = 0; k < d; ++k) dst[k] = resolved.a[k] + resolved.b[k];
+      simd::AddRows(dst, resolved.a, resolved.b, d);
     }
   }
   dedup.ReplicateRows(out, n, d, out_stride);
@@ -236,8 +237,8 @@ void CafeEmbedding::LookupBatchConst(const uint64_t* ids, size_t n, float* out,
     // Mostly-unique batch: direct scalar resolve, sketch bucket prefetched
     // ahead (same abandon heuristic as the training path).
     for (size_t i = 0; i < n; ++i) {
-      if (i + kPrefetchDistance < n) {
-        sketch_.PrefetchBucket(ids[i + kPrefetchDistance]);
+      if (i + PrefetchDistance() < n) {
+        sketch_.PrefetchBucket(ids[i + PrefetchDistance()]);
       }
       LookupConst(ids[i], out + i * out_stride);
     }
@@ -260,8 +261,8 @@ void CafeEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
   // for a scratch table they would not reuse.
   if (!dedup_.BuildAdaptive(ids, n)) {
     for (size_t i = 0; i < n; ++i) {
-      if (i + kPrefetchDistance < n) {
-        sketch_.PrefetchBucket(ids[i + kPrefetchDistance]);
+      if (i + PrefetchDistance() < n) {
+        sketch_.PrefetchBucket(ids[i + PrefetchDistance()]);
       }
       LookupOne(ids[i], out + i * out_stride, 1);
     }
@@ -270,9 +271,9 @@ void CafeEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
 
   // Resolve and materialize run as separate passes so the two DEPENDENT
   // memory accesses of a cafe lookup — sketch bucket, then embedding row —
-  // never serialize: pass 1 probes buckets (prefetched kPrefetchDistance
+  // never serialize: pass 1 probes buckets (prefetched PrefetchDistance()
   // ahead) and only records row addresses; pass 2 copies rows (again
-  // prefetched kPrefetchDistance ahead). The scalar path eats the full
+  // prefetched PrefetchDistance() ahead). The scalar path eats the full
   // bucket-then-row latency chain on every call.
   const PathStats before = lookup_stats_;
   ResolveUniqueRows(dedup_, &row_ptr_scratch_, &lookup_stats_);
@@ -373,8 +374,8 @@ void CafeEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
   }
   const std::vector<uint64_t>& unique = dedup_.unique_ids();
   for (size_t u = 0; u < num_unique; ++u) {
-    if (u + kPrefetchDistance < num_unique) {
-      sketch_.PrefetchBucket(unique[u + kPrefetchDistance]);
+    if (u + PrefetchDistance() < num_unique) {
+      sketch_.PrefetchBucket(unique[u + PrefetchDistance()]);
     }
     ApplyGradientOne(unique[u], grad_accum_.data() + u * d, lr,
                      importance_accum_[u]);
@@ -452,8 +453,8 @@ void CafeEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
   deferred_ops_.clear();
   const std::vector<uint64_t>& unique = dedup_.unique_ids();
   for (size_t u = 0; u < num_unique; ++u) {
-    if (u + kPrefetchDistance < num_unique) {
-      sketch_.PrefetchBucket(unique[u + kPrefetchDistance]);
+    if (u + PrefetchDistance() < num_unique) {
+      sketch_.PrefetchBucket(unique[u + PrefetchDistance()]);
     }
     ApplyGradientOne(unique[u], grad_accum_.data() + u * d, lr,
                      importance_accum_[u], static_cast<int64_t>(u));
@@ -470,15 +471,15 @@ void CafeEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
     for (size_t i = 0; i < num_ops; ++i) {
       const DeferredOp& op = deferred_ops_[i];
       if (op.applied || ShardOfRow(op.row, num_shards) != shard) continue;
-      if (i + kPrefetchDistance < num_ops) {
-        const DeferredOp& ahead = deferred_ops_[i + kPrefetchDistance];
+      if (i + PrefetchDistance() < num_ops) {
+        const DeferredOp& ahead = deferred_ops_[i + PrefetchDistance()];
         if (!ahead.applied && ShardOfRow(ahead.row, num_shards) == shard) {
           PrefetchWrite(RowAtGlobal(ahead.row));
         }
       }
       float* dst = RowAtGlobal(op.row);
       const float* g = grad_accum_.data() + static_cast<size_t>(op.u) * d;
-      for (uint32_t k = 0; k < d; ++k) dst[k] -= lr * g[k];
+      simd::AxpyNeg(dst, g, d, lr);
     }
   });
   scatter_timer.Finish();
@@ -546,7 +547,7 @@ void CafeEmbedding::ApplyGradientOne(uint64_t id, const float* grad, float lr,
     }
     float* row =
         hot_table_.data() + static_cast<size_t>(slot->payload) * d;
-    for (uint32_t i = 0; i < d; ++i) row[i] -= lr * grad[i];
+    simd::AxpyNeg(row, grad, d, lr);
     return;
   }
   const uint64_t row_a = hash_a_.Bounded(id, plan_.shared_rows_a);
@@ -565,16 +566,16 @@ void CafeEmbedding::ApplyGradientOne(uint64_t id, const float* grad, float lr,
       return;
     }
     float* b = shared_b_.data() + row_b * d;
-    for (uint32_t i = 0; i < d; ++i) {
-      a[i] -= lr * grad[i];
-      b[i] -= lr * grad[i];
-    }
+    // The two pooled rows never alias (separate arrays), so the interleaved
+    // update splits into two axpy passes with the same per-element rounding.
+    simd::AxpyNeg(a, grad, d, lr);
+    simd::AxpyNeg(b, grad, d, lr);
   } else {
     if (defer_u >= 0) {
       DeferOp(plan_.hot_capacity + row_a, static_cast<uint32_t>(defer_u));
       return;
     }
-    for (uint32_t i = 0; i < d; ++i) a[i] -= lr * grad[i];
+    simd::AxpyNeg(a, grad, d, lr);
   }
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/prefetch.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace cafe {
@@ -40,8 +41,8 @@ AdaEmbedding::AdaEmbedding(const EmbeddingConfig& config,
       rng_(config.seed ^ 0xadaULL),
       scores_(config.total_features, 0.0f),
       row_of_(config.total_features, -1),
-      owner_of_(num_rows, 0),
-      table_(num_rows * config.dim, 0.0f) {
+      owner_of_(num_rows, 0) {
+  pool_.Reset(num_rows, config.dim);
   free_rows_.reserve(num_rows);
   for (uint64_t r = num_rows; r-- > 0;) {
     free_rows_.push_back(static_cast<int32_t>(r));
@@ -62,7 +63,7 @@ void AdaEmbedding::LookupConst(uint64_t id, float* out) const {
     std::memset(out, 0, config_.dim * sizeof(float));
     return;
   }
-  std::memcpy(out, table_.data() + static_cast<size_t>(row) * config_.dim,
+  std::memcpy(out, pool_.Row(static_cast<uint64_t>(row)),
               config_.dim * sizeof(float));
 }
 
@@ -70,23 +71,23 @@ void AdaEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
                                size_t out_stride) {
   Obs().RecordLookup(n);
   const uint32_t d = config_.dim;
-  const float* table = table_.data();
   row_scratch_.resize(n);
   for (size_t i = 0; i < n; ++i) {
     CAFE_DCHECK(ids[i] < config_.total_features);
     row_scratch_[i] = row_of_[ids[i]];
   }
+  const size_t pf = PrefetchDistance();
   for (size_t i = 0; i < n; ++i) {
-    if (i + kPrefetchDistance < n) {
-      const int64_t ahead = row_scratch_[i + kPrefetchDistance];
-      if (ahead >= 0) PrefetchRead(table + static_cast<size_t>(ahead) * d);
+    if (i + pf < n) {
+      const int64_t ahead = row_scratch_[i + pf];
+      if (ahead >= 0) PrefetchRead(pool_.Row(static_cast<uint64_t>(ahead)));
     }
     const int64_t row = row_scratch_[i];
     if (row < 0) {
       std::memset(out + i * out_stride, 0, d * sizeof(float));
     } else {
-      embed_internal::CopyRow(out + i * out_stride,
-                              table + static_cast<size_t>(row) * d, d);
+      simd::CopyRow(out + i * out_stride, pool_.Row(static_cast<uint64_t>(row)),
+                    d);
     }
   }
 }
@@ -96,19 +97,19 @@ void AdaEmbedding::LookupBatchConst(const uint64_t* ids, size_t n, float* out,
   // Scratch-free serving path: the row-index array is itself the prefetch
   // target one step ahead, then the row a second read resolves.
   const uint32_t d = config_.dim;
-  const float* table = table_.data();
+  const size_t pf = PrefetchDistance();
   for (size_t i = 0; i < n; ++i) {
-    if (i + kPrefetchDistance < n) {
-      const int32_t ahead = row_of_[ids[i + kPrefetchDistance]];
-      if (ahead >= 0) PrefetchRead(table + static_cast<size_t>(ahead) * d);
+    if (i + pf < n) {
+      const int32_t ahead = row_of_[ids[i + pf]];
+      if (ahead >= 0) PrefetchRead(pool_.Row(static_cast<uint64_t>(ahead)));
     }
     CAFE_DCHECK(ids[i] < config_.total_features);
     const int32_t row = row_of_[ids[i]];
     if (row < 0) {
       std::memset(out + i * out_stride, 0, d * sizeof(float));
     } else {
-      embed_internal::CopyRow(out + i * out_stride,
-                              table + static_cast<size_t>(row) * d, d);
+      simd::CopyRow(out + i * out_stride, pool_.Row(static_cast<uint64_t>(row)),
+                    d);
     }
   }
 }
@@ -130,14 +131,15 @@ void AdaEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
   dedup_.AccumulateRows(grads, n, d, grad_stride, clip, &grad_accum_);
   dedup_.AccumulateNorms(grads, n, d, grad_stride, clip, &importance_accum_);
   const size_t num_unique = dedup_.num_unique();
+  const size_t pf = PrefetchDistance();
   for (size_t u = 0; u < num_unique; ++u) {
     // Scatter-side prefetch: ApplyOne's SGD lands on row_of_[id], known up
     // front for already-allocated ids (a stale or -1 read ahead is just a
     // skipped hint — cold-start claims mid-stream cannot hurt correctness).
-    if (u + kPrefetchDistance < num_unique) {
-      const int32_t ahead = row_of_[dedup_.unique_id(u + kPrefetchDistance)];
+    if (u + pf < num_unique) {
+      const int32_t ahead = row_of_[dedup_.unique_id(u + pf)];
       if (ahead >= 0) {
-        PrefetchWrite(table_.data() + static_cast<size_t>(ahead) * d);
+        PrefetchWrite(pool_.Row(static_cast<uint64_t>(ahead)));
       }
     }
     ApplyOne(dedup_.unique_id(u), grad_accum_.data() + u * d, lr,
@@ -201,7 +203,7 @@ void AdaEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
       owner_of_[row] = id;
       ++allocated_count_;
       obs_admissions_->Add(1);
-      float* fresh = table_.data() + static_cast<size_t>(row) * d;
+      float* fresh = pool_.Row(static_cast<uint64_t>(row));
       for (uint32_t k = 0; k < d; ++k) {
         fresh[k] = rng_.UniformFloat(-bound, bound);
       }
@@ -210,14 +212,14 @@ void AdaEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
     row_scratch_[u] = row;
   }
 
-  float* table = table_.data();
+  const size_t pf = PrefetchDistance();
   pool->ParallelFor(num_shards, [&](uint32_t shard) {
     for (size_t u = 0; u < num_unique; ++u) {
-      if (u + kPrefetchDistance < num_unique) {
-        const int64_t ahead = row_scratch_[u + kPrefetchDistance];
+      if (u + pf < num_unique) {
+        const int64_t ahead = row_scratch_[u + pf];
         if (ahead >= 0 &&
             ShardOfRow(static_cast<uint64_t>(ahead), num_shards) == shard) {
-          PrefetchWrite(table + static_cast<size_t>(ahead) * d);
+          PrefetchWrite(pool_.Row(static_cast<uint64_t>(ahead)));
         }
       }
       const int64_t row = row_scratch_[u];
@@ -225,9 +227,8 @@ void AdaEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
           ShardOfRow(static_cast<uint64_t>(row), num_shards) != shard) {
         continue;
       }
-      float* values = table + static_cast<size_t>(row) * d;
-      const float* g = grad_accum_.data() + u * d;
-      for (uint32_t k = 0; k < d; ++k) values[k] -= lr * g[k];
+      simd::AxpyNeg(pool_.Row(static_cast<uint64_t>(row)),
+                    grad_accum_.data() + u * d, d, lr);
     }
   });
 }
@@ -253,15 +254,14 @@ void AdaEmbedding::ApplyOne(uint64_t id, const float* grad, float lr,
     owner_of_[row] = id;
     ++allocated_count_;
     obs_admissions_->Add(1);
-    float* fresh = table_.data() + static_cast<size_t>(row) * config_.dim;
+    float* fresh = pool_.Row(static_cast<uint64_t>(row));
     const float bound = embed_internal::InitBound(config_.dim);
     for (uint32_t i = 0; i < config_.dim; ++i) {
       fresh[i] = rng_.UniformFloat(-bound, bound);
     }
   }
   if (dirty_rows_.enabled()) dirty_rows_.Mark(static_cast<uint64_t>(row));
-  float* values = table_.data() + static_cast<size_t>(row) * config_.dim;
-  for (uint32_t i = 0; i < config_.dim; ++i) values[i] -= lr * grad[i];
+  simd::AxpyNeg(pool_.Row(static_cast<uint64_t>(row)), grad, config_.dim, lr);
 }
 
 void AdaEmbedding::Tick() {
@@ -340,7 +340,7 @@ void AdaEmbedding::Reallocate() {
       dirty_features_.Mark(f);
       dirty_rows_.Mark(static_cast<uint64_t>(row));
     }
-    float* values = table_.data() + static_cast<size_t>(row) * config_.dim;
+    float* values = pool_.Row(static_cast<uint64_t>(row));
     for (uint32_t i = 0; i < config_.dim; ++i) {
       values[i] = rng_.UniformFloat(-bound, bound);
     }
@@ -361,7 +361,7 @@ Status AdaEmbedding::SaveState(io::Writer* writer) const {
   writer->WriteVec(row_of_);
   writer->WriteVec(owner_of_);
   writer->WriteVec(free_rows_);
-  writer->WriteVec(table_);
+  pool_.Save(writer);
   return Status::OK();
 }
 
@@ -391,7 +391,7 @@ Status AdaEmbedding::LoadState(io::Reader* reader) {
   if (free_rows_.size() > num_rows_) {
     return Status::FailedPrecondition("ada embedding: corrupt free-row list");
   }
-  return reader->ReadVecExpected(&table_, table_.size(), "ada table");
+  return pool_.Load(reader, "ada table");
 }
 
 Status AdaEmbedding::EnableDirtyTracking(bool enable) {
@@ -443,8 +443,7 @@ Status AdaEmbedding::SaveDelta(io::Writer* writer) {
   for (const uint64_t row : dirty_rows_.rows()) {
     writer->WriteU64(row);
     writer->WriteU64(owner_of_[row]);
-    writer->WriteBytes(table_.data() + row * config_.dim,
-                       config_.dim * sizeof(float));
+    writer->WriteBytes(pool_.Row(row), config_.dim * sizeof(float));
   }
   Obs().RecordDelta(dirty_rows_.rows().size(), writer->size() - delta_start);
   dirty_features_.Flush();
@@ -517,14 +516,14 @@ Status AdaEmbedding::LoadDelta(io::Reader* reader) {
           "ada embedding: delta row out of range");
     }
     CAFE_RETURN_IF_ERROR(reader->ReadU64(&owner_of_[row]));
-    CAFE_RETURN_IF_ERROR(reader->ReadBytes(
-        table_.data() + row * config_.dim, config_.dim * sizeof(float)));
+    CAFE_RETURN_IF_ERROR(
+        reader->ReadBytes(pool_.Row(row), config_.dim * sizeof(float)));
   }
   return Status::OK();
 }
 
 size_t AdaEmbedding::MemoryBytes() const {
-  return table_.size() * sizeof(float) + scores_.size() * sizeof(float) +
+  return pool_.MemoryBytes() + scores_.size() * sizeof(float) +
          row_of_.size() * sizeof(int32_t);
 }
 

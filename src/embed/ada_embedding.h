@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "embed/batch_dedup.h"
 #include "embed/dirty_rows.h"
+#include "embed/row_pool.h"
 #include "embed/embedding_store.h"
 
 namespace cafe {
@@ -101,7 +102,7 @@ class AdaEmbedding : public EmbeddingStore {
   std::vector<int32_t> row_of_;    // n, -1 if feature has no row
   std::vector<uint64_t> owner_of_; // num_rows, feature owning each row
   std::vector<int32_t> free_rows_;
-  std::vector<float> table_;       // num_rows x dim
+  RowPool pool_;                   // num_rows x dim, slab-pooled
 
   // Batch scratch, reused across calls.
   BatchDeduper dedup_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/simd.h"
 #include "embed/embedding_store.h"
 
 namespace cafe {
@@ -88,11 +89,8 @@ class BatchDeduper {
     accum->assign(unique_.size() * dim, 0.0f);
     float* acc = accum->data();
     for (size_t i = 0; i < n; ++i) {
-      float* dst = acc + static_cast<size_t>(occ_to_unique_[i]) * dim;
-      const float* src = grads + i * stride;
-      for (uint32_t k = 0; k < dim; ++k) {
-        dst[k] += embed_internal::ClipVal(src[k], bound);
-      }
+      simd::AccumClip(acc + static_cast<size_t>(occ_to_unique_[i]) * dim,
+                      grads + i * stride, dim, bound);
     }
   }
   /// Packed, unclipped overload.
@@ -143,11 +141,8 @@ class BatchDeduper {
     for (size_t i = 0; i < n; ++i) {
       const uint32_t u = occ_to_unique_[i];
       if (!owns(u)) continue;
-      float* dst = accum + static_cast<size_t>(u) * dim;
-      const float* src = grads + i * stride;
-      for (uint32_t k = 0; k < dim; ++k) {
-        dst[k] += embed_internal::ClipVal(src[k], bound);
-      }
+      simd::AccumClip(accum + static_cast<size_t>(u) * dim, grads + i * stride,
+                      dim, bound);
     }
   }
 
@@ -178,8 +173,8 @@ class BatchDeduper {
     for (size_t i = 0; i < n; ++i) {
       const uint32_t first = first_occurrence_[occ_to_unique_[i]];
       if (first != i) {
-        embed_internal::CopyRow(
-            out + i * stride, out + static_cast<size_t>(first) * stride, dim);
+        simd::CopyRow(out + i * stride,
+                      out + static_cast<size_t>(first) * stride, dim);
       }
     }
   }

@@ -163,6 +163,45 @@ inline Status ReadDirtyRows(io::Reader* reader, float* table,
   return Status::OK();
 }
 
+/// WriteDirtyRows for tables without a contiguous base pointer (the
+/// RowPool-backed stores): `row_at(row)` resolves each dirty row. Framing
+/// is identical to the pointer overload, so converting a store's backing
+/// storage never changes its delta stream.
+template <typename RowAtFn>
+inline void WriteDirtyRowsAt(io::Writer* writer, const DirtyRowSet& set,
+                             RowAtFn row_at, uint32_t row_floats) {
+  writer->WriteU64(set.rows().size());
+  for (const uint64_t row : set.rows()) {
+    writer->WriteU64(row);
+    writer->WriteBytes(row_at(row), row_floats * sizeof(float));
+  }
+}
+
+/// ReadDirtyRows against a row accessor; bounds checks mirror the pointer
+/// overload.
+template <typename RowAtFn>
+inline Status ReadDirtyRowsAt(io::Reader* reader, RowAtFn row_at,
+                              uint64_t num_rows, uint32_t row_floats,
+                              const char* what) {
+  uint64_t count = 0;
+  CAFE_RETURN_IF_ERROR(reader->ReadU64(&count));
+  if (count > num_rows) {
+    return Status::FailedPrecondition(
+        std::string("delta dirty-row count exceeds table for ") + what);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t row = 0;
+    CAFE_RETURN_IF_ERROR(reader->ReadU64(&row));
+    if (row >= num_rows) {
+      return Status::FailedPrecondition(
+          std::string("delta dirty row out of range for ") + what);
+    }
+    CAFE_RETURN_IF_ERROR(
+        reader->ReadBytes(row_at(row), row_floats * sizeof(float)));
+  }
+  return Status::OK();
+}
+
 }  // namespace delta_internal
 
 }  // namespace cafe

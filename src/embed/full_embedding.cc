@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/prefetch.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace cafe {
@@ -48,12 +49,13 @@ void FullEmbedding::LookupBatchConst(const uint64_t* ids, size_t n, float* out,
                                      size_t out_stride) const {
   const uint32_t d = config_.dim;
   const float* table = table_.data();
+  const size_t pf = PrefetchDistance();
   for (size_t i = 0; i < n; ++i) {
-    if (i + kPrefetchDistance < n) {
-      PrefetchRead(table + ids[i + kPrefetchDistance] * d);
+    if (i + pf < n) {
+      PrefetchRead(table + ids[i + pf] * d);
     }
     CAFE_DCHECK(ids[i] < config_.total_features);
-    embed_internal::CopyRow(out + i * out_stride, table + ids[i] * d, d);
+    simd::CopyRow(out + i * out_stride, table + ids[i] * d, d);
   }
 }
 
@@ -88,17 +90,15 @@ void FullEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
   const float bound = embed_internal::ClipBound(clip);
   const bool track = dirty_.enabled();
   float* table = table_.data();
+  const size_t pf = PrefetchDistance();
   for (size_t i = 0; i < n; ++i) {
-    if (i + kPrefetchDistance < n) {
-      PrefetchWrite(table + ids[i + kPrefetchDistance] * d);
+    if (i + pf < n) {
+      PrefetchWrite(table + ids[i + pf] * d);
     }
     CAFE_DCHECK(ids[i] < config_.total_features);
     if (track) dirty_.Mark(ids[i]);
-    float* row = table + ids[i] * d;
-    const float* g = grads + i * grad_stride;
-    for (uint32_t k = 0; k < d; ++k) {
-      row[k] -= lr * embed_internal::ClipVal(g[k], bound);
-    }
+    simd::AxpyClipNeg(table + ids[i] * d, grads + i * grad_stride, d, lr,
+                      bound);
   }
 }
 
@@ -121,20 +121,17 @@ void FullEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
   const bool track = dirty_.enabled();
   if (track) dirty_.EnableShards(num_shards);
   float* table = table_.data();
+  const size_t pf = PrefetchDistance();
   pool->ParallelFor(num_shards, [&](uint32_t shard) {
     for (size_t i = 0; i < n; ++i) {
-      if (i + kPrefetchDistance < n &&
-          ShardOfRow(ids[i + kPrefetchDistance], num_shards) == shard) {
-        PrefetchWrite(table + ids[i + kPrefetchDistance] * d);
+      if (i + pf < n && ShardOfRow(ids[i + pf], num_shards) == shard) {
+        PrefetchWrite(table + ids[i + pf] * d);
       }
       if (ShardOfRow(ids[i], num_shards) != shard) continue;
       CAFE_DCHECK(ids[i] < config_.total_features);
       if (track) dirty_.Mark(ids[i], shard);
-      float* row = table + ids[i] * d;
-      const float* g = grads + i * grad_stride;
-      for (uint32_t k = 0; k < d; ++k) {
-        row[k] -= lr * embed_internal::ClipVal(g[k], bound);
-      }
+      simd::AxpyClipNeg(table + ids[i] * d, grads + i * grad_stride, d, lr,
+                        bound);
     }
   });
   if (track) dirty_.MergeShards();

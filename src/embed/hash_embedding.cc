@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/prefetch.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace cafe {
@@ -26,24 +27,28 @@ StatusOr<std::unique_ptr<HashEmbedding>> HashEmbedding::Create(
 HashEmbedding::HashEmbedding(const EmbeddingConfig& config, uint64_t num_rows)
     : config_(config),
       num_rows_(num_rows),
-      hash_(config.seed ^ 0x9a55a550ULL),
-      table_(num_rows * config.dim) {
+      hash_(config.seed ^ 0x9a55a550ULL) {
+  pool_.Reset(num_rows, config.dim);
   Rng rng(config.seed);
   const float bound = embed_internal::InitBound(config.dim);
-  for (float& w : table_) w = rng.UniformFloat(-bound, bound);
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    float* row = pool_.Row(r);
+    for (uint32_t k = 0; k < config.dim; ++k) {
+      row[k] = rng.UniformFloat(-bound, bound);
+    }
+  }
 }
 
 void HashEmbedding::Lookup(uint64_t id, float* out) { LookupConst(id, out); }
 
 void HashEmbedding::LookupConst(uint64_t id, float* out) const {
-  std::memcpy(out, table_.data() + RowOf(id) * config_.dim,
-              config_.dim * sizeof(float));
+  std::memcpy(out, pool_.Row(RowOf(id)), config_.dim * sizeof(float));
 }
 
 void HashEmbedding::ApplyGradient(uint64_t id, const float* grad, float lr) {
   const uint64_t bucket = RowOf(id);
   if (dirty_.enabled()) dirty_.Mark(bucket);
-  float* row = table_.data() + bucket * config_.dim;
+  float* row = pool_.Row(bucket);
   for (uint32_t i = 0; i < config_.dim; ++i) row[i] -= lr * grad[i];
 }
 
@@ -77,38 +82,36 @@ void HashEmbedding::LookupBatch(const uint64_t* ids, size_t n, float* out,
                                 size_t out_stride) {
   Obs().RecordLookup(n);
   const uint32_t d = config_.dim;
-  const float* table = table_.data();
+  const size_t pf = PrefetchDistance();
   row_scratch_.resize(n);
   for (size_t i = 0; i < n; ++i) row_scratch_[i] = RowOf(ids[i]);
   for (size_t i = 0; i < n; ++i) {
-    if (i + kPrefetchDistance < n) {
-      PrefetchRead(table + row_scratch_[i + kPrefetchDistance] * d);
+    if (i + pf < n) {
+      PrefetchRead(pool_.Row(row_scratch_[i + pf]));
     }
-    embed_internal::CopyRow(out + i * out_stride, table + row_scratch_[i] * d,
-                            d);
+    simd::CopyRow(out + i * out_stride, pool_.Row(row_scratch_[i]), d);
   }
 }
 
 void HashEmbedding::LookupBatchConst(const uint64_t* ids, size_t n, float* out,
                                      size_t out_stride) const {
   // Scratch-free (concurrent serving callers): the row of the id
-  // kPrefetchDistance ahead is hashed twice — once to prefetch, once to
+  // PrefetchDistance() ahead is hashed twice — once to prefetch, once to
   // copy — which is still far cheaper than a DRAM stall per row.
   const uint32_t d = config_.dim;
-  const float* table = table_.data();
+  const size_t pf = PrefetchDistance();
   for (size_t i = 0; i < n; ++i) {
-    if (i + kPrefetchDistance < n) {
-      PrefetchRead(table + RowOf(ids[i + kPrefetchDistance]) * d);
+    if (i + pf < n) {
+      PrefetchRead(pool_.Row(RowOf(ids[i + pf])));
     }
-    embed_internal::CopyRow(out + i * out_stride, table + RowOf(ids[i]) * d,
-                            d);
+    simd::CopyRow(out + i * out_stride, pool_.Row(RowOf(ids[i])), d);
   }
 }
 
 Status HashEmbedding::SaveState(io::Writer* writer) const {
   writer->WriteU64(num_rows_);
   writer->WriteU32(config_.dim);
-  writer->WriteVec(table_);
+  pool_.Save(writer);
   return Status::OK();
 }
 
@@ -121,7 +124,7 @@ Status HashEmbedding::LoadState(io::Reader* reader) {
     return Status::FailedPrecondition(
         "hash embedding: checkpoint sizing does not match this store");
   }
-  return reader->ReadVecExpected(&table_, table_.size(), "hash table");
+  return pool_.Load(reader, "hash table");
 }
 
 void HashEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
@@ -135,19 +138,16 @@ void HashEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
   const uint32_t d = config_.dim;
   const float bound = embed_internal::ClipBound(clip);
   const bool track = dirty_.enabled();
-  float* table = table_.data();
+  const size_t pf = PrefetchDistance();
   row_scratch_.resize(n);
   for (size_t i = 0; i < n; ++i) row_scratch_[i] = RowOf(ids[i]);
   for (size_t i = 0; i < n; ++i) {
-    if (i + kPrefetchDistance < n) {
-      PrefetchWrite(table + row_scratch_[i + kPrefetchDistance] * d);
+    if (i + pf < n) {
+      PrefetchWrite(pool_.Row(row_scratch_[i + pf]));
     }
     if (track) dirty_.Mark(row_scratch_[i]);
-    float* row = table + row_scratch_[i] * d;
-    const float* g = grads + i * grad_stride;
-    for (uint32_t k = 0; k < d; ++k) {
-      row[k] -= lr * embed_internal::ClipVal(g[k], bound);
-    }
+    simd::AxpyClipNeg(pool_.Row(row_scratch_[i]), grads + i * grad_stride, d,
+                      lr, bound);
   }
 }
 
@@ -171,7 +171,6 @@ void HashEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
   const float bound = embed_internal::ClipBound(clip);
   const bool track = dirty_.enabled();
   if (track) dirty_.EnableShards(num_shards);
-  float* table = table_.data();
   row_scratch_.resize(n);
   uint64_t* rows = row_scratch_.data();
   pool->ParallelFor(num_shards, [&](uint32_t shard) {
@@ -179,19 +178,16 @@ void HashEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
     const size_t end = n * (shard + 1) / num_shards;
     for (size_t i = begin; i < end; ++i) rows[i] = RowOf(ids[i]);
   });
+  const size_t pf = PrefetchDistance();
   pool->ParallelFor(num_shards, [&](uint32_t shard) {
     for (size_t i = 0; i < n; ++i) {
-      if (i + kPrefetchDistance < n &&
-          ShardOfRow(rows[i + kPrefetchDistance], num_shards) == shard) {
-        PrefetchWrite(table + rows[i + kPrefetchDistance] * d);
+      if (i + pf < n && ShardOfRow(rows[i + pf], num_shards) == shard) {
+        PrefetchWrite(pool_.Row(rows[i + pf]));
       }
       if (ShardOfRow(rows[i], num_shards) != shard) continue;
       if (track) dirty_.Mark(rows[i], shard);
-      float* row = table + rows[i] * d;
-      const float* g = grads + i * grad_stride;
-      for (uint32_t k = 0; k < d; ++k) {
-        row[k] -= lr * embed_internal::ClipVal(g[k], bound);
-      }
+      simd::AxpyClipNeg(pool_.Row(rows[i]), grads + i * grad_stride, d, lr,
+                        bound);
     }
   });
   if (track) dirty_.MergeShards();
@@ -214,7 +210,9 @@ Status HashEmbedding::SaveDelta(io::Writer* writer) {
   writer->WriteU32(config_.dim);
   const size_t delta_start = writer->size();
   const uint64_t delta_rows = dirty_.rows().size();
-  delta_internal::WriteDirtyRows(writer, dirty_, table_.data(), config_.dim);
+  delta_internal::WriteDirtyRowsAt(
+      writer, dirty_, [this](uint64_t row) { return pool_.Row(row); },
+      config_.dim);
   dirty_.Flush();
   Obs().RecordDelta(delta_rows, writer->size() - delta_start);
   return Status::OK();
@@ -227,8 +225,9 @@ Status HashEmbedding::LoadDelta(io::Reader* reader) {
     return Status::FailedPrecondition(
         "hash embedding: delta sizing does not match this store");
   }
-  return delta_internal::ReadDirtyRows(reader, table_.data(), num_rows_,
-                                       config_.dim, "hash table");
+  return delta_internal::ReadDirtyRowsAt(
+      reader, [this](uint64_t row) { return pool_.Row(row); }, num_rows_,
+      config_.dim, "hash table");
 }
 
 }  // namespace cafe

@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "common/random.h"
 #include "embed/dirty_rows.h"
+#include "embed/row_pool.h"
 #include "embed/embedding_store.h"
 
 namespace cafe {
@@ -37,9 +38,7 @@ class HashEmbedding : public EmbeddingStore {
                                  const float* grads, size_t grad_stride,
                                  float lr, float clip, ThreadPool* pool,
                                  uint32_t num_shards) override;
-  size_t MemoryBytes() const override {
-    return table_.size() * sizeof(float);
-  }
+  size_t MemoryBytes() const override { return pool_.MemoryBytes(); }
   std::string Name() const override { return "hash"; }
   Status SaveState(io::Writer* writer) const override;
   Status LoadState(io::Reader* reader) override;
@@ -65,7 +64,7 @@ class HashEmbedding : public EmbeddingStore {
   EmbeddingConfig config_;
   uint64_t num_rows_;
   SeededHash hash_;
-  std::vector<float> table_;  // num_rows x dim
+  RowPool pool_;  // num_rows x dim, slab-pooled
   /// Row indices of the in-flight batch: hashed once up front so the
   /// gather loop can prefetch rows ahead of the copy. Reused across calls.
   std::vector<uint64_t> row_scratch_;

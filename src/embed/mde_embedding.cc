@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace cafe {
@@ -121,9 +122,8 @@ void MdeEmbedding::LookupOne(uint64_t id, float* out) const {
   const float* proj = projections_.data() + proj_offset_[field];  // df x d
   for (uint32_t j = 0; j < config_.dim; ++j) out[j] = 0.0f;
   for (uint32_t i = 0; i < df; ++i) {
-    const float r = row[i];
-    const float* p = proj + static_cast<size_t>(i) * config_.dim;
-    for (uint32_t j = 0; j < config_.dim; ++j) out[j] += r * p[j];
+    simd::AddScaled(out, proj + static_cast<size_t>(i) * config_.dim,
+                    config_.dim, row[i]);
   }
 }
 
@@ -225,12 +225,14 @@ void MdeEmbedding::ApplyOne(uint64_t id, const float* grad, float lr) {
   // d(out)/d(row_i) = proj row i; d(out)/d(proj_ij) = row_i * grad_j.
   for (uint32_t i = 0; i < df; ++i) {
     float* p = proj + static_cast<size_t>(i) * config_.dim;
-    float grad_row_i = 0.0f;
     const float row_i = row[i];
-    for (uint32_t j = 0; j < config_.dim; ++j) {
-      grad_row_i += grad[j] * p[j];
-      p[j] -= lr * row_i * grad[j];
-    }
+    // The row-gradient dot product is a float reduction in index order —
+    // it stays scalar (vectorizing would reassociate the sum). The
+    // projection update reads grad only, so it splits off as an axpy with
+    // coefficient lr*row_i (the same rounded product the fused loop used).
+    float grad_row_i = 0.0f;
+    for (uint32_t j = 0; j < config_.dim; ++j) grad_row_i += grad[j] * p[j];
+    simd::AxpyNeg(p, grad, config_.dim, lr * row_i);
     row[i] -= lr * grad_row_i;
   }
 }

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/prefetch.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace cafe {
@@ -29,33 +30,39 @@ OfflineSeparationEmbedding::OfflineSeparationEmbedding(
     : config_(config),
       hot_rows_(hot_rows),
       shared_rows_(shared_rows),
-      hash_(config.seed ^ 0x0f1dULL),
-      hot_table_(hot_rows * config.dim),
-      shared_table_(shared_rows * config.dim) {
+      hash_(config.seed ^ 0x0f1dULL) {
+  hot_pool_.Reset(hot_rows, config.dim);
+  shared_pool_.Reset(shared_rows, config.dim);
   hot_index_.reserve(hot_rows * 2);
   for (uint64_t i = 0; i < hot_rows && i < hot_ids.size(); ++i) {
     hot_index_.emplace(hot_ids[i], static_cast<uint32_t>(i));
   }
   Rng rng(config.seed);
   const float bound = embed_internal::InitBound(config.dim);
-  for (float& w : hot_table_) w = rng.UniformFloat(-bound, bound);
-  for (float& w : shared_table_) w = rng.UniformFloat(-bound, bound);
+  auto fill = [&](RowPool& pool) {
+    for (uint64_t r = 0; r < pool.num_rows(); ++r) {
+      float* row = pool.Row(r);
+      for (uint32_t k = 0; k < config.dim; ++k) {
+        row[k] = rng.UniformFloat(-bound, bound);
+      }
+    }
+  };
+  fill(hot_pool_);
+  fill(shared_pool_);
 }
 
 float* OfflineSeparationEmbedding::RowOf(uint64_t id) {
   auto it = hot_index_.find(id);
   return it != hot_index_.end()
-             ? hot_table_.data() + static_cast<size_t>(it->second) * config_.dim
-             : shared_table_.data() +
-                   hash_.Bounded(id, shared_rows_) * config_.dim;
+             ? hot_pool_.Row(it->second)
+             : shared_pool_.Row(hash_.Bounded(id, shared_rows_));
 }
 
 const float* OfflineSeparationEmbedding::RowOf(uint64_t id) const {
   auto it = hot_index_.find(id);
   return it != hot_index_.end()
-             ? hot_table_.data() + static_cast<size_t>(it->second) * config_.dim
-             : shared_table_.data() +
-                   hash_.Bounded(id, shared_rows_) * config_.dim;
+             ? hot_pool_.Row(it->second)
+             : shared_pool_.Row(hash_.Bounded(id, shared_rows_));
 }
 
 void OfflineSeparationEmbedding::Lookup(uint64_t id, float* out) {
@@ -84,26 +91,27 @@ void OfflineSeparationEmbedding::LookupBatch(const uint64_t* ids, size_t n,
   const uint32_t d = config_.dim;
   if (!dedup_.BuildAdaptive(ids, n)) {
     row_scratch_.resize(n);
+    const size_t pf = PrefetchDistance();
     for (size_t i = 0; i < n; ++i) row_scratch_[i] = RowOf(ids[i]);
     for (size_t i = 0; i < n; ++i) {
-      if (i + kPrefetchDistance < n) {
-        PrefetchRead(row_scratch_[i + kPrefetchDistance]);
+      if (i + pf < n) {
+        PrefetchRead(row_scratch_[i + pf]);
       }
-      embed_internal::CopyRow(out + i * out_stride, row_scratch_[i], d);
+      simd::CopyRow(out + i * out_stride, row_scratch_[i], d);
     }
     return;
   }
   const size_t num_unique = dedup_.num_unique();
+  const size_t pf = PrefetchDistance();
   row_scratch_.resize(num_unique);
   for (size_t u = 0; u < num_unique; ++u) {
     row_scratch_[u] = RowOf(dedup_.unique_id(u));
   }
   for (size_t i = 0; i < n; ++i) {
-    if (i + kPrefetchDistance < n) {
-      PrefetchRead(row_scratch_[dedup_.unique_of(i + kPrefetchDistance)]);
+    if (i + pf < n) {
+      PrefetchRead(row_scratch_[dedup_.unique_of(i + pf)]);
     }
-    embed_internal::CopyRow(out + i * out_stride,
-                            row_scratch_[dedup_.unique_of(i)], d);
+    simd::CopyRow(out + i * out_stride, row_scratch_[dedup_.unique_of(i)], d);
   }
 }
 
@@ -127,15 +135,14 @@ void OfflineSeparationEmbedding::ApplyGradientBatch(const uint64_t* ids,
   for (size_t u = 0; u < num_unique; ++u) {
     index_scratch_[u] = RowIndexOf(dedup_.unique_id(u));
   }
+  const size_t pf = PrefetchDistance();
   for (size_t u = 0; u < num_unique; ++u) {
-    if (u + kPrefetchDistance < num_unique) {
-      PrefetchWrite(RowAt(index_scratch_[u + kPrefetchDistance]));
+    if (u + pf < num_unique) {
+      PrefetchWrite(RowAt(index_scratch_[u + pf]));
     }
     const uint64_t index = index_scratch_[u];
     if (track) MarkRow(index);
-    float* row = RowAt(index);
-    const float* g = grad_accum_.data() + u * d;
-    for (uint32_t k = 0; k < d; ++k) row[k] -= lr * g[k];
+    simd::AxpyNeg(RowAt(index), grad_accum_.data() + u * d, d, lr);
   }
 }
 
@@ -176,17 +183,16 @@ void OfflineSeparationEmbedding::ApplyGradientBatchSharded(
           return ShardOfRow(u, num_shards) == shard;
         });
   });
+  const size_t pf = PrefetchDistance();
   pool->ParallelFor(num_shards, [&](uint32_t shard) {
     for (size_t u = 0; u < num_unique; ++u) {
-      if (u + kPrefetchDistance < num_unique &&
-          ShardOfRow(indices[u + kPrefetchDistance], num_shards) == shard) {
-        PrefetchWrite(RowAt(indices[u + kPrefetchDistance]));
+      if (u + pf < num_unique &&
+          ShardOfRow(indices[u + pf], num_shards) == shard) {
+        PrefetchWrite(RowAt(indices[u + pf]));
       }
       if (ShardOfRow(indices[u], num_shards) != shard) continue;
       if (track) MarkRow(indices[u], shard);
-      float* row = RowAt(indices[u]);
-      const float* g = grad_accum_.data() + u * d;
-      for (uint32_t k = 0; k < d; ++k) row[k] -= lr * g[k];
+      simd::AxpyNeg(RowAt(indices[u]), grad_accum_.data() + u * d, d, lr);
     }
   });
   if (track) {
@@ -215,10 +221,12 @@ Status OfflineSeparationEmbedding::SaveDelta(io::Writer* writer) {
   const size_t delta_start = writer->size();
   const uint64_t delta_rows =
       dirty_hot_.rows().size() + dirty_shared_.rows().size();
-  delta_internal::WriteDirtyRows(writer, dirty_hot_, hot_table_.data(),
-                                 config_.dim);
-  delta_internal::WriteDirtyRows(writer, dirty_shared_, shared_table_.data(),
-                                 config_.dim);
+  delta_internal::WriteDirtyRowsAt(
+      writer, dirty_hot_, [this](uint64_t row) { return hot_pool_.Row(row); },
+      config_.dim);
+  delta_internal::WriteDirtyRowsAt(
+      writer, dirty_shared_,
+      [this](uint64_t row) { return shared_pool_.Row(row); }, config_.dim);
   dirty_hot_.Flush();
   dirty_shared_.Flush();
   Obs().RecordDelta(delta_rows, writer->size() - delta_start);
@@ -232,12 +240,12 @@ Status OfflineSeparationEmbedding::LoadDelta(io::Reader* reader) {
     return Status::FailedPrecondition(
         "offline separation: delta sizing does not match this store");
   }
-  CAFE_RETURN_IF_ERROR(delta_internal::ReadDirtyRows(
-      reader, hot_table_.data(), hot_rows_, config_.dim,
-      "offline hot table"));
-  return delta_internal::ReadDirtyRows(reader, shared_table_.data(),
-                                       shared_rows_, config_.dim,
-                                       "offline shared table");
+  CAFE_RETURN_IF_ERROR(delta_internal::ReadDirtyRowsAt(
+      reader, [this](uint64_t row) { return hot_pool_.Row(row); }, hot_rows_,
+      config_.dim, "offline hot table"));
+  return delta_internal::ReadDirtyRowsAt(
+      reader, [this](uint64_t row) { return shared_pool_.Row(row); },
+      shared_rows_, config_.dim, "offline shared table");
 }
 
 Status OfflineSeparationEmbedding::SaveState(io::Writer* writer) const {
@@ -255,8 +263,8 @@ Status OfflineSeparationEmbedding::SaveState(io::Writer* writer) const {
     writer->WriteU64(id);
     writer->WriteU32(row);
   }
-  writer->WriteVec(hot_table_);
-  writer->WriteVec(shared_table_);
+  hot_pool_.Save(writer);
+  shared_pool_.Save(writer);
   return Status::OK();
 }
 
@@ -291,15 +299,13 @@ Status OfflineSeparationEmbedding::LoadState(io::Reader* reader) {
     index.emplace(id, row);
   }
   hot_index_ = std::move(index);
-  CAFE_RETURN_IF_ERROR(reader->ReadVecExpected(&hot_table_, hot_table_.size(),
-                                               "offline hot table"));
-  return reader->ReadVecExpected(&shared_table_, shared_table_.size(),
-                                 "offline shared table");
+  CAFE_RETURN_IF_ERROR(hot_pool_.Load(reader, "offline hot table"));
+  return shared_pool_.Load(reader, "offline shared table");
 }
 
 size_t OfflineSeparationEmbedding::MemoryBytes() const {
   // Embedding tables + the offline frequency statistics (4B per feature).
-  return (hot_table_.size() + shared_table_.size()) * sizeof(float) +
+  return hot_pool_.MemoryBytes() + shared_pool_.MemoryBytes() +
          config_.total_features * sizeof(float);
 }
 

@@ -9,6 +9,7 @@
 #include "common/random.h"
 #include "embed/batch_dedup.h"
 #include "embed/dirty_rows.h"
+#include "embed/row_pool.h"
 #include "embed/embedding_store.h"
 
 namespace cafe {
@@ -78,10 +79,8 @@ class OfflineSeparationEmbedding : public EmbeddingStore {
                                   : hot_rows_ + hash_.Bounded(id, shared_rows_);
   }
   float* RowAt(uint64_t index) {
-    return index < hot_rows_
-               ? hot_table_.data() + static_cast<size_t>(index) * config_.dim
-               : shared_table_.data() +
-                     static_cast<size_t>(index - hot_rows_) * config_.dim;
+    return index < hot_rows_ ? hot_pool_.Row(index)
+                             : shared_pool_.Row(index - hot_rows_);
   }
   void MarkRow(uint64_t index) {
     if (index < hot_rows_) {
@@ -105,8 +104,8 @@ class OfflineSeparationEmbedding : public EmbeddingStore {
   uint64_t shared_rows_;
   SeededHash hash_;
   std::unordered_map<uint64_t, uint32_t> hot_index_;  // feature -> hot row
-  std::vector<float> hot_table_;     // hot_rows x dim
-  std::vector<float> shared_table_;  // shared_rows x dim
+  RowPool hot_pool_;     // hot_rows x dim, slab-pooled
+  RowPool shared_pool_;  // shared_rows x dim, slab-pooled
 
   // Batch scratch, reused across calls.
   BatchDeduper dedup_;

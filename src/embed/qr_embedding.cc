@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/prefetch.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace cafe {
@@ -118,9 +119,10 @@ void QrEmbedding::LookupBatchConst(const uint64_t* ids, size_t n, float* out,
   const uint32_t d = config_.dim;
   const float* rem = remainder_table_.data();
   const float* quo = quotient_table_.data();
+  const size_t pf = PrefetchDistance();
   for (size_t i = 0; i < n; ++i) {
-    if (i + kPrefetchDistance < n) {
-      const uint64_t ahead = ids[i + kPrefetchDistance];
+    if (i + pf < n) {
+      const uint64_t ahead = ids[i + pf];
       PrefetchRead(rem + (ahead % m_) * d);
       PrefetchRead(quo + (ahead / m_) * d);
     }
@@ -129,9 +131,9 @@ void QrEmbedding::LookupBatchConst(const uint64_t* ids, size_t n, float* out,
     const float* q = quo + (ids[i] / m_) * d;
     float* o = out + i * out_stride;
     if (combine_ == Combine::kAdd) {
-      for (uint32_t k = 0; k < d; ++k) o[k] = r[k] + q[k];
+      simd::AddRows(o, r, q, d);
     } else {
-      for (uint32_t k = 0; k < d; ++k) o[k] = r[k] * q[k];
+      simd::MulRows(o, r, q, d);
     }
   }
 }
@@ -176,9 +178,10 @@ void QrEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
   const bool track = dirty_remainder_.enabled();
   float* rem = remainder_table_.data();
   float* quo = quotient_table_.data();
+  const size_t pf = PrefetchDistance();
   for (size_t i = 0; i < n; ++i) {
-    if (i + kPrefetchDistance < n) {
-      const uint64_t ahead = ids[i + kPrefetchDistance];
+    if (i + pf < n) {
+      const uint64_t ahead = ids[i + pf];
       PrefetchWrite(rem + (ahead % m_) * d);
       PrefetchWrite(quo + (ahead / m_) * d);
     }
@@ -191,11 +194,11 @@ void QrEmbedding::ApplyGradientBatch(const uint64_t* ids, size_t n,
     float* q = quo + (ids[i] / m_) * d;
     const float* g = grads + i * grad_stride;
     if (combine_ == Combine::kAdd) {
-      for (uint32_t k = 0; k < d; ++k) {
-        const float gk = embed_internal::ClipVal(g[k], bound);
-        r[k] -= lr * gk;
-        q[k] -= lr * gk;
-      }
+      // The two component rows read only their own gradient element, so the
+      // interleaved scalar update splits into two element-wise axpy passes
+      // with identical per-element rounding.
+      simd::AxpyClipNeg(r, g, d, lr, bound);
+      simd::AxpyClipNeg(q, g, d, lr, bound);
     } else {
       for (uint32_t k = 0; k < d; ++k) {
         const float gk = embed_internal::ClipVal(g[k], bound);
@@ -248,17 +251,11 @@ void QrEmbedding::ApplyGradientBatchSharded(const uint64_t* ids, size_t n,
       const float* g = grads + i * grad_stride;
       if (own_r) {
         if (track) dirty_remainder_.Mark(r_row, shard);
-        float* r = rem + r_row * d;
-        for (uint32_t k = 0; k < d; ++k) {
-          r[k] -= lr * embed_internal::ClipVal(g[k], bound);
-        }
+        simd::AxpyClipNeg(rem + r_row * d, g, d, lr, bound);
       }
       if (own_q) {
         if (track) dirty_quotient_.Mark(q_row, shard);
-        float* q = quo + q_row * d;
-        for (uint32_t k = 0; k < d; ++k) {
-          q[k] -= lr * embed_internal::ClipVal(g[k], bound);
-        }
+        simd::AxpyClipNeg(quo + q_row * d, g, d, lr, bound);
       }
     }
   });

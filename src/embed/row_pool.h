@@ -1,0 +1,156 @@
+#ifndef CAFE_EMBED_ROW_POOL_H_
+#define CAFE_EMBED_ROW_POOL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "io/serialize.h"
+
+namespace cafe {
+
+/// Block-pooled backing storage for embedding row tables (the OpenEmbedding
+/// block-pool idiom): rows live in fixed-size slabs held by a deque, so
+///
+///   * growth appends a slab — existing rows NEVER move (no rehash copies,
+///     pointers handed out stay valid for the pool's lifetime),
+///   * a slab is one contiguous ~256KB allocation, so consecutive row
+///     indices share pages and the batched gather/scatter prefetches land
+///     on dense lines instead of allocator-scattered chunks,
+///   * rows-per-slab is a power of two, so Row() is shift + mask + one
+///     directory load — cheap enough for the per-id hot paths.
+///
+/// The pool hands out PHYSICAL row indices in [0, num_rows()): fixed-size
+/// stores Reset() to their final shape once and index directly (their
+/// RowOf/RowIndexOf seams are unchanged); dynamic stores Acquire()/
+/// Release() rows through the embedded free list and keep their own
+/// id -> row maps. Single-writer like the tables it replaces: no locking.
+class RowPool {
+ public:
+  RowPool() = default;
+
+  /// Sizes a pool of `num_rows` rows of `row_floats` floats, zero-filled,
+  /// dropping any previous contents. Slabs target kSlabBytes but always
+  /// hold a power-of-two number of rows (>= 1).
+  void Reset(uint64_t num_rows, uint32_t row_floats) {
+    CAFE_DCHECK(row_floats > 0);
+    row_floats_ = row_floats;
+    shift_ = 0;
+    const uint64_t target_rows = kSlabBytes / (sizeof(float) * row_floats);
+    while ((uint64_t{2} << shift_) <= target_rows) ++shift_;
+    mask_ = (uint64_t{1} << shift_) - 1;
+    slabs_.clear();
+    slab_rows_.clear();
+    num_rows_ = 0;
+    free_rows_.clear();
+    Grow(num_rows);
+  }
+
+  /// Appends `added_rows` zero-filled rows (new slabs as needed; existing
+  /// slabs and the rows inside them stay put).
+  void Grow(uint64_t added_rows) {
+    const uint64_t rows_per_slab = mask_ + 1;
+    uint64_t target = num_rows_ + added_rows;
+    while (num_rows_ < target) {
+      const uint64_t slab = num_rows_ >> shift_;
+      if (slab == slabs_.size()) {
+        slabs_.emplace_back(rows_per_slab * row_floats_, 0.0f);
+        slab_rows_.push_back(slabs_.back().data());
+      }
+      const uint64_t in_slab = rows_per_slab - (num_rows_ & mask_);
+      num_rows_ += std::min(in_slab, target - num_rows_);
+    }
+  }
+
+  float* Row(uint64_t row) {
+    CAFE_DCHECK(row < num_rows_);
+    return slab_rows_[static_cast<size_t>(row >> shift_)] +
+           (row & mask_) * row_floats_;
+  }
+  const float* Row(uint64_t row) const {
+    CAFE_DCHECK(row < num_rows_);
+    return slab_rows_[static_cast<size_t>(row >> shift_)] +
+           (row & mask_) * row_floats_;
+  }
+
+  /// Pops a free-listed row if one exists, else grows by one row. The
+  /// returned index is stable until Release()d back.
+  uint64_t Acquire() {
+    if (!free_rows_.empty()) {
+      const uint64_t row = free_rows_.back();
+      free_rows_.pop_back();
+      return row;
+    }
+    const uint64_t row = num_rows_;
+    Grow(1);
+    return row;
+  }
+
+  /// Returns `row` to the free list (contents left as-is; the next
+  /// Acquire() owner overwrites them).
+  void Release(uint64_t row) { free_rows_.push_back(row); }
+
+  uint64_t num_rows() const { return num_rows_; }
+  uint32_t row_floats() const { return row_floats_; }
+
+  /// Parameter payload only — what the stores charge against the embedding
+  /// budget, identical to the flat vector they used to hold.
+  size_t MemoryBytes() const {
+    return static_cast<size_t>(num_rows_) * row_floats_ * sizeof(float);
+  }
+
+  /// Serializes the pool byte-identically to io::Writer::WriteVec over the
+  /// equivalent contiguous num_rows x row_floats vector: U64 element count,
+  /// then the raw floats in row order. Checkpoints taken before the pool
+  /// conversion load fine after it and vice versa.
+  void Save(io::Writer* writer) const {
+    writer->WriteU64(num_rows_ * row_floats_);
+    const uint64_t rows_per_slab = mask_ + 1;
+    uint64_t row = 0;
+    for (size_t s = 0; s < slabs_.size() && row < num_rows_; ++s) {
+      const uint64_t rows = std::min(rows_per_slab, num_rows_ - row);
+      writer->WriteBytes(slab_rows_[s], rows * row_floats_ * sizeof(float));
+      row += rows;
+    }
+  }
+
+  /// Inverse of Save(): fails unless the stored element count matches the
+  /// pool's current shape (stores size the pool before loading).
+  Status Load(io::Reader* reader, const char* what) {
+    uint64_t count = 0;
+    CAFE_RETURN_IF_ERROR(reader->ReadU64(&count));
+    if (count != num_rows_ * row_floats_) {
+      return Status::FailedPrecondition(
+          std::string("row pool size mismatch for ") + what);
+    }
+    const uint64_t rows_per_slab = mask_ + 1;
+    uint64_t row = 0;
+    for (size_t s = 0; s < slabs_.size() && row < num_rows_; ++s) {
+      const uint64_t rows = std::min(rows_per_slab, num_rows_ - row);
+      CAFE_RETURN_IF_ERROR(reader->ReadBytes(
+          slab_rows_[s], rows * row_floats_ * sizeof(float)));
+      row += rows;
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr uint64_t kSlabBytes = 256 * 1024;
+
+  uint32_t row_floats_ = 0;
+  uint32_t shift_ = 0;      // log2(rows per slab)
+  uint64_t mask_ = 0;       // rows-per-slab - 1
+  uint64_t num_rows_ = 0;
+  std::deque<std::vector<float>> slabs_;  // deque: slabs never move
+  std::vector<float*> slab_rows_;  // flat directory: one load in Row()
+  std::vector<uint64_t> free_rows_;
+};
+
+}  // namespace cafe
+
+#endif  // CAFE_EMBED_ROW_POOL_H_

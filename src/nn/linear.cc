@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/simd.h"
+
 namespace cafe {
 
 Linear::Linear(size_t in_features, size_t out_features, Rng& rng)
@@ -48,10 +50,11 @@ void Linear::Backward(const Tensor& grad_out, Tensor* grad_in) {
       const float* w = weight_.data() + o * in_features_;
       float* gw = weight_grad_.data() + o * in_features_;
       bias_grad_[o] += g;
-      for (size_t i = 0; i < in_features_; ++i) {
-        gw[i] += g * x[i];
-        gx[i] += g * w[i];
-      }
+      // gw/x and gx/w never alias, so the interleaved outer-product row
+      // splits into two axpy passes with identical per-element rounding.
+      const uint32_t d = static_cast<uint32_t>(in_features_);
+      simd::AddScaled(gw, x, d, g);
+      simd::AddScaled(gx, w, d, g);
     }
   }
 }

@@ -1,8 +1,11 @@
 #include "nn/optimizer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <string>
+
+#include "common/simd.h"
 
 namespace cafe {
 
@@ -33,7 +36,15 @@ void Optimizer::ZeroGrad() {
 
 void SgdOptimizer::Step(float lr) {
   for (const Param& p : params_) {
-    for (size_t i = 0; i < p.size; ++i) p.value[i] -= lr * p.grad[i];
+    // Kernel lengths are uint32; dense blocks are far smaller, but chunk
+    // anyway so the contract holds for any registered size.
+    size_t off = 0;
+    while (off < p.size) {
+      const uint32_t chunk = static_cast<uint32_t>(
+          std::min<size_t>(p.size - off, size_t{1} << 30));
+      simd::AxpyNeg(p.value + off, p.grad + off, chunk, lr);
+      off += chunk;
+    }
   }
 }
 

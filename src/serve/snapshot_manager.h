@@ -86,7 +86,7 @@ namespace cafe {
 ///
 /// Either way every published generation is bit-identical to a quiesced
 /// SaveState freeze at its step — the invariant the hot-swap/parity test
-/// batteries assert for all 8 stores, under TSan.
+/// batteries assert for all 9 stores, under TSan.
 ///
 /// Incremental-mode retention contract: at most the two most recent
 /// generations can be held WITHOUT forcing retire fallbacks; a rollout loop

@@ -7,6 +7,7 @@
 #include "embed/mde_embedding.h"
 #include "embed/offline_separation.h"
 #include "embed/qr_embedding.h"
+#include "embed/robe_embedding.h"
 
 namespace cafe {
 namespace {
@@ -32,6 +33,9 @@ StatusOr<std::unique_ptr<EmbeddingStore>> MakeStore(
   }
   if (name == "qr") {
     return Upcast(QrEmbedding::Create(context.embedding));
+  }
+  if (name == "robe") {
+    return Upcast(RobeEmbedding::Create(context.embedding));
   }
   if (name == "ada") {
     return Upcast(AdaEmbedding::Create(context.embedding, context.ada));

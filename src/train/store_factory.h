@@ -26,7 +26,7 @@ struct StoreFactoryContext {
 };
 
 /// Creates the store named by `name`:
-///   "full" | "hash" | "qr" | "ada" | "mde" | "offline" | "cafe" | "cafe-ml"
+///   "full" | "hash" | "qr" | "robe" | "ada" | "mde" | "offline" | "cafe" | "cafe-ml"
 /// Returns ResourceExhausted when the method cannot reach the requested
 /// compression ratio (Q-R, AdaEmbed, MDE have hard feasibility limits; the
 /// benches render those points as absent, matching the paper's truncated

@@ -42,7 +42,7 @@ struct StoreCase {
 };
 
 const StoreCase kAllStores[] = {
-    {"full", 1.0},  {"hash", 20.0},   {"qr", 10.0},      {"ada", 2.0},
+    {"full", 1.0},  {"hash", 20.0},   {"qr", 10.0},      {"robe", 10.0},      {"ada", 2.0},
     {"mde", 2.0},   {"offline", 20.0}, {"cafe", 20.0},   {"cafe-ml", 20.0},
 };
 
@@ -440,7 +440,7 @@ INSTANTIATE_TEST_SUITE_P(AllStores, BatchedParityTest,
 // Non-adaptive stores preserve stream order, so the batched update must be
 // bit-identical to the scalar loop even when batches repeat ids.
 TEST(BatchedParityDuplicatesTest, StreamOrderStoresAreExactWithDuplicates) {
-  for (const char* name : {"full", "hash", "qr"}) {
+  for (const char* name : {"full", "hash", "qr", "robe"}) {
     const double cr = std::string(name) == "full" ? 1.0 : 10.0;
     auto scalar_store = MakeParityStore(name, cr);
     auto batched_store = MakeParityStore(name, cr);

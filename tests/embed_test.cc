@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <set>
 #include <vector>
 
@@ -11,6 +12,9 @@
 #include "embed/mde_embedding.h"
 #include "embed/offline_separation.h"
 #include "embed/qr_embedding.h"
+#include "embed/robe_embedding.h"
+#include "embed/row_pool.h"
+#include "io/serialize.h"
 
 namespace cafe {
 namespace {
@@ -349,6 +353,136 @@ TEST(OfflineSeparationTest, MemoryChargesStatistics) {
   auto store = OfflineSeparationEmbedding::Create(config, 5, 10, {1});
   ASSERT_TRUE(store.ok());
   EXPECT_GE((*store)->MemoryBytes(), 1000u * 4);  // frequency stats
+}
+
+
+// ------------------------------------------------------------------ Robe --
+
+TEST(RobeEmbeddingTest, BudgetRoundsDownToBlockAligned) {
+  // 5000 features x dim 8 at CR 50 -> 800 floats, already a dim multiple.
+  auto store = RobeEmbedding::Create(MakeConfig(5000, 8, 50));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->num_slots(), 800u);
+  EXPECT_EQ((*store)->num_rows(), 100u);
+  EXPECT_EQ((*store)->num_slots() % 8, 0u);
+  EXPECT_EQ((*store)->MemoryBytes(), 800u * sizeof(float));
+}
+
+TEST(RobeEmbeddingTest, InfeasibleBelowOneBlock) {
+  auto store = RobeEmbedding::Create(MakeConfig(100, 8, 1000));
+  EXPECT_EQ(store.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RobeEmbeddingTest, LookupIsDeterministicPerId) {
+  auto store = RobeEmbedding::Create(MakeConfig(5000, 8, 50));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(Lookup(store->get(), 5), Lookup(store->get(), 5));
+}
+
+TEST(RobeEmbeddingTest, GradientMovesOwnWindow) {
+  auto store = RobeEmbedding::Create(MakeConfig(5000, 8, 50));
+  ASSERT_TRUE(store.ok());
+  const auto before = Lookup(store->get(), 17);
+  std::vector<float> grad{1.0f, -1.0f, 2.0f, 0.0f, 0.5f, -0.5f, 3.0f, 1.0f};
+  (*store)->ApplyGradient(17, grad.data(), 0.1f);
+  const auto after = Lookup(store->get(), 17);
+  for (size_t k = 0; k < 8; ++k) {
+    EXPECT_FLOAT_EQ(after[k], before[k] - 0.1f * grad[k]) << k;
+  }
+}
+
+TEST(RobeEmbeddingTest, OverlappingWindowsShareParameters) {
+  // 10 rows of dim 8 = 80 slots for 1000 features: windows must overlap, so
+  // a full sweep of single-id updates perturbs far more ids than itself.
+  auto store = RobeEmbedding::Create(MakeConfig(1000, 8, 100));
+  ASSERT_TRUE(store.ok());
+  const auto before = Lookup(store->get(), 999);
+  std::vector<float> grad(8, 1.0f);
+  size_t moved = 0;
+  for (uint64_t id = 0; id < 64; ++id) {
+    (*store)->ApplyGradient(id, grad.data(), 0.1f);
+  }
+  const auto after = Lookup(store->get(), 999);
+  for (size_t k = 0; k < 8; ++k) moved += before[k] != after[k];
+  EXPECT_GT(moved, 0u);  // id 999 never trained, but its window did
+}
+
+TEST(RobeEmbeddingTest, CheckpointRoundTripsBitExact) {
+  auto store = RobeEmbedding::Create(MakeConfig(5000, 8, 50));
+  ASSERT_TRUE(store.ok());
+  std::vector<float> grad(8, 0.25f);
+  for (uint64_t id = 0; id < 100; ++id) {
+    (*store)->ApplyGradient(id * 37, grad.data(), 0.05f);
+  }
+  io::Writer writer;
+  ASSERT_TRUE((*store)->SaveState(&writer).ok());
+  auto restored = RobeEmbedding::Create(MakeConfig(5000, 8, 50));
+  ASSERT_TRUE(restored.ok());
+  io::Reader reader(writer.buffer());
+  ASSERT_TRUE((*restored)->LoadState(&reader).ok());
+  for (uint64_t id = 0; id < 5000; id += 97) {
+    EXPECT_EQ(Lookup(store->get(), id), Lookup(restored->get(), id)) << id;
+  }
+}
+
+// --------------------------------------------------------------- RowPool --
+
+TEST(RowPoolTest, RowsAreZeroInitialized) {
+  RowPool pool;
+  pool.Reset(100, 16);
+  for (uint64_t r = 0; r < 100; ++r) {
+    for (uint32_t k = 0; k < 16; ++k) EXPECT_EQ(pool.Row(r)[k], 0.0f);
+  }
+}
+
+TEST(RowPoolTest, PointersStableAcrossGrowth) {
+  RowPool pool;
+  pool.Reset(4, 8);
+  float* early = pool.Row(3);
+  early[0] = 42.0f;
+  // Force many new slabs (256KB / 32B per row = 8192 rows per slab).
+  pool.Grow(100000);
+  EXPECT_EQ(pool.num_rows(), 100004u);
+  EXPECT_EQ(pool.Row(3), early);
+  EXPECT_EQ(pool.Row(3)[0], 42.0f);
+}
+
+TEST(RowPoolTest, AcquireReusesReleasedRows) {
+  RowPool pool;
+  pool.Reset(2, 4);
+  const uint64_t fresh = pool.Acquire();
+  EXPECT_EQ(fresh, 2u);  // grew past the initial shape
+  pool.Release(1);
+  EXPECT_EQ(pool.Acquire(), 1u);  // free list first
+  EXPECT_EQ(pool.Acquire(), 3u);  // then growth
+}
+
+TEST(RowPoolTest, SaveIsByteIdenticalToWriteVec) {
+  constexpr uint64_t kRows = 1000;
+  constexpr uint32_t kDim = 12;
+  RowPool pool;
+  pool.Reset(kRows, kDim);
+  std::vector<float> flat(kRows * kDim);
+  for (uint64_t r = 0; r < kRows; ++r) {
+    for (uint32_t k = 0; k < kDim; ++k) {
+      const float v = static_cast<float>(r * kDim + k) * 0.5f;
+      pool.Row(r)[k] = v;
+      flat[r * kDim + k] = v;
+    }
+  }
+  io::Writer pooled, contiguous;
+  pool.Save(&pooled);
+  contiguous.WriteVec(flat);
+  EXPECT_EQ(pooled.buffer(), contiguous.buffer());
+
+  RowPool loaded;
+  loaded.Reset(kRows, kDim);
+  io::Reader reader(pooled.buffer());
+  ASSERT_TRUE(loaded.Load(&reader, "test pool").ok());
+  for (uint64_t r = 0; r < kRows; ++r) {
+    EXPECT_EQ(0, std::memcmp(loaded.Row(r), pool.Row(r),
+                             kDim * sizeof(float)));
+  }
 }
 
 }  // namespace

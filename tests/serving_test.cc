@@ -65,7 +65,7 @@ struct ServingStoreCase {
 };
 
 const ServingStoreCase kAllStores[] = {
-    {"full", 1.0},  {"hash", 20.0},    {"qr", 10.0},    {"ada", 2.0},
+    {"full", 1.0},  {"hash", 20.0},    {"qr", 10.0},    {"robe", 10.0},    {"ada", 2.0},
     {"mde", 2.0},   {"offline", 20.0}, {"cafe", 20.0},  {"cafe-ml", 20.0},
 };
 

@@ -83,8 +83,8 @@ TEST_P(StoreFactorySweep, CreatesAtModestCompression) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Methods, StoreFactorySweep,
-                         ::testing::Values("full", "hash", "qr", "ada",
-                                           "mde", "offline", "cafe",
+                         ::testing::Values("full", "hash", "qr", "robe",
+                                           "ada", "mde", "offline", "cafe",
                                            "cafe-ml"));
 
 TEST(StoreFactoryTest, UnknownNameFails) {
